@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_e*.py`` module regenerates one experiment from the
+DESIGN.md index: it runs the experiment once under pytest-benchmark
+timing, prints the regenerated table(s) so the run's output contains
+the same rows the paper-style report shows, and asserts the expected
+qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment with a single timed round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

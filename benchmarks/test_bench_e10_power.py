@@ -1,0 +1,28 @@
+"""Bench E10: statistical power of the Axiom 1 checker.
+
+Regenerates the detection-power curve over bias intensity and asserts
+the headline shape: no false positives at zero bias, monotone
+non-decreasing violations with intensity, and full detection well
+below total discrimination.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e10_power_analysis import run as run_e10
+
+
+def test_bench_e10_detection_power(benchmark):
+    result = run_once(
+        benchmark, run_e10,
+        bias_probabilities=(0.0, 0.1, 0.25, 0.5, 0.75, 1.0),
+        n_workers=10, n_rounds=4, replications=10, seed=17,
+    )
+    print()
+    print(result.render())
+    rows = result.table().rows_as_dicts()
+    by_bias = {r["bias_probability"]: r for r in rows}
+    assert by_bias[0.0]["detection_rate"] == 0.0
+    assert by_bias[0.0]["mean_violations"] == 0.0
+    assert by_bias[1.0]["detection_rate"] == 1.0
+    assert by_bias[0.25]["detection_rate"] >= 0.9
+    violations = [r["mean_violations"] for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(violations, violations[1:]))

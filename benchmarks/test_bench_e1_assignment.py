@@ -1,0 +1,30 @@
+"""Bench E1: discriminatory power of assignment algorithms.
+
+Regenerates the E1 table (one row per assigner: disparate impact,
+parity difference, Gini, requester gain) and asserts the headline
+shape: requester-centric is discriminatory, round-robin is fair, the
+fairness-constrained assigner closes the gap.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e1_assignment_discrimination import run as run_e1
+
+
+def test_bench_e1_assignment_discrimination(benchmark):
+    result = run_once(
+        benchmark, run_e1, n_workers=80, n_tasks=60, capacity=2, seed=0
+    )
+    print()
+    print(result.render())
+    rows = {r["assigner"]: r for r in result.table().rows_as_dicts()}
+    assert rows["requester_centric"]["disparate_impact"] < 0.8
+    assert rows["round_robin"]["disparate_impact"] > 0.8
+    constrained = next(
+        v for k, v in rows.items() if k.startswith("fairness_constrained")
+    )
+    assert constrained["disparate_impact"] > (
+        rows["requester_centric"]["disparate_impact"]
+    )
+    assert rows["hungarian_requester"]["requester_gain"] >= (
+        rows["round_robin"]["requester_gain"]
+    )

@@ -1,0 +1,27 @@
+"""Bench E2: worker retention vs transparency level.
+
+Regenerates the E2 summary table and retention-curve series (the
+paper-style 'figure') and asserts the paper's hypothesis: fuller
+disclosure retains more workers than an opaque platform.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e2_transparency_retention import run as run_e2
+
+
+def test_bench_e2_transparency_retention(benchmark):
+    result = run_once(
+        benchmark, run_e2,
+        n_workers=80, rounds=15, tasks_per_round=40, seed=7,
+    )
+    print()
+    print(result.render())
+    rows = {r["policy"]: r for r in result.table().rows_as_dicts()}
+    assert rows["full"]["retention"] > rows["opaque"]["retention"]
+    assert rows["amt_turkopticon"]["retention"] >= rows["opaque"]["retention"]
+    # The curve table is the figure: one column per policy, one row per
+    # round, monotone non-increasing in each column.
+    curve = result.tables[1]
+    for policy in ("opaque", "full"):
+        series = curve.column(policy)
+        assert all(a >= b for a, b in zip(series, series[1:]))

@@ -1,0 +1,30 @@
+"""Bench E3: contribution quality vs compensation fairness.
+
+Regenerates the E3 regime table (quality-aware Axiom 3) and the strict
+payload-only ablation, asserting: fair regimes are violation-free and
+keep quality high; wage theft and biased review are flagged and
+depress quality/retention; quality-based pricing is flagged only under
+the strict reading (the reproduction's Axiom-3-vs-[21] finding).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e3_compensation_fairness import run as run_e3
+
+
+def test_bench_e3_compensation_fairness(benchmark):
+    result = run_once(
+        benchmark, run_e3,
+        n_workers=60, rounds=10, tasks_per_round=30, seed=11,
+    )
+    print()
+    print(result.render())
+    rows = {r["regime"]: r for r in result.table().rows_as_dicts()}
+    assert rows["fixed_reward"]["axiom3_violations"] == 0
+    assert rows["quality_based"]["axiom3_violations"] == 0
+    assert rows["wage_theft"]["axiom3_violations"] > 0
+    assert rows["biased_review"]["axiom3_violations"] > 0
+    assert rows["wage_theft"]["mean_quality"] < rows["fixed_reward"]["mean_quality"]
+    assert rows["wage_theft"]["retention"] <= rows["fixed_reward"]["retention"]
+    ablation = {r["regime"]: r for r in result.tables[1].rows_as_dicts()}
+    assert ablation["quality_based"]["strict_violations"] > 0
+    assert ablation["fixed_reward"]["strict_violations"] == 0

@@ -1,0 +1,24 @@
+"""Bench E4: the per-axiom fairness-check benchmark suite.
+
+Regenerates the E4 precision/recall table over the labelled Section 3.1
+scenario suite and asserts the headline: every axiom checker achieves
+perfect precision and recall, and the clean control stays silent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e4_axiom_benchmarks import run as run_e4
+
+
+def test_bench_e4_axiom_check_suite(benchmark):
+    result = run_once(benchmark, run_e4, seed=0)
+    print()
+    print(result.render())
+    per_axiom = result.table()
+    assert all(p == 1.0 for p in per_axiom.column("precision"))
+    assert all(r == 1.0 for r in per_axiom.column("recall"))
+    detail = result.tables[1]
+    assert all(detail.column("exact_match"))
+    clean_row = next(
+        r for r in detail.rows_as_dicts() if r["scenario"] == "clean"
+    )
+    assert clean_row["fired_axioms"] == "-"

@@ -1,0 +1,26 @@
+"""Bench E5: malicious-worker detection across spam regimes.
+
+Regenerates the E5 detector table over the spam-fraction sweep and
+asserts: the ensemble dominates the timing-only signal, and detection
+remains useful at the ~40 % malicious regime of Vuurens et al. [20].
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e5_malice_detection import run as run_e5
+
+
+def test_bench_e5_malice_detection(benchmark):
+    result = run_once(
+        benchmark, run_e5,
+        n_workers=30, n_tasks=40, redundancy=5,
+        spam_fractions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5), seed=3,
+    )
+    print()
+    print(result.render())
+    rows = result.table().rows_as_dicts()
+    by_key = {(r["spam_fraction"], r["detector"]): r for r in rows}
+    for fraction in (0.2, 0.3, 0.4):
+        assert by_key[(fraction, "ensemble")]["f1"] >= (
+            by_key[(fraction, "timing")]["f1"] - 1e-9
+        )
+    assert by_key[(0.4, "ensemble")]["f1"] > 0.6

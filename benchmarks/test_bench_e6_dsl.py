@@ -1,0 +1,26 @@
+"""Bench E6: transparency-DSL expressiveness and comparison.
+
+Regenerates both E6 tables (preset coverage; pairwise diffs) and
+asserts the expressiveness claims: every surveyed platform's surface is
+encodable and round-trips, and Turkopticon strictly extends stock AMT.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e6_dsl_expressiveness import run as run_e6
+
+
+def test_bench_e6_dsl_expressiveness(benchmark):
+    result = run_once(benchmark, run_e6)
+    print()
+    print(result.render())
+    table = result.table()
+    assert all(table.column("round_trips"))
+    coverage = dict(zip(table.column("policy"), table.column("mandated_coverage")))
+    assert coverage["opaque"] == 0.0
+    assert coverage["full"] == 1.0
+    comparison = result.tables[1]
+    row = next(
+        r for r in comparison.rows_as_dicts()
+        if r["left"] == "amt_basic" and r["right"] == "amt_turkopticon"
+    )
+    assert row["right_superset"] and row["coverage_gap"] > 0

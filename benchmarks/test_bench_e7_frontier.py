@@ -1,0 +1,32 @@
+"""Bench E7: the utility/fairness Pareto frontier.
+
+Regenerates the E7 epsilon sweep for both fairness-by-design assigners
+and asserts the trade-off shape: requester gain falls monotonically as
+the epsilon-fair weight rises, while disparate impact improves toward
+parity (and symmetrically for the constrained assigner, whose epsilon
+is the allowed disparity).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e7_frontier import run as run_e7
+
+
+def test_bench_e7_fairness_frontier(benchmark):
+    result = run_once(
+        benchmark, run_e7,
+        n_workers=60, n_tasks=45, capacity=2, seed=5,
+        epsilons=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    )
+    print()
+    print(result.render())
+    rows = result.table().rows_as_dicts()
+    epsilon_fair = [r for r in rows if r["assigner"] == "epsilon_fair"]
+    gains = [r["requester_gain"] for r in epsilon_fair]
+    assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+    assert epsilon_fair[-1]["disparate_impact"] >= (
+        epsilon_fair[0]["disparate_impact"]
+    )
+    constrained = [r for r in rows if r["assigner"] == "fairness_constrained"]
+    assert constrained[0]["disparate_impact"] >= (
+        constrained[-1]["disparate_impact"]
+    )

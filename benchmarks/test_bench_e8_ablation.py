@@ -1,0 +1,24 @@
+"""Bench E8: similarity-threshold ablation of the Axiom 1 checker.
+
+Regenerates the threshold-sensitivity table (DESIGN.md design choice
+ablation 1) and asserts the separating behaviour: strict thresholds
+flag harmless noise, lax thresholds miss nothing noisy but real bias
+is caught throughout the strict-to-moderate band.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e8_threshold_ablation import run as run_e8
+
+
+def test_bench_e8_threshold_ablation(benchmark):
+    result = run_once(
+        benchmark, run_e8,
+        n_workers=12, n_rounds=4, seed=2,
+        thresholds=(1.0, 0.9, 0.8, 0.6, 0.4, 0.2),
+    )
+    print()
+    print(result.render())
+    rows = {r["threshold"]: r for r in result.table().rows_as_dicts()}
+    assert rows[1.0]["noisy_violations"] > rows[0.4]["noisy_violations"]
+    assert rows[0.2]["noisy_violations"] == 0
+    assert rows[0.6]["biased_violations"] > 0

@@ -1,0 +1,29 @@
+"""Bench E9: redundancy/accuracy curves and aggregator comparison.
+
+Regenerates the KOS-premise figure (majority accuracy vs redundancy,
+against the Chernoff bound) and the aggregator table, asserting the
+expected ordering: accuracy increases with redundancy, and
+reliability-aware aggregation dominates plain majority on a market
+with a large malicious fraction.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e9_aggregation import run as run_e9
+
+
+def test_bench_e9_redundancy_and_aggregation(benchmark):
+    result = run_once(
+        benchmark, run_e9,
+        accuracies=(0.6, 0.7, 0.8), redundancies=(1, 3, 5, 7, 9),
+        n_tasks=400, market_workers=30, market_tasks=40, seed=3,
+    )
+    print()
+    print(result.render())
+    curve = result.table()
+    for column in ("p=0.6", "p=0.7", "p=0.8"):
+        values = curve.column(column)
+        assert values[-1] > values[0]
+    comparison = {r["aggregator"]: r for r in result.tables[1].rows_as_dicts()}
+    assert comparison["weighted"]["accuracy"] >= (
+        comparison["majority"]["accuracy"] - 1e-9
+    )

@@ -1,0 +1,103 @@
+"""Performance micro-benchmarks: scaling of the core operations.
+
+These time the building blocks a platform operator would run in a
+loop: auditing a trace, solving an assignment instance, and the DSL
+parse/evaluate path.  Unlike the E-benches these use multiple timed
+rounds (operations are cheap enough).
+"""
+
+import random
+
+import pytest
+
+from repro.assignment import (
+    AssignmentInstance,
+    HungarianAssigner,
+    RequesterCentricAssigner,
+)
+from repro.core.audit import AuditEngine
+from repro.experiments.e1_assignment_discrimination import (
+    biased_reputation_population,
+)
+from repro.transparency.evaluator import PolicyEvaluator
+from repro.transparency.parser import parse_policy
+from repro.transparency.presets import _PRESET_SOURCES, preset
+from repro.workloads.scenarios import clean_scenario
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import uniform_tasks
+
+
+@pytest.fixture(scope="module")
+def audit_trace():
+    return clean_scenario(rounds=6, n_workers=10).trace
+
+
+def test_bench_audit_engine(benchmark, audit_trace):
+    """Full 7-axiom audit over a mid-sized clean trace."""
+    engine = AuditEngine()
+    report = benchmark(engine.audit, audit_trace)
+    assert report.passed
+
+
+def _instance(n_workers, n_tasks):
+    vocabulary = standard_vocabulary()
+    workers = biased_reputation_population(n_workers, seed=0)
+    tasks = uniform_tasks(n_tasks, vocabulary, reward=0.2,
+                          skills=("image_recognition",), gold=False)
+    return AssignmentInstance(
+        workers=tuple(workers), tasks=tuple(tasks), capacity=2
+    )
+
+
+@pytest.mark.parametrize("size", [50, 150])
+def test_bench_greedy_assignment_scaling(benchmark, size):
+    instance = _instance(size, size)
+    result = benchmark(
+        RequesterCentricAssigner().assign, instance, random.Random(0)
+    )
+    assert result.pairs
+
+
+def test_bench_optimal_assignment(benchmark):
+    instance = _instance(60, 60)
+    result = benchmark(HungarianAssigner().assign, instance, random.Random(0))
+    assert result.pairs
+
+
+def test_bench_dsl_parse(benchmark):
+    source = _PRESET_SOURCES["full"]
+    policy = benchmark(parse_policy, source)
+    assert policy.rules
+
+
+def test_bench_trace_serialization_round_trip(benchmark, audit_trace):
+    """JSON export + import of a mid-sized trace (the adapter path)."""
+    from repro.core.serialize import trace_from_json, trace_to_json
+
+    def round_trip():
+        return trace_from_json(trace_to_json(audit_trace))
+
+    restored = benchmark(round_trip)
+    assert len(restored) == len(audit_trace)
+
+
+def test_bench_windowed_audit(benchmark, audit_trace):
+    """Fairness-over-time: auditing the trace in 4-tick windows."""
+    engine = AuditEngine()
+    windows = benchmark(engine.windowed_audit, audit_trace, 4)
+    assert windows
+
+
+def test_bench_policy_evaluation(benchmark, audit_trace):
+    policy = preset("full")
+    evaluator = PolicyEvaluator(
+        policy, platform_stats={"fee_structure": "20%",
+                                "estimated_hourly_wage": 5.0},
+    )
+    workers = list(audit_trace.final_workers().values())
+    requesters = list(audit_trace.requesters.values())
+    tasks = list(audit_trace.tasks.values())
+    disclosures = benchmark(
+        evaluator.evaluate, requesters, workers, tasks
+    )
+    assert disclosures

@@ -1,0 +1,110 @@
+"""Auditing an *existing* platform from its exported event log.
+
+Section 3.3.1 aims the framework at existing crowdsourcing systems:
+a platform (or a watchdog with API access) exports its event log as
+JSON, and anyone can replay the audit and check the platform's own
+declared fairness contract — no access to the platform's code needed.
+
+This example plays both roles: a simulated "production" platform with
+a subtle wage-theft problem exports its trace; the auditor loads the
+JSON, runs the seven-axiom audit, and evaluates the platform's public
+policy (which *commits* to fair compensation) against it.
+
+Run::
+
+    python examples/audit_exported_platform.py
+"""
+
+from repro.compensation.discriminatory import WageTheftScheme
+from repro.core.audit import AuditEngine
+from repro.core.entities import Requester
+from repro.core.serialize import trace_from_json, trace_to_json
+from repro.platform.behavior import DiligentBehavior
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+from repro.transparency import AuditContract, TransparencyPolicy
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import uniform_tasks
+from repro.workloads.workers import homogeneous_population
+
+#: The platform's *public* policy: full disclosure plus hard fairness
+#: commitments.  The audit will test whether reality honours it.
+PUBLIC_POLICY = """
+policy "production-platform" {
+  disclose requester.hourly_wage to workers;
+  disclose requester.payment_delay to workers;
+  disclose requester.recruitment_criteria to workers;
+  disclose requester.rejection_criteria to workers;
+  disclose worker.acceptance_ratio to self;
+  disclose worker.tasks_completed to self;
+  require axiom 3 score >= 0.99;   # equal pay for similar work
+  require axiom 5 score >= 1.0;    # never interrupt started work
+}
+"""
+
+
+def run_production_platform() -> str:
+    """The 'remote' platform: looks compliant, steals wages. Returns its
+    exported JSON event log."""
+    vocabulary = standard_vocabulary()
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3),
+        pricing=WageTheftScheme(theft_probability=0.3, seed=1),
+        seed=1,
+    )
+    requester = Requester(
+        requester_id="r0001", name="acme", hourly_wage=6.0, payment_delay=5,
+        recruitment_criteria="any", rejection_criteria="quality below 0.3",
+    )
+    platform.register_requester(requester)
+    for field_name, value in requester.disclosable_fields().items():
+        platform.disclose(f"requester:{requester.requester_id}",
+                          field_name, value)
+    workers = homogeneous_population(
+        6, vocabulary, skills=("survey",), declared={"group": "blue"}
+    )
+    for entity in workers:
+        platform.register_worker(entity)
+    behavior = DiligentBehavior(base_quality=1.0)
+    tasks = uniform_tasks(8, vocabulary, "r0001", reward=0.25,
+                          skills=("survey",))
+    for task in tasks:
+        platform.post_task(task)
+        for entity in workers:
+            platform.browse(entity.worker_id)
+        for entity in workers[:3]:  # three workers answer each task
+            platform.start_work(entity.worker_id, task.task_id)
+            platform.process_contribution(entity.worker_id, task.task_id,
+                                          behavior)
+        platform.close_task(task.task_id)
+    for worker_id, entity in platform.workers.items():
+        for field_name in ("acceptance_ratio", "tasks_completed"):
+            if field_name in entity.computed:
+                platform.disclose(f"worker:{worker_id}", field_name,
+                                  entity.computed[field_name],
+                                  audience_worker_id=worker_id)
+    return trace_to_json(platform.trace)
+
+
+def main() -> None:
+    exported_json = run_production_platform()
+    print(f"exported event log: {len(exported_json):,} bytes of JSON\n")
+
+    # --- The auditor's side: only the JSON and the public policy. ---
+    trace = trace_from_json(exported_json)
+    report = AuditEngine().audit(trace)
+    print(*report.summary_lines(), sep="\n")
+    print()
+
+    policy = TransparencyPolicy.from_source(PUBLIC_POLICY)
+    outcome = AuditContract(policy).evaluate(report)
+    print(*outcome.summary_lines(), sep="\n")
+    print()
+    if not outcome.honoured:
+        print("evidence (first 3 violations):")
+        for violation in report.result_for(3).violations[:3]:
+            print(f"  {violation.describe()}")
+
+
+if __name__ == "__main__":
+    main()

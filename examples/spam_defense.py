@@ -1,0 +1,82 @@
+"""Spam defense: detecting the 40 % malicious crowd of Vuurens et al.
+
+Axiom 4 requires the platform to let requesters detect malicious
+workers.  This example runs a redundant-labelling market where 40 % of
+the crowd is spamming or adversarial, scores each detector against
+ground truth, flags the ensemble's suspects on the platform trace, and
+shows that the Axiom 4 checker is satisfied *only after* the flags are
+recorded.
+
+Run::
+
+    python examples/spam_defense.py
+"""
+
+from repro.core.axiom_completion import RequesterFairnessInCompletion
+from repro.core.events import MaliceFlagged
+from repro.core.trace import PlatformTrace
+from repro.experiments.e5_malice_detection import labelled_market_trace
+from repro.experiments.tables import Table
+from repro.malice import (
+    AgreementDetector,
+    EnsembleDetector,
+    GoldStandardDetector,
+    TimingDetector,
+    evaluate_detector,
+    flag_workers,
+)
+
+
+def main() -> None:
+    trace, malicious = labelled_market_trace(
+        n_workers=40, n_tasks=60, spam_fraction=0.4, redundancy=5, seed=7
+    )
+    print(f"market: {len(trace.worker_ids)} workers, "
+          f"{len(malicious)} truly malicious "
+          f"({len(malicious) / len(trace.worker_ids):.0%})\n")
+
+    table = Table(
+        title="Detector performance at 40% malicious workers",
+        columns=("detector", "precision", "recall", "f1"),
+    )
+    detectors = [
+        GoldStandardDetector(),
+        AgreementDetector(),
+        TimingDetector(),
+        EnsembleDetector(),
+    ]
+    for detector in detectors:
+        outcome = evaluate_detector(detector, trace, malicious, threshold=0.5)
+        table.add_row(detector.name, outcome.precision, outcome.recall,
+                      outcome.f1)
+    print(table.render())
+    print()
+
+    # Axiom 4 before flagging: the platform exposed nothing.
+    checker = RequesterFairnessInCompletion()
+    before = checker.check(trace)
+    print(f"axiom 4 before flagging: {before.violation_count} violation(s) "
+          f"over {before.opportunities} suspicious worker(s)")
+
+    # A compliant platform records the ensemble's flags in its trace.
+    # The flag threshold trades precision for recall; sweep down from
+    # the strict 0.5 until the audit is satisfied.
+    for threshold in (0.5, 0.4, 0.3):
+        flagged = flag_workers(EnsembleDetector(), trace, threshold=threshold)
+        extended = PlatformTrace(list(trace.events))
+        for worker_id in sorted(flagged):
+            extended.append(
+                MaliceFlagged(time=trace.end_time, worker_id=worker_id,
+                              detector="ensemble", score=1.0)
+            )
+        after = checker.check(extended)
+        verdict = "PASS" if after.passed else "FAIL"
+        print(f"axiom 4 with flag threshold {threshold}: "
+              f"{len(flagged)} flagged, {after.violation_count} "
+              f"violation(s) -> {verdict}")
+        if after.passed:
+            break
+
+
+if __name__ == "__main__":
+    main()

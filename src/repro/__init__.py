@@ -1,0 +1,86 @@
+"""repro — reproduction of "Fairness and Transparency in Crowdsourcing".
+
+(Borromeo, Laurent, Toyama, Amer-Yahia; EDBT 2017.)
+
+The library has three layers:
+
+1. **Substrate** — an event-sourced crowdsourcing market simulator
+   (:mod:`repro.platform`), task-assignment algorithms
+   (:mod:`repro.assignment`), compensation strategies
+   (:mod:`repro.compensation`), malice detectors (:mod:`repro.malice`),
+   similarity measures (:mod:`repro.similarity`), and synthetic
+   workloads (:mod:`repro.workloads`).
+2. **Core contribution** — the paper's seven fairness/transparency
+   axioms as executable trace checkers plus the audit engine
+   (:mod:`repro.core`), and the declarative transparency language with
+   its full toolchain (:mod:`repro.transparency`).
+3. **Validation** — the objective measures of Section 4
+   (:mod:`repro.metrics`) and the experiment harness
+   (:mod:`repro.experiments`, runnable via ``python -m repro``).
+
+Quickstart::
+
+    from repro import audit_scenario
+    report = audit_scenario("biased_visibility")
+    print(*report.summary_lines(), sep="\\n")
+"""
+
+from repro.core import (
+    AuditEngine,
+    AuditReport,
+    Contribution,
+    PlatformTrace,
+    Requester,
+    SkillVector,
+    SkillVocabulary,
+    Task,
+    Violation,
+    Worker,
+    default_registry,
+)
+from repro.errors import ReproError
+from repro.transparency import TransparencyPolicy, parse_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditEngine",
+    "AuditReport",
+    "Contribution",
+    "PlatformTrace",
+    "ReproError",
+    "Requester",
+    "SkillVector",
+    "SkillVocabulary",
+    "Task",
+    "TransparencyPolicy",
+    "Violation",
+    "Worker",
+    "audit_scenario",
+    "default_registry",
+    "parse_policy",
+    "__version__",
+]
+
+
+def audit_scenario(name: str, seed: int = 0) -> AuditReport:
+    """Build a named Section 3.1 scenario and audit it.
+
+    A one-call tour of the library: ``name`` is one of the scenario
+    builders in :mod:`repro.workloads.scenarios` (e.g. ``"clean"``,
+    ``"biased_visibility"``, ``"survey_cancellation"``).
+    """
+    from repro.workloads import scenarios as scenario_module
+
+    builder = getattr(scenario_module, f"{name}_scenario", None)
+    if builder is None:
+        available = sorted(
+            attr[: -len("_scenario")]
+            for attr in dir(scenario_module)
+            if attr.endswith("_scenario")
+        )
+        raise ReproError(
+            f"unknown scenario {name!r}; available: {available}"
+        )
+    scenario = builder(seed=seed)
+    return AuditEngine().audit(scenario.trace)

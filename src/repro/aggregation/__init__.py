@@ -1,0 +1,49 @@
+"""Crowd-answer aggregation.
+
+Redundant task assignment (the KOS budget-optimal scheme [11], the
+spam countermeasures of Vuurens et al. [20]) only pays off if the
+platform can *aggregate* the redundant answers into one reliable
+result.  This package provides the standard aggregators:
+
+* :class:`MajorityVote` — unweighted plurality;
+* :class:`WeightedVote` — reliability-weighted (log-odds) voting;
+* :class:`OneCoinEM` — Dawid-Skene-style EM on the one-coin model,
+  jointly estimating worker accuracies and true answers with no
+  supervision.
+
+All share the :class:`Aggregator` protocol and the
+:func:`aggregate_trace` driver that rolls a whole trace up to one
+answer per task.
+"""
+
+from repro.aggregation.base import Aggregator, TaskAnswers, collect_answers
+from repro.aggregation.em import OneCoinEM
+from repro.aggregation.majority import MajorityVote
+from repro.aggregation.redundancy import (
+    empirical_accuracy_curve,
+    majority_error_bound,
+)
+from repro.aggregation.weighted import WeightedVote
+
+__all__ = [
+    "Aggregator",
+    "MajorityVote",
+    "OneCoinEM",
+    "TaskAnswers",
+    "WeightedVote",
+    "aggregate_trace",
+    "collect_answers",
+    "empirical_accuracy_curve",
+    "majority_error_bound",
+]
+
+
+def aggregate_trace(aggregator: Aggregator, trace) -> dict[str, object]:
+    """One aggregated answer per task with >= 1 contribution."""
+    answers = collect_answers(trace)
+    results: dict[str, object] = {}
+    for task_id, task_answers in answers.items():
+        aggregated = aggregator.aggregate(task_answers)
+        if aggregated is not None:
+            results[task_id] = aggregated
+    return results

@@ -1,0 +1,64 @@
+"""Aggregator protocol and answer collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.events import ContributionSubmitted
+from repro.core.trace import PlatformTrace
+
+
+@dataclass(frozen=True)
+class TaskAnswers:
+    """All answers one task received: (worker_id, payload) pairs."""
+
+    task_id: str
+    answers: tuple[tuple[str, object], ...]
+
+    def payloads(self) -> list[object]:
+        return [payload for _, payload in self.answers]
+
+    def workers(self) -> list[str]:
+        return [worker_id for worker_id, _ in self.answers]
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class Aggregator(Protocol):
+    """Combines a task's redundant answers into one (or None)."""
+
+    name: str
+
+    def aggregate(self, answers: TaskAnswers) -> object | None: ...
+
+
+def collect_answers(trace: PlatformTrace) -> dict[str, TaskAnswers]:
+    """Group every submitted payload by task.
+
+    A worker who answered the same task several times keeps only their
+    latest answer (platforms treat resubmission as replacement).
+    """
+    latest: dict[str, dict[str, object]] = {}
+    for event in trace.of_kind(ContributionSubmitted):
+        contribution = event.contribution
+        latest.setdefault(contribution.task_id, {})[
+            contribution.worker_id
+        ] = contribution.payload
+    return {
+        task_id: TaskAnswers(
+            task_id=task_id,
+            answers=tuple(sorted(by_worker.items())),
+        )
+        for task_id, by_worker in latest.items()
+    }
+
+
+def normalize_payload(payload: object) -> object:
+    """A hashable, comparison-stable form of an answer payload."""
+    if isinstance(payload, list):
+        return tuple(payload)
+    if isinstance(payload, float):
+        return round(payload, 6)
+    return payload

@@ -1,0 +1,133 @@
+"""One-coin Dawid-Skene EM: unsupervised accuracy + answer estimation.
+
+The one-coin model: worker ``w`` answers any task correctly with a
+single accuracy ``p_w``.  EM alternates:
+
+* **E-step** — posterior over each task's true answer given current
+  accuracies (log-odds weighted voting, soft);
+* **M-step** — re-estimate each worker's accuracy as their expected
+  agreement with the posteriors.
+
+This is the classical unsupervised alternative to gold questions and
+is the estimator budget-optimal allocation presumes [11].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.aggregation.base import TaskAnswers, normalize_payload
+
+_EPSILON = 1e-3
+
+
+@dataclass(frozen=True)
+class OneCoinEM:
+    """EM on the one-coin annotator model over categorical answers."""
+
+    iterations: int = 20
+    prior_accuracy: float = 0.7
+    name: str = "one_coin_em"
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 < self.prior_accuracy < 1.0:
+            raise ValueError("prior_accuracy must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, tasks: Mapping[str, TaskAnswers]
+    ) -> tuple[dict[str, object], dict[str, float]]:
+        """Jointly estimate (answers per task, accuracy per worker)."""
+        # Normalize once; collect label spaces per task.
+        votes: dict[str, list[tuple[str, object]]] = {
+            task_id: [
+                (worker_id, normalize_payload(payload))
+                for worker_id, payload in answers.answers
+            ]
+            for task_id, answers in tasks.items()
+            if answers.answers
+        }
+        workers = sorted({w for vs in votes.values() for w, _ in vs})
+        accuracy = {w: self.prior_accuracy for w in workers}
+        posteriors: dict[str, dict[object, float]] = {}
+        for _ in range(self.iterations):
+            posteriors = self._e_step(votes, accuracy)
+            accuracy = self._m_step(votes, posteriors, accuracy)
+        answers = {
+            task_id: max(
+                sorted(posterior, key=repr), key=lambda a: posterior[a]
+            )
+            for task_id, posterior in posteriors.items()
+        }
+        return answers, accuracy
+
+    def aggregate(self, answers: TaskAnswers) -> object | None:
+        """Single-task aggregation (protocol compliance): with one task
+        EM reduces to prior-weighted majority."""
+        if not answers.answers:
+            return None
+        estimated, _ = self.fit({answers.task_id: answers})
+        return estimated.get(answers.task_id)
+
+    # ------------------------------------------------------------------
+
+    def _e_step(
+        self,
+        votes: dict[str, list[tuple[str, object]]],
+        accuracy: dict[str, float],
+    ) -> dict[str, dict[object, float]]:
+        posteriors: dict[str, dict[object, float]] = {}
+        for task_id, task_votes in votes.items():
+            labels = sorted({payload for _, payload in task_votes}, key=repr)
+            # Uniform wrong-label mass over the other observed labels.
+            n_alternatives = max(1, len(labels) - 1)
+            log_scores = {}
+            for label in labels:
+                total = 0.0
+                for worker_id, payload in task_votes:
+                    p = min(1.0 - _EPSILON, max(_EPSILON, accuracy[worker_id]))
+                    if payload == label:
+                        total += math.log(p)
+                    else:
+                        total += math.log((1.0 - p) / n_alternatives)
+                log_scores[label] = total
+            peak = max(log_scores.values())
+            unnormalized = {
+                label: math.exp(score - peak)
+                for label, score in log_scores.items()
+            }
+            normalizer = sum(unnormalized.values())
+            posteriors[task_id] = {
+                label: value / normalizer
+                for label, value in unnormalized.items()
+            }
+        return posteriors
+
+    def _m_step(
+        self,
+        votes: dict[str, list[tuple[str, object]]],
+        posteriors: dict[str, dict[object, float]],
+        previous: dict[str, float],
+    ) -> dict[str, float]:
+        agreement: dict[str, float] = {w: 0.0 for w in previous}
+        count: dict[str, int] = {w: 0 for w in previous}
+        for task_id, task_votes in votes.items():
+            posterior = posteriors[task_id]
+            for worker_id, payload in task_votes:
+                agreement[worker_id] += posterior.get(payload, 0.0)
+                count[worker_id] += 1
+        # Laplace-smoothed toward the prior so single-task workers do
+        # not saturate to 0/1.
+        smoothing = 1.0
+        return {
+            worker_id: (
+                (agreement[worker_id] + smoothing * self.prior_accuracy)
+                / (count[worker_id] + smoothing)
+            )
+            for worker_id in previous
+        }

@@ -1,0 +1,35 @@
+"""Unweighted majority (plurality) vote."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.aggregation.base import TaskAnswers, normalize_payload
+
+
+@dataclass(frozen=True)
+class MajorityVote:
+    """Plurality vote; ties resolve deterministically or abstain.
+
+    ``break_ties`` selects the lexicographically smallest of the tied
+    answers (reproducible); with ``break_ties=False`` a tie aggregates
+    to ``None`` (abstention), which callers can route to an expert.
+    """
+
+    break_ties: bool = True
+    name: str = "majority"
+
+    def aggregate(self, answers: TaskAnswers) -> object | None:
+        if not answers.answers:
+            return None
+        counts = Counter(normalize_payload(p) for p in answers.payloads())
+        ranked = counts.most_common()
+        top_count = ranked[0][1]
+        tied = sorted(
+            (payload for payload, count in ranked if count == top_count),
+            key=repr,
+        )
+        if len(tied) > 1 and not self.break_ties:
+            return None
+        return tied[0]

@@ -1,0 +1,78 @@
+"""Redundancy/accuracy trade-off curves (the KOS budget question [11]).
+
+Budget-optimal allocation asks: given workers of accuracy ``p``, how
+many redundant answers buy a target reliability?  This module provides
+both the Chernoff-style analytic bound and an empirical curve from
+simulated voting — the E9 ablation compares them and the aggregators.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.aggregation.base import TaskAnswers
+from repro.aggregation.majority import MajorityVote
+
+
+def majority_error_bound(worker_accuracy: float, redundancy: int) -> float:
+    """Chernoff upper bound on majority-vote error.
+
+    ``exp(-2 k (p - 1/2)^2)`` for ``k`` i.i.d. voters of accuracy
+    ``p > 0.5``; capped at 1.0.
+    """
+    if not 0.5 < worker_accuracy <= 1.0:
+        raise ValueError("bound requires accuracy in (0.5, 1]")
+    if redundancy < 1:
+        raise ValueError("redundancy must be >= 1")
+    margin = worker_accuracy - 0.5
+    return min(1.0, math.exp(-2.0 * redundancy * margin * margin))
+
+
+def simulate_majority_accuracy(
+    worker_accuracy: float,
+    redundancy: int,
+    n_tasks: int,
+    rng: random.Random,
+    n_labels: int = 4,
+) -> float:
+    """Empirical majority-vote accuracy over simulated label tasks."""
+    if not 0.0 <= worker_accuracy <= 1.0:
+        raise ValueError("accuracy must be in [0, 1]")
+    if redundancy < 1 or n_tasks < 1:
+        raise ValueError("redundancy and n_tasks must be >= 1")
+    labels = [chr(ord("A") + i) for i in range(n_labels)]
+    vote = MajorityVote(break_ties=False)
+    correct = 0
+    for task_index in range(n_tasks):
+        truth = labels[task_index % n_labels]
+        wrong = [label for label in labels if label != truth]
+        answers = []
+        for voter in range(redundancy):
+            if rng.random() < worker_accuracy:
+                answers.append((f"w{voter}", truth))
+            else:
+                answers.append((f"w{voter}", rng.choice(wrong)))
+        result = vote.aggregate(
+            TaskAnswers(task_id=f"t{task_index}", answers=tuple(answers))
+        )
+        if result == truth:
+            correct += 1
+    return correct / n_tasks
+
+
+def empirical_accuracy_curve(
+    worker_accuracy: float,
+    redundancies: Sequence[int],
+    n_tasks: int = 500,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Majority accuracy at each redundancy level (the E9 'figure')."""
+    rng = random.Random(seed)
+    return {
+        redundancy: simulate_majority_accuracy(
+            worker_accuracy, redundancy, n_tasks, rng
+        )
+        for redundancy in redundancies
+    }

@@ -1,0 +1,57 @@
+"""Reliability-weighted voting.
+
+Each worker's vote carries the log-odds weight ``log(p / (1 - p))`` of
+their estimated accuracy ``p`` — the optimal per-vote weight for
+independent one-coin workers (the insight behind KOS message-passing
+[11]).  Workers without an estimate get the prior accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.aggregation.base import TaskAnswers, normalize_payload
+
+#: Accuracies are clipped into this open interval so log-odds stay finite.
+_EPSILON = 1e-3
+
+
+def log_odds(accuracy: float) -> float:
+    """The optimal vote weight for a worker of the given accuracy."""
+    clipped = min(1.0 - _EPSILON, max(_EPSILON, accuracy))
+    return math.log(clipped / (1.0 - clipped))
+
+
+@dataclass(frozen=True)
+class WeightedVote:
+    """Log-odds weighted plurality."""
+
+    reliability: Mapping[str, float] = field(default_factory=dict)
+    prior_accuracy: float = 0.7
+    name: str = "weighted"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prior_accuracy < 1.0:
+            raise ValueError("prior_accuracy must be in (0, 1)")
+
+    def weight_for(self, worker_id: str) -> float:
+        accuracy = self.reliability.get(worker_id, self.prior_accuracy)
+        return log_odds(accuracy)
+
+    def aggregate(self, answers: TaskAnswers) -> object | None:
+        if not answers.answers:
+            return None
+        scores: dict[object, float] = {}
+        for worker_id, payload in answers.answers:
+            key = normalize_payload(payload)
+            scores[key] = scores.get(key, 0.0) + self.weight_for(worker_id)
+        # Deterministic tie-break on repr, like MajorityVote.
+        best_score = max(scores.values())
+        tied = sorted(
+            (payload for payload, score in scores.items()
+             if abs(score - best_score) < 1e-12),
+            key=repr,
+        )
+        return tied[0]

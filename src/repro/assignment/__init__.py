@@ -1,0 +1,74 @@
+"""Task-assignment algorithms.
+
+The paper's Section 4.2 agenda is to "review existing algorithms for
+task assignment ... to assess their discriminatory power".  This package
+implements that catalogue:
+
+* :class:`SelfAppointmentAssigner` — workers pick what they like (the
+  AMT model the paper calls fair by access);
+* :class:`RequesterCentricAssigner` — maximizes requester gain [8],
+  the paper's canonical example of a discriminatory objective;
+* :class:`WorkerCentricAssigner` — maximizes workers' expected
+  compensation (fairer to workers, costlier to requesters);
+* :class:`RoundRobinAssigner` — equal-share baseline;
+* :class:`HungarianAssigner` — globally optimal matching (scipy);
+* :class:`BudgetOptimalAssigner` — KOS-style redundancy allocation [11];
+* :class:`OnlineGreedyAssigner` — tasks arrive online [8];
+* :class:`FairnessConstrainedAssigner` / :class:`EpsilonFairAssigner` —
+  fairness-by-design assigners enforcing Axiom 1 style parity.
+
+All assigners share the :class:`Assigner` protocol: given workers and
+tasks, return an :class:`AssignmentResult` (a set of worker-task pairs
+plus diagnostics).
+"""
+
+from repro.assignment.adaptive import AdaptiveAssigner
+from repro.assignment.base import (
+    Assigner,
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    expected_gain,
+    worker_value,
+)
+from repro.assignment.budget_optimal import BudgetOptimalAssigner
+from repro.assignment.fair import EpsilonFairAssigner, FairnessConstrainedAssigner
+from repro.assignment.hungarian import HungarianAssigner
+from repro.assignment.online import OnlineGreedyAssigner
+from repro.assignment.requester_centric import RequesterCentricAssigner
+from repro.assignment.round_robin import RoundRobinAssigner
+from repro.assignment.self_appointment import SelfAppointmentAssigner
+from repro.assignment.worker_centric import WorkerCentricAssigner
+
+ALL_ASSIGNERS = (
+    AdaptiveAssigner,
+    SelfAppointmentAssigner,
+    RequesterCentricAssigner,
+    WorkerCentricAssigner,
+    RoundRobinAssigner,
+    HungarianAssigner,
+    BudgetOptimalAssigner,
+    OnlineGreedyAssigner,
+    FairnessConstrainedAssigner,
+    EpsilonFairAssigner,
+)
+
+__all__ = [
+    "ALL_ASSIGNERS",
+    "AdaptiveAssigner",
+    "Assigner",
+    "AssignmentInstance",
+    "AssignmentPair",
+    "AssignmentResult",
+    "BudgetOptimalAssigner",
+    "EpsilonFairAssigner",
+    "FairnessConstrainedAssigner",
+    "HungarianAssigner",
+    "OnlineGreedyAssigner",
+    "RequesterCentricAssigner",
+    "RoundRobinAssigner",
+    "SelfAppointmentAssigner",
+    "WorkerCentricAssigner",
+    "expected_gain",
+    "worker_value",
+]

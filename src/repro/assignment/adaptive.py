@@ -1,0 +1,127 @@
+"""Adaptive task assignment (Ho, Jabbari & Vaughan style [7]).
+
+The paper's related work cites adaptive assignment for crowdsourced
+classification: the platform *learns* worker reliability from observed
+review outcomes and routes tasks accordingly.  This assigner keeps a
+Beta posterior per worker (successes = accepted reviews, failures =
+rejections) and assigns by **Thompson sampling**: each round it draws a
+reliability sample per worker and runs gain-greedy allocation on the
+samples — exploring uncertain workers early, exploiting reliable ones
+later.
+
+Feedback arrives through :meth:`AdaptiveAssigner.observe`, which the
+session driver calls after each round with the new review events.
+
+Fairness caveat (why this belongs in the catalogue): the learned
+posterior inherits any bias in the review process — a biased reviewer
+teaches the assigner to starve the victims.  E1's setup is the static
+version of exactly this loop.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    result_totals,
+)
+from repro.core.events import ContributionReviewed
+from repro.core.trace import PlatformTrace
+
+
+class AdaptiveAssigner:
+    """Thompson-sampling assignment over Beta reliability posteriors."""
+
+    name = "adaptive_thompson"
+
+    def __init__(self, prior_alpha: float = 1.0, prior_beta: float = 1.0) -> None:
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise ValueError("Beta prior parameters must be positive")
+        self.prior_alpha = prior_alpha
+        self.prior_beta = prior_beta
+        self._successes: dict[str, int] = defaultdict(int)
+        self._failures: dict[str, int] = defaultdict(int)
+        self._observed_reviews = 0
+
+    # ------------------------------------------------------------------
+    # Learning
+
+    def observe(self, trace: PlatformTrace) -> int:
+        """Absorb review outcomes not yet seen; returns how many.
+
+        Idempotent across calls on a growing trace: only events beyond
+        the last observed count are consumed.
+        """
+        reviews = trace.of_kind(ContributionReviewed)
+        fresh = reviews[self._observed_reviews:]
+        for review in fresh:
+            if review.accepted:
+                self._successes[review.worker_id] += 1
+            else:
+                self._failures[review.worker_id] += 1
+        self._observed_reviews = len(reviews)
+        return len(fresh)
+
+    def observe_outcome(self, worker_id: str, accepted: bool) -> None:
+        """Absorb a single outcome directly (for non-trace callers)."""
+        if accepted:
+            self._successes[worker_id] += 1
+        else:
+            self._failures[worker_id] += 1
+
+    def posterior_mean(self, worker_id: str) -> float:
+        """Current point estimate of the worker's reliability."""
+        alpha = self.prior_alpha + self._successes[worker_id]
+        beta = self.prior_beta + self._failures[worker_id]
+        return alpha / (alpha + beta)
+
+    def _sample_reliability(self, worker_id: str, rng: random.Random) -> float:
+        alpha = self.prior_alpha + self._successes[worker_id]
+        beta = self.prior_beta + self._failures[worker_id]
+        return rng.betavariate(alpha, beta)
+
+    # ------------------------------------------------------------------
+    # Assignment
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        if not instance.workers or not instance.tasks:
+            return AssignmentResult(pairs=(), assigner=self.name)
+        samples = {
+            worker.worker_id: self._sample_reliability(worker.worker_id, rng)
+            for worker in instance.workers
+        }
+        workers_by_id = {w.worker_id: w for w in instance.workers}
+        candidates = []
+        for worker in instance.workers:
+            for task in instance.tasks:
+                if not worker.qualifies_for(task):
+                    continue
+                gain = samples[worker.worker_id] * task.reward
+                candidates.append((gain, worker.worker_id, task.task_id))
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        load: dict[str, int] = defaultdict(int)
+        remaining = {t.task_id: instance.need(t.task_id) for t in instance.tasks}
+        taken: set[tuple[str, str]] = set()
+        pairs: list[AssignmentPair] = []
+        for gain, worker_id, task_id in candidates:
+            if gain <= 0.0:
+                continue
+            if load[worker_id] >= instance.capacity:
+                continue
+            if remaining[task_id] <= 0 or (worker_id, task_id) in taken:
+                continue
+            pairs.append(AssignmentPair(worker_id, task_id))
+            taken.add((worker_id, task_id))
+            load[worker_id] += 1
+            remaining[task_id] -= 1
+        total_gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=total_gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,179 @@
+"""Assignment protocol and shared instance/result types.
+
+An assignment *instance* is a set of workers, a set of tasks, and
+per-worker capacities.  An assigner returns worker-task pairs.  Two
+standard value functions are shared by several algorithms:
+
+* :func:`expected_gain` — the requester's expected value of giving the
+  task to this worker: reward-weighted worker reliability (the
+  requester-centric objective of Ho & Vaughan [8]);
+* :func:`worker_value` — the worker's value for the task: the reward,
+  discounted when the worker lacks required skills (they would likely
+  be rejected and unpaid).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+from repro.core.entities import Task, Worker
+from repro.errors import AssignmentError
+
+
+@dataclass(frozen=True)
+class AssignmentPair:
+    """One worker-task allocation."""
+
+    worker_id: str
+    task_id: str
+
+
+@dataclass(frozen=True)
+class AssignmentInstance:
+    """The input to an assigner.
+
+    ``capacity`` bounds how many tasks each worker may receive this
+    round (default 1).  ``tasks_need`` bounds how many distinct workers
+    a task may be given to (redundancy; default 1).
+    """
+
+    workers: tuple[Worker, ...]
+    tasks: tuple[Task, ...]
+    capacity: int = 1
+    tasks_need: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise AssignmentError("worker capacity must be >= 1")
+        worker_ids = [w.worker_id for w in self.workers]
+        if len(set(worker_ids)) != len(worker_ids):
+            raise AssignmentError("duplicate worker ids in instance")
+        task_ids = [t.task_id for t in self.tasks]
+        if len(set(task_ids)) != len(task_ids):
+            raise AssignmentError("duplicate task ids in instance")
+
+    def need(self, task_id: str) -> int:
+        """How many workers the task still needs (>= 1)."""
+        return max(1, int(self.tasks_need.get(task_id, 1)))
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """The output of an assigner: pairs plus simple diagnostics."""
+
+    pairs: tuple[AssignmentPair, ...]
+    assigner: str
+    requester_gain: float = 0.0
+    worker_surplus: float = 0.0
+
+    def by_worker(self) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = {}
+        for pair in self.pairs:
+            grouped.setdefault(pair.worker_id, []).append(pair.task_id)
+        return grouped
+
+    def by_task(self) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = {}
+        for pair in self.pairs:
+            grouped.setdefault(pair.task_id, []).append(pair.worker_id)
+        return grouped
+
+    def task_count(self, worker_id: str) -> int:
+        return sum(1 for pair in self.pairs if pair.worker_id == worker_id)
+
+
+class Assigner(Protocol):
+    """Maps an assignment instance to an assignment result."""
+
+    name: str
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult: ...
+
+
+def reliability(worker: Worker) -> float:
+    """A worker's estimated reliability from published ``C_w``.
+
+    Uses ``mean_quality`` when available, else ``acceptance_ratio``,
+    else an optimistic prior of 1.0 (new workers get the benefit of the
+    doubt, as platforms do).
+    """
+    quality = worker.computed.get("mean_quality")
+    if isinstance(quality, (int, float)) and not isinstance(quality, bool):
+        return max(0.0, min(1.0, float(quality)))
+    ratio = worker.computed.get("acceptance_ratio")
+    if isinstance(ratio, (int, float)) and not isinstance(ratio, bool):
+        return max(0.0, min(1.0, float(ratio)))
+    return 1.0
+
+
+def expected_gain(worker: Worker, task: Task) -> float:
+    """Requester's expected gain: reliability x reward, zero when the
+    worker is unqualified (their work would be unusable)."""
+    if not worker.qualifies_for(task):
+        return 0.0
+    return reliability(worker) * task.reward
+
+
+def worker_value(worker: Worker, task: Task) -> float:
+    """Worker's value for the task: the reward, discounted by the risk
+    of rejection when unqualified."""
+    if worker.qualifies_for(task):
+        return task.reward
+    return 0.25 * task.reward
+
+
+def validate_result(
+    instance: AssignmentInstance, result: AssignmentResult
+) -> None:
+    """Check structural feasibility of a result against its instance.
+
+    Raises :class:`AssignmentError` on capacity violations, unknown
+    ids, over-assignment of a task, or duplicate pairs.
+    """
+    worker_ids = {w.worker_id for w in instance.workers}
+    task_ids = {t.task_id for t in instance.tasks}
+    seen: set[tuple[str, str]] = set()
+    per_worker: dict[str, int] = {}
+    per_task: dict[str, int] = {}
+    for pair in result.pairs:
+        if pair.worker_id not in worker_ids:
+            raise AssignmentError(f"unknown worker in result: {pair.worker_id}")
+        if pair.task_id not in task_ids:
+            raise AssignmentError(f"unknown task in result: {pair.task_id}")
+        key = (pair.worker_id, pair.task_id)
+        if key in seen:
+            raise AssignmentError(f"duplicate pair in result: {key}")
+        seen.add(key)
+        per_worker[pair.worker_id] = per_worker.get(pair.worker_id, 0) + 1
+        per_task[pair.task_id] = per_task.get(pair.task_id, 0) + 1
+    for worker_id, count in per_worker.items():
+        if count > instance.capacity:
+            raise AssignmentError(
+                f"worker {worker_id} got {count} tasks, capacity "
+                f"{instance.capacity}"
+            )
+    for task_id, count in per_task.items():
+        if count > instance.need(task_id):
+            raise AssignmentError(
+                f"task {task_id} assigned to {count} workers, needs at most "
+                f"{instance.need(task_id)}"
+            )
+
+
+def result_totals(
+    instance: AssignmentInstance, pairs: Sequence[AssignmentPair]
+) -> tuple[float, float]:
+    """(requester_gain, worker_surplus) totals for a pair set."""
+    workers = {w.worker_id: w for w in instance.workers}
+    tasks = {t.task_id: t for t in instance.tasks}
+    gain = sum(
+        expected_gain(workers[p.worker_id], tasks[p.task_id]) for p in pairs
+    )
+    surplus = sum(
+        worker_value(workers[p.worker_id], tasks[p.task_id]) for p in pairs
+    )
+    return gain, surplus

@@ -1,0 +1,87 @@
+"""Budget-optimal redundant allocation (Karger-Oh-Shah inspired [11]).
+
+KOS show that under a total budget, reliability is best bought by
+assigning each task to a *redundant* set of workers sized to the target
+confidence, spreading load evenly (their random regular bipartite
+graphs).  We implement the allocation side: given a per-task budget in
+worker-slots, build an (approximately) regular random bipartite
+assignment — each task gets ``redundancy`` distinct workers, and worker
+loads stay within one of each other.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    result_totals,
+)
+from repro.errors import AssignmentError
+
+
+def redundancy_for_reliability(
+    worker_accuracy: float, target_error: float
+) -> int:
+    """Number of redundant answers for majority vote to reach the target.
+
+    Chernoff-style bound: with i.i.d. workers of accuracy ``p > 0.5``,
+    majority error after ``k`` answers is at most
+    ``exp(-2 k (p - 1/2)^2)``; solve for the smallest odd ``k``.
+    """
+    if not 0.5 < worker_accuracy <= 1.0:
+        raise AssignmentError(
+            f"majority voting needs accuracy in (0.5, 1], got {worker_accuracy}"
+        )
+    if not 0.0 < target_error < 1.0:
+        raise AssignmentError(f"target error must be in (0, 1), got {target_error}")
+    margin = worker_accuracy - 0.5
+    k = math.log(1.0 / target_error) / (2.0 * margin * margin)
+    k_int = max(1, math.ceil(k))
+    return k_int if k_int % 2 == 1 else k_int + 1
+
+
+class BudgetOptimalAssigner:
+    """Regular random redundant assignment under a slot budget."""
+
+    name = "budget_optimal"
+
+    def __init__(self, redundancy: int = 3) -> None:
+        if redundancy < 1:
+            raise AssignmentError("redundancy must be >= 1")
+        self.redundancy = redundancy
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        if not instance.workers:
+            return AssignmentResult(pairs=(), assigner=self.name)
+        load: dict[str, int] = {w.worker_id: 0 for w in instance.workers}
+        pairs: list[AssignmentPair] = []
+        for task in instance.tasks:
+            # The configured redundancy is the KOS budget per task, but
+            # the instance's per-task need is a hard cap (an instance
+            # that says a task needs one worker gets exactly one).
+            want = min(
+                self.redundancy, instance.need(task.task_id),
+                len(instance.workers),
+            )
+            # Pick the least-loaded workers with spare capacity, with a
+            # random shuffle as tie-break -> approximately regular graph.
+            eligible = [
+                w for w in instance.workers
+                if load[w.worker_id] < instance.capacity
+            ]
+            rng.shuffle(eligible)
+            eligible.sort(key=lambda w: load[w.worker_id])
+            for worker in eligible[:want]:
+                pairs.append(AssignmentPair(worker.worker_id, task.task_id))
+                load[worker.worker_id] += 1
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,172 @@
+"""Fairness-by-design assigners.
+
+Two constructions that enforce Axiom-1-style parity at assignment time
+rather than auditing it post hoc (the design-vs-audit ablation of
+DESIGN.md):
+
+* :class:`FairnessConstrainedAssigner` — group-parity constrained
+  greedy: while maximizing requester gain, never let one demographic
+  group's served rate exceed the least-served group's rate by more than
+  ``epsilon``.
+* :class:`EpsilonFairAssigner` — a smooth interpolation between pure
+  requester-centric (``epsilon = 0``) and pure egalitarian
+  (``epsilon = 1``) allocation; sweeping ``epsilon`` traces the E7
+  utility/fairness frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    expected_gain,
+    result_totals,
+)
+from repro.errors import AssignmentError
+
+
+class FairnessConstrainedAssigner:
+    """Gain-greedy assignment under a group served-rate parity constraint.
+
+    Workers are partitioned by the declared attribute ``group_attribute``
+    (workers missing it form their own group).  A group's *served rate*
+    is assigned-slots / (group size x capacity).  At every step the
+    assigner only considers workers from groups whose served rate is
+    within ``epsilon`` of the minimum, picking the highest-gain pair
+    among them; when no such pair exists it relaxes to all groups so
+    work is never wasted.
+    """
+
+    def __init__(self, group_attribute: str, epsilon: float = 0.1) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise AssignmentError("epsilon must be in [0, 1]")
+        self.group_attribute = group_attribute
+        self.epsilon = epsilon
+        self.name = f"fairness_constrained(eps={epsilon:g})"
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        if not instance.workers:
+            return AssignmentResult(pairs=(), assigner=self.name)
+        group_of = {
+            w.worker_id: str(w.declared.get(self.group_attribute, "<none>"))
+            for w in instance.workers
+        }
+        group_size: dict[str, int] = defaultdict(int)
+        for wid, group in group_of.items():
+            group_size[group] += 1
+        served: dict[str, int] = defaultdict(int)  # slots per group
+        load: dict[str, int] = {w.worker_id: 0 for w in instance.workers}
+        remaining = {t.task_id: instance.need(t.task_id) for t in instance.tasks}
+        tasks_by_id = {t.task_id: t for t in instance.tasks}
+        workers_by_id = {w.worker_id: w for w in instance.workers}
+        taken: set[tuple[str, str]] = set()
+        pairs: list[AssignmentPair] = []
+
+        def rate(group: str) -> float:
+            return served[group] / (group_size[group] * instance.capacity)
+
+        def candidates(allowed_groups: set[str]) -> list[tuple[float, str, str]]:
+            found = []
+            for wid, worker in workers_by_id.items():
+                if load[wid] >= instance.capacity:
+                    continue
+                if group_of[wid] not in allowed_groups:
+                    continue
+                for tid, need in remaining.items():
+                    if need <= 0 or (wid, tid) in taken:
+                        continue
+                    gain = expected_gain(worker, tasks_by_id[tid])
+                    if gain > 0.0:
+                        found.append((gain, wid, tid))
+            return found
+
+        while True:
+            min_rate = min(rate(g) for g in group_size)
+            lagging = {g for g in group_size if rate(g) <= min_rate + self.epsilon}
+            pool = candidates(lagging)
+            if not pool:
+                pool = candidates(set(group_size))
+            if not pool:
+                break
+            gain, wid, tid = max(pool, key=lambda c: (c[0], c[1], c[2]))
+            pairs.append(AssignmentPair(wid, tid))
+            taken.add((wid, tid))
+            load[wid] += 1
+            served[group_of[wid]] += 1
+            remaining[tid] -= 1
+        total_gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=total_gain, worker_surplus=surplus,
+        )
+
+
+class EpsilonFairAssigner:
+    """Interpolates requester-centric and egalitarian allocation.
+
+    Each slot is given to the worker maximizing
+    ``(1 - epsilon) * normalized_gain - epsilon * normalized_load``:
+    at ``epsilon = 0`` this is greedy gain maximization, at
+    ``epsilon = 1`` it is least-loaded-first (task-count egalitarian).
+    """
+
+    def __init__(self, epsilon: float = 0.5) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise AssignmentError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.name = f"epsilon_fair(eps={epsilon:g})"
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        if not instance.workers:
+            return AssignmentResult(pairs=(), assigner=self.name)
+        tasks_by_id = {t.task_id: t for t in instance.tasks}
+        max_gain = max(
+            (
+                expected_gain(w, t)
+                for w in instance.workers
+                for t in instance.tasks
+            ),
+            default=0.0,
+        )
+        load: dict[str, int] = {w.worker_id: 0 for w in instance.workers}
+        remaining = {t.task_id: instance.need(t.task_id) for t in instance.tasks}
+        taken: set[tuple[str, str]] = set()
+        pairs: list[AssignmentPair] = []
+        while True:
+            best: tuple[float, str, str] | None = None
+            for worker in instance.workers:
+                wid = worker.worker_id
+                if load[wid] >= instance.capacity:
+                    continue
+                for tid, need in remaining.items():
+                    if need <= 0 or (wid, tid) in taken:
+                        continue
+                    gain = expected_gain(worker, tasks_by_id[tid])
+                    if gain <= 0.0 and self.epsilon == 0.0:
+                        continue
+                    norm_gain = gain / max_gain if max_gain > 0 else 0.0
+                    norm_load = load[wid] / instance.capacity
+                    score = (1.0 - self.epsilon) * norm_gain - self.epsilon * norm_load
+                    key = (score, wid, tid)
+                    if best is None or key > best:
+                        best = key
+            if best is None:
+                break
+            _, wid, tid = best
+            pairs.append(AssignmentPair(wid, tid))
+            taken.add((wid, tid))
+            load[wid] += 1
+            remaining[tid] -= 1
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

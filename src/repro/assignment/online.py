@@ -1,0 +1,63 @@
+"""Online greedy assignment: tasks arrive one at a time [8].
+
+Ho & Vaughan's online setting: when a task arrives, it must be assigned
+immediately using only current knowledge.  The greedy rule gives each
+arriving task to the best available (highest expected gain) worker.
+Because it cannot rebalance later, early arrivals capture the best
+workers — a distinct discrimination mechanism from the offline greedy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    expected_gain,
+    result_totals,
+)
+
+
+class OnlineGreedyAssigner:
+    """Tasks processed in (shuffled) arrival order; each takes the
+    current best worker with spare capacity."""
+
+    name = "online_greedy"
+
+    def __init__(self, shuffle_arrivals: bool = True) -> None:
+        self.shuffle_arrivals = shuffle_arrivals
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        arrivals = list(instance.tasks)
+        if self.shuffle_arrivals:
+            rng.shuffle(arrivals)
+        load: dict[str, int] = {w.worker_id: 0 for w in instance.workers}
+        pairs: list[AssignmentPair] = []
+        for task in arrivals:
+            for _ in range(instance.need(task.task_id)):
+                already = {
+                    p.worker_id for p in pairs if p.task_id == task.task_id
+                }
+                candidates = [
+                    w for w in instance.workers
+                    if load[w.worker_id] < instance.capacity
+                    and w.worker_id not in already
+                    and expected_gain(w, task) > 0.0
+                ]
+                if not candidates:
+                    break
+                best = max(
+                    candidates,
+                    key=lambda w: (expected_gain(w, task), w.worker_id),
+                )
+                pairs.append(AssignmentPair(best.worker_id, task.task_id))
+                load[best.worker_id] += 1
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,60 @@
+"""Requester-centric greedy assignment (Ho & Vaughan style [8]).
+
+Maximizes total requester gain: repeatedly give the next task slot to
+the highest-reliability qualified worker.  The paper's Section 3.1.1
+names this family as potentially discriminatory to workers: high-
+reliability workers hoard the well-paid tasks while equally *qualified*
+but lower-scored workers get nothing — exactly what E1 measures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    expected_gain,
+    result_totals,
+)
+
+
+class RequesterCentricAssigner:
+    """Greedy gain maximization over (worker, task) pairs."""
+
+    name = "requester_centric"
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        # All candidate pairs with positive gain, best first.  Ties
+        # break deterministically on ids so runs are reproducible.
+        candidates = [
+            (expected_gain(worker, task), worker.worker_id, task.task_id)
+            for worker in instance.workers
+            for task in instance.tasks
+            if expected_gain(worker, task) > 0.0
+        ]
+        candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+        load: dict[str, int] = {}
+        remaining = {task.task_id: instance.need(task.task_id)
+                     for task in instance.tasks}
+        pairs: list[AssignmentPair] = []
+        taken: set[tuple[str, str]] = set()
+        for _, worker_id, task_id in candidates:
+            if load.get(worker_id, 0) >= instance.capacity:
+                continue
+            if remaining[task_id] <= 0:
+                continue
+            if (worker_id, task_id) in taken:
+                continue
+            pairs.append(AssignmentPair(worker_id, task_id))
+            taken.add((worker_id, task_id))
+            load[worker_id] = load.get(worker_id, 0) + 1
+            remaining[task_id] -= 1
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,56 @@
+"""Round-robin assignment: tasks dealt to workers like cards.
+
+The equal-share baseline: perfectly fair in task *count* regardless of
+attributes, oblivious to skill or preference.  Useful as the fairness
+upper bound in E1 (and the utility lower bound in E7).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    result_totals,
+)
+
+
+class RoundRobinAssigner:
+    """Deal task slots to workers cyclically in shuffled order."""
+
+    name = "round_robin"
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        if not instance.workers:
+            return AssignmentResult(pairs=(), assigner=self.name)
+        # Expand tasks into slots (one per needed worker).
+        slots: list[str] = []
+        for task in instance.tasks:
+            slots.extend([task.task_id] * instance.need(task.task_id))
+        order = list(instance.workers)
+        rng.shuffle(order)
+        load: dict[str, int] = {w.worker_id: 0 for w in order}
+        assigned_to: dict[str, set[str]] = {w.worker_id: set() for w in order}
+        pairs: list[AssignmentPair] = []
+        cursor = 0
+        for task_id in slots:
+            # Find the next worker with spare capacity who does not
+            # already hold this task.
+            for offset in range(len(order)):
+                worker = order[(cursor + offset) % len(order)]
+                wid = worker.worker_id
+                if load[wid] < instance.capacity and task_id not in assigned_to[wid]:
+                    pairs.append(AssignmentPair(wid, task_id))
+                    load[wid] += 1
+                    assigned_to[wid].add(task_id)
+                    cursor = (cursor + offset + 1) % len(order)
+                    break
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

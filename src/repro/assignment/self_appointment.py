@@ -1,0 +1,61 @@
+"""Self-appointment: workers choose the tasks they like.
+
+This is the AMT/CrowdFlower model the paper describes as fair "because
+workers have access to the same set of tasks".  Each worker picks up to
+``capacity`` tasks from those still needing workers, preferring higher
+personal value; worker order is shuffled so no worker has structural
+priority.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    result_totals,
+    worker_value,
+)
+
+
+class SelfAppointmentAssigner:
+    """Workers self-select tasks in random arrival order."""
+
+    name = "self_appointment"
+
+    def __init__(self, pick_probability: float = 1.0) -> None:
+        """``pick_probability`` models workers who browse without
+        committing; 1.0 means every worker takes their best options."""
+        if not 0.0 <= pick_probability <= 1.0:
+            raise ValueError("pick_probability must be in [0, 1]")
+        self.pick_probability = pick_probability
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        remaining = {task.task_id: instance.need(task.task_id)
+                     for task in instance.tasks}
+        tasks_by_id = {task.task_id: task for task in instance.tasks}
+        order = list(instance.workers)
+        rng.shuffle(order)
+        pairs: list[AssignmentPair] = []
+        for worker in order:
+            if rng.random() >= self.pick_probability and self.pick_probability < 1.0:
+                continue
+            # The worker ranks open tasks by personal value and takes
+            # the best ones still available.
+            open_ids = [tid for tid, need in remaining.items() if need > 0]
+            ranked = sorted(
+                open_ids,
+                key=lambda tid: (-worker_value(worker, tasks_by_id[tid]), tid),
+            )
+            for task_id in ranked[: instance.capacity]:
+                pairs.append(AssignmentPair(worker.worker_id, task_id))
+                remaining[task_id] -= 1
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,72 @@
+"""Worker-centric assignment: allocate by workers' preferences.
+
+The paper's counterpoint to requester-centric allocation: "a
+worker-centric assignment that allocates tasks based on workers'
+preferences is more likely to be fair to workers, by favoring their
+expected compensation, but may be unfavorable to requesters."
+
+Workers are served in order of how little they have received so far
+(least-served first), and each is given the available task of highest
+personal value.  This maximizes worker surplus subject to an egalitarian
+serving order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment.base import (
+    AssignmentInstance,
+    AssignmentPair,
+    AssignmentResult,
+    result_totals,
+    worker_value,
+)
+
+
+class WorkerCentricAssigner:
+    """Egalitarian, preference-respecting allocation."""
+
+    name = "worker_centric"
+
+    def assign(
+        self, instance: AssignmentInstance, rng: random.Random
+    ) -> AssignmentResult:
+        tasks_by_id = {task.task_id: task for task in instance.tasks}
+        remaining = {task.task_id: instance.need(task.task_id)
+                     for task in instance.tasks}
+        served: dict[str, int] = {w.worker_id: 0 for w in instance.workers}
+        taken: set[tuple[str, str]] = set()
+        pairs: list[AssignmentPair] = []
+        # Shuffle once for tie-breaking among equally served workers.
+        order = list(instance.workers)
+        rng.shuffle(order)
+        progressed = True
+        while progressed:
+            progressed = False
+            # Least-served workers first each pass.
+            for worker in sorted(order, key=lambda w: served[w.worker_id]):
+                if served[worker.worker_id] >= instance.capacity:
+                    continue
+                open_ids = [
+                    tid for tid, need in remaining.items()
+                    if need > 0 and (worker.worker_id, tid) not in taken
+                ]
+                if not open_ids:
+                    continue
+                best = max(
+                    open_ids,
+                    key=lambda tid: (worker_value(worker, tasks_by_id[tid]), tid),
+                )
+                if worker_value(worker, tasks_by_id[best]) <= 0.0:
+                    continue
+                pairs.append(AssignmentPair(worker.worker_id, best))
+                taken.add((worker.worker_id, best))
+                served[worker.worker_id] += 1
+                remaining[best] -= 1
+                progressed = True
+        gain, surplus = result_totals(instance, pairs)
+        return AssignmentResult(
+            pairs=tuple(pairs), assigner=self.name,
+            requester_gain=gain, worker_surplus=surplus,
+        )

@@ -1,0 +1,104 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro                # run everything at default scale
+    python -m repro E2 E4          # run selected experiments
+    python -m repro E1 --seed 42   # with a different seed
+    python -m repro --list         # show the experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+_DESCRIPTIONS: dict[str, str] = {
+    "E1": "discriminatory power of task-assignment algorithms",
+    "E2": "worker retention vs transparency level",
+    "E3": "contribution quality vs compensation fairness",
+    "E4": "per-axiom fairness-check benchmark suite",
+    "E5": "malicious-worker detection across spam regimes",
+    "E6": "transparency-DSL expressiveness and comparison",
+    "E7": "cost of fairness: utility vs parity frontier",
+    "E8": "ablation: similarity-threshold sensitivity of Axiom 1",
+    "E9": "ablation: redundancy and aggregation (budget-optimal premise)",
+    "E10": "statistical power of the Axiom 1 checker vs bias intensity",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction experiments for 'Fairness and Transparency in "
+            "Crowdsourcing' (EDBT 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment ids to run (default: all of E1..E7)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment seed",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits one object per experiment)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list experiments and exit",
+    )
+    return parser
+
+
+def _result_to_json(result) -> dict:
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": [
+            {
+                "title": table.title,
+                "columns": list(table.columns),
+                "rows": table.rows_as_dicts(),
+            }
+            for table in result.tables
+        ],
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_experiments:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(f"{experiment_id}: {_DESCRIPTIONS.get(experiment_id, '')}")
+        return 0
+    wanted = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    if set(wanted) == set(EXPERIMENTS):
+        results = run_all(**kwargs)
+    else:
+        results = [run_experiment(e, **kwargs) for e in wanted]
+    if args.format == "json":
+        import json
+
+        print(json.dumps([_result_to_json(r) for r in results], indent=2))
+        return 0
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Worker compensation strategies.
+
+The paper's Section 4.2 agenda includes reviewing "strategies for worker
+compensation ... to assess their discriminatory power".  This package
+implements the catalogue:
+
+* :class:`FixedRewardScheme` — pay the posted reward iff accepted (the
+  AMT default);
+* :class:`QualityBasedScheme` — pay scales with contribution quality
+  (Wang, Ipeirotis & Provost [21]);
+* :class:`HourlyFloorScheme` — guarantee a minimum wage per work tick
+  (Bederson & Quinn's fair-wage position [2]);
+* :class:`PartialCreditScheme` — rejected work still earns a fraction
+  (cushions wrongful rejection);
+* adversarial schemes in :mod:`repro.compensation.discriminatory` that
+  inject the Section 3.1.1 compensation abuses for axiom testing.
+"""
+
+from repro.compensation.base import CompensationScheme, describe_scheme
+from repro.compensation.bonus import BonusPolicy, RenegingBonusPolicy, SteadfastBonusPolicy
+from repro.compensation.discriminatory import (
+    AttributeBiasedScheme,
+    DelayedPaymentScheme,
+    WageTheftScheme,
+)
+from repro.compensation.fixed import FixedRewardScheme, PartialCreditScheme
+from repro.compensation.hourly import HourlyFloorScheme
+from repro.compensation.quality_based import QualityBasedScheme
+
+__all__ = [
+    "AttributeBiasedScheme",
+    "BonusPolicy",
+    "CompensationScheme",
+    "DelayedPaymentScheme",
+    "FixedRewardScheme",
+    "HourlyFloorScheme",
+    "PartialCreditScheme",
+    "QualityBasedScheme",
+    "RenegingBonusPolicy",
+    "SteadfastBonusPolicy",
+    "WageTheftScheme",
+    "describe_scheme",
+]

@@ -1,0 +1,32 @@
+"""Compensation scheme protocol.
+
+A scheme prices one reviewed contribution.  Schemes are pure functions
+of (task, contribution, accepted) — statelessness keeps Axiom 3's
+"similar contributions, same reward" property checkable: any two calls
+with similar inputs must yield similar outputs unless the scheme is
+deliberately discriminatory.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.entities import Contribution, Task
+
+
+class CompensationScheme(Protocol):
+    """Prices a reviewed contribution (compatible with
+    :class:`repro.platform.market.PricingScheme`)."""
+
+    name: str
+
+    def price(
+        self, task: Task, contribution: Contribution, accepted: bool
+    ) -> float: ...
+
+
+def describe_scheme(scheme: CompensationScheme) -> str:
+    """One-line human-readable description (used in disclosures)."""
+    doc = (type(scheme).__doc__ or "").strip().splitlines()
+    summary = doc[0] if doc else "compensation scheme"
+    return f"{scheme.name}: {summary}"

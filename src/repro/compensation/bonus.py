@@ -1,0 +1,81 @@
+"""Bonus policies: promising and (not) paying bonuses.
+
+Section 3.1.1: "a requester promises to provide a bonus when a worker
+completes a series of tasks but does not do so in the end."  A bonus
+policy decides, per worker, whether to promise a streak bonus and
+whether to honour it; the reneging variant is the injection used by the
+Axiom 3 bonus check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import CompensationError
+
+
+class BonusPolicy(Protocol):
+    """Decides bonus promises and whether they are honoured."""
+
+    name: str
+
+    def promise_amount(self, completed_tasks: int) -> float | None:
+        """Bonus to promise after ``completed_tasks`` completions
+        (None = no promise at this point)."""
+        ...
+
+    def honours_promise(self, rng: random.Random) -> bool:
+        """Whether a due promise is actually paid."""
+        ...
+
+
+@dataclass(frozen=True)
+class SteadfastBonusPolicy:
+    """Promises a bonus every ``streak`` completions and always pays."""
+
+    streak: int = 5
+    amount: float = 0.5
+    name: str = "steadfast_bonus"
+
+    def __post_init__(self) -> None:
+        if self.streak < 1:
+            raise CompensationError("streak must be >= 1")
+        if self.amount <= 0:
+            raise CompensationError("bonus amount must be positive")
+
+    def promise_amount(self, completed_tasks: int) -> float | None:
+        if completed_tasks > 0 and completed_tasks % self.streak == 0:
+            return self.amount
+        return None
+
+    def honours_promise(self, rng: random.Random) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RenegingBonusPolicy:
+    """Promises like the steadfast policy but pays each due bonus only
+    with probability ``honour_probability`` — the reneging abuse."""
+
+    streak: int = 5
+    amount: float = 0.5
+    honour_probability: float = 0.3
+    name: str = "reneging_bonus"
+
+    def __post_init__(self) -> None:
+        if self.streak < 1:
+            raise CompensationError("streak must be >= 1")
+        if self.amount <= 0:
+            raise CompensationError("bonus amount must be positive")
+        if not 0.0 <= self.honour_probability <= 1.0:
+            raise CompensationError("honour_probability must be in [0, 1]")
+
+    def promise_amount(self, completed_tasks: int) -> float | None:
+        if completed_tasks > 0 and completed_tasks % self.streak == 0:
+            return self.amount
+        return None
+
+    def honours_promise(self, rng: random.Random) -> bool:
+        return rng.random() < self.honour_probability

@@ -1,0 +1,85 @@
+"""Adversarial compensation schemes — the Section 3.1.1 abuses.
+
+These schemes exist so experiments can *inject* compensation
+discrimination and verify the Axiom 3 checker catches it.  They are the
+negative controls of the E3/E4 benchmarks, not recommendations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.entities import Contribution, Task
+from repro.errors import CompensationError
+
+
+@dataclass(frozen=True)
+class AttributeBiasedScheme:
+    """Pays workers in ``underpaid_workers`` only ``bias_fraction`` of
+    what the base amount would be — same contribution, smaller reward,
+    a direct Axiom 3 violation (e.g. the collaborative-task scenario
+    where one contributor earns less for equal work).
+
+    The worker set is resolved by id because schemes price from the
+    contribution alone; callers build the set from declared attributes.
+    """
+
+    underpaid_workers: frozenset[str]
+    bias_fraction: float = 0.5
+    name: str = "attribute_biased"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bias_fraction <= 1.0:
+            raise CompensationError("bias_fraction must be in [0, 1]")
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        base = task.reward if accepted else 0.0
+        if contribution.worker_id in self.underpaid_workers:
+            return base * self.bias_fraction
+        return base
+
+
+@dataclass
+class WageTheftScheme:
+    """Randomly refuses to pay for accepted work with probability
+    ``theft_probability`` — the 'requester rejects valid work and does
+    not pay' abuse, moved to the payment step."""
+
+    theft_probability: float = 0.3
+    seed: int = 0
+    name: str = "wage_theft"
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theft_probability <= 1.0:
+            raise CompensationError("theft_probability must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        if not accepted:
+            return 0.0
+        if self._rng.random() < self.theft_probability:
+            return 0.0
+        return task.reward
+
+
+@dataclass(frozen=True)
+class DelayedPaymentScheme:
+    """Pays in full but flags a contractual delay of ``delay_ticks``.
+
+    The amount is unchanged; the *delay* is the discrimination ("delayed
+    payment" in [2, 17]).  The platform reads ``delay_ticks`` to
+    schedule the PaymentIssued event late, which the Axiom 6 checker
+    compares against the requester's declared payment delay.
+    """
+
+    delay_ticks: int = 50
+    name: str = "delayed_payment"
+
+    def __post_init__(self) -> None:
+        if self.delay_ticks < 0:
+            raise CompensationError("delay_ticks must be non-negative")
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        return task.reward if accepted else 0.0

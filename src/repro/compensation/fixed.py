@@ -1,0 +1,43 @@
+"""Fixed-reward and partial-credit pricing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import Contribution, Task
+from repro.errors import CompensationError
+
+
+@dataclass(frozen=True)
+class FixedRewardScheme:
+    """Pay the posted reward iff the contribution was accepted.
+
+    The AMT default.  Fair under Axiom 3 between similar contributions
+    *provided review itself is fair* — an unfair review policy turns
+    this scheme into wage theft downstream, which is exactly the
+    inter-process dependency the paper highlights.
+    """
+
+    name: str = "fixed_reward"
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        return task.reward if accepted else 0.0
+
+
+@dataclass(frozen=True)
+class PartialCreditScheme:
+    """Accepted work earns the full reward; rejected work still earns
+    ``rejected_fraction`` of it — cushioning wrongful rejection (the
+    McInnis et al. [17] 'taking a hit' mitigation)."""
+
+    rejected_fraction: float = 0.25
+    name: str = "partial_credit"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rejected_fraction <= 1.0:
+            raise CompensationError("rejected_fraction must be in [0, 1]")
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        if accepted:
+            return task.reward
+        return task.reward * self.rejected_fraction

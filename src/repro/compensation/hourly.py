@@ -1,0 +1,34 @@
+"""Hourly-floor pricing: a minimum wage per tick of work.
+
+Bederson & Quinn [2] and the Turkopticon/Crowd-Workers tooling [3, 9]
+revolve around effective hourly wage.  This scheme tops accepted work
+up to ``floor_per_tick x work_time`` so slow tasks cannot silently pay
+below a living rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import Contribution, Task
+from repro.errors import CompensationError
+
+
+@dataclass(frozen=True)
+class HourlyFloorScheme:
+    """Accepted pay = max(task reward, floor x work_time)."""
+
+    floor_per_tick: float = 0.05
+    pay_rejected: bool = False
+    name: str = "hourly_floor"
+
+    def __post_init__(self) -> None:
+        if self.floor_per_tick < 0:
+            raise CompensationError("floor_per_tick must be non-negative")
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        work_time = contribution.work_time if contribution.work_time else task.duration
+        floor = self.floor_per_tick * work_time
+        if accepted:
+            return max(task.reward, floor)
+        return floor if self.pay_rejected else 0.0

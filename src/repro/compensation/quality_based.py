@@ -1,0 +1,56 @@
+"""Quality-based pricing (Wang, Ipeirotis & Provost [21]).
+
+"A quality-based reward scheme provides compensation that depends on
+the quality of a worker's contribution."  Pay interpolates between a
+floor and the full reward as quality rises above a minimum bar; below
+the bar (or when quality is unmeasurable and the work rejected) pay is
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import Contribution, Task
+from repro.errors import CompensationError
+
+
+@dataclass(frozen=True)
+class QualityBasedScheme:
+    """Linear quality-to-pay mapping above a quality bar.
+
+    * quality >= ``full_quality``      -> full reward
+    * quality <= ``minimum_quality``   -> ``floor_fraction`` x reward if
+      accepted, else 0
+    * in between                       -> linear interpolation
+    """
+
+    minimum_quality: float = 0.3
+    full_quality: float = 0.9
+    floor_fraction: float = 0.2
+    name: str = "quality_based"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.minimum_quality < self.full_quality <= 1.0:
+            raise CompensationError(
+                "need 0 <= minimum_quality < full_quality <= 1, got "
+                f"{self.minimum_quality} and {self.full_quality}"
+            )
+        if not 0.0 <= self.floor_fraction <= 1.0:
+            raise CompensationError("floor_fraction must be in [0, 1]")
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        if not accepted:
+            return 0.0
+        quality = contribution.quality
+        if quality is None:
+            return task.reward  # unmeasurable quality: pay in full
+        if quality >= self.full_quality:
+            return task.reward
+        if quality <= self.minimum_quality:
+            return task.reward * self.floor_fraction
+        span = self.full_quality - self.minimum_quality
+        fraction = self.floor_fraction + (1.0 - self.floor_fraction) * (
+            (quality - self.minimum_quality) / span
+        )
+        return task.reward * fraction

@@ -1,0 +1,49 @@
+"""Core data model, event trace, and fairness-axiom framework.
+
+This package implements the paper's primary contribution:
+
+* the Section 3.2 data model — tasks ``(id_t, id_r, S_t, d_t)`` and
+  workers ``(id_w, A_w, C_w, S_w)`` over a shared skill vocabulary
+  (:mod:`repro.core.entities`, :mod:`repro.core.attributes`);
+* an append-only platform event trace, the auditable substrate
+  (:mod:`repro.core.events`, :mod:`repro.core.trace`);
+* Axioms 1-7 as executable checkers producing violations with witnesses
+  (:mod:`repro.core.axioms` and the ``axiom_*`` modules);
+* the audit engine that scores a platform trace against every axiom
+  (:mod:`repro.core.audit`).
+"""
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.audit import AuditEngine, AuditReport, AxiomResult
+from repro.core.axioms import Axiom, AxiomCheck, AxiomRegistry, default_registry
+from repro.core.entities import (
+    Contribution,
+    Requester,
+    SkillVector,
+    SkillVocabulary,
+    Task,
+    Worker,
+)
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+
+__all__ = [
+    "Axiom",
+    "AxiomCheck",
+    "AxiomRegistry",
+    "AuditEngine",
+    "AuditReport",
+    "AxiomResult",
+    "ComputedAttributes",
+    "Contribution",
+    "DeclaredAttributes",
+    "PlatformTrace",
+    "Requester",
+    "SkillVector",
+    "SkillVocabulary",
+    "Task",
+    "Violation",
+    "ViolationSeverity",
+    "Worker",
+    "default_registry",
+]

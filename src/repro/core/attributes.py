@@ -1,0 +1,181 @@
+"""Declared and computed worker attributes (``A_w`` and ``C_w``).
+
+The paper distinguishes *self-declared* attributes (demographics,
+location) from *platform-computed* attributes (acceptance ratio,
+performance).  Axiom 1 requires that workers with similar attributes of
+both kinds see the same tasks, and Section 3.3.1 stresses that the
+*derivation* of computed attributes must itself be fair — so computed
+attributes here carry their derivation inputs, letting the audit engine
+re-derive and verify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import EntityError
+
+#: Attribute values are restricted to simple scalars so similarity is
+#: well-defined and policies can render them.
+AttributeValue = str | int | float | bool
+
+
+def _check_values(values: Mapping[str, AttributeValue], label: str) -> None:
+    for key, value in values.items():
+        if not isinstance(key, str) or not key:
+            raise EntityError(f"{label}: attribute names must be non-empty strings")
+        if not isinstance(value, (str, int, float, bool)):
+            raise EntityError(
+                f"{label}: attribute {key!r} has unsupported type {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class DeclaredAttributes:
+    """Self-declared worker attributes ``A_w`` (demographics, location)."""
+
+    values: Mapping[str, AttributeValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_values(self.values, "declared attributes")
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __getitem__(self, key: str) -> AttributeValue:
+        return self.values[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, key: str, default: AttributeValue | None = None):
+        return self.values.get(key, default)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self.values.keys())
+
+    def as_dict(self) -> dict[str, AttributeValue]:
+        return dict(self.values)
+
+
+@dataclass(frozen=True)
+class ComputedAttributes:
+    """Platform-computed worker attributes ``C_w``.
+
+    Standard attributes every platform derives:
+
+    * ``acceptance_ratio`` — accepted / reviewed contributions;
+    * ``tasks_completed`` — number of submitted contributions;
+    * ``mean_quality`` — average contribution quality when measurable.
+
+    ``derivation`` records the raw counters the attributes were derived
+    from (e.g. ``{"accepted": 8, "reviewed": 10}``) so the audit engine
+    can verify the derivation (paper Section 3.3.1: an algorithm that
+    checks worker fairness "must check the fairness of deriving computed
+    attributes").
+    """
+
+    values: Mapping[str, AttributeValue] = field(default_factory=dict)
+    derivation: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_values(self.values, "computed attributes")
+        object.__setattr__(self, "values", dict(self.values))
+        object.__setattr__(self, "derivation", dict(self.derivation))
+
+    def __getitem__(self, key: str) -> AttributeValue:
+        return self.values[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, key: str, default: AttributeValue | None = None):
+        return self.values.get(key, default)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self.values.keys())
+
+    def as_dict(self) -> dict[str, AttributeValue]:
+        return dict(self.values)
+
+    @classmethod
+    def from_history(
+        cls,
+        accepted: int,
+        reviewed: int,
+        submitted: int,
+        quality_sum: float = 0.0,
+        quality_count: int = 0,
+    ) -> "ComputedAttributes":
+        """Derive the standard attributes from raw history counters.
+
+        This is *the* reference derivation: the simulator uses it to
+        maintain ``C_w`` and the audit engine re-runs it to check that a
+        platform's published attributes are derived fairly.
+        """
+        if not 0 <= accepted <= reviewed:
+            raise EntityError(
+                f"invalid history: accepted={accepted} reviewed={reviewed}"
+            )
+        if reviewed > submitted:
+            raise EntityError(
+                f"invalid history: reviewed={reviewed} submitted={submitted}"
+            )
+        values: dict[str, AttributeValue] = {
+            "acceptance_ratio": (accepted / reviewed) if reviewed else 1.0,
+            "tasks_completed": submitted,
+        }
+        if quality_count:
+            values["mean_quality"] = quality_sum / quality_count
+        derivation = {
+            "accepted": float(accepted),
+            "reviewed": float(reviewed),
+            "submitted": float(submitted),
+            "quality_sum": float(quality_sum),
+            "quality_count": float(quality_count),
+        }
+        return cls(values=values, derivation=derivation)
+
+    def rederive(self) -> "ComputedAttributes":
+        """Re-run the reference derivation from the stored raw counters."""
+        if not self.derivation:
+            raise EntityError("no derivation inputs recorded")
+        return ComputedAttributes.from_history(
+            accepted=int(self.derivation.get("accepted", 0)),
+            reviewed=int(self.derivation.get("reviewed", 0)),
+            submitted=int(self.derivation.get("submitted", 0)),
+            quality_sum=self.derivation.get("quality_sum", 0.0),
+            quality_count=int(self.derivation.get("quality_count", 0)),
+        )
+
+    def derivation_consistent(self, tolerance: float = 1e-9) -> bool:
+        """True when published values match the reference derivation.
+
+        Only the standard attribute names are compared; platforms may
+        publish extra attributes not covered by the reference derivation.
+        """
+        try:
+            reference = self.rederive()
+        except EntityError:
+            return False
+        for key, expected in reference.values.items():
+            actual = self.values.get(key)
+            if actual is None:
+                return False
+            if isinstance(expected, float) and isinstance(actual, (int, float)):
+                if abs(float(actual) - expected) > tolerance:
+                    return False
+            elif actual != expected:
+                return False
+        return True

@@ -1,0 +1,142 @@
+"""The audit engine: run an axiom suite over a trace, produce a report.
+
+Section 3.3.1: "we intend to develop fairness check benchmarks and
+algorithms for existing crowdsourcing systems."  The
+:class:`AuditEngine` is that algorithm: given a trace and a registry of
+axiom checkers it produces an :class:`AuditReport` with per-axiom
+scores, violation lists, and an overall fairness summary suitable for
+comparison across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.axioms import AxiomCheck, AxiomRegistry, default_registry
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+from repro.errors import AuditError
+
+#: Alias kept for the public API: an AxiomResult is the checked outcome.
+AxiomResult = AxiomCheck
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The outcome of auditing one trace against an axiom suite."""
+
+    results: tuple[AxiomCheck, ...]
+    trace_length: int
+
+    def result_for(self, axiom_id: int) -> AxiomCheck:
+        for result in self.results:
+            if result.axiom_id == axiom_id:
+                return result
+        raise AuditError(f"report has no result for axiom {axiom_id}")
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(v for result in self.results for v in result.violations)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(result.violation_count for result in self.results)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def scores(self) -> dict[int, float]:
+        """Per-axiom fairness scores in [0, 1]."""
+        return {result.axiom_id: result.score for result in self.results}
+
+    @property
+    def overall_score(self) -> float:
+        """Unweighted mean of per-axiom scores (1.0 = fully compliant)."""
+        if not self.results:
+            return 1.0
+        return sum(result.score for result in self.results) / len(self.results)
+
+    def critical_violations(self) -> tuple[Violation, ...]:
+        return tuple(
+            v for v in self.violations if v.severity is ViolationSeverity.CRITICAL
+        )
+
+    def violations_by_type(self) -> dict[str, int]:
+        """Histogram over the ``witness['type']`` tags of violations."""
+        histogram: dict[str, int] = {}
+        for violation in self.violations:
+            tag = str(violation.witness.get("type", "untyped"))
+            histogram[tag] = histogram.get(tag, 0) + 1
+        return histogram
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-axiom summary."""
+        lines = [
+            f"audit over {self.trace_length} events: overall score "
+            f"{self.overall_score:.3f} "
+            f"({'PASS' if self.passed else 'FAIL'})"
+        ]
+        for result in self.results:
+            lines.append(
+                f"  axiom {result.axiom_id} ({result.title}): "
+                f"score {result.score:.3f}, "
+                f"{result.violation_count} violation(s) / "
+                f"{result.opportunities} opportunities"
+            )
+        return lines
+
+
+@dataclass
+class AuditEngine:
+    """Runs a registry of axiom checkers over platform traces."""
+
+    registry: AxiomRegistry = field(default_factory=default_registry)
+
+    def audit(self, trace: PlatformTrace) -> AuditReport:
+        results = tuple(self.registry.check_all(trace))
+        return AuditReport(results=results, trace_length=len(trace))
+
+    def audit_axioms(
+        self, trace: PlatformTrace, axiom_ids: Iterable[int]
+    ) -> AuditReport:
+        """Audit only the named axioms (cheaper for targeted checks)."""
+        wanted = set(axiom_ids)
+        unknown = wanted - {axiom.axiom_id for axiom in self.registry}
+        if unknown:
+            raise AuditError(f"registry lacks axioms: {sorted(unknown)}")
+        results = tuple(
+            axiom.check(trace)
+            for axiom in self.registry
+            if axiom.axiom_id in wanted
+        )
+        return AuditReport(results=results, trace_length=len(trace))
+
+    def compare(
+        self, traces: Mapping[str, PlatformTrace]
+    ) -> dict[str, AuditReport]:
+        """Audit several traces (e.g. platforms) with the same suite."""
+        return {name: self.audit(trace) for name, trace in traces.items()}
+
+    def windowed_audit(
+        self, trace: PlatformTrace, window: int
+    ) -> list[tuple[int, AuditReport]]:
+        """Audit the trace in consecutive time windows of ``window`` ticks.
+
+        Returns ``(window_start, report)`` pairs covering
+        ``[0, end_time]`` — the fairness-over-time series a platform
+        operator would monitor.  Entity registrations before a window
+        are visible inside it (see :meth:`PlatformTrace.slice`), so
+        lookups never dangle.
+        """
+        if window < 1:
+            raise AuditError("window must be >= 1 tick")
+        reports: list[tuple[int, AuditReport]] = []
+        end = trace.end_time
+        start = 0
+        while start <= end:
+            chunk = trace.slice(start, start + window)
+            reports.append((start, self.audit(chunk)))
+            start += window
+        return reports

@@ -1,0 +1,260 @@
+"""Axioms 1 and 2: fairness in task assignment.
+
+**Axiom 1 (worker fairness).**  "Given two different workers wi and wj,
+if A_wi is similar to A_wj and C_wi is similar to C_wj, and S_wi is
+similar to S_wj, then wi and wj should have access to the same tasks."
+
+The checker compares, at every browse instant where both workers of a
+similar pair received a view, the two sets of tasks shown.  Using
+*instants* (not whole-trace unions) keeps the comparison time-local: a
+worker who joined later is not blamed for missing earlier tasks.
+
+**Axiom 2 (requester fairness).**  "Given two tasks ti and tj posted by
+different requesters, if the required skills S_ti and S_tj are similar
+and the rewards comparable, then ti and tj should be shown to the same
+set of workers."  The checker compares audiences of comparable task
+pairs posted within ``posting_window`` ticks of each other.
+
+Section 3.3.1's inter-dependency — assignment fairness "must check the
+fairness of deriving computed attributes" — is implemented by
+``audit_derivations``: published ``C_w`` values are re-derived from
+their recorded raw counters, and inconsistencies are violations even
+when the visibility comparison passes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.axioms import Axiom, AxiomCheck, sampled_pairs
+from repro.core.entities import Task, Worker
+from repro.core.events import TaskPosted, TasksShown
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+from repro.similarity.numeric import reward_comparability
+from repro.similarity.vectors import (
+    attribute_overlap_similarity,
+    skill_cosine,
+)
+
+
+def _set_jaccard(left: set[str], right: set[str]) -> float:
+    union = left | right
+    if not union:
+        return 1.0
+    return len(left & right) / len(union)
+
+
+@dataclass
+class WorkerFairnessInAssignment(Axiom):
+    """Axiom 1 checker.
+
+    Two workers are *similar* when declared-attribute overlap, computed-
+    attribute overlap, and skill cosine all clear their thresholds; a
+    similar pair's simultaneous browse views must agree to Jaccard >=
+    ``visibility_threshold``.
+
+    ``protected_attributes`` are excluded from the declared-attribute
+    comparison: discrimination is precisely *different treatment of
+    workers who differ only in a protected attribute* (cf. the
+    discrimination-discovery literature the paper cites), so including
+    the protected attribute in the similarity would define the problem
+    away.
+    """
+
+    declared_threshold: float = 1.0
+    protected_attributes: tuple[str, ...] = ("group", "gender", "race", "age")
+    computed_threshold: float = 0.8
+    skill_threshold: float = 0.95
+    computed_tolerance: float = 0.1
+    visibility_threshold: float = 1.0
+    audit_derivations: bool = True
+    max_pairs: int | None = 20_000
+    sample_seed: int = 0
+
+    axiom_id = 1
+    title = "Worker fairness in task assignment"
+
+    def workers_similar(self, left: Worker, right: Worker) -> bool:
+        """The Axiom 1 similarity predicate over (A_w, C_w, S_w)."""
+        protected = set(self.protected_attributes)
+        left_declared = {
+            k: v for k, v in left.declared.as_dict().items() if k not in protected
+        }
+        right_declared = {
+            k: v for k, v in right.declared.as_dict().items() if k not in protected
+        }
+        declared = attribute_overlap_similarity(left_declared, right_declared)
+        if declared < self.declared_threshold:
+            return False
+        computed = attribute_overlap_similarity(
+            left.computed.as_dict(),
+            right.computed.as_dict(),
+            numeric_tolerance=self.computed_tolerance,
+        )
+        if computed < self.computed_threshold:
+            return False
+        return skill_cosine(left.skills, right.skills) >= self.skill_threshold
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        violations: list[Violation] = []
+        opportunities = 0
+        # Views per (time, worker): merge multiple browses in one tick.
+        views: dict[int, dict[str, set[str]]] = defaultdict(dict)
+        for event in trace.of_kind(TasksShown):
+            per_time = views[event.time]
+            per_time.setdefault(event.worker_id, set()).update(event.task_ids)
+        worker_ids = sorted(trace.worker_ids)
+
+        for left_id, right_id in sampled_pairs(
+            worker_ids, self.max_pairs, self.sample_seed
+        ):
+            for time, per_time in views.items():
+                if left_id not in per_time or right_id not in per_time:
+                    continue
+                left = trace.worker_at(left_id, time)
+                right = trace.worker_at(right_id, time)
+                if not self.workers_similar(left, right):
+                    continue
+                opportunities += 1
+                agreement = _set_jaccard(per_time[left_id], per_time[right_id])
+                if agreement < self.visibility_threshold:
+                    only_left = per_time[left_id] - per_time[right_id]
+                    only_right = per_time[right_id] - per_time[left_id]
+                    violations.append(
+                        Violation(
+                            axiom_id=1,
+                            message=(
+                                f"similar workers saw different tasks "
+                                f"(jaccard {agreement:.2f} < "
+                                f"{self.visibility_threshold:.2f})"
+                            ),
+                            time=time,
+                            severity=ViolationSeverity.CRITICAL,
+                            subjects=(left_id, right_id),
+                            witness={
+                                "only_shown_to_first": sorted(only_left),
+                                "only_shown_to_second": sorted(only_right),
+                                "jaccard": agreement,
+                            },
+                        )
+                    )
+        if self.audit_derivations:
+            derivation_violations, derivation_opportunities = (
+                self._check_derivations(trace)
+            )
+            violations.extend(derivation_violations)
+            opportunities += derivation_opportunities
+        return self._result(violations, opportunities)
+
+    def _check_derivations(
+        self, trace: PlatformTrace
+    ) -> tuple[list[Violation], int]:
+        """Verify published C_w against the reference derivation."""
+        violations: list[Violation] = []
+        opportunities = 0
+        for worker_id in trace.worker_ids:
+            worker = trace.final_worker(worker_id)
+            if not worker.computed.derivation:
+                continue
+            opportunities += 1
+            if not worker.computed.derivation_consistent():
+                reference = worker.computed.rederive()
+                violations.append(
+                    Violation(
+                        axiom_id=1,
+                        message=(
+                            "published computed attributes diverge from "
+                            "their recorded derivation (unfairly derived C_w)"
+                        ),
+                        time=trace.end_time,
+                        severity=ViolationSeverity.CRITICAL,
+                        subjects=(worker_id,),
+                        witness={
+                            "published": worker.computed.as_dict(),
+                            "rederived": reference.as_dict(),
+                        },
+                    )
+                )
+        return violations, opportunities
+
+
+@dataclass
+class RequesterFairnessInAssignment(Axiom):
+    """Axiom 2 checker.
+
+    Task pairs from *different* requesters with skill cosine >=
+    ``skill_threshold`` and reward comparability >= ``reward_threshold``,
+    posted within ``posting_window`` ticks, must have audiences agreeing
+    to Jaccard >= ``audience_threshold``.
+    """
+
+    skill_threshold: float = 0.95
+    reward_threshold: float = 1.0
+    reward_tolerance: float = 0.1
+    audience_threshold: float = 1.0
+    posting_window: int = 0
+    max_pairs: int | None = 20_000
+    sample_seed: int = 0
+
+    axiom_id = 2
+    title = "Requester fairness in task assignment"
+
+    def tasks_comparable(self, left: Task, right: Task) -> bool:
+        """The Axiom 2 comparability predicate over (S_t, d_t)."""
+        if left.requester_id == right.requester_id:
+            return False
+        if skill_cosine(left.required_skills, right.required_skills) < (
+            self.skill_threshold
+        ):
+            return False
+        comparability = reward_comparability(
+            left.reward, right.reward, self.reward_tolerance
+        )
+        return comparability >= self.reward_threshold
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        violations: list[Violation] = []
+        opportunities = 0
+        posted_at = {
+            event.task.task_id: event.time for event in trace.of_kind(TaskPosted)
+        }
+        audiences = trace.audience_by_task()
+        task_ids = sorted(posted_at)
+        tasks = trace.tasks
+        for left_id, right_id in sampled_pairs(
+            task_ids, self.max_pairs, self.sample_seed
+        ):
+            if abs(posted_at[left_id] - posted_at[right_id]) > self.posting_window:
+                continue
+            left, right = tasks[left_id], tasks[right_id]
+            if not self.tasks_comparable(left, right):
+                continue
+            opportunities += 1
+            left_audience = audiences.get(left_id, set())
+            right_audience = audiences.get(right_id, set())
+            agreement = _set_jaccard(left_audience, right_audience)
+            if agreement < self.audience_threshold:
+                violations.append(
+                    Violation(
+                        axiom_id=2,
+                        message=(
+                            f"comparable tasks from different requesters had "
+                            f"different audiences (jaccard {agreement:.2f} < "
+                            f"{self.audience_threshold:.2f})"
+                        ),
+                        time=max(posted_at[left_id], posted_at[right_id]),
+                        severity=ViolationSeverity.WARNING,
+                        subjects=(left_id, right_id),
+                        witness={
+                            "requesters": (left.requester_id, right.requester_id),
+                            "audience_sizes": (
+                                len(left_audience),
+                                len(right_audience),
+                            ),
+                            "jaccard": agreement,
+                        },
+                    )
+                )
+        return self._result(violations, opportunities)

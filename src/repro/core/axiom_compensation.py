@@ -1,0 +1,173 @@
+"""Axiom 3: fairness in worker compensation.
+
+"Given two distinct workers wi and wj who contributed to the same task
+t, if their contributions are similar, they should receive the same
+reward d_t."
+
+The checker examines, per task, every pair of contributions by distinct
+workers whose similarity (kind-aware; see
+:mod:`repro.similarity.contributions`) clears ``similarity_threshold``,
+and flags pairs paid differently beyond ``payment_tolerance``.
+
+Two further compensation abuses from Section 3.1.1 are folded in as
+optional sub-checks, each a distinct witness type:
+
+* *wrongful rejection*: a rejected contribution highly similar to an
+  accepted one on the same task (same work, opposite verdicts);
+* *bonus reneging*: a promised bonus never paid by the end of the
+  trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.axioms import Axiom, AxiomCheck
+from repro.core.events import BonusPaid, BonusPromised
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+from repro.similarity.contributions import ContributionSimilarity
+
+
+@dataclass
+class FairCompensation(Axiom):
+    """Axiom 3 checker: equal pay for similar contributions.
+
+    ``quality_tolerance`` controls what "similar contributions" means
+    when latent quality is observable: ``None`` (default) compares
+    payloads only — the strict reading, under which quality-based
+    pricing [21] *violates* Axiom 3 (same answer, different pay);
+    a float requires qualities to also agree within the tolerance —
+    the charitable reading, under which quality-based pricing is fair
+    because differently-skilled work is not "similar".  E3 reports
+    both readings; the tension is a finding, not a bug.
+    """
+
+    similarity_threshold: float = 0.9
+    payment_tolerance: float = 1e-9
+    quality_tolerance: float | None = None
+    check_wrongful_rejection: bool = True
+    check_bonus_promises: bool = True
+    similarity: ContributionSimilarity = field(
+        default_factory=ContributionSimilarity
+    )
+
+    axiom_id = 3
+    title = "Fairness in worker compensation"
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        violations: list[Violation] = []
+        opportunities = 0
+        reviews = trace.reviews_by_contribution()
+        tasks = trace.tasks
+        for task_id, contributions in sorted(trace.contributions_by_task().items()):
+            task = tasks.get(task_id)
+            kind = task.kind if task is not None else "label"
+            reviewed = [
+                c for c in contributions if c.contribution_id in reviews
+            ]
+            for left, right in combinations(reviewed, 2):
+                if left.worker_id == right.worker_id:
+                    continue
+                score = self.similarity(left, right, kind)
+                if score < self.similarity_threshold:
+                    continue
+                if self.quality_tolerance is not None:
+                    left_quality = left.quality if left.quality is not None else 1.0
+                    right_quality = (
+                        right.quality if right.quality is not None else 1.0
+                    )
+                    if abs(left_quality - right_quality) > self.quality_tolerance:
+                        continue
+                opportunities += 1
+                left_paid = trace.payment_for_contribution(left.contribution_id)
+                right_paid = trace.payment_for_contribution(right.contribution_id)
+                if abs(left_paid - right_paid) > self.payment_tolerance:
+                    violations.append(
+                        Violation(
+                            axiom_id=3,
+                            message=(
+                                f"similar contributions (score {score:.2f}) "
+                                f"paid {left_paid:.3f} vs {right_paid:.3f}"
+                            ),
+                            time=max(left.submitted_at, right.submitted_at),
+                            severity=ViolationSeverity.CRITICAL,
+                            subjects=(left.worker_id, right.worker_id),
+                            witness={
+                                "task_id": task_id,
+                                "contributions": (
+                                    left.contribution_id,
+                                    right.contribution_id,
+                                ),
+                                "similarity": score,
+                                "payments": (left_paid, right_paid),
+                                "type": "unequal_pay",
+                            },
+                        )
+                    )
+                elif self.check_wrongful_rejection:
+                    left_accepted = reviews[left.contribution_id].accepted
+                    right_accepted = reviews[right.contribution_id].accepted
+                    if left_accepted != right_accepted:
+                        rejected = left if not left_accepted else right
+                        violations.append(
+                            Violation(
+                                axiom_id=3,
+                                message=(
+                                    "similar contributions received opposite "
+                                    "review verdicts (wrongful rejection)"
+                                ),
+                                time=max(left.submitted_at, right.submitted_at),
+                                severity=ViolationSeverity.CRITICAL,
+                                subjects=(rejected.worker_id,),
+                                witness={
+                                    "task_id": task_id,
+                                    "similarity": score,
+                                    "rejected_contribution": (
+                                        rejected.contribution_id
+                                    ),
+                                    "type": "wrongful_rejection",
+                                },
+                            )
+                        )
+        if self.check_bonus_promises:
+            bonus_violations, bonus_opportunities = self._check_bonuses(trace)
+            violations.extend(bonus_violations)
+            opportunities += bonus_opportunities
+        return self._result(violations, opportunities)
+
+    def _check_bonuses(self, trace: PlatformTrace) -> tuple[list[Violation], int]:
+        """Every promise must be settled by a matching bonus payment."""
+        violations: list[Violation] = []
+        promises = trace.of_kind(BonusPromised)
+        payments = list(trace.of_kind(BonusPaid))
+        for promise in promises:
+            settled = None
+            for payment in payments:
+                same_worker = payment.worker_id == promise.worker_id
+                same_amount = abs(payment.amount - promise.amount) < 1e-9
+                if same_worker and same_amount and payment.time >= promise.time:
+                    settled = payment
+                    break
+            if settled is not None:
+                payments.remove(settled)
+            else:
+                violations.append(
+                    Violation(
+                        axiom_id=3,
+                        message=(
+                            f"bonus of {promise.amount:.3f} promised by "
+                            f"{promise.requester_id} was never paid"
+                        ),
+                        time=promise.time,
+                        severity=ViolationSeverity.CRITICAL,
+                        subjects=(promise.worker_id, promise.requester_id),
+                        witness={
+                            "amount": promise.amount,
+                            "condition": promise.condition,
+                            "type": "bonus_reneged",
+                        },
+                    )
+                )
+        return violations, len(promises)

@@ -1,0 +1,135 @@
+"""Axioms 4 and 5: fairness in task completion.
+
+**Axiom 4 (requester fairness).**  "Requesters must be able to detect
+workers behaving maliciously during task completion."  This is a
+*capability* requirement on the platform: the checker independently
+recomputes which workers look objectively malicious from the trace
+(gold-answer failures, chronically low quality over enough reviewed
+work) and verifies the platform flagged each of them
+(:class:`~repro.core.events.MaliceFlagged`).  A suspicious worker the
+platform never surfaced is a violation — the requester had no way to
+protect themselves.
+
+**Axiom 5 (worker fairness).**  "A worker who started completing a task
+should not be interrupted."  Every non-worker-initiated
+:class:`~repro.core.events.TaskInterrupted` is a violation; the
+opportunity count is the number of started work spells.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.axioms import Axiom, AxiomCheck
+from repro.core.events import (
+    ContributionSubmitted,
+    MaliceFlagged,
+    TaskInterrupted,
+    TaskStarted,
+)
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+
+
+@dataclass
+class RequesterFairnessInCompletion(Axiom):
+    """Axiom 4 checker: suspicious workers must have been flagged.
+
+    A worker is *objectively suspicious* when, over at least
+    ``min_contributions`` contributions, either their gold-answer error
+    rate is >= ``gold_error_threshold`` (on tasks that had gold), or
+    their mean latent quality is <= ``quality_floor``.
+    """
+
+    min_contributions: int = 5
+    gold_error_threshold: float = 0.6
+    quality_floor: float = 0.35
+
+    axiom_id = 4
+    title = "Requester fairness in task completion"
+
+    def suspicious_workers(self, trace: PlatformTrace) -> dict[str, dict[str, float]]:
+        """Workers the evidence marks as malicious, with the evidence."""
+        per_worker: dict[str, list] = defaultdict(list)
+        for event in trace.of_kind(ContributionSubmitted):
+            per_worker[event.contribution.worker_id].append(event.contribution)
+        tasks = trace.tasks
+        suspicious: dict[str, dict[str, float]] = {}
+        for worker_id, contributions in per_worker.items():
+            if len(contributions) < self.min_contributions:
+                continue
+            gold_total = 0
+            gold_wrong = 0
+            quality_sum = 0.0
+            quality_count = 0
+            for contribution in contributions:
+                task = tasks.get(contribution.task_id)
+                if task is not None and task.gold_answer is not None:
+                    gold_total += 1
+                    if str(contribution.payload) != str(task.gold_answer):
+                        gold_wrong += 1
+                if contribution.quality is not None:
+                    quality_sum += contribution.quality
+                    quality_count += 1
+            gold_error = gold_wrong / gold_total if gold_total else 0.0
+            mean_quality = quality_sum / quality_count if quality_count else 1.0
+            gold_bad = gold_total >= self.min_contributions and (
+                gold_error >= self.gold_error_threshold
+            )
+            quality_bad = quality_count >= self.min_contributions and (
+                mean_quality <= self.quality_floor
+            )
+            if gold_bad or quality_bad:
+                suspicious[worker_id] = {
+                    "gold_error_rate": gold_error,
+                    "mean_quality": mean_quality,
+                    "contributions": float(len(contributions)),
+                }
+        return suspicious
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        suspicious = self.suspicious_workers(trace)
+        flagged = {event.worker_id for event in trace.of_kind(MaliceFlagged)}
+        violations = [
+            Violation(
+                axiom_id=4,
+                message=(
+                    "objectively suspicious worker was never flagged to "
+                    "requesters"
+                ),
+                time=trace.end_time,
+                severity=ViolationSeverity.WARNING,
+                subjects=(worker_id,),
+                witness=dict(evidence, type="undetected_malice"),
+            )
+            for worker_id, evidence in sorted(suspicious.items())
+            if worker_id not in flagged
+        ]
+        return self._result(violations, opportunities=len(suspicious))
+
+
+@dataclass
+class WorkerFairnessInCompletion(Axiom):
+    """Axiom 5 checker: no non-worker-initiated interruptions."""
+
+    axiom_id = 5
+    title = "Worker fairness in task completion"
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        started = trace.of_kind(TaskStarted)
+        violations = [
+            Violation(
+                axiom_id=5,
+                message=(
+                    f"worker interrupted mid-task ({event.reason or 'no reason'})"
+                ),
+                time=event.time,
+                severity=ViolationSeverity.CRITICAL,
+                subjects=(event.worker_id, event.task_id),
+                witness={"reason": event.reason, "type": "interruption"},
+            )
+            for event in trace.of_kind(TaskInterrupted)
+            if not event.worker_initiated
+        ]
+        return self._result(violations, opportunities=len(started))

@@ -1,0 +1,219 @@
+"""Axioms 6 and 7: requester and platform transparency.
+
+**Axiom 6 (requester transparency).**  "A requester must make available
+requester-dependent working conditions such as hourly wage and time
+between submission of work and payment, and task-dependent working
+conditions such as recruitment criteria and rejection criteria."
+
+The checker verifies three things per requester:
+
+1. every mandated field was disclosed (a
+   :class:`~repro.core.events.DisclosureShown` with subject
+   ``requester:<id>`` exists for it);
+2. rejections carry feedback (an empty-feedback rejection is the
+   Section 3.1.2 requester opacity — the rejection criteria were not
+   made available *in practice*);
+3. the declared payment delay is honoured: actual
+   submission-to-payment gaps must not exceed the declared delay.
+
+**Axiom 7 (platform transparency).**  "The platform must disclose, for
+each worker w, computed attributes C_w such as performance and
+acceptance ratio."  The checker verifies that each worker with computed
+attributes received a disclosure of every mandated C_w field addressed
+to them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.axioms import Axiom, AxiomCheck
+from repro.core.events import (
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    PaymentIssued,
+)
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+
+#: Axiom 6's mandated requester fields.
+REQUESTER_MANDATED_FIELDS: tuple[str, ...] = (
+    "hourly_wage",
+    "payment_delay",
+    "recruitment_criteria",
+    "rejection_criteria",
+)
+
+#: Axiom 7's mandated computed-attribute fields.
+WORKER_MANDATED_FIELDS: tuple[str, ...] = (
+    "acceptance_ratio",
+    "tasks_completed",
+)
+
+
+def requester_subject(requester_id: str) -> str:
+    return f"requester:{requester_id}"
+
+
+def worker_subject(worker_id: str) -> str:
+    return f"worker:{worker_id}"
+
+
+@dataclass
+class RequesterTransparency(Axiom):
+    """Axiom 6 checker."""
+
+    mandated_fields: tuple[str, ...] = REQUESTER_MANDATED_FIELDS
+    check_rejection_feedback: bool = True
+    check_payment_delay: bool = True
+
+    axiom_id = 6
+    title = "Requester transparency"
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        violations: list[Violation] = []
+        opportunities = 0
+        disclosed: dict[str, set[str]] = defaultdict(set)
+        for event in trace.of_kind(DisclosureShown):
+            disclosed[event.subject].add(event.field_name)
+
+        for requester_id in sorted(trace.requesters):
+            subject = requester_subject(requester_id)
+            for field_name in self.mandated_fields:
+                opportunities += 1
+                if field_name not in disclosed[subject]:
+                    violations.append(
+                        Violation(
+                            axiom_id=6,
+                            message=(
+                                f"requester never disclosed mandated field "
+                                f"{field_name!r}"
+                            ),
+                            time=trace.end_time,
+                            severity=ViolationSeverity.WARNING,
+                            subjects=(requester_id,),
+                            witness={
+                                "field": field_name,
+                                "type": "undisclosed_field",
+                            },
+                        )
+                    )
+
+        if self.check_rejection_feedback:
+            for event in trace.of_kind(ContributionReviewed):
+                if event.accepted:
+                    continue
+                opportunities += 1
+                if not event.feedback.strip():
+                    task = trace.tasks.get(event.task_id)
+                    requester_id = task.requester_id if task else "?"
+                    violations.append(
+                        Violation(
+                            axiom_id=6,
+                            message="contribution rejected without feedback",
+                            time=event.time,
+                            severity=ViolationSeverity.WARNING,
+                            subjects=(event.worker_id, requester_id),
+                            witness={
+                                "contribution_id": event.contribution_id,
+                                "type": "silent_rejection",
+                            },
+                        )
+                    )
+
+        if self.check_payment_delay:
+            delay_violations, delay_opportunities = self._check_delays(trace)
+            violations.extend(delay_violations)
+            opportunities += delay_opportunities
+        return self._result(violations, opportunities)
+
+    def _check_delays(self, trace: PlatformTrace) -> tuple[list[Violation], int]:
+        """Actual payment delays must respect declared payment_delay."""
+        violations: list[Violation] = []
+        opportunities = 0
+        submitted_at = {
+            e.contribution.contribution_id: e.time
+            for e in trace.of_kind(ContributionSubmitted)
+        }
+        for event in trace.of_kind(PaymentIssued):
+            if event.contribution_id not in submitted_at:
+                continue
+            task = trace.tasks.get(event.task_id)
+            if task is None:
+                continue
+            requester = trace.requesters.get(task.requester_id)
+            if requester is None or requester.payment_delay is None:
+                continue
+            opportunities += 1
+            actual_delay = event.time - submitted_at[event.contribution_id]
+            if actual_delay > requester.payment_delay:
+                violations.append(
+                    Violation(
+                        axiom_id=6,
+                        message=(
+                            f"payment arrived after {actual_delay} ticks; "
+                            f"declared delay is {requester.payment_delay}"
+                        ),
+                        time=event.time,
+                        severity=ViolationSeverity.WARNING,
+                        subjects=(event.worker_id, task.requester_id),
+                        witness={
+                            "declared_delay": requester.payment_delay,
+                            "actual_delay": actual_delay,
+                            "type": "late_payment",
+                        },
+                    )
+                )
+        return violations, opportunities
+
+
+@dataclass
+class PlatformTransparency(Axiom):
+    """Axiom 7 checker."""
+
+    mandated_fields: tuple[str, ...] = WORKER_MANDATED_FIELDS
+    require_private_audience: bool = True
+
+    axiom_id = 7
+    title = "Platform transparency"
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        violations: list[Violation] = []
+        opportunities = 0
+        disclosed: dict[str, set[str]] = defaultdict(set)
+        for event in trace.of_kind(DisclosureShown):
+            if self.require_private_audience:
+                # A worker's C_w counts as disclosed to *them* only when
+                # addressed to them (or public).
+                if event.audience_worker_id and (
+                    worker_subject(event.audience_worker_id) != event.subject
+                ):
+                    continue
+            disclosed[event.subject].add(event.field_name)
+
+        for worker_id in sorted(trace.worker_ids):
+            worker = trace.final_worker(worker_id)
+            relevant = [f for f in self.mandated_fields if f in worker.computed]
+            subject = worker_subject(worker_id)
+            for field_name in relevant:
+                opportunities += 1
+                if field_name not in disclosed[subject]:
+                    violations.append(
+                        Violation(
+                            axiom_id=7,
+                            message=(
+                                f"platform never disclosed {field_name!r} to "
+                                f"its worker"
+                            ),
+                            time=trace.end_time,
+                            severity=ViolationSeverity.WARNING,
+                            subjects=(worker_id,),
+                            witness={
+                                "field": field_name,
+                                "type": "undisclosed_computed_attribute",
+                            },
+                        )
+                    )
+        return self._result(violations, opportunities)

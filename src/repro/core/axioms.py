@@ -1,0 +1,168 @@
+"""Axiom framework: base class, check results, and the registry.
+
+Each of the paper's seven axioms is a subclass of :class:`Axiom`: a
+checker that scans a :class:`~repro.core.trace.PlatformTrace` and
+returns the violations it finds together with the number of
+*opportunities* it examined (pairs compared, events inspected), so a
+fairness score ``1 - violations / opportunities`` is well-defined.
+
+The registry assembles the default instantiation of all seven checkers;
+experiments that need different similarity thresholds build their own
+instances.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, TypeVar
+
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation
+from repro.errors import AuditError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AxiomCheck:
+    """The outcome of running one axiom checker over one trace."""
+
+    axiom_id: int
+    title: str
+    violations: tuple[Violation, ...]
+    opportunities: int
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    @property
+    def score(self) -> float:
+        """Fairness score in [0, 1]; 1.0 means no violations.
+
+        A check with zero opportunities is vacuously satisfied.
+        """
+        if self.opportunities <= 0:
+            return 1.0
+        return max(0.0, 1.0 - len(self.violations) / self.opportunities)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+class Axiom(abc.ABC):
+    """An executable fairness or transparency axiom."""
+
+    #: The paper's axiom number (1-7).
+    axiom_id: int = 0
+    #: The paper's axiom title.
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        """Scan the trace; return violations and opportunity count."""
+
+    def _result(
+        self, violations: Sequence[Violation], opportunities: int
+    ) -> AxiomCheck:
+        return AxiomCheck(
+            axiom_id=self.axiom_id,
+            title=self.title,
+            violations=tuple(violations),
+            opportunities=opportunities,
+        )
+
+
+def sampled_pairs(
+    items: Sequence[T], max_pairs: int | None, seed: int = 0
+) -> Iterator[tuple[T, T]]:
+    """All unordered pairs, or a deterministic sample of ``max_pairs``.
+
+    Pairwise axiom checks are quadratic; sampling keeps audits of large
+    traces tractable while staying reproducible.
+    """
+    total = len(items) * (len(items) - 1) // 2
+    if max_pairs is None or total <= max_pairs:
+        yield from itertools.combinations(items, 2)
+        return
+    rng = random.Random(seed)
+    seen: set[tuple[int, int]] = set()
+    n = len(items)
+    while len(seen) < max_pairs:
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        if i == j:
+            continue
+        key = (min(i, j), max(i, j))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield items[key[0]], items[key[1]]
+
+
+@dataclass
+class AxiomRegistry:
+    """An ordered collection of axiom checkers forming one audit suite."""
+
+    axioms: list[Axiom] = field(default_factory=list)
+
+    def register(self, axiom: Axiom) -> "AxiomRegistry":
+        if any(a.axiom_id == axiom.axiom_id for a in self.axioms):
+            raise AuditError(f"axiom {axiom.axiom_id} registered twice")
+        self.axioms.append(axiom)
+        return self
+
+    def get(self, axiom_id: int) -> Axiom:
+        for axiom in self.axioms:
+            if axiom.axiom_id == axiom_id:
+                return axiom
+        raise AuditError(f"no axiom {axiom_id} in registry")
+
+    def __iter__(self) -> Iterator[Axiom]:
+        return iter(sorted(self.axioms, key=lambda a: a.axiom_id))
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def check_all(self, trace: PlatformTrace) -> list[AxiomCheck]:
+        return [axiom.check(trace) for axiom in self]
+
+
+def default_registry(**overrides: Axiom) -> AxiomRegistry:
+    """The standard suite: all seven axioms with default thresholds.
+
+    Keyword overrides replace individual axioms by name:
+    ``default_registry(axiom1=WorkerFairnessInAssignment(...))``.
+    """
+    from repro.core.axiom_assignment import (
+        RequesterFairnessInAssignment,
+        WorkerFairnessInAssignment,
+    )
+    from repro.core.axiom_compensation import FairCompensation
+    from repro.core.axiom_completion import (
+        RequesterFairnessInCompletion,
+        WorkerFairnessInCompletion,
+    )
+    from repro.core.axiom_transparency import PlatformTransparency, RequesterTransparency
+
+    defaults: dict[str, Axiom] = {
+        "axiom1": WorkerFairnessInAssignment(),
+        "axiom2": RequesterFairnessInAssignment(),
+        "axiom3": FairCompensation(),
+        "axiom4": RequesterFairnessInCompletion(),
+        "axiom5": WorkerFairnessInCompletion(),
+        "axiom6": RequesterTransparency(),
+        "axiom7": PlatformTransparency(),
+    }
+    unknown = set(overrides) - set(defaults)
+    if unknown:
+        raise AuditError(f"unknown axiom overrides: {sorted(unknown)}")
+    defaults.update(overrides)
+    registry = AxiomRegistry()
+    for key in sorted(defaults):
+        registry.register(defaults[key])
+    return registry

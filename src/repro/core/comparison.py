@@ -1,0 +1,71 @@
+"""Cross-platform audit comparison.
+
+The paper motivates "checking fairness and transparency in existing
+crowdsourcing systems" and comparing choices across platforms.  Given
+several audited traces (one per platform), :func:`comparison_table`
+lays the per-axiom scores side by side and ranks the platforms — the
+league table a watchdog would publish.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.audit import AuditReport
+from repro.errors import AuditError
+from repro.experiments.tables import Table
+
+_SHORT_TITLES = {
+    1: "worker-assign",
+    2: "requester-assign",
+    3: "compensation",
+    4: "malice-detect",
+    5: "no-interrupt",
+    6: "requester-transp",
+    7: "platform-transp",
+}
+
+
+def comparison_table(reports: Mapping[str, AuditReport]) -> Table:
+    """Per-axiom scores side by side, best overall platform first."""
+    if not reports:
+        raise AuditError("nothing to compare: no reports given")
+    axiom_ids = sorted(
+        {result.axiom_id for report in reports.values()
+         for result in report.results}
+    )
+    for name, report in reports.items():
+        have = {result.axiom_id for result in report.results}
+        if set(axiom_ids) - have:
+            raise AuditError(
+                f"report {name!r} lacks axioms "
+                f"{sorted(set(axiom_ids) - have)}; compare like with like"
+            )
+    columns = ("platform",) + tuple(
+        _SHORT_TITLES.get(a, f"axiom{a}") for a in axiom_ids
+    ) + ("overall", "violations")
+    table = Table(
+        title=f"Fairness/transparency comparison of {len(reports)} platforms",
+        columns=columns,
+    )
+    ranked = sorted(
+        reports.items(), key=lambda item: -item[1].overall_score
+    )
+    for name, report in ranked:
+        scores = report.scores()
+        table.add_row(
+            name,
+            *(scores[a] for a in axiom_ids),
+            report.overall_score,
+            report.total_violations,
+        )
+    return table
+
+
+def best_platform(reports: Mapping[str, AuditReport]) -> str:
+    """The platform with the highest overall score (ties: name order)."""
+    if not reports:
+        raise AuditError("nothing to compare: no reports given")
+    return min(
+        reports, key=lambda name: (-reports[name].overall_score, name)
+    )

@@ -1,0 +1,278 @@
+"""Entities of the crowdsourcing data model (paper Section 3.2).
+
+The paper defines:
+
+* a set of skill keywords ``S = {s_1, ..., s_m}``;
+* a task ``t = (id_t, id_r, S_t, d_t)`` where ``S_t`` is a Boolean
+  vector over ``S`` marking required skills and ``d_t`` is the reward;
+* a worker ``w = (id_w, A_w, C_w, S_w)`` where ``A_w`` are self-declared
+  attributes (demographics, location), ``C_w`` are platform-computed
+  attributes (acceptance ratio, performance), and ``S_w`` is a Boolean
+  skill/interest vector.
+
+We add a :class:`Requester` entity (the paper refers to requesters only
+through ``id_r``) and a :class:`Contribution` entity representing a
+worker's submitted answer, which Axiom 3 compares across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.errors import EntityError, VocabularyMismatchError
+
+
+@dataclass(frozen=True)
+class SkillVocabulary:
+    """An ordered, immutable set of skill keywords ``S = {s_1..s_m}``.
+
+    The vocabulary fixes the dimension and meaning of every
+    :class:`SkillVector` built against it.  Keywords may be interpreted
+    as qualifications ("translation") or interests ("sports"), per the
+    paper.
+    """
+
+    keywords: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.keywords)) != len(self.keywords):
+            raise EntityError("skill vocabulary contains duplicate keywords")
+        if any(not k or not isinstance(k, str) for k in self.keywords):
+            raise EntityError("skill keywords must be non-empty strings")
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keywords)
+
+    def __contains__(self, keyword: object) -> bool:
+        return keyword in self.keywords
+
+    def index(self, keyword: str) -> int:
+        """Return the position of ``keyword``; raise if absent."""
+        try:
+            return self.keywords.index(keyword)
+        except ValueError:
+            raise EntityError(f"unknown skill keyword: {keyword!r}") from None
+
+    def vector(self, present: Iterable[str] = ()) -> "SkillVector":
+        """Build a :class:`SkillVector` with the given keywords set."""
+        return SkillVector.from_keywords(self, present)
+
+    def full_vector(self) -> "SkillVector":
+        """Build a vector with every skill set (a universally skilled worker)."""
+        return SkillVector(self, tuple(True for _ in self.keywords))
+
+    @classmethod
+    def from_keywords(cls, keywords: Iterable[str]) -> "SkillVocabulary":
+        return cls(tuple(keywords))
+
+
+@dataclass(frozen=True)
+class SkillVector:
+    """A Boolean vector over a :class:`SkillVocabulary`.
+
+    Used both as ``S_t`` (skills a task requires) and ``S_w`` (skills or
+    interests a worker declares).
+    """
+
+    vocabulary: SkillVocabulary
+    bits: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != len(self.vocabulary):
+            raise EntityError(
+                f"skill vector has {len(self.bits)} bits for a vocabulary "
+                f"of size {len(self.vocabulary)}"
+            )
+
+    @classmethod
+    def from_keywords(
+        cls, vocabulary: SkillVocabulary, present: Iterable[str]
+    ) -> "SkillVector":
+        """Build a vector with exactly the keywords in ``present`` set."""
+        wanted = set(present)
+        unknown = wanted - set(vocabulary.keywords)
+        if unknown:
+            raise EntityError(f"unknown skill keywords: {sorted(unknown)}")
+        return cls(vocabulary, tuple(k in wanted for k in vocabulary.keywords))
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """The keywords whose bit is set."""
+        return tuple(
+            k for k, bit in zip(self.vocabulary.keywords, self.bits) if bit
+        )
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return sum(self.bits)
+
+    def __contains__(self, keyword: object) -> bool:
+        if not isinstance(keyword, str) or keyword not in self.vocabulary:
+            return False
+        return self.bits[self.vocabulary.index(keyword)]
+
+    def covers(self, required: "SkillVector") -> bool:
+        """True when every skill set in ``required`` is also set here.
+
+        This is the qualification test used by task assignment: a worker
+        ``w`` qualifies for task ``t`` iff ``w.skills.covers(t.required_skills)``.
+        """
+        self._check_same_vocabulary(required)
+        return all(mine or not theirs for mine, theirs in zip(self.bits, required.bits))
+
+    def intersection_count(self, other: "SkillVector") -> int:
+        """Number of positions set in both vectors."""
+        self._check_same_vocabulary(other)
+        return sum(a and b for a, b in zip(self.bits, other.bits))
+
+    def union_count(self, other: "SkillVector") -> int:
+        """Number of positions set in either vector."""
+        self._check_same_vocabulary(other)
+        return sum(a or b for a, b in zip(self.bits, other.bits))
+
+    def hamming_distance(self, other: "SkillVector") -> int:
+        """Number of positions where the two vectors differ."""
+        self._check_same_vocabulary(other)
+        return sum(a != b for a, b in zip(self.bits, other.bits))
+
+    def as_floats(self) -> tuple[float, ...]:
+        """The vector as 0.0/1.0 floats (for cosine similarity)."""
+        return tuple(float(b) for b in self.bits)
+
+    def _check_same_vocabulary(self, other: "SkillVector") -> None:
+        if self.vocabulary != other.vocabulary:
+            raise VocabularyMismatchError(
+                "skill vectors built over different vocabularies"
+            )
+
+
+@dataclass(frozen=True)
+class Task:
+    """A crowdsourcing task ``t = (id_t, id_r, S_t, d_t)``.
+
+    ``reward`` is the payment ``d_t`` promised to a worker who completes
+    the task.  ``duration`` (simulation ticks of honest work needed) and
+    ``kind`` (what a contribution looks like) extend the paper's tuple
+    so the completion engine and Axiom 3's contribution similarity can
+    operate; both have neutral defaults.
+    """
+
+    task_id: str
+    requester_id: str
+    required_skills: SkillVector
+    reward: float
+    kind: str = "label"
+    duration: int = 1
+    gold_answer: object | None = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.reward < 0:
+            raise EntityError(f"task {self.task_id}: negative reward {self.reward}")
+        if self.duration < 1:
+            raise EntityError(f"task {self.task_id}: duration must be >= 1")
+
+    def qualifies(self, worker: "Worker") -> bool:
+        """True when the worker's skills cover the task's requirements."""
+        return worker.skills.covers(self.required_skills)
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A crowd worker ``w = (id_w, A_w, C_w, S_w)``.
+
+    ``declared`` corresponds to ``A_w`` (self-declared demographics and
+    location), ``computed`` to ``C_w`` (platform-computed statistics such
+    as acceptance ratio), and ``skills`` to ``S_w``.
+    """
+
+    worker_id: str
+    declared: DeclaredAttributes
+    computed: ComputedAttributes
+    skills: SkillVector
+
+    def with_computed(self, computed: ComputedAttributes) -> "Worker":
+        """A copy of this worker with refreshed computed attributes."""
+        return replace(self, computed=computed)
+
+    def qualifies_for(self, task: Task) -> bool:
+        """True when this worker's skills cover the task's requirements."""
+        return self.skills.covers(task.required_skills)
+
+
+@dataclass(frozen=True)
+class Requester:
+    """A task requester.
+
+    The paper models requesters only as identifiers ``id_r``; we add the
+    declared working conditions that Axiom 6 (requester transparency)
+    obliges them to disclose: hourly wage, payment delay, recruitment
+    and rejection criteria.
+    """
+
+    requester_id: str
+    name: str = ""
+    hourly_wage: float | None = None
+    payment_delay: int | None = None
+    recruitment_criteria: str | None = None
+    rejection_criteria: str | None = None
+    rating: float | None = None
+
+    def disclosable_fields(self) -> dict[str, object]:
+        """The requester-dependent working conditions of Axiom 6."""
+        return {
+            "hourly_wage": self.hourly_wage,
+            "payment_delay": self.payment_delay,
+            "recruitment_criteria": self.recruitment_criteria,
+            "rejection_criteria": self.rejection_criteria,
+            "rating": self.rating,
+        }
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """A worker's submitted answer to a task.
+
+    ``payload`` holds the answer and its type depends on the task kind:
+    a label (str), a text (str), a ranked list (tuple), or a numeric
+    estimate (float).  Axiom 3 compares payloads of different workers on
+    the same task using a kind-appropriate similarity
+    (:mod:`repro.similarity.contributions`).
+    """
+
+    contribution_id: str
+    task_id: str
+    worker_id: str
+    payload: object
+    submitted_at: int
+    quality: float | None = None
+    work_time: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.quality is not None and not 0.0 <= self.quality <= 1.0:
+            raise EntityError(
+                f"contribution {self.contribution_id}: quality must be in [0, 1]"
+            )
+
+
+def validate_population(
+    workers: Sequence[Worker], vocabulary: SkillVocabulary
+) -> None:
+    """Validate a worker population: unique ids, shared vocabulary.
+
+    Raises :class:`EntityError` on the first inconsistency found.
+    """
+    seen: set[str] = set()
+    for worker in workers:
+        if worker.worker_id in seen:
+            raise EntityError(f"duplicate worker id: {worker.worker_id}")
+        seen.add(worker.worker_id)
+        if worker.skills.vocabulary != vocabulary:
+            raise VocabularyMismatchError(
+                f"worker {worker.worker_id} uses a different skill vocabulary"
+            )

@@ -1,0 +1,248 @@
+"""Platform events — the auditable record of a crowdsourcing run.
+
+Fairness and transparency are properties of *processes* (assignment,
+completion, compensation, disclosure), so the framework audits an
+append-only log of events rather than a final state.  Each event type
+below corresponds to one observable step of the crowdsourcing lifecycle;
+together they carry exactly the evidence Axioms 1-7 need:
+
+==============================  =============================================
+Event                           Used by
+==============================  =============================================
+:class:`WorkerRegistered` /     Axioms 1, 7 (attribute snapshots over time)
+:class:`WorkerUpdated`
+:class:`RequesterRegistered`    Axiom 6 (what the requester *could* disclose)
+:class:`TaskPosted`             Axioms 1, 2
+:class:`TasksShown`             Axioms 1, 2 (who saw which tasks)
+:class:`AssignmentMade`         Axiom 1 diagnostics, E1/E7 utility
+:class:`TaskStarted` /          Axiom 5 (no interruption)
+:class:`TaskInterrupted` /
+:class:`TaskCancelled`
+:class:`ContributionSubmitted`  Axioms 3, 4
+:class:`ContributionReviewed`   Axiom 3 (wrongful rejection), requester opacity
+:class:`PaymentIssued`          Axiom 3
+:class:`BonusPromised` /        Axiom 3 (bonus reneging)
+:class:`BonusPaid`
+:class:`MaliceFlagged`          Axiom 4 (platform lets requesters detect)
+:class:`DisclosureShown`        Axioms 6, 7
+:class:`WorkerDeparted`         retention metric (Section 4.1)
+==============================  =============================================
+
+Events are immutable dataclasses; a :class:`repro.core.trace.PlatformTrace`
+orders and indexes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.entities import Contribution, Requester, Task, Worker
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event happens at a simulated ``time`` tick."""
+
+    time: int
+
+    @property
+    def kind(self) -> str:
+        """A stable, snake_case name for this event type."""
+        return _KIND_NAMES[type(self)]
+
+
+@dataclass(frozen=True)
+class WorkerRegistered(Event):
+    """A worker joined the platform; carries the full worker snapshot."""
+
+    worker: Worker
+
+
+@dataclass(frozen=True)
+class WorkerUpdated(Event):
+    """The platform recomputed a worker's attributes ``C_w``."""
+
+    worker: Worker
+
+
+@dataclass(frozen=True)
+class WorkerDeparted(Event):
+    """A worker left the platform (churn); ``reason`` is free-form."""
+
+    worker_id: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class RequesterRegistered(Event):
+    """A requester joined; carries declared working conditions."""
+
+    requester: Requester
+
+
+@dataclass(frozen=True)
+class TaskPosted(Event):
+    """A requester published a task."""
+
+    task: Task
+
+
+@dataclass(frozen=True)
+class TasksShown(Event):
+    """The platform showed a set of tasks to a worker (browse view).
+
+    This is the visibility evidence for Axioms 1 and 2: two similar
+    workers must be shown the same tasks, and similar tasks must be shown
+    to the same workers.
+    """
+
+    worker_id: str
+    task_ids: frozenset[str]
+
+
+@dataclass(frozen=True)
+class AssignmentMade(Event):
+    """A task was allocated to a worker by ``assigner``."""
+
+    worker_id: str
+    task_id: str
+    assigner: str = ""
+
+
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """A worker began working on an assigned task."""
+
+    worker_id: str
+    task_id: str
+
+
+@dataclass(frozen=True)
+class TaskInterrupted(Event):
+    """A worker's in-progress work was interrupted (Axiom 5 violation
+    evidence when the interruption was not worker-initiated)."""
+
+    worker_id: str
+    task_id: str
+    reason: str = ""
+    worker_initiated: bool = False
+
+
+@dataclass(frozen=True)
+class TaskCancelled(Event):
+    """A requester withdrew a task (e.g. survey quota reached)."""
+
+    task_id: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ContributionSubmitted(Event):
+    """A worker submitted a contribution."""
+
+    contribution: Contribution
+
+
+@dataclass(frozen=True)
+class ContributionReviewed(Event):
+    """A requester accepted or rejected a contribution.
+
+    ``feedback`` is the explanation shown to the worker; an empty
+    feedback on rejection is the *requester opacity* of Section 3.1.2.
+    """
+
+    contribution_id: str
+    task_id: str
+    worker_id: str
+    accepted: bool
+    feedback: str = ""
+
+
+@dataclass(frozen=True)
+class PaymentIssued(Event):
+    """A worker was paid ``amount`` for a contribution."""
+
+    worker_id: str
+    task_id: str
+    contribution_id: str
+    amount: float
+
+
+@dataclass(frozen=True)
+class BonusPromised(Event):
+    """A requester promised a conditional bonus to a worker."""
+
+    requester_id: str
+    worker_id: str
+    amount: float
+    condition: str = ""
+
+
+@dataclass(frozen=True)
+class BonusPaid(Event):
+    """A promised bonus was actually paid."""
+
+    requester_id: str
+    worker_id: str
+    amount: float
+
+
+@dataclass(frozen=True)
+class MaliceFlagged(Event):
+    """A malice detector flagged a worker with confidence ``score``."""
+
+    worker_id: str
+    detector: str
+    score: float
+
+
+@dataclass(frozen=True)
+class DisclosureShown(Event):
+    """The platform disclosed a field about ``subject`` to a worker.
+
+    ``audience_worker_id`` is empty for public disclosures.  ``subject``
+    identifies whose information was shown ("requester:r1", "worker:w3",
+    "platform"), ``field_name`` which attribute, ``value`` its rendered
+    value.  Axioms 6 and 7 check that mandated disclosures appear.
+    """
+
+    subject: str
+    field_name: str
+    value: object
+    audience_worker_id: str = ""
+
+
+@dataclass(frozen=True)
+class CustomEvent(Event):
+    """Extension point for platform-specific events."""
+
+    name: str = "custom"
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+
+_KIND_NAMES: dict[type, str] = {
+    WorkerRegistered: "worker_registered",
+    WorkerUpdated: "worker_updated",
+    WorkerDeparted: "worker_departed",
+    RequesterRegistered: "requester_registered",
+    TaskPosted: "task_posted",
+    TasksShown: "tasks_shown",
+    AssignmentMade: "assignment_made",
+    TaskStarted: "task_started",
+    TaskInterrupted: "task_interrupted",
+    TaskCancelled: "task_cancelled",
+    ContributionSubmitted: "contribution_submitted",
+    ContributionReviewed: "contribution_reviewed",
+    PaymentIssued: "payment_issued",
+    BonusPromised: "bonus_promised",
+    BonusPaid: "bonus_paid",
+    MaliceFlagged: "malice_flagged",
+    DisclosureShown: "disclosure_shown",
+    CustomEvent: "custom",
+    Event: "event",
+}
+
+ALL_EVENT_TYPES: tuple[type, ...] = tuple(
+    t for t in _KIND_NAMES if t not in (Event, CustomEvent)
+)

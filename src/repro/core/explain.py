@@ -1,0 +1,94 @@
+"""Human-readable explanation of audit findings.
+
+Axiom checkers produce machine-checkable violations with witnesses;
+this module turns them into the explanations the paper says workers
+lack today ("requesters who reject their contribution without providing
+feedback").  Two views:
+
+* :func:`explain_for_subject` — everything that happened *to* one
+  worker/requester/task, in plain sentences;
+* :func:`grievance_report` — per-subject grouping of a whole report,
+  most-wronged subjects first (what a worker-advocacy tool like
+  Turkopticon would render).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.audit import AuditReport
+from repro.core.violations import Violation, ViolationSeverity
+
+_TYPE_SENTENCES: dict[str, str] = {
+    "unequal_pay": (
+        "was paid differently from another worker for a similar "
+        "contribution to the same task"
+    ),
+    "wrongful_rejection": (
+        "had work rejected that was indistinguishable from accepted work"
+    ),
+    "bonus_reneged": "was promised a bonus that was never paid",
+    "undetected_malice": (
+        "behaved suspiciously without the platform warning requesters"
+    ),
+    "interruption": "was interrupted in the middle of started work",
+    "undisclosed_field": "withheld a mandated working-condition disclosure",
+    "silent_rejection": "rejected a contribution without any feedback",
+    "late_payment": "was paid later than the declared payment delay",
+    "undisclosed_computed_attribute": (
+        "was never shown their own platform statistics"
+    ),
+}
+
+
+def _sentence(violation: Violation) -> str:
+    tag = str(violation.witness.get("type", ""))
+    body = _TYPE_SENTENCES.get(tag)
+    if body is None:
+        return violation.message
+    return body
+
+
+def explain_violation(violation: Violation) -> str:
+    """One plain-English sentence with time and severity."""
+    subject = violation.subjects[0] if violation.subjects else "someone"
+    urgency = (
+        "Serious: " if violation.severity is ViolationSeverity.CRITICAL else ""
+    )
+    return f"{urgency}at t={violation.time}, {subject} {_sentence(violation)}."
+
+
+def explain_for_subject(report: AuditReport, subject_id: str) -> list[str]:
+    """Everything the audit found involving one subject, in time order."""
+    involved = sorted(
+        (v for v in report.violations if v.involves(subject_id)),
+        key=lambda v: (v.time, v.axiom_id),
+    )
+    return [explain_violation(v) for v in involved]
+
+
+def grievance_report(report: AuditReport, limit: int | None = None) -> str:
+    """Per-subject summary of an audit, most-wronged first.
+
+    ``limit`` caps the number of subjects listed (None = all).
+    """
+    per_subject: dict[str, list[Violation]] = defaultdict(list)
+    for violation in report.violations:
+        for subject in violation.subjects[:1]:  # attribute to primary subject
+            per_subject[subject].append(violation)
+    if not per_subject:
+        return "No grievances: the audit found no violations."
+    ranked = sorted(
+        per_subject.items(), key=lambda item: (-len(item[1]), item[0])
+    )
+    if limit is not None:
+        ranked = ranked[:limit]
+    lines = [f"Grievance report ({report.total_violations} violation(s) "
+             f"across {len(per_subject)} subject(s)):"]
+    for subject, violations in ranked:
+        lines.append(f"  {subject} — {len(violations)} grievance(s):")
+        for violation in sorted(violations, key=lambda v: v.time)[:5]:
+            lines.append(f"    - {explain_violation(violation)}")
+        if len(violations) > 5:
+            lines.append(f"    ... and {len(violations) - 5} more")
+    return "\n".join(lines)

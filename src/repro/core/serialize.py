@@ -1,0 +1,286 @@
+"""JSON serialization of platform traces.
+
+Section 3.3.1 aims the framework at *existing* crowdsourcing systems:
+an adapter for a real platform exports its logs in this JSON schema and
+the audit engine consumes them exactly like simulator traces.  The
+format is line-oriented-friendly (a dict per event) and versioned.
+
+Round-trip guarantee: ``trace_from_json(trace_to_json(t))`` reproduces
+every event, entity, and index of ``t``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.entities import (
+    Contribution,
+    Requester,
+    SkillVocabulary,
+    Task,
+    Worker,
+)
+from repro.core.events import (
+    AssignmentMade,
+    BonusPaid,
+    BonusPromised,
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    Event,
+    MaliceFlagged,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskCancelled,
+    TaskInterrupted,
+    TaskPosted,
+    TasksShown,
+    TaskStarted,
+    WorkerDeparted,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.core.trace import PlatformTrace
+from repro.errors import TraceError
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Entity codecs
+
+def _task_to_dict(task: Task) -> dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "requester_id": task.requester_id,
+        "vocabulary": list(task.required_skills.vocabulary.keywords),
+        "skills": list(task.required_skills.keywords),
+        "reward": task.reward,
+        "kind": task.kind,
+        "duration": task.duration,
+        "gold_answer": task.gold_answer,
+        "metadata": dict(task.metadata),
+    }
+
+
+def _task_from_dict(data: dict[str, Any]) -> Task:
+    vocabulary = SkillVocabulary(tuple(data["vocabulary"]))
+    return Task(
+        task_id=data["task_id"],
+        requester_id=data["requester_id"],
+        required_skills=vocabulary.vector(tuple(data["skills"])),
+        reward=data["reward"],
+        kind=data.get("kind", "label"),
+        duration=data.get("duration", 1),
+        gold_answer=data.get("gold_answer"),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def _worker_to_dict(worker: Worker) -> dict[str, Any]:
+    return {
+        "worker_id": worker.worker_id,
+        "declared": worker.declared.as_dict(),
+        "computed": worker.computed.as_dict(),
+        "derivation": dict(worker.computed.derivation),
+        "vocabulary": list(worker.skills.vocabulary.keywords),
+        "skills": list(worker.skills.keywords),
+    }
+
+
+def _worker_from_dict(data: dict[str, Any]) -> Worker:
+    vocabulary = SkillVocabulary(tuple(data["vocabulary"]))
+    return Worker(
+        worker_id=data["worker_id"],
+        declared=DeclaredAttributes(data.get("declared", {})),
+        computed=ComputedAttributes(
+            values=data.get("computed", {}),
+            derivation=data.get("derivation", {}),
+        ),
+        skills=vocabulary.vector(tuple(data["skills"])),
+    )
+
+
+def _requester_to_dict(requester: Requester) -> dict[str, Any]:
+    return {
+        "requester_id": requester.requester_id,
+        "name": requester.name,
+        "hourly_wage": requester.hourly_wage,
+        "payment_delay": requester.payment_delay,
+        "recruitment_criteria": requester.recruitment_criteria,
+        "rejection_criteria": requester.rejection_criteria,
+        "rating": requester.rating,
+    }
+
+
+def _requester_from_dict(data: dict[str, Any]) -> Requester:
+    return Requester(**data)
+
+
+def _contribution_to_dict(contribution: Contribution) -> dict[str, Any]:
+    payload = contribution.payload
+    if isinstance(payload, tuple):
+        payload = {"__tuple__": list(payload)}
+    return {
+        "contribution_id": contribution.contribution_id,
+        "task_id": contribution.task_id,
+        "worker_id": contribution.worker_id,
+        "payload": payload,
+        "submitted_at": contribution.submitted_at,
+        "quality": contribution.quality,
+        "work_time": contribution.work_time,
+    }
+
+
+def _contribution_from_dict(data: dict[str, Any]) -> Contribution:
+    payload = data["payload"]
+    if isinstance(payload, dict) and "__tuple__" in payload:
+        payload = tuple(payload["__tuple__"])
+    return Contribution(
+        contribution_id=data["contribution_id"],
+        task_id=data["task_id"],
+        worker_id=data["worker_id"],
+        payload=payload,
+        submitted_at=data["submitted_at"],
+        quality=data.get("quality"),
+        work_time=data.get("work_time"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Event codecs: kind -> (to_dict, from_dict)
+
+def _plain(event: Event, fields: tuple[str, ...]) -> dict[str, Any]:
+    data: dict[str, Any] = {"kind": event.kind, "time": event.time}
+    for name in fields:
+        value = getattr(event, name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        data[name] = value
+    return data
+
+
+_PLAIN_FIELDS: dict[type, tuple[str, ...]] = {
+    WorkerDeparted: ("worker_id", "reason"),
+    TasksShown: ("worker_id", "task_ids"),
+    AssignmentMade: ("worker_id", "task_id", "assigner"),
+    TaskStarted: ("worker_id", "task_id"),
+    TaskInterrupted: ("worker_id", "task_id", "reason", "worker_initiated"),
+    TaskCancelled: ("task_id", "reason"),
+    ContributionReviewed: (
+        "contribution_id", "task_id", "worker_id", "accepted", "feedback",
+    ),
+    PaymentIssued: ("worker_id", "task_id", "contribution_id", "amount"),
+    BonusPromised: ("requester_id", "worker_id", "amount", "condition"),
+    BonusPaid: ("requester_id", "worker_id", "amount"),
+    MaliceFlagged: ("worker_id", "detector", "score"),
+    DisclosureShown: ("subject", "field_name", "value", "audience_worker_id"),
+}
+
+def _kind_name(event_type: type) -> str:
+    from repro.core.events import _KIND_NAMES  # private kind-name table
+
+    return _KIND_NAMES[event_type]
+
+
+_PLAIN_BY_KIND = {
+    _kind_name(event_type): (event_type, fields)
+    for event_type, fields in _PLAIN_FIELDS.items()
+}
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    """One JSON-ready dict per event."""
+    if isinstance(event, (WorkerRegistered, WorkerUpdated)):
+        return {
+            "kind": event.kind, "time": event.time,
+            "worker": _worker_to_dict(event.worker),
+        }
+    if isinstance(event, RequesterRegistered):
+        return {
+            "kind": event.kind, "time": event.time,
+            "requester": _requester_to_dict(event.requester),
+        }
+    if isinstance(event, TaskPosted):
+        return {
+            "kind": event.kind, "time": event.time,
+            "task": _task_to_dict(event.task),
+        }
+    if isinstance(event, ContributionSubmitted):
+        return {
+            "kind": event.kind, "time": event.time,
+            "contribution": _contribution_to_dict(event.contribution),
+        }
+    fields = _PLAIN_FIELDS.get(type(event))
+    if fields is None:
+        raise TraceError(f"cannot serialize event type {type(event).__name__}")
+    return _plain(event, fields)
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    """Inverse of :func:`event_to_dict`."""
+    kind = data.get("kind")
+    time = data.get("time")
+    if not isinstance(time, int):
+        raise TraceError(f"event missing integer time: {data!r}")
+    if kind in ("worker_registered", "worker_updated"):
+        worker = _worker_from_dict(data["worker"])
+        event_type = (
+            WorkerRegistered if kind == "worker_registered" else WorkerUpdated
+        )
+        return event_type(time=time, worker=worker)
+    if kind == "requester_registered":
+        return RequesterRegistered(
+            time=time, requester=_requester_from_dict(data["requester"])
+        )
+    if kind == "task_posted":
+        return TaskPosted(time=time, task=_task_from_dict(data["task"]))
+    if kind == "contribution_submitted":
+        return ContributionSubmitted(
+            time=time,
+            contribution=_contribution_from_dict(data["contribution"]),
+        )
+    entry = _PLAIN_BY_KIND.get(kind or "")
+    if entry is None:
+        raise TraceError(f"unknown event kind {kind!r}")
+    event_type, fields = entry
+    kwargs: dict[str, Any] = {}
+    for name in fields:
+        value = data.get(name)
+        if name == "task_ids":
+            value = frozenset(value or ())
+        kwargs[name] = value
+    return event_type(time=time, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Trace codecs
+
+def trace_to_json(trace: PlatformTrace, indent: int | None = None) -> str:
+    """The whole trace as a JSON document."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "events": [event_to_dict(event) for event in trace],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def trace_from_json(text: str) -> PlatformTrace:
+    """Parse a JSON document back into an indexed trace."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TraceError(f"invalid trace JSON: {error}") from None
+    if not isinstance(document, dict) or "events" not in document:
+        raise TraceError("trace JSON must be an object with an 'events' list")
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+    return PlatformTrace(
+        event_from_dict(item) for item in document["events"]
+    )

@@ -1,0 +1,244 @@
+"""The platform trace: an ordered, indexed log of platform events.
+
+A :class:`PlatformTrace` is what audits consume.  The simulator in
+:mod:`repro.platform` produces traces natively; an adapter for a real
+platform would emit the same event schema.  The trace maintains
+secondary indexes (tasks by id, worker snapshots over time, events by
+kind) so axiom checkers stay close to linear in trace length.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.core.entities import Contribution, Requester, Task, Worker
+from repro.core.events import (
+    AssignmentMade,
+    ContributionReviewed,
+    ContributionSubmitted,
+    Event,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    TasksShown,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.errors import TraceError, UnknownEntityError
+
+E = TypeVar("E", bound=Event)
+
+
+class PlatformTrace:
+    """Append-only, time-ordered event log with entity indexes.
+
+    Events must be appended in non-decreasing time order; this mirrors
+    how a platform log accumulates and keeps the per-kind indexes
+    sorted for binary search.
+    """
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: list[Event] = []
+        self._by_kind: dict[str, list[Event]] = defaultdict(list)
+        self._tasks: dict[str, Task] = {}
+        self._requesters: dict[str, Requester] = {}
+        # Per-worker time series of snapshots: (time, Worker), time-sorted.
+        self._worker_snapshots: dict[str, list[tuple[int, Worker]]] = defaultdict(list)
+        self._contributions: dict[str, Contribution] = {}
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def append(self, event: Event) -> None:
+        """Append one event; indexes update incrementally."""
+        if self._events and event.time < self._events[-1].time:
+            raise TraceError(
+                f"event at t={event.time} appended after t={self._events[-1].time}; "
+                "traces must be time-ordered"
+            )
+        self._events.append(event)
+        self._by_kind[event.kind].append(event)
+        if isinstance(event, TaskPosted):
+            if event.task.task_id in self._tasks:
+                raise TraceError(f"task {event.task.task_id} posted twice")
+            self._tasks[event.task.task_id] = event.task
+        elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
+            insort(
+                self._worker_snapshots[event.worker.worker_id],
+                (event.time, event.worker),
+                key=lambda pair: pair[0],
+            )
+        elif isinstance(event, RequesterRegistered):
+            self._requesters[event.requester.requester_id] = event.requester
+        elif isinstance(event, ContributionSubmitted):
+            self._contributions[event.contribution.contribution_id] = (
+                event.contribution
+            )
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------
+    # Basic access
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    @property
+    def end_time(self) -> int:
+        """Time of the last event (0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0
+
+    def of_kind(self, event_type: type[E]) -> list[E]:
+        """All events of the given type, in time order."""
+        from repro.core.events import _KIND_NAMES  # private kind-name table
+
+        try:
+            name = _KIND_NAMES[event_type]
+        except KeyError:
+            raise TraceError(f"unknown event type: {event_type!r}") from None
+        return list(self._by_kind.get(name, []))  # type: ignore[return-value]
+
+    def where(self, predicate: Callable[[Event], bool]) -> list[Event]:
+        """All events matching an arbitrary predicate."""
+        return [event for event in self._events if predicate(event)]
+
+    # ------------------------------------------------------------------
+    # Entity lookups
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        return dict(self._tasks)
+
+    @property
+    def requesters(self) -> dict[str, Requester]:
+        return dict(self._requesters)
+
+    @property
+    def contributions(self) -> dict[str, Contribution]:
+        return dict(self._contributions)
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(self._worker_snapshots.keys())
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise UnknownEntityError(f"no task {task_id!r} in trace") from None
+
+    def requester(self, requester_id: str) -> Requester:
+        try:
+            return self._requesters[requester_id]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no requester {requester_id!r} in trace"
+            ) from None
+
+    def contribution(self, contribution_id: str) -> Contribution:
+        try:
+            return self._contributions[contribution_id]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no contribution {contribution_id!r} in trace"
+            ) from None
+
+    def worker_at(self, worker_id: str, time: int) -> Worker:
+        """The latest snapshot of a worker at or before ``time``."""
+        snapshots = self._worker_snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        index = bisect_right(snapshots, time, key=lambda pair: pair[0])
+        if index == 0:
+            raise UnknownEntityError(
+                f"worker {worker_id!r} not yet registered at t={time}"
+            )
+        return snapshots[index - 1][1]
+
+    def final_worker(self, worker_id: str) -> Worker:
+        """The last known snapshot of a worker."""
+        snapshots = self._worker_snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        return snapshots[-1][1]
+
+    def final_workers(self) -> dict[str, Worker]:
+        """Last known snapshot of every worker."""
+        return {wid: snaps[-1][1] for wid, snaps in self._worker_snapshots.items()}
+
+    # ------------------------------------------------------------------
+    # Derived views used by axiom checkers and metrics
+
+    def visibility_by_worker(self) -> dict[str, set[str]]:
+        """Union of task ids ever shown to each worker (Axioms 1, 2)."""
+        shown: dict[str, set[str]] = defaultdict(set)
+        for event in self.of_kind(TasksShown):
+            shown[event.worker_id].update(event.task_ids)
+        return dict(shown)
+
+    def audience_by_task(self) -> dict[str, set[str]]:
+        """Workers each task was ever shown to (Axiom 2)."""
+        audience: dict[str, set[str]] = defaultdict(set)
+        for event in self.of_kind(TasksShown):
+            for task_id in event.task_ids:
+                audience[task_id].add(event.worker_id)
+        return dict(audience)
+
+    def assignments_by_worker(self) -> dict[str, list[AssignmentMade]]:
+        grouped: dict[str, list[AssignmentMade]] = defaultdict(list)
+        for event in self.of_kind(AssignmentMade):
+            grouped[event.worker_id].append(event)
+        return dict(grouped)
+
+    def contributions_by_task(self) -> dict[str, list[Contribution]]:
+        grouped: dict[str, list[Contribution]] = defaultdict(list)
+        for event in self.of_kind(ContributionSubmitted):
+            grouped[event.contribution.task_id].append(event.contribution)
+        return dict(grouped)
+
+    def payments_by_worker(self) -> dict[str, float]:
+        totals: dict[str, float] = defaultdict(float)
+        for event in self.of_kind(PaymentIssued):
+            totals[event.worker_id] += event.amount
+        return dict(totals)
+
+    def payment_for_contribution(self, contribution_id: str) -> float:
+        """Total amount paid for one contribution (0.0 when unpaid)."""
+        return sum(
+            event.amount
+            for event in self.of_kind(PaymentIssued)
+            if event.contribution_id == contribution_id
+        )
+
+    def reviews_by_contribution(self) -> dict[str, ContributionReviewed]:
+        """The (last) review of each contribution."""
+        reviews: dict[str, ContributionReviewed] = {}
+        for event in self.of_kind(ContributionReviewed):
+            reviews[event.contribution_id] = event
+        return reviews
+
+    def slice(self, start: int, end: int) -> "PlatformTrace":
+        """A sub-trace with events in ``[start, end)``; entity-bearing
+        registration events before ``start`` are retained so lookups work."""
+        kept: list[Event] = []
+        for event in self._events:
+            is_entity = isinstance(
+                event, (WorkerRegistered, WorkerUpdated, RequesterRegistered,
+                        TaskPosted)
+            )
+            if start <= event.time < end or (is_entity and event.time < end):
+                kept.append(event)
+        return PlatformTrace(kept)

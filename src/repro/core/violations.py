@@ -1,0 +1,60 @@
+"""Violation records produced by axiom checkers.
+
+A :class:`Violation` is concrete evidence that a trace breaks an axiom:
+it names the axiom, the affected subjects (worker/task/requester ids),
+the time, and a ``witness`` mapping holding the raw facts a human (or a
+test) can verify — e.g. the two similar workers and the task one of them
+was denied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class ViolationSeverity(enum.Enum):
+    """How severely a violation harms the affected party.
+
+    ``INFO`` marks near-misses (useful when thresholds are strict),
+    ``WARNING`` marks unfair treatment that is plausibly recoverable,
+    ``CRITICAL`` marks unpaid work, wrongful rejection, or withheld
+    access.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+    def __lt__(self, other: "ViolationSeverity") -> bool:
+        order = [ViolationSeverity.INFO, ViolationSeverity.WARNING,
+                 ViolationSeverity.CRITICAL]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete breach of a fairness or transparency axiom."""
+
+    axiom_id: int
+    message: str
+    time: int
+    severity: ViolationSeverity = ViolationSeverity.WARNING
+    subjects: tuple[str, ...] = ()
+    witness: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "witness", dict(self.witness))
+
+    def involves(self, subject_id: str) -> bool:
+        """True when ``subject_id`` is among the affected subjects."""
+        return subject_id in self.subjects
+
+    def describe(self) -> str:
+        """A single-line human-readable description."""
+        who = ", ".join(self.subjects) if self.subjects else "-"
+        return (
+            f"[axiom {self.axiom_id}][{self.severity.value}] t={self.time} "
+            f"({who}): {self.message}"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subsystems
+raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class EntityError(ReproError):
+    """A task, worker, or requester is malformed or inconsistent."""
+
+
+class UnknownEntityError(EntityError):
+    """An identifier does not resolve to a registered entity."""
+
+
+class VocabularyMismatchError(EntityError):
+    """Two skill vectors were combined despite different vocabularies."""
+
+
+class TraceError(ReproError):
+    """A platform trace is malformed or violates event-ordering rules."""
+
+
+class AssignmentError(ReproError):
+    """A task-assignment algorithm received an infeasible instance."""
+
+
+class CompensationError(ReproError):
+    """A compensation scheme was asked to price an invalid contribution."""
+
+
+class PolicyError(ReproError):
+    """Base class for transparency-policy errors."""
+
+
+class PolicySyntaxError(PolicyError):
+    """The transparency DSL source text could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PolicySemanticsError(PolicyError):
+    """The policy parsed but refers to unknown fields or subjects."""
+
+
+class AuditError(ReproError):
+    """The audit engine was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The platform simulator reached an invalid state."""

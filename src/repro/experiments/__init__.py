@@ -1,0 +1,23 @@
+"""Experiment harness: the E1-E7 studies of DESIGN.md.
+
+Each experiment module exposes a ``run(...) -> ExperimentResult``
+function with tunable size parameters (benchmarks use small sizes, the
+CLI defaults to paper-scale).  ``repro.experiments.runner`` registers
+them all; ``python -m repro`` runs them from the command line.
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.tables import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Table",
+    "run_all",
+    "run_experiment",
+]

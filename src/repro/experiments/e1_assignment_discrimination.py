@@ -1,0 +1,171 @@
+"""E1 — Discriminatory power of task-assignment algorithms.
+
+The paper's Section 4.2 agenda: "review existing algorithms for task
+assignment ... to assess their discriminatory power."  Setup: a worker
+population split into two demographic groups that are *equally skilled*,
+but one group carries systematically lower platform-computed reliability
+(``C_w``) — the residue of historically biased reviews, the
+inter-process dependency of Section 3.3.1.  Every assigner allocates
+the same task batch; we measure, per assigner:
+
+* disparate impact of per-worker assignment counts across groups
+  (four-fifths rule: < 0.8 is conventionally discriminatory);
+* Gini coefficient of the task-count allocation;
+* total requester gain and worker surplus.
+
+Expected shape: requester-centric and Hungarian(requester) concentrate
+work on the high-reliability group (low disparate impact); self-
+appointment, round-robin, and worker-centric stay near parity; the
+fairness-constrained assigners restore parity at a modest gain cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment import (
+    AssignmentInstance,
+    BudgetOptimalAssigner,
+    EpsilonFairAssigner,
+    FairnessConstrainedAssigner,
+    HungarianAssigner,
+    OnlineGreedyAssigner,
+    RequesterCentricAssigner,
+    RoundRobinAssigner,
+    SelfAppointmentAssigner,
+    WorkerCentricAssigner,
+)
+from repro.assignment.base import Assigner
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.entities import Worker
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import Table
+from repro.metrics.inequality import gini_coefficient
+from repro.metrics.parity import disparate_impact, statistical_parity_difference
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import task_batch
+
+
+def biased_reputation_population(
+    size: int, seed: int = 0, reliability_gap: float = 0.3
+) -> list[Worker]:
+    """Two equally skilled groups; 'green' carries depressed ``C_w``.
+
+    Blue workers have acceptance ratios around 0.9; green workers are
+    identical except their published ratio is lower by
+    ``reliability_gap`` — the imprint of historically biased reviews.
+    """
+    rng = random.Random(seed)
+    vocabulary = standard_vocabulary()
+    skills = ("image_recognition", "categorization")
+    workers = []
+    for index in range(size):
+        group = "blue" if index % 2 == 0 else "green"
+        base_ratio = 0.9 + rng.uniform(-0.05, 0.05)
+        ratio = base_ratio - (reliability_gap if group == "green" else 0.0)
+        workers.append(
+            Worker(
+                worker_id=f"w{index + 1:04d}",
+                declared=DeclaredAttributes({"group": group}),
+                computed=ComputedAttributes(
+                    {
+                        "acceptance_ratio": max(0.0, min(1.0, ratio)),
+                        "tasks_completed": 20,
+                    }
+                ),
+                skills=vocabulary.vector(skills),
+            )
+        )
+    return workers
+
+
+def default_assigners(group_attribute: str = "group") -> list[Assigner]:
+    """The E1 catalogue, discriminatory-to-fair."""
+    return [
+        RequesterCentricAssigner(),
+        HungarianAssigner(objective="requester"),
+        OnlineGreedyAssigner(),
+        BudgetOptimalAssigner(redundancy=2),
+        SelfAppointmentAssigner(),
+        RoundRobinAssigner(),
+        WorkerCentricAssigner(),
+        FairnessConstrainedAssigner(group_attribute, epsilon=0.05),
+        EpsilonFairAssigner(epsilon=0.6),
+    ]
+
+
+def run(
+    n_workers: int = 120,
+    n_tasks: int = 90,
+    capacity: int = 2,
+    seed: int = 0,
+    reliability_gap: float = 0.3,
+    assigners: list[Assigner] | None = None,
+) -> ExperimentResult:
+    """Run the sweep; one table row per assigner."""
+    rng = random.Random(seed)
+    workers = biased_reputation_population(n_workers, seed, reliability_gap)
+    vocabulary = standard_vocabulary()
+    tasks = task_batch(
+        n_tasks, vocabulary, rng,
+        skills_per_task=1, gold_fraction=0.0,
+    )
+    # All workers qualify for all tasks: restrict required skills to the
+    # population's shared skills so reliability is the only differentiator.
+    tasks = [
+        task.__class__(
+            task_id=task.task_id,
+            requester_id=task.requester_id,
+            required_skills=vocabulary.vector(("image_recognition",)),
+            reward=task.reward,
+            kind=task.kind,
+            duration=task.duration,
+        )
+        for task in tasks
+    ]
+    instance = AssignmentInstance(
+        workers=tuple(workers), tasks=tuple(tasks), capacity=capacity
+    )
+    group_of = {
+        w.worker_id: str(w.declared.get("group", "<none>")) for w in workers
+    }
+    group_sizes: dict[str, int] = {}
+    for group in group_of.values():
+        group_sizes[group] = group_sizes.get(group, 0) + 1
+
+    table = Table(
+        title=(
+            "E1: discriminatory power of assignment algorithms "
+            f"({n_workers} workers, {n_tasks} tasks, reliability gap "
+            f"{reliability_gap:g})"
+        ),
+        columns=(
+            "assigner", "assigned", "disparate_impact", "parity_diff",
+            "gini", "requester_gain", "worker_surplus",
+        ),
+    )
+    for assigner in assigners if assigners is not None else default_assigners():
+        result = assigner.assign(instance, random.Random(seed))
+        counts = {w.worker_id: 0 for w in workers}
+        for pair in result.pairs:
+            counts[pair.worker_id] += 1
+        per_group: dict[str, float] = {g: 0.0 for g in group_sizes}
+        for worker_id, count in counts.items():
+            per_group[group_of[worker_id]] += count
+        rates = {
+            group: per_group[group] / group_sizes[group] for group in per_group
+        }
+        table.add_row(
+            assigner.name,
+            len(result.pairs),
+            disparate_impact(rates),
+            statistical_parity_difference(rates),
+            gini_coefficient(list(counts.values())),
+            result.requester_gain,
+            result.worker_surplus,
+        )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Discriminatory power of task-assignment algorithms",
+        tables=(table,),
+    )

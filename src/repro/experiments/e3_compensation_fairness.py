@@ -1,0 +1,149 @@
+"""E3 — Contribution quality vs fairness of compensation.
+
+Section 4.1's other objective measure: "contributions quality for
+fairness".  The same market runs under each compensation regime; unfair
+regimes (wage theft, biased review, bonus reneging) depress worker
+satisfaction, which feeds back into contribution quality via the
+session's morale coupling, and light up the Axiom 3 checker.
+
+Expected shape: quality-based pricing >= fixed pay > discriminatory
+regimes in mean quality; Axiom 3 violation counts are ~zero for the
+fair regimes and large for the unfair ones; retention follows the same
+ordering.
+
+The experiment reports Axiom 3 under *two readings* of "similar
+contributions" (see :class:`repro.core.axiom_compensation.FairCompensation`):
+the quality-aware reading (the headline — quality-based pricing is
+fair) and the strict payload-only reading (the ablation — quality-based
+pricing is flagged because identical answers earn different pay).  The
+tension between Axiom 3 and the quality-based rewards of [21] is a
+finding of this reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.compensation.discriminatory import WageTheftScheme
+from repro.compensation.fixed import FixedRewardScheme, PartialCreditScheme
+from repro.compensation.quality_based import QualityBasedScheme
+from repro.core.audit import AuditEngine
+from repro.core.axiom_compensation import FairCompensation
+from repro.core.axioms import AxiomRegistry
+from repro.core.entities import Requester
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import Table
+from repro.platform.review import BiasedReview, QualityThresholdReview, ReviewPolicy
+from repro.platform.session import Session, SessionConfig
+from repro.platform.market import PricingScheme
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream
+from repro.workloads.workers import PopulationSpec, population
+
+
+def _regimes() -> list[tuple[str, PricingScheme, ReviewPolicy]]:
+    """(name, pricing, review) triples, fair first."""
+    fair_review = QualityThresholdReview(threshold=0.5)
+    return [
+        ("quality_based", QualityBasedScheme(), fair_review),
+        ("fixed_reward", FixedRewardScheme(), fair_review),
+        ("partial_credit", PartialCreditScheme(), fair_review),
+        ("wage_theft", WageTheftScheme(theft_probability=0.35), fair_review),
+        (
+            "biased_review",
+            FixedRewardScheme(),
+            BiasedReview(
+                attribute="group", disadvantaged_value="green",
+                rejection_probability=0.6, threshold=0.5,
+            ),
+        ),
+    ]
+
+
+def run(
+    n_workers: int = 100,
+    rounds: int = 18,
+    tasks_per_round: int = 50,
+    seed: int = 11,
+) -> ExperimentResult:
+    vocabulary = standard_vocabulary()
+    table = Table(
+        title=(
+            f"E3: quality and fairness per compensation regime "
+            f"({n_workers} workers, {rounds} rounds; quality-aware Axiom 3)"
+        ),
+        columns=(
+            "regime", "mean_quality", "axiom3_violations", "axiom3_score",
+            "retention", "total_paid",
+        ),
+    )
+    ablation = Table(
+        title=(
+            "E3 (ablation): Axiom 3 under strict payload-only similarity"
+        ),
+        columns=("regime", "strict_violations", "strict_score"),
+    )
+    # Headline reading: contributions are similar only when both payload
+    # and latent quality agree; the payment tolerance absorbs the pay
+    # difference a within-tolerance quality gap can legitimately cause.
+    quality_aware = AuditEngine(
+        registry=AxiomRegistry().register(
+            FairCompensation(
+                similarity_threshold=0.95,
+                quality_tolerance=0.02,
+                payment_tolerance=0.02,
+            )
+        )
+    )
+    strict = AuditEngine(
+        registry=AxiomRegistry().register(
+            FairCompensation(similarity_threshold=0.95)
+        )
+    )
+    for name, pricing, review in _regimes():
+        spec = PopulationSpec(
+            size=n_workers,
+            behavior_mix={"diligent": 0.7, "sloppy": 0.3},
+            seed=seed,
+        )
+        workers, behaviors = population(spec, vocabulary)
+        stream = TaskStream(
+            vocabulary=vocabulary, tasks_per_round=tasks_per_round,
+            skills_per_task=1, gold_fraction=1.0,
+        )
+        config = SessionConfig(
+            rounds=rounds,
+            tasks_per_round=tasks_per_round,
+            seed=seed,
+            review_policy=review,
+            pricing=pricing,
+        )
+        session = Session(
+            config=config, workers=workers, behaviors=behaviors,
+            requesters=[
+                Requester(
+                    requester_id="r0001", name="acme", hourly_wage=6.0,
+                    payment_delay=5,
+                    recruitment_criteria="any", rejection_criteria="quality",
+                )
+            ],
+            task_factory=stream,
+        )
+        result = session.run()
+        axiom3 = quality_aware.audit(result.trace).result_for(3)
+        strict_axiom3 = strict.audit(result.trace).result_for(3)
+        mean_quality = (
+            sum(r.mean_quality for r in result.rounds) / len(result.rounds)
+        )
+        table.add_row(
+            name,
+            mean_quality,
+            axiom3.violation_count,
+            axiom3.score,
+            result.retention,
+            sum(r.total_paid for r in result.rounds),
+        )
+        ablation.add_row(name, strict_axiom3.violation_count, strict_axiom3.score)
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Contribution quality vs compensation fairness",
+        tables=(table, ablation),
+    )

@@ -1,0 +1,76 @@
+"""E4 — The per-axiom fairness-check benchmark suite.
+
+Section 3.3.1: "we intend to develop fairness check benchmarks and
+algorithms for existing crowdsourcing systems."  Benchmark protocol:
+every Section 3.1 scenario (eleven injections + one clean control) is
+audited with the full default suite; for each axiom we count
+
+* true positives — scenarios labelled as violating the axiom where the
+  checker fired;
+* false positives — scenarios *not* labelled where it fired anyway;
+* false negatives — labelled scenarios it missed;
+
+and report precision/recall per axiom.  Expected shape: 1.0/1.0 across
+the board, and zero violations of any kind on the clean control.
+"""
+
+from __future__ import annotations
+
+from repro.core.audit import AuditEngine
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import Table
+from repro.workloads.scenarios import Scenario, all_scenarios
+
+
+def run(seed: int = 0, scenarios: list[Scenario] | None = None) -> ExperimentResult:
+    suite = scenarios if scenarios is not None else all_scenarios(seed)
+    engine = AuditEngine()
+    fired_by_scenario: dict[str, set[int]] = {}
+    for scenario in suite:
+        report = engine.audit(scenario.trace)
+        fired_by_scenario[scenario.name] = {
+            result.axiom_id
+            for result in report.results
+            if result.violation_count > 0
+        }
+
+    per_axiom = Table(
+        title="E4: per-axiom detection over the scenario suite",
+        columns=(
+            "axiom", "true_pos", "false_pos", "false_neg",
+            "precision", "recall",
+        ),
+    )
+    for axiom_id in range(1, 8):
+        tp = fp = fn = 0
+        for scenario in suite:
+            expected = axiom_id in scenario.violated_axioms
+            fired = axiom_id in fired_by_scenario[scenario.name]
+            if expected and fired:
+                tp += 1
+            elif fired and not expected:
+                fp += 1
+            elif expected and not fired:
+                fn += 1
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        recall = tp / (tp + fn) if (tp + fn) else 1.0
+        per_axiom.add_row(axiom_id, tp, fp, fn, precision, recall)
+
+    per_scenario = Table(
+        title="E4 (detail): axioms fired per scenario",
+        columns=("scenario", "expected_axioms", "fired_axioms", "exact_match"),
+    )
+    for scenario in suite:
+        expected = sorted(scenario.violated_axioms)
+        fired = sorted(fired_by_scenario[scenario.name])
+        per_scenario.add_row(
+            scenario.name,
+            ",".join(map(str, expected)) or "-",
+            ",".join(map(str, fired)) or "-",
+            expected == fired,
+        )
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Fairness-check benchmark suite",
+        tables=(per_axiom, per_scenario),
+    )

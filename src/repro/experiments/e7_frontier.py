@@ -1,0 +1,104 @@
+"""E7 — The cost of fairness: requester utility vs parity frontier.
+
+Section 3.1.1 frames assignment fairness as a trade-off: requester-
+centric allocation "could be discriminatory to workers" while worker-
+centric allocation "may be unfavorable to requesters".  This experiment
+makes the trade-off explicit: the :class:`EpsilonFairAssigner` is swept
+from epsilon = 0 (pure requester-centric) to epsilon = 1 (pure
+egalitarian) on the E1 population, tracing a utility/parity Pareto
+frontier; the group-parity-constrained assigner is swept alongside.
+
+Note the two epsilons point in opposite directions: for
+``EpsilonFairAssigner`` epsilon is the *fairness weight* (1 = most
+fair), while for ``FairnessConstrainedAssigner`` it is the *allowed
+disparity* (0 = most fair).  Each sweep is monotone in its own
+direction.
+
+Expected shape: for the epsilon-fair sweep, requester gain decreases
+monotonically in epsilon while disparate impact rises toward 1.0 —
+fairness is bought at a smooth, quantifiable utility cost; the
+constrained sweep mirrors it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment import (
+    AssignmentInstance,
+    EpsilonFairAssigner,
+    FairnessConstrainedAssigner,
+)
+from repro.experiments.e1_assignment_discrimination import (
+    biased_reputation_population,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import Table
+from repro.metrics.inequality import gini_coefficient
+from repro.metrics.parity import disparate_impact
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import uniform_tasks
+
+
+def run(
+    n_workers: int = 80,
+    n_tasks: int = 60,
+    capacity: int = 2,
+    seed: int = 5,
+    epsilons: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    reliability_gap: float = 0.3,
+) -> ExperimentResult:
+    vocabulary = standard_vocabulary()
+    workers = biased_reputation_population(n_workers, seed, reliability_gap)
+    tasks = uniform_tasks(
+        n_tasks, vocabulary, reward=0.2,
+        skills=("image_recognition",), gold=False,
+    )
+    instance = AssignmentInstance(
+        workers=tuple(workers), tasks=tuple(tasks), capacity=capacity
+    )
+    group_of = {
+        w.worker_id: str(w.declared.get("group", "<none>")) for w in workers
+    }
+    group_sizes: dict[str, int] = {}
+    for group in group_of.values():
+        group_sizes[group] = group_sizes.get(group, 0) + 1
+
+    def measure(assigner) -> tuple[float, float, float]:
+        result = assigner.assign(instance, random.Random(seed))
+        counts = {w.worker_id: 0 for w in workers}
+        for pair in result.pairs:
+            counts[pair.worker_id] += 1
+        per_group = {g: 0.0 for g in group_sizes}
+        for worker_id, count in counts.items():
+            per_group[group_of[worker_id]] += count
+        rates = {g: per_group[g] / group_sizes[g] for g in per_group}
+        return (
+            result.requester_gain,
+            disparate_impact(rates),
+            gini_coefficient(list(counts.values())),
+        )
+
+    table = Table(
+        title=(
+            f"E7: utility/fairness frontier ({n_workers} workers, "
+            f"{n_tasks} tasks, reliability gap {reliability_gap:g})"
+        ),
+        columns=(
+            "assigner", "epsilon", "requester_gain", "disparate_impact",
+            "gini",
+        ),
+    )
+    for epsilon in epsilons:
+        gain, impact, gini = measure(EpsilonFairAssigner(epsilon=epsilon))
+        table.add_row("epsilon_fair", epsilon, gain, impact, gini)
+    for epsilon in epsilons:
+        gain, impact, gini = measure(
+            FairnessConstrainedAssigner("group", epsilon=epsilon)
+        )
+        table.add_row("fairness_constrained", epsilon, gain, impact, gini)
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Cost of fairness: utility vs parity frontier",
+        tables=(table,),
+    )

@@ -1,0 +1,100 @@
+"""E9 — Redundancy, aggregation, and the budget-optimal premise.
+
+KOS [11] buys reliability with redundancy; this experiment regenerates
+the two curves that justify the :class:`BudgetOptimalAssigner`:
+
+* **redundancy curve** (figure): majority-vote accuracy vs redundancy
+  for several worker-accuracy levels, against the Chernoff bound —
+  accuracy rises with redundancy and the bound is conservative;
+* **aggregator comparison** (table): majority vs reliability-weighted
+  vote vs one-coin EM on a mixed-quality simulated market — weighting
+  and EM dominate plain majority as worker quality becomes uneven.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation import (
+    MajorityVote,
+    OneCoinEM,
+    WeightedVote,
+    aggregate_trace,
+    collect_answers,
+    empirical_accuracy_curve,
+    majority_error_bound,
+)
+from repro.experiments.e5_malice_detection import labelled_market_trace
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import Table
+from repro.metrics.quality import quality_by_worker
+
+
+def run(
+    accuracies: tuple[float, ...] = (0.6, 0.7, 0.8),
+    redundancies: tuple[int, ...] = (1, 3, 5, 7, 9),
+    n_tasks: int = 400,
+    market_workers: int = 30,
+    market_tasks: int = 40,
+    spam_fraction: float = 0.4,
+    seed: int = 3,
+) -> ExperimentResult:
+    curve = Table(
+        title="E9 (figure): majority accuracy vs redundancy",
+        columns=("redundancy",) + tuple(
+            f"p={p:g}" for p in accuracies
+        ) + tuple(f"bound_p={p:g}" for p in accuracies),
+    )
+    empirical = {
+        p: empirical_accuracy_curve(p, redundancies, n_tasks=n_tasks,
+                                    seed=seed)
+        for p in accuracies
+    }
+    for redundancy in redundancies:
+        row: list[object] = [redundancy]
+        for p in accuracies:
+            row.append(empirical[p][redundancy])
+        for p in accuracies:
+            row.append(1.0 - majority_error_bound(p, redundancy))
+        curve.add_row(*row)
+
+    # Aggregator comparison on a realistic mixed market (40 % malicious).
+    trace, _ = labelled_market_trace(
+        n_workers=market_workers, n_tasks=market_tasks,
+        spam_fraction=spam_fraction, redundancy=5, gold_fraction=1.0,
+        seed=seed,
+    )
+    gold = {
+        task_id: str(task.gold_answer)
+        for task_id, task in trace.tasks.items()
+        if task.gold_answer is not None
+    }
+    reliability = quality_by_worker(trace)
+    comparison = Table(
+        title=(
+            "E9: aggregator accuracy on a market with "
+            f"{spam_fraction:.0%} malicious workers"
+        ),
+        columns=("aggregator", "accuracy", "tasks_decided"),
+    )
+    aggregators = [
+        MajorityVote(),
+        WeightedVote(reliability=reliability),
+        OneCoinEM(iterations=15),
+    ]
+    answers = collect_answers(trace)
+    for aggregator in aggregators:
+        if isinstance(aggregator, OneCoinEM):
+            estimated, _ = aggregator.fit(answers)
+        else:
+            estimated = aggregate_trace(aggregator, trace)
+        decided = {t: a for t, a in estimated.items() if t in gold}
+        correct = sum(
+            1 for task_id, answer in decided.items()
+            if str(answer) == gold[task_id]
+        )
+        accuracy = correct / len(decided) if decided else 0.0
+        comparison.add_row(aggregator.name, accuracy, len(decided))
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Redundancy and aggregation (budget-optimal premise)",
+        tables=(curve, comparison),
+    )

@@ -1,0 +1,129 @@
+"""Multi-seed replication of controlled experiments.
+
+Section 4.1 proposes *controlled experiments*; a single seeded run is
+one sample.  :func:`replicate` reruns a metric-extracting experiment
+across seeds and summarizes each metric with mean, standard deviation,
+and min/max — enough to tell a real effect (e.g. transparency lifting
+retention) from seed noise without external stats packages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.tables import Table
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/spread of one metric across replications."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0.0 for a single replication)."""
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval for the mean."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = z * self.std / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """All metric summaries of one replicated experiment."""
+
+    summaries: tuple[MetricSummary, ...]
+    seeds: tuple[int, ...]
+
+    def summary(self, name: str) -> MetricSummary:
+        for summary in self.summaries:
+            if summary.name == name:
+                return summary
+        raise ReproError(f"no metric {name!r} in replication result")
+
+    def table(self, title: str = "replication summary") -> Table:
+        table = Table(
+            title=f"{title} (n={len(self.seeds)} seeds)",
+            columns=("metric", "mean", "std", "min", "max"),
+        )
+        for summary in self.summaries:
+            table.add_row(
+                summary.name, summary.mean, summary.std,
+                summary.minimum, summary.maximum,
+            )
+        return table
+
+
+def replicate(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> ReplicationResult:
+    """Run ``experiment(seed)`` per seed and summarize its metrics.
+
+    The experiment returns a flat mapping of metric name -> float; all
+    replications must return the same metric names.
+    """
+    if not seeds:
+        raise ReproError("replicate needs at least one seed")
+    per_metric: dict[str, list[float]] = {}
+    expected_names: set[str] | None = None
+    for seed in seeds:
+        metrics = dict(experiment(seed))
+        names = set(metrics)
+        if expected_names is None:
+            expected_names = names
+        elif names != expected_names:
+            raise ReproError(
+                f"seed {seed} produced metrics {sorted(names)}, expected "
+                f"{sorted(expected_names)}"
+            )
+        for name, value in metrics.items():
+            per_metric.setdefault(name, []).append(float(value))
+    summaries = tuple(
+        MetricSummary(name=name, values=tuple(values))
+        for name, values in sorted(per_metric.items())
+    )
+    return ReplicationResult(summaries=summaries, seeds=tuple(seeds))
+
+
+def significant_difference(
+    left: MetricSummary, right: MetricSummary, z: float = 1.96
+) -> bool:
+    """True when the two metrics' confidence intervals do not overlap.
+
+    A deliberately conservative reading: non-overlapping intervals are
+    sufficient (not necessary) evidence of a real difference.
+    """
+    left_low, left_high = left.interval(z)
+    right_low, right_high = right.interval(z)
+    return left_high < right_low or right_high < left_low

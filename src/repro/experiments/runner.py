@@ -1,0 +1,80 @@
+"""Experiment registry and runner.
+
+Each experiment module's ``run`` function returns an
+:class:`ExperimentResult`; the registry maps experiment ids (E1..E7) to
+lazily imported runners so ``python -m repro E2`` works without paying
+for the others.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output: one or more tables."""
+
+    experiment_id: str
+    title: str
+    tables: tuple[Table, ...]
+
+    def render(self) -> str:
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return "\n\n".join([header, *(table.render() for table in self.tables)])
+
+    def table(self, index: int = 0) -> Table:
+        return self.tables[index]
+
+
+#: experiment id -> module path holding a ``run(**kwargs)`` function.
+EXPERIMENTS: dict[str, str] = {
+    "E1": "repro.experiments.e1_assignment_discrimination",
+    "E2": "repro.experiments.e2_transparency_retention",
+    "E3": "repro.experiments.e3_compensation_fairness",
+    "E4": "repro.experiments.e4_axiom_benchmarks",
+    "E5": "repro.experiments.e5_malice_detection",
+    "E6": "repro.experiments.e6_dsl_expressiveness",
+    "E7": "repro.experiments.e7_frontier",
+    "E8": "repro.experiments.e8_threshold_ablation",
+    "E9": "repro.experiments.e9_aggregation",
+    "E10": "repro.experiments.e10_power_analysis",
+}
+
+
+def experiment_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable of one experiment."""
+    try:
+        module_path = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    module = importlib.import_module(module_path)
+    return module.run
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id with keyword parameters."""
+    return experiment_runner(experiment_id)(**kwargs)
+
+
+def run_all(**kwargs: object) -> list[ExperimentResult]:
+    """Run every registered experiment with shared keyword parameters.
+
+    Only parameters an experiment's ``run`` accepts are forwarded.
+    """
+    import inspect
+
+    results = []
+    for experiment_id in sorted(EXPERIMENTS):
+        runner = experiment_runner(experiment_id)
+        accepted = set(inspect.signature(runner).parameters)
+        forwarded = {k: v for k, v in kwargs.items() if k in accepted}
+        results.append(runner(**forwarded))
+    return results

@@ -1,0 +1,86 @@
+"""ASCII table construction for experiment output.
+
+Experiments report tables shaped like a paper's evaluation section:
+named columns, typed cells (floats rendered with fixed precision), and
+a title.  Tables know how to render themselves and how to expose raw
+columns for programmatic assertions in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of results."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[object, ...]] = field(default_factory=list)
+    float_precision: int = 3
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in table {self.title!r}") from None
+        return [row[index] for row in self.rows]
+
+    def row_dict(self, index: int) -> dict[str, object]:
+        return dict(zip(self.columns, self.rows[index]))
+
+    def rows_as_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def _format_cell(self, value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.{self.float_precision}f}"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        cells = [
+            [self._format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def line(values: Sequence[str]) -> str:
+            return "  ".join(v.ljust(w) for v, w in zip(values, widths)).rstrip()
+
+        separator = "  ".join("-" * w for w in widths)
+        body = [line(row) for row in cells]
+        return "\n".join(
+            [self.title, line(self.columns), separator, *body]
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def series_table(
+    title: str, x_name: str, series: dict[str, Iterable[float]],
+    x_values: Iterable[object],
+) -> Table:
+    """A table from named y-series over shared x values (a 'figure')."""
+    names = tuple(series)
+    table = Table(title=title, columns=(x_name, *names))
+    columns = {name: list(values) for name, values in series.items()}
+    for index, x in enumerate(x_values):
+        table.add_row(x, *(columns[name][index] for name in names))
+    return table

@@ -1,0 +1,39 @@
+"""Malicious-worker detection.
+
+Axiom 4 obliges platforms to let requesters "detect workers behaving
+maliciously during task completion"; Vuurens et al. [20] report that
+without such detection ~40 % of AMT answers were malicious.  This
+package provides the detector toolbox:
+
+* :class:`GoldStandardDetector` — error rate on gold-answer tasks;
+* :class:`AgreementDetector` — disagreement with the per-task majority;
+* :class:`TimingDetector` — implausibly fast submissions;
+* :class:`EnsembleDetector` — weighted combination of the above.
+
+All detectors share the :class:`Detector` protocol (suspicion scores in
+[0, 1] per worker from a trace) and are evaluated by
+:func:`evaluate_detector` against ground-truth behaviour labels.
+"""
+
+from repro.malice.agreement import AgreementDetector, majority_answers
+from repro.malice.base import (
+    DetectionOutcome,
+    Detector,
+    evaluate_detector,
+    flag_workers,
+)
+from repro.malice.ensemble import EnsembleDetector
+from repro.malice.gold_standard import GoldStandardDetector
+from repro.malice.timing import TimingDetector
+
+__all__ = [
+    "AgreementDetector",
+    "DetectionOutcome",
+    "Detector",
+    "EnsembleDetector",
+    "GoldStandardDetector",
+    "TimingDetector",
+    "evaluate_detector",
+    "flag_workers",
+    "majority_answers",
+]

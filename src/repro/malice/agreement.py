@@ -1,0 +1,73 @@
+"""Agreement-based detection: disagreement with the crowd majority.
+
+Vuurens et al. [20] counter spam by comparing each answer with the
+other answers to the same task: honest workers cluster on the correct
+answer, spammers scatter.  Suspicion is the fraction of a worker's
+answers that disagree with the per-task majority (ties count as
+agreement — no evidence against the worker).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.core.events import ContributionSubmitted
+from repro.core.trace import PlatformTrace
+
+
+def majority_answers(trace: PlatformTrace) -> dict[str, object]:
+    """The (strict) majority payload per task, where one exists.
+
+    Tasks whose top answer ties, or with a single contribution, have no
+    majority and are omitted.
+    """
+    answers: dict[str, list[object]] = defaultdict(list)
+    for event in trace.of_kind(ContributionSubmitted):
+        answers[event.contribution.task_id].append(
+            _hashable(event.contribution.payload)
+        )
+    majorities: dict[str, object] = {}
+    for task_id, payloads in answers.items():
+        if len(payloads) < 2:
+            continue
+        counts = Counter(payloads).most_common(2)
+        if len(counts) == 1 or counts[0][1] > counts[1][1]:
+            majorities[task_id] = counts[0][0]
+    return majorities
+
+
+def _hashable(payload: object) -> object:
+    if isinstance(payload, list):
+        return tuple(payload)
+    if isinstance(payload, float):
+        # Numeric estimates rarely coincide exactly; bucket them so
+        # honest answers near the truth agree.
+        return round(payload, 1)
+    return payload
+
+
+@dataclass(frozen=True)
+class AgreementDetector:
+    """Suspicion = share of answers off the task majority."""
+
+    min_answers: int = 3
+    name: str = "agreement"
+
+    def score_workers(self, trace: PlatformTrace) -> dict[str, float]:
+        majorities = majority_answers(trace)
+        judged: dict[str, int] = defaultdict(int)
+        off: dict[str, int] = defaultdict(int)
+        for event in trace.of_kind(ContributionSubmitted):
+            contribution = event.contribution
+            majority = majorities.get(contribution.task_id)
+            if majority is None:
+                continue
+            judged[contribution.worker_id] += 1
+            if _hashable(contribution.payload) != majority:
+                off[contribution.worker_id] += 1
+        return {
+            worker_id: off[worker_id] / count
+            for worker_id, count in judged.items()
+            if count >= self.min_answers
+        }

@@ -1,0 +1,90 @@
+"""Detector protocol and evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.trace import PlatformTrace
+
+
+class Detector(Protocol):
+    """Scores each worker's suspicion of malice from a trace."""
+
+    name: str
+
+    def score_workers(self, trace: PlatformTrace) -> dict[str, float]:
+        """Suspicion score in [0, 1] per worker id (1 = surely malicious).
+
+        Workers without enough evidence may be omitted; absent workers
+        are treated as score 0 by :func:`flag_workers`.
+        """
+        ...
+
+
+def flag_workers(
+    detector: Detector, trace: PlatformTrace, threshold: float = 0.5
+) -> set[str]:
+    """Worker ids whose suspicion clears ``threshold``."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    scores = detector.score_workers(trace)
+    return {wid for wid, score in scores.items() if score >= threshold}
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Confusion-matrix summary of one detector run."""
+
+    detector: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives + self.false_positives
+            + self.false_negatives + self.true_negatives
+        )
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 1.0
+
+
+def evaluate_detector(
+    detector: Detector,
+    trace: PlatformTrace,
+    ground_truth_malicious: set[str],
+    threshold: float = 0.5,
+    population: set[str] | None = None,
+) -> DetectionOutcome:
+    """Score a detector against ground-truth malicious worker ids.
+
+    ``population`` defaults to every worker in the trace.
+    """
+    workers = population if population is not None else set(trace.worker_ids)
+    flagged = flag_workers(detector, trace, threshold) & workers
+    malicious = ground_truth_malicious & workers
+    return DetectionOutcome(
+        detector=detector.name,
+        true_positives=len(flagged & malicious),
+        false_positives=len(flagged - malicious),
+        false_negatives=len(malicious - flagged),
+        true_negatives=len(workers - flagged - malicious),
+    )

@@ -1,0 +1,56 @@
+"""Ensemble detection: weighted combination of the single signals.
+
+Each base detector covers a different evasion: gold catches anyone
+wrong (but needs seeded questions), agreement needs redundancy, timing
+only catches the hurried.  The ensemble averages the available scores
+per worker, weighting each detector; a worker scored by no detector is
+omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trace import PlatformTrace
+from repro.malice.agreement import AgreementDetector
+from repro.malice.base import Detector
+from repro.malice.gold_standard import GoldStandardDetector
+from repro.malice.timing import TimingDetector
+
+
+def _default_members() -> tuple[tuple[Detector, float], ...]:
+    return (
+        (GoldStandardDetector(), 1.0),
+        (AgreementDetector(), 1.0),
+        (TimingDetector(), 0.5),
+    )
+
+
+@dataclass(frozen=True)
+class EnsembleDetector:
+    """Weighted mean of member suspicions (over members with evidence)."""
+
+    members: tuple[tuple[Detector, float], ...] = field(
+        default_factory=_default_members
+    )
+    name: str = "ensemble"
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("ensemble needs at least one member")
+        if any(weight <= 0 for _, weight in self.members):
+            raise ValueError("member weights must be positive")
+
+    def score_workers(self, trace: PlatformTrace) -> dict[str, float]:
+        weighted_sum: dict[str, float] = {}
+        weight_total: dict[str, float] = {}
+        for detector, weight in self.members:
+            for worker_id, score in detector.score_workers(trace).items():
+                weighted_sum[worker_id] = (
+                    weighted_sum.get(worker_id, 0.0) + weight * score
+                )
+                weight_total[worker_id] = weight_total.get(worker_id, 0.0) + weight
+        return {
+            worker_id: weighted_sum[worker_id] / weight_total[worker_id]
+            for worker_id in weighted_sum
+        }

@@ -1,0 +1,41 @@
+"""Gold-standard detection: error rate on tasks with known answers.
+
+The classic quality-control signal: seed the task stream with gold
+questions; a worker's error rate on them estimates their reliability.
+Suspicion is the error rate itself, reported only once the worker has
+answered ``min_gold`` gold tasks (below that, no evidence).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.events import ContributionSubmitted
+from repro.core.trace import PlatformTrace
+
+
+@dataclass(frozen=True)
+class GoldStandardDetector:
+    """Suspicion = gold-answer error rate."""
+
+    min_gold: int = 3
+    name: str = "gold_standard"
+
+    def score_workers(self, trace: PlatformTrace) -> dict[str, float]:
+        answered: dict[str, int] = defaultdict(int)
+        wrong: dict[str, int] = defaultdict(int)
+        tasks = trace.tasks
+        for event in trace.of_kind(ContributionSubmitted):
+            contribution = event.contribution
+            task = tasks.get(contribution.task_id)
+            if task is None or task.gold_answer is None:
+                continue
+            answered[contribution.worker_id] += 1
+            if str(contribution.payload) != str(task.gold_answer):
+                wrong[contribution.worker_id] += 1
+        return {
+            worker_id: wrong[worker_id] / count
+            for worker_id, count in answered.items()
+            if count >= self.min_gold
+        }

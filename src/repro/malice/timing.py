@@ -1,0 +1,50 @@
+"""Timing-based detection: implausibly fast submissions.
+
+Spammers answer as fast as the interface allows; honest work takes
+roughly the task's nominal duration.  Suspicion is the fraction of a
+worker's submissions completed in less than ``fast_fraction`` of the
+task duration.  Note the deliberate blind spot: *malicious* (wrong but
+unhurried) workers evade this detector — which is why the ensemble
+exists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.events import ContributionSubmitted
+from repro.core.trace import PlatformTrace
+
+
+@dataclass(frozen=True)
+class TimingDetector:
+    """Suspicion = share of submissions faster than the plausible floor."""
+
+    fast_fraction: float = 0.5
+    min_answers: int = 3
+    name: str = "timing"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in (0, 1]")
+
+    def score_workers(self, trace: PlatformTrace) -> dict[str, float]:
+        timed: dict[str, int] = defaultdict(int)
+        fast: dict[str, int] = defaultdict(int)
+        tasks = trace.tasks
+        for event in trace.of_kind(ContributionSubmitted):
+            contribution = event.contribution
+            task = tasks.get(contribution.task_id)
+            if task is None or contribution.work_time is None:
+                continue
+            if task.duration < 2:
+                continue  # one-tick tasks carry no timing signal
+            timed[contribution.worker_id] += 1
+            if contribution.work_time < self.fast_fraction * task.duration:
+                fast[contribution.worker_id] += 1
+        return {
+            worker_id: fast[worker_id] / count
+            for worker_id, count in timed.items()
+            if count >= self.min_answers
+        }

@@ -1,0 +1,48 @@
+"""Objective measures for validating fairness and transparency.
+
+Section 4.1: "objective measures such as quality of worker contribution
+and worker retention, can be used in controlled experiments to quantify
+the level of fairness and transparency of a system".  This package
+computes those measures (and standard auxiliary ones) from traces and
+session results:
+
+* contribution quality (:mod:`repro.metrics.quality`);
+* worker retention and survival (:mod:`repro.metrics.retention`);
+* inequality indexes over allocations (:mod:`repro.metrics.inequality`);
+* demographic parity and disparate impact (:mod:`repro.metrics.parity`);
+* earnings and requester utility (:mod:`repro.metrics.earnings`).
+"""
+
+from repro.metrics.earnings import (
+    effective_hourly_wages,
+    requester_utility,
+    worker_earnings,
+)
+from repro.metrics.inequality import atkinson_index, gini_coefficient, theil_index
+from repro.metrics.parity import (
+    GroupExposure,
+    disparate_impact,
+    exposure_by_group,
+    statistical_parity_difference,
+)
+from repro.metrics.quality import accuracy_against_gold, mean_quality, quality_by_group
+from repro.metrics.retention import dropout_reasons, retention_rate, survival_curve
+
+__all__ = [
+    "GroupExposure",
+    "accuracy_against_gold",
+    "atkinson_index",
+    "disparate_impact",
+    "dropout_reasons",
+    "effective_hourly_wages",
+    "exposure_by_group",
+    "gini_coefficient",
+    "mean_quality",
+    "quality_by_group",
+    "requester_utility",
+    "retention_rate",
+    "statistical_parity_difference",
+    "survival_curve",
+    "theil_index",
+    "worker_earnings",
+]

@@ -1,0 +1,65 @@
+"""Earnings-side measures: worker pay, wages, requester utility."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.events import ContributionSubmitted, PaymentIssued
+from repro.core.trace import PlatformTrace
+
+
+def worker_earnings(trace: PlatformTrace) -> dict[str, float]:
+    """Total amount paid per worker (task payments)."""
+    return trace.payments_by_worker()
+
+
+def effective_hourly_wages(trace: PlatformTrace) -> dict[str, float]:
+    """Per-worker pay per tick of work (the Turkopticon-style number).
+
+    Workers with recorded work time but zero pay get 0.0; workers with
+    no timed work are omitted.
+    """
+    work_time: dict[str, int] = defaultdict(int)
+    for event in trace.of_kind(ContributionSubmitted):
+        contribution = event.contribution
+        if contribution.work_time:
+            work_time[contribution.worker_id] += contribution.work_time
+    earnings = trace.payments_by_worker()
+    return {
+        worker_id: earnings.get(worker_id, 0.0) / ticks
+        for worker_id, ticks in work_time.items()
+        if ticks > 0
+    }
+
+
+def requester_utility(trace: PlatformTrace) -> dict[str, float]:
+    """Quality-weighted value received per requester.
+
+    Each accepted contribution contributes ``quality x reward`` (what
+    the requester actually got), minus what they paid; rejected work
+    costs the payment only (normally zero).  This is the utility the
+    requester-centric assigners maximize in expectation.
+    """
+    reviews = trace.reviews_by_contribution()
+    utility: dict[str, float] = defaultdict(float)
+    tasks = trace.tasks
+    paid_for: dict[str, float] = defaultdict(float)
+    for event in trace.of_kind(PaymentIssued):
+        paid_for[event.contribution_id] += event.amount
+    for event in trace.of_kind(ContributionSubmitted):
+        contribution = event.contribution
+        task = tasks.get(contribution.task_id)
+        if task is None:
+            continue
+        review = reviews.get(contribution.contribution_id)
+        value = 0.0
+        if review is not None and review.accepted:
+            quality = contribution.quality if contribution.quality is not None else 1.0
+            value = quality * task.reward
+        utility[task.requester_id] += value - paid_for[contribution.contribution_id]
+    return dict(utility)
+
+
+def total_platform_volume(trace: PlatformTrace) -> float:
+    """Total money moved through the platform (payments only)."""
+    return sum(event.amount for event in trace.of_kind(PaymentIssued))

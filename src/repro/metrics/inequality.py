@@ -1,0 +1,86 @@
+"""Inequality indexes over allocations (task counts, earnings).
+
+Standard econometric measures used to summarize how unevenly a
+quantity is distributed over workers; the E1 benchmark reports the Gini
+of task allocation per assigner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini index in [0, 1]; 0 = perfectly equal.
+
+    Accepts non-negative values; an empty or all-zero sequence is
+    perfectly equal (0.0).
+    """
+    if any(v < 0 for v in values):
+        raise ValueError("gini is defined for non-negative values")
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    weighted = 0.0
+    for rank, value in enumerate(ordered, start=1):
+        weighted += rank * value
+    raw = (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    return min(1.0, max(0.0, raw))
+
+
+def atkinson_index(values: Sequence[float], epsilon: float = 0.5) -> float:
+    """Atkinson inequality index with aversion ``epsilon`` in (0, 1].
+
+    0 = equal; approaches 1 as inequality grows.  Zero incomes make the
+    index 1 for epsilon >= 1; we restrict epsilon to (0, 1] and treat
+    all-zero sequences as equal.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    if any(v < 0 for v in values):
+        raise ValueError("atkinson is defined for non-negative values")
+    n = len(values)
+    if n == 0:
+        return 0.0
+    mean = sum(values) / n
+    if mean == 0:
+        return 0.0
+    if epsilon == 1.0:
+        if any(v == 0 for v in values):
+            return 1.0
+        log_mean = sum(math.log(v) for v in values) / n
+        raw = 1.0 - math.exp(log_mean) / mean
+    else:
+        power = 1.0 - epsilon
+        ede = (sum(v**power for v in values) / n) ** (1.0 / power)
+        raw = 1.0 - ede / mean
+    return min(1.0, max(0.0, raw))
+
+
+def theil_index(values: Sequence[float]) -> float:
+    """Theil T index; 0 = equal, log(n) = maximal concentration.
+
+    Zero values contribute zero (the ``x log x -> 0`` limit).
+    """
+    if any(v < 0 for v in values):
+        raise ValueError("theil is defined for non-negative values")
+    n = len(values)
+    if n == 0:
+        return 0.0
+    mean = sum(values) / n
+    if mean == 0:
+        return 0.0
+    total = 0.0
+    for value in values:
+        if value > 0:
+            ratio = value / mean
+            # Tiny values can underflow to a zero ratio; their x*log(x)
+            # contribution is 0 in the limit, so skip them.
+            if ratio > 0.0:
+                total += ratio * math.log(ratio)
+    return max(0.0, total / n)

@@ -1,0 +1,105 @@
+"""Demographic parity measures over traces.
+
+These quantify the *discriminatory power* the paper's agenda asks us to
+assess: how unevenly assignment/visibility/earnings fall across
+demographic groups.  ``disparate_impact`` follows the EEOC four-fifths
+convention: a ratio below 0.8 is conventionally discriminatory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.events import AssignmentMade, PaymentIssued, TasksShown
+from repro.core.trace import PlatformTrace
+
+
+@dataclass(frozen=True)
+class GroupExposure:
+    """Per-group aggregate exposure extracted from one trace."""
+
+    group: str
+    workers: int
+    tasks_shown: int
+    tasks_assigned: int
+    total_paid: float
+
+    @property
+    def shown_per_worker(self) -> float:
+        return self.tasks_shown / self.workers if self.workers else 0.0
+
+    @property
+    def assigned_per_worker(self) -> float:
+        return self.tasks_assigned / self.workers if self.workers else 0.0
+
+    @property
+    def paid_per_worker(self) -> float:
+        return self.total_paid / self.workers if self.workers else 0.0
+
+
+def exposure_by_group(
+    trace: PlatformTrace, group_attribute: str = "group"
+) -> dict[str, GroupExposure]:
+    """Aggregate visibility, assignment, and pay per demographic group."""
+    group_of: dict[str, str] = {}
+    for worker_id in trace.worker_ids:
+        worker = trace.final_worker(worker_id)
+        group_of[worker_id] = str(worker.declared.get(group_attribute, "<none>"))
+    workers_per_group: dict[str, int] = defaultdict(int)
+    for group in group_of.values():
+        workers_per_group[group] += 1
+    shown: dict[str, int] = defaultdict(int)
+    for event in trace.of_kind(TasksShown):
+        shown[group_of.get(event.worker_id, "<none>")] += len(event.task_ids)
+    assigned: dict[str, int] = defaultdict(int)
+    for event in trace.of_kind(AssignmentMade):
+        assigned[group_of.get(event.worker_id, "<none>")] += 1
+    paid: dict[str, float] = defaultdict(float)
+    for event in trace.of_kind(PaymentIssued):
+        paid[group_of.get(event.worker_id, "<none>")] += event.amount
+    return {
+        group: GroupExposure(
+            group=group,
+            workers=workers_per_group[group],
+            tasks_shown=shown.get(group, 0),
+            tasks_assigned=assigned.get(group, 0),
+            total_paid=paid.get(group, 0.0),
+        )
+        for group in workers_per_group
+    }
+
+
+def disparate_impact(rates: Mapping[str, float]) -> float:
+    """min rate / max rate across groups (1.0 = parity; < 0.8 = red flag).
+
+    ``rates`` maps group -> a non-negative per-capita rate (e.g. tasks
+    assigned per worker).  Fewer than two groups is parity by
+    definition; a zero max rate (nobody got anything) is also parity.
+    """
+    if any(rate < 0 for rate in rates.values()):
+        raise ValueError("rates must be non-negative")
+    if len(rates) < 2:
+        return 1.0
+    highest = max(rates.values())
+    if highest == 0:
+        return 1.0
+    return min(rates.values()) / highest
+
+
+def statistical_parity_difference(rates: Mapping[str, float]) -> float:
+    """max rate - min rate across groups (0.0 = parity)."""
+    if len(rates) < 2:
+        return 0.0
+    return max(rates.values()) - min(rates.values())
+
+
+def assignment_disparate_impact(
+    trace: PlatformTrace, group_attribute: str = "group"
+) -> float:
+    """Disparate impact of per-worker assignment counts (the E1 headline)."""
+    exposures = exposure_by_group(trace, group_attribute)
+    return disparate_impact(
+        {group: e.assigned_per_worker for group, e in exposures.items()}
+    )

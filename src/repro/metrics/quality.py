@@ -1,0 +1,63 @@
+"""Contribution-quality measures (the paper's fairness validation metric)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.events import ContributionSubmitted
+from repro.core.trace import PlatformTrace
+
+
+def mean_quality(trace: PlatformTrace) -> float:
+    """Mean latent quality over all contributions (0.0 for none)."""
+    qualities = [
+        e.contribution.quality
+        for e in trace.of_kind(ContributionSubmitted)
+        if e.contribution.quality is not None
+    ]
+    return sum(qualities) / len(qualities) if qualities else 0.0
+
+
+def accuracy_against_gold(trace: PlatformTrace) -> float:
+    """Fraction of gold-task answers matching gold (1.0 for none)."""
+    total = 0
+    correct = 0
+    tasks = trace.tasks
+    for event in trace.of_kind(ContributionSubmitted):
+        task = tasks.get(event.contribution.task_id)
+        if task is None or task.gold_answer is None:
+            continue
+        total += 1
+        if str(event.contribution.payload) == str(task.gold_answer):
+            correct += 1
+    return correct / total if total else 1.0
+
+
+def quality_by_worker(trace: PlatformTrace) -> dict[str, float]:
+    """Mean latent quality per worker."""
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for event in trace.of_kind(ContributionSubmitted):
+        contribution = event.contribution
+        if contribution.quality is None:
+            continue
+        sums[contribution.worker_id] += contribution.quality
+        counts[contribution.worker_id] += 1
+    return {wid: sums[wid] / counts[wid] for wid in sums}
+
+
+def quality_by_group(
+    trace: PlatformTrace, group_attribute: str = "group"
+) -> dict[str, float]:
+    """Mean latent quality per demographic group of the contributor."""
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for event in trace.of_kind(ContributionSubmitted):
+        contribution = event.contribution
+        if contribution.quality is None:
+            continue
+        worker = trace.final_worker(contribution.worker_id)
+        group = str(worker.declared.get(group_attribute, "<none>"))
+        sums[group] += contribution.quality
+        counts[group] += 1
+    return {group: sums[group] / counts[group] for group in sums}

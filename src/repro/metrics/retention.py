@@ -1,0 +1,46 @@
+"""Worker retention (the paper's transparency validation metric)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.events import WorkerDeparted, WorkerRegistered
+from repro.core.trace import PlatformTrace
+
+
+def retention_rate(trace: PlatformTrace) -> float:
+    """Fraction of ever-registered workers who never departed."""
+    registered = {e.worker.worker_id for e in trace.of_kind(WorkerRegistered)}
+    if not registered:
+        return 1.0
+    departed = {e.worker_id for e in trace.of_kind(WorkerDeparted)}
+    return len(registered - departed) / len(registered)
+
+
+def survival_curve(trace: PlatformTrace, buckets: int = 10) -> list[float]:
+    """Active fraction at ``buckets`` evenly spaced times over the trace.
+
+    The curve starts at 1.0 (everyone registered is counted from their
+    registration; the simulator registers all workers up front) and
+    decreases as departures accumulate.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    registered = {e.worker.worker_id for e in trace.of_kind(WorkerRegistered)}
+    if not registered:
+        return [1.0] * buckets
+    departures = sorted(
+        (e.time, e.worker_id) for e in trace.of_kind(WorkerDeparted)
+    )
+    end = max(trace.end_time, 1)
+    curve: list[float] = []
+    for bucket in range(1, buckets + 1):
+        cutoff = end * bucket / buckets
+        gone = {wid for time, wid in departures if time <= cutoff}
+        curve.append(len(registered - gone) / len(registered))
+    return curve
+
+
+def dropout_reasons(trace: PlatformTrace) -> dict[str, int]:
+    """Histogram of departure reasons."""
+    return dict(Counter(e.reason or "<none>" for e in trace.of_kind(WorkerDeparted)))

@@ -1,0 +1,70 @@
+"""Crowdsourcing platform simulator.
+
+This package is the substrate the paper assumes: an AMT/CrowdFlower-like
+marketplace whose every step is recorded as events in a
+:class:`repro.core.trace.PlatformTrace` so the audit engine can check it
+against the fairness and transparency axioms.
+
+The simulator is deliberately *configurable towards unfairness*: biased
+visibility policies, discriminatory review policies, and compensation
+schemes that renege on bonuses let experiments inject exactly the
+Section 3.1 discrimination scenarios and verify the checkers flag them.
+"""
+
+from repro.platform.behavior import (
+    BehaviorModel,
+    DiligentBehavior,
+    MaliciousBehavior,
+    SloppyBehavior,
+    SpammerBehavior,
+    behavior_named,
+)
+from repro.platform.clock import Clock
+from repro.platform.ids import IdFactory
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.payment import PaymentLedger
+from repro.platform.review import (
+    AcceptAllReview,
+    BiasedReview,
+    GoldAnswerReview,
+    QualityThresholdReview,
+    ReviewDecision,
+    ReviewPolicy,
+    SilentRejectReview,
+)
+from repro.platform.session import Session, SessionConfig, SessionResult
+from repro.platform.visibility import (
+    BiasedVisibility,
+    QualificationVisibility,
+    ReputationTieredVisibility,
+    ShowAllVisibility,
+    VisibilityPolicy,
+)
+
+__all__ = [
+    "AcceptAllReview",
+    "BehaviorModel",
+    "BiasedReview",
+    "BiasedVisibility",
+    "Clock",
+    "CrowdsourcingPlatform",
+    "DiligentBehavior",
+    "GoldAnswerReview",
+    "IdFactory",
+    "MaliciousBehavior",
+    "PaymentLedger",
+    "QualificationVisibility",
+    "QualityThresholdReview",
+    "ReputationTieredVisibility",
+    "ReviewDecision",
+    "ReviewPolicy",
+    "Session",
+    "SessionConfig",
+    "SessionResult",
+    "ShowAllVisibility",
+    "SilentRejectReview",
+    "SloppyBehavior",
+    "SpammerBehavior",
+    "VisibilityPolicy",
+    "behavior_named",
+]

@@ -1,0 +1,181 @@
+"""Worker behaviour models.
+
+A behaviour model decides how a worker produces contributions: the
+answer payload, its latent quality, and the time spent.  Four models
+cover the populations discussed in the paper and in Vuurens et al. [20]
+(who observed ~40 % malicious answers on AMT):
+
+* :class:`DiligentBehavior` — honest, slow, high quality;
+* :class:`SloppyBehavior` — honest but hurried, medium quality;
+* :class:`SpammerBehavior` — answers uniformly at random, instantly;
+* :class:`MaliciousBehavior` — deliberately wrong (adversarial) answers.
+
+Quality is a latent value in ``[0, 1]``; for tasks with a gold answer it
+is the probability of matching gold, realized per contribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.entities import Task, Worker
+
+#: Label alphabet used when a labelling task does not define options.
+DEFAULT_LABELS: tuple[str, ...] = ("A", "B", "C", "D")
+
+#: Word pool for synthetic textual answers.
+_WORDS: tuple[str, ...] = (
+    "data", "image", "shows", "clear", "product", "review", "positive",
+    "negative", "person", "object", "street", "quality", "summary",
+    "report", "answer", "detail", "scene", "label", "content", "value",
+)
+
+
+@dataclass(frozen=True)
+class WorkProduct:
+    """What a behaviour produced for one task."""
+
+    payload: object
+    quality: float
+    work_time: int
+
+
+class BehaviorModel(Protocol):
+    """Produces a :class:`WorkProduct` for a worker-task pair."""
+
+    name: str
+
+    def produce(
+        self, worker: Worker, task: Task, rng: random.Random
+    ) -> WorkProduct: ...
+
+
+def _task_labels(task: Task) -> tuple[str, ...]:
+    options = task.metadata.get("options")
+    if isinstance(options, (list, tuple)) and options:
+        return tuple(str(o) for o in options)
+    return DEFAULT_LABELS
+
+
+def _correct_label(task: Task, rng: random.Random) -> str:
+    if task.gold_answer is not None:
+        return str(task.gold_answer)
+    # No gold: any consistent choice works; derive one from the task id
+    # so all honest workers converge on the same answer.
+    labels = _task_labels(task)
+    return labels[hash(task.task_id) % len(labels)]
+
+
+def _produce_payload(
+    task: Task, quality: float, rng: random.Random
+) -> object:
+    """Realize a payload whose correctness probability is ``quality``."""
+    kind = task.kind
+    if kind == "label":
+        labels = _task_labels(task)
+        correct = _correct_label(task, rng)
+        if rng.random() < quality:
+            return correct
+        wrong = [label for label in labels if label != correct]
+        return rng.choice(wrong) if wrong else correct
+    if kind == "text":
+        # Higher quality -> longer, more on-topic text anchored on the
+        # task id, so honest answers to the same task are similar.
+        anchor_words = [_WORDS[(hash(task.task_id) + i) % len(_WORDS)] for i in range(6)]
+        n_anchor = max(1, round(quality * len(anchor_words)))
+        noise = [rng.choice(_WORDS) for _ in range(max(0, 8 - n_anchor))]
+        words = anchor_words[:n_anchor] + noise
+        rng.shuffle(words)
+        return " ".join(words)
+    if kind == "ranking":
+        items = task.metadata.get("items")
+        reference = [str(i) for i in items] if isinstance(items, (list, tuple)) else [
+            f"item{i}" for i in range(5)
+        ]
+        ranking = list(reference)
+        # Lower quality -> more random adjacent swaps.
+        swaps = round((1.0 - quality) * len(ranking) * 2)
+        for _ in range(swaps):
+            i = rng.randrange(len(ranking) - 1)
+            ranking[i], ranking[i + 1] = ranking[i + 1], ranking[i]
+        return tuple(ranking)
+    if kind == "numeric":
+        truth = float(task.metadata.get("truth", 100.0))
+        spread = (1.0 - quality) * 0.5 * truth
+        return truth + rng.uniform(-spread, spread)
+    # Unknown kinds degrade to a label answer.
+    return _correct_label(task, rng)
+
+
+@dataclass(frozen=True)
+class DiligentBehavior:
+    """Honest and careful: quality ~ U[base - 0.05, base + 0.05]."""
+
+    base_quality: float = 0.9
+    name: str = "diligent"
+
+    def produce(self, worker: Worker, task: Task, rng: random.Random) -> WorkProduct:
+        quality = min(1.0, max(0.0, self.base_quality + rng.uniform(-0.05, 0.05)))
+        payload = _produce_payload(task, quality, rng)
+        work_time = max(1, task.duration + rng.choice((0, 0, 1)))
+        return WorkProduct(payload=payload, quality=quality, work_time=work_time)
+
+
+@dataclass(frozen=True)
+class SloppyBehavior:
+    """Honest but hurried: medium quality, faster than the task needs."""
+
+    base_quality: float = 0.65
+    name: str = "sloppy"
+
+    def produce(self, worker: Worker, task: Task, rng: random.Random) -> WorkProduct:
+        quality = min(1.0, max(0.0, self.base_quality + rng.uniform(-0.15, 0.1)))
+        payload = _produce_payload(task, quality, rng)
+        work_time = max(1, task.duration - rng.choice((0, 1)))
+        return WorkProduct(payload=payload, quality=quality, work_time=work_time)
+
+
+@dataclass(frozen=True)
+class SpammerBehavior:
+    """Answers at random, as fast as possible (Vuurens et al.'s spammers)."""
+
+    name: str = "spammer"
+
+    def produce(self, worker: Worker, task: Task, rng: random.Random) -> WorkProduct:
+        quality = rng.uniform(0.0, 0.3)
+        payload = _produce_payload(task, quality, rng)
+        return WorkProduct(payload=payload, quality=quality, work_time=1)
+
+
+@dataclass(frozen=True)
+class MaliciousBehavior:
+    """Deliberately wrong answers: quality pinned near zero, but takes a
+    plausible amount of time (harder to detect by timing alone)."""
+
+    name: str = "malicious"
+
+    def produce(self, worker: Worker, task: Task, rng: random.Random) -> WorkProduct:
+        quality = rng.uniform(0.0, 0.1)
+        payload = _produce_payload(task, quality, rng)
+        work_time = max(1, task.duration + rng.choice((-1, 0)))
+        return WorkProduct(payload=payload, quality=quality, work_time=work_time)
+
+
+_BEHAVIORS: dict[str, BehaviorModel] = {
+    "diligent": DiligentBehavior(),
+    "sloppy": SloppyBehavior(),
+    "spammer": SpammerBehavior(),
+    "malicious": MaliciousBehavior(),
+}
+
+
+def behavior_named(name: str) -> BehaviorModel:
+    """Look up a standard behaviour model by name."""
+    try:
+        return _BEHAVIORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown behaviour {name!r}; known: {sorted(_BEHAVIORS)}"
+        ) from None

@@ -1,0 +1,34 @@
+"""Simulated discrete clock.
+
+The platform advances in integer ticks.  A tick is the unit of both
+work time (a task's ``duration`` is ticks of honest effort) and payment
+delay, so wage-per-tick and hourly-wage analogies are direct.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic integer clock starting at 0."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before 0")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance by ``steps`` ticks and return the new time."""
+        if steps < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += steps
+        return self._now
+
+    def advance_to(self, time: int) -> int:
+        """Jump forward to ``time`` (no-op when already past it)."""
+        if time > self._now:
+            self._now = time
+        return self._now

@@ -1,0 +1,71 @@
+"""Task-completion bookkeeping: who is working on what, since when.
+
+Axiom 5 ("a worker who started completing a task should not be
+interrupted") is about in-progress work, so the platform needs an
+explicit notion of it.  :class:`WorkTracker` records start times and
+distinguishes worker-initiated abandonment (allowed) from
+platform/requester-initiated interruption (an Axiom 5 violation when a
+requester cancels a task mid-work, per the survey scenario of
+Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WorkSpell:
+    """An open span of work by one worker on one task."""
+
+    worker_id: str
+    task_id: str
+    started_at: int
+
+
+class WorkTracker:
+    """Tracks open work spells; at most one spell per (worker, task)."""
+
+    def __init__(self) -> None:
+        self._open: dict[tuple[str, str], WorkSpell] = {}
+
+    def start(self, worker_id: str, task_id: str, time: int) -> WorkSpell:
+        key = (worker_id, task_id)
+        if key in self._open:
+            raise SimulationError(
+                f"worker {worker_id} already working on task {task_id}"
+            )
+        spell = WorkSpell(worker_id, task_id, time)
+        self._open[key] = spell
+        return spell
+
+    def finish(self, worker_id: str, task_id: str) -> WorkSpell:
+        """Close a spell normally (submission)."""
+        try:
+            return self._open.pop((worker_id, task_id))
+        except KeyError:
+            raise SimulationError(
+                f"worker {worker_id} has no open work on task {task_id}"
+            ) from None
+
+    def interrupt(self, worker_id: str, task_id: str) -> WorkSpell:
+        """Close a spell abnormally (interruption or abandonment)."""
+        return self.finish(worker_id, task_id)
+
+    def workers_on_task(self, task_id: str) -> list[WorkSpell]:
+        """All open spells on a task (whom a cancellation would hurt)."""
+        return [s for s in self._open.values() if s.task_id == task_id]
+
+    def tasks_of_worker(self, worker_id: str) -> list[WorkSpell]:
+        return [s for s in self._open.values() if s.worker_id == worker_id]
+
+    def is_working(self, worker_id: str, task_id: str) -> bool:
+        return (worker_id, task_id) in self._open
+
+    def open_spells(self) -> list[WorkSpell]:
+        return list(self._open.values())
+
+    def __len__(self) -> int:
+        return len(self._open)

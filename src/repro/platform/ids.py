@@ -1,0 +1,41 @@
+"""Sequential, prefixed identifier generation.
+
+Deterministic ids ("w0001", "t0042") keep simulations reproducible and
+traces readable; a single :class:`IdFactory` per platform guarantees
+uniqueness within a run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdFactory:
+    """Produces ids of the form ``<prefix><counter:04d>`` per prefix."""
+
+    def __init__(self, width: int = 4) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self._width = width
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """The next id for ``prefix`` ('w' -> 'w0001', 'w0002', ...)."""
+        self._counters[prefix] += 1
+        return f"{prefix}{self._counters[prefix]:0{self._width}d}"
+
+    def worker(self) -> str:
+        return self.next("w")
+
+    def task(self) -> str:
+        return self.next("t")
+
+    def requester(self) -> str:
+        return self.next("r")
+
+    def contribution(self) -> str:
+        return self.next("c")
+
+    def issued(self, prefix: str) -> int:
+        """How many ids were issued for ``prefix``."""
+        return self._counters[prefix]

@@ -1,0 +1,489 @@
+"""The crowdsourcing platform: entity registry, lifecycle, event trace.
+
+:class:`CrowdsourcingPlatform` is the single mutable object of a
+simulation.  Every externally observable step — posting, browsing,
+assigning, working, reviewing, paying, disclosing — appends an event to
+the platform's :class:`~repro.core.trace.PlatformTrace`, which is what
+the audit engine later checks against the axioms.
+
+The platform is policy-parameterised: visibility
+(:mod:`repro.platform.visibility`), review
+(:mod:`repro.platform.review`), and pricing (any object with a
+``price(task, contribution, accepted)`` method, see
+:mod:`repro.compensation`) are injected, so both fair and deliberately
+discriminatory platforms are instances of this one class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.core.attributes import ComputedAttributes
+from repro.core.entities import Contribution, Requester, Task, Worker
+from repro.core.events import (
+    AssignmentMade,
+    BonusPaid,
+    BonusPromised,
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    MaliceFlagged,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskCancelled,
+    TaskInterrupted,
+    TaskPosted,
+    TasksShown,
+    TaskStarted,
+    WorkerDeparted,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.core.trace import PlatformTrace
+from repro.errors import SimulationError, UnknownEntityError
+from repro.platform.behavior import BehaviorModel, WorkProduct
+from repro.platform.clock import Clock
+from repro.platform.completion import WorkTracker
+from repro.platform.ids import IdFactory
+from repro.platform.payment import PaymentLedger
+from repro.platform.review import QualityThresholdReview, ReviewPolicy
+from repro.platform.visibility import ShowAllVisibility, VisibilityPolicy
+
+
+class PricingScheme(Protocol):
+    """Prices one reviewed contribution (see :mod:`repro.compensation`)."""
+
+    name: str
+
+    def price(
+        self, task: Task, contribution: Contribution, accepted: bool
+    ) -> float: ...
+
+
+class _FixedRewardPricing:
+    """Default pricing: full reward when accepted, nothing otherwise."""
+
+    name = "fixed_reward"
+
+    def price(self, task: Task, contribution: Contribution, accepted: bool) -> float:
+        return task.reward if accepted else 0.0
+
+
+class _WorkerHistory:
+    """Raw per-worker counters from which ``C_w`` is derived."""
+
+    __slots__ = ("accepted", "reviewed", "submitted", "quality_sum", "quality_count")
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.reviewed = 0
+        self.submitted = 0
+        self.quality_sum = 0.0
+        self.quality_count = 0
+
+    def computed(self) -> ComputedAttributes:
+        return ComputedAttributes.from_history(
+            accepted=self.accepted,
+            reviewed=self.reviewed,
+            submitted=self.submitted,
+            quality_sum=self.quality_sum,
+            quality_count=self.quality_count,
+        )
+
+
+class CrowdsourcingPlatform:
+    """An event-sourced crowdsourcing marketplace."""
+
+    def __init__(
+        self,
+        visibility: VisibilityPolicy | None = None,
+        review_policy: ReviewPolicy | None = None,
+        pricing: PricingScheme | None = None,
+        seed: int = 0,
+        corrupt_computed_attributes: bool = False,
+    ) -> None:
+        self.clock = Clock()
+        self.ids = IdFactory()
+        self.ledger = PaymentLedger()
+        self.visibility = visibility if visibility is not None else ShowAllVisibility()
+        self.review_policy = (
+            review_policy if review_policy is not None else QualityThresholdReview()
+        )
+        self.pricing = pricing if pricing is not None else _FixedRewardPricing()
+        self._rng = random.Random(seed)
+        self._trace = PlatformTrace()
+        self._workers: dict[str, Worker] = {}
+        self._requesters: dict[str, Requester] = {}
+        self._tasks: dict[str, Task] = {}
+        self._open_tasks: dict[str, Task] = {}
+        self._history: dict[str, _WorkerHistory] = {}
+        self._work = WorkTracker()
+        self._departed: set[str] = set()
+        # Payments scheduled for a later tick (pricing schemes with a
+        # ``delay_ticks`` attribute, e.g. DelayedPaymentScheme).
+        self._pending_payments: list[tuple[int, str, str, str, float]] = []
+        # When set, published C_w values are perturbed relative to their
+        # derivation inputs — the unfair-derivation failure mode the
+        # audit engine must detect (Section 3.3.1).
+        self._corrupt_computed = corrupt_computed_attributes
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def trace(self) -> PlatformTrace:
+        return self._trace
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    @property
+    def workers(self) -> dict[str, Worker]:
+        return dict(self._workers)
+
+    @property
+    def active_workers(self) -> list[Worker]:
+        return [
+            w for wid, w in self._workers.items() if wid not in self._departed
+        ]
+
+    @property
+    def open_tasks(self) -> list[Task]:
+        return list(self._open_tasks.values())
+
+    def worker(self, worker_id: str) -> Worker:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown worker {worker_id!r}") from None
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown task {task_id!r}") from None
+
+    def has_departed(self, worker_id: str) -> bool:
+        return worker_id in self._departed
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register_worker(self, worker: Worker) -> Worker:
+        if worker.worker_id in self._workers:
+            raise SimulationError(f"worker {worker.worker_id} already registered")
+        self._workers[worker.worker_id] = worker
+        self._history[worker.worker_id] = _WorkerHistory()
+        self._trace.append(WorkerRegistered(time=self.now, worker=worker))
+        return worker
+
+    def register_requester(self, requester: Requester) -> Requester:
+        if requester.requester_id in self._requesters:
+            raise SimulationError(
+                f"requester {requester.requester_id} already registered"
+            )
+        self._requesters[requester.requester_id] = requester
+        self._trace.append(RequesterRegistered(time=self.now, requester=requester))
+        return requester
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+
+    def post_task(self, task: Task) -> Task:
+        if task.requester_id not in self._requesters:
+            raise UnknownEntityError(
+                f"task {task.task_id} posted by unknown requester "
+                f"{task.requester_id!r}"
+            )
+        if task.task_id in self._tasks:
+            raise SimulationError(f"task {task.task_id} already posted")
+        self._tasks[task.task_id] = task
+        self._open_tasks[task.task_id] = task
+        self._trace.append(TaskPosted(time=self.now, task=task))
+        return task
+
+    def browse(self, worker_id: str) -> list[Task]:
+        """Show the worker their browse view; records a TasksShown event."""
+        worker = self.worker(worker_id)
+        if worker_id in self._departed:
+            raise SimulationError(f"worker {worker_id} has departed")
+        visible = self.visibility.visible_tasks(
+            worker, list(self._open_tasks.values()), self._rng
+        )
+        self._trace.append(
+            TasksShown(
+                time=self.now,
+                worker_id=worker_id,
+                task_ids=frozenset(t.task_id for t in visible),
+            )
+        )
+        return visible
+
+    def assign(self, worker_id: str, task_id: str, assigner: str = "") -> None:
+        """Record an allocation of a task to a worker."""
+        self.worker(worker_id)
+        if task_id not in self._open_tasks:
+            raise SimulationError(f"task {task_id} is not open")
+        self._trace.append(
+            AssignmentMade(
+                time=self.now, worker_id=worker_id, task_id=task_id,
+                assigner=assigner,
+            )
+        )
+
+    def start_work(self, worker_id: str, task_id: str) -> None:
+        self.worker(worker_id)
+        if task_id not in self._open_tasks:
+            raise SimulationError(f"task {task_id} is not open")
+        self._work.start(worker_id, task_id, self.now)
+        self._trace.append(
+            TaskStarted(time=self.now, worker_id=worker_id, task_id=task_id)
+        )
+
+    def abandon_work(self, worker_id: str, task_id: str, reason: str = "") -> None:
+        """Worker-initiated stop: allowed under Axiom 5."""
+        self._work.interrupt(worker_id, task_id)
+        self._trace.append(
+            TaskInterrupted(
+                time=self.now, worker_id=worker_id, task_id=task_id,
+                reason=reason or "worker abandoned", worker_initiated=True,
+            )
+        )
+
+    def cancel_task(self, task_id: str, reason: str = "") -> list[str]:
+        """Requester withdraws a task.
+
+        Any worker mid-completion is interrupted (not worker-initiated)
+        — the survey-quota scenario of Section 3.1.1.  Returns the ids
+        of interrupted workers.
+        """
+        if task_id not in self._open_tasks:
+            raise SimulationError(f"task {task_id} is not open")
+        interrupted: list[str] = []
+        for spell in self._work.workers_on_task(task_id):
+            self._work.interrupt(spell.worker_id, task_id)
+            interrupted.append(spell.worker_id)
+            self._trace.append(
+                TaskInterrupted(
+                    time=self.now, worker_id=spell.worker_id, task_id=task_id,
+                    reason=reason or "task cancelled by requester",
+                    worker_initiated=False,
+                )
+            )
+        del self._open_tasks[task_id]
+        self._trace.append(
+            TaskCancelled(time=self.now, task_id=task_id, reason=reason)
+        )
+        return interrupted
+
+    def close_task(self, task_id: str) -> None:
+        """Remove a task from the open pool without cancelling work."""
+        self._open_tasks.pop(task_id, None)
+
+    # ------------------------------------------------------------------
+    # Work production and review
+
+    def submit_work(
+        self, worker_id: str, task_id: str, behavior: BehaviorModel
+    ) -> Contribution:
+        """The worker completes the task per their behaviour model.
+
+        The platform clock advances by the work time, the work spell
+        closes, and a ContributionSubmitted event is recorded.  The
+        contribution is *not* yet reviewed or paid.
+        """
+        worker = self.worker(worker_id)
+        task = self.task(task_id)
+        if not self._work.is_working(worker_id, task_id):
+            raise SimulationError(
+                f"worker {worker_id} must start task {task_id} before submitting"
+            )
+        product: WorkProduct = behavior.produce(worker, task, self._rng)
+        self.clock.tick(product.work_time)
+        self._work.finish(worker_id, task_id)
+        contribution = Contribution(
+            contribution_id=self.ids.contribution(),
+            task_id=task_id,
+            worker_id=worker_id,
+            payload=product.payload,
+            submitted_at=self.now,
+            quality=product.quality,
+            work_time=product.work_time,
+        )
+        history = self._history[worker_id]
+        history.submitted += 1
+        self._trace.append(
+            ContributionSubmitted(time=self.now, contribution=contribution)
+        )
+        return contribution
+
+    def review(self, contribution: Contribution) -> bool:
+        """Review a contribution; updates ``C_w`` and emits events."""
+        task = self.task(contribution.task_id)
+        worker = self.worker(contribution.worker_id)
+        decision = self.review_policy.review(contribution, task, worker, self._rng)
+        self._trace.append(
+            ContributionReviewed(
+                time=self.now,
+                contribution_id=contribution.contribution_id,
+                task_id=contribution.task_id,
+                worker_id=contribution.worker_id,
+                accepted=decision.accepted,
+                feedback=decision.feedback,
+            )
+        )
+        history = self._history[contribution.worker_id]
+        history.reviewed += 1
+        if decision.accepted:
+            history.accepted += 1
+        if contribution.quality is not None:
+            history.quality_sum += contribution.quality
+            history.quality_count += 1
+        self._refresh_worker(contribution.worker_id)
+        return decision.accepted
+
+    def pay(self, contribution: Contribution, accepted: bool) -> float:
+        """Price a reviewed contribution; pay now or schedule it.
+
+        Pricing schemes exposing a positive ``delay_ticks`` attribute
+        (contractual payment delay) have their payments queued and
+        settled by :meth:`settle_due_payments` once the clock passes the
+        due time — which is what lets the Axiom 6 checker compare the
+        *actual* delay against the requester's declared one.  Returns
+        the amount owed either way.
+        """
+        task = self.task(contribution.task_id)
+        amount = self.pricing.price(task, contribution, accepted)
+        delay = int(getattr(self.pricing, "delay_ticks", 0) or 0)
+        if delay > 0 and amount > 0:
+            self._pending_payments.append(
+                (
+                    self.now + delay,
+                    contribution.worker_id,
+                    contribution.task_id,
+                    contribution.contribution_id,
+                    amount,
+                )
+            )
+            return amount
+        self._issue_payment(
+            contribution.worker_id, contribution.task_id,
+            contribution.contribution_id, amount,
+        )
+        return amount
+
+    def settle_due_payments(self) -> int:
+        """Issue every queued payment whose due time has passed.
+
+        Returns the number of payments settled.  Call after advancing
+        the clock (the session driver does this every round).
+        """
+        due = [p for p in self._pending_payments if p[0] <= self.now]
+        self._pending_payments = [
+            p for p in self._pending_payments if p[0] > self.now
+        ]
+        for _, worker_id, task_id, contribution_id, amount in due:
+            self._issue_payment(worker_id, task_id, contribution_id, amount)
+        return len(due)
+
+    @property
+    def pending_payment_count(self) -> int:
+        return len(self._pending_payments)
+
+    def _issue_payment(
+        self, worker_id: str, task_id: str, contribution_id: str,
+        amount: float,
+    ) -> None:
+        self.ledger.pay(
+            time=self.now, worker_id=worker_id, task_id=task_id,
+            contribution_id=contribution_id, amount=amount,
+        )
+        self._trace.append(
+            PaymentIssued(
+                time=self.now, worker_id=worker_id, task_id=task_id,
+                contribution_id=contribution_id, amount=amount,
+            )
+        )
+
+    def process_contribution(
+        self, worker_id: str, task_id: str, behavior: BehaviorModel
+    ) -> tuple[Contribution, bool, float]:
+        """Convenience: submit, review, and pay in one step."""
+        contribution = self.submit_work(worker_id, task_id, behavior)
+        accepted = self.review(contribution)
+        amount = self.pay(contribution, accepted)
+        return contribution, accepted, amount
+
+    # ------------------------------------------------------------------
+    # Bonuses, malice flags, disclosures, departures
+
+    def promise_bonus(
+        self, requester_id: str, worker_id: str, amount: float, condition: str = ""
+    ) -> None:
+        self.ledger.promise_bonus(self.now, requester_id, worker_id, amount, condition)
+        self._trace.append(
+            BonusPromised(
+                time=self.now, requester_id=requester_id, worker_id=worker_id,
+                amount=amount, condition=condition,
+            )
+        )
+
+    def pay_bonus(self, requester_id: str, worker_id: str, amount: float) -> None:
+        self.ledger.pay_bonus(self.now, requester_id, worker_id, amount)
+        self._trace.append(
+            BonusPaid(
+                time=self.now, requester_id=requester_id, worker_id=worker_id,
+                amount=amount,
+            )
+        )
+
+    def flag_malice(self, worker_id: str, detector: str, score: float) -> None:
+        self._trace.append(
+            MaliceFlagged(
+                time=self.now, worker_id=worker_id, detector=detector, score=score
+            )
+        )
+
+    def disclose(
+        self, subject: str, field_name: str, value: object,
+        audience_worker_id: str = "",
+    ) -> None:
+        self._trace.append(
+            DisclosureShown(
+                time=self.now, subject=subject, field_name=field_name,
+                value=value, audience_worker_id=audience_worker_id,
+            )
+        )
+
+    def depart_worker(self, worker_id: str, reason: str = "") -> None:
+        self.worker(worker_id)
+        if worker_id in self._departed:
+            return
+        self._departed.add(worker_id)
+        self._trace.append(
+            WorkerDeparted(time=self.now, worker_id=worker_id, reason=reason)
+        )
+
+    # ------------------------------------------------------------------
+    # Internal
+
+    def _refresh_worker(self, worker_id: str) -> None:
+        """Recompute and publish ``C_w`` after a review."""
+        computed = self._history[worker_id].computed()
+        if self._corrupt_computed:
+            computed = self._corrupted(computed)
+        updated = self._workers[worker_id].with_computed(computed)
+        self._workers[worker_id] = updated
+        self._trace.append(WorkerUpdated(time=self.now, worker=updated))
+
+    def _corrupted(self, computed: ComputedAttributes) -> ComputedAttributes:
+        """Perturb the published acceptance ratio away from its derivation."""
+        values = computed.as_dict()
+        ratio = values.get("acceptance_ratio")
+        if isinstance(ratio, (int, float)):
+            values["acceptance_ratio"] = max(
+                0.0, min(1.0, float(ratio) - 0.25 - 0.1 * self._rng.random())
+            )
+        return ComputedAttributes(values=values, derivation=computed.derivation)

@@ -1,0 +1,128 @@
+"""Payment ledger: balances, pending payments, promised bonuses.
+
+The ledger tracks every monetary fact a compensation audit needs:
+amounts paid per worker/task/contribution, payment delays (time between
+submission and payment — an Axiom 6 disclosure), and promised-vs-paid
+bonuses (the reneging scenario of Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import CompensationError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One payment made to a worker."""
+
+    time: int
+    worker_id: str
+    task_id: str
+    contribution_id: str
+    amount: float
+
+
+@dataclass(frozen=True)
+class BonusPromise:
+    """A conditional bonus promised by a requester to a worker."""
+
+    time: int
+    requester_id: str
+    worker_id: str
+    amount: float
+    condition: str = ""
+
+
+@dataclass
+class PaymentLedger:
+    """Mutable record of payments and bonus promises for one run."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+    promises: list[BonusPromise] = field(default_factory=list)
+    bonus_payments: list[LedgerEntry] = field(default_factory=list)
+
+    def pay(
+        self,
+        time: int,
+        worker_id: str,
+        task_id: str,
+        contribution_id: str,
+        amount: float,
+    ) -> LedgerEntry:
+        """Record a task payment; zero amounts are allowed (rejected work)."""
+        if amount < 0:
+            raise CompensationError(f"negative payment amount: {amount}")
+        entry = LedgerEntry(time, worker_id, task_id, contribution_id, amount)
+        self.entries.append(entry)
+        return entry
+
+    def promise_bonus(
+        self,
+        time: int,
+        requester_id: str,
+        worker_id: str,
+        amount: float,
+        condition: str = "",
+    ) -> BonusPromise:
+        if amount <= 0:
+            raise CompensationError(f"bonus promise must be positive: {amount}")
+        promise = BonusPromise(time, requester_id, worker_id, amount, condition)
+        self.promises.append(promise)
+        return promise
+
+    def pay_bonus(
+        self, time: int, requester_id: str, worker_id: str, amount: float
+    ) -> LedgerEntry:
+        if amount <= 0:
+            raise CompensationError(f"bonus payment must be positive: {amount}")
+        entry = LedgerEntry(time, worker_id, task_id="", contribution_id="",
+                            amount=amount)
+        self.bonus_payments.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def balance(self, worker_id: str) -> float:
+        """Everything the worker has been paid, tasks plus bonuses."""
+        tasks = sum(e.amount for e in self.entries if e.worker_id == worker_id)
+        bonuses = sum(
+            e.amount for e in self.bonus_payments if e.worker_id == worker_id
+        )
+        return tasks + bonuses
+
+    def balances(self) -> dict[str, float]:
+        totals: dict[str, float] = defaultdict(float)
+        for entry in self.entries:
+            totals[entry.worker_id] += entry.amount
+        for entry in self.bonus_payments:
+            totals[entry.worker_id] += entry.amount
+        return dict(totals)
+
+    def paid_for(self, contribution_id: str) -> float:
+        return sum(
+            e.amount for e in self.entries if e.contribution_id == contribution_id
+        )
+
+    def unpaid_promises(self) -> list[BonusPromise]:
+        """Promises with no matching (worker, amount) bonus payment.
+
+        Each bonus payment settles at most one promise of the same
+        worker and amount, in promise order.
+        """
+        remaining = list(self.promises)
+        for payment in self.bonus_payments:
+            for promise in remaining:
+                same_worker = promise.worker_id == payment.worker_id
+                if same_worker and abs(promise.amount - payment.amount) < 1e-9:
+                    remaining.remove(promise)
+                    break
+        return remaining
+
+    def total_paid(self) -> float:
+        return sum(e.amount for e in self.entries) + sum(
+            e.amount for e in self.bonus_payments
+        )

@@ -1,0 +1,155 @@
+"""Contribution review policies.
+
+A review policy is the requester's accept/reject decision plus the
+feedback string shown to the worker.  The empty-feedback rejection is
+the *requester opacity* of Section 3.1.2; the attribute-biased policy is
+the wrongful-rejection discrimination of Section 3.1.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.entities import Contribution, Task, Worker
+
+
+@dataclass(frozen=True)
+class ReviewDecision:
+    """Outcome of reviewing one contribution."""
+
+    accepted: bool
+    feedback: str = ""
+
+
+class ReviewPolicy(Protocol):
+    """Decides acceptance and feedback for a contribution."""
+
+    name: str
+
+    def review(
+        self,
+        contribution: Contribution,
+        task: Task,
+        worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision: ...
+
+
+@dataclass(frozen=True)
+class AcceptAllReview:
+    """Accepts everything (no quality control)."""
+
+    name: str = "accept_all"
+
+    def review(
+        self, contribution: Contribution, task: Task, worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision:
+        return ReviewDecision(accepted=True, feedback="accepted")
+
+
+@dataclass(frozen=True)
+class QualityThresholdReview:
+    """Accepts contributions whose latent quality clears ``threshold``
+    and always explains the decision (a transparent requester)."""
+
+    threshold: float = 0.5
+    name: str = "quality_threshold"
+
+    def review(
+        self, contribution: Contribution, task: Task, worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision:
+        quality = contribution.quality if contribution.quality is not None else 0.0
+        if quality >= self.threshold:
+            return ReviewDecision(
+                accepted=True,
+                feedback=f"accepted: quality {quality:.2f} >= {self.threshold:.2f}",
+            )
+        return ReviewDecision(
+            accepted=False,
+            feedback=f"rejected: quality {quality:.2f} < {self.threshold:.2f}",
+        )
+
+
+@dataclass(frozen=True)
+class GoldAnswerReview:
+    """Accepts iff the payload matches the task's gold answer; tasks
+    without gold fall back to a quality threshold."""
+
+    fallback_threshold: float = 0.5
+    name: str = "gold_answer"
+
+    def review(
+        self, contribution: Contribution, task: Task, worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision:
+        if task.gold_answer is not None:
+            if str(contribution.payload) == str(task.gold_answer):
+                return ReviewDecision(accepted=True, feedback="accepted: matches gold")
+            return ReviewDecision(
+                accepted=False, feedback="rejected: does not match gold answer"
+            )
+        quality = contribution.quality if contribution.quality is not None else 0.0
+        accepted = quality >= self.fallback_threshold
+        verdict = "accepted" if accepted else "rejected"
+        return ReviewDecision(
+            accepted=accepted, feedback=f"{verdict}: quality check (no gold)"
+        )
+
+
+@dataclass(frozen=True)
+class SilentRejectReview:
+    """Like a quality threshold, but rejections carry *no feedback* —
+    the requester opacity workers complain about on Turker Nation."""
+
+    threshold: float = 0.5
+    name: str = "silent_reject"
+
+    def review(
+        self, contribution: Contribution, task: Task, worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision:
+        quality = contribution.quality if contribution.quality is not None else 0.0
+        if quality >= self.threshold:
+            return ReviewDecision(accepted=True, feedback="accepted")
+        return ReviewDecision(accepted=False, feedback="")
+
+
+@dataclass(frozen=True)
+class BiasedReview:
+    """Wrongfully rejects good work from a demographic group.
+
+    Workers whose declared ``attribute`` equals ``disadvantaged_value``
+    have their otherwise-acceptable contributions rejected with
+    probability ``rejection_probability`` — the Section 3.1.1 wrongful
+    rejection, and the Axiom 3 violation generator for experiments.
+    """
+
+    attribute: str
+    disadvantaged_value: object
+    rejection_probability: float = 0.5
+    threshold: float = 0.5
+    name: str = "biased"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rejection_probability <= 1.0:
+            raise ValueError("rejection_probability must be in [0, 1]")
+
+    def review(
+        self, contribution: Contribution, task: Task, worker: Worker,
+        rng: random.Random,
+    ) -> ReviewDecision:
+        quality = contribution.quality if contribution.quality is not None else 0.0
+        if quality < self.threshold:
+            return ReviewDecision(
+                accepted=False,
+                feedback=f"rejected: quality {quality:.2f} < {self.threshold:.2f}",
+            )
+        targeted = worker.declared.get(self.attribute) == self.disadvantaged_value
+        if targeted and rng.random() < self.rejection_probability:
+            # Wrongful rejection; opaque feedback by construction.
+            return ReviewDecision(accepted=False, feedback="")
+        return ReviewDecision(accepted=True, feedback="accepted")

@@ -1,0 +1,59 @@
+"""Seeded randomness helpers.
+
+Every stochastic component takes a ``random.Random`` instance rather
+than using the module-level RNG, so simulations are reproducible and
+components can be given independent streams derived from one master
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def master_rng(seed: int) -> random.Random:
+    """The root RNG for a simulation run."""
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random, label: str) -> random.Random:
+    """A child RNG deterministically derived from ``rng`` and a label.
+
+    Independent subsystems (behaviour, review, arrivals) get their own
+    streams so adding draws to one does not perturb the others.
+    """
+    return random.Random(f"{rng.random()}::{label}")
+
+
+def weighted_choice(
+    rng: random.Random, weights: dict[str, float]
+) -> str:
+    """Choose a key proportionally to its non-negative weight."""
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be non-negative")
+    total = sum(weights.values())
+    if total == 0:
+        return rng.choice(sorted(weights))
+    point = rng.random() * total
+    cumulative = 0.0
+    for key in sorted(weights):
+        cumulative += weights[key]
+        if point <= cumulative:
+            return key
+    return sorted(weights)[-1]
+
+
+def bernoulli(rng: random.Random, probability: float) -> bool:
+    """A single biased coin flip."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    return rng.random() < probability
+
+
+def stream(rng: random.Random, labels: list[str]) -> Iterator[random.Random]:
+    """Independent child streams, one per label, in label order."""
+    for label in labels:
+        yield spawn(rng, label)

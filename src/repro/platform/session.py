@@ -1,0 +1,394 @@
+"""Multi-round market simulation: the controlled-experiment driver.
+
+Section 4.1 proposes validating fairness and transparency with
+"objective measures such as quality of worker contribution and worker
+retention ... in controlled experiments".  :class:`Session` is that
+controlled experiment: a market run for ``rounds`` rounds, where each
+round posts tasks, shows them, assigns, completes, reviews, pays,
+discloses, and finally lets dissatisfied workers churn.
+
+Worker satisfaction model
+-------------------------
+Each worker carries a satisfaction score in ``[0, 1]`` (start 1.0).
+Per-round deltas, grounded in the frustrations the paper catalogues:
+
+* accepted and paid work:                        ``+0.04``
+* rejection *with* feedback:                     ``-0.05``
+* rejection *without* feedback (opacity):        ``-0.18``
+* accepted but unpaid (wage theft):              ``-0.25``
+* non-worker-initiated interruption (Axiom 5):   ``-0.20``
+* idle round (nothing assigned):                 ``-0.02``
+
+Transparency mitigation: disclosures soften opacity-driven penalties.
+With disclosure coverage ``tau`` in [0, 1] (fraction of the mandated
+Axiom 6/7 fields the platform's policy discloses), every *opacity*
+penalty (feedback-less rejection, idle uncertainty) is scaled by
+``(1 - 0.6 tau)`` — informed workers attribute outcomes rather than
+distrust the platform ([12, 16]: feedback and requester information
+increase motivation).  Quality coupling: a worker's effective quality is
+scaled by ``0.5 + 0.5 x satisfaction``, so unfair treatment degrades
+contribution quality — the fairness/quality link E3 measures.
+
+Departure: at the end of a round a worker leaves with probability
+``churn = base_churn + max(0, threshold - satisfaction)``; satisfied
+workers churn at the small base rate only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol, Sequence
+
+from repro.assignment.base import Assigner, AssignmentInstance
+from repro.core.entities import Requester, Task, Worker
+from repro.core.trace import PlatformTrace
+from repro.errors import SimulationError
+from repro.platform.behavior import BehaviorModel, DiligentBehavior, WorkProduct
+from repro.platform.market import CrowdsourcingPlatform, PricingScheme
+from repro.platform.review import ReviewPolicy
+from repro.platform.rng import bernoulli, spawn
+from repro.platform.visibility import VisibilityPolicy
+
+
+class TransparencyEnforcer(Protocol):
+    """Applies a transparency policy to the platform each round.
+
+    Implemented by :class:`repro.transparency.enforcement.PolicyEnforcer`;
+    ``coverage`` is the fraction of mandated disclosure fields the policy
+    discloses (drives the satisfaction mitigation).
+    """
+
+    coverage: float
+
+    def apply_round(self, platform: CrowdsourcingPlatform) -> None: ...
+
+
+class _NoTransparency:
+    """A fully opaque platform (coverage 0, discloses nothing)."""
+
+    coverage = 0.0
+
+    def apply_round(self, platform: CrowdsourcingPlatform) -> None:
+        return None
+
+
+@dataclass
+class SessionConfig:
+    """Parameters of a controlled market experiment."""
+
+    rounds: int = 20
+    tasks_per_round: int = 30
+    capacity: int = 2
+    seed: int = 0
+    base_churn: float = 0.01
+    satisfaction_threshold: float = 0.45
+    cancel_probability: float = 0.0
+    assigner: Assigner | None = None
+    visibility: VisibilityPolicy | None = None
+    review_policy: ReviewPolicy | None = None
+    pricing: PricingScheme | None = None
+    transparency: TransparencyEnforcer | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise SimulationError("rounds must be >= 1")
+        if self.tasks_per_round < 0:
+            raise SimulationError("tasks_per_round must be >= 0")
+        if not 0.0 <= self.base_churn <= 1.0:
+            raise SimulationError("base_churn must be in [0, 1]")
+        if not 0.0 <= self.cancel_probability <= 1.0:
+            raise SimulationError("cancel_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round observables of the session."""
+
+    round_index: int
+    active_workers: int
+    departures: int
+    assignments: int
+    submissions: int
+    acceptances: int
+    mean_quality: float
+    total_paid: float
+    mean_satisfaction: float
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Everything a metric needs after a session run."""
+
+    trace: PlatformTrace
+    rounds: tuple[RoundStats, ...]
+    final_satisfaction: Mapping[str, float]
+    initial_workers: int
+
+    @property
+    def surviving_workers(self) -> int:
+        return self.rounds[-1].active_workers if self.rounds else self.initial_workers
+
+    @property
+    def retention(self) -> float:
+        """Fraction of the initial population still active at the end."""
+        if self.initial_workers == 0:
+            return 1.0
+        return self.surviving_workers / self.initial_workers
+
+    def retention_series(self) -> list[float]:
+        """Active fraction after each round (the E2 series)."""
+        if self.initial_workers == 0:
+            return [1.0 for _ in self.rounds]
+        return [r.active_workers / self.initial_workers for r in self.rounds]
+
+    def quality_series(self) -> list[float]:
+        return [r.mean_quality for r in self.rounds]
+
+
+# Satisfaction deltas (documented in the module docstring).
+_DELTA_PAID = 0.04
+_DELTA_REJECT_FEEDBACK = -0.05
+_DELTA_REJECT_SILENT = -0.18
+_DELTA_UNPAID_ACCEPTED = -0.25
+_DELTA_INTERRUPTED = -0.20
+_DELTA_IDLE = -0.02
+_OPACITY_MITIGATION = 0.6
+
+
+class Session:
+    """Runs a configured market for a fixed number of rounds."""
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        workers: Sequence[Worker],
+        behaviors: Mapping[str, BehaviorModel],
+        requesters: Sequence[Requester],
+        task_factory: Callable[[int, random.Random], list[Task]],
+    ) -> None:
+        """``task_factory(round_index, rng)`` returns the tasks to post
+        that round; ``behaviors`` maps worker id -> behaviour model
+        (missing workers default to diligent)."""
+        self.config = config
+        self._workers = list(workers)
+        self._behaviors = dict(behaviors)
+        self._requesters = list(requesters)
+        self._task_factory = task_factory
+        self._default_behavior = DiligentBehavior()
+
+    def run(self) -> SessionResult:
+        config = self.config
+        rng = random.Random(config.seed)
+        arrival_rng = spawn(rng, "arrivals")
+        churn_rng = spawn(rng, "churn")
+        cancel_rng = spawn(rng, "cancel")
+        platform = CrowdsourcingPlatform(
+            visibility=config.visibility,
+            review_policy=config.review_policy,
+            pricing=config.pricing,
+            seed=rng.randrange(2**31),
+        )
+        transparency = config.transparency or _NoTransparency()
+        assigner = config.assigner
+        satisfaction: dict[str, float] = {}
+        for requester in self._requesters:
+            platform.register_requester(requester)
+        for worker in self._workers:
+            platform.register_worker(worker)
+            satisfaction[worker.worker_id] = 1.0
+
+        stats: list[RoundStats] = []
+        for round_index in range(config.rounds):
+            round_stats = self._run_round(
+                round_index, platform, assigner, transparency, satisfaction,
+                arrival_rng, churn_rng, cancel_rng,
+            )
+            stats.append(round_stats)
+            platform.clock.tick(1)
+        return SessionResult(
+            trace=platform.trace,
+            rounds=tuple(stats),
+            final_satisfaction=dict(satisfaction),
+            initial_workers=len(self._workers),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_round(
+        self,
+        round_index: int,
+        platform: CrowdsourcingPlatform,
+        assigner: Assigner | None,
+        transparency: TransparencyEnforcer,
+        satisfaction: dict[str, float],
+        arrival_rng: random.Random,
+        churn_rng: random.Random,
+        cancel_rng: random.Random,
+    ) -> RoundStats:
+        config = self.config
+        # 1. Post this round's tasks.
+        for task in self._task_factory(round_index, arrival_rng):
+            platform.post_task(task)
+
+        # 2. Browse: every active worker sees their (policy-filtered) view.
+        active = platform.active_workers
+        visible: dict[str, list[Task]] = {}
+        for worker in active:
+            visible[worker.worker_id] = platform.browse(worker.worker_id)
+
+        # 3. Assign.  With an assigner, build the instance from the
+        # *union* of visible tasks (the assigner is platform-side); with
+        # none, workers self-select from their own view.
+        pairs: list[tuple[str, str]] = []
+        if assigner is not None and active:
+            task_pool: dict[str, Task] = {}
+            for tasks in visible.values():
+                for task in tasks:
+                    task_pool[task.task_id] = task
+            if task_pool:
+                instance = AssignmentInstance(
+                    workers=tuple(active),
+                    tasks=tuple(task_pool.values()),
+                    capacity=config.capacity,
+                )
+                result = assigner.assign(instance, arrival_rng)
+                visible_sets = {
+                    wid: {t.task_id for t in tasks} for wid, tasks in visible.items()
+                }
+                for pair in result.pairs:
+                    # An assigner cannot hand a worker a task their view hid.
+                    if pair.task_id in visible_sets.get(pair.worker_id, set()):
+                        pairs.append((pair.worker_id, pair.task_id))
+                        platform.assign(pair.worker_id, pair.task_id, assigner.name)
+        else:
+            for worker in active:
+                options = sorted(
+                    visible[worker.worker_id],
+                    key=lambda t: (-t.reward, t.task_id),
+                )
+                for task in options[: config.capacity]:
+                    pairs.append((worker.worker_id, task.task_id))
+                    platform.assign(worker.worker_id, task.task_id, "self")
+
+        # 4. Work, with optional mid-work cancellation, then review+pay.
+        outcomes: dict[str, list[str]] = {w.worker_id: [] for w in active}
+        submissions = 0
+        acceptances = 0
+        quality_sum = 0.0
+        paid_total = 0.0
+        for worker_id, task_id in pairs:
+            if task_id not in {t.task_id for t in platform.open_tasks}:
+                continue  # cancelled earlier this round
+            platform.start_work(worker_id, task_id)
+            if config.cancel_probability and bernoulli(
+                cancel_rng, config.cancel_probability
+            ):
+                platform.cancel_task(task_id, reason="quota reached")
+                outcomes[worker_id].append("interrupted")
+                continue
+            behavior = self._behaviors.get(worker_id, self._default_behavior)
+            behavior = _satisfaction_scaled(behavior, satisfaction.get(worker_id, 1.0))
+            contribution, accepted, amount = platform.process_contribution(
+                worker_id, task_id, behavior
+            )
+            submissions += 1
+            quality_sum += contribution.quality or 0.0
+            paid_total += amount
+            if accepted:
+                acceptances += 1
+                outcomes[worker_id].append("paid" if amount > 0 else "unpaid_accepted")
+            else:
+                review = platform.trace.reviews_by_contribution()[
+                    contribution.contribution_id
+                ]
+                outcomes[worker_id].append(
+                    "rejected_feedback" if review.feedback else "rejected_silent"
+                )
+
+        # 4b. Settle payments whose contractual delay has elapsed.
+        platform.settle_due_payments()
+
+        # 5. Adaptive assigners learn from this round's review outcomes.
+        observe = getattr(assigner, "observe", None)
+        if callable(observe):
+            observe(platform.trace)
+
+        # 6. Disclosures per the platform's transparency policy.
+        transparency.apply_round(platform)
+
+        # 7. Satisfaction update and churn.
+        departures = 0
+        tau = max(0.0, min(1.0, transparency.coverage))
+        opacity_scale = 1.0 - _OPACITY_MITIGATION * tau
+        for worker in active:
+            wid = worker.worker_id
+            events = outcomes.get(wid, [])
+            delta = 0.0
+            if not events:
+                delta += _DELTA_IDLE * opacity_scale
+            for outcome in events:
+                if outcome == "paid":
+                    delta += _DELTA_PAID
+                elif outcome == "unpaid_accepted":
+                    delta += _DELTA_UNPAID_ACCEPTED
+                elif outcome == "rejected_feedback":
+                    delta += _DELTA_REJECT_FEEDBACK
+                elif outcome == "rejected_silent":
+                    delta += _DELTA_REJECT_SILENT * opacity_scale
+                elif outcome == "interrupted":
+                    delta += _DELTA_INTERRUPTED
+            satisfaction[wid] = max(0.0, min(1.0, satisfaction[wid] + delta))
+            churn = config.base_churn + max(
+                0.0, config.satisfaction_threshold - satisfaction[wid]
+            )
+            if bernoulli(churn_rng, min(1.0, churn)):
+                platform.depart_worker(wid, reason="dissatisfied")
+                departures += 1
+
+        remaining_active = len(platform.active_workers)
+        mean_quality = quality_sum / submissions if submissions else 0.0
+        active_satisfaction = [
+            satisfaction[w.worker_id] for w in platform.active_workers
+        ]
+        mean_satisfaction = (
+            sum(active_satisfaction) / len(active_satisfaction)
+            if active_satisfaction
+            else 0.0
+        )
+        # Expire this round's unclaimed tasks so pools do not grow unboundedly.
+        for task in platform.open_tasks:
+            platform.close_task(task.task_id)
+        return RoundStats(
+            round_index=round_index,
+            active_workers=remaining_active,
+            departures=departures,
+            assignments=len(pairs),
+            submissions=submissions,
+            acceptances=acceptances,
+            mean_quality=mean_quality,
+            total_paid=paid_total,
+            mean_satisfaction=mean_satisfaction,
+        )
+
+
+class _ScaledBehavior:
+    """Wraps a behaviour, scaling its quality by worker satisfaction."""
+
+    def __init__(self, inner: BehaviorModel, scale: float) -> None:
+        self._inner = inner
+        self._scale = scale
+        self.name = f"{inner.name}*{scale:.2f}"
+
+    def produce(self, worker: Worker, task: Task, rng: random.Random) -> WorkProduct:
+        product = self._inner.produce(worker, task, rng)
+        return WorkProduct(
+            payload=product.payload,
+            quality=max(0.0, min(1.0, product.quality * self._scale)),
+            work_time=product.work_time,
+        )
+
+
+def _satisfaction_scaled(behavior: BehaviorModel, satisfaction: float) -> BehaviorModel:
+    """Quality scales with morale: ``0.5 + 0.5 x satisfaction``."""
+    return _ScaledBehavior(behavior, 0.5 + 0.5 * satisfaction)

@@ -1,0 +1,157 @@
+"""Task visibility policies — who gets to see which tasks.
+
+Visibility is where Axioms 1 and 2 bite: the platform decides which
+subset of open tasks each worker's browse view contains.  Fair policies
+(:class:`ShowAllVisibility`, :class:`QualificationVisibility`) show the
+same tasks to equally qualified workers; the discriminatory policies
+below inject exactly the failures the audit engine must catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.core.entities import Task, Worker
+
+
+class VisibilityPolicy(Protocol):
+    """Selects the tasks a worker's browse view shows."""
+
+    name: str
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]: ...
+
+
+@dataclass(frozen=True)
+class ShowAllVisibility:
+    """Every worker sees every open task (the AMT browse-all model the
+    paper calls 'fair because workers have access to the same set')."""
+
+    name: str = "show_all"
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        return list(open_tasks)
+
+
+@dataclass(frozen=True)
+class QualificationVisibility:
+    """Workers see exactly the tasks they qualify for.
+
+    Fair under Axiom 1 as long as the skill vectors themselves were
+    derived fairly — two workers with similar skills see similar sets.
+    """
+
+    name: str = "qualification"
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        return [task for task in open_tasks if task.qualifies(worker)]
+
+
+@dataclass(frozen=True)
+class BiasedVisibility:
+    """Hides high-reward tasks from workers with a given declared
+    attribute value — the Sweeney-style discrimination of the paper's
+    introduction (ads for high-income jobs shown to men more often).
+
+    Workers whose ``attribute`` equals ``disadvantaged_value`` only see
+    tasks with reward strictly below ``reward_ceiling``.
+
+    ``bias_probability`` makes the discrimination *stochastic*: each
+    browse of a targeted worker is filtered with this probability (1.0,
+    the default, is deterministic discrimination).  Partial bias is
+    what real systems exhibit and what the E10 power analysis sweeps.
+    """
+
+    attribute: str
+    disadvantaged_value: object
+    reward_ceiling: float
+    bias_probability: float = 1.0
+    name: str = "biased"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bias_probability <= 1.0:
+            raise ValueError("bias_probability must be in [0, 1]")
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        targeted = worker.declared.get(self.attribute) == self.disadvantaged_value
+        if targeted and (
+            self.bias_probability >= 1.0 or rng.random() < self.bias_probability
+        ):
+            return [t for t in open_tasks if t.reward < self.reward_ceiling]
+        return list(open_tasks)
+
+
+@dataclass(frozen=True)
+class ReputationTieredVisibility:
+    """Shows the best-paying tasks only to workers whose acceptance
+    ratio clears ``threshold`` — a realistic, facially neutral policy
+    that still violates Axiom 1 whenever the acceptance ratios were
+    derived from biased reviews (Section 3.3.1's inter-dependency)."""
+
+    threshold: float = 0.8
+    premium_quantile: float = 0.5
+    name: str = "reputation_tiered"
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        if not open_tasks:
+            return []
+        rewards = sorted(task.reward for task in open_tasks)
+        cut_index = int(len(rewards) * self.premium_quantile)
+        cut_index = min(cut_index, len(rewards) - 1)
+        cutoff = rewards[cut_index]
+        ratio = worker.computed.get("acceptance_ratio", 1.0)
+        if isinstance(ratio, (int, float)) and float(ratio) >= self.threshold:
+            return list(open_tasks)
+        return [task for task in open_tasks if task.reward <= cutoff]
+
+
+@dataclass(frozen=True)
+class RandomSubsetVisibility:
+    """Shows each worker an independent random subset of tasks.
+
+    Fair in expectation but unfair per-realization; useful for testing
+    how strict the Axiom 1 checker's thresholds are.
+    """
+
+    keep_probability: float = 0.5
+    name: str = "random_subset"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.keep_probability <= 1.0:
+            raise ValueError("keep_probability must be in [0, 1]")
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        return [t for t in open_tasks if rng.random() < self.keep_probability]
+
+
+@dataclass(frozen=True)
+class RequesterThrottledVisibility:
+    """Suppresses tasks of the requesters in ``hidden_requesters`` from
+    every browse view — the Axiom 2 failure mode (comparable tasks from
+    different requesters not equally visible)."""
+
+    hidden_requesters: frozenset[str] = field(default_factory=frozenset)
+    name: str = "requester_throttled"
+
+    def visible_tasks(
+        self, worker: Worker, open_tasks: Sequence[Task], rng: random.Random
+    ) -> list[Task]:
+        return [
+            task
+            for task in open_tasks
+            if task.requester_id not in self.hidden_requesters
+        ]

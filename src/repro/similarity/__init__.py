@@ -1,0 +1,55 @@
+"""Similarity measures used by the fairness axioms.
+
+The paper leaves "similar" deliberately open: "Similarity can be
+platform-dependent and ranges from perfect equality to threshold-based
+similarity" (Axiom 1), "Skill similarity can be computed using different
+measures such as cosine similarity" (Axiom 2), and for contributions
+"n-grams could be used [4] ... for ranked lists ... Discounted
+Cumulative Gain [10]" (Axiom 3).  This package provides each of those
+measures behind one protocol so axiom checkers take the measure as a
+parameter.
+"""
+
+from repro.similarity.base import (
+    Similarity,
+    SimilarityThreshold,
+    exact_equality,
+    similar,
+)
+from repro.similarity.contributions import ContributionSimilarity
+from repro.similarity.numeric import (
+    absolute_tolerance_similarity,
+    relative_tolerance_similarity,
+    reward_comparability,
+)
+from repro.similarity.ranking import dcg, kendall_tau_similarity, ndcg, ranked_list_similarity
+from repro.similarity.text import ngram_profile, ngram_similarity
+from repro.similarity.vectors import (
+    attribute_overlap_similarity,
+    cosine_similarity,
+    jaccard_similarity,
+    skill_cosine,
+    skill_jaccard,
+)
+
+__all__ = [
+    "ContributionSimilarity",
+    "Similarity",
+    "SimilarityThreshold",
+    "absolute_tolerance_similarity",
+    "attribute_overlap_similarity",
+    "cosine_similarity",
+    "dcg",
+    "exact_equality",
+    "jaccard_similarity",
+    "kendall_tau_similarity",
+    "ndcg",
+    "ngram_profile",
+    "ngram_similarity",
+    "ranked_list_similarity",
+    "relative_tolerance_similarity",
+    "reward_comparability",
+    "similar",
+    "skill_cosine",
+    "skill_jaccard",
+]

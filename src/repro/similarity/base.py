@@ -1,0 +1,60 @@
+"""Similarity protocol and threshold wrapper.
+
+A *similarity* is any callable mapping two objects to a score in
+``[0, 1]`` (1 = identical).  A :class:`SimilarityThreshold` turns a
+similarity into the Boolean "similar enough" judgement the axioms use,
+making the paper's "perfect equality to threshold-based similarity"
+spectrum a single parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, TypeVar, runtime_checkable
+
+T = TypeVar("T", contravariant=True)
+
+
+@runtime_checkable
+class Similarity(Protocol[T]):
+    """Callable mapping two values to a similarity score in ``[0, 1]``."""
+
+    def __call__(self, left: T, right: T) -> float: ...
+
+
+def exact_equality(left: object, right: object) -> float:
+    """1.0 when the values are equal, else 0.0 (the strictest measure)."""
+    return 1.0 if left == right else 0.0
+
+
+@dataclass(frozen=True)
+class SimilarityThreshold:
+    """Boolean "similar enough" judgement: ``score >= threshold``.
+
+    ``threshold=1.0`` recovers perfect equality; lower thresholds give
+    the threshold-based similarity the paper mentions.
+    """
+
+    measure: Callable[[object, object], float]
+    threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+    def __call__(self, left: object, right: object) -> bool:
+        return self.measure(left, right) >= self.threshold
+
+    def score(self, left: object, right: object) -> float:
+        """The underlying continuous score."""
+        return self.measure(left, right)
+
+
+def similar(
+    left: object,
+    right: object,
+    measure: Callable[[object, object], float] = exact_equality,
+    threshold: float = 1.0,
+) -> bool:
+    """Convenience one-shot threshold judgement."""
+    return SimilarityThreshold(measure, threshold)(left, right)

@@ -1,0 +1,79 @@
+"""Kind-aware contribution similarity (Axiom 3).
+
+Axiom 3 compares contributions of two workers on the same task, with a
+measure that "depend[s] on the nature of those contributions".  A
+:class:`ContributionSimilarity` dispatches on the task kind:
+
+* ``label`` / categorical payloads → exact equality;
+* ``text`` payloads → n-gram profile cosine (Damashek [4]);
+* ``ranking`` payloads → symmetric nDCG [10];
+* numeric payloads → relative tolerance.
+
+Unknown kinds fall back on exact equality, the strictest judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.entities import Contribution
+from repro.similarity.base import exact_equality
+from repro.similarity.numeric import relative_tolerance_similarity
+from repro.similarity.ranking import ranked_list_similarity
+from repro.similarity.text import ngram_similarity
+
+
+def _text_measure(left: object, right: object) -> float:
+    return ngram_similarity(str(left), str(right))
+
+
+def _ranking_measure(left: object, right: object) -> float:
+    if not isinstance(left, Sequence) or not isinstance(right, Sequence):
+        return exact_equality(left, right)
+    return ranked_list_similarity(list(left), list(right))
+
+
+def _numeric_measure(left: object, right: object) -> float:
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        return exact_equality(left, right)
+    return relative_tolerance_similarity(float(left), float(right))
+
+
+_DEFAULT_MEASURES: dict[str, Callable[[object, object], float]] = {
+    "label": exact_equality,
+    "text": _text_measure,
+    "ranking": _ranking_measure,
+    "numeric": _numeric_measure,
+}
+
+
+@dataclass(frozen=True)
+class ContributionSimilarity:
+    """Similarity of two contributions to the *same* task.
+
+    ``measures`` maps a task kind to a payload similarity; kinds not in
+    the map use exact equality.  Extend by passing extra measures.
+    """
+
+    measures: Mapping[str, Callable[[object, object], float]] = field(
+        default_factory=lambda: dict(_DEFAULT_MEASURES)
+    )
+
+    def measure_for(self, kind: str) -> Callable[[object, object], float]:
+        """The payload measure used for a task kind."""
+        return self.measures.get(kind, exact_equality)
+
+    def __call__(
+        self, left: Contribution, right: Contribution, kind: str = "label"
+    ) -> float:
+        if left.task_id != right.task_id:
+            raise ValueError(
+                "contribution similarity is defined only for the same task "
+                f"({left.task_id} vs {right.task_id})"
+            )
+        return self.measure_for(kind)(left.payload, right.payload)
+
+    def payloads(self, left: object, right: object, kind: str = "label") -> float:
+        """Similarity of two raw payloads of the given kind."""
+        return self.measure_for(kind)(left, right)

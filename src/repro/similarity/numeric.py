@@ -1,0 +1,59 @@
+"""Numeric similarity: tolerances and reward comparability.
+
+Axiom 2 asks whether two tasks "offer comparable rewards ``d_ti`` and
+``d_tj``"; :func:`reward_comparability` makes that judgement continuous
+so it can feed a :class:`repro.similarity.base.SimilarityThreshold`.
+"""
+
+from __future__ import annotations
+
+
+def absolute_tolerance_similarity(left: float, right: float, tolerance: float = 0.0) -> float:
+    """1.0 when ``|left - right| <= tolerance``, decaying linearly to 0
+    at twice the tolerance; with ``tolerance == 0`` this is exact
+    equality on floats."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    gap = abs(left - right)
+    if tolerance == 0.0:
+        return 1.0 if gap == 0.0 else 0.0
+    if gap <= tolerance:
+        return 1.0
+    if gap >= 2 * tolerance:
+        return 0.0
+    return 1.0 - (gap - tolerance) / tolerance
+
+
+def relative_tolerance_similarity(left: float, right: float, tolerance: float = 0.1) -> float:
+    """Similarity based on relative gap ``|l - r| / max(|l|, |r|)``.
+
+    Returns 1.0 when the relative gap is within ``tolerance``, then
+    decays linearly, reaching 0 at three times the tolerance — values
+    whose gap triples the allowance are simply not comparable.  Two
+    zeros are identical.  A zero tolerance is exact equality.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    scale = max(abs(left), abs(right))
+    if scale == 0.0:
+        return 1.0
+    gap = abs(left - right) / scale
+    if tolerance == 0.0:
+        return 1.0 if gap == 0.0 else 0.0
+    if gap <= tolerance:
+        return 1.0
+    if gap >= 3 * tolerance:
+        return 0.0
+    return 1.0 - (gap - tolerance) / (2 * tolerance)
+
+
+def reward_comparability(left: float, right: float, tolerance: float = 0.1) -> float:
+    """Are two task rewards comparable (Axiom 2)?
+
+    A thin, intention-revealing wrapper over relative tolerance: rewards
+    of 0.10 and 0.11 are comparable at the default 10 % tolerance;
+    0.10 and 0.50 are not.
+    """
+    if left < 0 or right < 0:
+        raise ValueError("rewards must be non-negative")
+    return relative_tolerance_similarity(left, right, tolerance)

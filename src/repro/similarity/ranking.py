@@ -1,0 +1,94 @@
+"""Ranked-list similarity: DCG/nDCG [10] and Kendall tau.
+
+Axiom 3 suggests Discounted Cumulative Gain for ranked-list
+contributions.  We treat one list as the reference relevance ordering
+and compute the nDCG of the other against it; the symmetrized version
+(:func:`ranked_list_similarity`) averages both directions so the
+measure is a proper similarity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+
+def dcg(relevances: Sequence[float]) -> float:
+    """Discounted cumulative gain of a relevance sequence.
+
+    Uses the classic Jarvelin-Kekalainen formulation
+    ``sum(rel_i / log2(i + 1))`` with 1-based positions.
+    """
+    return sum(
+        rel / math.log2(position + 1)
+        for position, rel in enumerate(relevances, start=1)
+    )
+
+
+def ndcg(relevances: Sequence[float]) -> float:
+    """Normalized DCG: DCG divided by the DCG of the ideal ordering."""
+    if not relevances:
+        return 1.0
+    if any(rel < 0 for rel in relevances):
+        raise ValueError("relevances must be non-negative")
+    ideal = dcg(sorted(relevances, reverse=True))
+    if ideal == 0.0:
+        return 1.0
+    return dcg(relevances) / ideal
+
+
+def _ndcg_of_list_against_reference(
+    candidate: Sequence[Hashable], reference: Sequence[Hashable]
+) -> float:
+    """nDCG of ``candidate`` using graded relevance from ``reference``.
+
+    An item at position ``i`` (0-based) of the reference list of length
+    ``k`` has relevance ``k - i``; items absent from the reference have
+    relevance 0.
+    """
+    k = len(reference)
+    relevance = {item: k - i for i, item in enumerate(reference)}
+    gains = [float(relevance.get(item, 0)) for item in candidate]
+    ideal = dcg(sorted(relevance.values(), reverse=True))
+    if ideal == 0.0:
+        return 1.0 if not gains or all(g == 0 for g in gains) else 0.0
+    return min(1.0, dcg(gains) / ideal)
+
+
+def ranked_list_similarity(
+    left: Sequence[Hashable], right: Sequence[Hashable]
+) -> float:
+    """Symmetric nDCG similarity of two ranked lists, in [0, 1].
+
+    1.0 for identical lists; near 0 for disjoint lists.  This is the
+    Axiom 3 measure for ranked-list contributions.
+    """
+    if not left and not right:
+        return 1.0
+    forward = _ndcg_of_list_against_reference(left, right)
+    backward = _ndcg_of_list_against_reference(right, left)
+    return (forward + backward) / 2.0
+
+
+def kendall_tau_similarity(
+    left: Sequence[Hashable], right: Sequence[Hashable]
+) -> float:
+    """Kendall-tau-based similarity of two rankings of the same items.
+
+    Only the items common to both lists are compared; the tau distance
+    (fraction of discordant pairs) is mapped to ``1 - distance``.  Lists
+    sharing fewer than two items score 1.0 if equal, else 0.5 (no
+    ordering evidence either way).
+    """
+    common = [item for item in left if item in set(right)]
+    if len(common) < 2:
+        return 1.0 if list(left) == list(right) else 0.5
+    right_pos = {item: i for i, item in enumerate(right)}
+    discordant = 0
+    total = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            total += 1
+            if right_pos[common[i]] > right_pos[common[j]]:
+                discordant += 1
+    return 1.0 - discordant / total

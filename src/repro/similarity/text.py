@@ -1,0 +1,48 @@
+"""N-gram text similarity (Damashek [4]).
+
+Axiom 3 compares textual contributions; the paper points to n-gram
+profiles: "for textual contributions, n-grams could be used [4]".  We
+implement Damashek-style character n-gram profiles compared by cosine
+similarity, which is language-independent and robust to small edits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def ngram_profile(text: str, n: int = 3, normalize_case: bool = True) -> Counter:
+    """Character n-gram frequency profile of ``text``.
+
+    Whitespace runs collapse to single spaces so formatting differences
+    do not dominate.  Texts shorter than ``n`` produce a profile of the
+    whole (padded) text, so very short strings still compare sensibly.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    cleaned = " ".join(text.split())
+    if normalize_case:
+        cleaned = cleaned.lower()
+    if not cleaned:
+        return Counter()
+    if len(cleaned) < n:
+        return Counter({cleaned: 1})
+    return Counter(cleaned[i : i + n] for i in range(len(cleaned) - n + 1))
+
+
+def _cosine(left: Counter, right: Counter) -> float:
+    if not left and not right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    shared = set(left) & set(right)
+    dot = sum(left[g] * right[g] for g in shared)
+    norm_left = math.sqrt(sum(c * c for c in left.values()))
+    norm_right = math.sqrt(sum(c * c for c in right.values()))
+    return max(0.0, min(1.0, dot / (norm_left * norm_right)))
+
+
+def ngram_similarity(left: str, right: str, n: int = 3) -> float:
+    """Cosine similarity of the two texts' n-gram profiles, in [0, 1]."""
+    return _cosine(ngram_profile(left, n), ngram_profile(right, n))

@@ -1,0 +1,86 @@
+"""Similarity over Boolean vectors and attribute mappings.
+
+Cosine similarity is the measure the paper names for skill vectors
+(Axiom 2); Jaccard is provided as an alternative.  Attribute-mapping
+similarity supports Axiom 1's comparison of ``A_w`` and ``C_w``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.entities import SkillVector
+
+
+def cosine_similarity(left: Sequence[float], right: Sequence[float]) -> float:
+    """Cosine similarity of two numeric vectors, clipped to ``[0, 1]``.
+
+    Two zero vectors are defined as identical (1.0); a zero vector
+    against a non-zero vector scores 0.0.
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"vectors have different dimensions: {len(left)} vs {len(right)}"
+        )
+    dot = sum(a * b for a, b in zip(left, right))
+    norm_left = math.sqrt(sum(a * a for a in left))
+    norm_right = math.sqrt(sum(b * b for b in right))
+    if norm_left == 0.0 and norm_right == 0.0:
+        return 1.0
+    if norm_left == 0.0 or norm_right == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, dot / (norm_left * norm_right)))
+
+
+def jaccard_similarity(left: Sequence[bool], right: Sequence[bool]) -> float:
+    """Jaccard similarity of two Boolean vectors (empty/empty = 1.0)."""
+    if len(left) != len(right):
+        raise ValueError(
+            f"vectors have different dimensions: {len(left)} vs {len(right)}"
+        )
+    intersection = sum(a and b for a, b in zip(left, right))
+    union = sum(a or b for a, b in zip(left, right))
+    return 1.0 if union == 0 else intersection / union
+
+
+def skill_cosine(left: SkillVector, right: SkillVector) -> float:
+    """Cosine similarity of two skill vectors (the Axiom 2 measure)."""
+    return cosine_similarity(left.as_floats(), right.as_floats())
+
+
+def skill_jaccard(left: SkillVector, right: SkillVector) -> float:
+    """Jaccard similarity of two skill vectors."""
+    return jaccard_similarity(left.bits, right.bits)
+
+
+def attribute_overlap_similarity(
+    left: Mapping[str, object],
+    right: Mapping[str, object],
+    numeric_tolerance: float = 0.0,
+) -> float:
+    """Fraction of shared attribute keys holding (near-)equal values.
+
+    Keys present in only one mapping count as disagreements — a worker
+    who declares an attribute the other withholds is *not* similar on
+    it.  Numeric values compare within ``numeric_tolerance`` (absolute).
+    Two empty mappings are identical (1.0).
+    """
+    keys = set(left) | set(right)
+    if not keys:
+        return 1.0
+    agreements = 0
+    for key in keys:
+        if key not in left or key not in right:
+            continue
+        a, b = left[key], right[key]
+        both_numeric = isinstance(a, (int, float)) and isinstance(b, (int, float))
+        # bool is an int subclass; treat bools as categorical, not numeric.
+        if isinstance(a, bool) or isinstance(b, bool):
+            both_numeric = False
+        if both_numeric:
+            if abs(float(a) - float(b)) <= numeric_tolerance:
+                agreements += 1
+        elif a == b:
+            agreements += 1
+    return agreements / len(keys)

@@ -1,0 +1,72 @@
+"""The declarative transparency language and its toolchain.
+
+Sections 1 and 3.3.2 call for "declarative languages to help requesters
+and platform developers express what they want to make transparent",
+with rules that "can also be translated into human-readable descriptions
+for workers' consumption" and whose "declarative nature ... will allow
+easy comparison across platforms".  This package is that language:
+
+* grammar (``policy "name" { disclose subject.field to audience
+  [when condition]; ... }``) — :mod:`repro.transparency.tokens`,
+  :mod:`repro.transparency.parser`;
+* semantic validation against the schema of disclosable fields —
+  :mod:`repro.transparency.semantics`;
+* evaluation: applying a policy to live entities produces concrete
+  disclosures — :mod:`repro.transparency.evaluator`;
+* human-readable rendering — :mod:`repro.transparency.render`;
+* cross-platform comparison — :mod:`repro.transparency.compare`;
+* presets encoding AMT, CrowdFlower, Turkopticon-augmented AMT,
+  MobileWorks, and the extremes — :mod:`repro.transparency.presets`;
+* enforcement inside the simulator — :mod:`repro.transparency.enforcement`.
+"""
+
+from repro.transparency.ast_nodes import (
+    Audience,
+    Comparison,
+    Condition,
+    DiscloseRule,
+    FairnessRequirement,
+    FieldRef,
+    Policy,
+    Subject,
+)
+from repro.transparency.compare import PolicyDiff, compare_policies
+from repro.transparency.contracts import (
+    AuditContract,
+    ContractOutcome,
+    RequirementVerdict,
+)
+from repro.transparency.enforcement import PolicyEnforcer
+from repro.transparency.evaluator import Disclosure, PolicyEvaluator
+from repro.transparency.parser import parse_policy
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.presets import PRESETS, preset
+from repro.transparency.render import render_policy, render_rule
+from repro.transparency.semantics import DisclosureSchema, validate_policy
+
+__all__ = [
+    "Audience",
+    "AuditContract",
+    "Comparison",
+    "Condition",
+    "ContractOutcome",
+    "DiscloseRule",
+    "Disclosure",
+    "DisclosureSchema",
+    "FairnessRequirement",
+    "FieldRef",
+    "RequirementVerdict",
+    "PRESETS",
+    "Policy",
+    "PolicyDiff",
+    "PolicyEnforcer",
+    "PolicyEvaluator",
+    "Subject",
+    "TransparencyPolicy",
+    "compare_policies",
+    "parse_policy",
+    "preset",
+    "render_policy",
+    "render_rule",
+    "validate_policy",
+]

@@ -1,0 +1,150 @@
+"""AST nodes of the transparency DSL.
+
+A :class:`Policy` is a named list of :class:`DiscloseRule`; each rule
+names a :class:`FieldRef` (subject.field), an :class:`Audience`, and an
+optional :class:`Condition` comparing a field to a literal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Subject(enum.Enum):
+    """Whose information a rule discloses."""
+
+    REQUESTER = "requester"
+    WORKER = "worker"
+    TASK = "task"
+    PLATFORM = "platform"
+
+
+class Audience(enum.Enum):
+    """Who gets to see the disclosure.
+
+    ``SELF`` means "the subject themselves" — e.g.
+    ``disclose worker.acceptance_ratio to self`` is the CrowdFlower
+    accuracy panel; ``PUBLIC`` is unauthenticated visibility.
+    """
+
+    WORKERS = "workers"
+    REQUESTERS = "requesters"
+    SELF = "self"
+    PUBLIC = "public"
+
+
+class Comparison(enum.Enum):
+    GE = ">="
+    LE = "<="
+    GT = ">"
+    LT = "<"
+    EQ = "=="
+    NE = "!="
+
+    def apply(self, left: object, right: object) -> bool:
+        """Evaluate the comparison; ordering on mixed types is False."""
+        if self is Comparison.EQ:
+            return left == right
+        if self is Comparison.NE:
+            return left != right
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            return False
+        if self is Comparison.GE:
+            return left >= right
+        if self is Comparison.LE:
+            return left <= right
+        if self is Comparison.GT:
+            return left > right
+        return left < right
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """``subject.field`` — e.g. ``requester.hourly_wage``."""
+
+    subject: Subject
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.subject.value}.{self.field}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``when subject.field <op> literal``."""
+
+    field: FieldRef
+    op: Comparison
+    literal: object
+
+    def __str__(self) -> str:
+        literal = (
+            f'"{self.literal}"' if isinstance(self.literal, str) else
+            str(self.literal).lower() if isinstance(self.literal, bool) else
+            str(self.literal)
+        )
+        return f"when {self.field} {self.op.value} {literal}"
+
+
+@dataclass(frozen=True)
+class DiscloseRule:
+    """``disclose subject.field to audience [when ...];``"""
+
+    field: FieldRef
+    audience: Audience
+    condition: Condition | None = None
+
+    def __str__(self) -> str:
+        base = f"disclose {self.field} to {self.audience.value}"
+        if self.condition is not None:
+            base = f"{base} {self.condition}"
+        return f"{base};"
+
+
+@dataclass(frozen=True)
+class FairnessRequirement:
+    """``require axiom <n> score >= <threshold>;``
+
+    A declarative *fairness rule* (Section 3.3.2): a minimum audit
+    score the platform commits to on one of the paper's axioms.
+    :class:`repro.transparency.contracts.AuditContract` checks an
+    :class:`~repro.core.audit.AuditReport` against these commitments.
+    """
+
+    axiom_id: int
+    op: Comparison
+    threshold: float
+
+    def __str__(self) -> str:
+        return (
+            f"require axiom {self.axiom_id} score {self.op.value} "
+            f"{self.threshold:g};"
+        )
+
+    def satisfied_by(self, score: float) -> bool:
+        return self.op.apply(score, self.threshold)
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named set of disclosure rules and fairness requirements."""
+
+    name: str
+    rules: tuple[DiscloseRule, ...]
+    requirements: tuple[FairnessRequirement, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"  {rule}" for rule in self.rules]
+        lines.extend(f"  {req}" for req in self.requirements)
+        body = "\n".join(lines)
+        return f'policy "{self.name}" {{\n{body}\n}}'
+
+    def rules_for(self, subject: Subject) -> tuple[DiscloseRule, ...]:
+        return tuple(rule for rule in self.rules if rule.field.subject is subject)
+
+    def disclosed_fields(self, subject: Subject) -> frozenset[str]:
+        """Fields of ``subject`` disclosed by at least one rule."""
+        return frozenset(
+            rule.field.field for rule in self.rules if rule.field.subject is subject
+        )

@@ -1,0 +1,80 @@
+"""Cross-platform policy comparison.
+
+The paper argues a declarative form "would also facilitate sharing and
+comparing transparency choices across platforms".  A
+:class:`PolicyDiff` lists the rules unique to each side and shared
+rules, and compares mandated coverage — e.g. showing exactly which
+disclosures Turkopticon adds on top of stock AMT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transparency.ast_nodes import DiscloseRule
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.render import render_rule
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """The structural difference between two policies."""
+
+    left_name: str
+    right_name: str
+    only_left: tuple[DiscloseRule, ...]
+    only_right: tuple[DiscloseRule, ...]
+    shared: tuple[DiscloseRule, ...]
+    left_coverage: float
+    right_coverage: float
+
+    @property
+    def identical(self) -> bool:
+        return not self.only_left and not self.only_right
+
+    @property
+    def right_is_superset(self) -> bool:
+        """True when the right policy discloses everything the left does."""
+        return not self.only_left
+
+    @property
+    def coverage_gap(self) -> float:
+        """right coverage - left coverage (positive: right discloses more)."""
+        return self.right_coverage - self.left_coverage
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"{self.left_name} (coverage {self.left_coverage:.2f}) vs "
+            f"{self.right_name} (coverage {self.right_coverage:.2f})",
+            f"  shared rules: {len(self.shared)}",
+        ]
+        if self.only_left:
+            lines.append(f"  only in {self.left_name}:")
+            lines.extend(f"    - {render_rule(rule)}" for rule in self.only_left)
+        if self.only_right:
+            lines.append(f"  only in {self.right_name}:")
+            lines.extend(f"    - {render_rule(rule)}" for rule in self.only_right)
+        if self.identical:
+            lines.append("  the policies are identical")
+        return lines
+
+
+def compare_policies(
+    left: TransparencyPolicy, right: TransparencyPolicy
+) -> PolicyDiff:
+    """Structural diff of two validated policies.
+
+    Rules compare by (field, audience, condition) — names do not
+    matter, so the same disclosure expressed by two platforms matches.
+    """
+    left_rules = set(left.ast.rules)
+    right_rules = set(right.ast.rules)
+    return PolicyDiff(
+        left_name=left.name,
+        right_name=right.name,
+        only_left=tuple(sorted(left_rules - right_rules, key=str)),
+        only_right=tuple(sorted(right_rules - left_rules, key=str)),
+        shared=tuple(sorted(left_rules & right_rules, key=str)),
+        left_coverage=left.mandated_coverage(),
+        right_coverage=right.mandated_coverage(),
+    )

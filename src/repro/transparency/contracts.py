@@ -1,0 +1,108 @@
+"""Audit contracts: checking a platform against its declared fairness rules.
+
+A policy's ``require axiom <n> score >= <x>;`` statements are public
+commitments.  An :class:`AuditContract` evaluates an audit report
+against them, yielding a per-requirement verdict — the "checking
+fairness ... in a principled fashion" of Section 3.2, made declarative
+per Section 3.3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditReport
+from repro.errors import AuditError
+from repro.transparency.policy import TransparencyPolicy
+
+_AXIOM_TITLES = {
+    1: "worker fairness in task assignment",
+    2: "requester fairness in task assignment",
+    3: "fairness in worker compensation",
+    4: "requester fairness in task completion",
+    5: "worker fairness in task completion",
+    6: "requester transparency",
+    7: "platform transparency",
+}
+
+
+@dataclass(frozen=True)
+class RequirementVerdict:
+    """One requirement checked against one audit report."""
+
+    axiom_id: int
+    threshold: float
+    actual_score: float
+    satisfied: bool
+
+    def describe(self) -> str:
+        verdict = "OK" if self.satisfied else "BREACH"
+        title = _AXIOM_TITLES.get(self.axiom_id, f"axiom {self.axiom_id}")
+        return (
+            f"[{verdict}] axiom {self.axiom_id} ({title}): committed "
+            f"{self.threshold:g}, measured {self.actual_score:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class ContractOutcome:
+    """All requirement verdicts for one (policy, report) pair."""
+
+    policy_name: str
+    verdicts: tuple[RequirementVerdict, ...]
+
+    @property
+    def honoured(self) -> bool:
+        return all(v.satisfied for v in self.verdicts)
+
+    @property
+    def breaches(self) -> tuple[RequirementVerdict, ...]:
+        return tuple(v for v in self.verdicts if not v.satisfied)
+
+    def summary_lines(self) -> list[str]:
+        status = "HONOURED" if self.honoured else "BREACHED"
+        lines = [
+            f"contract of policy '{self.policy_name}': {status} "
+            f"({len(self.verdicts)} requirement(s))"
+        ]
+        lines.extend(f"  {v.describe()}" for v in self.verdicts)
+        return lines
+
+
+class AuditContract:
+    """Evaluates audit reports against a policy's fairness requirements."""
+
+    def __init__(self, policy: TransparencyPolicy) -> None:
+        self.policy = policy
+
+    @property
+    def requirements(self):
+        return self.policy.ast.requirements
+
+    def evaluate(self, report: AuditReport) -> ContractOutcome:
+        """Check every declared requirement against the report.
+
+        Raises :class:`AuditError` when the report lacks a result for a
+        required axiom (the audit suite must cover the contract).
+        """
+        available = {result.axiom_id for result in report.results}
+        verdicts = []
+        for requirement in self.requirements:
+            if requirement.axiom_id not in available:
+                raise AuditError(
+                    f"audit report has no result for axiom "
+                    f"{requirement.axiom_id} required by policy "
+                    f"{self.policy.name!r}"
+                )
+            score = report.result_for(requirement.axiom_id).score
+            verdicts.append(
+                RequirementVerdict(
+                    axiom_id=requirement.axiom_id,
+                    threshold=requirement.threshold,
+                    actual_score=score,
+                    satisfied=requirement.satisfied_by(score),
+                )
+            )
+        return ContractOutcome(
+            policy_name=self.policy.name, verdicts=tuple(verdicts)
+        )

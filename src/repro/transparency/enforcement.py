@@ -1,0 +1,78 @@
+"""Policy enforcement inside the simulator.
+
+:class:`PolicyEnforcer` wires a validated policy into a
+:class:`~repro.platform.market.CrowdsourcingPlatform`: each round it
+evaluates the policy over the platform's current requesters, workers,
+and open tasks, and records the resulting disclosures as
+:class:`~repro.core.events.DisclosureShown` trace events — which is
+what makes the Axiom 6/7 checkers pass for covered fields, and what the
+session's satisfaction model perceives as transparency.
+
+It implements the :class:`repro.platform.session.TransparencyEnforcer`
+protocol (``coverage`` + ``apply_round``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.platform.market import CrowdsourcingPlatform
+from repro.transparency.evaluator import PolicyEvaluator
+from repro.transparency.policy import TransparencyPolicy
+
+
+class PolicyEnforcer:
+    """Applies a transparency policy to a platform every round."""
+
+    def __init__(
+        self,
+        policy: TransparencyPolicy,
+        platform_stats: Mapping[str, object] | None = None,
+    ) -> None:
+        self.policy = policy
+        self._stats = dict(platform_stats or {})
+        self.coverage = policy.mandated_coverage()
+        # Avoid re-emitting byte-identical disclosures every round: the
+        # axiom checkers need each (subject, field) once, and duplicate
+        # events only bloat traces.
+        self._already_disclosed: set[tuple[str, str, object]] = set()
+
+    @property
+    def name(self) -> str:
+        return f"enforcer({self.policy.name})"
+
+    def apply_round(self, platform: CrowdsourcingPlatform) -> None:
+        stats = dict(self._stats)
+        stats.setdefault("active_workers", len(platform.active_workers))
+        evaluator = PolicyEvaluator(self.policy, platform_stats=stats)
+        disclosures = evaluator.evaluate(
+            requesters=platform.trace.requesters.values(),
+            workers=platform.workers.values(),
+            tasks=platform.open_tasks,
+        )
+        for disclosure in disclosures:
+            key = (
+                disclosure.subject,
+                disclosure.field_name,
+                _freeze(disclosure.value),
+            )
+            if key in self._already_disclosed:
+                continue
+            self._already_disclosed.add(key)
+            platform.disclose(
+                subject=disclosure.subject,
+                field_name=disclosure.field_name,
+                value=disclosure.value,
+                audience_worker_id=disclosure.audience_worker_id,
+            )
+
+
+def _freeze(value: object) -> object:
+    """A hashable stand-in for a disclosure value."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, float):
+        return round(value, 6)
+    return value

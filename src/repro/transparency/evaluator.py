@@ -1,0 +1,179 @@
+"""Policy evaluation: turning rules into concrete disclosures.
+
+Given live entities (requesters, workers, tasks, platform stats), the
+evaluator applies every rule whose condition holds and produces
+:class:`Disclosure` records — the values a compliant platform UI would
+render, and exactly what the enforcement hook writes into the trace as
+:class:`~repro.core.events.DisclosureShown` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.entities import Requester, Task, Worker
+from repro.transparency.ast_nodes import (
+    Audience,
+    Condition,
+    FieldRef,
+    Subject,
+)
+from repro.transparency.policy import TransparencyPolicy
+
+
+@dataclass(frozen=True)
+class Disclosure:
+    """One concrete disclosure produced by evaluating a policy."""
+
+    subject: str        # "requester:r0001", "worker:w0003", "task:t0001", "platform"
+    field_name: str
+    value: object
+    audience: Audience
+    audience_worker_id: str = ""  # set for SELF disclosures to a worker
+
+
+def _requester_value(requester: Requester, field_name: str) -> object:
+    if field_name == "identity_verified":
+        return bool(requester.name)
+    return getattr(requester, field_name, None)
+
+
+def _worker_value(worker: Worker, field_name: str) -> object:
+    if field_name in worker.computed:
+        return worker.computed[field_name]
+    if field_name in worker.declared:
+        return worker.declared[field_name]
+    return None
+
+
+def _task_value(task: Task, field_name: str) -> object:
+    return getattr(task, field_name, None)
+
+
+class PolicyEvaluator:
+    """Applies a policy to entity collections."""
+
+    def __init__(
+        self,
+        policy: TransparencyPolicy,
+        platform_stats: Mapping[str, object] | None = None,
+    ) -> None:
+        self.policy = policy
+        self.platform_stats = dict(platform_stats or {})
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, ref: FieldRef, entity: object) -> object:
+        if ref.subject is Subject.REQUESTER and isinstance(entity, Requester):
+            return _requester_value(entity, ref.field)
+        if ref.subject is Subject.WORKER and isinstance(entity, Worker):
+            return _worker_value(entity, ref.field)
+        if ref.subject is Subject.TASK and isinstance(entity, Task):
+            return _task_value(entity, ref.field)
+        if ref.subject is Subject.PLATFORM:
+            return self.platform_stats.get(ref.field)
+        return None
+
+    def _condition_holds(self, condition: Condition | None, entity: object) -> bool:
+        if condition is None:
+            return True
+        value = self._resolve(condition.field, entity)
+        if value is None:
+            return False  # absent facts disclose nothing
+        return condition.op.apply(value, condition.literal)
+
+    # ------------------------------------------------------------------
+
+    def disclosures_for_requester(self, requester: Requester) -> list[Disclosure]:
+        disclosures = []
+        for rule in self.policy.ast.rules_for(Subject.REQUESTER):
+            if not self._condition_holds(rule.condition, requester):
+                continue
+            value = _requester_value(requester, rule.field.field)
+            if value is None:
+                continue
+            disclosures.append(
+                Disclosure(
+                    subject=f"requester:{requester.requester_id}",
+                    field_name=rule.field.field,
+                    value=value,
+                    audience=rule.audience,
+                )
+            )
+        return disclosures
+
+    def disclosures_for_worker(self, worker: Worker) -> list[Disclosure]:
+        disclosures = []
+        for rule in self.policy.ast.rules_for(Subject.WORKER):
+            if not self._condition_holds(rule.condition, worker):
+                continue
+            value = _worker_value(worker, rule.field.field)
+            if value is None:
+                continue
+            audience_worker = (
+                worker.worker_id if rule.audience is Audience.SELF else ""
+            )
+            disclosures.append(
+                Disclosure(
+                    subject=f"worker:{worker.worker_id}",
+                    field_name=rule.field.field,
+                    value=value,
+                    audience=rule.audience,
+                    audience_worker_id=audience_worker,
+                )
+            )
+        return disclosures
+
+    def disclosures_for_task(self, task: Task) -> list[Disclosure]:
+        disclosures = []
+        for rule in self.policy.ast.rules_for(Subject.TASK):
+            if not self._condition_holds(rule.condition, task):
+                continue
+            value = _task_value(task, rule.field.field)
+            if value is None:
+                continue
+            disclosures.append(
+                Disclosure(
+                    subject=f"task:{task.task_id}",
+                    field_name=rule.field.field,
+                    value=value,
+                    audience=rule.audience,
+                )
+            )
+        return disclosures
+
+    def disclosures_for_platform(self) -> list[Disclosure]:
+        disclosures = []
+        for rule in self.policy.ast.rules_for(Subject.PLATFORM):
+            if not self._condition_holds(rule.condition, None):
+                continue
+            value = self.platform_stats.get(rule.field.field)
+            if value is None:
+                continue
+            disclosures.append(
+                Disclosure(
+                    subject="platform",
+                    field_name=rule.field.field,
+                    value=value,
+                    audience=rule.audience,
+                )
+            )
+        return disclosures
+
+    def evaluate(
+        self,
+        requesters: Iterable[Requester] = (),
+        workers: Iterable[Worker] = (),
+        tasks: Iterable[Task] = (),
+    ) -> list[Disclosure]:
+        """All disclosures the policy yields over the given entities."""
+        disclosures: list[Disclosure] = []
+        for requester in requesters:
+            disclosures.extend(self.disclosures_for_requester(requester))
+        for worker in workers:
+            disclosures.extend(self.disclosures_for_worker(worker))
+        for task in tasks:
+            disclosures.extend(self.disclosures_for_task(task))
+        disclosures.extend(self.disclosures_for_platform())
+        return disclosures

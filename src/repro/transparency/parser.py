@@ -1,0 +1,170 @@
+"""Recursive-descent parser for the transparency DSL.
+
+Grammar::
+
+    policy      := "policy" STRING "{" statement* "}"
+    statement   := rule | requirement
+    rule        := "disclose" fieldref "to" audience [ "when" cond ] ";"
+    requirement := "require" "axiom" NUMBER "score" OP NUMBER ";"
+    fieldref    := SUBJECT "." IDENT
+    audience    := "workers" | "requesters" | "self" | "public"
+    cond        := fieldref OP literal
+    literal     := NUMBER | STRING | BOOLEAN
+
+Syntax errors raise :class:`~repro.errors.PolicySyntaxError` with
+line/column; semantic checks (unknown fields, audience compatibility)
+live in :mod:`repro.transparency.semantics`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicySyntaxError
+from repro.transparency.ast_nodes import (
+    Audience,
+    Comparison,
+    Condition,
+    DiscloseRule,
+    FairnessRequirement,
+    FieldRef,
+    Policy,
+    Subject,
+)
+from repro.transparency.tokens import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._current
+        if token.type is not token_type:
+            raise PolicySyntaxError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+
+    def parse_policy(self) -> Policy:
+        self._expect(TokenType.POLICY, "'policy'")
+        name_token = self._expect(TokenType.STRING, "policy name string")
+        self._expect(TokenType.LBRACE, "'{'")
+        rules: list[DiscloseRule] = []
+        requirements: list[FairnessRequirement] = []
+        while self._current.type is not TokenType.RBRACE:
+            if self._current.type is TokenType.EOF:
+                raise PolicySyntaxError(
+                    "unexpected end of input inside policy body",
+                    self._current.line, self._current.column,
+                )
+            if self._current.type is TokenType.REQUIRE:
+                requirements.append(self._parse_requirement())
+            else:
+                rules.append(self._parse_rule())
+        self._expect(TokenType.RBRACE, "'}'")
+        trailing = self._current
+        if trailing.type is not TokenType.EOF:
+            raise PolicySyntaxError(
+                f"unexpected trailing input {trailing.value!r}",
+                trailing.line, trailing.column,
+            )
+        return Policy(
+            name=str(name_token.value),
+            rules=tuple(rules),
+            requirements=tuple(requirements),
+        )
+
+    def _parse_requirement(self) -> FairnessRequirement:
+        self._expect(TokenType.REQUIRE, "'require'")
+        keyword = self._expect(TokenType.IDENT, "'axiom'")
+        if keyword.value != "axiom":
+            raise PolicySyntaxError(
+                f"expected 'axiom', found {keyword.value!r}",
+                keyword.line, keyword.column,
+            )
+        axiom_token = self._expect(TokenType.NUMBER, "an axiom number")
+        if not isinstance(axiom_token.value, int):
+            raise PolicySyntaxError(
+                "axiom number must be an integer",
+                axiom_token.line, axiom_token.column,
+            )
+        score_keyword = self._expect(TokenType.IDENT, "'score'")
+        if score_keyword.value != "score":
+            raise PolicySyntaxError(
+                f"expected 'score', found {score_keyword.value!r}",
+                score_keyword.line, score_keyword.column,
+            )
+        op_token = self._expect(TokenType.OP, "a comparison operator")
+        threshold_token = self._expect(TokenType.NUMBER, "a threshold number")
+        self._expect(TokenType.SEMICOLON, "';'")
+        return FairnessRequirement(
+            axiom_id=int(axiom_token.value),
+            op=Comparison(str(op_token.value)),
+            threshold=float(threshold_token.value),
+        )
+
+    def _parse_rule(self) -> DiscloseRule:
+        self._expect(TokenType.DISCLOSE, "'disclose'")
+        field = self._parse_fieldref()
+        self._expect(TokenType.TO, "'to'")
+        audience_token = self._expect(TokenType.IDENT, "an audience")
+        try:
+            audience = Audience(str(audience_token.value))
+        except ValueError:
+            known = ", ".join(a.value for a in Audience)
+            raise PolicySyntaxError(
+                f"unknown audience {audience_token.value!r} (known: {known})",
+                audience_token.line, audience_token.column,
+            ) from None
+        condition = None
+        if self._current.type is TokenType.WHEN:
+            self._advance()
+            condition = self._parse_condition()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return DiscloseRule(field=field, audience=audience, condition=condition)
+
+    def _parse_fieldref(self) -> FieldRef:
+        subject_token = self._expect(TokenType.IDENT, "a subject")
+        try:
+            subject = Subject(str(subject_token.value))
+        except ValueError:
+            known = ", ".join(s.value for s in Subject)
+            raise PolicySyntaxError(
+                f"unknown subject {subject_token.value!r} (known: {known})",
+                subject_token.line, subject_token.column,
+            ) from None
+        self._expect(TokenType.DOT, "'.'")
+        field_token = self._expect(TokenType.IDENT, "a field name")
+        return FieldRef(subject=subject, field=str(field_token.value))
+
+    def _parse_condition(self) -> Condition:
+        field = self._parse_fieldref()
+        op_token = self._expect(TokenType.OP, "a comparison operator")
+        op = Comparison(str(op_token.value))
+        literal_token = self._current
+        if literal_token.type not in (
+            TokenType.NUMBER, TokenType.STRING, TokenType.BOOLEAN
+        ):
+            raise PolicySyntaxError(
+                f"expected a literal, found {literal_token.value!r}",
+                literal_token.line, literal_token.column,
+            )
+        self._advance()
+        return Condition(field=field, op=op, literal=literal_token.value)
+
+
+def parse_policy(source: str) -> Policy:
+    """Parse DSL source into a :class:`Policy` AST (syntax only)."""
+    return _Parser(tokenize(source)).parse_policy()

@@ -1,0 +1,105 @@
+"""The TransparencyPolicy facade: parse + validate + measure coverage.
+
+``TransparencyPolicy`` is the object the rest of the library works
+with: built from DSL source (validated on construction), it reports
+*coverage* — the fraction of the axiom-mandated fields it disclosures —
+which is what drives retention mitigation in the session model and the
+Axiom 6/7 relationship in E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.axiom_transparency import (
+    REQUESTER_MANDATED_FIELDS,
+    WORKER_MANDATED_FIELDS,
+)
+from repro.transparency.ast_nodes import Audience, Policy, Subject
+from repro.transparency.parser import parse_policy
+from repro.transparency.semantics import DisclosureSchema, validate_policy
+
+
+@dataclass(frozen=True)
+class TransparencyPolicy:
+    """A validated transparency policy."""
+
+    ast: Policy
+    schema: DisclosureSchema = field(default_factory=DisclosureSchema)
+
+    def __post_init__(self) -> None:
+        validate_policy(self.ast, self.schema)
+
+    @classmethod
+    def from_source(
+        cls, source: str, schema: DisclosureSchema | None = None
+    ) -> "TransparencyPolicy":
+        """Parse + validate DSL source."""
+        return cls(ast=parse_policy(source), schema=schema or DisclosureSchema())
+
+    @property
+    def name(self) -> str:
+        return self.ast.name
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.ast.rules)
+
+    def to_source(self) -> str:
+        """Serialize back to DSL text (parse(to_source()) round-trips)."""
+        return str(self.ast)
+
+    # ------------------------------------------------------------------
+    # Coverage: how much of the mandated surface the policy disclosures
+
+    def mandated_coverage(self) -> float:
+        """Fraction of the Axiom 6 + Axiom 7 mandated fields disclosed.
+
+        Axiom 6 fields count when disclosed to workers or public;
+        Axiom 7 fields when disclosed at least to the worker themselves
+        (self), workers, or public.
+        """
+        requester_ok = self.ast.disclosed_fields(Subject.REQUESTER) & {
+            rule.field.field
+            for rule in self.ast.rules_for(Subject.REQUESTER)
+            if rule.audience in (Audience.WORKERS, Audience.PUBLIC)
+        }
+        worker_ok = {
+            rule.field.field
+            for rule in self.ast.rules_for(Subject.WORKER)
+            if rule.audience in (Audience.SELF, Audience.WORKERS, Audience.PUBLIC)
+        }
+        mandated = len(REQUESTER_MANDATED_FIELDS) + len(WORKER_MANDATED_FIELDS)
+        covered = len(
+            requester_ok & set(REQUESTER_MANDATED_FIELDS)
+        ) + len(worker_ok & set(WORKER_MANDATED_FIELDS))
+        return covered / mandated if mandated else 1.0
+
+    def schema_coverage(self) -> float:
+        """Fraction of *all* schema fields disclosed to anyone."""
+        total = self.schema.total_field_count()
+        if total == 0:
+            return 1.0
+        disclosed = sum(
+            len(self.ast.disclosed_fields(subject)) for subject in Subject
+        )
+        return disclosed / total
+
+    def missing_mandated_fields(self) -> dict[str, list[str]]:
+        """Mandated fields not disclosed, keyed by subject."""
+        requester_disclosed = {
+            rule.field.field
+            for rule in self.ast.rules_for(Subject.REQUESTER)
+            if rule.audience in (Audience.WORKERS, Audience.PUBLIC)
+        }
+        worker_disclosed = {
+            rule.field.field
+            for rule in self.ast.rules_for(Subject.WORKER)
+            if rule.audience in (Audience.SELF, Audience.WORKERS, Audience.PUBLIC)
+        }
+        return {
+            "requester": sorted(
+                set(REQUESTER_MANDATED_FIELDS) - requester_disclosed
+            ),
+            "worker": sorted(set(WORKER_MANDATED_FIELDS) - worker_disclosed),
+        }

@@ -1,0 +1,113 @@
+"""Preset policies modelling real platforms' disclosure surfaces.
+
+The paper surveys what each platform/tool actually disclosed circa
+2017; each preset encodes that surface in the DSL, demonstrating the
+expressiveness claim and feeding the cross-platform comparison (E6):
+
+* ``opaque`` — a platform disclosing nothing (the lower control);
+* ``amt_basic`` — stock AMT: task rewards and requester names only;
+* ``amt_turkopticon`` — AMT + the Turkopticon plug-in [9]: requester
+  ratings and pay/payment-delay reviews become visible to workers;
+* ``crowdflower`` — CrowdFlower: per-task ratings and the worker's own
+  estimated accuracy panel;
+* ``mobileworks`` — MobileWorks [15]: worker-to-worker visibility
+  (workers monitor each other);
+* ``full`` — everything the Axioms 6 and 7 mandate, plus platform
+  stats (the upper control).
+"""
+
+from __future__ import annotations
+
+from repro.transparency.policy import TransparencyPolicy
+
+_PRESET_SOURCES: dict[str, str] = {
+    "opaque": 'policy "opaque" {\n}',
+    "amt_basic": """
+policy "amt_basic" {
+  # Stock AMT: workers browse tasks and see rewards and who posts them.
+  disclose task.reward to workers;
+  disclose task.requester_id to workers;
+  disclose requester.name to workers;
+}
+""",
+    "amt_turkopticon": """
+policy "amt_turkopticon" {
+  # Stock AMT surface...
+  disclose task.reward to workers;
+  disclose task.requester_id to workers;
+  disclose requester.name to workers;
+  # ...plus the Turkopticon plug-in: worker-sourced requester reviews.
+  disclose requester.rating to workers;
+  disclose requester.hourly_wage to workers;
+  disclose requester.payment_delay to workers;
+  disclose requester.rejection_criteria to workers;
+}
+""",
+    "crowdflower": """
+policy "crowdflower" {
+  disclose task.reward to workers;
+  disclose task.kind to workers;
+  # CrowdFlower shows per-task ratings in its browse interface.
+  disclose requester.rating to workers;
+  # The accuracy panel: your own estimated accuracy so far.
+  disclose worker.mean_quality to self;
+  disclose worker.acceptance_ratio to self;
+}
+""",
+    "mobileworks": """
+policy "mobileworks" {
+  disclose task.reward to workers;
+  disclose requester.name to workers;
+  # Managed crowd: workers monitor each other's progress.
+  disclose worker.tasks_completed to workers;
+  disclose worker.acceptance_ratio to workers;
+  disclose platform.estimated_hourly_wage to workers;
+}
+""",
+    "full": """
+policy "full" {
+  # Everything Axiom 6 mandates of requesters...
+  disclose requester.hourly_wage to workers;
+  disclose requester.payment_delay to workers;
+  disclose requester.recruitment_criteria to workers;
+  disclose requester.rejection_criteria to workers;
+  disclose requester.rating to public;
+  # ...everything Axiom 7 mandates of the platform...
+  disclose worker.acceptance_ratio to self;
+  disclose worker.tasks_completed to self;
+  disclose worker.mean_quality to self;
+  # ...and platform-level context.
+  disclose task.reward to public;
+  disclose task.duration to workers;
+  disclose platform.fee_structure to public;
+  disclose platform.dispute_process to public;
+  disclose platform.estimated_hourly_wage to workers;
+}
+""",
+}
+
+#: Preset names in increasing disclosure order (handy for sweeps).
+PRESETS: tuple[str, ...] = (
+    "opaque",
+    "amt_basic",
+    "crowdflower",
+    "amt_turkopticon",
+    "mobileworks",
+    "full",
+)
+
+
+def preset(name: str) -> TransparencyPolicy:
+    """Load a preset policy by name."""
+    try:
+        source = _PRESET_SOURCES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; known: {sorted(_PRESET_SOURCES)}"
+        ) from None
+    return TransparencyPolicy.from_source(source)
+
+
+def all_presets() -> dict[str, TransparencyPolicy]:
+    """All presets, keyed by name."""
+    return {name: preset(name) for name in PRESETS}

@@ -1,0 +1,149 @@
+"""Human-readable rendering of transparency rules.
+
+Section 3.3.2: "Rules can also be translated into human-readable
+descriptions for workers' consumption."  The renderer produces plain
+English, e.g.::
+
+    disclose requester.hourly_wage to workers;
+      -> "Workers can see each requester's hourly wage."
+
+    disclose worker.acceptance_ratio to self when
+        worker.tasks_completed >= 10;
+      -> "You can see your own acceptance ratio, once your completed
+          task count is at least 10."
+"""
+
+from __future__ import annotations
+
+from repro.transparency.ast_nodes import (
+    Audience,
+    Comparison,
+    Condition,
+    DiscloseRule,
+    FairnessRequirement,
+    Policy,
+    Subject,
+)
+
+_AXIOM_PHRASES: dict[int, str] = {
+    1: "equal task access for similar workers",
+    2: "equal visibility for comparable tasks",
+    3: "equal pay for similar contributions",
+    4: "detection of malicious workers",
+    5: "no interruption of started work",
+    6: "disclosed requester working conditions",
+    7: "disclosed worker statistics",
+}
+
+_FIELD_PHRASES: dict[str, str] = {
+    "hourly_wage": "hourly wage",
+    "payment_delay": "time between submission and payment",
+    "recruitment_criteria": "recruitment criteria",
+    "rejection_criteria": "rejection criteria",
+    "rating": "rating",
+    "name": "name",
+    "identity_verified": "identity verification status",
+    "acceptance_ratio": "acceptance ratio",
+    "tasks_completed": "completed task count",
+    "mean_quality": "average contribution quality",
+    "location": "location",
+    "group": "demographic group",
+    "reward": "reward",
+    "duration": "expected duration",
+    "kind": "type",
+    "requester_id": "requester",
+    "fee_structure": "fee structure",
+    "dispute_process": "dispute process",
+    "estimated_hourly_wage": "estimated hourly wage",
+    "active_workers": "active worker count",
+}
+
+_AUDIENCE_PHRASES: dict[Audience, str] = {
+    Audience.WORKERS: "Workers can see",
+    Audience.REQUESTERS: "Requesters can see",
+    Audience.PUBLIC: "Anyone can see",
+    Audience.SELF: "You can see your own",
+}
+
+_SUBJECT_PHRASES: dict[Subject, str] = {
+    Subject.REQUESTER: "each requester's",
+    Subject.WORKER: "each worker's",
+    Subject.TASK: "each task's",
+    Subject.PLATFORM: "the platform's",
+}
+
+_OP_PHRASES: dict[Comparison, str] = {
+    Comparison.GE: "is at least",
+    Comparison.LE: "is at most",
+    Comparison.GT: "is above",
+    Comparison.LT: "is below",
+    Comparison.EQ: "equals",
+    Comparison.NE: "differs from",
+}
+
+
+def _field_phrase(field_name: str) -> str:
+    return _FIELD_PHRASES.get(field_name, field_name.replace("_", " "))
+
+
+def _condition_phrase(condition: Condition, self_audience: bool) -> str:
+    owner = "your" if self_audience else (
+        _SUBJECT_PHRASES[condition.field.subject].rstrip("'s") + "'s"
+        if condition.field.subject is not Subject.PLATFORM
+        else "the platform's"
+    )
+    if self_audience and condition.field.subject is Subject.WORKER:
+        owner = "your"
+    literal = (
+        f'"{condition.literal}"' if isinstance(condition.literal, str)
+        else str(condition.literal).lower() if isinstance(condition.literal, bool)
+        else f"{condition.literal:g}" if isinstance(condition.literal, float)
+        else str(condition.literal)
+    )
+    return (
+        f"once {owner} {_field_phrase(condition.field.field)} "
+        f"{_OP_PHRASES[condition.op]} {literal}"
+    )
+
+
+def render_rule(rule: DiscloseRule) -> str:
+    """One English sentence for one rule."""
+    is_self = rule.audience is Audience.SELF
+    lead = _AUDIENCE_PHRASES[rule.audience]
+    if is_self:
+        sentence = f"{lead} {_field_phrase(rule.field.field)}"
+    else:
+        sentence = (
+            f"{lead} {_SUBJECT_PHRASES[rule.field.subject]} "
+            f"{_field_phrase(rule.field.field)}"
+        )
+    if rule.condition is not None:
+        sentence = f"{sentence}, {_condition_phrase(rule.condition, is_self)}"
+    return f"{sentence}."
+
+
+def render_requirement(requirement: FairnessRequirement) -> str:
+    """One English sentence for one fairness commitment."""
+    phrase = _AXIOM_PHRASES.get(
+        requirement.axiom_id, f"axiom {requirement.axiom_id}"
+    )
+    return (
+        f"The platform commits to {phrase} with an audit score of at "
+        f"least {requirement.threshold:g}."
+    )
+
+
+def render_policy(policy: Policy) -> str:
+    """A worker-facing description of the whole policy."""
+    if not policy.rules and not policy.requirements:
+        return (
+            f"Policy '{policy.name}': this platform discloses nothing."
+        )
+    lines = [f"Policy '{policy.name}' discloses the following:"]
+    lines.extend(f"  - {render_rule(rule)}" for rule in policy.rules)
+    if policy.requirements:
+        lines.append("And commits to these fairness rules:")
+        lines.extend(
+            f"  - {render_requirement(req)}" for req in policy.requirements
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Semantic validation of transparency policies.
+
+A parsed policy may still be meaningless: referring to fields no
+platform tracks, or disclosing a worker's attributes "to self" of a
+requester subject.  The :class:`DisclosureSchema` declares, per
+subject, which fields exist and their types; :func:`validate_policy`
+checks every rule and condition against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PolicySemanticsError
+from repro.transparency.ast_nodes import (
+    Audience,
+    Comparison,
+    Condition,
+    FairnessRequirement,
+    FieldRef,
+    Policy,
+    Subject,
+)
+
+#: Field type labels used by the schema.
+NUMBER = "number"
+STRING = "string"
+BOOLEAN = "boolean"
+
+
+def _default_fields() -> dict[Subject, dict[str, str]]:
+    return {
+        Subject.REQUESTER: {
+            # Axiom 6's mandated working conditions plus common extras.
+            "hourly_wage": NUMBER,
+            "payment_delay": NUMBER,
+            "recruitment_criteria": STRING,
+            "rejection_criteria": STRING,
+            "rating": NUMBER,
+            "name": STRING,
+            "identity_verified": BOOLEAN,
+        },
+        Subject.WORKER: {
+            # Axiom 7's computed attributes plus declared extras.
+            "acceptance_ratio": NUMBER,
+            "tasks_completed": NUMBER,
+            "mean_quality": NUMBER,
+            "location": STRING,
+            "group": STRING,
+        },
+        Subject.TASK: {
+            "reward": NUMBER,
+            "duration": NUMBER,
+            "kind": STRING,
+            "requester_id": STRING,
+        },
+        Subject.PLATFORM: {
+            "fee_structure": STRING,
+            "dispute_process": STRING,
+            "estimated_hourly_wage": NUMBER,
+            "active_workers": NUMBER,
+        },
+    }
+
+
+@dataclass(frozen=True)
+class DisclosureSchema:
+    """The universe of disclosable fields, per subject."""
+
+    fields: Mapping[Subject, Mapping[str, str]] = field(
+        default_factory=_default_fields
+    )
+
+    def has_field(self, ref: FieldRef) -> bool:
+        return ref.field in self.fields.get(ref.subject, {})
+
+    def field_type(self, ref: FieldRef) -> str:
+        try:
+            return self.fields[ref.subject][ref.field]
+        except KeyError:
+            raise PolicySemanticsError(f"unknown field {ref}") from None
+
+    def all_fields(self, subject: Subject) -> frozenset[str]:
+        return frozenset(self.fields.get(subject, {}))
+
+    def total_field_count(self) -> int:
+        return sum(len(fields) for fields in self.fields.values())
+
+
+#: Audiences that make sense per subject.  ``SELF`` requires the subject
+#: to be a person-like entity (worker or requester).
+_VALID_AUDIENCES: dict[Subject, frozenset[Audience]] = {
+    Subject.REQUESTER: frozenset(
+        {Audience.WORKERS, Audience.REQUESTERS, Audience.SELF, Audience.PUBLIC}
+    ),
+    Subject.WORKER: frozenset(
+        {Audience.WORKERS, Audience.REQUESTERS, Audience.SELF, Audience.PUBLIC}
+    ),
+    Subject.TASK: frozenset(
+        {Audience.WORKERS, Audience.REQUESTERS, Audience.PUBLIC}
+    ),
+    Subject.PLATFORM: frozenset(
+        {Audience.WORKERS, Audience.REQUESTERS, Audience.PUBLIC}
+    ),
+}
+
+_LITERAL_TYPES = {NUMBER: (int, float), STRING: (str,), BOOLEAN: (bool,)}
+
+_ORDERING_OPS = {Comparison.GE, Comparison.LE, Comparison.GT, Comparison.LT}
+
+
+def _check_condition(condition: Condition, schema: DisclosureSchema) -> None:
+    if not schema.has_field(condition.field):
+        raise PolicySemanticsError(
+            f"condition refers to unknown field {condition.field}"
+        )
+    field_type = schema.field_type(condition.field)
+    expected = _LITERAL_TYPES[field_type]
+    literal = condition.literal
+    # bool is an int subclass: reject booleans for number fields explicitly.
+    if isinstance(literal, bool) and field_type is not BOOLEAN:
+        raise PolicySemanticsError(
+            f"condition on {condition.field} ({field_type}) has boolean literal"
+        )
+    if not isinstance(literal, expected):
+        raise PolicySemanticsError(
+            f"condition on {condition.field} ({field_type}) has "
+            f"{type(literal).__name__} literal {literal!r}"
+        )
+    if condition.op in _ORDERING_OPS and field_type is not NUMBER:
+        raise PolicySemanticsError(
+            f"ordering comparison {condition.op.value} needs a numeric "
+            f"field, but {condition.field} is {field_type}"
+        )
+
+
+#: Comparisons that make sense as a compliance floor.
+_REQUIREMENT_OPS = {Comparison.GE, Comparison.GT, Comparison.EQ}
+
+
+def _check_requirement(requirement: FairnessRequirement) -> None:
+    if not 1 <= requirement.axiom_id <= 7:
+        raise PolicySemanticsError(
+            f"unknown axiom {requirement.axiom_id}; the paper defines 1-7"
+        )
+    if requirement.op not in _REQUIREMENT_OPS:
+        raise PolicySemanticsError(
+            f"requirement comparison must be a floor (>=, >, ==), got "
+            f"{requirement.op.value!r}"
+        )
+    if not 0.0 <= requirement.threshold <= 1.0:
+        raise PolicySemanticsError(
+            f"requirement threshold must be in [0, 1], got "
+            f"{requirement.threshold}"
+        )
+
+
+def validate_policy(
+    policy: Policy, schema: DisclosureSchema | None = None
+) -> None:
+    """Raise :class:`PolicySemanticsError` on the first invalid rule."""
+    schema = schema or DisclosureSchema()
+    required_axioms: set[int] = set()
+    for requirement in policy.requirements:
+        _check_requirement(requirement)
+        if requirement.axiom_id in required_axioms:
+            raise PolicySemanticsError(
+                f"duplicate requirement for axiom {requirement.axiom_id}"
+            )
+        required_axioms.add(requirement.axiom_id)
+    seen: set[tuple[FieldRef, Audience]] = set()
+    for rule in policy.rules:
+        if not schema.has_field(rule.field):
+            known = ", ".join(sorted(schema.all_fields(rule.field.subject)))
+            raise PolicySemanticsError(
+                f"unknown field {rule.field} (known for "
+                f"{rule.field.subject.value}: {known})"
+            )
+        if rule.audience not in _VALID_AUDIENCES[rule.field.subject]:
+            raise PolicySemanticsError(
+                f"audience {rule.audience.value!r} is invalid for subject "
+                f"{rule.field.subject.value!r}"
+            )
+        key = (rule.field, rule.audience)
+        if key in seen and rule.condition is None:
+            raise PolicySemanticsError(
+                f"duplicate unconditional rule for {rule.field} to "
+                f"{rule.audience.value}"
+            )
+        seen.add(key)
+        if rule.condition is not None:
+            _check_condition(rule.condition, schema)

@@ -1,0 +1,146 @@
+"""Lexer for the transparency DSL.
+
+Token kinds: keywords (``policy``, ``disclose``, ``to``, ``when``),
+identifiers, string/number/boolean literals, punctuation (``{ } . ;``)
+and comparison operators.  ``#`` starts a comment to end of line.
+Positions are tracked for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PolicySyntaxError
+
+
+class TokenType(enum.Enum):
+    POLICY = "policy"
+    DISCLOSE = "disclose"
+    REQUIRE = "require"
+    TO = "to"
+    WHEN = "when"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    BOOLEAN = "boolean"
+    DOT = "."
+    SEMICOLON = ";"
+    LBRACE = "{"
+    RBRACE = "}"
+    OP = "op"
+    EOF = "eof"
+
+
+_KEYWORDS = {
+    "policy": TokenType.POLICY,
+    "disclose": TokenType.DISCLOSE,
+    "require": TokenType.REQUIRE,
+    "to": TokenType.TO,
+    "when": TokenType.WHEN,
+}
+
+_BOOLEANS = {"true": True, "false": False}
+
+_OPERATORS = (">=", "<=", "==", "!=", ">", "<")
+
+_PUNCTUATION = {
+    ".": TokenType.DOT,
+    ";": TokenType.SEMICOLON,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # keeps parser errors readable
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize DSL source text; raises :class:`PolicySyntaxError`."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char in _PUNCTUATION:
+            yield Token(_PUNCTUATION[char], char, line, column)
+            index += 1
+            column += 1
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if source.startswith(op, index)), None
+        )
+        if matched_op is not None:
+            yield Token(TokenType.OP, matched_op, line, column)
+            index += len(matched_op)
+            column += len(matched_op)
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end == -1:
+                raise PolicySyntaxError("unterminated string literal", line, column)
+            value = source[index + 1 : end]
+            if "\n" in value:
+                raise PolicySyntaxError(
+                    "string literal spans multiple lines", line, column
+                )
+            yield Token(TokenType.STRING, value, line, column)
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            index += 1
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                index += 1
+            text = source[start:index]
+            if text.count(".") > 1:
+                raise PolicySyntaxError(f"malformed number {text!r}", line, column)
+            value = float(text) if "." in text else int(text)
+            yield Token(TokenType.NUMBER, value, line, column)
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            if word in _KEYWORDS:
+                yield Token(_KEYWORDS[word], word, line, column)
+            elif word in _BOOLEANS:
+                yield Token(TokenType.BOOLEAN, _BOOLEANS[word], line, column)
+            else:
+                yield Token(TokenType.IDENT, word, line, column)
+            column += index - start
+            continue
+        raise PolicySyntaxError(f"unexpected character {char!r}", line, column)
+    yield Token(TokenType.EOF, None, line, column)

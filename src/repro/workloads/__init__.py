@@ -1,0 +1,23 @@
+"""Synthetic workload generation.
+
+Everything an experiment needs to populate a platform: skill
+vocabularies, worker populations with demographic groups and behaviour
+mixes, task streams, and ready-made *scenario* builders that replay the
+Section 3.1 discrimination and opacity stories so the audit benchmarks
+(E4) have labelled positives and negatives.
+"""
+
+from repro.workloads.skills import standard_vocabulary, vocabulary
+from repro.workloads.tasks import TaskStream, task_batch, uniform_tasks
+from repro.workloads.workers import PopulationSpec, population, worker
+
+__all__ = [
+    "PopulationSpec",
+    "TaskStream",
+    "population",
+    "standard_vocabulary",
+    "task_batch",
+    "uniform_tasks",
+    "vocabulary",
+    "worker",
+]

@@ -1,0 +1,556 @@
+"""Section 3.1 scenario builders: labelled positives for the audit.
+
+Each builder scripts a small platform run that *injects* one of the
+paper's discrimination/opacity stories and returns a
+:class:`Scenario` — the trace plus the axioms it is expected to
+violate.  The E4 benchmark feeds scenarios to the audit engine and
+scores each checker's precision/recall; the clean scenario is the
+negative control (no checker may fire).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.compensation.discriminatory import AttributeBiasedScheme
+from repro.core.axiom_transparency import (
+    REQUESTER_MANDATED_FIELDS,
+    WORKER_MANDATED_FIELDS,
+    requester_subject,
+    worker_subject,
+)
+from repro.core.entities import Requester, Task
+from repro.core.trace import PlatformTrace
+from repro.platform.behavior import DiligentBehavior, SpammerBehavior
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import BiasedReview, QualityThresholdReview
+from repro.platform.visibility import (
+    BiasedVisibility,
+    RequesterThrottledVisibility,
+    ShowAllVisibility,
+)
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import uniform_tasks
+from repro.workloads.workers import homogeneous_population
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A labelled audit test case."""
+
+    name: str
+    trace: PlatformTrace
+    violated_axioms: frozenset[int]
+    description: str = ""
+
+
+def _transparent_requester(requester_id: str = "r0001") -> Requester:
+    return Requester(
+        requester_id=requester_id,
+        name=f"requester {requester_id}",
+        hourly_wage=6.0,
+        payment_delay=10,
+        recruitment_criteria="any qualified worker",
+        rejection_criteria="quality below 0.5",
+    )
+
+
+def _disclose_requester(platform: CrowdsourcingPlatform, requester: Requester) -> None:
+    subject = requester_subject(requester.requester_id)
+    for field_name in REQUESTER_MANDATED_FIELDS:
+        platform.disclose(subject, field_name, getattr(requester, field_name))
+
+
+def _disclose_workers(platform: CrowdsourcingPlatform) -> None:
+    for worker_id, worker in platform.workers.items():
+        subject = worker_subject(worker_id)
+        for field_name in WORKER_MANDATED_FIELDS:
+            if field_name in worker.computed:
+                platform.disclose(
+                    subject, field_name, worker.computed[field_name],
+                    audience_worker_id=worker_id,
+                )
+
+
+def _flag_low_quality_workers(platform: CrowdsourcingPlatform) -> None:
+    """Flag every worker whose mean quality is low (platform doing its
+    Axiom 4 duty)."""
+    for worker_id, worker in platform.workers.items():
+        quality = worker.computed.get("mean_quality")
+        if isinstance(quality, (int, float)) and float(quality) <= 0.35:
+            platform.flag_malice(worker_id, detector="quality_floor",
+                                 score=1.0 - float(quality))
+
+
+def _standard_setup(
+    platform: CrowdsourcingPlatform, n_workers: int = 6
+) -> tuple[Requester, list]:
+    vocabulary = standard_vocabulary()
+    requester = _transparent_requester()
+    platform.register_requester(requester)
+    workers = homogeneous_population(
+        n_workers, vocabulary, skills=("survey", "data_entry"),
+        declared={"group": "blue"},
+    )
+    for worker in workers:
+        platform.register_worker(worker)
+    return requester, workers
+
+
+def clean_scenario(seed: int = 0, rounds: int = 3, n_workers: int = 6) -> Scenario:
+    """A fully fair, fully transparent platform: zero violations expected.
+
+    The scenario is built to give every axiom *non-vacuous* work: all
+    workers browse at the same tick (Axiom 1 comparisons), two identical
+    requesters post comparable tasks (Axiom 2 comparisons), and each
+    task is answered by two workers who, when both correct, must be
+    paid equally (Axiom 3 comparisons).
+    """
+    platform = CrowdsourcingPlatform(
+        visibility=ShowAllVisibility(),
+        review_policy=QualityThresholdReview(threshold=0.3),
+        seed=seed,
+    )
+    vocabulary = standard_vocabulary()
+    first = _transparent_requester("r0001")
+    second = _transparent_requester("r0002")
+    platform.register_requester(first)
+    platform.register_requester(second)
+    _disclose_requester(platform, first)
+    _disclose_requester(platform, second)
+    workers = homogeneous_population(
+        n_workers, vocabulary, skills=("survey", "data_entry"),
+        declared={"group": "blue"},
+    )
+    for worker in workers:
+        platform.register_worker(worker)
+    behavior = DiligentBehavior()
+    next_task = 1
+    for _ in range(rounds):
+        # One task per worker pair, alternating requesters; posted and
+        # browsed within a single tick so views are simultaneous.
+        n_tasks = max(1, len(workers) // 2)
+        tasks = []
+        for offset in range(n_tasks):
+            requester_id = "r0001" if offset % 2 == 0 else "r0002"
+            tasks.extend(
+                uniform_tasks(
+                    1, vocabulary, requester_id, reward=0.1,
+                    skills=("survey",), start_index=next_task + offset,
+                )
+            )
+        next_task += n_tasks
+        for task in tasks:
+            platform.post_task(task)
+        for worker in workers:
+            platform.browse(worker.worker_id)
+        # Two workers answer each task, then the task closes.
+        for offset, task in enumerate(tasks):
+            pair = (workers[2 * offset % len(workers)],
+                    workers[(2 * offset + 1) % len(workers)])
+            for worker in pair:
+                platform.assign(worker.worker_id, task.task_id, "script")
+                platform.start_work(worker.worker_id, task.task_id)
+                platform.process_contribution(
+                    worker.worker_id, task.task_id, behavior
+                )
+            platform.close_task(task.task_id)
+        platform.clock.tick(1)
+    _disclose_workers(platform)
+    _flag_low_quality_workers(platform)
+    return Scenario(
+        name="clean",
+        trace=platform.trace,
+        violated_axioms=frozenset(),
+        description="fair assignment, fair pay, transparent everything",
+    )
+
+
+def biased_visibility_scenario(seed: int = 0, n_workers: int = 6) -> Scenario:
+    """Axiom 1 injection: identical workers, but one group is hidden the
+    premium tasks (Sweeney-style ad discrimination)."""
+    platform = CrowdsourcingPlatform(
+        visibility=BiasedVisibility(
+            attribute="group", disadvantaged_value="green", reward_ceiling=0.2
+        ),
+        seed=seed,
+    )
+    vocabulary = standard_vocabulary()
+    requester = _transparent_requester()
+    platform.register_requester(requester)
+    _disclose_requester(platform, requester)
+    blue = homogeneous_population(
+        n_workers // 2, vocabulary, skills=("survey",),
+        declared={"group": "blue"}, prefix="wb",
+    )
+    green = homogeneous_population(
+        n_workers - n_workers // 2, vocabulary, skills=("survey",),
+        declared={"group": "green"}, prefix="wg",
+    )
+    for worker in blue + green:
+        platform.register_worker(worker)
+    cheap = uniform_tasks(3, vocabulary, requester.requester_id, reward=0.05,
+                          skills=("survey",), start_index=1)
+    premium = uniform_tasks(3, vocabulary, requester.requester_id, reward=0.5,
+                            skills=("survey",), start_index=4)
+    for task in cheap + premium:
+        platform.post_task(task)
+    for worker in blue + green:
+        platform.browse(worker.worker_id)
+    _disclose_workers(platform)
+    return Scenario(
+        name="biased_visibility",
+        trace=platform.trace,
+        violated_axioms=frozenset({1}),
+        description="premium tasks hidden from one demographic group",
+    )
+
+
+def requester_throttled_scenario(seed: int = 0, n_workers: int = 4) -> Scenario:
+    """Axiom 2 injection: one requester's comparable tasks suppressed
+    from every browse view."""
+    platform = CrowdsourcingPlatform(
+        visibility=RequesterThrottledVisibility(
+            hidden_requesters=frozenset({"r0002"})
+        ),
+        seed=seed,
+    )
+    vocabulary = standard_vocabulary()
+    favored = _transparent_requester("r0001")
+    throttled = _transparent_requester("r0002")
+    platform.register_requester(favored)
+    platform.register_requester(throttled)
+    _disclose_requester(platform, favored)
+    _disclose_requester(platform, throttled)
+    workers = homogeneous_population(
+        n_workers, vocabulary, skills=("survey",), declared={"group": "blue"}
+    )
+    for worker in workers:
+        platform.register_worker(worker)
+    # Identical specs, different requesters -> comparable under Axiom 2.
+    for task in uniform_tasks(2, vocabulary, "r0001", reward=0.1,
+                              skills=("survey",), start_index=1):
+        platform.post_task(task)
+    for task in uniform_tasks(2, vocabulary, "r0002", reward=0.1,
+                              skills=("survey",), start_index=3):
+        platform.post_task(task)
+    for worker in workers:
+        platform.browse(worker.worker_id)
+    _disclose_workers(platform)
+    return Scenario(
+        name="requester_throttled",
+        trace=platform.trace,
+        violated_axioms=frozenset({2}),
+        description="one requester's comparable tasks shown to nobody",
+    )
+
+
+def unequal_pay_scenario(seed: int = 0, n_workers: int = 4) -> Scenario:
+    """Axiom 3 injection: same task, same contribution, half pay for the
+    targeted workers (collaborative-task scenario)."""
+    vocabulary = standard_vocabulary()
+    underpaid = frozenset(
+        f"w{i + 1:04d}" for i in range(n_workers) if i % 2 == 1
+    )
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.0),
+        pricing=AttributeBiasedScheme(underpaid_workers=underpaid,
+                                      bias_fraction=0.5),
+        seed=seed,
+    )
+    requester, workers = _standard_setup(platform, n_workers)
+    _disclose_requester(platform, requester)
+    task = Task(
+        task_id="t0001",
+        requester_id=requester.requester_id,
+        required_skills=vocabulary.vector(("survey",)),
+        reward=0.4,
+        kind="label",
+        gold_answer="A",
+    )
+    platform.post_task(task)
+    behavior = DiligentBehavior(base_quality=1.0)
+    for worker in workers:
+        platform.browse(worker.worker_id)
+        platform.assign(worker.worker_id, task.task_id, "script")
+        platform.start_work(worker.worker_id, task.task_id)
+        platform.process_contribution(worker.worker_id, task.task_id, behavior)
+    _disclose_workers(platform)
+    return Scenario(
+        name="unequal_pay",
+        trace=platform.trace,
+        violated_axioms=frozenset({3}),
+        description="identical answers to one task paid unequally",
+    )
+
+
+def wrongful_rejection_scenario(seed: int = 0, n_workers: int = 6) -> Scenario:
+    """Axiom 3 + 6 injection: biased review wrongfully rejects good work
+    from one group, silently."""
+    platform = CrowdsourcingPlatform(
+        review_policy=BiasedReview(
+            attribute="group", disadvantaged_value="green",
+            rejection_probability=1.0, threshold=0.2,
+        ),
+        seed=seed,
+    )
+    vocabulary = standard_vocabulary()
+    requester = _transparent_requester()
+    platform.register_requester(requester)
+    _disclose_requester(platform, requester)
+    blue = homogeneous_population(
+        n_workers // 2, vocabulary, skills=("survey",),
+        declared={"group": "blue"}, prefix="wb",
+    )
+    green = homogeneous_population(
+        n_workers - n_workers // 2, vocabulary, skills=("survey",),
+        declared={"group": "green"}, prefix="wg",
+    )
+    for worker in blue + green:
+        platform.register_worker(worker)
+    task = Task(
+        task_id="t0001",
+        requester_id=requester.requester_id,
+        required_skills=vocabulary.vector(("survey",)),
+        reward=0.3,
+        kind="label",
+        gold_answer="A",
+    )
+    platform.post_task(task)
+    behavior = DiligentBehavior(base_quality=1.0)
+    for worker in blue + green:
+        platform.browse(worker.worker_id)
+        platform.start_work(worker.worker_id, task.task_id)
+        platform.process_contribution(worker.worker_id, task.task_id, behavior)
+    _disclose_workers(platform)
+    return Scenario(
+        name="wrongful_rejection",
+        trace=platform.trace,
+        violated_axioms=frozenset({3, 6}),
+        description="good work from one group rejected without feedback",
+    )
+
+
+def bonus_reneging_scenario(seed: int = 0) -> Scenario:
+    """Axiom 3 injection: a promised bonus never paid."""
+    platform = CrowdsourcingPlatform(seed=seed)
+    requester, workers = _standard_setup(platform, 2)
+    _disclose_requester(platform, requester)
+    kept, cheated = workers[0], workers[1]
+    platform.promise_bonus(requester.requester_id, kept.worker_id, 0.5,
+                           condition="5-task streak")
+    platform.promise_bonus(requester.requester_id, cheated.worker_id, 0.5,
+                           condition="5-task streak")
+    platform.clock.tick(5)
+    platform.pay_bonus(requester.requester_id, kept.worker_id, 0.5)
+    _disclose_workers(platform)
+    return Scenario(
+        name="bonus_reneging",
+        trace=platform.trace,
+        violated_axioms=frozenset({3}),
+        description="one of two promised bonuses never paid",
+    )
+
+
+def undetected_malice_scenario(seed: int = 0, n_tasks: int = 8) -> Scenario:
+    """Axiom 4 injection: a spammer works undisturbed, never flagged."""
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.0),  # nothing caught
+        seed=seed,
+    )
+    vocabulary = standard_vocabulary()
+    requester = _transparent_requester()
+    platform.register_requester(requester)
+    _disclose_requester(platform, requester)
+    workers = homogeneous_population(
+        2, vocabulary, skills=("survey",), declared={"group": "blue"}
+    )
+    for worker in workers:
+        platform.register_worker(worker)
+    honest, spammer = workers[0], workers[1]
+    tasks = uniform_tasks(n_tasks, vocabulary, requester.requester_id,
+                          reward=0.1, skills=("survey",))
+    for task in tasks:
+        platform.post_task(task)
+    diligent = DiligentBehavior(base_quality=0.95)
+    spam = SpammerBehavior()
+    for task in tasks:
+        for worker, behavior in ((honest, diligent), (spammer, spam)):
+            platform.browse(worker.worker_id)
+            platform.start_work(worker.worker_id, task.task_id)
+            platform.process_contribution(worker.worker_id, task.task_id, behavior)
+    _disclose_workers(platform)
+    # Deliberately NOT flagging the spammer: that is the violation.
+    return Scenario(
+        name="undetected_malice",
+        trace=platform.trace,
+        violated_axioms=frozenset({4}),
+        description="spammer's garbage accepted and never flagged",
+    )
+
+
+def survey_cancellation_scenario(seed: int = 0, n_workers: int = 5) -> Scenario:
+    """Axiom 5 injection: the survey-quota story — requester cancels a
+    task while workers are mid-completion."""
+    platform = CrowdsourcingPlatform(seed=seed)
+    requester, workers = _standard_setup(platform, n_workers)
+    _disclose_requester(platform, requester)
+    vocabulary = standard_vocabulary()
+    task = Task(
+        task_id="t0001",
+        requester_id=requester.requester_id,
+        required_skills=vocabulary.vector(("survey",)),
+        reward=0.2,
+        duration=5,
+    )
+    platform.post_task(task)
+    behavior = DiligentBehavior()
+    # First worker finishes; quota reached; the rest are cut off mid-task.
+    finisher, rest = workers[0], workers[1:]
+    for worker in workers:
+        platform.browse(worker.worker_id)
+        platform.start_work(worker.worker_id, task.task_id)
+    platform.process_contribution(finisher.worker_id, task.task_id, behavior)
+    platform.cancel_task(task.task_id, reason="target responses reached")
+    _disclose_workers(platform)
+    return Scenario(
+        name="survey_cancellation",
+        trace=platform.trace,
+        violated_axioms=frozenset({5}),
+        description="task cancelled while workers were mid-completion",
+    )
+
+
+def opaque_requester_scenario(seed: int = 0) -> Scenario:
+    """Axiom 6 injection: requester discloses none of the mandated
+    working conditions."""
+    platform = CrowdsourcingPlatform(seed=seed)
+    requester, workers = _standard_setup(platform, 2)
+    # No _disclose_requester call: that is the violation.
+    _disclose_workers(platform)
+    return Scenario(
+        name="opaque_requester",
+        trace=platform.trace,
+        violated_axioms=frozenset({6}),
+        description="no working conditions ever disclosed",
+    )
+
+
+def opaque_platform_scenario(seed: int = 0, n_tasks: int = 3) -> Scenario:
+    """Axiom 7 injection: workers build history but the platform never
+    shows them their own computed attributes."""
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3), seed=seed
+    )
+    requester, workers = _standard_setup(platform, 2)
+    _disclose_requester(platform, requester)
+    vocabulary = standard_vocabulary()
+    tasks = uniform_tasks(n_tasks, vocabulary, requester.requester_id,
+                          reward=0.1, skills=("survey",))
+    behavior = DiligentBehavior()
+    for task in tasks:
+        platform.post_task(task)
+        for worker in workers:
+            platform.browse(worker.worker_id)
+            platform.start_work(worker.worker_id, task.task_id)
+            platform.process_contribution(worker.worker_id, task.task_id, behavior)
+        platform.close_task(task.task_id)
+    # No _disclose_workers call: that is the violation.
+    return Scenario(
+        name="opaque_platform",
+        trace=platform.trace,
+        violated_axioms=frozenset({7}),
+        description="computed attributes never shown to workers",
+    )
+
+
+def corrupt_reputation_scenario(seed: int = 0, n_tasks: int = 4) -> Scenario:
+    """Axiom 1 injection via unfairly derived ``C_w`` (Section 3.3.1).
+
+    Visibility is perfectly equal, but the platform publishes
+    acceptance ratios that diverge from their own recorded derivation —
+    the "fairness of deriving computed attributes" failure the paper
+    singles out.  The Axiom 1 checker's derivation audit must fire even
+    though no browse view ever differed.
+    """
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3),
+        corrupt_computed_attributes=True,
+        seed=seed,
+    )
+    requester, workers = _standard_setup(platform, 2)
+    _disclose_requester(platform, requester)
+    vocabulary = standard_vocabulary()
+    behavior = DiligentBehavior()
+    tasks = uniform_tasks(n_tasks, vocabulary, requester.requester_id,
+                          reward=0.1, skills=("survey",))
+    for task in tasks:
+        platform.post_task(task)
+        for worker in workers:
+            platform.browse(worker.worker_id)
+        for worker in workers:
+            platform.start_work(worker.worker_id, task.task_id)
+            platform.process_contribution(worker.worker_id, task.task_id,
+                                          behavior)
+        platform.close_task(task.task_id)
+        platform.clock.tick(1)
+    _disclose_workers(platform)
+    return Scenario(
+        name="corrupt_reputation",
+        trace=platform.trace,
+        violated_axioms=frozenset({1}),
+        description="published acceptance ratios diverge from derivation",
+    )
+
+
+def late_payment_scenario(seed: int = 0, n_workers: int = 3) -> Scenario:
+    """Axiom 6 injection: payments arrive far later than the requester's
+    declared payment delay (the 'delayed payment' abuse of [2, 17])."""
+    from repro.compensation.discriminatory import DelayedPaymentScheme
+
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3),
+        pricing=DelayedPaymentScheme(delay_ticks=30),
+        seed=seed,
+    )
+    requester, workers = _standard_setup(platform, n_workers)
+    _disclose_requester(platform, requester)  # declares payment_delay=10
+    vocabulary = standard_vocabulary()
+    behavior = DiligentBehavior()
+    tasks = uniform_tasks(n_workers, vocabulary, requester.requester_id,
+                          reward=0.2, skills=("survey",))
+    for worker, task in zip(workers, tasks):
+        platform.post_task(task)
+        platform.browse(worker.worker_id)
+        platform.start_work(worker.worker_id, task.task_id)
+        platform.process_contribution(worker.worker_id, task.task_id, behavior)
+        platform.close_task(task.task_id)
+    # The contractual delay elapses, then payments settle late.
+    platform.clock.tick(31)
+    platform.settle_due_payments()
+    _disclose_workers(platform)
+    return Scenario(
+        name="late_payment",
+        trace=platform.trace,
+        violated_axioms=frozenset({6}),
+        description="payments settle after the declared payment delay",
+    )
+
+
+def all_scenarios(seed: int = 0) -> list[Scenario]:
+    """Every labelled scenario, clean control first."""
+    return [
+        clean_scenario(seed),
+        biased_visibility_scenario(seed),
+        requester_throttled_scenario(seed),
+        unequal_pay_scenario(seed),
+        wrongful_rejection_scenario(seed),
+        bonus_reneging_scenario(seed),
+        undetected_malice_scenario(seed),
+        survey_cancellation_scenario(seed),
+        opaque_requester_scenario(seed),
+        opaque_platform_scenario(seed),
+        corrupt_reputation_scenario(seed),
+        late_payment_scenario(seed),
+    ]

@@ -1,0 +1,42 @@
+"""Skill vocabulary generation.
+
+The paper's skill keywords "may be interpreted as expected workers'
+interests or qualifications"; the standard vocabulary mixes both kinds
+(task capabilities such as translation, interests such as sports).
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import SkillVocabulary
+
+#: A realistic microtask skill/interest vocabulary.
+STANDARD_KEYWORDS: tuple[str, ...] = (
+    "image_recognition",
+    "sentiment_analysis",
+    "translation",
+    "transcription",
+    "text_summarization",
+    "data_entry",
+    "survey",
+    "categorization",
+    "proofreading",
+    "audio_tagging",
+    "local_knowledge",
+    "sports",
+)
+
+
+def standard_vocabulary() -> SkillVocabulary:
+    """The default 12-keyword vocabulary used across experiments."""
+    return SkillVocabulary(STANDARD_KEYWORDS)
+
+
+def vocabulary(size: int) -> SkillVocabulary:
+    """A synthetic vocabulary of ``size`` keywords (skill_0, skill_1...).
+
+    Used by scaling benchmarks where vocabulary dimension is a swept
+    parameter.
+    """
+    if size < 1:
+        raise ValueError("vocabulary size must be >= 1")
+    return SkillVocabulary(tuple(f"skill_{i}" for i in range(size)))

@@ -1,0 +1,116 @@
+"""Task stream generation.
+
+Streams produce batches of tasks per round with controlled skill
+requirements, reward distributions, kinds, and gold answers — the knobs
+the experiments sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.entities import SkillVocabulary, Task
+
+#: Reward tiers (low, mid, premium) used by the default stream.
+_REWARD_TIERS: tuple[float, ...] = (0.05, 0.10, 0.50)
+
+
+def uniform_tasks(
+    count: int,
+    vocabulary: SkillVocabulary,
+    requester_id: str = "r0001",
+    reward: float = 0.1,
+    skills: tuple[str, ...] = (),
+    kind: str = "label",
+    prefix: str = "t",
+    start_index: int = 1,
+    gold: bool = True,
+) -> list[Task]:
+    """``count`` identical-spec tasks (comparable under Axiom 2)."""
+    tasks = []
+    for index in range(count):
+        task_id = f"{prefix}{start_index + index:04d}"
+        tasks.append(
+            Task(
+                task_id=task_id,
+                requester_id=requester_id,
+                required_skills=vocabulary.vector(skills),
+                reward=reward,
+                kind=kind,
+                gold_answer="A" if gold and kind == "label" else None,
+            )
+        )
+    return tasks
+
+
+def task_batch(
+    count: int,
+    vocabulary: SkillVocabulary,
+    rng: random.Random,
+    requester_ids: tuple[str, ...] = ("r0001",),
+    kinds: tuple[str, ...] = ("label",),
+    skills_per_task: int = 2,
+    reward_tiers: tuple[float, ...] = _REWARD_TIERS,
+    prefix: str = "t",
+    start_index: int = 1,
+    gold_fraction: float = 0.5,
+) -> list[Task]:
+    """A heterogeneous batch: random skills, tiered rewards, mixed kinds."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    tasks: list[Task] = []
+    n_skills = min(skills_per_task, len(vocabulary))
+    for index in range(count):
+        task_id = f"{prefix}{start_index + index:04d}"
+        kind = kinds[index % len(kinds)]
+        skills = tuple(rng.sample(vocabulary.keywords, n_skills))
+        reward = rng.choice(reward_tiers)
+        gold = None
+        if kind == "label" and rng.random() < gold_fraction:
+            gold = rng.choice(("A", "B", "C", "D"))
+        tasks.append(
+            Task(
+                task_id=task_id,
+                requester_id=requester_ids[index % len(requester_ids)],
+                required_skills=vocabulary.vector(skills),
+                reward=reward,
+                kind=kind,
+                duration=1 + index % 3,
+                gold_answer=gold,
+            )
+        )
+    return tasks
+
+
+@dataclass
+class TaskStream:
+    """A stateful per-round task factory for :class:`repro.platform.Session`.
+
+    Calling the stream with ``(round_index, rng)`` returns that round's
+    batch with globally unique ids.
+    """
+
+    vocabulary: SkillVocabulary
+    tasks_per_round: int = 30
+    requester_ids: tuple[str, ...] = ("r0001",)
+    kinds: tuple[str, ...] = ("label",)
+    skills_per_task: int = 2
+    reward_tiers: tuple[float, ...] = _REWARD_TIERS
+    gold_fraction: float = 0.5
+    _next_index: int = field(default=1, init=False)
+
+    def __call__(self, round_index: int, rng: random.Random) -> list[Task]:
+        batch = task_batch(
+            count=self.tasks_per_round,
+            vocabulary=self.vocabulary,
+            rng=rng,
+            requester_ids=self.requester_ids,
+            kinds=self.kinds,
+            skills_per_task=self.skills_per_task,
+            reward_tiers=self.reward_tiers,
+            start_index=self._next_index,
+            gold_fraction=self.gold_fraction,
+        )
+        self._next_index += len(batch)
+        return batch

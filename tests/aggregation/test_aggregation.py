@@ -1,0 +1,180 @@
+"""Unit tests for crowd-answer aggregation."""
+
+import random
+
+import pytest
+
+from repro.aggregation import (
+    MajorityVote,
+    OneCoinEM,
+    TaskAnswers,
+    WeightedVote,
+    aggregate_trace,
+    collect_answers,
+    empirical_accuracy_curve,
+    majority_error_bound,
+)
+from repro.aggregation.base import normalize_payload
+from repro.aggregation.redundancy import simulate_majority_accuracy
+from repro.aggregation.weighted import log_odds
+from repro.core.entities import Contribution
+from repro.core.events import ContributionSubmitted, TaskPosted, WorkerRegistered
+from repro.core.trace import PlatformTrace
+
+from tests.conftest import make_task, make_worker
+
+
+def _answers(*pairs):
+    return TaskAnswers(task_id="t1", answers=tuple(pairs))
+
+
+class TestMajorityVote:
+    def test_plurality(self):
+        vote = MajorityVote()
+        answers = _answers(("w1", "A"), ("w2", "A"), ("w3", "B"))
+        assert vote.aggregate(answers) == "A"
+
+    def test_empty(self):
+        assert MajorityVote().aggregate(_answers()) is None
+
+    def test_tie_break_deterministic(self):
+        answers = _answers(("w1", "B"), ("w2", "A"))
+        assert MajorityVote().aggregate(answers) == "A"  # repr-ordered
+
+    def test_tie_abstention(self):
+        answers = _answers(("w1", "B"), ("w2", "A"))
+        assert MajorityVote(break_ties=False).aggregate(answers) is None
+
+    def test_list_payloads(self):
+        answers = _answers(("w1", ["x", "y"]), ("w2", ["x", "y"]),
+                           ("w3", ["y", "x"]))
+        assert MajorityVote().aggregate(answers) == ("x", "y")
+
+
+class TestWeightedVote:
+    def test_reliable_minority_beats_unreliable_majority(self):
+        vote = WeightedVote(
+            reliability={"expert": 0.99, "s1": 0.52, "s2": 0.52}
+        )
+        answers = _answers(("expert", "A"), ("s1", "B"), ("s2", "B"))
+        assert vote.aggregate(answers) == "A"
+
+    def test_defaults_to_prior(self):
+        vote = WeightedVote(prior_accuracy=0.7)
+        answers = _answers(("w1", "A"), ("w2", "A"), ("w3", "B"))
+        assert vote.aggregate(answers) == "A"
+
+    def test_log_odds_properties(self):
+        assert log_odds(0.5) == pytest.approx(0.0)
+        assert log_odds(0.9) > 0 > log_odds(0.1)
+        # Extreme accuracies are clipped, not infinite.
+        assert log_odds(1.0) < 10
+
+    def test_prior_validated(self):
+        with pytest.raises(ValueError):
+            WeightedVote(prior_accuracy=1.0)
+
+    def test_empty(self):
+        assert WeightedVote().aggregate(_answers()) is None
+
+
+class TestOneCoinEM:
+    def _tasks(self, n_tasks=12, n_good=4, n_bad=2, good_accuracy=0.95,
+               seed=0):
+        """Synthetic votes: good workers mostly right, bad ones random."""
+        rng = random.Random(seed)
+        labels = ("A", "B", "C")
+        tasks = {}
+        truths = {}
+        for t in range(n_tasks):
+            truth = labels[t % len(labels)]
+            truths[f"t{t}"] = truth
+            votes = []
+            for g in range(n_good):
+                answer = truth if rng.random() < good_accuracy else (
+                    rng.choice([l for l in labels if l != truth])
+                )
+                votes.append((f"good{g}", answer))
+            for b in range(n_bad):
+                votes.append((f"bad{b}", rng.choice(labels)))
+            tasks[f"t{t}"] = TaskAnswers(task_id=f"t{t}", answers=tuple(votes))
+        return tasks, truths
+
+    def test_recovers_truth_and_accuracies(self):
+        tasks, truths = self._tasks()
+        answers, accuracy = OneCoinEM(iterations=15).fit(tasks)
+        correct = sum(1 for t, a in answers.items() if a == truths[t])
+        assert correct >= len(truths) - 1
+        mean_good = sum(accuracy[f"good{g}"] for g in range(4)) / 4
+        mean_bad = sum(accuracy[f"bad{b}"] for b in range(2)) / 2
+        assert mean_good > mean_bad
+
+    def test_single_task_protocol(self):
+        answers = _answers(("w1", "A"), ("w2", "A"), ("w3", "B"))
+        assert OneCoinEM().aggregate(answers) == "A"
+        assert OneCoinEM().aggregate(_answers()) is None
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            OneCoinEM(iterations=0)
+        with pytest.raises(ValueError):
+            OneCoinEM(prior_accuracy=0.0)
+
+
+class TestCollectAnswers:
+    def _trace(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w2", vocabulary)))
+        trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        for i, (worker_id, payload) in enumerate(
+            [("w1", "A"), ("w2", "B"), ("w1", "C")]
+        ):
+            trace.append(
+                ContributionSubmitted(
+                    time=i + 1,
+                    contribution=Contribution(
+                        f"c{i}", "t1", worker_id, payload, submitted_at=i + 1
+                    ),
+                )
+            )
+        return trace
+
+    def test_latest_answer_wins(self, vocabulary):
+        answers = collect_answers(self._trace(vocabulary))
+        assert dict(answers["t1"].answers) == {"w1": "C", "w2": "B"}
+
+    def test_aggregate_trace(self, vocabulary):
+        results = aggregate_trace(MajorityVote(), self._trace(vocabulary))
+        assert "t1" in results
+
+    def test_normalize_payload(self):
+        assert normalize_payload([1, 2]) == (1, 2)
+        assert normalize_payload(0.1234567) == 0.123457
+        assert normalize_payload("x") == "x"
+
+
+class TestRedundancyCurves:
+    def test_bound_decreases_with_redundancy(self):
+        errors = [majority_error_bound(0.7, k) for k in (1, 3, 5, 9)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            majority_error_bound(0.5, 3)
+        with pytest.raises(ValueError):
+            majority_error_bound(0.8, 0)
+
+    def test_empirical_accuracy_increases(self):
+        curve = empirical_accuracy_curve(0.7, (1, 5, 9), n_tasks=300, seed=0)
+        assert curve[9] > curve[1]
+
+    def test_simulate_validation(self):
+        with pytest.raises(ValueError):
+            simulate_majority_accuracy(1.5, 3, 10, random.Random(0))
+        with pytest.raises(ValueError):
+            simulate_majority_accuracy(0.8, 0, 10, random.Random(0))
+
+    def test_perfect_workers_perfect_majority(self):
+        accuracy = simulate_majority_accuracy(1.0, 3, 50, random.Random(0))
+        assert accuracy == 1.0

@@ -1,0 +1,129 @@
+"""Unit + integration tests for the adaptive (Thompson) assigner."""
+
+import random
+
+import pytest
+
+from repro.assignment import AdaptiveAssigner, AssignmentInstance
+from repro.assignment.base import validate_result
+from repro.core.entities import Requester
+from repro.platform.behavior import DiligentBehavior, SpammerBehavior
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+from repro.platform.session import Session, SessionConfig
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream, uniform_tasks
+from repro.workloads.workers import PopulationSpec, population, worker
+
+from tests.conftest import make_task, make_worker
+
+
+class TestPosterior:
+    def test_prior_mean(self):
+        assigner = AdaptiveAssigner(prior_alpha=2.0, prior_beta=2.0)
+        assert assigner.posterior_mean("anyone") == pytest.approx(0.5)
+
+    def test_observe_outcome_shifts_mean(self):
+        assigner = AdaptiveAssigner()
+        for _ in range(8):
+            assigner.observe_outcome("good", accepted=True)
+            assigner.observe_outcome("bad", accepted=False)
+        assert assigner.posterior_mean("good") > 0.8
+        assert assigner.posterior_mean("bad") < 0.2
+
+    def test_prior_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveAssigner(prior_alpha=0.0)
+
+    def test_observe_trace_incremental(self, vocabulary):
+        platform = CrowdsourcingPlatform(
+            review_policy=QualityThresholdReview(threshold=0.3), seed=0
+        )
+        platform.register_requester(Requester(requester_id="r0001"))
+        platform.register_worker(make_worker("w1", vocabulary))
+        assigner = AdaptiveAssigner()
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w1", "t1")
+        platform.process_contribution("w1", "t1", DiligentBehavior())
+        assert assigner.observe(platform.trace) == 1
+        assert assigner.observe(platform.trace) == 0  # nothing new
+        platform.post_task(make_task("t2", vocabulary))
+        platform.start_work("w1", "t2")
+        platform.process_contribution("w1", "t2", DiligentBehavior())
+        assert assigner.observe(platform.trace) == 1
+
+
+class TestAssignment:
+    def test_feasible(self, vocabulary):
+        workers = tuple(make_worker(f"w{i}", vocabulary) for i in range(4))
+        tasks = tuple(make_task(f"t{i}", vocabulary) for i in range(3))
+        instance = AssignmentInstance(workers=workers, tasks=tasks, capacity=2)
+        result = AdaptiveAssigner().assign(instance, random.Random(0))
+        validate_result(instance, result)
+
+    def test_empty(self):
+        instance = AssignmentInstance(workers=(), tasks=())
+        assert AdaptiveAssigner().assign(instance, random.Random(0)).pairs == ()
+
+    def test_learned_preference(self, vocabulary):
+        """After strong evidence, the good worker gets the scarce task."""
+        assigner = AdaptiveAssigner()
+        for _ in range(30):
+            assigner.observe_outcome("good", accepted=True)
+            assigner.observe_outcome("bad", accepted=False)
+        workers = (make_worker("good", vocabulary), make_worker("bad", vocabulary))
+        tasks = (make_task("t1", vocabulary, reward=1.0),)
+        instance = AssignmentInstance(workers=workers, tasks=tasks)
+        wins = 0
+        for seed in range(20):
+            result = assigner.assign(instance, random.Random(seed))
+            if result.pairs and result.pairs[0].worker_id == "good":
+                wins += 1
+        assert wins >= 18
+
+    def test_explores_under_uncertainty(self, vocabulary):
+        """With no evidence, both workers get the task sometimes."""
+        assigner = AdaptiveAssigner()
+        workers = (make_worker("a", vocabulary), make_worker("b", vocabulary))
+        tasks = (make_task("t1", vocabulary, reward=1.0),)
+        instance = AssignmentInstance(workers=workers, tasks=tasks)
+        winners = {
+            assigner.assign(instance, random.Random(seed)).pairs[0].worker_id
+            for seed in range(30)
+        }
+        assert winners == {"a", "b"}
+
+
+class TestSessionIntegration:
+    def test_adaptive_learns_in_session(self):
+        """Across a session with spammers, the adaptive assigner shifts
+        allocation toward reliable workers."""
+        vocabulary = standard_vocabulary()
+        spec = PopulationSpec(
+            size=20, seed=4,
+            behavior_mix={"diligent": 0.5, "spammer": 0.5},
+        )
+        workers, behaviors = population(spec, vocabulary)
+        assigner = AdaptiveAssigner()
+        stream = TaskStream(vocabulary=vocabulary, tasks_per_round=10,
+                            skills_per_task=1)
+        session = Session(
+            config=SessionConfig(
+                rounds=12, tasks_per_round=10, seed=4,
+                assigner=assigner, base_churn=0.0,
+                satisfaction_threshold=0.0,  # nobody leaves: isolate learning
+            ),
+            workers=workers, behaviors=behaviors,
+            requesters=[Requester(requester_id="r0001")],
+            task_factory=stream,
+        )
+        session.run()
+        spammer_ids = {w for w, b in behaviors.items() if b.name == "spammer"}
+        diligent_ids = set(behaviors) - spammer_ids
+        mean_spammer = sum(
+            assigner.posterior_mean(w) for w in spammer_ids
+        ) / len(spammer_ids)
+        mean_diligent = sum(
+            assigner.posterior_mean(w) for w in diligent_ids
+        ) / len(diligent_ids)
+        assert mean_diligent > mean_spammer + 0.2

@@ -1,0 +1,267 @@
+"""Unit tests for every assignment algorithm."""
+
+import random
+
+import pytest
+
+from repro.assignment import (
+    AssignmentInstance,
+    BudgetOptimalAssigner,
+    HungarianAssigner,
+    OnlineGreedyAssigner,
+    RequesterCentricAssigner,
+    RoundRobinAssigner,
+    SelfAppointmentAssigner,
+    WorkerCentricAssigner,
+)
+from repro.assignment.base import expected_gain, validate_result, worker_value
+from repro.assignment.budget_optimal import redundancy_for_reliability
+from repro.errors import AssignmentError
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def instance(vocabulary):
+    """4 workers (2 reliable, 2 unreliable), 3 tasks, capacity 1."""
+    workers = [
+        make_worker("w1", vocabulary, computed={"acceptance_ratio": 0.95}),
+        make_worker("w2", vocabulary, computed={"acceptance_ratio": 0.9}),
+        make_worker("w3", vocabulary, computed={"acceptance_ratio": 0.3}),
+        make_worker("w4", vocabulary, computed={"acceptance_ratio": 0.2}),
+    ]
+    tasks = [
+        make_task("t1", vocabulary, reward=0.5),
+        make_task("t2", vocabulary, reward=0.3),
+        make_task("t3", vocabulary, reward=0.1),
+    ]
+    return AssignmentInstance(workers=tuple(workers), tasks=tuple(tasks))
+
+
+ALL = [
+    SelfAppointmentAssigner(),
+    RequesterCentricAssigner(),
+    WorkerCentricAssigner(),
+    RoundRobinAssigner(),
+    HungarianAssigner(),
+    HungarianAssigner(objective="worker"),
+    BudgetOptimalAssigner(redundancy=2),
+    OnlineGreedyAssigner(),
+]
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("assigner", ALL, ids=lambda a: a.name)
+    def test_results_are_feasible(self, instance, assigner):
+        result = assigner.assign(instance, random.Random(0))
+        validate_result(instance, result)
+
+    @pytest.mark.parametrize("assigner", ALL, ids=lambda a: a.name)
+    def test_empty_instance(self, vocabulary, assigner):
+        instance = AssignmentInstance(workers=(), tasks=())
+        result = assigner.assign(instance, random.Random(0))
+        assert result.pairs == ()
+
+    @pytest.mark.parametrize("assigner", ALL, ids=lambda a: a.name)
+    def test_deterministic_under_seed(self, instance, assigner):
+        first = assigner.assign(instance, random.Random(7))
+        second = assigner.assign(instance, random.Random(7))
+        assert first.pairs == second.pairs
+
+
+class TestInstanceValidation:
+    def test_duplicate_ids_rejected(self, vocabulary):
+        worker = make_worker("w1", vocabulary)
+        with pytest.raises(AssignmentError, match="duplicate worker"):
+            AssignmentInstance(workers=(worker, worker), tasks=())
+        task = make_task("t1", vocabulary)
+        with pytest.raises(AssignmentError, match="duplicate task"):
+            AssignmentInstance(workers=(), tasks=(task, task))
+
+    def test_capacity_validated(self, vocabulary):
+        with pytest.raises(AssignmentError):
+            AssignmentInstance(workers=(), tasks=(), capacity=0)
+
+    def test_need_defaults_to_one(self, vocabulary):
+        instance = AssignmentInstance(
+            workers=(), tasks=(make_task("t1", vocabulary),),
+            tasks_need={"t1": 3},
+        )
+        assert instance.need("t1") == 3
+        assert instance.need("other") == 1
+
+
+class TestValueFunctions:
+    def test_expected_gain_uses_reliability(self, vocabulary):
+        task = make_task("t1", vocabulary, reward=1.0)
+        reliable = make_worker("w1", vocabulary,
+                               computed={"acceptance_ratio": 0.8})
+        assert expected_gain(reliable, task) == pytest.approx(0.8)
+
+    def test_expected_gain_prefers_mean_quality(self, vocabulary):
+        task = make_task("t1", vocabulary, reward=1.0)
+        worker = make_worker(
+            "w1", vocabulary,
+            computed={"acceptance_ratio": 0.9, "mean_quality": 0.6},
+        )
+        assert expected_gain(worker, task) == pytest.approx(0.6)
+
+    def test_expected_gain_zero_when_unqualified(self, vocabulary):
+        task = make_task("t1", vocabulary, skills=("writing",))
+        worker = make_worker("w1", vocabulary, skills=("survey",))
+        assert expected_gain(worker, task) == 0.0
+
+    def test_new_worker_optimistic_prior(self, vocabulary):
+        task = make_task("t1", vocabulary, reward=1.0)
+        assert expected_gain(make_worker("w1", vocabulary), task) == 1.0
+
+    def test_worker_value_discounts_unqualified(self, vocabulary):
+        task = make_task("t1", vocabulary, skills=("writing",), reward=1.0)
+        worker = make_worker("w1", vocabulary, skills=("survey",))
+        assert worker_value(worker, task) == pytest.approx(0.25)
+
+
+class TestRequesterCentric:
+    def test_best_workers_get_best_tasks(self, instance):
+        result = RequesterCentricAssigner().assign(instance, random.Random(0))
+        allocation = {p.task_id: p.worker_id for p in result.pairs}
+        assert allocation["t1"] == "w1"  # top reward -> top reliability
+        assert allocation["t2"] == "w2"
+
+    def test_unreliable_workers_starved_with_capacity(self, vocabulary):
+        # 2 workers, capacity 2, 4 tasks: reliable worker takes them all
+        # up to capacity; the rest go to the unreliable one.
+        workers = (
+            make_worker("w1", vocabulary, computed={"acceptance_ratio": 0.9}),
+            make_worker("w2", vocabulary, computed={"acceptance_ratio": 0.1}),
+        )
+        tasks = tuple(
+            make_task(f"t{i}", vocabulary, reward=0.5) for i in range(4)
+        )
+        instance = AssignmentInstance(workers=workers, tasks=tasks, capacity=2)
+        result = RequesterCentricAssigner().assign(instance, random.Random(0))
+        assert result.task_count("w1") == 2
+        assert result.task_count("w2") == 2
+
+
+class TestWorkerCentric:
+    def test_egalitarian_task_counts(self, instance):
+        result = WorkerCentricAssigner().assign(instance, random.Random(0))
+        counts = sorted(result.task_count(w.worker_id)
+                        for w in instance.workers)
+        # 3 tasks over 4 workers: three get one, one gets none.
+        assert counts == [0, 1, 1, 1]
+
+
+class TestRoundRobin:
+    def test_balanced_allocation(self, vocabulary):
+        workers = tuple(make_worker(f"w{i}", vocabulary) for i in range(3))
+        tasks = tuple(make_task(f"t{i}", vocabulary) for i in range(6))
+        instance = AssignmentInstance(workers=workers, tasks=tasks, capacity=10)
+        result = RoundRobinAssigner().assign(instance, random.Random(0))
+        counts = [result.task_count(w.worker_id) for w in workers]
+        assert counts == [2, 2, 2]
+
+
+class TestHungarian:
+    def test_requester_objective_is_optimal(self, instance):
+        greedy = RequesterCentricAssigner().assign(instance, random.Random(0))
+        optimal = HungarianAssigner().assign(instance, random.Random(0))
+        assert optimal.requester_gain >= greedy.requester_gain - 1e-9
+
+    def test_worker_objective_maximizes_surplus(self, instance):
+        worker_side = HungarianAssigner(objective="worker").assign(
+            instance, random.Random(0)
+        )
+        requester_side = HungarianAssigner().assign(instance, random.Random(0))
+        assert worker_side.worker_surplus >= requester_side.worker_surplus - 1e-9
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            HungarianAssigner(objective="nobody")
+
+    def test_respects_redundancy(self, vocabulary):
+        workers = tuple(make_worker(f"w{i}", vocabulary) for i in range(3))
+        tasks = (make_task("t1", vocabulary, reward=0.5),)
+        instance = AssignmentInstance(
+            workers=workers, tasks=tasks, tasks_need={"t1": 2}
+        )
+        result = HungarianAssigner().assign(instance, random.Random(0))
+        assert len(result.by_task().get("t1", [])) == 2
+
+
+class TestBudgetOptimal:
+    def test_redundancy_respected(self, vocabulary):
+        workers = tuple(make_worker(f"w{i}", vocabulary) for i in range(5))
+        tasks = tuple(make_task(f"t{i}", vocabulary) for i in range(4))
+        instance = AssignmentInstance(
+            workers=workers, tasks=tasks, capacity=4,
+            tasks_need={t.task_id: 3 for t in tasks},
+        )
+        result = BudgetOptimalAssigner(redundancy=3).assign(
+            instance, random.Random(0)
+        )
+        by_task = result.by_task()
+        assert all(len(v) == 3 for v in by_task.values())
+        # Loads approximately regular: within 1 of each other.
+        counts = [result.task_count(w.worker_id) for w in workers]
+        assert max(counts) - min(counts) <= 1
+
+    def test_instance_need_caps_redundancy(self, vocabulary):
+        workers = tuple(make_worker(f"w{i}", vocabulary) for i in range(5))
+        tasks = (make_task("t1", vocabulary),)
+        instance = AssignmentInstance(workers=workers, tasks=tasks)
+        result = BudgetOptimalAssigner(redundancy=3).assign(
+            instance, random.Random(0)
+        )
+        assert len(result.pairs) == 1  # need defaults to 1
+
+    def test_invalid_redundancy(self):
+        with pytest.raises(AssignmentError):
+            BudgetOptimalAssigner(redundancy=0)
+
+    def test_redundancy_for_reliability(self):
+        k = redundancy_for_reliability(0.8, 0.05)
+        assert k % 2 == 1
+        assert k >= 3
+        # Better workers need fewer votes.
+        assert redundancy_for_reliability(0.95, 0.05) <= k
+
+    def test_redundancy_bounds_validated(self):
+        with pytest.raises(AssignmentError):
+            redundancy_for_reliability(0.5, 0.05)
+        with pytest.raises(AssignmentError):
+            redundancy_for_reliability(0.8, 0.0)
+
+
+class TestOnlineGreedy:
+    def test_assigns_best_available(self, instance):
+        result = OnlineGreedyAssigner(shuffle_arrivals=False).assign(
+            instance, random.Random(0)
+        )
+        validate_result(instance, result)
+        # First arriving task (t1) gets the best worker.
+        assert result.by_task()["t1"] == ["w1"]
+
+    def test_skips_zero_gain(self, vocabulary):
+        workers = (make_worker("w1", vocabulary, skills=("survey",)),)
+        tasks = (make_task("t1", vocabulary, skills=("writing",)),)
+        instance = AssignmentInstance(workers=workers, tasks=tasks)
+        result = OnlineGreedyAssigner().assign(instance, random.Random(0))
+        assert result.pairs == ()
+
+
+class TestSelfAppointment:
+    def test_everything_claimed_when_capacity_allows(self, instance):
+        result = SelfAppointmentAssigner().assign(instance, random.Random(0))
+        assert len(result.pairs) == 3  # all tasks claimed
+
+    def test_pick_probability_validation(self):
+        with pytest.raises(ValueError):
+            SelfAppointmentAssigner(pick_probability=1.5)
+
+    def test_zero_pick_probability_assigns_nothing(self, instance):
+        result = SelfAppointmentAssigner(pick_probability=0.0).assign(
+            instance, random.Random(0)
+        )
+        assert result.pairs == ()

@@ -1,0 +1,140 @@
+"""Unit tests for the fairness-by-design assigners."""
+
+import random
+
+import pytest
+
+from repro.assignment import (
+    AssignmentInstance,
+    EpsilonFairAssigner,
+    FairnessConstrainedAssigner,
+    RequesterCentricAssigner,
+)
+from repro.assignment.base import validate_result
+from repro.errors import AssignmentError
+from repro.metrics.parity import disparate_impact
+
+from tests.conftest import make_task, make_worker
+
+
+def _biased_instance(vocabulary, n_workers=12, n_tasks=8, capacity=1):
+    """Two groups; green has depressed published reliability."""
+    workers = []
+    for i in range(n_workers):
+        group = "blue" if i % 2 == 0 else "green"
+        ratio = 0.9 if group == "blue" else 0.4
+        workers.append(
+            make_worker(
+                f"w{i:02d}", vocabulary, declared={"group": group},
+                computed={"acceptance_ratio": ratio},
+            )
+        )
+    tasks = tuple(
+        make_task(f"t{i:02d}", vocabulary, reward=0.2) for i in range(n_tasks)
+    )
+    return AssignmentInstance(workers=tuple(workers), tasks=tasks,
+                              capacity=capacity)
+
+
+def _group_rates(instance, result):
+    group_of = {w.worker_id: w.declared["group"] for w in instance.workers}
+    sizes: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    for worker in instance.workers:
+        group = group_of[worker.worker_id]
+        sizes[group] = sizes.get(group, 0) + 1
+        totals.setdefault(group, 0.0)
+    for pair in result.pairs:
+        totals[group_of[pair.worker_id]] += 1
+    return {g: totals[g] / sizes[g] for g in sizes}
+
+
+class TestFairnessConstrained:
+    def test_feasible(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        result = FairnessConstrainedAssigner("group", epsilon=0.1).assign(
+            instance, random.Random(0)
+        )
+        validate_result(instance, result)
+
+    def test_restores_parity(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        rng = random.Random(0)
+        unfair = RequesterCentricAssigner().assign(instance, rng)
+        fair = FairnessConstrainedAssigner("group", epsilon=0.05).assign(
+            instance, random.Random(0)
+        )
+        unfair_di = disparate_impact(_group_rates(instance, unfair))
+        fair_di = disparate_impact(_group_rates(instance, fair))
+        assert fair_di > unfair_di
+        assert fair_di >= 0.8  # clears the four-fifths rule
+
+    def test_parity_costs_some_gain(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        unfair = RequesterCentricAssigner().assign(instance, random.Random(0))
+        fair = FairnessConstrainedAssigner("group", epsilon=0.0).assign(
+            instance, random.Random(0)
+        )
+        assert fair.requester_gain <= unfair.requester_gain + 1e-9
+
+    def test_missing_attribute_forms_own_group(self, vocabulary):
+        workers = (
+            make_worker("w1", vocabulary, declared={"group": "blue"}),
+            make_worker("w2", vocabulary),  # no group at all
+        )
+        tasks = (make_task("t1", vocabulary), make_task("t2", vocabulary))
+        instance = AssignmentInstance(workers=workers, tasks=tasks)
+        result = FairnessConstrainedAssigner("group", epsilon=0.0).assign(
+            instance, random.Random(0)
+        )
+        validate_result(instance, result)
+        assert len(result.pairs) == 2  # both groups served
+
+    def test_epsilon_validated(self):
+        with pytest.raises(AssignmentError):
+            FairnessConstrainedAssigner("group", epsilon=-0.1)
+
+    def test_empty_instance(self, vocabulary):
+        instance = AssignmentInstance(workers=(), tasks=())
+        result = FairnessConstrainedAssigner("group").assign(
+            instance, random.Random(0)
+        )
+        assert result.pairs == ()
+
+
+class TestEpsilonFair:
+    def test_feasible_across_epsilons(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        for epsilon in (0.0, 0.3, 0.7, 1.0):
+            result = EpsilonFairAssigner(epsilon=epsilon).assign(
+                instance, random.Random(0)
+            )
+            validate_result(instance, result)
+
+    def test_epsilon_zero_matches_greedy_gain(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        greedy = RequesterCentricAssigner().assign(instance, random.Random(0))
+        zero = EpsilonFairAssigner(epsilon=0.0).assign(instance, random.Random(0))
+        assert zero.requester_gain == pytest.approx(greedy.requester_gain)
+
+    def test_epsilon_one_is_egalitarian(self, vocabulary):
+        instance = _biased_instance(vocabulary, n_workers=8, n_tasks=8)
+        result = EpsilonFairAssigner(epsilon=1.0).assign(
+            instance, random.Random(0)
+        )
+        counts = [result.task_count(w.worker_id) for w in instance.workers]
+        assert max(counts) - min(counts) <= 1
+
+    def test_gain_monotone_in_epsilon(self, vocabulary):
+        instance = _biased_instance(vocabulary)
+        gains = [
+            EpsilonFairAssigner(epsilon=e)
+            .assign(instance, random.Random(0))
+            .requester_gain
+            for e in (0.0, 0.5, 1.0)
+        ]
+        assert gains[0] >= gains[1] - 1e-9 >= gains[2] - 2e-9
+
+    def test_epsilon_validated(self):
+        with pytest.raises(AssignmentError):
+            EpsilonFairAssigner(epsilon=1.5)

@@ -1,0 +1,106 @@
+"""Property-based tests: every assigner is feasible on random instances."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.assignment import (
+    AdaptiveAssigner,
+    AssignmentInstance,
+    BudgetOptimalAssigner,
+    EpsilonFairAssigner,
+    FairnessConstrainedAssigner,
+    HungarianAssigner,
+    OnlineGreedyAssigner,
+    RequesterCentricAssigner,
+    RoundRobinAssigner,
+    SelfAppointmentAssigner,
+    WorkerCentricAssigner,
+)
+from repro.assignment.base import result_totals, validate_result
+from repro.workloads.skills import standard_vocabulary
+
+from tests.conftest import make_task, make_worker
+
+_VOCABULARY = standard_vocabulary()
+_SKILL_CHOICES = [(), ("survey",), ("survey", "data_entry"), ("translation",)]
+
+
+@st.composite
+def instances(draw):
+    n_workers = draw(st.integers(0, 8))
+    n_tasks = draw(st.integers(0, 8))
+    capacity = draw(st.integers(1, 3))
+    workers = tuple(
+        make_worker(
+            f"w{i}", _VOCABULARY,
+            skills=draw(st.sampled_from(_SKILL_CHOICES[1:])),
+            declared={"group": draw(st.sampled_from(["blue", "green"]))},
+            computed={"acceptance_ratio": draw(st.floats(0.0, 1.0))},
+        )
+        for i in range(n_workers)
+    )
+    tasks = tuple(
+        make_task(
+            f"t{i}", _VOCABULARY,
+            skills=draw(st.sampled_from(_SKILL_CHOICES)),
+            reward=draw(st.floats(0.01, 1.0)),
+        )
+        for i in range(n_tasks)
+    )
+    needs = {
+        task.task_id: draw(st.integers(1, 3)) for task in tasks
+    }
+    return AssignmentInstance(
+        workers=workers, tasks=tasks, capacity=capacity, tasks_need=needs
+    )
+
+
+_ASSIGNERS = [
+    AdaptiveAssigner(),
+    SelfAppointmentAssigner(),
+    RequesterCentricAssigner(),
+    WorkerCentricAssigner(),
+    RoundRobinAssigner(),
+    HungarianAssigner(),
+    BudgetOptimalAssigner(redundancy=2),
+    OnlineGreedyAssigner(),
+    FairnessConstrainedAssigner("group", epsilon=0.1),
+    EpsilonFairAssigner(epsilon=0.5),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=instances(), seed=st.integers(0, 100))
+def test_all_assigners_produce_feasible_results(instance, seed):
+    """Capacity, redundancy, id validity, and pair uniqueness hold for
+    every algorithm on arbitrary instances."""
+    for assigner in _ASSIGNERS:
+        result = assigner.assign(instance, random.Random(seed))
+        validate_result(instance, result)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=instances(), seed=st.integers(0, 100))
+def test_reported_totals_match_recomputation(instance, seed):
+    """requester_gain/worker_surplus reported by assigners equal the
+    totals recomputed from their pairs."""
+    for assigner in _ASSIGNERS:
+        result = assigner.assign(instance, random.Random(seed))
+        gain, surplus = result_totals(instance, result.pairs)
+        assert abs(result.requester_gain - gain) < 1e-9
+        assert abs(result.worker_surplus - surplus) < 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=instances())
+def test_hungarian_dominates_greedy(instance):
+    """The exact matching never achieves less gain than greedy.
+
+    The flow solver quantizes pair values to 1e-6; allow that slack
+    per greedy pair.
+    """
+    greedy = RequesterCentricAssigner().assign(instance, random.Random(0))
+    optimal = HungarianAssigner().assign(instance, random.Random(0))
+    slack = len(greedy.pairs) * 1e-6 + 1e-9
+    assert optimal.requester_gain >= greedy.requester_gain - slack

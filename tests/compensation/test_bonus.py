@@ -1,0 +1,50 @@
+"""Unit tests for bonus policies."""
+
+import random
+
+import pytest
+
+from repro.compensation.bonus import RenegingBonusPolicy, SteadfastBonusPolicy
+from repro.errors import CompensationError
+
+
+class TestSteadfast:
+    def test_promise_on_streak(self):
+        policy = SteadfastBonusPolicy(streak=5, amount=0.5)
+        assert policy.promise_amount(5) == 0.5
+        assert policy.promise_amount(10) == 0.5
+        assert policy.promise_amount(4) is None
+        assert policy.promise_amount(0) is None
+
+    def test_always_honours(self):
+        policy = SteadfastBonusPolicy()
+        assert all(policy.honours_promise(random.Random(i)) for i in range(20))
+
+    def test_validation(self):
+        with pytest.raises(CompensationError):
+            SteadfastBonusPolicy(streak=0)
+        with pytest.raises(CompensationError):
+            SteadfastBonusPolicy(amount=0.0)
+
+
+class TestReneging:
+    def test_same_promises_as_steadfast(self):
+        reneging = RenegingBonusPolicy(streak=3, amount=0.2)
+        assert reneging.promise_amount(3) == 0.2
+        assert reneging.promise_amount(2) is None
+
+    def test_sometimes_reneges(self):
+        policy = RenegingBonusPolicy(honour_probability=0.3)
+        outcomes = [policy.honours_promise(random.Random(i)) for i in range(100)]
+        honoured = sum(outcomes)
+        assert 10 < honoured < 60  # around 30%
+
+    def test_extremes(self):
+        never = RenegingBonusPolicy(honour_probability=0.0)
+        always = RenegingBonusPolicy(honour_probability=1.0)
+        assert not never.honours_promise(random.Random(0))
+        assert always.honours_promise(random.Random(0))
+
+    def test_validation(self):
+        with pytest.raises(CompensationError):
+            RenegingBonusPolicy(honour_probability=1.5)

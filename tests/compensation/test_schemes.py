@@ -1,0 +1,160 @@
+"""Unit tests for compensation schemes."""
+
+import pytest
+
+from repro.compensation import (
+    AttributeBiasedScheme,
+    DelayedPaymentScheme,
+    FixedRewardScheme,
+    HourlyFloorScheme,
+    PartialCreditScheme,
+    QualityBasedScheme,
+    WageTheftScheme,
+    describe_scheme,
+)
+from repro.core.entities import Contribution
+from repro.errors import CompensationError
+
+from tests.conftest import make_task
+
+
+@pytest.fixture
+def paid_task(vocabulary):
+    return make_task("t1", vocabulary, reward=1.0, duration=4)
+
+
+def _contribution(quality=0.9, worker_id="w1", work_time=4):
+    return Contribution("c1", "t1", worker_id, "A", submitted_at=0,
+                        quality=quality, work_time=work_time)
+
+
+class TestFixedReward:
+    def test_accepted_full(self, paid_task):
+        assert FixedRewardScheme().price(paid_task, _contribution(), True) == 1.0
+
+    def test_rejected_zero(self, paid_task):
+        assert FixedRewardScheme().price(paid_task, _contribution(), False) == 0.0
+
+
+class TestPartialCredit:
+    def test_rejected_gets_fraction(self, paid_task):
+        scheme = PartialCreditScheme(rejected_fraction=0.25)
+        assert scheme.price(paid_task, _contribution(), False) == 0.25
+        assert scheme.price(paid_task, _contribution(), True) == 1.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(CompensationError):
+            PartialCreditScheme(rejected_fraction=1.5)
+
+
+class TestQualityBased:
+    def test_full_quality_full_pay(self, paid_task):
+        scheme = QualityBasedScheme()
+        assert scheme.price(paid_task, _contribution(quality=0.95), True) == 1.0
+
+    def test_low_quality_floor(self, paid_task):
+        scheme = QualityBasedScheme(floor_fraction=0.2)
+        assert scheme.price(paid_task, _contribution(quality=0.1), True) == (
+            pytest.approx(0.2)
+        )
+
+    def test_interpolation_monotone(self, paid_task):
+        scheme = QualityBasedScheme()
+        prices = [
+            scheme.price(paid_task, _contribution(quality=q), True)
+            for q in (0.3, 0.5, 0.7, 0.9)
+        ]
+        assert prices == sorted(prices)
+        assert prices[0] < prices[-1]
+
+    def test_rejected_zero(self, paid_task):
+        assert QualityBasedScheme().price(
+            paid_task, _contribution(quality=0.9), False
+        ) == 0.0
+
+    def test_unmeasurable_quality_full_pay(self, paid_task):
+        assert QualityBasedScheme().price(
+            paid_task, _contribution(quality=None), True
+        ) == 1.0
+
+    def test_config_validated(self):
+        with pytest.raises(CompensationError):
+            QualityBasedScheme(minimum_quality=0.9, full_quality=0.5)
+        with pytest.raises(CompensationError):
+            QualityBasedScheme(floor_fraction=-0.1)
+
+
+class TestHourlyFloor:
+    def test_tops_up_slow_work(self, paid_task):
+        scheme = HourlyFloorScheme(floor_per_tick=0.5)
+        # 4 ticks x 0.5 = 2.0 > reward 1.0.
+        assert scheme.price(paid_task, _contribution(work_time=4), True) == 2.0
+
+    def test_reward_kept_when_above_floor(self, paid_task):
+        scheme = HourlyFloorScheme(floor_per_tick=0.01)
+        assert scheme.price(paid_task, _contribution(), True) == 1.0
+
+    def test_rejected_default_zero(self, paid_task):
+        scheme = HourlyFloorScheme(floor_per_tick=0.5)
+        assert scheme.price(paid_task, _contribution(), False) == 0.0
+
+    def test_pay_rejected_floor(self, paid_task):
+        scheme = HourlyFloorScheme(floor_per_tick=0.5, pay_rejected=True)
+        assert scheme.price(paid_task, _contribution(work_time=2), False) == 1.0
+
+    def test_missing_work_time_uses_duration(self, paid_task):
+        scheme = HourlyFloorScheme(floor_per_tick=0.5)
+        assert scheme.price(
+            paid_task, _contribution(work_time=None), True
+        ) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(CompensationError):
+            HourlyFloorScheme(floor_per_tick=-1.0)
+
+
+class TestDiscriminatorySchemes:
+    def test_attribute_biased_underpays_target(self, paid_task):
+        scheme = AttributeBiasedScheme(
+            underpaid_workers=frozenset({"w2"}), bias_fraction=0.5
+        )
+        fair = scheme.price(paid_task, _contribution(worker_id="w1"), True)
+        biased = scheme.price(paid_task, _contribution(worker_id="w2"), True)
+        assert fair == 1.0
+        assert biased == 0.5
+
+    def test_attribute_biased_validation(self):
+        with pytest.raises(CompensationError):
+            AttributeBiasedScheme(frozenset(), bias_fraction=2.0)
+
+    def test_wage_theft_sometimes_steals(self, paid_task):
+        scheme = WageTheftScheme(theft_probability=0.5, seed=0)
+        amounts = [
+            scheme.price(paid_task, _contribution(), True) for _ in range(100)
+        ]
+        assert 0.0 in amounts
+        assert 1.0 in amounts
+
+    def test_wage_theft_never_pays_rejected(self, paid_task):
+        scheme = WageTheftScheme(theft_probability=0.0, seed=0)
+        assert scheme.price(paid_task, _contribution(), False) == 0.0
+
+    def test_wage_theft_extremes(self, paid_task):
+        always = WageTheftScheme(theft_probability=1.0, seed=0)
+        never = WageTheftScheme(theft_probability=0.0, seed=0)
+        assert always.price(paid_task, _contribution(), True) == 0.0
+        assert never.price(paid_task, _contribution(), True) == 1.0
+
+    def test_delayed_payment_amount_unchanged(self, paid_task):
+        scheme = DelayedPaymentScheme(delay_ticks=50)
+        assert scheme.price(paid_task, _contribution(), True) == 1.0
+        assert scheme.delay_ticks == 50
+        with pytest.raises(CompensationError):
+            DelayedPaymentScheme(delay_ticks=-1)
+
+
+class TestDescribe:
+    def test_describe_scheme(self):
+        text = describe_scheme(FixedRewardScheme())
+        assert text.startswith("fixed_reward:")
+        assert "reward" in text.lower()

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.entities import Requester, SkillVocabulary, Task, Worker
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+
+
+@pytest.fixture
+def vocabulary() -> SkillVocabulary:
+    return SkillVocabulary(("translation", "survey", "labeling", "writing"))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0)
+
+
+def make_worker(
+    worker_id: str,
+    vocabulary: SkillVocabulary,
+    skills: tuple[str, ...] = ("survey",),
+    declared: dict | None = None,
+    computed: dict | None = None,
+) -> Worker:
+    return Worker(
+        worker_id=worker_id,
+        declared=DeclaredAttributes(declared or {}),
+        computed=ComputedAttributes(computed or {}),
+        skills=vocabulary.vector(skills),
+    )
+
+
+def make_task(
+    task_id: str,
+    vocabulary: SkillVocabulary,
+    requester_id: str = "r0001",
+    skills: tuple[str, ...] = ("survey",),
+    reward: float = 0.1,
+    kind: str = "label",
+    duration: int = 1,
+    gold_answer: object | None = None,
+) -> Task:
+    return Task(
+        task_id=task_id,
+        requester_id=requester_id,
+        required_skills=vocabulary.vector(skills),
+        reward=reward,
+        kind=kind,
+        duration=duration,
+        gold_answer=gold_answer,
+    )
+
+
+@pytest.fixture
+def worker(vocabulary) -> Worker:
+    return make_worker("w0001", vocabulary)
+
+
+@pytest.fixture
+def task(vocabulary) -> Task:
+    return make_task("t0001", vocabulary)
+
+
+@pytest.fixture
+def requester() -> Requester:
+    return Requester(
+        requester_id="r0001",
+        name="acme",
+        hourly_wage=6.0,
+        payment_delay=5,
+        recruitment_criteria="anyone qualified",
+        rejection_criteria="quality below 0.5",
+    )
+
+
+@pytest.fixture
+def platform(requester, vocabulary) -> CrowdsourcingPlatform:
+    """A platform with one requester and two identical workers."""
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3), seed=0
+    )
+    platform.register_requester(requester)
+    platform.register_worker(make_worker("w0001", vocabulary))
+    platform.register_worker(make_worker("w0002", vocabulary))
+    return platform

@@ -1,0 +1,93 @@
+"""Unit tests for declared/computed attributes and their derivation."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.errors import EntityError
+
+
+class TestDeclaredAttributes:
+    def test_mapping_interface(self):
+        attrs = DeclaredAttributes({"group": "blue", "location": "us"})
+        assert attrs["group"] == "blue"
+        assert "location" in attrs
+        assert len(attrs) == 2
+        assert set(attrs) == {"group", "location"}
+        assert attrs.get("missing", "x") == "x"
+        assert attrs.as_dict() == {"group": "blue", "location": "us"}
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(EntityError, match="unsupported type"):
+            DeclaredAttributes({"bad": [1, 2]})
+
+    def test_rejects_empty_keys(self):
+        with pytest.raises(EntityError, match="non-empty"):
+            DeclaredAttributes({"": "x"})
+
+    def test_immutable_snapshot(self):
+        source = {"group": "blue"}
+        attrs = DeclaredAttributes(source)
+        source["group"] = "green"
+        assert attrs["group"] == "blue"
+
+
+class TestComputedAttributes:
+    def test_from_history_basic(self):
+        computed = ComputedAttributes.from_history(
+            accepted=8, reviewed=10, submitted=12,
+            quality_sum=7.2, quality_count=9,
+        )
+        assert computed["acceptance_ratio"] == pytest.approx(0.8)
+        assert computed["tasks_completed"] == 12
+        assert computed["mean_quality"] == pytest.approx(0.8)
+
+    def test_from_history_no_reviews_optimistic(self):
+        computed = ComputedAttributes.from_history(0, 0, 0)
+        assert computed["acceptance_ratio"] == 1.0
+        assert "mean_quality" not in computed
+
+    def test_from_history_invalid_counters(self):
+        with pytest.raises(EntityError):
+            ComputedAttributes.from_history(accepted=5, reviewed=3, submitted=5)
+        with pytest.raises(EntityError):
+            ComputedAttributes.from_history(accepted=1, reviewed=2, submitted=1)
+
+    def test_rederive_roundtrip(self):
+        computed = ComputedAttributes.from_history(3, 4, 5, 2.0, 3)
+        again = computed.rederive()
+        assert again.as_dict() == computed.as_dict()
+
+    def test_rederive_without_derivation_raises(self):
+        with pytest.raises(EntityError, match="no derivation"):
+            ComputedAttributes({"acceptance_ratio": 1.0}).rederive()
+
+    def test_derivation_consistent_true(self):
+        computed = ComputedAttributes.from_history(3, 4, 5, 2.0, 3)
+        assert computed.derivation_consistent()
+
+    def test_derivation_consistent_detects_tampering(self):
+        honest = ComputedAttributes.from_history(3, 4, 5, 2.0, 3)
+        tampered = ComputedAttributes(
+            values={**honest.as_dict(), "acceptance_ratio": 0.1},
+            derivation=honest.derivation,
+        )
+        assert not tampered.derivation_consistent()
+
+    def test_derivation_consistent_missing_field(self):
+        honest = ComputedAttributes.from_history(3, 4, 5)
+        stripped = ComputedAttributes(
+            values={"tasks_completed": 5},  # acceptance_ratio removed
+            derivation=honest.derivation,
+        )
+        assert not stripped.derivation_consistent()
+
+    def test_derivation_consistent_no_derivation_false(self):
+        assert not ComputedAttributes({"acceptance_ratio": 1.0}).derivation_consistent()
+
+    def test_extra_published_fields_allowed(self):
+        honest = ComputedAttributes.from_history(3, 4, 5)
+        extended = ComputedAttributes(
+            values={**honest.as_dict(), "badge_count": 7},
+            derivation=honest.derivation,
+        )
+        assert extended.derivation_consistent()

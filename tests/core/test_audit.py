@@ -1,0 +1,176 @@
+"""Unit tests for the axiom registry and audit engine."""
+
+import pytest
+
+from repro.core.audit import AuditEngine, AuditReport
+from repro.core.axioms import (
+    Axiom,
+    AxiomCheck,
+    AxiomRegistry,
+    default_registry,
+    sampled_pairs,
+)
+from repro.core.trace import PlatformTrace
+from repro.core.violations import Violation, ViolationSeverity
+from repro.errors import AuditError
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+
+class _StubAxiom(Axiom):
+    axiom_id = 99
+    title = "stub"
+
+    def __init__(self, violations=0, opportunities=10):
+        self._violations = violations
+        self._opportunities = opportunities
+
+    def check(self, trace):
+        return self._result(
+            [
+                Violation(axiom_id=99, message=f"v{i}", time=0,
+                          severity=ViolationSeverity.CRITICAL,
+                          witness={"type": "stub"})
+                for i in range(self._violations)
+            ],
+            self._opportunities,
+        )
+
+
+class TestAxiomCheck:
+    def test_score(self):
+        check = AxiomCheck(1, "t", violations=(), opportunities=10)
+        assert check.score == 1.0
+        assert check.passed
+
+    def test_score_with_violations(self):
+        violations = tuple(
+            Violation(axiom_id=1, message="m", time=0) for _ in range(3)
+        )
+        check = AxiomCheck(1, "t", violations=violations, opportunities=10)
+        assert check.score == pytest.approx(0.7)
+        assert not check.passed
+
+    def test_zero_opportunities_vacuous(self):
+        check = AxiomCheck(1, "t", violations=(), opportunities=0)
+        assert check.score == 1.0
+
+    def test_score_floor(self):
+        violations = tuple(
+            Violation(axiom_id=1, message="m", time=0) for _ in range(20)
+        )
+        check = AxiomCheck(1, "t", violations=violations, opportunities=10)
+        assert check.score == 0.0
+
+
+class TestRegistry:
+    def test_default_registry_has_seven(self):
+        registry = default_registry()
+        assert len(registry) == 7
+        assert [a.axiom_id for a in registry] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_duplicate_registration_rejected(self):
+        registry = AxiomRegistry()
+        registry.register(_StubAxiom())
+        with pytest.raises(AuditError, match="twice"):
+            registry.register(_StubAxiom())
+
+    def test_get(self):
+        registry = AxiomRegistry().register(_StubAxiom())
+        assert registry.get(99).title == "stub"
+        with pytest.raises(AuditError):
+            registry.get(1)
+
+    def test_override_replaces_default(self):
+        from repro.core.axiom_compensation import FairCompensation
+
+        custom = FairCompensation(similarity_threshold=0.5)
+        registry = default_registry(axiom3=custom)
+        assert registry.get(3).similarity_threshold == 0.5
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(AuditError, match="unknown axiom overrides"):
+            default_registry(axiom99=_StubAxiom())
+
+
+class TestSampledPairs:
+    def test_all_pairs_when_under_cap(self):
+        pairs = list(sampled_pairs(["a", "b", "c"], max_pairs=10))
+        assert len(pairs) == 3
+
+    def test_cap_enforced(self):
+        items = list(range(20))
+        pairs = list(sampled_pairs(items, max_pairs=7))
+        assert len(pairs) == 7
+        assert len(set(pairs)) == 7  # no duplicates
+
+    def test_deterministic(self):
+        items = list(range(20))
+        first = list(sampled_pairs(items, max_pairs=5, seed=1))
+        second = list(sampled_pairs(items, max_pairs=5, seed=1))
+        assert first == second
+
+    def test_no_cap(self):
+        pairs = list(sampled_pairs(list(range(10)), max_pairs=None))
+        assert len(pairs) == 45
+
+
+class TestAuditEngine:
+    def test_audit_clean_scenario_passes(self):
+        report = AuditEngine().audit(clean_scenario().trace)
+        assert report.passed
+        assert report.overall_score == 1.0
+        assert report.total_violations == 0
+
+    def test_audit_unfair_scenario_fails(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        assert not report.passed
+        assert report.result_for(3).violation_count > 0
+        assert report.overall_score < 1.0
+
+    def test_result_for_unknown_axiom(self):
+        report = AuditEngine().audit(PlatformTrace())
+        with pytest.raises(AuditError):
+            report.result_for(42)
+
+    def test_audit_axioms_subset(self):
+        engine = AuditEngine()
+        report = engine.audit_axioms(clean_scenario().trace, [3, 5])
+        assert {r.axiom_id for r in report.results} == {3, 5}
+
+    def test_audit_axioms_unknown_rejected(self):
+        with pytest.raises(AuditError, match="lacks axioms"):
+            AuditEngine().audit_axioms(PlatformTrace(), [42])
+
+    def test_compare_multiple_traces(self):
+        engine = AuditEngine()
+        reports = engine.compare(
+            {
+                "clean": clean_scenario().trace,
+                "unfair": unequal_pay_scenario().trace,
+            }
+        )
+        assert reports["clean"].passed
+        assert not reports["unfair"].passed
+
+    def test_summary_lines(self):
+        report = AuditEngine().audit(clean_scenario().trace)
+        lines = report.summary_lines()
+        assert "PASS" in lines[0]
+        assert len(lines) == 8  # header + 7 axioms
+
+    def test_violations_by_type(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        histogram = report.violations_by_type()
+        assert histogram.get("unequal_pay", 0) > 0
+
+    def test_critical_violations(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        criticals = report.critical_violations()
+        assert criticals
+        assert all(v.severity is ViolationSeverity.CRITICAL for v in criticals)
+
+    def test_stub_axiom_engine(self):
+        registry = AxiomRegistry().register(_StubAxiom(violations=2))
+        report = AuditEngine(registry=registry).audit(PlatformTrace())
+        assert report.result_for(99).violation_count == 2
+        assert report.overall_score == pytest.approx(0.8)

@@ -1,0 +1,222 @@
+"""Unit tests for Axiom 1 and Axiom 2 checkers."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    WorkerFairnessInAssignment,
+)
+from repro.core.entities import Requester
+from repro.core.events import (
+    RequesterRegistered,
+    TaskPosted,
+    TasksShown,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+
+from tests.conftest import make_task, make_worker
+
+
+def _two_worker_trace(vocabulary, left_view, right_view, left_declared=None,
+                      right_declared=None):
+    """Two workers registered at t=0, both shown views at t=1."""
+    trace = PlatformTrace()
+    trace.append(RequesterRegistered(time=0, requester=Requester("r0001")))
+    trace.append(
+        WorkerRegistered(
+            time=0, worker=make_worker("w1", vocabulary, declared=left_declared)
+        )
+    )
+    trace.append(
+        WorkerRegistered(
+            time=0, worker=make_worker("w2", vocabulary, declared=right_declared)
+        )
+    )
+    for task_id in sorted(set(left_view) | set(right_view)):
+        trace.append(TaskPosted(time=1, task=make_task(task_id, vocabulary)))
+    trace.append(TasksShown(time=1, worker_id="w1", task_ids=frozenset(left_view)))
+    trace.append(TasksShown(time=1, worker_id="w2", task_ids=frozenset(right_view)))
+    return trace
+
+
+class TestAxiom1:
+    def test_identical_views_pass(self, vocabulary):
+        trace = _two_worker_trace(vocabulary, {"t1", "t2"}, {"t1", "t2"})
+        check = WorkerFairnessInAssignment().check(trace)
+        assert check.passed
+        assert check.opportunities == 1
+        assert check.score == 1.0
+
+    def test_different_views_fail(self, vocabulary):
+        trace = _two_worker_trace(vocabulary, {"t1", "t2"}, {"t1"})
+        check = WorkerFairnessInAssignment().check(trace)
+        assert not check.passed
+        assert check.violations[0].axiom_id == 1
+        assert "t2" in check.violations[0].witness["only_shown_to_first"]
+
+    def test_dissimilar_workers_not_compared(self, vocabulary):
+        # Different skills -> not similar -> no opportunity.
+        trace = PlatformTrace()
+        trace.append(
+            WorkerRegistered(
+                time=0, worker=make_worker("w1", vocabulary, skills=("survey",))
+            )
+        )
+        trace.append(
+            WorkerRegistered(
+                time=0, worker=make_worker("w2", vocabulary, skills=("writing",))
+            )
+        )
+        trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+        trace.append(TasksShown(time=1, worker_id="w1", task_ids=frozenset({"t1"})))
+        trace.append(TasksShown(time=1, worker_id="w2", task_ids=frozenset()))
+        check = WorkerFairnessInAssignment().check(trace)
+        assert check.opportunities == 0
+        assert check.score == 1.0  # vacuous
+
+    def test_protected_attribute_excluded_from_similarity(self, vocabulary):
+        trace = _two_worker_trace(
+            vocabulary, {"t1", "t2"}, {"t1"},
+            left_declared={"group": "blue"}, right_declared={"group": "green"},
+        )
+        check = WorkerFairnessInAssignment().check(trace)
+        assert not check.passed  # cross-group pair still compared
+
+    def test_non_protected_attribute_breaks_similarity(self, vocabulary):
+        trace = _two_worker_trace(
+            vocabulary, {"t1", "t2"}, {"t1"},
+            left_declared={"language": "en"}, right_declared={"language": "fr"},
+        )
+        check = WorkerFairnessInAssignment().check(trace)
+        assert check.opportunities == 0
+
+    def test_views_at_different_times_not_compared(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w2", vocabulary)))
+        trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+        trace.append(TasksShown(time=1, worker_id="w1", task_ids=frozenset({"t1"})))
+        trace.append(TasksShown(time=2, worker_id="w2", task_ids=frozenset()))
+        check = WorkerFairnessInAssignment().check(trace)
+        assert check.opportunities == 0
+
+    def test_threshold_relaxation_tolerates_small_gaps(self, vocabulary):
+        trace = _two_worker_trace(
+            vocabulary, {"t1", "t2", "t3", "t4"}, {"t1", "t2", "t3"}
+        )
+        strict = WorkerFairnessInAssignment(visibility_threshold=1.0).check(trace)
+        relaxed = WorkerFairnessInAssignment(visibility_threshold=0.7).check(trace)
+        assert not strict.passed
+        assert relaxed.passed
+
+    def test_derivation_audit_flags_corruption(self, vocabulary):
+        honest = ComputedAttributes.from_history(8, 10, 10)
+        tampered = ComputedAttributes(
+            values={**honest.as_dict(), "acceptance_ratio": 0.2},
+            derivation=honest.derivation,
+        )
+        worker = make_worker("w1", vocabulary).with_computed(tampered)
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=worker))
+        check = WorkerFairnessInAssignment().check(trace)
+        assert not check.passed
+        assert any(
+            v.witness.get("published") for v in check.violations
+        )
+
+    def test_derivation_audit_disabled(self, vocabulary):
+        honest = ComputedAttributes.from_history(8, 10, 10)
+        tampered = ComputedAttributes(
+            values={**honest.as_dict(), "acceptance_ratio": 0.2},
+            derivation=honest.derivation,
+        )
+        worker = make_worker("w1", vocabulary).with_computed(tampered)
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=worker))
+        check = WorkerFairnessInAssignment(audit_derivations=False).check(trace)
+        assert check.passed
+
+    def test_sampling_cap_respected(self, vocabulary):
+        # 10 identical workers -> 45 pairs; cap at 5 -> at most 5 opportunities.
+        trace = PlatformTrace()
+        for i in range(10):
+            trace.append(
+                WorkerRegistered(time=0, worker=make_worker(f"w{i}", vocabulary))
+            )
+        trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+        for i in range(10):
+            trace.append(
+                TasksShown(time=1, worker_id=f"w{i}", task_ids=frozenset({"t1"}))
+            )
+        check = WorkerFairnessInAssignment(max_pairs=5).check(trace)
+        assert check.opportunities == 5
+
+
+class TestAxiom2:
+    def _trace(self, vocabulary, audiences, rewards=(0.1, 0.1),
+               requesters=("r0001", "r0002"), post_times=(0, 0)):
+        trace = PlatformTrace()
+        trace.append(RequesterRegistered(time=0, requester=Requester("r0001")))
+        trace.append(RequesterRegistered(time=0, requester=Requester("r0002")))
+        for worker_id in sorted({w for aud in audiences for w in aud}):
+            trace.append(
+                WorkerRegistered(time=0, worker=make_worker(worker_id, vocabulary))
+            )
+        tasks = [
+            make_task(f"t{i+1}", vocabulary, requester_id=requesters[i],
+                      reward=rewards[i])
+            for i in range(2)
+        ]
+        for i, task in enumerate(tasks):
+            trace.append(TaskPosted(time=post_times[i], task=task))
+        time = max(post_times)
+        for i, audience in enumerate(audiences):
+            for worker_id in sorted(audience):
+                trace.append(
+                    TasksShown(
+                        time=time, worker_id=worker_id,
+                        task_ids=frozenset({f"t{i+1}"}),
+                    )
+                )
+        return trace
+
+    def test_equal_audiences_pass(self, vocabulary):
+        trace = self._trace(vocabulary, [{"w1", "w2"}, {"w1", "w2"}])
+        check = RequesterFairnessInAssignment().check(trace)
+        assert check.passed
+        assert check.opportunities == 1
+
+    def test_unequal_audiences_fail(self, vocabulary):
+        trace = self._trace(vocabulary, [{"w1", "w2"}, {"w1"}])
+        check = RequesterFairnessInAssignment().check(trace)
+        assert not check.passed
+        assert check.violations[0].axiom_id == 2
+
+    def test_same_requester_not_compared(self, vocabulary):
+        trace = self._trace(
+            vocabulary, [{"w1"}, set()], requesters=("r0001", "r0001")
+        )
+        check = RequesterFairnessInAssignment().check(trace)
+        assert check.opportunities == 0
+
+    def test_incomparable_rewards_not_compared(self, vocabulary):
+        trace = self._trace(vocabulary, [{"w1"}, set()], rewards=(0.1, 0.5))
+        check = RequesterFairnessInAssignment().check(trace)
+        assert check.opportunities == 0
+
+    def test_posting_window_excludes_stale_pairs(self, vocabulary):
+        trace = self._trace(vocabulary, [{"w1"}, set()], post_times=(0, 9))
+        narrow = RequesterFairnessInAssignment(posting_window=0).check(trace)
+        wide = RequesterFairnessInAssignment(posting_window=20).check(trace)
+        assert narrow.opportunities == 0
+        assert wide.opportunities == 1
+        assert not wide.passed
+
+    def test_tasks_comparable_predicate(self, vocabulary):
+        checker = RequesterFairnessInAssignment()
+        left = make_task("t1", vocabulary, requester_id="r0001", reward=0.1)
+        right = make_task("t2", vocabulary, requester_id="r0002", reward=0.105)
+        assert checker.tasks_comparable(left, right)
+        assert not checker.tasks_comparable(left, left)

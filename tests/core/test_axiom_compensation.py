@@ -1,0 +1,170 @@
+"""Unit tests for the Axiom 3 checker."""
+
+import pytest
+
+from repro.core.axiom_compensation import FairCompensation
+from repro.core.entities import Contribution, Requester
+from repro.core.events import (
+    BonusPaid,
+    BonusPromised,
+    ContributionReviewed,
+    ContributionSubmitted,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+
+from tests.conftest import make_task, make_worker
+
+
+def _pay_trace(vocabulary, payments, accepted=(True, True), kind="label",
+               payloads=("A", "A"), qualities=(0.9, 0.9)):
+    """Two workers answering the same task, then reviewed and paid."""
+    trace = PlatformTrace()
+    trace.append(RequesterRegistered(time=0, requester=Requester("r0001")))
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w2", vocabulary)))
+    trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary, kind=kind)))
+    for i in range(2):
+        contribution = Contribution(
+            f"c{i+1}", "t1", f"w{i+1}", payloads[i], submitted_at=1,
+            quality=qualities[i],
+        )
+        trace.append(ContributionSubmitted(time=1, contribution=contribution))
+    for i in range(2):
+        trace.append(
+            ContributionReviewed(
+                time=2, contribution_id=f"c{i+1}", task_id="t1",
+                worker_id=f"w{i+1}", accepted=accepted[i], feedback="r",
+            )
+        )
+    for i in range(2):
+        trace.append(
+            PaymentIssued(
+                time=3, worker_id=f"w{i+1}", task_id="t1",
+                contribution_id=f"c{i+1}", amount=payments[i],
+            )
+        )
+    return trace
+
+
+class TestEqualPay:
+    def test_equal_pay_for_identical_contributions_passes(self, vocabulary):
+        check = FairCompensation().check(_pay_trace(vocabulary, (0.1, 0.1)))
+        assert check.passed
+        assert check.opportunities == 1
+
+    def test_unequal_pay_flagged(self, vocabulary):
+        check = FairCompensation().check(_pay_trace(vocabulary, (0.1, 0.05)))
+        assert not check.passed
+        violation = check.violations[0]
+        assert violation.witness["type"] == "unequal_pay"
+        assert violation.axiom_id == 3
+
+    def test_dissimilar_payloads_not_compared(self, vocabulary):
+        trace = _pay_trace(vocabulary, (0.1, 0.0), payloads=("A", "B"))
+        check = FairCompensation().check(trace)
+        assert check.opportunities == 0
+
+    def test_payment_tolerance(self, vocabulary):
+        trace = _pay_trace(vocabulary, (0.10, 0.11))
+        strict = FairCompensation().check(trace)
+        tolerant = FairCompensation(payment_tolerance=0.02).check(trace)
+        assert not strict.passed
+        assert tolerant.passed
+
+    def test_text_contributions_compared_by_ngram(self, vocabulary):
+        trace = _pay_trace(
+            vocabulary, (0.1, 0.0), kind="text",
+            payloads=("the picture shows a red car",
+                      "the picture shows a red car"),
+        )
+        check = FairCompensation().check(trace)
+        assert not check.passed
+
+    def test_quality_tolerance_excludes_quality_gaps(self, vocabulary):
+        trace = _pay_trace(vocabulary, (0.1, 0.05), qualities=(0.9, 0.5))
+        strict = FairCompensation().check(trace)
+        quality_aware = FairCompensation(quality_tolerance=0.1).check(trace)
+        assert not strict.passed
+        assert quality_aware.opportunities == 0
+
+
+class TestWrongfulRejection:
+    def test_opposite_verdicts_on_similar_work_flagged(self, vocabulary):
+        trace = _pay_trace(vocabulary, (0.1, 0.1), accepted=(True, False))
+        check = FairCompensation().check(trace)
+        assert not check.passed
+        assert any(
+            v.witness["type"] == "wrongful_rejection" for v in check.violations
+        )
+        rejected = next(
+            v for v in check.violations
+            if v.witness["type"] == "wrongful_rejection"
+        )
+        assert rejected.subjects == ("w2",)
+
+    def test_wrongful_rejection_check_optional(self, vocabulary):
+        trace = _pay_trace(vocabulary, (0.1, 0.1), accepted=(True, False))
+        check = FairCompensation(check_wrongful_rejection=False).check(trace)
+        assert check.passed
+
+    def test_unequal_pay_takes_precedence(self, vocabulary):
+        # Different pay AND different verdicts: reported as unequal pay.
+        trace = _pay_trace(vocabulary, (0.1, 0.0), accepted=(True, False))
+        check = FairCompensation().check(trace)
+        assert [v.witness["type"] for v in check.violations] == ["unequal_pay"]
+
+
+class TestBonusPromises:
+    def _bonus_trace(self, vocabulary, pay_back: bool, amount_paid: float = 0.5):
+        trace = PlatformTrace()
+        trace.append(RequesterRegistered(time=0, requester=Requester("r0001")))
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(
+            BonusPromised(time=1, requester_id="r0001", worker_id="w1",
+                          amount=0.5, condition="streak")
+        )
+        if pay_back:
+            trace.append(
+                BonusPaid(time=2, requester_id="r0001", worker_id="w1",
+                          amount=amount_paid)
+            )
+        return trace
+
+    def test_honoured_promise_passes(self, vocabulary):
+        check = FairCompensation().check(self._bonus_trace(vocabulary, True))
+        assert check.passed
+        assert check.opportunities == 1
+
+    def test_reneged_promise_flagged(self, vocabulary):
+        check = FairCompensation().check(self._bonus_trace(vocabulary, False))
+        assert not check.passed
+        assert check.violations[0].witness["type"] == "bonus_reneged"
+
+    def test_wrong_amount_does_not_settle(self, vocabulary):
+        check = FairCompensation().check(
+            self._bonus_trace(vocabulary, True, amount_paid=0.25)
+        )
+        assert not check.passed
+
+    def test_bonus_check_optional(self, vocabulary):
+        check = FairCompensation(check_bonus_promises=False).check(
+            self._bonus_trace(vocabulary, False)
+        )
+        assert check.passed
+
+    def test_payment_before_promise_does_not_settle(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(
+            BonusPaid(time=0, requester_id="r0001", worker_id="w1", amount=0.5)
+        )
+        trace.append(
+            BonusPromised(time=1, requester_id="r0001", worker_id="w1",
+                          amount=0.5)
+        )
+        check = FairCompensation().check(trace)
+        assert not check.passed

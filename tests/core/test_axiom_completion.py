@@ -1,0 +1,119 @@
+"""Unit tests for Axiom 4 and Axiom 5 checkers."""
+
+import pytest
+
+from repro.core.axiom_completion import (
+    RequesterFairnessInCompletion,
+    WorkerFairnessInCompletion,
+)
+from repro.core.entities import Contribution
+from repro.core.events import (
+    ContributionSubmitted,
+    MaliceFlagged,
+    TaskInterrupted,
+    TaskPosted,
+    TaskStarted,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+
+from tests.conftest import make_task, make_worker
+
+
+def _spam_trace(vocabulary, n_contributions=6, flagged=False, quality=0.1,
+                gold="A", payload="B"):
+    """One worker submitting low-quality answers to gold tasks."""
+    trace = PlatformTrace()
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+    for i in range(n_contributions):
+        task = make_task(f"t{i+1}", vocabulary, gold_answer=gold)
+        trace.append(TaskPosted(time=i, task=task))
+        contribution = Contribution(
+            f"c{i+1}", task.task_id, "w1", payload, submitted_at=i,
+            quality=quality,
+        )
+        trace.append(ContributionSubmitted(time=i, contribution=contribution))
+    if flagged:
+        trace.append(
+            MaliceFlagged(time=n_contributions, worker_id="w1",
+                          detector="gold", score=0.9)
+        )
+    return trace
+
+
+class TestAxiom4:
+    def test_unflagged_spammer_is_violation(self, vocabulary):
+        check = RequesterFairnessInCompletion().check(_spam_trace(vocabulary))
+        assert not check.passed
+        assert check.violations[0].subjects == ("w1",)
+        assert check.violations[0].witness["type"] == "undetected_malice"
+
+    def test_flagged_spammer_passes(self, vocabulary):
+        check = RequesterFairnessInCompletion().check(
+            _spam_trace(vocabulary, flagged=True)
+        )
+        assert check.passed
+        assert check.opportunities == 1
+
+    def test_honest_worker_not_suspicious(self, vocabulary):
+        trace = _spam_trace(vocabulary, quality=0.9, payload="A")
+        check = RequesterFairnessInCompletion().check(trace)
+        assert check.opportunities == 0
+
+    def test_too_few_contributions_no_evidence(self, vocabulary):
+        trace = _spam_trace(vocabulary, n_contributions=3)
+        check = RequesterFairnessInCompletion().check(trace)
+        assert check.opportunities == 0
+
+    def test_suspicious_via_gold_only(self, vocabulary):
+        # High latent quality recorded, but answers contradict gold.
+        trace = _spam_trace(vocabulary, quality=0.9, payload="B")
+        checker = RequesterFairnessInCompletion()
+        suspicious = checker.suspicious_workers(trace)
+        assert "w1" in suspicious
+        assert suspicious["w1"]["gold_error_rate"] == 1.0
+
+    def test_thresholds_configurable(self, vocabulary):
+        trace = _spam_trace(vocabulary, quality=0.4, payload="A", gold="A")
+        default = RequesterFairnessInCompletion().check(trace)
+        strict = RequesterFairnessInCompletion(quality_floor=0.45).check(trace)
+        assert default.opportunities == 0
+        assert strict.opportunities == 1
+
+
+class TestAxiom5:
+    def test_requester_interruption_is_violation(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(TaskStarted(time=1, worker_id="w1", task_id="t1"))
+        trace.append(
+            TaskInterrupted(time=2, worker_id="w1", task_id="t1",
+                            reason="cancelled", worker_initiated=False)
+        )
+        check = WorkerFairnessInCompletion().check(trace)
+        assert not check.passed
+        assert check.opportunities == 1
+        assert check.violations[0].witness["type"] == "interruption"
+
+    def test_worker_abandonment_allowed(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        trace.append(TaskStarted(time=1, worker_id="w1", task_id="t1"))
+        trace.append(
+            TaskInterrupted(time=2, worker_id="w1", task_id="t1",
+                            reason="bored", worker_initiated=True)
+        )
+        check = WorkerFairnessInCompletion().check(trace)
+        assert check.passed
+
+    def test_score_reflects_interruption_rate(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        for i in range(4):
+            trace.append(TaskStarted(time=i, worker_id="w1", task_id=f"t{i}"))
+        trace.append(
+            TaskInterrupted(time=5, worker_id="w1", task_id="t0",
+                            reason="x", worker_initiated=False)
+        )
+        check = WorkerFairnessInCompletion().check(trace)
+        assert check.score == pytest.approx(0.75)

@@ -1,0 +1,173 @@
+"""Unit tests for Axiom 6 and Axiom 7 checkers."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes
+from repro.core.axiom_transparency import (
+    REQUESTER_MANDATED_FIELDS,
+    PlatformTransparency,
+    RequesterTransparency,
+    WORKER_MANDATED_FIELDS,
+    requester_subject,
+    worker_subject,
+)
+from repro.core.entities import Contribution, Requester
+from repro.core.events import (
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+
+from tests.conftest import make_task, make_worker
+
+
+def _requester_trace(vocabulary, disclose_fields=(), feedback="explained",
+                     accepted=False, payment_delay=5, pay_at=None):
+    requester = Requester(
+        "r0001", hourly_wage=6.0, payment_delay=payment_delay,
+        recruitment_criteria="any", rejection_criteria="quality",
+    )
+    trace = PlatformTrace()
+    trace.append(RequesterRegistered(time=0, requester=requester))
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+    for field_name in disclose_fields:
+        trace.append(
+            DisclosureShown(
+                time=0, subject=requester_subject("r0001"),
+                field_name=field_name, value="x",
+            )
+        )
+    trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+    contribution = Contribution("c1", "t1", "w1", "A", submitted_at=2, quality=0.9)
+    trace.append(ContributionSubmitted(time=2, contribution=contribution))
+    trace.append(
+        ContributionReviewed(
+            time=3, contribution_id="c1", task_id="t1", worker_id="w1",
+            accepted=accepted, feedback=feedback,
+        )
+    )
+    if pay_at is not None:
+        trace.append(
+            PaymentIssued(time=pay_at, worker_id="w1", task_id="t1",
+                          contribution_id="c1", amount=0.1)
+        )
+    return trace
+
+
+class TestAxiom6:
+    def test_full_disclosure_with_feedback_passes(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS
+        )
+        check = RequesterTransparency().check(trace)
+        assert check.passed
+
+    def test_missing_fields_flagged(self, vocabulary):
+        trace = _requester_trace(vocabulary, disclose_fields=("hourly_wage",))
+        check = RequesterTransparency().check(trace)
+        missing = {
+            v.witness["field"] for v in check.violations
+            if v.witness["type"] == "undisclosed_field"
+        }
+        assert missing == set(REQUESTER_MANDATED_FIELDS) - {"hourly_wage"}
+
+    def test_silent_rejection_flagged(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS, feedback=""
+        )
+        check = RequesterTransparency().check(trace)
+        assert any(
+            v.witness["type"] == "silent_rejection" for v in check.violations
+        )
+
+    def test_accepted_contribution_needs_no_feedback(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS,
+            feedback="", accepted=True,
+        )
+        check = RequesterTransparency().check(trace)
+        assert check.passed
+
+    def test_late_payment_flagged(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS,
+            accepted=True, payment_delay=3, pay_at=20,
+        )
+        check = RequesterTransparency().check(trace)
+        late = [v for v in check.violations if v.witness["type"] == "late_payment"]
+        assert len(late) == 1
+        assert late[0].witness["actual_delay"] == 18
+
+    def test_on_time_payment_passes(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS,
+            accepted=True, payment_delay=5, pay_at=4,
+        )
+        check = RequesterTransparency().check(trace)
+        assert check.passed
+
+    def test_subchecks_can_be_disabled(self, vocabulary):
+        trace = _requester_trace(
+            vocabulary, disclose_fields=REQUESTER_MANDATED_FIELDS,
+            feedback="", payment_delay=0, pay_at=30, accepted=False,
+        )
+        check = RequesterTransparency(
+            check_rejection_feedback=False, check_payment_delay=False
+        ).check(trace)
+        assert check.passed
+
+
+class TestAxiom7:
+    def _worker_trace(self, vocabulary, disclose=(), audience="w1"):
+        worker = make_worker("w1", vocabulary).with_computed(
+            ComputedAttributes.from_history(3, 4, 5)
+        )
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=worker))
+        for field_name in disclose:
+            trace.append(
+                DisclosureShown(
+                    time=1, subject=worker_subject("w1"),
+                    field_name=field_name, value=0.75,
+                    audience_worker_id=audience,
+                )
+            )
+        return trace
+
+    def test_full_disclosure_passes(self, vocabulary):
+        trace = self._worker_trace(vocabulary, disclose=WORKER_MANDATED_FIELDS)
+        check = PlatformTransparency().check(trace)
+        assert check.passed
+        assert check.opportunities == len(WORKER_MANDATED_FIELDS)
+
+    def test_missing_disclosure_flagged(self, vocabulary):
+        trace = self._worker_trace(vocabulary, disclose=("acceptance_ratio",))
+        check = PlatformTransparency().check(trace)
+        assert not check.passed
+        assert check.violations[0].witness["field"] == "tasks_completed"
+
+    def test_disclosure_to_wrong_audience_does_not_count(self, vocabulary):
+        trace = self._worker_trace(
+            vocabulary, disclose=WORKER_MANDATED_FIELDS, audience="w999"
+        )
+        check = PlatformTransparency().check(trace)
+        assert not check.passed
+
+    def test_public_disclosure_counts(self, vocabulary):
+        trace = self._worker_trace(
+            vocabulary, disclose=WORKER_MANDATED_FIELDS, audience=""
+        )
+        check = PlatformTransparency().check(trace)
+        assert check.passed
+
+    def test_worker_without_computed_attributes_vacuous(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+        check = PlatformTransparency().check(trace)
+        assert check.opportunities == 0
+        assert check.passed

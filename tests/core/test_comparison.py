@@ -1,0 +1,76 @@
+"""Unit tests for the cross-platform comparison report."""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.axioms import AxiomRegistry
+from repro.core.axiom_completion import WorkerFairnessInCompletion
+from repro.core.comparison import best_platform, comparison_table
+from repro.errors import AuditError
+from repro.workloads.scenarios import (
+    clean_scenario,
+    survey_cancellation_scenario,
+    unequal_pay_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    engine = AuditEngine()
+    return {
+        "fair-market": engine.audit(clean_scenario().trace),
+        "wage-cheat": engine.audit(unequal_pay_scenario().trace),
+        "interrupter": engine.audit(survey_cancellation_scenario().trace),
+    }
+
+
+class TestComparisonTable:
+    def test_ranked_by_overall_score(self, reports):
+        table = comparison_table(reports)
+        platforms = table.column("platform")
+        assert platforms[0] == "fair-market"
+        overall = table.column("overall")
+        assert overall == sorted(overall, reverse=True)
+
+    def test_contains_per_axiom_columns(self, reports):
+        table = comparison_table(reports)
+        assert "compensation" in table.columns
+        assert "no-interrupt" in table.columns
+        row = next(
+            r for r in table.rows_as_dicts() if r["platform"] == "wage-cheat"
+        )
+        assert row["compensation"] < 1.0
+        assert row["no-interrupt"] == 1.0
+
+    def test_violation_counts(self, reports):
+        table = comparison_table(reports)
+        row = next(
+            r for r in table.rows_as_dicts() if r["platform"] == "fair-market"
+        )
+        assert row["violations"] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AuditError, match="nothing to compare"):
+            comparison_table({})
+
+    def test_mismatched_suites_rejected(self, reports):
+        narrow_engine = AuditEngine(
+            registry=AxiomRegistry().register(WorkerFairnessInCompletion())
+        )
+        narrow = narrow_engine.audit(clean_scenario().trace)
+        with pytest.raises(AuditError, match="lacks axioms"):
+            comparison_table({**reports, "narrow": narrow})
+
+    def test_renderable(self, reports):
+        text = comparison_table(reports).render()
+        assert "fair-market" in text
+        assert "overall" in text
+
+
+class TestBestPlatform:
+    def test_best(self, reports):
+        assert best_platform(reports) == "fair-market"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AuditError):
+            best_platform({})

@@ -1,0 +1,183 @@
+"""Unit tests for the Section 3.2 data model."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.entities import (
+    Contribution,
+    SkillVector,
+    SkillVocabulary,
+    Task,
+    Worker,
+    validate_population,
+)
+from repro.errors import EntityError, VocabularyMismatchError
+
+from tests.conftest import make_task, make_worker
+
+
+class TestSkillVocabulary:
+    def test_basic_construction(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        assert len(vocab) == 3
+        assert list(vocab) == ["a", "b", "c"]
+        assert "b" in vocab
+        assert "z" not in vocab
+
+    def test_duplicate_keywords_rejected(self):
+        with pytest.raises(EntityError, match="duplicate"):
+            SkillVocabulary(("a", "a"))
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(EntityError):
+            SkillVocabulary(("a", ""))
+
+    def test_index(self):
+        vocab = SkillVocabulary(("a", "b"))
+        assert vocab.index("b") == 1
+
+    def test_index_unknown_raises(self):
+        vocab = SkillVocabulary(("a",))
+        with pytest.raises(EntityError, match="unknown skill"):
+            vocab.index("z")
+
+    def test_vector_factory(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        vector = vocab.vector(("a", "c"))
+        assert vector.bits == (True, False, True)
+
+    def test_full_vector(self):
+        vocab = SkillVocabulary(("a", "b"))
+        assert vocab.full_vector().bits == (True, True)
+
+    def test_from_keywords_accepts_iterables(self):
+        vocab = SkillVocabulary.from_keywords(k for k in ("x", "y"))
+        assert vocab.keywords == ("x", "y")
+
+
+class TestSkillVector:
+    def test_dimension_mismatch_rejected(self):
+        vocab = SkillVocabulary(("a", "b"))
+        with pytest.raises(EntityError, match="bits"):
+            SkillVector(vocab, (True,))
+
+    def test_unknown_keyword_rejected(self):
+        vocab = SkillVocabulary(("a",))
+        with pytest.raises(EntityError, match="unknown"):
+            SkillVector.from_keywords(vocab, ("zzz",))
+
+    def test_keywords_roundtrip(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        vector = vocab.vector(("b",))
+        assert vector.keywords == ("b",)
+        assert "b" in vector
+        assert "a" not in vector
+        assert 42 not in vector
+
+    def test_count(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        assert vocab.vector(("a", "b")).count() == 2
+        assert vocab.vector().count() == 0
+
+    def test_covers(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        worker_skills = vocab.vector(("a", "b"))
+        assert worker_skills.covers(vocab.vector(("a",)))
+        assert worker_skills.covers(vocab.vector(()))
+        assert not worker_skills.covers(vocab.vector(("c",)))
+
+    def test_intersection_union_hamming(self):
+        vocab = SkillVocabulary(("a", "b", "c"))
+        left = vocab.vector(("a", "b"))
+        right = vocab.vector(("b", "c"))
+        assert left.intersection_count(right) == 1
+        assert left.union_count(right) == 3
+        assert left.hamming_distance(right) == 2
+
+    def test_cross_vocabulary_rejected(self):
+        left = SkillVocabulary(("a",)).vector(("a",))
+        right = SkillVocabulary(("b",)).vector(("b",))
+        with pytest.raises(VocabularyMismatchError):
+            left.covers(right)
+
+    def test_as_floats(self):
+        vocab = SkillVocabulary(("a", "b"))
+        assert vocab.vector(("a",)).as_floats() == (1.0, 0.0)
+
+
+class TestTask:
+    def test_negative_reward_rejected(self, vocabulary):
+        with pytest.raises(EntityError, match="negative reward"):
+            make_task("t1", vocabulary, reward=-0.1)
+
+    def test_zero_duration_rejected(self, vocabulary):
+        with pytest.raises(EntityError, match="duration"):
+            make_task("t1", vocabulary, duration=0)
+
+    def test_qualifies(self, vocabulary):
+        task = make_task("t1", vocabulary, skills=("survey",))
+        qualified = make_worker("w1", vocabulary, skills=("survey", "writing"))
+        unqualified = make_worker("w2", vocabulary, skills=("writing",))
+        assert task.qualifies(qualified)
+        assert not task.qualifies(unqualified)
+
+    def test_metadata_defaults_empty(self, vocabulary):
+        assert make_task("t1", vocabulary).metadata == {}
+
+
+class TestWorker:
+    def test_with_computed_replaces_only_computed(self, vocabulary):
+        worker = make_worker("w1", vocabulary, declared={"group": "blue"})
+        updated = worker.with_computed(
+            ComputedAttributes({"acceptance_ratio": 0.5})
+        )
+        assert updated.worker_id == worker.worker_id
+        assert updated.declared["group"] == "blue"
+        assert updated.computed["acceptance_ratio"] == 0.5
+        assert worker.computed.as_dict() == {}  # original untouched
+
+    def test_qualifies_for(self, vocabulary):
+        worker = make_worker("w1", vocabulary, skills=("survey",))
+        assert worker.qualifies_for(make_task("t1", vocabulary, skills=("survey",)))
+        assert not worker.qualifies_for(
+            make_task("t2", vocabulary, skills=("writing",))
+        )
+
+
+class TestContribution:
+    def test_quality_bounds(self):
+        with pytest.raises(EntityError, match="quality"):
+            Contribution("c1", "t1", "w1", "A", submitted_at=0, quality=1.5)
+
+    def test_quality_none_allowed(self):
+        contribution = Contribution("c1", "t1", "w1", "A", submitted_at=0)
+        assert contribution.quality is None
+
+
+class TestValidatePopulation:
+    def test_accepts_valid(self, vocabulary):
+        workers = [make_worker(f"w{i}", vocabulary) for i in range(3)]
+        validate_population(workers, vocabulary)
+
+    def test_rejects_duplicates(self, vocabulary):
+        workers = [make_worker("w1", vocabulary), make_worker("w1", vocabulary)]
+        with pytest.raises(EntityError, match="duplicate"):
+            validate_population(workers, vocabulary)
+
+    def test_rejects_foreign_vocabulary(self, vocabulary):
+        other = SkillVocabulary(("x",))
+        workers = [make_worker("w1", vocabulary),
+                   make_worker("w2", other, skills=("x",))]
+        with pytest.raises(VocabularyMismatchError):
+            validate_population(workers, vocabulary)
+
+
+class TestRequester:
+    def test_disclosable_fields(self, requester):
+        fields = requester.disclosable_fields()
+        assert fields["hourly_wage"] == 6.0
+        assert fields["payment_delay"] == 5
+        assert set(fields) == {
+            "hourly_wage", "payment_delay", "recruitment_criteria",
+            "rejection_criteria", "rating",
+        }

@@ -1,0 +1,70 @@
+"""Coverage for the event taxonomy and the error hierarchy."""
+
+import pytest
+
+from repro.core import events as events_module
+from repro.core.events import ALL_EVENT_TYPES, CustomEvent, Event
+from repro.errors import (
+    AssignmentError,
+    AuditError,
+    CompensationError,
+    EntityError,
+    PolicySemanticsError,
+    PolicySyntaxError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnknownEntityError,
+    VocabularyMismatchError,
+)
+
+
+class TestEventTaxonomy:
+    def test_all_event_types_have_unique_kinds(self):
+        kinds = [events_module._KIND_NAMES[t] for t in ALL_EVENT_TYPES]
+        assert len(set(kinds)) == len(kinds)
+
+    def test_every_concrete_event_registered(self):
+        concrete = [
+            obj for name, obj in vars(events_module).items()
+            if isinstance(obj, type)
+            and issubclass(obj, Event)
+            and obj not in (Event, CustomEvent)
+        ]
+        assert set(concrete) == set(ALL_EVENT_TYPES)
+
+    def test_custom_event(self):
+        event = CustomEvent(time=3, name="plugin", payload={"x": 1})
+        assert event.kind == "custom"
+        assert event.payload["x"] == 1
+
+    def test_events_are_immutable(self):
+        event = CustomEvent(time=0)
+        with pytest.raises(AttributeError):
+            event.time = 5  # type: ignore[misc]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            AssignmentError, AuditError, CompensationError, EntityError,
+            PolicySemanticsError, SimulationError, TraceError,
+            UnknownEntityError, VocabularyMismatchError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_unknown_entity_is_entity_error(self):
+        assert issubclass(UnknownEntityError, EntityError)
+        assert issubclass(VocabularyMismatchError, EntityError)
+
+    def test_policy_syntax_error_carries_position(self):
+        error = PolicySyntaxError("bad token", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+        assert issubclass(PolicySyntaxError, ReproError)

@@ -1,0 +1,96 @@
+"""Unit tests for audit-finding explanations."""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.explain import (
+    explain_for_subject,
+    explain_violation,
+    grievance_report,
+)
+from repro.core.violations import Violation, ViolationSeverity
+from repro.workloads.scenarios import (
+    clean_scenario,
+    survey_cancellation_scenario,
+    unequal_pay_scenario,
+)
+
+
+class TestExplainViolation:
+    def test_typed_violation_uses_template(self):
+        violation = Violation(
+            axiom_id=3, message="raw checker message", time=7,
+            severity=ViolationSeverity.CRITICAL, subjects=("w1",),
+            witness={"type": "bonus_reneged"},
+        )
+        text = explain_violation(violation)
+        assert "w1" in text
+        assert "promised a bonus that was never paid" in text
+        assert text.startswith("Serious:")
+        assert "t=7" in text
+
+    def test_untyped_violation_falls_back_to_message(self):
+        violation = Violation(
+            axiom_id=1, message="something unusual", time=0, subjects=("w1",)
+        )
+        assert "something unusual" in explain_violation(violation)
+
+    def test_warning_has_no_serious_prefix(self):
+        violation = Violation(
+            axiom_id=6, message="m", time=0, subjects=("r1",),
+            witness={"type": "silent_rejection"},
+        )
+        assert not explain_violation(violation).startswith("Serious")
+
+
+class TestExplainForSubject:
+    def test_interrupted_worker_explained(self):
+        report = AuditEngine().audit(survey_cancellation_scenario().trace)
+        # Workers w0002..w0005 were interrupted.
+        sentences = explain_for_subject(report, "w0002")
+        assert sentences
+        assert any("interrupted" in s for s in sentences)
+
+    def test_uninvolved_subject_empty(self):
+        report = AuditEngine().audit(survey_cancellation_scenario().trace)
+        assert explain_for_subject(report, "w0001") == []
+
+    def test_time_ordered(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        workers = {
+            subject
+            for violation in report.violations
+            for subject in violation.subjects
+        }
+        for worker in workers:
+            sentences = explain_for_subject(report, worker)
+            times = [int(s.split("t=")[1].split(",")[0]) for s in sentences]
+            assert times == sorted(times)
+
+
+class TestGrievanceReport:
+    def test_clean_report(self):
+        report = AuditEngine().audit(clean_scenario().trace)
+        assert "No grievances" in grievance_report(report)
+
+    def test_unfair_report_lists_subjects(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        text = grievance_report(report)
+        assert "Grievance report" in text
+        assert "grievance(s):" in text
+        assert "paid differently" in text
+
+    def test_limit_caps_subjects(self):
+        report = AuditEngine().audit(unequal_pay_scenario().trace)
+        limited = grievance_report(report, limit=1)
+        full = grievance_report(report)
+        assert len(limited.splitlines()) <= len(full.splitlines())
+
+    def test_most_wronged_first(self):
+        report = AuditEngine().audit(survey_cancellation_scenario().trace)
+        lines = grievance_report(report).splitlines()
+        counts = [
+            int(line.split("—")[1].split()[0])
+            for line in lines if "—" in line
+        ]
+        assert counts == sorted(counts, reverse=True)

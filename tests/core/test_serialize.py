@@ -1,0 +1,102 @@
+"""Unit tests for trace JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    event_from_dict,
+    event_to_dict,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.errors import TraceError
+from repro.workloads.scenarios import all_scenarios, clean_scenario
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(seed=0), ids=lambda s: s.name
+    )
+    def test_every_scenario_trace_round_trips(self, scenario):
+        text = trace_to_json(scenario.trace)
+        restored = trace_from_json(text)
+        assert len(restored) == len(scenario.trace)
+        assert restored.events == scenario.trace.events
+
+    def test_audit_identical_after_round_trip(self):
+        trace = clean_scenario().trace
+        restored = trace_from_json(trace_to_json(trace))
+        engine = AuditEngine()
+        assert engine.audit(restored).scores() == engine.audit(trace).scores()
+
+    def test_indexes_rebuilt(self):
+        trace = clean_scenario().trace
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.tasks.keys() == trace.tasks.keys()
+        assert set(restored.worker_ids) == set(trace.worker_ids)
+        assert restored.requesters.keys() == trace.requesters.keys()
+        assert restored.payments_by_worker() == trace.payments_by_worker()
+
+    def test_indent_pretty_prints(self):
+        trace = clean_scenario().trace
+        pretty = trace_to_json(trace, indent=2)
+        assert "\n" in pretty
+        assert trace_from_json(pretty).events == trace.events
+
+    def test_tuple_payloads_survive(self):
+        from repro.core.entities import Contribution
+        from repro.core.events import ContributionSubmitted
+        from repro.core.trace import PlatformTrace
+
+        trace = PlatformTrace()
+        contribution = Contribution(
+            "c1", "t1", "w1", ("a", "b", "c"), submitted_at=0
+        )
+        trace.append(ContributionSubmitted(time=0, contribution=contribution))
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.contribution("c1").payload == ("a", "b", "c")
+
+
+class TestEventCodecs:
+    def test_event_dict_contains_kind_and_time(self):
+        trace = clean_scenario().trace
+        for event in trace:
+            data = event_to_dict(event)
+            assert data["kind"] == event.kind
+            assert data["time"] == event.time
+            assert event_from_dict(data) == event
+
+    def test_frozenset_serialized_as_sorted_list(self):
+        from repro.core.events import TasksShown
+
+        event = TasksShown(time=0, worker_id="w1",
+                           task_ids=frozenset({"t2", "t1"}))
+        data = event_to_dict(event)
+        assert data["task_ids"] == ["t1", "t2"]
+        assert event_from_dict(data) == event
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(TraceError, match="invalid trace JSON"):
+            trace_from_json("{nope")
+
+    def test_wrong_shape(self):
+        with pytest.raises(TraceError, match="'events'"):
+            trace_from_json(json.dumps({"foo": 1}))
+
+    def test_wrong_version(self):
+        document = {"format_version": FORMAT_VERSION + 1, "events": []}
+        with pytest.raises(TraceError, match="unsupported"):
+            trace_from_json(json.dumps(document))
+
+    def test_unknown_kind(self):
+        with pytest.raises(TraceError, match="unknown event kind"):
+            event_from_dict({"kind": "martian", "time": 0})
+
+    def test_missing_time(self):
+        with pytest.raises(TraceError, match="integer time"):
+            event_from_dict({"kind": "task_cancelled"})

@@ -1,0 +1,174 @@
+"""Unit tests for the platform trace and its indexes."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes
+from repro.core.entities import Contribution, Requester
+from repro.core.events import (
+    AssignmentMade,
+    ContributionReviewed,
+    ContributionSubmitted,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    TasksShown,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.core.trace import PlatformTrace
+from repro.errors import TraceError, UnknownEntityError
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def trace(vocabulary):
+    trace = PlatformTrace()
+    trace.append(RequesterRegistered(time=0, requester=Requester("r0001")))
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w1", vocabulary)))
+    trace.append(WorkerRegistered(time=0, worker=make_worker("w2", vocabulary)))
+    trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+    trace.append(TaskPosted(time=1, task=make_task("t2", vocabulary)))
+    trace.append(
+        TasksShown(time=1, worker_id="w1", task_ids=frozenset({"t1", "t2"}))
+    )
+    trace.append(TasksShown(time=1, worker_id="w2", task_ids=frozenset({"t1"})))
+    trace.append(AssignmentMade(time=2, worker_id="w1", task_id="t1"))
+    contribution = Contribution("c1", "t1", "w1", "A", submitted_at=3, quality=0.9)
+    trace.append(ContributionSubmitted(time=3, contribution=contribution))
+    trace.append(
+        ContributionReviewed(
+            time=3, contribution_id="c1", task_id="t1", worker_id="w1",
+            accepted=True, feedback="ok",
+        )
+    )
+    trace.append(
+        PaymentIssued(time=4, worker_id="w1", task_id="t1",
+                      contribution_id="c1", amount=0.1)
+    )
+    return trace
+
+
+class TestAppendOrdering:
+    def test_out_of_order_rejected(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(TaskPosted(time=5, task=make_task("t1", vocabulary)))
+        with pytest.raises(TraceError, match="time-ordered"):
+            trace.append(TaskPosted(time=4, task=make_task("t2", vocabulary)))
+
+    def test_same_time_allowed(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(TaskPosted(time=5, task=make_task("t1", vocabulary)))
+        trace.append(TaskPosted(time=5, task=make_task("t2", vocabulary)))
+        assert len(trace) == 2
+
+    def test_duplicate_task_post_rejected(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        with pytest.raises(TraceError, match="posted twice"):
+            trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+
+    def test_constructor_accepts_events(self, vocabulary):
+        events = [TaskPosted(time=0, task=make_task("t1", vocabulary))]
+        assert len(PlatformTrace(events)) == 1
+
+
+class TestLookups:
+    def test_task_and_requester(self, trace):
+        assert trace.task("t1").task_id == "t1"
+        assert trace.requester("r0001").requester_id == "r0001"
+
+    def test_unknown_lookups_raise(self, trace):
+        with pytest.raises(UnknownEntityError):
+            trace.task("nope")
+        with pytest.raises(UnknownEntityError):
+            trace.requester("nope")
+        with pytest.raises(UnknownEntityError):
+            trace.contribution("nope")
+        with pytest.raises(UnknownEntityError):
+            trace.worker_at("nope", 0)
+
+    def test_contribution_lookup(self, trace):
+        assert trace.contribution("c1").worker_id == "w1"
+
+    def test_end_time(self, trace):
+        assert trace.end_time == 4
+        assert PlatformTrace().end_time == 0
+
+    def test_of_kind(self, trace):
+        assert len(trace.of_kind(TaskPosted)) == 2
+        assert len(trace.of_kind(PaymentIssued)) == 1
+
+    def test_where(self, trace):
+        shown = trace.where(lambda e: isinstance(e, TasksShown))
+        assert len(shown) == 2
+
+
+class TestWorkerSnapshots:
+    def test_worker_at_returns_latest_before_time(self, vocabulary):
+        trace = PlatformTrace()
+        w_initial = make_worker("w1", vocabulary)
+        trace.append(WorkerRegistered(time=0, worker=w_initial))
+        w_updated = w_initial.with_computed(
+            ComputedAttributes({"acceptance_ratio": 0.5})
+        )
+        trace.append(WorkerUpdated(time=5, worker=w_updated))
+        assert trace.worker_at("w1", 3).computed.as_dict() == {}
+        assert trace.worker_at("w1", 5).computed["acceptance_ratio"] == 0.5
+        assert trace.final_worker("w1").computed["acceptance_ratio"] == 0.5
+
+    def test_worker_before_registration_raises(self, vocabulary):
+        trace = PlatformTrace()
+        trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        trace.append(WorkerRegistered(time=5, worker=make_worker("w1", vocabulary)))
+        with pytest.raises(UnknownEntityError, match="not yet registered"):
+            trace.worker_at("w1", 2)
+
+    def test_final_workers(self, trace):
+        finals = trace.final_workers()
+        assert set(finals) == {"w1", "w2"}
+
+
+class TestDerivedViews:
+    def test_visibility_by_worker(self, trace):
+        visibility = trace.visibility_by_worker()
+        assert visibility["w1"] == {"t1", "t2"}
+        assert visibility["w2"] == {"t1"}
+
+    def test_audience_by_task(self, trace):
+        audience = trace.audience_by_task()
+        assert audience["t1"] == {"w1", "w2"}
+        assert audience["t2"] == {"w1"}
+
+    def test_assignments_by_worker(self, trace):
+        assert [a.task_id for a in trace.assignments_by_worker()["w1"]] == ["t1"]
+
+    def test_contributions_by_task(self, trace):
+        grouped = trace.contributions_by_task()
+        assert [c.contribution_id for c in grouped["t1"]] == ["c1"]
+
+    def test_payments_by_worker(self, trace):
+        assert trace.payments_by_worker() == {"w1": pytest.approx(0.1)}
+
+    def test_payment_for_contribution(self, trace):
+        assert trace.payment_for_contribution("c1") == pytest.approx(0.1)
+        assert trace.payment_for_contribution("nope") == 0.0
+
+    def test_reviews_by_contribution(self, trace):
+        reviews = trace.reviews_by_contribution()
+        assert reviews["c1"].accepted
+
+    def test_slice_keeps_entities(self, trace):
+        sliced = trace.slice(3, 5)
+        # Entity registrations before the window are retained.
+        assert sliced.task("t1").task_id == "t1"
+        assert len(sliced.of_kind(TasksShown)) == 0
+        assert len(sliced.of_kind(PaymentIssued)) == 1
+
+
+class TestEventKinds:
+    def test_kind_names(self, vocabulary):
+        event = TaskPosted(time=0, task=make_task("t1", vocabulary))
+        assert event.kind == "task_posted"
+        shown = TasksShown(time=0, worker_id="w", task_ids=frozenset())
+        assert shown.kind == "tasks_shown"

@@ -1,0 +1,41 @@
+"""Unit tests for violation records."""
+
+from repro.core.violations import Violation, ViolationSeverity
+
+
+class TestViolation:
+    def test_involves(self):
+        violation = Violation(
+            axiom_id=1, message="m", time=0, subjects=("w1", "w2")
+        )
+        assert violation.involves("w1")
+        assert not violation.involves("w3")
+
+    def test_describe_contains_key_facts(self):
+        violation = Violation(
+            axiom_id=3, message="unequal pay", time=7,
+            severity=ViolationSeverity.CRITICAL, subjects=("w1",),
+        )
+        text = violation.describe()
+        assert "axiom 3" in text
+        assert "critical" in text
+        assert "t=7" in text
+        assert "w1" in text
+        assert "unequal pay" in text
+
+    def test_describe_without_subjects(self):
+        violation = Violation(axiom_id=1, message="m", time=0)
+        assert "(-)" in violation.describe()
+
+    def test_witness_snapshot(self):
+        witness = {"a": 1}
+        violation = Violation(axiom_id=1, message="m", time=0, witness=witness)
+        witness["a"] = 2
+        assert violation.witness["a"] == 1
+
+
+class TestSeverityOrdering:
+    def test_ordering(self):
+        assert ViolationSeverity.INFO < ViolationSeverity.WARNING
+        assert ViolationSeverity.WARNING < ViolationSeverity.CRITICAL
+        assert not ViolationSeverity.CRITICAL < ViolationSeverity.INFO

@@ -1,0 +1,57 @@
+"""Unit tests for fairness-over-time (windowed) auditing."""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.errors import AuditError
+from repro.workloads.scenarios import (
+    clean_scenario,
+    survey_cancellation_scenario,
+)
+
+
+class TestWindowedAudit:
+    def test_windows_cover_whole_trace(self):
+        trace = clean_scenario(rounds=4).trace
+        engine = AuditEngine()
+        windows = engine.windowed_audit(trace, window=3)
+        starts = [start for start, _ in windows]
+        assert starts[0] == 0
+        assert starts == sorted(starts)
+        assert starts[-1] <= trace.end_time
+        # Consecutive, evenly spaced starts.
+        assert all(b - a == 3 for a, b in zip(starts, starts[1:]))
+
+    def test_clean_trace_clean_in_every_window(self):
+        trace = clean_scenario(rounds=4).trace
+        for _, report in AuditEngine().windowed_audit(trace, window=4):
+            assert report.result_for(5).passed
+            assert report.result_for(3).passed
+
+    def test_violation_localized_to_its_window(self):
+        trace = survey_cancellation_scenario().trace
+        engine = AuditEngine()
+        cancellation_time = max(e.time for e in trace.events)
+        windows = engine.windowed_audit(trace, window=2)
+        flagged = [
+            start
+            for start, report in windows
+            if report.result_for(5).violation_count > 0
+        ]
+        assert flagged  # the interruption shows up somewhere...
+        for start in flagged:  # ...and only near when it happened
+            assert start <= cancellation_time < start + 2 or (
+                start <= trace.end_time
+            )
+
+    def test_window_validated(self):
+        with pytest.raises(AuditError, match="window"):
+            AuditEngine().windowed_audit(clean_scenario().trace, window=0)
+
+    def test_single_window_equals_full_audit(self):
+        trace = clean_scenario(rounds=2).trace
+        engine = AuditEngine()
+        full = engine.audit(trace)
+        windows = engine.windowed_audit(trace, window=trace.end_time + 1)
+        assert len(windows) == 1
+        assert windows[0][1].scores() == full.scores()

@@ -1,0 +1,69 @@
+"""Shape assertions for the ablation experiments E8 and E9."""
+
+import pytest
+
+from repro.experiments.e8_threshold_ablation import run as run_e8
+from repro.experiments.e9_aggregation import run as run_e9
+
+
+@pytest.fixture(scope="module")
+def e8():
+    return run_e8(n_workers=8, n_rounds=3, seed=2,
+                  thresholds=(1.0, 0.6, 0.2))
+
+
+@pytest.fixture(scope="module")
+def e9():
+    return run_e9(
+        accuracies=(0.6, 0.8), redundancies=(1, 5, 9), n_tasks=200,
+        market_workers=20, market_tasks=24, seed=3,
+    )
+
+
+class TestE8Shapes:
+    def test_strict_threshold_flags_noise(self, e8):
+        rows = {r["threshold"]: r for r in e8.table().rows_as_dicts()}
+        assert rows[1.0]["noisy_violations"] > 0
+
+    def test_lax_threshold_silences_noise(self, e8):
+        rows = {r["threshold"]: r for r in e8.table().rows_as_dicts()}
+        assert rows[0.2]["noisy_violations"] == 0
+
+    def test_bias_caught_at_strict_thresholds(self, e8):
+        rows = {r["threshold"]: r for r in e8.table().rows_as_dicts()}
+        assert rows[1.0]["biased_violations"] > 0
+        assert rows[0.6]["biased_violations"] > 0
+
+    def test_noise_violations_monotone_in_threshold(self, e8):
+        rows = e8.table().rows_as_dicts()  # thresholds descending
+        noisy = [r["noisy_violations"] for r in rows]
+        assert all(a >= b for a, b in zip(noisy, noisy[1:]))
+
+
+class TestE9Shapes:
+    def test_accuracy_rises_with_redundancy(self, e9):
+        curve = e9.table()
+        for column in ("p=0.6", "p=0.8"):
+            values = curve.column(column)
+            assert values[-1] > values[0]
+
+    def test_empirical_beats_bound(self, e9):
+        curve = e9.table()
+        for p in ("0.6", "0.8"):
+            empirical = curve.column(f"p={p}")
+            bound = curve.column(f"bound_p={p}")
+            assert all(e >= b - 0.05 for e, b in zip(empirical, bound))
+
+    def test_weighted_and_em_dominate_majority(self, e9):
+        comparison = {r["aggregator"]: r for r in e9.tables[1].rows_as_dicts()}
+        assert comparison["weighted"]["accuracy"] >= (
+            comparison["majority"]["accuracy"] - 1e-9
+        )
+        assert comparison["one_coin_em"]["accuracy"] >= (
+            comparison["majority"]["accuracy"] - 1e-9
+        )
+
+    def test_all_gold_tasks_decided(self, e9):
+        comparison = e9.tables[1]
+        decided = comparison.column("tasks_decided")
+        assert len(set(decided)) == 1  # every aggregator decided all

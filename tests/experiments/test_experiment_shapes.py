@@ -1,0 +1,189 @@
+"""Shape assertions for E1-E7 at small scale.
+
+These tests assert the *qualitative* results DESIGN.md promises — who
+wins, roughly by how much, where crossovers fall — not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.experiments.e1_assignment_discrimination import run as run_e1
+from repro.experiments.e2_transparency_retention import run as run_e2
+from repro.experiments.e3_compensation_fairness import run as run_e3
+from repro.experiments.e4_axiom_benchmarks import run as run_e4
+from repro.experiments.e5_malice_detection import run as run_e5
+from repro.experiments.e6_dsl_expressiveness import run as run_e6
+from repro.experiments.e7_frontier import run as run_e7
+
+
+@pytest.fixture(scope="module")
+def e1():
+    return run_e1(n_workers=40, n_tasks=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def e2():
+    return run_e2(n_workers=40, rounds=10, tasks_per_round=20, seed=7,
+                  policies=("opaque", "full"))
+
+
+@pytest.fixture(scope="module")
+def e3():
+    return run_e3(n_workers=30, rounds=6, tasks_per_round=15, seed=11)
+
+
+@pytest.fixture(scope="module")
+def e5():
+    return run_e5(n_workers=20, n_tasks=24, redundancy=5,
+                  spam_fractions=(0.2, 0.4), seed=3)
+
+
+@pytest.fixture(scope="module")
+def e7():
+    return run_e7(n_workers=30, n_tasks=20, seed=5,
+                  epsilons=(0.0, 0.5, 1.0))
+
+
+class TestE1Shapes:
+    def test_requester_centric_is_discriminatory(self, e1):
+        rows = {r["assigner"]: r for r in e1.table().rows_as_dicts()}
+        assert rows["requester_centric"]["disparate_impact"] < 0.8
+
+    def test_round_robin_is_fair(self, e1):
+        rows = {r["assigner"]: r for r in e1.table().rows_as_dicts()}
+        assert rows["round_robin"]["disparate_impact"] > 0.8
+
+    def test_fairness_constrained_beats_requester_centric_parity(self, e1):
+        rows = {r["assigner"]: r for r in e1.table().rows_as_dicts()}
+        constrained = next(
+            v for k, v in rows.items() if k.startswith("fairness_constrained")
+        )
+        assert constrained["disparate_impact"] > (
+            rows["requester_centric"]["disparate_impact"]
+        )
+
+    def test_requester_centric_maximizes_gain_among_greedy(self, e1):
+        rows = {r["assigner"]: r for r in e1.table().rows_as_dicts()}
+        assert rows["requester_centric"]["requester_gain"] >= (
+            rows["round_robin"]["requester_gain"]
+        )
+
+    def test_hungarian_at_least_greedy(self, e1):
+        rows = {r["assigner"]: r for r in e1.table().rows_as_dicts()}
+        assert rows["hungarian_requester"]["requester_gain"] >= (
+            rows["requester_centric"]["requester_gain"] - 1e-9
+        )
+
+
+class TestE2Shapes:
+    def test_transparency_improves_retention(self, e2):
+        rows = {r["policy"]: r for r in e2.table().rows_as_dicts()}
+        assert rows["full"]["retention"] >= rows["opaque"]["retention"]
+
+    def test_curves_have_expected_length(self, e2):
+        curve_table = e2.tables[1]
+        assert len(curve_table.rows) == 10
+
+    def test_coverage_reported(self, e2):
+        rows = {r["policy"]: r for r in e2.table().rows_as_dicts()}
+        assert rows["opaque"]["coverage"] == 0.0
+        assert rows["full"]["coverage"] == 1.0
+
+
+class TestE3Shapes:
+    def test_fair_regimes_have_no_quality_aware_violations(self, e3):
+        rows = {r["regime"]: r for r in e3.table().rows_as_dicts()}
+        assert rows["fixed_reward"]["axiom3_violations"] == 0
+        assert rows["quality_based"]["axiom3_violations"] == 0
+
+    def test_unfair_regimes_flagged(self, e3):
+        rows = {r["regime"]: r for r in e3.table().rows_as_dicts()}
+        assert rows["wage_theft"]["axiom3_violations"] > 0
+        assert rows["biased_review"]["axiom3_violations"] > 0
+
+    def test_unfair_regimes_depress_quality_and_retention(self, e3):
+        rows = {r["regime"]: r for r in e3.table().rows_as_dicts()}
+        assert rows["wage_theft"]["mean_quality"] < (
+            rows["fixed_reward"]["mean_quality"]
+        )
+        assert rows["wage_theft"]["retention"] <= (
+            rows["fixed_reward"]["retention"]
+        )
+
+    def test_strict_reading_flags_quality_based(self, e3):
+        ablation = {r["regime"]: r for r in e3.tables[1].rows_as_dicts()}
+        assert ablation["quality_based"]["strict_violations"] > 0
+        assert ablation["fixed_reward"]["strict_violations"] == 0
+
+
+class TestE4Shapes:
+    def test_perfect_precision_recall(self):
+        result = run_e4(seed=0)
+        per_axiom = result.table()
+        assert all(p == 1.0 for p in per_axiom.column("precision"))
+        assert all(r == 1.0 for r in per_axiom.column("recall"))
+
+    def test_every_scenario_exact_match(self):
+        result = run_e4(seed=0)
+        detail = result.tables[1]
+        assert all(detail.column("exact_match"))
+
+
+class TestE5Shapes:
+    def test_ensemble_at_least_timing(self, e5):
+        rows = e5.table().rows_as_dicts()
+        by_key = {(r["spam_fraction"], r["detector"]): r["f1"] for r in rows}
+        for fraction in (0.2, 0.4):
+            assert by_key[(fraction, "ensemble")] >= (
+                by_key[(fraction, "timing")] - 1e-9
+            )
+
+    def test_detection_useful_at_forty_percent(self, e5):
+        rows = e5.table().rows_as_dicts()
+        ensemble = next(
+            r for r in rows
+            if r["detector"] == "ensemble" and r["spam_fraction"] == 0.4
+        )
+        assert ensemble["f1"] > 0.6  # Vuurens regime still detectable
+
+
+class TestE6Shapes:
+    def test_all_presets_expressible(self):
+        result = run_e6()
+        table = result.table()
+        assert all(table.column("round_trips"))
+
+    def test_turkopticon_superset_of_amt(self):
+        result = run_e6()
+        comparison = result.tables[1]
+        row = next(
+            r for r in comparison.rows_as_dicts()
+            if r["left"] == "amt_basic" and r["right"] == "amt_turkopticon"
+        )
+        assert row["right_superset"]
+        assert row["coverage_gap"] > 0
+
+
+class TestE7Shapes:
+    def test_epsilon_fair_gain_monotone_decreasing(self, e7):
+        rows = [
+            r for r in e7.table().rows_as_dicts()
+            if r["assigner"] == "epsilon_fair"
+        ]
+        gains = [r["requester_gain"] for r in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_epsilon_fair_parity_improves(self, e7):
+        rows = [
+            r for r in e7.table().rows_as_dicts()
+            if r["assigner"] == "epsilon_fair"
+        ]
+        assert rows[-1]["disparate_impact"] >= rows[0]["disparate_impact"]
+
+    def test_constrained_parity_tightens_with_lower_epsilon(self, e7):
+        rows = [
+            r for r in e7.table().rows_as_dicts()
+            if r["assigner"] == "fairness_constrained"
+        ]
+        # epsilon=0 (first row) is the most constrained -> best parity.
+        assert rows[0]["disparate_impact"] >= rows[-1]["disparate_impact"]

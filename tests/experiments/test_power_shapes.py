@@ -1,0 +1,73 @@
+"""Shape assertions for the E10 power analysis (small scale)."""
+
+import pytest
+
+from repro.experiments.e10_power_analysis import run as run_e10
+from repro.platform.visibility import BiasedVisibility
+
+
+@pytest.fixture(scope="module")
+def e10():
+    return run_e10(
+        bias_probabilities=(0.0, 0.5, 1.0),
+        n_workers=8, n_rounds=3, replications=5, seed=17,
+    )
+
+
+class TestE10Shapes:
+    def test_no_false_positives_at_zero_bias(self, e10):
+        rows = {r["bias_probability"]: r for r in e10.table().rows_as_dicts()}
+        assert rows[0.0]["detection_rate"] == 0.0
+        assert rows[0.0]["mean_score"] == 1.0
+
+    def test_full_power_at_total_bias(self, e10):
+        rows = {r["bias_probability"]: r for r in e10.table().rows_as_dicts()}
+        assert rows[1.0]["detection_rate"] == 1.0
+
+    def test_violations_monotone_in_bias(self, e10):
+        violations = [
+            r["mean_violations"] for r in e10.table().rows_as_dicts()
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(violations, violations[1:]))
+
+    def test_score_monotone_decreasing_in_bias(self, e10):
+        scores = [r["mean_score"] for r in e10.table().rows_as_dicts()]
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+
+class TestStochasticBiasedVisibility:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            BiasedVisibility(attribute="g", disadvantaged_value="x",
+                             reward_ceiling=0.2, bias_probability=1.5)
+
+    def test_zero_probability_never_filters(self, vocabulary):
+        import random
+
+        from tests.conftest import make_task, make_worker
+
+        policy = BiasedVisibility(
+            attribute="group", disadvantaged_value="green",
+            reward_ceiling=0.2, bias_probability=0.0,
+        )
+        green = make_worker("w1", vocabulary, declared={"group": "green"})
+        tasks = [make_task("t1", vocabulary, reward=0.5)]
+        for seed in range(10):
+            assert policy.visible_tasks(green, tasks, random.Random(seed))
+
+    def test_partial_probability_sometimes_filters(self, vocabulary):
+        import random
+
+        from tests.conftest import make_task, make_worker
+
+        policy = BiasedVisibility(
+            attribute="group", disadvantaged_value="green",
+            reward_ceiling=0.2, bias_probability=0.5,
+        )
+        green = make_worker("w1", vocabulary, declared={"group": "green"})
+        tasks = [make_task("t1", vocabulary, reward=0.5)]
+        rng = random.Random(0)
+        outcomes = {
+            bool(policy.visible_tasks(green, tasks, rng)) for _ in range(40)
+        }
+        assert outcomes == {True, False}

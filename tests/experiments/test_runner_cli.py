@@ -1,0 +1,69 @@
+"""Unit tests for the experiment runner registry and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ReproError
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiment_runner,
+    run_experiment,
+)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+
+    def test_experiment_runner_resolves(self):
+        runner = experiment_runner("e4")  # case-insensitive
+        assert callable(runner)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            experiment_runner("E99")
+
+    def test_run_experiment_forwards_kwargs(self):
+        result = run_experiment("E6")
+        assert result.experiment_id == "E6"
+        assert result.tables
+
+    def test_result_render(self):
+        result = run_experiment("E4", seed=0)
+        text = result.render()
+        assert text.startswith("=== E4")
+        assert "precision" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E7" in output
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["E6"]) == 0
+        output = capsys.readouterr().out
+        assert "E6: preset policies" in output
+
+    def test_seed_forwarded(self, capsys):
+        assert main(["E4", "--seed", "1"]) == 0
+        assert "per-axiom detection" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert args.seed is None
+        assert args.format == "text"
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["E6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "E6"
+        assert payload[0]["tables"][0]["rows"]

@@ -1,0 +1,62 @@
+"""Unit tests for the Table/series output helpers."""
+
+import pytest
+
+from repro.experiments.tables import Table, series_table
+
+
+class TestTable:
+    def test_add_and_column(self):
+        table = Table(title="t", columns=("name", "value"))
+        table.add_row("a", 1.0)
+        table.add_row("b", 2.0)
+        assert table.column("value") == [1.0, 2.0]
+        assert table.column("name") == ["a", "b"]
+
+    def test_wrong_arity_rejected(self):
+        table = Table(title="t", columns=("a", "b"))
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_unknown_column(self):
+        table = Table(title="t", columns=("a",))
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_row_dicts(self):
+        table = Table(title="t", columns=("a", "b"))
+        table.add_row(1, 2)
+        assert table.row_dict(0) == {"a": 1, "b": 2}
+        assert table.rows_as_dicts() == [{"a": 1, "b": 2}]
+
+    def test_render_alignment_and_formatting(self):
+        table = Table(title="demo", columns=("name", "score", "ok"))
+        table.add_row("longish-name", 0.12345, True)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.123" in text  # default 3-digit floats
+        assert "yes" in text    # booleans humanized
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_render_empty(self):
+        table = Table(title="empty", columns=("a", "b"))
+        text = table.render()
+        assert "a" in text and "b" in text
+
+    def test_float_precision(self):
+        table = Table(title="t", columns=("x",), float_precision=1)
+        table.add_row(0.46)
+        assert "0.5" in table.render()
+
+
+class TestSeriesTable:
+    def test_series(self):
+        table = series_table(
+            "fig", "round",
+            series={"a": [1.0, 2.0], "b": [3.0, 4.0]},
+            x_values=[1, 2],
+        )
+        assert table.columns == ("round", "a", "b")
+        assert table.column("a") == [1.0, 2.0]
+        assert table.column("round") == [1, 2]

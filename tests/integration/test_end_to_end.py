@@ -1,0 +1,128 @@
+"""Integration tests: full pipelines across modules.
+
+Each test wires several subsystems together the way a downstream user
+would: simulate a market, enforce a policy, audit the trace, compute
+the Section 4 measures.
+"""
+
+import pytest
+
+from repro.assignment import FairnessConstrainedAssigner, RequesterCentricAssigner
+from repro.core.audit import AuditEngine
+from repro.core.entities import Requester
+from repro.malice import EnsembleDetector, evaluate_detector
+from repro.metrics.parity import assignment_disparate_impact
+from repro.metrics.quality import mean_quality
+from repro.metrics.retention import retention_rate
+from repro.platform.review import SilentRejectReview
+from repro.platform.session import Session, SessionConfig
+from repro.transparency.enforcement import PolicyEnforcer
+from repro.transparency.presets import preset
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream
+from repro.workloads.workers import PopulationSpec, population
+
+
+def _requester():
+    return Requester(
+        requester_id="r0001", name="acme", hourly_wage=6.0, payment_delay=5,
+        recruitment_criteria="any", rejection_criteria="low quality",
+    )
+
+
+def _run_market(assigner=None, transparency=None, review=None, seed=0,
+                behavior_mix=None, rounds=8, n_workers=30):
+    vocabulary = standard_vocabulary()
+    spec = PopulationSpec(
+        size=n_workers, seed=seed,
+        behavior_mix=behavior_mix or {"diligent": 0.7, "sloppy": 0.3},
+    )
+    workers, behaviors = population(spec, vocabulary)
+    stream = TaskStream(vocabulary=vocabulary, tasks_per_round=20,
+                        skills_per_task=1, gold_fraction=1.0)
+    config = SessionConfig(
+        rounds=rounds, tasks_per_round=20, seed=seed,
+        assigner=assigner, review_policy=review, transparency=transparency,
+    )
+    session = Session(
+        config=config, workers=workers, behaviors=behaviors,
+        requesters=[_requester()], task_factory=stream,
+    )
+    return session.run()
+
+
+class TestMarketAuditPipeline:
+    def test_transparent_fair_market_scores_high(self):
+        result = _run_market(transparency=PolicyEnforcer(preset("full")))
+        report = AuditEngine().audit(result.trace)
+        # Axioms 5-7 should be clean; axiom 6 passes because the fair
+        # review policy explains rejections and the policy discloses all.
+        assert report.result_for(5).passed
+        assert report.result_for(6).passed
+        assert report.result_for(7).passed
+        # Axiom 3 under the strict payload-only reading may flag the
+        # quality-threshold review (identical payloads, different latent
+        # quality, opposite verdicts) — the E3 ablation finding — so the
+        # overall score is high but not necessarily 1.0.
+        assert report.overall_score > 0.8
+
+    def test_opaque_market_fails_transparency_axioms(self):
+        result = _run_market(review=SilentRejectReview(threshold=0.6))
+        report = AuditEngine().audit(result.trace)
+        assert not report.result_for(6).passed
+        assert not report.result_for(7).passed
+
+    def test_fair_assigner_improves_group_parity(self):
+        unfair = _run_market(assigner=RequesterCentricAssigner(), seed=4)
+        fair = _run_market(
+            assigner=FairnessConstrainedAssigner("group", epsilon=0.05),
+            seed=4,
+        )
+        # Reputation differences in a session develop endogenously and
+        # stay small, so allow parity noise around the comparison.
+        assert assignment_disparate_impact(fair.trace) >= (
+            assignment_disparate_impact(unfair.trace) - 0.05
+        )
+
+    def test_section4_measures_computable(self):
+        result = _run_market()
+        assert 0.0 < mean_quality(result.trace) <= 1.0
+        assert 0.0 <= retention_rate(result.trace) <= 1.0
+
+
+class TestMaliceDetectionPipeline:
+    def test_spammers_detected_in_simulated_market(self):
+        result = _run_market(
+            behavior_mix={"diligent": 0.6, "spammer": 0.4},
+            rounds=10, seed=2,
+        )
+        # Ground truth: spammers have low mean latent quality.
+        from repro.metrics.quality import quality_by_worker
+
+        per_worker = quality_by_worker(result.trace)
+        truly_bad = {w for w, q in per_worker.items() if q < 0.35}
+        if not truly_bad:
+            pytest.skip("seed produced no active spammers")
+        outcome = evaluate_detector(
+            EnsembleDetector(), result.trace, truly_bad, threshold=0.5
+        )
+        assert outcome.recall > 0.5
+        assert outcome.precision > 0.5
+
+
+class TestTraceReplayability:
+    def test_audit_is_pure(self):
+        """Auditing the same trace twice yields identical reports."""
+        result = _run_market(seed=9)
+        engine = AuditEngine()
+        first = engine.audit(result.trace)
+        second = engine.audit(result.trace)
+        assert first.scores() == second.scores()
+        assert first.total_violations == second.total_violations
+
+    def test_trace_slicing_supports_windowed_audit(self):
+        result = _run_market(seed=9)
+        full = result.trace
+        window = full.slice(0, max(1, full.end_time // 2))
+        report = AuditEngine().audit(window)
+        assert report.trace_length <= len(full)

@@ -1,0 +1,192 @@
+"""Unit tests for malice detectors and their evaluation harness."""
+
+import pytest
+
+from repro.core.entities import Contribution
+from repro.core.events import ContributionSubmitted, TaskPosted, WorkerRegistered
+from repro.core.trace import PlatformTrace
+from repro.malice import (
+    AgreementDetector,
+    DetectionOutcome,
+    EnsembleDetector,
+    GoldStandardDetector,
+    TimingDetector,
+    evaluate_detector,
+    flag_workers,
+    majority_answers,
+)
+
+from tests.conftest import make_task, make_worker
+
+
+def _trace_with_answers(vocabulary, answers, gold="A", duration=4,
+                        work_times=None):
+    """``answers[worker_id]`` is the list of payloads over tasks t1..tn."""
+    n_tasks = max(len(v) for v in answers.values())
+    trace = PlatformTrace()
+    for worker_id in answers:
+        trace.append(
+            WorkerRegistered(time=0, worker=make_worker(worker_id, vocabulary))
+        )
+    for i in range(n_tasks):
+        trace.append(
+            TaskPosted(
+                time=0,
+                task=make_task(f"t{i+1}", vocabulary, gold_answer=gold,
+                               duration=duration),
+            )
+        )
+    counter = 0
+    for worker_id, payloads in answers.items():
+        for i, payload in enumerate(payloads):
+            counter += 1
+            work_time = (work_times or {}).get(worker_id, duration)
+            trace.append(
+                ContributionSubmitted(
+                    time=1,
+                    contribution=Contribution(
+                        f"c{counter}", f"t{i+1}", worker_id, payload,
+                        submitted_at=1, work_time=work_time,
+                    ),
+                )
+            )
+    return trace
+
+
+class TestGoldStandard:
+    def test_scores_error_rates(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary,
+            {"honest": ["A"] * 5, "spam": ["B"] * 5},
+        )
+        scores = GoldStandardDetector(min_gold=3).score_workers(trace)
+        assert scores["honest"] == 0.0
+        assert scores["spam"] == 1.0
+
+    def test_min_gold_gate(self, vocabulary):
+        trace = _trace_with_answers(vocabulary, {"w": ["B", "B"]})
+        scores = GoldStandardDetector(min_gold=3).score_workers(trace)
+        assert "w" not in scores
+
+    def test_ignores_tasks_without_gold(self, vocabulary):
+        trace = _trace_with_answers(vocabulary, {"w": ["B"] * 5}, gold=None)
+        assert GoldStandardDetector().score_workers(trace) == {}
+
+
+class TestAgreement:
+    def test_majority_answers(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary,
+            {"w1": ["A"], "w2": ["A"], "w3": ["B"]},
+        )
+        assert majority_answers(trace) == {"t1": "A"}
+
+    def test_tie_has_no_majority(self, vocabulary):
+        trace = _trace_with_answers(vocabulary, {"w1": ["A"], "w2": ["B"]})
+        assert majority_answers(trace) == {}
+
+    def test_single_answer_no_majority(self, vocabulary):
+        trace = _trace_with_answers(vocabulary, {"w1": ["A"]})
+        assert majority_answers(trace) == {}
+
+    def test_scores_disagreement(self, vocabulary):
+        answers = {
+            "w1": ["A", "A", "A", "A"],
+            "w2": ["A", "A", "A", "A"],
+            "spam": ["B", "C", "B", "D"],
+        }
+        scores = AgreementDetector(min_answers=3).score_workers(
+            _trace_with_answers(vocabulary, answers)
+        )
+        assert scores["spam"] == 1.0
+        assert scores["w1"] == 0.0
+
+    def test_list_payloads_hashable(self, vocabulary):
+        answers = {"w1": [["x", "y"]], "w2": [["x", "y"]], "w3": [["y", "x"]]}
+        trace = _trace_with_answers(vocabulary, answers)
+        assert majority_answers(trace) == {"t1": ("x", "y")}
+
+    def test_float_payloads_bucketed(self, vocabulary):
+        answers = {"w1": [10.01], "w2": [10.02], "w3": [99.0]}
+        trace = _trace_with_answers(vocabulary, answers)
+        assert majority_answers(trace)["t1"] == 10.0
+
+
+class TestTiming:
+    def test_fast_workers_flagged(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary,
+            {"fast": ["A"] * 4, "slow": ["A"] * 4},
+            duration=4,
+            work_times={"fast": 1, "slow": 4},
+        )
+        scores = TimingDetector(min_answers=3).score_workers(trace)
+        assert scores["fast"] == 1.0
+        assert scores["slow"] == 0.0
+
+    def test_short_tasks_carry_no_signal(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary, {"w": ["A"] * 4}, duration=1, work_times={"w": 1}
+        )
+        assert TimingDetector().score_workers(trace) == {}
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            TimingDetector(fast_fraction=0.0)
+
+
+class TestEnsemble:
+    def test_combines_members(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary,
+            {"honest": ["A"] * 5, "spam": ["B"] * 5, "w3": ["A"] * 5},
+            duration=4,
+            work_times={"honest": 4, "spam": 1, "w3": 4},
+        )
+        scores = EnsembleDetector().score_workers(trace)
+        assert scores["spam"] > scores["honest"]
+        assert scores["spam"] >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector(members=())
+        with pytest.raises(ValueError):
+            EnsembleDetector(members=((GoldStandardDetector(), 0.0),))
+
+
+class TestEvaluation:
+    def test_flag_workers_threshold(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary, {"honest": ["A"] * 5, "spam": ["B"] * 5}
+        )
+        detector = GoldStandardDetector(min_gold=3)
+        assert flag_workers(detector, trace, threshold=0.5) == {"spam"}
+        with pytest.raises(ValueError):
+            flag_workers(detector, trace, threshold=2.0)
+
+    def test_evaluate_detector_confusion(self, vocabulary):
+        trace = _trace_with_answers(
+            vocabulary,
+            {"honest": ["A"] * 5, "spam": ["B"] * 5, "sneaky": ["A"] * 5},
+        )
+        outcome = evaluate_detector(
+            GoldStandardDetector(min_gold=3), trace,
+            ground_truth_malicious={"spam", "sneaky"},
+        )
+        assert outcome.true_positives == 1   # spam caught
+        assert outcome.false_negatives == 1  # sneaky missed
+        assert outcome.true_negatives == 1   # honest cleared
+        assert outcome.false_positives == 0
+        assert outcome.precision == 1.0
+        assert outcome.recall == 0.5
+        assert 0.0 < outcome.f1 < 1.0
+        assert outcome.accuracy == pytest.approx(2 / 3)
+
+    def test_outcome_degenerate_cases(self):
+        empty = DetectionOutcome("d", 0, 0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert empty.f1 == 1.0
+        assert empty.accuracy == 1.0
+        all_wrong = DetectionOutcome("d", 0, 1, 1, 0)
+        assert all_wrong.f1 == 0.0

@@ -1,0 +1,98 @@
+"""Unit + property tests for inequality indexes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.inequality import atkinson_index, gini_coefficient, theil_index
+
+values_strategy = st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=30)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_total_concentration(self):
+        # One person has everything: gini -> (n-1)/n.
+        assert gini_coefficient([0.0, 0.0, 0.0, 12.0]) == pytest.approx(0.75)
+
+    def test_known_value(self):
+        assert gini_coefficient([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_degenerate(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0])
+
+    @given(values_strategy)
+    def test_bounded(self, values):
+        assert 0.0 <= gini_coefficient(values) <= 1.0
+
+    @given(values_strategy, st.floats(0.1, 10.0))
+    def test_scale_invariant(self, values, scale):
+        base = gini_coefficient(values)
+        scaled = gini_coefficient([v * scale for v in values])
+        assert scaled == pytest.approx(base, abs=1e-9)
+
+    @given(values_strategy)
+    def test_permutation_invariant(self, values):
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(sorted(values, reverse=True))
+        )
+
+
+class TestAtkinson:
+    def test_equality(self):
+        assert atkinson_index([2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_inequality_positive(self):
+        assert atkinson_index([1.0, 9.0]) > 0.0
+
+    def test_epsilon_one_geometric(self):
+        values = [1.0, 4.0]
+        expected = 1.0 - math.sqrt(4.0) / 2.5
+        assert atkinson_index(values, epsilon=1.0) == pytest.approx(expected)
+
+    def test_epsilon_one_with_zero(self):
+        assert atkinson_index([0.0, 4.0], epsilon=1.0) == 1.0
+
+    def test_degenerate(self):
+        assert atkinson_index([]) == 0.0
+        assert atkinson_index([0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            atkinson_index([1.0], epsilon=0.0)
+        with pytest.raises(ValueError):
+            atkinson_index([-1.0])
+
+    @given(values_strategy, st.floats(0.1, 1.0))
+    def test_bounded(self, values, epsilon):
+        assert 0.0 <= atkinson_index(values, epsilon) <= 1.0 + 1e-9
+
+
+class TestTheil:
+    def test_equality(self):
+        assert theil_index([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_max_concentration(self):
+        # One of n has everything: T = log(n).
+        assert theil_index([0.0, 0.0, 9.0]) == pytest.approx(math.log(3))
+
+    def test_degenerate(self):
+        assert theil_index([]) == 0.0
+        assert theil_index([0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theil_index([-1.0])
+
+    @given(values_strategy)
+    def test_non_negative_and_bounded(self, values):
+        index = theil_index(values)
+        assert -1e-12 <= index <= math.log(len(values)) + 1e-9

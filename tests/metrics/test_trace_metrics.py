@@ -1,0 +1,157 @@
+"""Unit tests for quality, retention, parity, and earnings metrics."""
+
+import pytest
+
+from repro.core.entities import Contribution
+from repro.core.events import (
+    AssignmentMade,
+    ContributionReviewed,
+    ContributionSubmitted,
+    PaymentIssued,
+    TaskPosted,
+    TasksShown,
+    WorkerDeparted,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+from repro.metrics.earnings import (
+    effective_hourly_wages,
+    requester_utility,
+    total_platform_volume,
+    worker_earnings,
+)
+from repro.metrics.parity import (
+    disparate_impact,
+    exposure_by_group,
+    statistical_parity_difference,
+)
+from repro.metrics.quality import (
+    accuracy_against_gold,
+    mean_quality,
+    quality_by_group,
+    quality_by_worker,
+)
+from repro.metrics.retention import dropout_reasons, retention_rate, survival_curve
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def rich_trace(vocabulary):
+    """Two groups, one task each, one departure, payments recorded."""
+    trace = PlatformTrace()
+    blue = make_worker("w1", vocabulary, declared={"group": "blue"})
+    green = make_worker("w2", vocabulary, declared={"group": "green"})
+    trace.append(WorkerRegistered(time=0, worker=blue))
+    trace.append(WorkerRegistered(time=0, worker=green))
+    task = make_task("t1", vocabulary, reward=0.4, gold_answer="A")
+    trace.append(TaskPosted(time=0, task=task))
+    trace.append(TasksShown(time=0, worker_id="w1", task_ids=frozenset({"t1"})))
+    trace.append(TasksShown(time=0, worker_id="w2", task_ids=frozenset({"t1"})))
+    trace.append(AssignmentMade(time=1, worker_id="w1", task_id="t1"))
+    trace.append(AssignmentMade(time=1, worker_id="w2", task_id="t1"))
+    contributions = [
+        Contribution("c1", "t1", "w1", "A", submitted_at=2, quality=0.9,
+                     work_time=2),
+        Contribution("c2", "t1", "w2", "B", submitted_at=2, quality=0.5,
+                     work_time=4),
+    ]
+    for contribution in contributions:
+        trace.append(ContributionSubmitted(time=2, contribution=contribution))
+    trace.append(
+        ContributionReviewed(time=3, contribution_id="c1", task_id="t1",
+                             worker_id="w1", accepted=True, feedback="ok")
+    )
+    trace.append(
+        ContributionReviewed(time=3, contribution_id="c2", task_id="t1",
+                             worker_id="w2", accepted=False, feedback="bad")
+    )
+    trace.append(
+        PaymentIssued(time=4, worker_id="w1", task_id="t1",
+                      contribution_id="c1", amount=0.4)
+    )
+    trace.append(WorkerDeparted(time=10, worker_id="w2", reason="dissatisfied"))
+    return trace
+
+
+class TestQualityMetrics:
+    def test_mean_quality(self, rich_trace):
+        assert mean_quality(rich_trace) == pytest.approx(0.7)
+        assert mean_quality(PlatformTrace()) == 0.0
+
+    def test_accuracy_against_gold(self, rich_trace):
+        assert accuracy_against_gold(rich_trace) == pytest.approx(0.5)
+        assert accuracy_against_gold(PlatformTrace()) == 1.0
+
+    def test_quality_by_worker(self, rich_trace):
+        per_worker = quality_by_worker(rich_trace)
+        assert per_worker["w1"] == pytest.approx(0.9)
+        assert per_worker["w2"] == pytest.approx(0.5)
+
+    def test_quality_by_group(self, rich_trace):
+        per_group = quality_by_group(rich_trace)
+        assert per_group["blue"] == pytest.approx(0.9)
+        assert per_group["green"] == pytest.approx(0.5)
+
+
+class TestRetentionMetrics:
+    def test_retention_rate(self, rich_trace):
+        assert retention_rate(rich_trace) == pytest.approx(0.5)
+        assert retention_rate(PlatformTrace()) == 1.0
+
+    def test_survival_curve_decreasing(self, rich_trace):
+        curve = survival_curve(rich_trace, buckets=5)
+        assert len(curve) == 5
+        assert curve[0] == 1.0
+        assert curve[-1] == pytest.approx(0.5)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_survival_curve_validation(self, rich_trace):
+        with pytest.raises(ValueError):
+            survival_curve(rich_trace, buckets=0)
+
+    def test_dropout_reasons(self, rich_trace):
+        assert dropout_reasons(rich_trace) == {"dissatisfied": 1}
+
+
+class TestParityMetrics:
+    def test_exposure_by_group(self, rich_trace):
+        exposures = exposure_by_group(rich_trace)
+        assert exposures["blue"].workers == 1
+        assert exposures["blue"].tasks_shown == 1
+        assert exposures["blue"].tasks_assigned == 1
+        assert exposures["blue"].total_paid == pytest.approx(0.4)
+        assert exposures["green"].total_paid == 0.0
+        assert exposures["blue"].paid_per_worker == pytest.approx(0.4)
+
+    def test_disparate_impact(self):
+        assert disparate_impact({"a": 2.0, "b": 1.0}) == 0.5
+        assert disparate_impact({"a": 1.0, "b": 1.0}) == 1.0
+        assert disparate_impact({"a": 1.0}) == 1.0
+        assert disparate_impact({"a": 0.0, "b": 0.0}) == 1.0
+        with pytest.raises(ValueError):
+            disparate_impact({"a": -1.0, "b": 1.0})
+
+    def test_statistical_parity_difference(self):
+        assert statistical_parity_difference({"a": 0.8, "b": 0.3}) == (
+            pytest.approx(0.5)
+        )
+        assert statistical_parity_difference({"a": 1.0}) == 0.0
+
+
+class TestEarningsMetrics:
+    def test_worker_earnings(self, rich_trace):
+        assert worker_earnings(rich_trace) == {"w1": pytest.approx(0.4)}
+
+    def test_effective_hourly_wages(self, rich_trace):
+        wages = effective_hourly_wages(rich_trace)
+        assert wages["w1"] == pytest.approx(0.2)  # 0.4 over 2 ticks
+        assert wages["w2"] == 0.0                 # worked 4 ticks, unpaid
+
+    def test_requester_utility(self, rich_trace):
+        utility = requester_utility(rich_trace)
+        # Accepted: 0.9 quality x 0.4 reward - 0.4 paid; rejected: -0.
+        assert utility["r0001"] == pytest.approx(0.9 * 0.4 - 0.4)
+
+    def test_total_platform_volume(self, rich_trace):
+        assert total_platform_volume(rich_trace) == pytest.approx(0.4)

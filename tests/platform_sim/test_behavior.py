@@ -1,0 +1,142 @@
+"""Unit tests for worker behaviour models."""
+
+import random
+
+import pytest
+
+from repro.platform.behavior import (
+    DiligentBehavior,
+    MaliciousBehavior,
+    SloppyBehavior,
+    SpammerBehavior,
+    behavior_named,
+)
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def label_task(vocabulary):
+    return make_task("t1", vocabulary, gold_answer="A", duration=3)
+
+
+class TestDiligent:
+    def test_high_quality(self, vocabulary, worker, label_task):
+        rng = random.Random(0)
+        products = [
+            DiligentBehavior().produce(worker, label_task, rng)
+            for _ in range(50)
+        ]
+        assert all(0.8 <= p.quality <= 1.0 for p in products)
+        correct = sum(1 for p in products if p.payload == "A")
+        assert correct >= 40  # ~90% accuracy
+
+    def test_work_time_near_duration(self, vocabulary, worker, label_task):
+        rng = random.Random(0)
+        product = DiligentBehavior().produce(worker, label_task, rng)
+        assert product.work_time >= label_task.duration
+
+
+class TestSpammer:
+    def test_fast_and_inaccurate(self, vocabulary, worker, label_task):
+        rng = random.Random(0)
+        products = [
+            SpammerBehavior().produce(worker, label_task, rng)
+            for _ in range(50)
+        ]
+        assert all(p.work_time == 1 for p in products)
+        assert all(p.quality <= 0.3 for p in products)
+        correct = sum(1 for p in products if p.payload == "A")
+        assert correct < 30
+
+
+class TestMalicious:
+    def test_wrong_but_unhurried(self, vocabulary, worker, label_task):
+        rng = random.Random(0)
+        products = [
+            MaliciousBehavior().produce(worker, label_task, rng)
+            for _ in range(50)
+        ]
+        assert all(p.quality <= 0.1 for p in products)
+        # Plausible work times (not the 1-tick spammer signature).
+        assert sum(p.work_time for p in products) / 50 > 1.5
+
+
+class TestSloppy:
+    def test_intermediate_quality(self, vocabulary, worker, label_task):
+        rng = random.Random(0)
+        qualities = [
+            SloppyBehavior().produce(worker, label_task, rng).quality
+            for _ in range(50)
+        ]
+        mean = sum(qualities) / len(qualities)
+        assert 0.5 < mean < 0.8
+
+
+class TestPayloadKinds:
+    def test_text_payload(self, vocabulary, worker):
+        task = make_task("t1", vocabulary, kind="text")
+        rng = random.Random(0)
+        product = DiligentBehavior().produce(worker, task, rng)
+        assert isinstance(product.payload, str)
+        assert len(product.payload.split()) >= 4
+
+    def test_honest_text_answers_are_similar(self, vocabulary, worker):
+        from repro.similarity.text import ngram_similarity
+
+        task = make_task("t1", vocabulary, kind="text")
+        rng = random.Random(0)
+        first = DiligentBehavior().produce(worker, task, rng).payload
+        second = DiligentBehavior().produce(worker, task, rng).payload
+        spam = SpammerBehavior().produce(worker, task, rng).payload
+        assert ngram_similarity(str(first), str(second)) > ngram_similarity(
+            str(first), str(spam)
+        )
+
+    def test_ranking_payload(self, vocabulary, worker):
+        task = make_task("t1", vocabulary, kind="ranking")
+        rng = random.Random(0)
+        product = DiligentBehavior().produce(worker, task, rng)
+        assert isinstance(product.payload, tuple)
+        assert len(product.payload) == 5
+
+    def test_numeric_payload_near_truth(self, vocabulary, worker):
+        from repro.core.entities import Task
+
+        task = Task(
+            task_id="t1", requester_id="r0001",
+            required_skills=vocabulary.vector(()), reward=0.1,
+            kind="numeric", metadata={"truth": 100.0},
+        )
+        rng = random.Random(0)
+        values = [
+            float(DiligentBehavior().produce(worker, task, rng).payload)
+            for _ in range(20)
+        ]
+        assert all(80.0 <= v <= 120.0 for v in values)
+
+    def test_task_options_respected(self, vocabulary, worker):
+        from repro.core.entities import Task
+
+        task = Task(
+            task_id="t1", requester_id="r0001",
+            required_skills=vocabulary.vector(()), reward=0.1,
+            kind="label", gold_answer="yes",
+            metadata={"options": ("yes", "no")},
+        )
+        rng = random.Random(0)
+        payloads = {
+            SpammerBehavior().produce(worker, task, rng).payload
+            for _ in range(30)
+        }
+        assert payloads <= {"yes", "no"}
+
+
+class TestRegistry:
+    def test_behavior_named(self):
+        assert behavior_named("diligent").name == "diligent"
+        assert behavior_named("spammer").name == "spammer"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown behaviour"):
+            behavior_named("saint")

@@ -1,0 +1,79 @@
+"""Unit tests for the pending-payment (contractual delay) mechanism."""
+
+import pytest
+
+from repro.compensation.discriminatory import DelayedPaymentScheme
+from repro.core.events import PaymentIssued
+from repro.platform.behavior import DiligentBehavior
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def delayed_platform(requester, vocabulary):
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.3),
+        pricing=DelayedPaymentScheme(delay_ticks=10),
+        seed=0,
+    )
+    platform.register_requester(requester)
+    platform.register_worker(make_worker("w0001", vocabulary))
+    platform.post_task(make_task("t1", vocabulary, reward=0.3))
+    return platform
+
+
+class TestDelayedPayments:
+    def test_payment_queued_not_issued(self, delayed_platform):
+        delayed_platform.start_work("w0001", "t1")
+        _, accepted, amount = delayed_platform.process_contribution(
+            "w0001", "t1", DiligentBehavior()
+        )
+        assert accepted
+        assert amount == pytest.approx(0.3)  # owed
+        assert delayed_platform.pending_payment_count == 1
+        assert delayed_platform.trace.of_kind(PaymentIssued) == []
+        assert delayed_platform.ledger.balance("w0001") == 0.0
+
+    def test_settles_after_delay(self, delayed_platform):
+        delayed_platform.start_work("w0001", "t1")
+        delayed_platform.process_contribution("w0001", "t1", DiligentBehavior())
+        submitted_at = delayed_platform.now
+        # Not yet due.
+        assert delayed_platform.settle_due_payments() == 0
+        delayed_platform.clock.tick(10)
+        assert delayed_platform.settle_due_payments() == 1
+        assert delayed_platform.pending_payment_count == 0
+        payment = delayed_platform.trace.of_kind(PaymentIssued)[0]
+        assert payment.time - submitted_at >= 10
+        assert delayed_platform.ledger.balance("w0001") == pytest.approx(0.3)
+
+    def test_settle_idempotent(self, delayed_platform):
+        delayed_platform.start_work("w0001", "t1")
+        delayed_platform.process_contribution("w0001", "t1", DiligentBehavior())
+        delayed_platform.clock.tick(10)
+        assert delayed_platform.settle_due_payments() == 1
+        assert delayed_platform.settle_due_payments() == 0
+
+    def test_rejected_work_never_queued(self, requester, vocabulary):
+        from repro.platform.behavior import SpammerBehavior
+
+        platform = CrowdsourcingPlatform(
+            review_policy=QualityThresholdReview(threshold=0.9),
+            pricing=DelayedPaymentScheme(delay_ticks=10),
+            seed=0,
+        )
+        platform.register_requester(requester)
+        platform.register_worker(make_worker("w0001", vocabulary))
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w0001", "t1")
+        platform.process_contribution("w0001", "t1", SpammerBehavior())
+        assert platform.pending_payment_count == 0
+
+    def test_undelayed_scheme_pays_immediately(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary, reward=0.2))
+        platform.start_work("w0001", "t1")
+        platform.process_contribution("w0001", "t1", DiligentBehavior())
+        assert platform.pending_payment_count == 0
+        assert len(platform.trace.of_kind(PaymentIssued)) == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the CrowdsourcingPlatform lifecycle."""
+
+import pytest
+
+from repro.core.entities import Requester
+from repro.core.events import (
+    AssignmentMade,
+    BonusPaid,
+    BonusPromised,
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    MaliceFlagged,
+    PaymentIssued,
+    TaskCancelled,
+    TaskInterrupted,
+    TaskPosted,
+    TasksShown,
+    TaskStarted,
+    WorkerDeparted,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.errors import SimulationError, UnknownEntityError
+from repro.platform.behavior import DiligentBehavior
+from repro.platform.market import CrowdsourcingPlatform
+
+from tests.conftest import make_task, make_worker
+
+
+class TestRegistration:
+    def test_double_worker_registration(self, platform, vocabulary):
+        with pytest.raises(SimulationError, match="already registered"):
+            platform.register_worker(make_worker("w0001", vocabulary))
+
+    def test_double_requester_registration(self, platform, requester):
+        with pytest.raises(SimulationError, match="already registered"):
+            platform.register_requester(requester)
+
+    def test_unknown_worker_lookup(self, platform):
+        with pytest.raises(UnknownEntityError):
+            platform.worker("nope")
+
+    def test_events_recorded(self, platform):
+        assert len(platform.trace.of_kind(WorkerRegistered)) == 2
+
+
+class TestTaskLifecycle:
+    def test_post_requires_known_requester(self, platform, vocabulary):
+        task = make_task("t1", vocabulary, requester_id="ghost")
+        with pytest.raises(UnknownEntityError, match="unknown requester"):
+            platform.post_task(task)
+
+    def test_double_post_rejected(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        with pytest.raises(SimulationError, match="already posted"):
+            platform.post_task(make_task("t1", vocabulary))
+
+    def test_browse_records_visibility(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        visible = platform.browse("w0001")
+        assert [t.task_id for t in visible] == ["t1"]
+        shown = platform.trace.of_kind(TasksShown)
+        assert shown[-1].task_ids == frozenset({"t1"})
+
+    def test_assign_requires_open_task(self, platform):
+        with pytest.raises(SimulationError, match="not open"):
+            platform.assign("w0001", "ghost")
+
+    def test_close_task_removes_from_pool(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        platform.close_task("t1")
+        assert platform.open_tasks == []
+
+    def test_cancel_interrupts_workers(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary, duration=5))
+        platform.start_work("w0001", "t1")
+        platform.start_work("w0002", "t1")
+        interrupted = platform.cancel_task("t1", reason="quota")
+        assert set(interrupted) == {"w0001", "w0002"}
+        events = platform.trace.of_kind(TaskInterrupted)
+        assert len(events) == 2
+        assert all(not e.worker_initiated for e in events)
+        assert len(platform.trace.of_kind(TaskCancelled)) == 1
+
+    def test_abandon_is_worker_initiated(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w0001", "t1")
+        platform.abandon_work("w0001", "t1", reason="too hard")
+        event = platform.trace.of_kind(TaskInterrupted)[0]
+        assert event.worker_initiated
+
+
+class TestWorkAndReview:
+    def test_submit_requires_start(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        with pytest.raises(SimulationError, match="must start"):
+            platform.submit_work("w0001", "t1", DiligentBehavior())
+
+    def test_full_cycle_updates_everything(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary, reward=0.25))
+        platform.start_work("w0001", "t1")
+        contribution, accepted, amount = platform.process_contribution(
+            "w0001", "t1", DiligentBehavior()
+        )
+        assert accepted
+        assert amount == pytest.approx(0.25)
+        assert platform.ledger.balance("w0001") == pytest.approx(0.25)
+        # Events in order: submitted, reviewed, (worker updated), paid.
+        assert len(platform.trace.of_kind(ContributionSubmitted)) == 1
+        assert len(platform.trace.of_kind(ContributionReviewed)) == 1
+        assert len(platform.trace.of_kind(PaymentIssued)) == 1
+        assert len(platform.trace.of_kind(WorkerUpdated)) == 1
+        # Clock advanced by the work time.
+        assert platform.now >= 1
+
+    def test_computed_attributes_updated(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w0001", "t1")
+        platform.process_contribution("w0001", "t1", DiligentBehavior())
+        worker = platform.worker("w0001")
+        assert worker.computed["acceptance_ratio"] == 1.0
+        assert worker.computed["tasks_completed"] == 1
+        assert worker.computed.derivation_consistent()
+
+    def test_rejected_work_unpaid_under_fixed_pricing(self, platform, vocabulary):
+        from repro.platform.behavior import SpammerBehavior
+
+        platform.post_task(make_task("t1", vocabulary, reward=0.25))
+        platform.start_work("w0001", "t1")
+        contribution, accepted, amount = platform.process_contribution(
+            "w0001", "t1", SpammerBehavior()
+        )
+        assert not accepted
+        assert amount == 0.0
+
+    def test_corrupt_computed_attributes_mode(self, vocabulary, requester):
+        platform = CrowdsourcingPlatform(corrupt_computed_attributes=True, seed=0)
+        platform.register_requester(requester)
+        platform.register_worker(make_worker("w0001", vocabulary))
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w0001", "t1")
+        platform.process_contribution("w0001", "t1", DiligentBehavior())
+        worker = platform.worker("w0001")
+        assert not worker.computed.derivation_consistent()
+
+
+class TestBonusesFlagsDisclosures:
+    def test_bonus_events(self, platform):
+        platform.promise_bonus("r0001", "w0001", 0.5, condition="streak")
+        platform.pay_bonus("r0001", "w0001", 0.5)
+        assert len(platform.trace.of_kind(BonusPromised)) == 1
+        assert len(platform.trace.of_kind(BonusPaid)) == 1
+        assert platform.ledger.unpaid_promises() == []
+
+    def test_malice_flag_event(self, platform):
+        platform.flag_malice("w0001", detector="gold", score=0.9)
+        event = platform.trace.of_kind(MaliceFlagged)[0]
+        assert event.worker_id == "w0001"
+        assert event.score == 0.9
+
+    def test_disclosure_event(self, platform):
+        platform.disclose("requester:r0001", "hourly_wage", 6.0)
+        event = platform.trace.of_kind(DisclosureShown)[0]
+        assert event.subject == "requester:r0001"
+        assert event.value == 6.0
+
+
+class TestDeparture:
+    def test_depart_removes_from_active(self, platform):
+        platform.depart_worker("w0001", reason="fed up")
+        assert platform.has_departed("w0001")
+        active_ids = {w.worker_id for w in platform.active_workers}
+        assert active_ids == {"w0002"}
+        assert len(platform.trace.of_kind(WorkerDeparted)) == 1
+
+    def test_double_departure_idempotent(self, platform):
+        platform.depart_worker("w0001")
+        platform.depart_worker("w0001")
+        assert len(platform.trace.of_kind(WorkerDeparted)) == 1
+
+    def test_departed_worker_cannot_browse(self, platform, vocabulary):
+        platform.post_task(make_task("t1", vocabulary))
+        platform.depart_worker("w0001")
+        with pytest.raises(SimulationError, match="departed"):
+            platform.browse("w0001")

@@ -1,0 +1,70 @@
+"""Unit tests for the payment ledger."""
+
+import pytest
+
+from repro.errors import CompensationError
+from repro.platform.payment import PaymentLedger
+
+
+class TestPayments:
+    def test_pay_and_balance(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, "w1", "t1", "c1", 0.1)
+        ledger.pay(2, "w1", "t2", "c2", 0.2)
+        ledger.pay(2, "w2", "t1", "c3", 0.3)
+        assert ledger.balance("w1") == pytest.approx(0.3)
+        assert ledger.balances() == {
+            "w1": pytest.approx(0.3), "w2": pytest.approx(0.3)
+        }
+
+    def test_zero_payment_allowed(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, "w1", "t1", "c1", 0.0)
+        assert ledger.balance("w1") == 0.0
+
+    def test_negative_payment_rejected(self):
+        with pytest.raises(CompensationError):
+            PaymentLedger().pay(1, "w1", "t1", "c1", -0.1)
+
+    def test_paid_for_contribution(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, "w1", "t1", "c1", 0.1)
+        assert ledger.paid_for("c1") == pytest.approx(0.1)
+        assert ledger.paid_for("c9") == 0.0
+
+    def test_total_paid(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, "w1", "t1", "c1", 0.1)
+        ledger.promise_bonus(1, "r1", "w1", 0.5)
+        ledger.pay_bonus(2, "r1", "w1", 0.5)
+        assert ledger.total_paid() == pytest.approx(0.6)
+
+
+class TestBonuses:
+    def test_promise_validation(self):
+        with pytest.raises(CompensationError):
+            PaymentLedger().promise_bonus(0, "r1", "w1", 0.0)
+        with pytest.raises(CompensationError):
+            PaymentLedger().pay_bonus(0, "r1", "w1", -1.0)
+
+    def test_unpaid_promises_settlement(self):
+        ledger = PaymentLedger()
+        ledger.promise_bonus(0, "r1", "w1", 0.5)
+        ledger.promise_bonus(1, "r1", "w1", 0.5)
+        ledger.promise_bonus(2, "r1", "w2", 0.5)
+        ledger.pay_bonus(3, "r1", "w1", 0.5)
+        unpaid = ledger.unpaid_promises()
+        assert len(unpaid) == 2
+        # First w1 promise was settled; the second w1 and the w2 remain.
+        assert {(p.worker_id, p.time) for p in unpaid} == {("w1", 1), ("w2", 2)}
+
+    def test_bonus_in_balance(self):
+        ledger = PaymentLedger()
+        ledger.pay_bonus(0, "r1", "w1", 0.5)
+        assert ledger.balance("w1") == pytest.approx(0.5)
+
+    def test_mismatched_amount_does_not_settle(self):
+        ledger = PaymentLedger()
+        ledger.promise_bonus(0, "r1", "w1", 0.5)
+        ledger.pay_bonus(1, "r1", "w1", 0.4)
+        assert len(ledger.unpaid_promises()) == 1

@@ -1,0 +1,137 @@
+"""Unit tests for ids, clock, rng helpers, and the work tracker."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.clock import Clock
+from repro.platform.completion import WorkTracker
+from repro.platform.ids import IdFactory
+from repro.platform.rng import bernoulli, master_rng, spawn, weighted_choice
+
+
+class TestIdFactory:
+    def test_sequential_prefixed(self):
+        ids = IdFactory()
+        assert ids.worker() == "w0001"
+        assert ids.worker() == "w0002"
+        assert ids.task() == "t0001"
+        assert ids.contribution() == "c0001"
+        assert ids.requester() == "r0001"
+
+    def test_issued_count(self):
+        ids = IdFactory()
+        ids.worker()
+        ids.worker()
+        assert ids.issued("w") == 2
+        assert ids.issued("t") == 0
+
+    def test_width(self):
+        assert IdFactory(width=2).next("x") == "x01"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            IdFactory(width=0)
+
+
+class TestClock:
+    def test_tick(self):
+        clock = Clock()
+        assert clock.now == 0
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+
+    def test_no_backwards(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.tick(-1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(10)
+        assert clock.now == 10
+        clock.advance_to(5)  # no-op
+        assert clock.now == 10
+
+    def test_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1)
+
+
+class TestRngHelpers:
+    def test_master_deterministic(self):
+        assert master_rng(1).random() == master_rng(1).random()
+
+    def test_spawn_independent_streams(self):
+        root = master_rng(0)
+        a = spawn(root, "a")
+        root2 = master_rng(0)
+        a2 = spawn(root2, "a")
+        assert a.random() == a2.random()
+
+    def test_weighted_choice_degenerate(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, {"only": 1.0}) == "only"
+
+    def test_weighted_choice_zero_total(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, {"a": 0.0, "b": 0.0}) in ("a", "b")
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(0)
+        picks = [
+            weighted_choice(rng, {"heavy": 0.99, "light": 0.01})
+            for _ in range(200)
+        ]
+        assert picks.count("heavy") > 150
+
+    def test_weighted_choice_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {})
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {"a": -1.0})
+
+    def test_bernoulli_bounds(self):
+        rng = random.Random(0)
+        assert not bernoulli(rng, 0.0)
+        assert bernoulli(rng, 1.0)
+        with pytest.raises(ValueError):
+            bernoulli(rng, 1.5)
+
+
+class TestWorkTracker:
+    def test_start_finish(self):
+        tracker = WorkTracker()
+        spell = tracker.start("w1", "t1", time=3)
+        assert spell.started_at == 3
+        assert tracker.is_working("w1", "t1")
+        finished = tracker.finish("w1", "t1")
+        assert finished.task_id == "t1"
+        assert not tracker.is_working("w1", "t1")
+
+    def test_double_start_rejected(self):
+        tracker = WorkTracker()
+        tracker.start("w1", "t1", 0)
+        with pytest.raises(SimulationError, match="already working"):
+            tracker.start("w1", "t1", 1)
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(SimulationError, match="no open work"):
+            WorkTracker().finish("w1", "t1")
+
+    def test_workers_on_task(self):
+        tracker = WorkTracker()
+        tracker.start("w1", "t1", 0)
+        tracker.start("w2", "t1", 0)
+        tracker.start("w3", "t2", 0)
+        spells = tracker.workers_on_task("t1")
+        assert {s.worker_id for s in spells} == {"w1", "w2"}
+
+    def test_tasks_of_worker(self):
+        tracker = WorkTracker()
+        tracker.start("w1", "t1", 0)
+        tracker.start("w1", "t2", 0)
+        assert {s.task_id for s in tracker.tasks_of_worker("w1")} == {"t1", "t2"}
+        assert len(tracker) == 2

@@ -1,0 +1,67 @@
+"""Invariant tests over session RoundStats."""
+
+import pytest
+
+from repro.core.entities import Requester
+from repro.platform.session import Session, SessionConfig
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream
+from repro.workloads.workers import PopulationSpec, population
+
+
+@pytest.fixture(scope="module")
+def result():
+    vocabulary = standard_vocabulary()
+    workers, behaviors = population(
+        PopulationSpec(size=25, seed=13,
+                       behavior_mix={"diligent": 0.6, "sloppy": 0.3,
+                                     "spammer": 0.1}),
+        vocabulary,
+    )
+    session = Session(
+        config=SessionConfig(rounds=8, tasks_per_round=12, seed=13),
+        workers=workers, behaviors=behaviors,
+        requesters=[Requester(requester_id="r0001", hourly_wage=6.0,
+                              payment_delay=5, recruitment_criteria="any",
+                              rejection_criteria="quality")],
+        task_factory=TaskStream(vocabulary=vocabulary, tasks_per_round=12,
+                                skills_per_task=1),
+    )
+    return session.run()
+
+
+class TestRoundStatsInvariants:
+    def test_acceptances_bounded_by_submissions(self, result):
+        for stats in result.rounds:
+            assert 0 <= stats.acceptances <= stats.submissions
+
+    def test_submissions_bounded_by_assignments(self, result):
+        for stats in result.rounds:
+            assert stats.submissions <= stats.assignments
+
+    def test_active_workers_never_negative(self, result):
+        for stats in result.rounds:
+            assert stats.active_workers >= 0
+            assert stats.departures >= 0
+
+    def test_round_indexes_sequential(self, result):
+        assert [s.round_index for s in result.rounds] == list(range(8))
+
+    def test_mean_quality_bounded(self, result):
+        for stats in result.rounds:
+            assert 0.0 <= stats.mean_quality <= 1.0
+
+    def test_satisfaction_bounded(self, result):
+        for stats in result.rounds:
+            assert 0.0 <= stats.mean_satisfaction <= 1.0
+
+    def test_paid_non_negative(self, result):
+        for stats in result.rounds:
+            assert stats.total_paid >= 0.0
+
+    def test_active_workers_match_trace(self, result):
+        from repro.core.events import WorkerDeparted, WorkerRegistered
+
+        registered = len(result.trace.of_kind(WorkerRegistered))
+        departed = len(result.trace.of_kind(WorkerDeparted))
+        assert result.rounds[-1].active_workers == registered - departed

@@ -1,0 +1,119 @@
+"""Unit tests for the multi-round session driver."""
+
+import pytest
+
+from repro.assignment import RoundRobinAssigner
+from repro.core.entities import Requester
+from repro.core.events import TaskInterrupted
+from repro.errors import SimulationError
+from repro.platform.behavior import DiligentBehavior
+from repro.platform.review import QualityThresholdReview, SilentRejectReview
+from repro.platform.session import Session, SessionConfig
+from repro.transparency.enforcement import PolicyEnforcer
+from repro.transparency.presets import preset
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream
+from repro.workloads.workers import PopulationSpec, population
+
+
+def _requester():
+    return Requester(
+        requester_id="r0001", name="acme", hourly_wage=6.0, payment_delay=5,
+        recruitment_criteria="any", rejection_criteria="quality",
+    )
+
+
+def _session(config=None, n_workers=20, seed=0, tasks_per_round=10):
+    vocabulary = standard_vocabulary()
+    spec = PopulationSpec(size=n_workers, seed=seed)
+    workers, behaviors = population(spec, vocabulary)
+    stream = TaskStream(vocabulary=vocabulary, tasks_per_round=tasks_per_round,
+                        skills_per_task=1)
+    config = config or SessionConfig(rounds=5, tasks_per_round=tasks_per_round,
+                                     seed=seed)
+    return Session(
+        config=config, workers=workers, behaviors=behaviors,
+        requesters=[_requester()], task_factory=stream,
+    )
+
+
+class TestSessionConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SessionConfig(rounds=0)
+        with pytest.raises(SimulationError):
+            SessionConfig(base_churn=2.0)
+        with pytest.raises(SimulationError):
+            SessionConfig(cancel_probability=-0.5)
+
+
+class TestSessionRun:
+    def test_produces_round_stats(self):
+        result = _session().run()
+        assert len(result.rounds) == 5
+        assert result.initial_workers == 20
+        assert all(r.submissions > 0 for r in result.rounds)
+
+    def test_deterministic_under_seed(self):
+        first = _session(seed=3).run()
+        second = _session(seed=3).run()
+        assert first.retention == second.retention
+        assert [r.submissions for r in first.rounds] == [
+            r.submissions for r in second.rounds
+        ]
+
+    def test_retention_series_monotone_nonincreasing(self):
+        result = _session().run()
+        series = result.retention_series()
+        assert all(a >= b for a, b in zip(series, series[1:]))
+        assert result.retention == series[-1]
+
+    def test_quality_series_length(self):
+        result = _session().run()
+        assert len(result.quality_series()) == 5
+
+    def test_with_platform_assigner(self):
+        config = SessionConfig(rounds=3, tasks_per_round=10, seed=0,
+                               assigner=RoundRobinAssigner())
+        result = _session(config=config).run()
+        assert sum(r.assignments for r in result.rounds) > 0
+
+    def test_cancellation_interrupts_workers(self):
+        config = SessionConfig(rounds=3, tasks_per_round=10, seed=0,
+                               cancel_probability=0.5)
+        result = _session(config=config).run()
+        interruptions = [
+            e for e in result.trace.of_kind(TaskInterrupted)
+            if not e.worker_initiated
+        ]
+        assert interruptions
+
+    def test_transparent_platform_retains_more(self):
+        # The paper's central hypothesis, at unit-test scale.
+        def run_with(enforcer):
+            config = SessionConfig(
+                rounds=12, tasks_per_round=20, seed=5,
+                review_policy=SilentRejectReview(threshold=0.6),
+                transparency=enforcer,
+            )
+            return _session(config=config, n_workers=40, seed=5).run()
+
+        opaque = run_with(None)
+        transparent = run_with(PolicyEnforcer(preset("full")))
+        assert transparent.retention >= opaque.retention
+
+    def test_satisfaction_bounded(self):
+        result = _session().run()
+        assert all(0.0 <= s <= 1.0 for s in result.final_satisfaction.values())
+
+    def test_empty_population(self):
+        vocabulary = standard_vocabulary()
+        stream = TaskStream(vocabulary=vocabulary, tasks_per_round=5)
+        session = Session(
+            config=SessionConfig(rounds=2, seed=0),
+            workers=[], behaviors={}, requesters=[_requester()],
+            task_factory=stream,
+        )
+        result = session.run()
+        assert result.retention == 1.0
+        assert result.rounds[0].active_workers == 0

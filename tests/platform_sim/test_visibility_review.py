@@ -1,0 +1,167 @@
+"""Unit tests for visibility and review policies."""
+
+import random
+
+import pytest
+
+from repro.core.entities import Contribution
+from repro.platform.review import (
+    AcceptAllReview,
+    BiasedReview,
+    GoldAnswerReview,
+    QualityThresholdReview,
+    SilentRejectReview,
+)
+from repro.platform.visibility import (
+    BiasedVisibility,
+    QualificationVisibility,
+    RandomSubsetVisibility,
+    ReputationTieredVisibility,
+    RequesterThrottledVisibility,
+    ShowAllVisibility,
+)
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def tasks(vocabulary):
+    return [
+        make_task("t1", vocabulary, reward=0.05, skills=("survey",)),
+        make_task("t2", vocabulary, reward=0.50, skills=("survey",)),
+        make_task("t3", vocabulary, reward=0.10, skills=("writing",),
+                  requester_id="r0002"),
+    ]
+
+
+class TestVisibilityPolicies:
+    def test_show_all(self, vocabulary, tasks):
+        worker = make_worker("w1", vocabulary)
+        rng = random.Random(0)
+        assert ShowAllVisibility().visible_tasks(worker, tasks, rng) == tasks
+
+    def test_qualification_filters(self, vocabulary, tasks):
+        worker = make_worker("w1", vocabulary, skills=("survey",))
+        rng = random.Random(0)
+        visible = QualificationVisibility().visible_tasks(worker, tasks, rng)
+        assert [t.task_id for t in visible] == ["t1", "t2"]
+
+    def test_biased_hides_premium_from_target_group(self, vocabulary, tasks):
+        policy = BiasedVisibility(
+            attribute="group", disadvantaged_value="green", reward_ceiling=0.2
+        )
+        rng = random.Random(0)
+        green = make_worker("w1", vocabulary, declared={"group": "green"})
+        blue = make_worker("w2", vocabulary, declared={"group": "blue"})
+        green_view = policy.visible_tasks(green, tasks, rng)
+        blue_view = policy.visible_tasks(blue, tasks, rng)
+        assert all(t.reward < 0.2 for t in green_view)
+        assert len(blue_view) == len(tasks)
+
+    def test_reputation_tiered(self, vocabulary, tasks):
+        policy = ReputationTieredVisibility(threshold=0.8)
+        rng = random.Random(0)
+        veteran = make_worker(
+            "w1", vocabulary, computed={"acceptance_ratio": 0.9}
+        )
+        novice = make_worker(
+            "w2", vocabulary, computed={"acceptance_ratio": 0.5}
+        )
+        assert len(policy.visible_tasks(veteran, tasks, rng)) == len(tasks)
+        novice_view = policy.visible_tasks(novice, tasks, rng)
+        assert "t2" not in {t.task_id for t in novice_view}
+
+    def test_reputation_tiered_empty(self, vocabulary):
+        policy = ReputationTieredVisibility()
+        worker = make_worker("w1", vocabulary)
+        assert policy.visible_tasks(worker, [], random.Random(0)) == []
+
+    def test_requester_throttled(self, vocabulary, tasks):
+        policy = RequesterThrottledVisibility(
+            hidden_requesters=frozenset({"r0002"})
+        )
+        worker = make_worker("w1", vocabulary)
+        visible = policy.visible_tasks(worker, tasks, random.Random(0))
+        assert {t.task_id for t in visible} == {"t1", "t2"}
+
+    def test_random_subset_probability_bounds(self):
+        with pytest.raises(ValueError):
+            RandomSubsetVisibility(keep_probability=2.0)
+
+    def test_random_subset_extremes(self, vocabulary, tasks):
+        worker = make_worker("w1", vocabulary)
+        rng = random.Random(0)
+        assert RandomSubsetVisibility(1.0).visible_tasks(worker, tasks, rng) == tasks
+        assert RandomSubsetVisibility(0.0).visible_tasks(worker, tasks, rng) == []
+
+
+def _contribution(quality, worker_id="w1", payload="A"):
+    return Contribution("c1", "t1", worker_id, payload, submitted_at=0,
+                        quality=quality)
+
+
+class TestReviewPolicies:
+    def test_accept_all(self, vocabulary, task, worker):
+        decision = AcceptAllReview().review(
+            _contribution(0.0), task, worker, random.Random(0)
+        )
+        assert decision.accepted
+
+    def test_quality_threshold_accept_and_reject(self, vocabulary, task, worker):
+        policy = QualityThresholdReview(threshold=0.5)
+        rng = random.Random(0)
+        good = policy.review(_contribution(0.8), task, worker, rng)
+        bad = policy.review(_contribution(0.2), task, worker, rng)
+        assert good.accepted and good.feedback
+        assert not bad.accepted and bad.feedback  # transparent rejection
+
+    def test_gold_answer_review(self, vocabulary, worker):
+        task = make_task("t1", vocabulary, gold_answer="A")
+        policy = GoldAnswerReview()
+        rng = random.Random(0)
+        assert policy.review(_contribution(0.1, payload="A"), task, worker,
+                             rng).accepted
+        assert not policy.review(_contribution(0.9, payload="B"), task, worker,
+                                 rng).accepted
+
+    def test_gold_answer_fallback(self, vocabulary, worker):
+        task = make_task("t1", vocabulary)  # no gold
+        policy = GoldAnswerReview(fallback_threshold=0.5)
+        rng = random.Random(0)
+        assert policy.review(_contribution(0.9), task, worker, rng).accepted
+        assert not policy.review(_contribution(0.1), task, worker, rng).accepted
+
+    def test_silent_reject_has_no_feedback(self, vocabulary, task, worker):
+        policy = SilentRejectReview(threshold=0.5)
+        rng = random.Random(0)
+        rejected = policy.review(_contribution(0.1), task, worker, rng)
+        assert not rejected.accepted
+        assert rejected.feedback == ""
+
+    def test_biased_review_targets_group(self, vocabulary, task):
+        policy = BiasedReview(
+            attribute="group", disadvantaged_value="green",
+            rejection_probability=1.0, threshold=0.2,
+        )
+        rng = random.Random(0)
+        green = make_worker("w1", vocabulary, declared={"group": "green"})
+        blue = make_worker("w2", vocabulary, declared={"group": "blue"})
+        green_decision = policy.review(_contribution(0.9), task, green, rng)
+        blue_decision = policy.review(_contribution(0.9), task, blue, rng)
+        assert not green_decision.accepted
+        assert green_decision.feedback == ""  # silent, too
+        assert blue_decision.accepted
+
+    def test_biased_review_still_rejects_bad_work(self, vocabulary, task):
+        policy = BiasedReview(
+            attribute="group", disadvantaged_value="green",
+            rejection_probability=0.0, threshold=0.5,
+        )
+        rng = random.Random(0)
+        blue = make_worker("w2", vocabulary, declared={"group": "blue"})
+        assert not policy.review(_contribution(0.2), task, blue, rng).accepted
+
+    def test_biased_probability_validated(self):
+        with pytest.raises(ValueError):
+            BiasedReview(attribute="g", disadvantaged_value="x",
+                         rejection_probability=1.5)

@@ -1,0 +1,76 @@
+"""Property tests for crowd-answer aggregation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregation import MajorityVote, OneCoinEM, TaskAnswers, WeightedVote
+
+_LABELS = ("A", "B", "C")
+
+
+@st.composite
+def task_answers(draw, min_votes=0, max_votes=12):
+    n = draw(st.integers(min_votes, max_votes))
+    votes = tuple(
+        (f"w{i}", draw(st.sampled_from(_LABELS))) for i in range(n)
+    )
+    return TaskAnswers(task_id="t1", answers=votes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(answers=task_answers())
+def test_majority_returns_observed_answer_or_none(answers):
+    result = MajorityVote().aggregate(answers)
+    if answers.answers:
+        assert result in set(answers.payloads())
+    else:
+        assert result is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(answers=task_answers(min_votes=1))
+def test_majority_is_actually_maximal(answers):
+    from collections import Counter
+
+    result = MajorityVote().aggregate(answers)
+    counts = Counter(answers.payloads())
+    assert counts[result] == max(counts.values())
+
+
+@settings(max_examples=100, deadline=None)
+@given(answers=task_answers())
+def test_weighted_with_uniform_reliability_matches_majority_count(answers):
+    """With identical weights, the weighted winner ties the majority
+    winner's vote count (tie-breaks may differ only among tied labels)."""
+    from collections import Counter
+
+    weighted = WeightedVote(prior_accuracy=0.7).aggregate(answers)
+    majority = MajorityVote().aggregate(answers)
+    if not answers.answers:
+        assert weighted is None and majority is None
+        return
+    counts = Counter(answers.payloads())
+    assert counts[weighted] == counts[majority]
+
+
+@settings(max_examples=50, deadline=None)
+@given(answers=task_answers(min_votes=1, max_votes=8))
+def test_em_returns_observed_answer(answers):
+    result = OneCoinEM(iterations=5).aggregate(answers)
+    assert result in set(answers.payloads())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    answers=task_answers(min_votes=2, max_votes=8),
+    boost=st.sampled_from(["w0", "w1"]),
+)
+def test_weighted_vote_monotone_in_reliability(answers, boost):
+    """Raising one voter's reliability never flips the result away from
+    that voter's answer."""
+    voter_answer = dict(answers.answers)[boost]
+    baseline = WeightedVote(prior_accuracy=0.7).aggregate(answers)
+    boosted = WeightedVote(
+        reliability={boost: 0.999}, prior_accuracy=0.7
+    ).aggregate(answers)
+    if baseline == voter_answer:
+        assert boosted == voter_answer

@@ -1,0 +1,143 @@
+"""Property tests for the transparency DSL: generated policies
+round-trip through serialization and never crash the toolchain."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transparency.ast_nodes import (
+    Audience,
+    Comparison,
+    Condition,
+    DiscloseRule,
+    FairnessRequirement,
+    FieldRef,
+    Policy,
+    Subject,
+)
+from repro.transparency.compare import compare_policies
+from repro.transparency.parser import parse_policy
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.render import render_policy
+from repro.transparency.semantics import DisclosureSchema
+
+_SCHEMA = DisclosureSchema()
+
+_VALID_AUDIENCES = {
+    Subject.REQUESTER: [Audience.WORKERS, Audience.REQUESTERS, Audience.SELF,
+                        Audience.PUBLIC],
+    Subject.WORKER: [Audience.WORKERS, Audience.REQUESTERS, Audience.SELF,
+                     Audience.PUBLIC],
+    Subject.TASK: [Audience.WORKERS, Audience.REQUESTERS, Audience.PUBLIC],
+    Subject.PLATFORM: [Audience.WORKERS, Audience.REQUESTERS, Audience.PUBLIC],
+}
+
+
+@st.composite
+def field_refs(draw, field_type=None):
+    subject = draw(st.sampled_from(list(Subject)))
+    candidates = [
+        name
+        for name in sorted(_SCHEMA.all_fields(subject))
+        if field_type is None
+        or _SCHEMA.field_type(FieldRef(subject, name)) == field_type
+    ]
+    if not candidates:
+        # Every subject has at least one numeric and one string field
+        # except some combinations; fall back to any field.
+        candidates = sorted(_SCHEMA.all_fields(subject))
+    return FieldRef(subject, draw(st.sampled_from(candidates)))
+
+
+@st.composite
+def conditions(draw):
+    ref = draw(field_refs())
+    field_type = _SCHEMA.field_type(ref)
+    if field_type == "number":
+        op = draw(st.sampled_from(list(Comparison)))
+        literal = draw(
+            st.one_of(st.integers(-100, 100),
+                      st.floats(-100, 100).map(lambda f: round(f, 3)))
+        )
+    elif field_type == "boolean":
+        op = draw(st.sampled_from([Comparison.EQ, Comparison.NE]))
+        literal = draw(st.booleans())
+    else:
+        op = draw(st.sampled_from([Comparison.EQ, Comparison.NE]))
+        literal = draw(st.text(alphabet="abc xyz_", min_size=0, max_size=10))
+    return Condition(ref, op, literal)
+
+
+@st.composite
+def rules(draw):
+    ref = draw(field_refs())
+    audience = draw(st.sampled_from(_VALID_AUDIENCES[ref.subject]))
+    condition = draw(st.none() | conditions())
+    return DiscloseRule(field=ref, audience=audience, condition=condition)
+
+
+@st.composite
+def requirements(draw):
+    # Thresholds rounded so the %g serialization round-trips exactly.
+    threshold = round(draw(st.floats(0.0, 1.0)), 4)
+    op = draw(st.sampled_from([Comparison.GE, Comparison.GT, Comparison.EQ]))
+    return FairnessRequirement(
+        axiom_id=draw(st.integers(1, 7)), op=op, threshold=threshold
+    )
+
+
+@st.composite
+def policies(draw):
+    name = draw(st.text(alphabet="abcdefghij_-", min_size=1, max_size=16))
+    rule_list = draw(st.lists(rules(), min_size=0, max_size=8))
+    # Drop duplicate unconditional (field, audience) pairs, which the
+    # semantic validator rejects by design.
+    seen = set()
+    cleaned = []
+    for rule in rule_list:
+        key = (rule.field, rule.audience)
+        if rule.condition is None and key in seen:
+            continue
+        seen.add(key)
+        cleaned.append(rule)
+    requirement_list = draw(st.lists(requirements(), min_size=0, max_size=4))
+    # One requirement per axiom, per the semantic validator.
+    by_axiom = {}
+    for requirement in requirement_list:
+        by_axiom.setdefault(requirement.axiom_id, requirement)
+    return Policy(
+        name=name, rules=tuple(cleaned),
+        requirements=tuple(by_axiom.values()),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(policy=policies())
+def test_policy_round_trips_through_source(policy):
+    """str(policy) reparses to an identical AST."""
+    assert parse_policy(str(policy)) == policy
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=policies())
+def test_validated_policy_tools_never_crash(policy):
+    """Coverage, rendering, and self-comparison work on any valid policy."""
+    wrapped = TransparencyPolicy(ast=policy)
+    assert 0.0 <= wrapped.mandated_coverage() <= 1.0
+    assert 0.0 <= wrapped.schema_coverage() <= 1.0
+    text = render_policy(policy)
+    assert policy.name in text or "discloses nothing" in text
+    diff = compare_policies(wrapped, wrapped)
+    assert diff.identical
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=policies(), right=policies())
+def test_comparison_is_antisymmetric(left, right):
+    forward = compare_policies(
+        TransparencyPolicy(ast=left), TransparencyPolicy(ast=right)
+    )
+    backward = compare_policies(
+        TransparencyPolicy(ast=right), TransparencyPolicy(ast=left)
+    )
+    assert set(forward.only_left) == set(backward.only_right)
+    assert set(forward.shared) == set(backward.shared)
+    assert forward.coverage_gap == -backward.coverage_gap

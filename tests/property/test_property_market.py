@@ -1,0 +1,139 @@
+"""Property tests over randomly scripted markets.
+
+Invariants that must hold for *any* sequence of valid market
+operations: trace time-ordering, ledger/trace payment agreement,
+computed-attribute derivation consistency, and audit purity.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditEngine
+from repro.core.entities import Requester
+from repro.core.events import PaymentIssued
+from repro.platform.behavior import behavior_named
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+from repro.workloads.skills import standard_vocabulary
+
+from tests.conftest import make_task, make_worker
+
+_VOCABULARY = standard_vocabulary()
+_BEHAVIORS = ["diligent", "sloppy", "spammer", "malicious"]
+
+
+@st.composite
+def market_scripts(draw):
+    """A random but always-valid market interaction script."""
+    n_workers = draw(st.integers(1, 5))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_workers - 1),          # worker index
+                st.sampled_from(_BEHAVIORS),            # behaviour
+                st.sampled_from(["work", "abandon", "cancel", "browse"]),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return n_workers, steps, draw(st.integers(0, 10_000))
+
+
+def _run_script(n_workers, steps, seed):
+    platform = CrowdsourcingPlatform(
+        review_policy=QualityThresholdReview(threshold=0.5), seed=seed
+    )
+    platform.register_requester(Requester(requester_id="r0001"))
+    workers = [
+        make_worker(f"w{i}", _VOCABULARY, skills=("survey",))
+        for i in range(n_workers)
+    ]
+    for worker in workers:
+        platform.register_worker(worker)
+    for step_index, (worker_index, behavior_name, action) in enumerate(steps):
+        worker = workers[worker_index]
+        task = make_task(
+            f"t{step_index:03d}", _VOCABULARY, skills=("survey",),
+            reward=0.1, gold_answer="A", duration=2,
+        )
+        platform.post_task(task)
+        if action == "browse":
+            platform.browse(worker.worker_id)
+            platform.close_task(task.task_id)
+            continue
+        platform.start_work(worker.worker_id, task.task_id)
+        if action == "abandon":
+            platform.abandon_work(worker.worker_id, task.task_id)
+            platform.close_task(task.task_id)
+        elif action == "cancel":
+            platform.cancel_task(task.task_id)
+        else:
+            platform.process_contribution(
+                worker.worker_id, task.task_id, behavior_named(behavior_name)
+            )
+            platform.close_task(task.task_id)
+    return platform
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=market_scripts())
+def test_trace_time_ordering_invariant(script):
+    platform = _run_script(*script)
+    times = [event.time for event in platform.trace]
+    assert times == sorted(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=market_scripts())
+def test_ledger_matches_trace_payments(script):
+    platform = _run_script(*script)
+    trace_totals = platform.trace.payments_by_worker()
+    for worker_id, worker in platform.workers.items():
+        ledger_balance = platform.ledger.balance(worker_id)
+        assert abs(trace_totals.get(worker_id, 0.0) - ledger_balance) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=market_scripts())
+def test_computed_attributes_always_honestly_derived(script):
+    platform = _run_script(*script)
+    for worker in platform.workers.values():
+        if worker.computed.derivation:
+            assert worker.computed.derivation_consistent()
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=market_scripts())
+def test_payments_only_for_submitted_contributions(script):
+    platform = _run_script(*script)
+    submitted = set(platform.trace.contributions)
+    for event in platform.trace.of_kind(PaymentIssued):
+        assert event.contribution_id in submitted
+
+
+@settings(max_examples=15, deadline=None)
+@given(script=market_scripts())
+def test_audit_never_crashes_and_is_pure(script):
+    platform = _run_script(*script)
+    engine = AuditEngine()
+    first = engine.audit(platform.trace)
+    second = engine.audit(platform.trace)
+    assert first.scores() == second.scores()
+    for result in first.results:
+        assert 0.0 <= result.score <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=market_scripts())
+def test_serialization_round_trips_random_traces(script):
+    """Any trace the market can produce survives JSON round-tripping
+    with identical events and identical audit outcome."""
+    from repro.core.serialize import trace_from_json, trace_to_json
+
+    platform = _run_script(*script)
+    restored = trace_from_json(trace_to_json(platform.trace))
+    assert restored.events == platform.trace.events
+    engine = AuditEngine()
+    assert engine.audit(restored).scores() == engine.audit(platform.trace).scores()

@@ -1,0 +1,98 @@
+"""Unit tests for the similarity protocol and contribution dispatch."""
+
+import pytest
+
+from repro.core.entities import Contribution
+from repro.similarity.base import SimilarityThreshold, exact_equality, similar
+from repro.similarity.contributions import ContributionSimilarity
+
+
+class TestExactEquality:
+    def test_equal(self):
+        assert exact_equality("a", "a") == 1.0
+        assert exact_equality(1, 1.0) == 1.0  # numeric equality semantics
+
+    def test_unequal(self):
+        assert exact_equality("a", "b") == 0.0
+
+
+class TestSimilarityThreshold:
+    def test_perfect_equality_threshold(self):
+        judge = SimilarityThreshold(exact_equality, threshold=1.0)
+        assert judge("x", "x")
+        assert not judge("x", "y")
+
+    def test_relaxed_threshold(self):
+        judge = SimilarityThreshold(lambda a, b: 0.7, threshold=0.5)
+        assert judge("anything", "else")
+
+    def test_score_passthrough(self):
+        judge = SimilarityThreshold(lambda a, b: 0.42, threshold=0.5)
+        assert judge.score(None, None) == pytest.approx(0.42)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityThreshold(exact_equality, threshold=1.5)
+
+    def test_similar_helper(self):
+        assert similar("a", "a")
+        assert not similar("a", "b")
+        assert similar("a", "b", measure=lambda x, y: 0.9, threshold=0.5)
+
+
+def _contribution(cid, payload, task_id="t1", worker_id="w1"):
+    return Contribution(cid, task_id, worker_id, payload, submitted_at=0)
+
+
+class TestContributionSimilarity:
+    def test_label_kind_exact(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", "A")
+        right = _contribution("c2", "A", worker_id="w2")
+        assert sim(left, right, kind="label") == 1.0
+        wrong = _contribution("c3", "B", worker_id="w3")
+        assert sim(left, wrong, kind="label") == 0.0
+
+    def test_text_kind(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", "the cat sat on the mat")
+        right = _contribution("c2", "the cat sat on the mat", worker_id="w2")
+        assert sim(left, right, kind="text") == pytest.approx(1.0)
+
+    def test_ranking_kind(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", ("a", "b", "c"))
+        right = _contribution("c2", ("a", "b", "c"), worker_id="w2")
+        assert sim(left, right, kind="ranking") == pytest.approx(1.0)
+
+    def test_numeric_kind(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", 100.0)
+        right = _contribution("c2", 104.0, worker_id="w2")
+        assert sim(left, right, kind="numeric") == 1.0
+        far = _contribution("c3", 500.0, worker_id="w3")
+        assert sim(left, far, kind="numeric") == 0.0
+
+    def test_unknown_kind_falls_back_to_equality(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", "A")
+        right = _contribution("c2", "A", worker_id="w2")
+        assert sim(left, right, kind="mystery") == 1.0
+
+    def test_cross_task_rejected(self):
+        sim = ContributionSimilarity()
+        left = _contribution("c1", "A", task_id="t1")
+        right = _contribution("c2", "A", task_id="t2")
+        with pytest.raises(ValueError, match="same task"):
+            sim(left, right)
+
+    def test_non_sequence_ranking_degrades(self):
+        sim = ContributionSimilarity()
+        assert sim.payloads(1, 1, kind="ranking") == 1.0
+
+    def test_non_numeric_numeric_degrades(self):
+        assert ContributionSimilarity().payloads("a", "a", kind="numeric") == 1.0
+
+    def test_custom_measure(self):
+        sim = ContributionSimilarity(measures={"always": lambda a, b: 0.5})
+        assert sim.payloads("x", "y", kind="always") == 0.5

@@ -1,0 +1,66 @@
+"""Unit tests for numeric tolerance similarities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.similarity.numeric import (
+    absolute_tolerance_similarity,
+    relative_tolerance_similarity,
+    reward_comparability,
+)
+
+
+class TestAbsoluteTolerance:
+    def test_exact_zero_tolerance(self):
+        assert absolute_tolerance_similarity(1.0, 1.0) == 1.0
+        assert absolute_tolerance_similarity(1.0, 1.001) == 0.0
+
+    def test_within_tolerance(self):
+        assert absolute_tolerance_similarity(1.0, 1.05, tolerance=0.1) == 1.0
+
+    def test_linear_decay(self):
+        assert absolute_tolerance_similarity(
+            0.0, 0.15, tolerance=0.1
+        ) == pytest.approx(0.5)
+
+    def test_beyond_double_tolerance(self):
+        assert absolute_tolerance_similarity(0.0, 0.25, tolerance=0.1) == 0.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_tolerance_similarity(0.0, 0.0, tolerance=-1.0)
+
+
+class TestRelativeTolerance:
+    def test_zeros_identical(self):
+        assert relative_tolerance_similarity(0.0, 0.0) == 1.0
+
+    def test_within_relative_tolerance(self):
+        assert relative_tolerance_similarity(100.0, 105.0, tolerance=0.1) == 1.0
+
+    def test_far_apart(self):
+        assert relative_tolerance_similarity(1.0, 100.0, tolerance=0.1) == 0.0
+
+    @given(st.floats(0.01, 1000.0))
+    def test_self_similarity(self, value):
+        assert relative_tolerance_similarity(value, value) == 1.0
+
+    @given(st.floats(0.01, 1000.0), st.floats(0.01, 1000.0))
+    def test_symmetric_and_bounded(self, left, right):
+        forward = relative_tolerance_similarity(left, right)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(
+            relative_tolerance_similarity(right, left)
+        )
+
+
+class TestRewardComparability:
+    def test_comparable(self):
+        assert reward_comparability(0.10, 0.11) == 1.0
+
+    def test_not_comparable(self):
+        assert reward_comparability(0.10, 0.50) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reward_comparability(-0.1, 0.1)

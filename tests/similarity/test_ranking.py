@@ -1,0 +1,90 @@
+"""Unit + property tests for ranked-list similarity (DCG/nDCG [10])."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.similarity.ranking import (
+    dcg,
+    kendall_tau_similarity,
+    ndcg,
+    ranked_list_similarity,
+)
+
+
+class TestDCG:
+    def test_single_item(self):
+        assert dcg([3.0]) == pytest.approx(3.0)
+
+    def test_discounting(self):
+        # Second position discounted by log2(3).
+        assert dcg([0.0, 2.0]) == pytest.approx(2.0 / math.log2(3))
+
+    def test_empty(self):
+        assert dcg([]) == 0.0
+
+
+class TestNDCG:
+    def test_ideal_order(self):
+        assert ndcg([3.0, 2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_reversed_order_below_one(self):
+        assert ndcg([1.0, 2.0, 3.0]) < 1.0
+
+    def test_all_zero(self):
+        assert ndcg([0.0, 0.0]) == 1.0
+
+    def test_empty(self):
+        assert ndcg([]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg([-1.0])
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8))
+    def test_bounded(self, relevances):
+        assert 0.0 <= ndcg(relevances) <= 1.0 + 1e-9
+
+
+class TestRankedListSimilarity:
+    def test_identical(self):
+        assert ranked_list_similarity(("a", "b", "c"), ("a", "b", "c")) == (
+            pytest.approx(1.0)
+        )
+
+    def test_both_empty(self):
+        assert ranked_list_similarity((), ()) == 1.0
+
+    def test_disjoint_low(self):
+        assert ranked_list_similarity(("a", "b"), ("x", "y")) < 0.1
+
+    def test_swap_penalized_less_than_disjoint(self):
+        swapped = ranked_list_similarity(("a", "b", "c"), ("b", "a", "c"))
+        disjoint = ranked_list_similarity(("a", "b", "c"), ("x", "y", "z"))
+        assert disjoint < swapped < 1.0
+
+    @given(st.permutations(["a", "b", "c", "d"]))
+    def test_symmetric(self, permuted):
+        reference = ["a", "b", "c", "d"]
+        forward = ranked_list_similarity(reference, permuted)
+        backward = ranked_list_similarity(permuted, reference)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0
+
+
+class TestKendallTau:
+    def test_identical(self):
+        assert kendall_tau_similarity(("a", "b", "c"), ("a", "b", "c")) == 1.0
+
+    def test_reversed(self):
+        assert kendall_tau_similarity(("a", "b", "c"), ("c", "b", "a")) == 0.0
+
+    def test_single_swap(self):
+        assert kendall_tau_similarity(
+            ("a", "b", "c"), ("b", "a", "c")
+        ) == pytest.approx(2 / 3)
+
+    def test_insufficient_overlap(self):
+        assert kendall_tau_similarity(("a",), ("a",)) == 1.0
+        assert kendall_tau_similarity(("a", "b"), ("a", "x")) == 0.5

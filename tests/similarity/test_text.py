@@ -1,0 +1,65 @@
+"""Unit + property tests for n-gram text similarity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.similarity.text import ngram_profile, ngram_similarity
+
+
+class TestNgramProfile:
+    def test_basic_trigrams(self):
+        profile = ngram_profile("abcd", n=3)
+        assert profile == {"abc": 1, "bcd": 1}
+
+    def test_case_normalization(self):
+        assert ngram_profile("ABC") == ngram_profile("abc")
+
+    def test_whitespace_collapse(self):
+        assert ngram_profile("a  b\tc") == ngram_profile("a b c")
+
+    def test_short_text(self):
+        assert ngram_profile("ab", n=3) == {"ab": 1}
+
+    def test_empty_text(self):
+        assert ngram_profile("") == {}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_profile("abc", n=0)
+
+
+class TestNgramSimilarity:
+    def test_identical_texts(self):
+        assert ngram_similarity("hello world", "hello world") == 1.0
+
+    def test_disjoint_texts(self):
+        assert ngram_similarity("aaaa", "zzzz") == 0.0
+
+    def test_both_empty(self):
+        assert ngram_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert ngram_similarity("abc", "") == 0.0
+
+    def test_near_duplicates_score_high(self):
+        left = "the quick brown fox jumps over the lazy dog"
+        right = "the quick brown fox jumped over the lazy dog"
+        assert ngram_similarity(left, right) > 0.85
+
+    def test_unrelated_score_low(self):
+        left = "the quick brown fox"
+        right = "statistical mechanics of lattices"
+        assert ngram_similarity(left, right) < 0.3
+
+    @given(st.text(alphabet="abcdef ", min_size=0, max_size=40))
+    def test_self_similarity(self, text):
+        assert ngram_similarity(text, text) == pytest.approx(1.0)
+
+    @given(
+        st.text(alphabet="abcdef ", min_size=0, max_size=30),
+        st.text(alphabet="abcdef ", min_size=0, max_size=30),
+    )
+    def test_symmetric_and_bounded(self, left, right):
+        forward = ngram_similarity(left, right)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(ngram_similarity(right, left))

@@ -1,0 +1,115 @@
+"""Unit + property tests for vector and attribute similarities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.entities import SkillVocabulary
+from repro.similarity.vectors import (
+    attribute_overlap_similarity,
+    cosine_similarity,
+    jaccard_similarity,
+    skill_cosine,
+    skill_jaccard,
+)
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity((1.0, 0.0), (1.0, 0.0)) == 1.0
+
+    def test_orthogonal(self):
+        assert cosine_similarity((1.0, 0.0), (0.0, 1.0)) == 0.0
+
+    def test_zero_vectors(self):
+        assert cosine_similarity((0.0, 0.0), (0.0, 0.0)) == 1.0
+        assert cosine_similarity((0.0, 0.0), (1.0, 0.0)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity((1.0,), (1.0, 0.0))
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8),
+    )
+    def test_self_similarity_is_one(self, values):
+        assert cosine_similarity(values, values) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=3, max_size=6),
+        st.lists(st.floats(0.0, 10.0), min_size=3, max_size=6),
+    )
+    def test_bounded_and_symmetric(self, left, right):
+        size = min(len(left), len(right))
+        left, right = left[:size], right[:size]
+        forward = cosine_similarity(left, right)
+        backward = cosine_similarity(right, left)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(backward)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity((True, False), (True, False)) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity((True, False), (False, True)) == 0.0
+
+    def test_empty(self):
+        assert jaccard_similarity((False, False), (False, False)) == 1.0
+
+    def test_partial(self):
+        assert jaccard_similarity(
+            (True, True, False), (True, False, True)
+        ) == pytest.approx(1 / 3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            jaccard_similarity((True,), (True, False))
+
+
+class TestSkillMeasures:
+    def test_skill_cosine_matches_vector_cosine(self, vocabulary):
+        left = vocabulary.vector(("survey", "labeling"))
+        right = vocabulary.vector(("survey",))
+        expected = cosine_similarity(left.as_floats(), right.as_floats())
+        assert skill_cosine(left, right) == pytest.approx(expected)
+
+    def test_skill_jaccard(self, vocabulary):
+        left = vocabulary.vector(("survey", "labeling"))
+        right = vocabulary.vector(("survey", "writing"))
+        assert skill_jaccard(left, right) == pytest.approx(1 / 3)
+
+
+class TestAttributeOverlap:
+    def test_identical(self):
+        attrs = {"group": "blue", "age": 30}
+        assert attribute_overlap_similarity(attrs, attrs) == 1.0
+
+    def test_empty_both(self):
+        assert attribute_overlap_similarity({}, {}) == 1.0
+
+    def test_one_sided_key_counts_against(self):
+        assert attribute_overlap_similarity({"a": 1}, {}) == 0.0
+
+    def test_partial_agreement(self):
+        left = {"a": 1, "b": 2}
+        right = {"a": 1, "b": 3}
+        assert attribute_overlap_similarity(left, right) == 0.5
+
+    def test_numeric_tolerance(self):
+        left = {"ratio": 0.80}
+        right = {"ratio": 0.85}
+        assert attribute_overlap_similarity(left, right) == 0.0
+        assert attribute_overlap_similarity(
+            left, right, numeric_tolerance=0.1
+        ) == 1.0
+
+    def test_booleans_are_categorical(self):
+        # True != 1-ish tolerance games: bools must match exactly.
+        assert attribute_overlap_similarity(
+            {"x": True}, {"x": False}, numeric_tolerance=10.0
+        ) == 0.0
+        assert attribute_overlap_similarity({"x": True}, {"x": True}) == 1.0
+
+    def test_mixed_types_disagree(self):
+        assert attribute_overlap_similarity({"x": "1"}, {"x": 1}) == 0.0

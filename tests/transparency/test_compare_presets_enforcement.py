@@ -1,0 +1,127 @@
+"""Unit tests for policy comparison, presets, and enforcement."""
+
+import pytest
+
+from repro.core.axiom_transparency import (
+    PlatformTransparency,
+    RequesterTransparency,
+)
+from repro.core.entities import Requester
+from repro.core.events import DisclosureShown
+from repro.platform.behavior import DiligentBehavior
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview
+from repro.transparency.compare import compare_policies
+from repro.transparency.enforcement import PolicyEnforcer
+from repro.transparency.parser import parse_policy
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.presets import PRESETS, all_presets, preset
+
+from tests.conftest import make_task, make_worker
+
+
+class TestCompare:
+    def test_identical_policies(self):
+        diff = compare_policies(preset("amt_basic"), preset("amt_basic"))
+        assert diff.identical
+        assert diff.right_is_superset
+        assert diff.coverage_gap == 0.0
+
+    def test_turkopticon_strict_superset_of_amt(self):
+        diff = compare_policies(preset("amt_basic"), preset("amt_turkopticon"))
+        assert diff.right_is_superset
+        assert not diff.identical
+        assert diff.coverage_gap > 0
+        assert len(diff.shared) == 3
+
+    def test_summary_lines(self):
+        diff = compare_policies(preset("amt_basic"), preset("crowdflower"))
+        text = "\n".join(diff.summary_lines())
+        assert "amt_basic" in text and "crowdflower" in text
+        assert "only in" in text
+
+    def test_summary_for_identical(self):
+        diff = compare_policies(preset("opaque"), preset("opaque"))
+        assert any("identical" in line for line in diff.summary_lines())
+
+
+class TestPresets:
+    def test_all_presets_parse_and_validate(self):
+        policies = all_presets()
+        assert set(policies) == set(PRESETS)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset("utopia")
+
+    def test_coverage_ordering(self):
+        # The E2 premise: presets span the disclosure spectrum.
+        coverage = {name: preset(name).mandated_coverage() for name in PRESETS}
+        assert coverage["opaque"] == 0.0
+        assert coverage["full"] == 1.0
+        assert coverage["amt_basic"] <= coverage["amt_turkopticon"]
+
+    def test_presets_round_trip(self):
+        for name in PRESETS:
+            policy = preset(name)
+            assert parse_policy(policy.to_source()) == policy.ast
+
+
+class TestEnforcement:
+    def _platform_with_history(self, vocabulary):
+        platform = CrowdsourcingPlatform(
+            review_policy=QualityThresholdReview(threshold=0.3), seed=0
+        )
+        platform.register_requester(
+            Requester(
+                requester_id="r0001", name="acme", hourly_wage=6.0,
+                payment_delay=5, recruitment_criteria="any",
+                rejection_criteria="quality",
+            )
+        )
+        platform.register_worker(make_worker("w0001", vocabulary))
+        platform.post_task(make_task("t1", vocabulary))
+        platform.start_work("w0001", "t1")
+        platform.process_contribution("w0001", "t1", DiligentBehavior())
+        return platform
+
+    def test_full_policy_satisfies_axioms_6_and_7(self, vocabulary):
+        platform = self._platform_with_history(vocabulary)
+        enforcer = PolicyEnforcer(preset("full"))
+        enforcer.apply_round(platform)
+        assert RequesterTransparency().check(platform.trace).passed
+        assert PlatformTransparency().check(platform.trace).passed
+
+    def test_opaque_policy_fails_axioms(self, vocabulary):
+        platform = self._platform_with_history(vocabulary)
+        PolicyEnforcer(preset("opaque")).apply_round(platform)
+        assert not RequesterTransparency().check(platform.trace).passed
+        assert not PlatformTransparency().check(platform.trace).passed
+
+    def test_coverage_property(self):
+        assert PolicyEnforcer(preset("full")).coverage == 1.0
+        assert PolicyEnforcer(preset("opaque")).coverage == 0.0
+
+    def test_no_duplicate_disclosures_across_rounds(self, vocabulary):
+        platform = self._platform_with_history(vocabulary)
+        enforcer = PolicyEnforcer(preset("full"))
+        enforcer.apply_round(platform)
+        first_count = len(platform.trace.of_kind(DisclosureShown))
+        enforcer.apply_round(platform)
+        assert len(platform.trace.of_kind(DisclosureShown)) == first_count
+
+    def test_changed_values_redisclosed(self, vocabulary):
+        platform = self._platform_with_history(vocabulary)
+        enforcer = PolicyEnforcer(preset("full"))
+        enforcer.apply_round(platform)
+        before = len(platform.trace.of_kind(DisclosureShown))
+        # More work changes the worker's computed attributes...
+        platform.post_task(make_task("t2", vocabulary))
+        platform.start_work("w0001", "t2")
+        platform.process_contribution("w0001", "t2", DiligentBehavior())
+        enforcer.apply_round(platform)
+        # ...so their new values are disclosed again.
+        assert len(platform.trace.of_kind(DisclosureShown)) > before
+
+    def test_enforcer_name(self):
+        assert "full" in PolicyEnforcer(preset("full")).name

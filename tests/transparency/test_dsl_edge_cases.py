@@ -1,0 +1,90 @@
+"""Edge-case coverage for the DSL toolchain."""
+
+import pytest
+
+from repro.transparency.ast_nodes import Comparison
+from repro.transparency.evaluator import PolicyEvaluator
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.render import render_rule
+
+
+def _policy(body: str) -> TransparencyPolicy:
+    return TransparencyPolicy.from_source(f'policy "p" {{ {body} }}')
+
+
+class TestComparisonSemantics:
+    def test_mixed_type_ordering_is_false(self):
+        assert not Comparison.GE.apply("abc", 1)
+        assert not Comparison.LT.apply(None, 5)
+
+    def test_equality_across_types(self):
+        assert Comparison.NE.apply("1", 1)
+        assert not Comparison.EQ.apply("1", 1)
+
+    def test_numeric_comparisons(self):
+        assert Comparison.GT.apply(2, 1.5)
+        assert Comparison.LE.apply(1, 1)
+
+
+class TestPlatformConditions:
+    def test_condition_on_platform_stat(self):
+        policy = _policy(
+            "disclose platform.estimated_hourly_wage to workers "
+            "when platform.active_workers >= 10;"
+        )
+        few = PolicyEvaluator(
+            policy,
+            platform_stats={"estimated_hourly_wage": 5.0, "active_workers": 3},
+        )
+        many = PolicyEvaluator(
+            policy,
+            platform_stats={"estimated_hourly_wage": 5.0,
+                            "active_workers": 50},
+        )
+        assert few.disclosures_for_platform() == []
+        assert len(many.disclosures_for_platform()) == 1
+
+    def test_string_condition_on_platform(self):
+        policy = _policy(
+            'disclose platform.fee_structure to public '
+            'when platform.fee_structure != "";'
+        )
+        evaluator = PolicyEvaluator(
+            policy, platform_stats={"fee_structure": "20%"}
+        )
+        assert len(evaluator.disclosures_for_platform()) == 1
+
+
+class TestRenderEdgeCases:
+    def test_cross_subject_condition_phrase(self):
+        policy = _policy(
+            "disclose task.reward to workers "
+            "when requester.rating >= 3.5;"
+        )
+        text = render_rule(policy.ast.rules[0])
+        assert "requester" in text
+        assert "3.5" in text
+
+    def test_platform_condition_phrase(self):
+        policy = _policy(
+            "disclose platform.estimated_hourly_wage to workers "
+            "when platform.active_workers > 100;"
+        )
+        text = render_rule(policy.ast.rules[0])
+        assert "the platform's active worker count" in text
+        assert "is above 100" in text
+
+    def test_boolean_literal_phrase(self):
+        policy = _policy(
+            "disclose requester.name to workers "
+            "when requester.identity_verified == true;"
+        )
+        text = render_rule(policy.ast.rules[0])
+        assert "true" in text
+
+    def test_string_literal_phrase(self):
+        policy = _policy(
+            'disclose task.reward to workers when task.kind == "label";'
+        )
+        text = render_rule(policy.ast.rules[0])
+        assert '"label"' in text

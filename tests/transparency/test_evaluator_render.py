@@ -1,0 +1,148 @@
+"""Unit tests for policy evaluation and human-readable rendering."""
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes
+from repro.core.entities import Requester
+from repro.transparency.ast_nodes import Audience
+from repro.transparency.evaluator import PolicyEvaluator
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.render import render_policy, render_rule
+
+from tests.conftest import make_task, make_worker
+
+
+@pytest.fixture
+def requester_full():
+    return Requester(
+        requester_id="r0001", name="acme", hourly_wage=6.0, payment_delay=5,
+        recruitment_criteria="any", rejection_criteria="quality", rating=4.0,
+    )
+
+
+def _policy(body: str) -> TransparencyPolicy:
+    return TransparencyPolicy.from_source(f'policy "p" {{ {body} }}')
+
+
+class TestEvaluator:
+    def test_requester_disclosures(self, requester_full):
+        policy = _policy("disclose requester.hourly_wage to workers;")
+        disclosures = PolicyEvaluator(policy).disclosures_for_requester(
+            requester_full
+        )
+        assert len(disclosures) == 1
+        assert disclosures[0].subject == "requester:r0001"
+        assert disclosures[0].value == 6.0
+        assert disclosures[0].audience is Audience.WORKERS
+
+    def test_condition_filters(self, requester_full):
+        policy = _policy(
+            "disclose requester.rating to workers when requester.rating >= 4.5;"
+        )
+        assert PolicyEvaluator(policy).disclosures_for_requester(
+            requester_full
+        ) == []
+        passing = _policy(
+            "disclose requester.rating to workers when requester.rating >= 3.0;"
+        )
+        assert len(
+            PolicyEvaluator(passing).disclosures_for_requester(requester_full)
+        ) == 1
+
+    def test_missing_value_not_disclosed(self):
+        sparse = Requester(requester_id="r0002")  # no wage declared
+        policy = _policy("disclose requester.hourly_wage to workers;")
+        assert PolicyEvaluator(policy).disclosures_for_requester(sparse) == []
+
+    def test_condition_on_missing_value_fails_closed(self):
+        sparse = Requester(requester_id="r0002", hourly_wage=6.0)
+        policy = _policy(
+            "disclose requester.hourly_wage to workers "
+            "when requester.rating >= 1.0;"
+        )
+        assert PolicyEvaluator(policy).disclosures_for_requester(sparse) == []
+
+    def test_worker_self_disclosure(self, vocabulary):
+        worker = make_worker("w1", vocabulary).with_computed(
+            ComputedAttributes.from_history(3, 4, 5)
+        )
+        policy = _policy("disclose worker.acceptance_ratio to self;")
+        disclosures = PolicyEvaluator(policy).disclosures_for_worker(worker)
+        assert disclosures[0].audience_worker_id == "w1"
+        assert disclosures[0].value == pytest.approx(0.75)
+
+    def test_worker_declared_fallback(self, vocabulary):
+        worker = make_worker("w1", vocabulary, declared={"location": "us"})
+        policy = _policy("disclose worker.location to requesters;")
+        disclosures = PolicyEvaluator(policy).disclosures_for_worker(worker)
+        assert disclosures[0].value == "us"
+        assert disclosures[0].audience_worker_id == ""
+
+    def test_task_disclosures(self, vocabulary):
+        task = make_task("t1", vocabulary, reward=0.3)
+        policy = _policy("disclose task.reward to workers;")
+        disclosures = PolicyEvaluator(policy).disclosures_for_task(task)
+        assert disclosures[0].subject == "task:t1"
+        assert disclosures[0].value == 0.3
+
+    def test_platform_disclosures(self):
+        policy = _policy("disclose platform.fee_structure to public;")
+        evaluator = PolicyEvaluator(
+            policy, platform_stats={"fee_structure": "20%"}
+        )
+        disclosures = evaluator.disclosures_for_platform()
+        assert disclosures[0].subject == "platform"
+        assert disclosures[0].value == "20%"
+
+    def test_platform_missing_stat(self):
+        policy = _policy("disclose platform.fee_structure to public;")
+        assert PolicyEvaluator(policy).disclosures_for_platform() == []
+
+    def test_evaluate_all(self, vocabulary, requester_full):
+        policy = _policy(
+            "disclose requester.hourly_wage to workers;"
+            "disclose task.reward to workers;"
+        )
+        task = make_task("t1", vocabulary)
+        disclosures = PolicyEvaluator(policy).evaluate(
+            requesters=[requester_full], workers=[], tasks=[task]
+        )
+        assert len(disclosures) == 2
+
+
+class TestRender:
+    def test_simple_rule(self):
+        policy = _policy("disclose requester.hourly_wage to workers;")
+        text = render_rule(policy.ast.rules[0])
+        assert text == "Workers can see each requester's hourly wage."
+
+    def test_self_rule(self):
+        policy = _policy("disclose worker.acceptance_ratio to self;")
+        text = render_rule(policy.ast.rules[0])
+        assert text == "You can see your own acceptance ratio."
+
+    def test_conditional_rule(self):
+        policy = _policy(
+            "disclose worker.mean_quality to self "
+            "when worker.tasks_completed >= 10;"
+        )
+        text = render_rule(policy.ast.rules[0])
+        assert "once your completed task count is at least 10" in text
+
+    def test_public_rule(self):
+        policy = _policy("disclose platform.fee_structure to public;")
+        text = render_rule(policy.ast.rules[0])
+        assert text.startswith("Anyone can see the platform's fee structure")
+
+    def test_render_policy_lists_all_rules(self):
+        policy = _policy(
+            "disclose task.reward to workers;"
+            "disclose requester.rating to workers;"
+        )
+        text = render_policy(policy.ast)
+        assert text.count("\n") == 2
+        assert "reward" in text and "rating" in text
+
+    def test_render_empty_policy(self):
+        policy = _policy("")
+        assert "discloses nothing" in render_policy(policy.ast)

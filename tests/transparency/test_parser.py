@@ -1,0 +1,112 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.transparency.ast_nodes import Audience, Comparison, Subject
+from repro.transparency.parser import parse_policy
+
+
+class TestParsePolicy:
+    def test_empty_policy(self):
+        policy = parse_policy('policy "empty" {}')
+        assert policy.name == "empty"
+        assert policy.rules == ()
+
+    def test_single_rule(self):
+        policy = parse_policy(
+            'policy "p" { disclose requester.hourly_wage to workers; }'
+        )
+        rule = policy.rules[0]
+        assert rule.field.subject is Subject.REQUESTER
+        assert rule.field.field == "hourly_wage"
+        assert rule.audience is Audience.WORKERS
+        assert rule.condition is None
+
+    def test_rule_with_condition(self):
+        policy = parse_policy(
+            'policy "p" { disclose requester.rating to workers '
+            'when requester.rating >= 3.5; }'
+        )
+        condition = policy.rules[0].condition
+        assert condition.op is Comparison.GE
+        assert condition.literal == 3.5
+        assert condition.field.field == "rating"
+
+    def test_string_and_boolean_literals(self):
+        policy = parse_policy(
+            'policy "p" {\n'
+            '  disclose task.reward to workers when task.kind == "label";\n'
+            '  disclose requester.name to public '
+            'when requester.identity_verified == true;\n'
+            '}'
+        )
+        assert policy.rules[0].condition.literal == "label"
+        assert policy.rules[1].condition.literal is True
+
+    def test_multiple_rules_preserved_in_order(self):
+        policy = parse_policy(
+            'policy "p" {\n'
+            '  disclose task.reward to workers;\n'
+            '  disclose worker.acceptance_ratio to self;\n'
+            '}'
+        )
+        assert [str(r.field) for r in policy.rules] == [
+            "task.reward", "worker.acceptance_ratio"
+        ]
+
+    def test_comments_allowed(self):
+        policy = parse_policy(
+            'policy "p" {\n'
+            '  # explains the next rule\n'
+            '  disclose task.reward to workers;\n'
+            '}'
+        )
+        assert len(policy.rules) == 1
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ('disclose task.reward to workers;', "'policy'"),
+            ('policy p {}', "policy name string"),
+            ('policy "p" disclose', "'{'"),
+            ('policy "p" { disclose task to workers; }', "'.'"),
+            ('policy "p" { disclose task.reward workers; }', "'to'"),
+            ('policy "p" { disclose task.reward to workers }', "';'"),
+            ('policy "p" { disclose galaxy.reward to workers; }',
+             "unknown subject"),
+            ('policy "p" { disclose task.reward to martians; }',
+             "unknown audience"),
+            ('policy "p" { disclose task.reward to workers '
+             'when task.reward >= ; }', "expected a literal"),
+            ('policy "p" {', "unexpected end of input"),
+            ('policy "p" {} policy "q" {}', "trailing input"),
+        ],
+    )
+    def test_error_messages(self, source, message):
+        with pytest.raises(PolicySyntaxError, match=message):
+            parse_policy(source)
+
+    def test_error_position(self):
+        try:
+            parse_policy('policy "p" {\n  disclose task.reward workers;\n}')
+        except PolicySyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected PolicySyntaxError")
+
+
+class TestRoundTrip:
+    def test_str_reparses_identically(self):
+        source = (
+            'policy "round" {\n'
+            '  disclose requester.hourly_wage to workers;\n'
+            '  disclose worker.acceptance_ratio to self '
+            'when worker.tasks_completed >= 10;\n'
+            '  disclose task.reward to public when task.kind == "label";\n'
+            '}'
+        )
+        policy = parse_policy(source)
+        assert parse_policy(str(policy)) == policy

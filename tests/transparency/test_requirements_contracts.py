@@ -1,0 +1,158 @@
+"""Unit tests for declarative fairness rules and audit contracts."""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.errors import AuditError, PolicySemanticsError, PolicySyntaxError
+from repro.transparency import (
+    AuditContract,
+    Comparison,
+    FairnessRequirement,
+    TransparencyPolicy,
+    parse_policy,
+    render_policy,
+)
+from repro.transparency.render import render_requirement
+from repro.workloads.scenarios import clean_scenario, survey_cancellation_scenario
+
+
+def _policy(body: str) -> TransparencyPolicy:
+    return TransparencyPolicy.from_source(f'policy "p" {{ {body} }}')
+
+
+class TestRequirementParsing:
+    def test_basic_requirement(self):
+        policy = parse_policy(
+            'policy "p" { require axiom 3 score >= 0.95; }'
+        )
+        requirement = policy.requirements[0]
+        assert requirement.axiom_id == 3
+        assert requirement.op is Comparison.GE
+        assert requirement.threshold == 0.95
+
+    def test_mixed_with_rules(self):
+        policy = parse_policy(
+            'policy "p" {\n'
+            '  disclose task.reward to workers;\n'
+            '  require axiom 5 score >= 1.0;\n'
+            '  disclose requester.rating to workers;\n'
+            '}'
+        )
+        assert len(policy.rules) == 2
+        assert len(policy.requirements) == 1
+
+    def test_round_trip(self):
+        source = (
+            'policy "p" {\n'
+            '  disclose task.reward to workers;\n'
+            '  require axiom 1 score >= 0.9;\n'
+            '}'
+        )
+        policy = parse_policy(source)
+        assert parse_policy(str(policy)) == policy
+
+    @pytest.mark.parametrize(
+        "body, message",
+        [
+            ("require theorem 3 score >= 1;", "expected 'axiom'"),
+            ("require axiom 3.5 score >= 1;", "integer"),
+            ("require axiom 3 quality >= 1;", "expected 'score'"),
+            ("require axiom 3 score 1;", "comparison operator"),
+            ("require axiom 3 score >= ;", "threshold number"),
+        ],
+    )
+    def test_syntax_errors(self, body, message):
+        with pytest.raises(PolicySyntaxError, match=message):
+            parse_policy(f'policy "p" {{ {body} }}')
+
+
+class TestRequirementSemantics:
+    def test_valid(self):
+        _policy("require axiom 1 score >= 0.9;")
+
+    def test_unknown_axiom(self):
+        with pytest.raises(PolicySemanticsError, match="1-7"):
+            _policy("require axiom 9 score >= 0.9;")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PolicySemanticsError, match="threshold"):
+            _policy("require axiom 1 score >= 1.5;")
+
+    def test_non_floor_comparison(self):
+        with pytest.raises(PolicySemanticsError, match="floor"):
+            _policy("require axiom 1 score <= 0.9;")
+
+    def test_duplicate_axiom(self):
+        with pytest.raises(PolicySemanticsError, match="duplicate"):
+            _policy(
+                "require axiom 1 score >= 0.9;"
+                "require axiom 1 score >= 0.5;"
+            )
+
+
+class TestRequirementRendering:
+    def test_render_requirement(self):
+        requirement = FairnessRequirement(3, Comparison.GE, 0.95)
+        text = render_requirement(requirement)
+        assert "equal pay for similar contributions" in text
+        assert "0.95" in text
+
+    def test_policy_rendering_includes_commitments(self):
+        policy = _policy(
+            "disclose task.reward to workers;"
+            "require axiom 5 score >= 1.0;"
+        )
+        text = render_policy(policy.ast)
+        assert "commits to these fairness rules" in text
+        assert "no interruption of started work" in text
+
+
+class TestAuditContract:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        engine = AuditEngine()
+        return {
+            "clean": engine.audit(clean_scenario().trace),
+            "interrupted": engine.audit(survey_cancellation_scenario().trace),
+        }
+
+    def test_honoured_contract(self, reports):
+        contract = AuditContract(_policy("require axiom 5 score >= 1.0;"))
+        outcome = contract.evaluate(reports["clean"])
+        assert outcome.honoured
+        assert not outcome.breaches
+
+    def test_breached_contract(self, reports):
+        contract = AuditContract(_policy("require axiom 5 score >= 1.0;"))
+        outcome = contract.evaluate(reports["interrupted"])
+        assert not outcome.honoured
+        assert outcome.breaches[0].axiom_id == 5
+        assert outcome.breaches[0].actual_score < 1.0
+
+    def test_summary_lines(self, reports):
+        contract = AuditContract(
+            _policy("require axiom 3 score >= 0.9;"
+                    "require axiom 5 score >= 1.0;")
+        )
+        lines = contract.evaluate(reports["interrupted"]).summary_lines()
+        assert "BREACHED" in lines[0]
+        assert any("[OK]" in line for line in lines)
+        assert any("[BREACH]" in line for line in lines)
+
+    def test_missing_axiom_in_report(self, reports):
+        from repro.core.axioms import AxiomRegistry
+        from repro.core.axiom_completion import WorkerFairnessInCompletion
+
+        narrow = AuditEngine(
+            registry=AxiomRegistry().register(WorkerFairnessInCompletion())
+        )
+        report = narrow.audit(clean_scenario().trace)
+        contract = AuditContract(_policy("require axiom 3 score >= 0.9;"))
+        with pytest.raises(AuditError, match="no result for axiom 3"):
+            contract.evaluate(report)
+
+    def test_contract_with_no_requirements_vacuous(self, reports):
+        contract = AuditContract(_policy("disclose task.reward to workers;"))
+        outcome = contract.evaluate(reports["interrupted"])
+        assert outcome.honoured
+        assert outcome.verdicts == ()

@@ -1,0 +1,148 @@
+"""Unit tests for semantic validation and the TransparencyPolicy facade."""
+
+import pytest
+
+from repro.errors import PolicySemanticsError
+from repro.transparency.ast_nodes import Subject
+from repro.transparency.parser import parse_policy
+from repro.transparency.policy import TransparencyPolicy
+from repro.transparency.semantics import DisclosureSchema, validate_policy
+
+
+def _validate(body: str) -> None:
+    validate_policy(parse_policy(f'policy "p" {{ {body} }}'))
+
+
+class TestValidatePolicy:
+    def test_valid_rules_pass(self):
+        _validate("disclose requester.hourly_wage to workers;")
+        _validate("disclose worker.acceptance_ratio to self;")
+        _validate("disclose platform.fee_structure to public;")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PolicySemanticsError, match="unknown field"):
+            _validate("disclose requester.shoe_size to workers;")
+
+    def test_self_invalid_for_task(self):
+        with pytest.raises(PolicySemanticsError, match="invalid for subject"):
+            _validate("disclose task.reward to self;")
+
+    def test_self_invalid_for_platform(self):
+        with pytest.raises(PolicySemanticsError, match="invalid for subject"):
+            _validate("disclose platform.fee_structure to self;")
+
+    def test_duplicate_unconditional_rule_rejected(self):
+        with pytest.raises(PolicySemanticsError, match="duplicate"):
+            _validate(
+                "disclose task.reward to workers;"
+                "disclose task.reward to workers;"
+            )
+
+    def test_same_field_different_audience_allowed(self):
+        _validate(
+            "disclose task.reward to workers;"
+            "disclose task.reward to public;"
+        )
+
+    def test_condition_unknown_field(self):
+        with pytest.raises(PolicySemanticsError, match="unknown field"):
+            _validate(
+                "disclose task.reward to workers when task.mystery >= 1;"
+            )
+
+    def test_condition_type_mismatch(self):
+        with pytest.raises(PolicySemanticsError, match="str literal"):
+            _validate(
+                'disclose task.reward to workers when task.reward >= "high";'
+            )
+
+    def test_condition_boolean_literal_for_number(self):
+        with pytest.raises(PolicySemanticsError, match="boolean literal"):
+            _validate(
+                "disclose task.reward to workers when task.reward == true;"
+            )
+
+    def test_ordering_on_string_field_rejected(self):
+        with pytest.raises(PolicySemanticsError, match="ordering comparison"):
+            _validate(
+                'disclose task.reward to workers when task.kind >= "a";'
+            )
+
+    def test_equality_on_string_field_allowed(self):
+        _validate('disclose task.reward to workers when task.kind == "label";')
+
+
+class TestDisclosureSchema:
+    def test_total_field_count(self):
+        schema = DisclosureSchema()
+        assert schema.total_field_count() == sum(
+            len(schema.all_fields(subject)) for subject in Subject
+        )
+
+    def test_custom_schema(self):
+        schema = DisclosureSchema(
+            fields={Subject.TASK: {"reward": "number"}}
+        )
+        policy = parse_policy('policy "p" { disclose task.reward to workers; }')
+        validate_policy(policy, schema)
+        bad = parse_policy('policy "p" { disclose worker.location to self; }')
+        with pytest.raises(PolicySemanticsError):
+            validate_policy(bad, schema)
+
+
+class TestTransparencyPolicy:
+    def test_from_source_validates(self):
+        with pytest.raises(PolicySemanticsError):
+            TransparencyPolicy.from_source(
+                'policy "p" { disclose requester.shoe_size to workers; }'
+            )
+
+    def test_round_trip(self):
+        source = (
+            'policy "p" {\n'
+            '  disclose requester.hourly_wage to workers;\n'
+            '}'
+        )
+        policy = TransparencyPolicy.from_source(source)
+        again = TransparencyPolicy.from_source(policy.to_source())
+        assert again.ast == policy.ast
+
+    def test_mandated_coverage_full(self):
+        from repro.transparency.presets import preset
+
+        assert preset("full").mandated_coverage() == 1.0
+        assert preset("opaque").mandated_coverage() == 0.0
+
+    def test_requester_disclosure_to_requesters_does_not_count(self):
+        policy = TransparencyPolicy.from_source(
+            'policy "p" { disclose requester.hourly_wage to requesters; }'
+        )
+        assert policy.mandated_coverage() == 0.0
+
+    def test_worker_self_disclosure_counts(self):
+        policy = TransparencyPolicy.from_source(
+            'policy "p" { disclose worker.acceptance_ratio to self; }'
+        )
+        assert policy.mandated_coverage() == pytest.approx(1 / 6)
+
+    def test_missing_mandated_fields(self):
+        policy = TransparencyPolicy.from_source(
+            'policy "p" { disclose requester.hourly_wage to workers; }'
+        )
+        missing = policy.missing_mandated_fields()
+        assert "hourly_wage" not in missing["requester"]
+        assert "payment_delay" in missing["requester"]
+        assert missing["worker"] == ["acceptance_ratio", "tasks_completed"]
+
+    def test_schema_coverage(self):
+        from repro.transparency.presets import preset
+
+        assert 0.0 < preset("amt_basic").schema_coverage() < 1.0
+        assert preset("opaque").schema_coverage() == 0.0
+
+    def test_rule_count_and_name(self):
+        from repro.transparency.presets import preset
+
+        policy = preset("amt_basic")
+        assert policy.name == "amt_basic"
+        assert policy.rule_count == 3

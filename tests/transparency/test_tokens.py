@@ -1,0 +1,90 @@
+"""Unit tests for the DSL lexer."""
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.transparency.tokens import Token, TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)]
+
+
+class TestTokenize:
+    def test_keywords(self):
+        assert _types("policy disclose to when") == [
+            TokenType.POLICY, TokenType.DISCLOSE, TokenType.TO,
+            TokenType.WHEN, TokenType.EOF,
+        ]
+
+    def test_punctuation(self):
+        assert _types("{ } . ;") == [
+            TokenType.LBRACE, TokenType.RBRACE, TokenType.DOT,
+            TokenType.SEMICOLON, TokenType.EOF,
+        ]
+
+    def test_operators(self):
+        tokens = tokenize(">= <= > < == !=")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == [">=", "<=", ">", "<", "==", "!="]
+
+    def test_string_literal(self):
+        token = tokenize('"hello world"')[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PolicySyntaxError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_multiline_string_rejected(self):
+        with pytest.raises(PolicySyntaxError, match="multiple lines"):
+            tokenize('"a\nb"')
+
+    def test_numbers(self):
+        tokens = tokenize("3 3.5 -2")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == [3, 3.5, -2]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_malformed_number(self):
+        with pytest.raises(PolicySyntaxError, match="malformed number"):
+            tokenize("1.2.3")
+
+    def test_booleans(self):
+        tokens = tokenize("true false")
+        values = [t.value for t in tokens if t.type is TokenType.BOOLEAN]
+        assert values == [True, False]
+
+    def test_identifiers(self):
+        tokens = tokenize("hourly_wage worker")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "hourly_wage"
+
+    def test_comments_skipped(self):
+        assert _types("# a comment\npolicy") == [
+            TokenType.POLICY, TokenType.EOF
+        ]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("policy\n  disclose")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(PolicySyntaxError, match="unexpected character"):
+            tokenize("policy @")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("policy\n   @")
+        except PolicySyntaxError as error:
+            assert error.line == 2
+            assert error.column == 4
+        else:
+            pytest.fail("expected PolicySyntaxError")
+
+    def test_repr_readable(self):
+        token = tokenize("policy")[0]
+        assert "POLICY" in repr(token)

@@ -1,0 +1,131 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.entities import SkillVocabulary
+from repro.workloads.skills import standard_vocabulary, vocabulary
+from repro.workloads.tasks import TaskStream, task_batch, uniform_tasks
+from repro.workloads.workers import (
+    PopulationSpec,
+    homogeneous_population,
+    population,
+    worker,
+)
+
+
+class TestSkills:
+    def test_standard_vocabulary(self):
+        vocab = standard_vocabulary()
+        assert len(vocab) == 12
+        assert "survey" in vocab
+
+    def test_synthetic_vocabulary(self):
+        vocab = vocabulary(5)
+        assert vocab.keywords == tuple(f"skill_{i}" for i in range(5))
+        with pytest.raises(ValueError):
+            vocabulary(0)
+
+
+class TestWorkers:
+    def test_worker_factory(self):
+        vocab = standard_vocabulary()
+        entity = worker("w1", vocab, skills=("survey",),
+                        declared={"group": "blue"})
+        assert entity.worker_id == "w1"
+        assert entity.declared["group"] == "blue"
+        assert "survey" in entity.skills
+        assert len(entity.computed) == 0
+
+    def test_population_size_and_ids(self):
+        vocab = standard_vocabulary()
+        spec = PopulationSpec(size=10, seed=0)
+        workers, behaviors = population(spec, vocab)
+        assert len(workers) == 10
+        assert len({w.worker_id for w in workers}) == 10
+        assert set(behaviors) == {w.worker_id for w in workers}
+
+    def test_population_deterministic(self):
+        vocab = standard_vocabulary()
+        spec = PopulationSpec(size=10, seed=42)
+        first, _ = population(spec, vocab)
+        second, _ = population(spec, vocab)
+        assert [w.declared.as_dict() for w in first] == [
+            w.declared.as_dict() for w in second
+        ]
+
+    def test_group_weights_respected(self):
+        vocab = standard_vocabulary()
+        spec = PopulationSpec(
+            size=200, group_values=("a", "b"), group_weights=(0.9, 0.1),
+            seed=1,
+        )
+        workers, _ = population(spec, vocab)
+        a_count = sum(1 for w in workers if w.declared["group"] == "a")
+        assert a_count > 140
+
+    def test_behavior_mix_respected(self):
+        vocab = standard_vocabulary()
+        spec = PopulationSpec(
+            size=200, behavior_mix={"diligent": 0.5, "spammer": 0.5}, seed=2
+        )
+        _, behaviors = population(spec, vocab)
+        spammers = sum(1 for b in behaviors.values() if b.name == "spammer")
+        assert 60 < spammers < 140
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(size=-1)
+        with pytest.raises(ValueError):
+            PopulationSpec(group_values=("a", "b"), group_weights=(1.0,))
+        with pytest.raises(ValueError):
+            PopulationSpec(behavior_mix={})
+
+    def test_homogeneous_population_identical(self):
+        vocab = standard_vocabulary()
+        workers = homogeneous_population(
+            4, vocab, skills=("survey",), declared={"group": "x"}
+        )
+        assert len({w.skills.bits for w in workers}) == 1
+        assert len({w.worker_id for w in workers}) == 4
+
+
+class TestTasks:
+    def test_uniform_tasks(self):
+        vocab = standard_vocabulary()
+        tasks = uniform_tasks(3, vocab, reward=0.2, skills=("survey",))
+        assert [t.task_id for t in tasks] == ["t0001", "t0002", "t0003"]
+        assert all(t.reward == 0.2 for t in tasks)
+        assert all(t.gold_answer == "A" for t in tasks)
+
+    def test_uniform_tasks_start_index(self):
+        vocab = standard_vocabulary()
+        tasks = uniform_tasks(2, vocab, start_index=5)
+        assert [t.task_id for t in tasks] == ["t0005", "t0006"]
+
+    def test_task_batch_heterogeneous(self):
+        vocab = standard_vocabulary()
+        rng = random.Random(0)
+        tasks = task_batch(
+            20, vocab, rng, requester_ids=("r1", "r2"),
+            kinds=("label", "text"),
+        )
+        assert len(tasks) == 20
+        assert {t.requester_id for t in tasks} == {"r1", "r2"}
+        assert {t.kind for t in tasks} == {"label", "text"}
+        assert len({t.task_id for t in tasks}) == 20
+
+    def test_task_batch_validation(self):
+        vocab = standard_vocabulary()
+        with pytest.raises(ValueError):
+            task_batch(-1, vocab, random.Random(0))
+
+    def test_task_stream_unique_ids_across_rounds(self):
+        vocab = standard_vocabulary()
+        stream = TaskStream(vocabulary=vocab, tasks_per_round=5)
+        rng = random.Random(0)
+        first = stream(0, rng)
+        second = stream(1, rng)
+        ids = {t.task_id for t in first} | {t.task_id for t in second}
+        assert len(ids) == 10
