@@ -5,7 +5,16 @@ Usage::
     python -m repro                # run everything at default scale
     python -m repro E2 E4          # run selected experiments
     python -m repro E1 --seed 42   # with a different seed
+    python -m repro --jobs 4      # run experiments 4 at a time
     python -m repro --list         # show the experiment index
+    python -m repro --stream-audit # live-audit the labelled scenarios
+
+``--jobs N`` fans the selected experiments out over N workers; output
+order (and content) is independent of N.  ``--stream-audit`` replays
+every labelled scenario from :mod:`repro.workloads.scenarios` through
+the :class:`~repro.core.audit.StreamingAuditEngine` event by event —
+the continuous-monitoring mode — and prints each scenario's final
+snapshot, cross-checked against a batch audit of the same trace.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import EXPERIMENTS, run_many
 
 _DESCRIPTIONS: dict[str, str] = {
     "E1": "discriminatory power of task-assignment algorithms",
@@ -51,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (json emits one object per experiment)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments concurrently (default 1; "
+             "output is identical for any N)",
+    )
+    parser.add_argument(
+        "--stream-audit", action="store_true", dest="stream_audit",
+        help="replay the labelled scenarios through the streaming audit "
+             "engine and print each final snapshot",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiments and exit",
     )
@@ -72,12 +91,59 @@ def _result_to_json(result) -> dict:
     }
 
 
+def _stream_audit(seed: int, output_format: str) -> int:
+    """Replay every labelled scenario through the streaming engine."""
+    from repro.core.audit import AuditEngine, StreamingAuditEngine
+    from repro.workloads.scenarios import all_scenarios
+
+    batch_engine = AuditEngine()
+    summaries = []
+    for scenario in all_scenarios(seed):
+        streaming = StreamingAuditEngine()
+        streaming.observe_all(scenario.trace)
+        snapshot = streaming.snapshot()
+        agrees = snapshot == batch_engine.audit(scenario.trace)
+        summaries.append((scenario, snapshot, agrees))
+    if output_format == "json":
+        import json
+
+        print(json.dumps([
+            {
+                "scenario": scenario.name,
+                "events": snapshot.trace_length,
+                "overall_score": snapshot.overall_score,
+                "violations": snapshot.total_violations,
+                "matches_batch_audit": agrees,
+            }
+            for scenario, snapshot, agrees in summaries
+        ], indent=2))
+    else:
+        for scenario, snapshot, agrees in summaries:
+            print(f"--- {scenario.name} "
+                  f"({'matches' if agrees else 'DIVERGES FROM'} batch audit)")
+            for line in snapshot.summary_lines():
+                print(line)
+            print()
+    return 0 if all(agrees for _, _, agrees in summaries) else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         for experiment_id in sorted(EXPERIMENTS):
             print(f"{experiment_id}: {_DESCRIPTIONS.get(experiment_id, '')}")
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.stream_audit:
+        if args.experiments:
+            print(
+                "note: --stream-audit replays the labelled scenarios; "
+                f"ignoring experiment ids {', '.join(args.experiments)}",
+                file=sys.stderr,
+            )
+        return _stream_audit(args.seed or 0, args.format)
     wanted = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
@@ -85,10 +151,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
     kwargs = {} if args.seed is None else {"seed": args.seed}
-    if set(wanted) == set(EXPERIMENTS):
-        results = run_all(**kwargs)
-    else:
-        results = [run_experiment(e, **kwargs) for e in wanted]
+    results = run_many(wanted, jobs=args.jobs, **kwargs)
     if args.format == "json":
         import json
 

@@ -14,8 +14,20 @@ This package implements the paper's primary contribution:
 """
 
 from repro.core.attributes import ComputedAttributes, DeclaredAttributes
-from repro.core.audit import AuditEngine, AuditReport, AxiomResult
-from repro.core.axioms import Axiom, AxiomCheck, AxiomRegistry, default_registry
+from repro.core.audit import (
+    AuditEngine,
+    AuditReport,
+    AxiomResult,
+    StreamingAuditEngine,
+)
+from repro.core.axioms import (
+    Axiom,
+    AxiomCheck,
+    AxiomRegistry,
+    IncrementalChecker,
+    ReplayChecker,
+    default_registry,
+)
 from repro.core.entities import (
     Contribution,
     Requester,
@@ -24,7 +36,7 @@ from repro.core.entities import (
     Task,
     Worker,
 )
-from repro.core.trace import PlatformTrace
+from repro.core.trace import PlatformTrace, TraceCursor
 from repro.core.violations import Violation, ViolationSeverity
 
 __all__ = [
@@ -37,11 +49,15 @@ __all__ = [
     "ComputedAttributes",
     "Contribution",
     "DeclaredAttributes",
+    "IncrementalChecker",
     "PlatformTrace",
+    "ReplayChecker",
     "Requester",
     "SkillVector",
     "SkillVocabulary",
+    "StreamingAuditEngine",
     "Task",
+    "TraceCursor",
     "Violation",
     "ViolationSeverity",
     "Worker",

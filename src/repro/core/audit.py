@@ -6,14 +6,31 @@ algorithms for existing crowdsourcing systems."  The
 axiom checkers it produces an :class:`AuditReport` with per-axiom
 scores, violation lists, and an overall fairness summary suitable for
 comparison across platforms.
+
+For a *live* platform, re-running the batch engine after every event
+costs O(trace) per audit and O(trace²) over a run.  The
+:class:`StreamingAuditEngine` instead feeds each event once into the
+axioms' incremental checkers (:meth:`~repro.core.axioms.Axiom.incremental`)
+and materialises a report on demand; its contract — enforced by the
+differential property suite — is that ``snapshot()`` after observing
+``N`` events equals ``AuditEngine.audit`` of that ``N``-event prefix.
+Attach it to a :class:`~repro.core.trace.PlatformTrace` with
+:meth:`StreamingAuditEngine.attach` (uses the trace's subscription API)
+or drive it manually with :meth:`StreamingAuditEngine.observe`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
-from repro.core.axioms import AxiomCheck, AxiomRegistry, default_registry
+from repro.core.axioms import (
+    AxiomCheck,
+    AxiomRegistry,
+    IncrementalChecker,
+    default_registry,
+)
+from repro.core.events import Event
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation, ViolationSeverity
 from repro.errors import AuditError
@@ -33,7 +50,11 @@ class AuditReport:
         for result in self.results:
             if result.axiom_id == axiom_id:
                 return result
-        raise AuditError(f"report has no result for axiom {axiom_id}")
+        known = sorted(result.axiom_id for result in self.results)
+        raise AuditError(
+            f"report has no result for axiom {axiom_id}; "
+            f"available axioms: {known if known else 'none (empty report)'}"
+        )
 
     @property
     def violations(self) -> tuple[Violation, ...]:
@@ -140,3 +161,66 @@ class AuditEngine:
             reports.append((start, self.audit(chunk)))
             start += window
         return reports
+
+
+class StreamingAuditEngine:
+    """Audits a growing trace incrementally, one event at a time.
+
+    Feed events with :meth:`observe` (or let :meth:`attach` subscribe to
+    a live :class:`~repro.core.trace.PlatformTrace`); call
+    :meth:`snapshot` whenever a verdict is needed.  After ``N`` observed
+    events the snapshot equals ``AuditEngine(registry).audit`` of the
+    same ``N``-event prefix, but the cost of keeping the verdict fresh
+    is paid per *new* event rather than per audit of the whole trace —
+    repeated audits of a busy platform go from O(trace) each to
+    O(new events) total plus a small per-snapshot sweep.
+    """
+
+    def __init__(self, registry: AxiomRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._checkers: list[IncrementalChecker] = [
+            axiom.incremental() for axiom in self.registry
+        ]
+        self._observed = 0
+        self._detach: Callable[[], None] | None = None
+
+    @property
+    def observed_events(self) -> int:
+        """How many events this engine has consumed."""
+        return self._observed
+
+    def observe(self, event: Event) -> None:
+        """Feed one event to every incremental checker."""
+        for checker in self._checkers:
+            checker.observe(event)
+        self._observed += 1
+
+    def observe_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.observe(event)
+
+    def snapshot(self) -> AuditReport:
+        """The report a batch audit of the observed prefix would produce."""
+        results = tuple(checker.snapshot() for checker in self._checkers)
+        return AuditReport(results=results, trace_length=self._observed)
+
+    def attach(self, trace: PlatformTrace) -> "StreamingAuditEngine":
+        """Subscribe to a live trace: catch up on its existing events,
+        then observe every future append as it happens.
+
+        An engine audits one stream; attaching twice (or after manual
+        ``observe`` calls interleaved with another trace) would mix
+        streams, so a second attach raises.  Returns ``self`` for
+        chaining: ``engine = StreamingAuditEngine().attach(trace)``.
+        """
+        if self._detach is not None:
+            raise AuditError("engine is already attached to a trace")
+        self.observe_all(trace.events_since(0))
+        self._detach = trace.subscribe(self.observe)
+        return self
+
+    def detach(self) -> None:
+        """Stop observing the attached trace (no-op when not attached)."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None

@@ -20,18 +20,35 @@ fairness of deriving computed attributes" — is implemented by
 ``audit_derivations``: published ``C_w`` values are re-derived from
 their recorded raw counters, and inconsistencies are violations even
 when the visibility comparison passes.
+
+Both axioms also ship *incremental* checkers (see
+:meth:`~repro.core.axioms.Axiom.incremental`): Axiom 1 finalises each
+browse tick as soon as the clock moves past it, so a streaming snapshot
+re-examines only the still-open tick; Axiom 2 maintains audiences and a
+comparability cache event by event, so a snapshot costs one pass over
+task pairs with every similarity already memoised, instead of a rescan
+of the whole trace.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
+from itertools import combinations
 
-from repro.core.axioms import Axiom, AxiomCheck, sampled_pairs
+from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker, sampled_pairs
 from repro.core.entities import Task, Worker
-from repro.core.events import TaskPosted, TasksShown
+from repro.core.events import (
+    Event,
+    TaskPosted,
+    TasksShown,
+    WorkerRegistered,
+    WorkerUpdated,
+)
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation, ViolationSeverity
+from repro.errors import UnknownEntityError
 from repro.similarity.numeric import reward_comparability
 from repro.similarity.vectors import (
     attribute_overlap_similarity,
@@ -118,44 +135,65 @@ class WorkerFairnessInAssignment(Axiom):
                 if not self.workers_similar(left, right):
                     continue
                 opportunities += 1
-                agreement = _set_jaccard(per_time[left_id], per_time[right_id])
-                if agreement < self.visibility_threshold:
-                    only_left = per_time[left_id] - per_time[right_id]
-                    only_right = per_time[right_id] - per_time[left_id]
-                    violations.append(
-                        Violation(
-                            axiom_id=1,
-                            message=(
-                                f"similar workers saw different tasks "
-                                f"(jaccard {agreement:.2f} < "
-                                f"{self.visibility_threshold:.2f})"
-                            ),
-                            time=time,
-                            severity=ViolationSeverity.CRITICAL,
-                            subjects=(left_id, right_id),
-                            witness={
-                                "only_shown_to_first": sorted(only_left),
-                                "only_shown_to_second": sorted(only_right),
-                                "jaccard": agreement,
-                            },
-                        )
-                    )
+                violation = self._visibility_violation(
+                    left_id, right_id, time,
+                    per_time[left_id], per_time[right_id],
+                )
+                if violation is not None:
+                    violations.append(violation)
         if self.audit_derivations:
             derivation_violations, derivation_opportunities = (
-                self._check_derivations(trace)
+                self._check_derivations(
+                    ((wid, trace.final_worker(wid)) for wid in trace.worker_ids),
+                    trace.end_time,
+                )
             )
             violations.extend(derivation_violations)
             opportunities += derivation_opportunities
         return self._result(violations, opportunities)
 
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalWorkerFairness(self)
+
+    def _visibility_violation(
+        self,
+        left_id: str,
+        right_id: str,
+        time: int,
+        left_seen: set[str],
+        right_seen: set[str],
+    ) -> Violation | None:
+        """The Axiom 1 verdict for one similar pair's simultaneous views."""
+        agreement = _set_jaccard(left_seen, right_seen)
+        if agreement >= self.visibility_threshold:
+            return None
+        only_left = left_seen - right_seen
+        only_right = right_seen - left_seen
+        return Violation(
+            axiom_id=1,
+            message=(
+                f"similar workers saw different tasks "
+                f"(jaccard {agreement:.2f} < "
+                f"{self.visibility_threshold:.2f})"
+            ),
+            time=time,
+            severity=ViolationSeverity.CRITICAL,
+            subjects=(left_id, right_id),
+            witness={
+                "only_shown_to_first": sorted(only_left),
+                "only_shown_to_second": sorted(only_right),
+                "jaccard": agreement,
+            },
+        )
+
     def _check_derivations(
-        self, trace: PlatformTrace
+        self, workers, end_time: int
     ) -> tuple[list[Violation], int]:
-        """Verify published C_w against the reference derivation."""
+        """Verify published C_w of ``(worker_id, worker)`` pairs against
+        the reference derivation."""
         violations: list[Violation] = []
         opportunities = 0
-        for worker_id in trace.worker_ids:
-            worker = trace.final_worker(worker_id)
+        for worker_id, worker in workers:
             if not worker.computed.derivation:
                 continue
             opportunities += 1
@@ -168,7 +206,7 @@ class WorkerFairnessInAssignment(Axiom):
                             "published computed attributes diverge from "
                             "their recorded derivation (unfairly derived C_w)"
                         ),
-                        time=trace.end_time,
+                        time=end_time,
                         severity=ViolationSeverity.CRITICAL,
                         subjects=(worker_id,),
                         witness={
@@ -177,6 +215,167 @@ class WorkerFairnessInAssignment(Axiom):
                         },
                     )
                 )
+        return violations, opportunities
+
+
+class _IncrementalWorkerFairness(IncrementalChecker):
+    """Streaming Axiom 1: finalise each browse tick when time moves on.
+
+    Events arrive in non-decreasing time order, so once any event with a
+    later timestamp appears, a tick's merged browse views — and every
+    worker snapshot relevant to :meth:`PlatformTrace.worker_at` at that
+    tick — are complete.  The pair comparisons for that tick are then
+    computed once and cached; a snapshot only re-examines the still-open
+    tick and the (cheap) derivation audit.  When the worker population
+    grows past the pair-sampling cap the checker recomputes from its
+    retained views with :func:`sampled_pairs`, preserving exact batch
+    equivalence at the cost of that one snapshot.
+    """
+
+    def __init__(self, axiom: WorkerFairnessInAssignment) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        # time -> worker_id -> merged task ids (insertion = ascending time).
+        self._views: dict[int, dict[str, set[str]]] = {}
+        # worker_id -> [(time, Worker)] in append (= time) order; key
+        # insertion order matches PlatformTrace.worker_ids.
+        self._snapshots: dict[str, list[tuple[int, Worker]]] = {}
+        self._end_time = 0
+        # The one tick whose views may still grow (events are time-ordered).
+        self._pending_time: int | None = None
+        # Finalised (left_id, right_id, time, violation-or-None) results.
+        self._final: list[tuple[str, str, int, Violation | None]] = []
+        self._final_opportunities = 0
+
+    def observe(self, event: Event) -> None:
+        if self._pending_time is not None and event.time > self._pending_time:
+            # Once the population crosses the sampling cap it never
+            # shrinks back, so snapshots recompute via sampled_pairs
+            # forever and per-tick finalised results are dead weight —
+            # stop paying for them.
+            if not self._sampling_active():
+                self._finalize_tick(self._pending_time)
+            self._pending_time = None
+        if isinstance(event, (WorkerRegistered, WorkerUpdated)):
+            self._snapshots.setdefault(event.worker.worker_id, []).append(
+                (event.time, event.worker)
+            )
+        elif isinstance(event, TasksShown):
+            per_time = self._views.setdefault(event.time, {})
+            per_time.setdefault(event.worker_id, set()).update(event.task_ids)
+            self._pending_time = event.time
+        self._end_time = event.time
+
+    def _sampling_active(self) -> bool:
+        n = len(self._snapshots)
+        total_pairs = n * (n - 1) // 2
+        return (
+            self._axiom.max_pairs is not None
+            and total_pairs > self._axiom.max_pairs
+        )
+
+    def snapshot(self) -> AxiomCheck:
+        axiom = self._axiom
+        if self._sampling_active():
+            violations, opportunities = self._recompute_sampled()
+        else:
+            compared = list(self._final)
+            opportunities = self._final_opportunities
+            if self._pending_time is not None:
+                pending, pending_opportunities = self._compare_tick(
+                    self._pending_time
+                )
+                compared.extend(pending)
+                opportunities += pending_opportunities
+            # Batch order: lexicographic pair (combinations of sorted
+            # ids), then ascending tick within each pair.
+            compared.sort(key=lambda item: (item[0], item[1], item[2]))
+            violations = [v for (_, _, _, v) in compared if v is not None]
+        if axiom.audit_derivations:
+            derivation_violations, derivation_opportunities = (
+                axiom._check_derivations(
+                    (
+                        (wid, snaps[-1][1])
+                        for wid, snaps in self._snapshots.items()
+                    ),
+                    self._end_time,
+                )
+            )
+            violations.extend(derivation_violations)
+            opportunities += derivation_opportunities
+        return axiom._result(violations, opportunities)
+
+    # ------------------------------------------------------------------
+
+    def _latest_worker(self, worker_id: str) -> Worker:
+        """Current snapshot; valid for any finalised-or-pending tick
+        because no observed snapshot can postdate it."""
+        snapshots = self._snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        return snapshots[-1][1]
+
+    def _worker_at(self, worker_id: str, time: int) -> Worker:
+        """Mirror of :meth:`PlatformTrace.worker_at`, including its
+        refusal to answer for a worker not yet registered at ``time``."""
+        snapshots = self._snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        index = bisect_right(snapshots, time, key=lambda pair: pair[0])
+        if index == 0:
+            raise UnknownEntityError(
+                f"worker {worker_id!r} not yet registered at t={time}"
+            )
+        return snapshots[index - 1][1]
+
+    def _compare_tick(
+        self, time: int
+    ) -> tuple[list[tuple[str, str, int, Violation | None]], int]:
+        """All similar-pair comparisons for one tick's merged views."""
+        axiom = self._axiom
+        per_time = self._views[time]
+        results: list[tuple[str, str, int, Violation | None]] = []
+        opportunities = 0
+        for left_id, right_id in combinations(sorted(per_time), 2):
+            left = self._latest_worker(left_id)
+            right = self._latest_worker(right_id)
+            if not axiom.workers_similar(left, right):
+                continue
+            opportunities += 1
+            violation = axiom._visibility_violation(
+                left_id, right_id, time, per_time[left_id], per_time[right_id]
+            )
+            results.append((left_id, right_id, time, violation))
+        return results, opportunities
+
+    def _finalize_tick(self, time: int) -> None:
+        results, opportunities = self._compare_tick(time)
+        self._final.extend(results)
+        self._final_opportunities += opportunities
+
+    def _recompute_sampled(self) -> tuple[list[Violation], int]:
+        """Exact batch semantics once pair sampling kicks in."""
+        axiom = self._axiom
+        violations: list[Violation] = []
+        opportunities = 0
+        worker_ids = sorted(self._snapshots)
+        for left_id, right_id in sampled_pairs(
+            worker_ids, axiom.max_pairs, axiom.sample_seed
+        ):
+            for time, per_time in self._views.items():
+                if left_id not in per_time or right_id not in per_time:
+                    continue
+                left = self._worker_at(left_id, time)
+                right = self._worker_at(right_id, time)
+                if not axiom.workers_similar(left, right):
+                    continue
+                opportunities += 1
+                violation = axiom._visibility_violation(
+                    left_id, right_id, time,
+                    per_time[left_id], per_time[right_id],
+                )
+                if violation is not None:
+                    violations.append(violation)
         return violations, opportunities
 
 
@@ -215,21 +414,48 @@ class RequesterFairnessInAssignment(Axiom):
         return comparability >= self.reward_threshold
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
-        violations: list[Violation] = []
-        opportunities = 0
         posted_at = {
             event.task.task_id: event.time for event in trace.of_kind(TaskPosted)
         }
-        audiences = trace.audience_by_task()
+        violations, opportunities = self._scan(
+            posted_at, trace.tasks, trace.audience_by_task()
+        )
+        return self._result(violations, opportunities)
+
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalRequesterFairness(self)
+
+    def _scan(
+        self,
+        posted_at: dict[str, int],
+        tasks: dict[str, Task],
+        audiences: dict[str, set[str]],
+        comparable_cache: dict[tuple[str, str], bool] | None = None,
+    ) -> tuple[list[Violation], int]:
+        """One pass over (sampled) task pairs against current audiences.
+
+        ``comparable_cache`` memoises the static comparability predicate
+        across passes — the streaming checker reuses one cache for the
+        lifetime of the stream, since task specs never change.
+        """
+        violations: list[Violation] = []
+        opportunities = 0
         task_ids = sorted(posted_at)
-        tasks = trace.tasks
         for left_id, right_id in sampled_pairs(
             task_ids, self.max_pairs, self.sample_seed
         ):
             if abs(posted_at[left_id] - posted_at[right_id]) > self.posting_window:
                 continue
             left, right = tasks[left_id], tasks[right_id]
-            if not self.tasks_comparable(left, right):
+            if comparable_cache is None:
+                comparable = self.tasks_comparable(left, right)
+            else:
+                key = (left_id, right_id)
+                comparable = comparable_cache.get(key)
+                if comparable is None:
+                    comparable = self.tasks_comparable(left, right)
+                    comparable_cache[key] = comparable
+            if not comparable:
                 continue
             opportunities += 1
             left_audience = audiences.get(left_id, set())
@@ -257,4 +483,39 @@ class RequesterFairnessInAssignment(Axiom):
                         },
                     )
                 )
-        return self._result(violations, opportunities)
+        return violations, opportunities
+
+
+class _IncrementalRequesterFairness(IncrementalChecker):
+    """Streaming Axiom 2: maintained audiences + memoised comparability.
+
+    Audience sets are whole-trace unions, so a pair that disagrees early
+    can converge later — verdicts cannot be finalised mid-stream.  What
+    *can* be saved is everything else: posting times and audiences are
+    maintained event by event (no trace rescan), and the quadratic-cost
+    comparability predicate (skill cosine + reward comparability) is
+    computed once per pair ever, so a snapshot is one cheap pass over
+    the sampled pairs.
+    """
+
+    def __init__(self, axiom: RequesterFairnessInAssignment) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._posted_at: dict[str, int] = {}
+        self._tasks: dict[str, Task] = {}
+        self._audiences: dict[str, set[str]] = {}
+        self._comparable: dict[tuple[str, str], bool] = {}
+
+    def observe(self, event: Event) -> None:
+        if isinstance(event, TaskPosted):
+            self._posted_at[event.task.task_id] = event.time
+            self._tasks[event.task.task_id] = event.task
+        elif isinstance(event, TasksShown):
+            for task_id in event.task_ids:
+                self._audiences.setdefault(task_id, set()).add(event.worker_id)
+
+    def snapshot(self) -> AxiomCheck:
+        violations, opportunities = self._axiom._scan(
+            self._posted_at, self._tasks, self._audiences, self._comparable
+        )
+        return self._axiom._result(violations, opportunities)

@@ -16,6 +16,14 @@ optional sub-checks, each a distinct witness type:
   accepted one on the same task (same work, opposite verdicts);
 * *bonus reneging*: a promised bonus never paid by the end of the
   trace.
+
+The streaming counterpart (:meth:`FairCompensation.incremental`) pays
+the dominant cost — pairwise contribution similarity — exactly once per
+pair, when the later contribution of the pair is reviewed; snapshots
+then re-judge only the price/verdict comparison of the memoised
+qualifying pairs against payments received so far, so a pair flagged
+while one payment is still in flight is (correctly) cleared once the
+matching payment lands.
 """
 
 from __future__ import annotations
@@ -23,8 +31,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 
-from repro.core.axioms import Axiom, AxiomCheck
-from repro.core.events import BonusPaid, BonusPromised
+from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker
+from repro.core.entities import Contribution
+from repro.core.events import (
+    BonusPaid,
+    BonusPromised,
+    ContributionReviewed,
+    ContributionSubmitted,
+    Event,
+    PaymentIssued,
+    TaskPosted,
+)
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation, ViolationSeverity
 from repro.similarity.contributions import ContributionSimilarity
@@ -68,80 +85,112 @@ class FairCompensation(Axiom):
                 c for c in contributions if c.contribution_id in reviews
             ]
             for left, right in combinations(reviewed, 2):
-                if left.worker_id == right.worker_id:
+                score = self._qualifying_score(left, right, kind)
+                if score is None:
                     continue
-                score = self.similarity(left, right, kind)
-                if score < self.similarity_threshold:
-                    continue
-                if self.quality_tolerance is not None:
-                    left_quality = left.quality if left.quality is not None else 1.0
-                    right_quality = (
-                        right.quality if right.quality is not None else 1.0
-                    )
-                    if abs(left_quality - right_quality) > self.quality_tolerance:
-                        continue
                 opportunities += 1
                 left_paid = trace.payment_for_contribution(left.contribution_id)
                 right_paid = trace.payment_for_contribution(right.contribution_id)
-                if abs(left_paid - right_paid) > self.payment_tolerance:
-                    violations.append(
-                        Violation(
-                            axiom_id=3,
-                            message=(
-                                f"similar contributions (score {score:.2f}) "
-                                f"paid {left_paid:.3f} vs {right_paid:.3f}"
-                            ),
-                            time=max(left.submitted_at, right.submitted_at),
-                            severity=ViolationSeverity.CRITICAL,
-                            subjects=(left.worker_id, right.worker_id),
-                            witness={
-                                "task_id": task_id,
-                                "contributions": (
-                                    left.contribution_id,
-                                    right.contribution_id,
-                                ),
-                                "similarity": score,
-                                "payments": (left_paid, right_paid),
-                                "type": "unequal_pay",
-                            },
-                        )
-                    )
-                elif self.check_wrongful_rejection:
-                    left_accepted = reviews[left.contribution_id].accepted
-                    right_accepted = reviews[right.contribution_id].accepted
-                    if left_accepted != right_accepted:
-                        rejected = left if not left_accepted else right
-                        violations.append(
-                            Violation(
-                                axiom_id=3,
-                                message=(
-                                    "similar contributions received opposite "
-                                    "review verdicts (wrongful rejection)"
-                                ),
-                                time=max(left.submitted_at, right.submitted_at),
-                                severity=ViolationSeverity.CRITICAL,
-                                subjects=(rejected.worker_id,),
-                                witness={
-                                    "task_id": task_id,
-                                    "similarity": score,
-                                    "rejected_contribution": (
-                                        rejected.contribution_id
-                                    ),
-                                    "type": "wrongful_rejection",
-                                },
-                            )
-                        )
+                violation = self._pair_violation(
+                    task_id, left, right, score, left_paid, right_paid,
+                    reviews[left.contribution_id].accepted,
+                    reviews[right.contribution_id].accepted,
+                )
+                if violation is not None:
+                    violations.append(violation)
         if self.check_bonus_promises:
-            bonus_violations, bonus_opportunities = self._check_bonuses(trace)
+            bonus_violations, bonus_opportunities = self._check_bonuses(
+                trace.of_kind(BonusPromised), trace.of_kind(BonusPaid)
+            )
             violations.extend(bonus_violations)
             opportunities += bonus_opportunities
         return self._result(violations, opportunities)
 
-    def _check_bonuses(self, trace: PlatformTrace) -> tuple[list[Violation], int]:
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalFairCompensation(self)
+
+    def _qualifying_score(
+        self, left: Contribution, right: Contribution, kind: str
+    ) -> float | None:
+        """Similarity score when the pair counts as an opportunity.
+
+        Distinct workers, similarity over threshold, and (under the
+        charitable reading) qualities within tolerance; ``None`` when
+        the pair does not qualify.  Static per pair: depends only on
+        the two immutable contributions and the task kind.
+        """
+        if left.worker_id == right.worker_id:
+            return None
+        score = self.similarity(left, right, kind)
+        if score < self.similarity_threshold:
+            return None
+        if self.quality_tolerance is not None:
+            left_quality = left.quality if left.quality is not None else 1.0
+            right_quality = right.quality if right.quality is not None else 1.0
+            if abs(left_quality - right_quality) > self.quality_tolerance:
+                return None
+        return score
+
+    def _pair_violation(
+        self,
+        task_id: str,
+        left: Contribution,
+        right: Contribution,
+        score: float,
+        left_paid: float,
+        right_paid: float,
+        left_accepted: bool,
+        right_accepted: bool,
+    ) -> Violation | None:
+        """The verdict for one qualifying pair given payments so far."""
+        if abs(left_paid - right_paid) > self.payment_tolerance:
+            return Violation(
+                axiom_id=3,
+                message=(
+                    f"similar contributions (score {score:.2f}) "
+                    f"paid {left_paid:.3f} vs {right_paid:.3f}"
+                ),
+                time=max(left.submitted_at, right.submitted_at),
+                severity=ViolationSeverity.CRITICAL,
+                subjects=(left.worker_id, right.worker_id),
+                witness={
+                    "task_id": task_id,
+                    "contributions": (
+                        left.contribution_id,
+                        right.contribution_id,
+                    ),
+                    "similarity": score,
+                    "payments": (left_paid, right_paid),
+                    "type": "unequal_pay",
+                },
+            )
+        if self.check_wrongful_rejection and left_accepted != right_accepted:
+            rejected = left if not left_accepted else right
+            return Violation(
+                axiom_id=3,
+                message=(
+                    "similar contributions received opposite "
+                    "review verdicts (wrongful rejection)"
+                ),
+                time=max(left.submitted_at, right.submitted_at),
+                severity=ViolationSeverity.CRITICAL,
+                subjects=(rejected.worker_id,),
+                witness={
+                    "task_id": task_id,
+                    "similarity": score,
+                    "rejected_contribution": rejected.contribution_id,
+                    "type": "wrongful_rejection",
+                },
+            )
+        return None
+
+    def _check_bonuses(
+        self, promises, payments
+    ) -> tuple[list[Violation], int]:
         """Every promise must be settled by a matching bonus payment."""
         violations: list[Violation] = []
-        promises = trace.of_kind(BonusPromised)
-        payments = list(trace.of_kind(BonusPaid))
+        promises = list(promises)
+        payments = list(payments)
         for promise in promises:
             settled = None
             for payment in payments:
@@ -171,3 +220,113 @@ class FairCompensation(Axiom):
                     )
                 )
         return violations, len(promises)
+
+
+class _IncrementalFairCompensation(IncrementalChecker):
+    """Streaming Axiom 3: similarity once per pair, cheap re-verdicts.
+
+    When a contribution is reviewed it is paired against the already
+    reviewed contributions of the same task; each pair's qualifying
+    similarity (the expensive part) is decided exactly once and cached
+    with the submission-order indexes that reproduce the batch
+    iteration order.  Snapshots walk the cached qualifying pairs and
+    re-apply only the payment/verdict comparison — necessarily so,
+    because later payments can settle a difference that looked like a
+    violation at an earlier prefix.  Bonus promise/payment matching is
+    greedy over small event lists and is re-run per snapshot.
+    """
+
+    def __init__(self, axiom: FairCompensation) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._tasks: dict[str, object] = {}
+        # task_id -> contributions in submission order (batch iteration base).
+        self._by_task: dict[str, list[Contribution]] = {}
+        self._sub_index: dict[str, int] = {}
+        self._contributions: dict[str, Contribution] = {}
+        # contribution_id -> latest review's accepted flag.
+        self._accepted: dict[str, bool] = {}
+        # task_id -> [(left_index, right_index, left, right, score)].
+        self._pairs: dict[str, list[tuple[int, int, Contribution, Contribution, float]]] = {}
+        self._payments: dict[str, float] = {}
+        self._promises: list[BonusPromised] = []
+        self._bonus_payments: list[BonusPaid] = []
+
+    def observe(self, event: Event) -> None:
+        axiom = self._axiom
+        if isinstance(event, TaskPosted):
+            self._tasks[event.task.task_id] = event.task
+        elif isinstance(event, ContributionSubmitted):
+            contribution = event.contribution
+            siblings = self._by_task.setdefault(contribution.task_id, [])
+            self._sub_index[contribution.contribution_id] = len(siblings)
+            siblings.append(contribution)
+            self._contributions[contribution.contribution_id] = contribution
+        elif isinstance(event, ContributionReviewed):
+            first_review = event.contribution_id not in self._accepted
+            self._accepted[event.contribution_id] = event.accepted
+            if first_review:
+                self._pair_up(event.contribution_id)
+        elif isinstance(event, PaymentIssued):
+            if event.contribution_id:
+                self._payments[event.contribution_id] = (
+                    self._payments.get(event.contribution_id, 0.0) + event.amount
+                )
+        elif isinstance(event, BonusPromised) and axiom.check_bonus_promises:
+            self._promises.append(event)
+        elif isinstance(event, BonusPaid) and axiom.check_bonus_promises:
+            self._bonus_payments.append(event)
+
+    def snapshot(self) -> AxiomCheck:
+        axiom = self._axiom
+        violations: list[Violation] = []
+        opportunities = 0
+        for task_id in sorted(self._by_task):
+            qualifying = sorted(
+                self._pairs.get(task_id, ()), key=lambda item: (item[0], item[1])
+            )
+            for _, _, left, right, score in qualifying:
+                opportunities += 1
+                violation = axiom._pair_violation(
+                    task_id, left, right, score,
+                    self._payments.get(left.contribution_id, 0.0),
+                    self._payments.get(right.contribution_id, 0.0),
+                    self._accepted[left.contribution_id],
+                    self._accepted[right.contribution_id],
+                )
+                if violation is not None:
+                    violations.append(violation)
+        if axiom.check_bonus_promises:
+            bonus_violations, bonus_opportunities = axiom._check_bonuses(
+                self._promises, self._bonus_payments
+            )
+            violations.extend(bonus_violations)
+            opportunities += bonus_opportunities
+        return axiom._result(violations, opportunities)
+
+    # ------------------------------------------------------------------
+
+    def _pair_up(self, contribution_id: str) -> None:
+        """Judge the newly reviewed contribution against its reviewed
+        task siblings; cache qualifying pairs with batch ordering keys."""
+        contribution = self._contributions.get(contribution_id)
+        if contribution is None:
+            return
+        task = self._tasks.get(contribution.task_id)
+        kind = task.kind if task is not None else "label"
+        index = self._sub_index[contribution_id]
+        pairs = self._pairs.setdefault(contribution.task_id, [])
+        for other in self._by_task[contribution.task_id]:
+            other_id = other.contribution_id
+            if other_id == contribution_id or other_id not in self._accepted:
+                continue
+            other_index = self._sub_index[other_id]
+            if other_index < index:
+                left, right = other, contribution
+                ordered = (other_index, index)
+            else:
+                left, right = contribution, other
+                ordered = (index, other_index)
+            score = self._axiom._qualifying_score(left, right, kind)
+            if score is not None:
+                pairs.append((ordered[0], ordered[1], left, right, score))

@@ -14,6 +14,11 @@ protect themselves.
 should not be interrupted."  Every non-worker-initiated
 :class:`~repro.core.events.TaskInterrupted` is a violation; the
 opportunity count is the number of started work spells.
+
+Both axioms stream naturally: Axiom 4 folds each contribution into
+per-worker gold/quality aggregates as it arrives (a snapshot only
+re-classifies the aggregates), and Axiom 5 is a pure event filter whose
+violations are final the moment they are observed.
 """
 
 from __future__ import annotations
@@ -21,11 +26,14 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.core.axioms import Axiom, AxiomCheck
+from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker
+from repro.core.entities import Task
 from repro.core.events import (
     ContributionSubmitted,
+    Event,
     MaliceFlagged,
     TaskInterrupted,
+    TaskPosted,
     TaskStarted,
 )
 from repro.core.trace import PlatformTrace
@@ -57,8 +65,6 @@ class RequesterFairnessInCompletion(Axiom):
         tasks = trace.tasks
         suspicious: dict[str, dict[str, float]] = {}
         for worker_id, contributions in per_worker.items():
-            if len(contributions) < self.min_contributions:
-                continue
             gold_total = 0
             gold_wrong = 0
             quality_sum = 0.0
@@ -72,33 +78,55 @@ class RequesterFairnessInCompletion(Axiom):
                 if contribution.quality is not None:
                     quality_sum += contribution.quality
                     quality_count += 1
-            gold_error = gold_wrong / gold_total if gold_total else 0.0
-            mean_quality = quality_sum / quality_count if quality_count else 1.0
-            gold_bad = gold_total >= self.min_contributions and (
-                gold_error >= self.gold_error_threshold
+            evidence = self._classify(
+                len(contributions), gold_total, gold_wrong,
+                quality_sum, quality_count,
             )
-            quality_bad = quality_count >= self.min_contributions and (
-                mean_quality <= self.quality_floor
-            )
-            if gold_bad or quality_bad:
-                suspicious[worker_id] = {
-                    "gold_error_rate": gold_error,
-                    "mean_quality": mean_quality,
-                    "contributions": float(len(contributions)),
-                }
+            if evidence is not None:
+                suspicious[worker_id] = evidence
         return suspicious
 
-    def check(self, trace: PlatformTrace) -> AxiomCheck:
-        suspicious = self.suspicious_workers(trace)
-        flagged = {event.worker_id for event in trace.of_kind(MaliceFlagged)}
-        violations = [
+    def _classify(
+        self,
+        n_contributions: int,
+        gold_total: int,
+        gold_wrong: int,
+        quality_sum: float,
+        quality_count: int,
+    ) -> dict[str, float] | None:
+        """The suspicion verdict over one worker's aggregates."""
+        if n_contributions < self.min_contributions:
+            return None
+        gold_error = gold_wrong / gold_total if gold_total else 0.0
+        mean_quality = quality_sum / quality_count if quality_count else 1.0
+        gold_bad = gold_total >= self.min_contributions and (
+            gold_error >= self.gold_error_threshold
+        )
+        quality_bad = quality_count >= self.min_contributions and (
+            mean_quality <= self.quality_floor
+        )
+        if not (gold_bad or quality_bad):
+            return None
+        return {
+            "gold_error_rate": gold_error,
+            "mean_quality": mean_quality,
+            "contributions": float(n_contributions),
+        }
+
+    def _violations(
+        self,
+        suspicious: dict[str, dict[str, float]],
+        flagged: set[str],
+        end_time: int,
+    ) -> list[Violation]:
+        return [
             Violation(
                 axiom_id=4,
                 message=(
                     "objectively suspicious worker was never flagged to "
                     "requesters"
                 ),
-                time=trace.end_time,
+                time=end_time,
                 severity=ViolationSeverity.WARNING,
                 subjects=(worker_id,),
                 witness=dict(evidence, type="undetected_malice"),
@@ -106,7 +134,96 @@ class RequesterFairnessInCompletion(Axiom):
             for worker_id, evidence in sorted(suspicious.items())
             if worker_id not in flagged
         ]
+
+    def check(self, trace: PlatformTrace) -> AxiomCheck:
+        suspicious = self.suspicious_workers(trace)
+        flagged = {event.worker_id for event in trace.of_kind(MaliceFlagged)}
+        violations = self._violations(suspicious, flagged, trace.end_time)
         return self._result(violations, opportunities=len(suspicious))
+
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalRequesterCompletion(self)
+
+
+class _WorkerAggregates:
+    """Per-worker running totals behind the Axiom 4 suspicion verdict."""
+
+    __slots__ = ("contributions", "gold_total", "gold_wrong",
+                 "quality_sum", "quality_count")
+
+    def __init__(self) -> None:
+        self.contributions = 0
+        self.gold_total = 0
+        self.gold_wrong = 0
+        self.quality_sum = 0.0
+        self.quality_count = 0
+
+
+class _IncrementalRequesterCompletion(IncrementalChecker):
+    """Streaming Axiom 4: fold contributions into per-worker aggregates.
+
+    A snapshot re-classifies the aggregates (O(workers)) instead of
+    re-reading every contribution.  Contributions referencing a task not
+    yet posted are parked and folded in when the task appears, matching
+    the batch checker's use of the full prefix's task table.
+    """
+
+    def __init__(self, axiom: RequesterFairnessInCompletion) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._aggregates: dict[str, _WorkerAggregates] = {}
+        self._tasks: dict[str, Task] = {}
+        # task_id -> [(worker_id, payload_str)] awaiting the task's gold.
+        self._awaiting_task: dict[str, list[tuple[str, str]]] = {}
+        self._flagged: set[str] = set()
+        self._end_time = 0
+
+    def observe(self, event: Event) -> None:
+        self._end_time = event.time
+        if isinstance(event, ContributionSubmitted):
+            contribution = event.contribution
+            stats = self._aggregates.setdefault(
+                contribution.worker_id, _WorkerAggregates()
+            )
+            stats.contributions += 1
+            task = self._tasks.get(contribution.task_id)
+            if task is None:
+                self._awaiting_task.setdefault(contribution.task_id, []).append(
+                    (contribution.worker_id, str(contribution.payload))
+                )
+            else:
+                self._fold_gold(stats, str(contribution.payload), task)
+            if contribution.quality is not None:
+                stats.quality_sum += contribution.quality
+                stats.quality_count += 1
+        elif isinstance(event, TaskPosted):
+            task = event.task
+            self._tasks[task.task_id] = task
+            for worker_id, payload in self._awaiting_task.pop(task.task_id, ()):
+                self._fold_gold(self._aggregates[worker_id], payload, task)
+        elif isinstance(event, MaliceFlagged):
+            self._flagged.add(event.worker_id)
+
+    def snapshot(self) -> AxiomCheck:
+        axiom = self._axiom
+        suspicious: dict[str, dict[str, float]] = {}
+        for worker_id, stats in self._aggregates.items():
+            evidence = axiom._classify(
+                stats.contributions, stats.gold_total, stats.gold_wrong,
+                stats.quality_sum, stats.quality_count,
+            )
+            if evidence is not None:
+                suspicious[worker_id] = evidence
+        violations = axiom._violations(suspicious, self._flagged, self._end_time)
+        return axiom._result(violations, opportunities=len(suspicious))
+
+    @staticmethod
+    def _fold_gold(stats: _WorkerAggregates, payload: str, task: Task) -> None:
+        if task.gold_answer is None:
+            return
+        stats.gold_total += 1
+        if payload != str(task.gold_answer):
+            stats.gold_wrong += 1
 
 
 @dataclass
@@ -119,17 +236,45 @@ class WorkerFairnessInCompletion(Axiom):
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         started = trace.of_kind(TaskStarted)
         violations = [
-            Violation(
-                axiom_id=5,
-                message=(
-                    f"worker interrupted mid-task ({event.reason or 'no reason'})"
-                ),
-                time=event.time,
-                severity=ViolationSeverity.CRITICAL,
-                subjects=(event.worker_id, event.task_id),
-                witness={"reason": event.reason, "type": "interruption"},
-            )
+            self._interruption_violation(event)
             for event in trace.of_kind(TaskInterrupted)
             if not event.worker_initiated
         ]
         return self._result(violations, opportunities=len(started))
+
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalWorkerCompletion(self)
+
+    def _interruption_violation(self, event: TaskInterrupted) -> Violation:
+        return Violation(
+            axiom_id=5,
+            message=(
+                f"worker interrupted mid-task ({event.reason or 'no reason'})"
+            ),
+            time=event.time,
+            severity=ViolationSeverity.CRITICAL,
+            subjects=(event.worker_id, event.task_id),
+            witness={"reason": event.reason, "type": "interruption"},
+        )
+
+
+class _IncrementalWorkerCompletion(IncrementalChecker):
+    """Streaming Axiom 5: a pure event filter — verdicts are final on
+    arrival, so observe is O(1) and snapshot is a copy."""
+
+    def __init__(self, axiom: WorkerFairnessInCompletion) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._started = 0
+        self._violations: list[Violation] = []
+
+    def observe(self, event: Event) -> None:
+        if isinstance(event, TaskStarted):
+            self._started += 1
+        elif isinstance(event, TaskInterrupted) and not event.worker_initiated:
+            self._violations.append(self._axiom._interruption_violation(event))
+
+    def snapshot(self) -> AxiomCheck:
+        return self._axiom._result(
+            list(self._violations), opportunities=self._started
+        )

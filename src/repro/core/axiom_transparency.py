@@ -21,6 +21,12 @@ each worker w, computed attributes C_w such as performance and
 acceptance ratio."  The checker verifies that each worker with computed
 attributes received a disclosure of every mandated C_w field addressed
 to them.
+
+The streaming counterparts maintain the disclosed-field sets, entity
+registries, and submission times event by event; rejection-feedback and
+late-payment verdicts are final on arrival, while the undisclosed-field
+sweeps (whose verdicts can flip as disclosures arrive) are re-derived
+per snapshot in O(entities × mandated fields).
 """
 
 from __future__ import annotations
@@ -28,12 +34,18 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.core.axioms import Axiom, AxiomCheck
+from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker
+from repro.core.entities import Requester, Task, Worker
 from repro.core.events import (
     ContributionReviewed,
     ContributionSubmitted,
     DisclosureShown,
+    Event,
     PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    WorkerRegistered,
+    WorkerUpdated,
 )
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation, ViolationSeverity
@@ -79,11 +91,55 @@ class RequesterTransparency(Axiom):
         for event in trace.of_kind(DisclosureShown):
             disclosed[event.subject].add(event.field_name)
 
-        for requester_id in sorted(trace.requesters):
+        undisclosed_violations, undisclosed_opportunities = self._sweep_fields(
+            trace.requesters, disclosed, trace.end_time
+        )
+        violations.extend(undisclosed_violations)
+        opportunities += undisclosed_opportunities
+
+        if self.check_rejection_feedback:
+            for event in trace.of_kind(ContributionReviewed):
+                if event.accepted:
+                    continue
+                opportunities += 1
+                violation = self._rejection_violation(event, trace.tasks)
+                if violation is not None:
+                    violations.append(violation)
+
+        if self.check_payment_delay:
+            submitted_at = {
+                e.contribution.contribution_id: e.time
+                for e in trace.of_kind(ContributionSubmitted)
+            }
+            for event in trace.of_kind(PaymentIssued):
+                verdict = self._delay_verdict(
+                    event, submitted_at, trace.tasks, trace.requesters
+                )
+                if verdict is None:
+                    continue
+                opportunities += 1
+                if verdict:
+                    violations.append(verdict)
+        return self._result(violations, opportunities)
+
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalRequesterTransparency(self)
+
+    def _sweep_fields(
+        self,
+        requesters: dict[str, Requester],
+        disclosed: dict[str, set[str]],
+        end_time: int,
+    ) -> tuple[list[Violation], int]:
+        """Mandated fields every known requester must have disclosed."""
+        violations: list[Violation] = []
+        opportunities = 0
+        for requester_id in sorted(requesters):
             subject = requester_subject(requester_id)
+            shown = disclosed.get(subject, set())
             for field_name in self.mandated_fields:
                 opportunities += 1
-                if field_name not in disclosed[subject]:
+                if field_name not in shown:
                     violations.append(
                         Violation(
                             axiom_id=6,
@@ -91,7 +147,7 @@ class RequesterTransparency(Axiom):
                                 f"requester never disclosed mandated field "
                                 f"{field_name!r}"
                             ),
-                            time=trace.end_time,
+                            time=end_time,
                             severity=ViolationSeverity.WARNING,
                             subjects=(requester_id,),
                             witness={
@@ -100,73 +156,130 @@ class RequesterTransparency(Axiom):
                             },
                         )
                     )
-
-        if self.check_rejection_feedback:
-            for event in trace.of_kind(ContributionReviewed):
-                if event.accepted:
-                    continue
-                opportunities += 1
-                if not event.feedback.strip():
-                    task = trace.tasks.get(event.task_id)
-                    requester_id = task.requester_id if task else "?"
-                    violations.append(
-                        Violation(
-                            axiom_id=6,
-                            message="contribution rejected without feedback",
-                            time=event.time,
-                            severity=ViolationSeverity.WARNING,
-                            subjects=(event.worker_id, requester_id),
-                            witness={
-                                "contribution_id": event.contribution_id,
-                                "type": "silent_rejection",
-                            },
-                        )
-                    )
-
-        if self.check_payment_delay:
-            delay_violations, delay_opportunities = self._check_delays(trace)
-            violations.extend(delay_violations)
-            opportunities += delay_opportunities
-        return self._result(violations, opportunities)
-
-    def _check_delays(self, trace: PlatformTrace) -> tuple[list[Violation], int]:
-        """Actual payment delays must respect declared payment_delay."""
-        violations: list[Violation] = []
-        opportunities = 0
-        submitted_at = {
-            e.contribution.contribution_id: e.time
-            for e in trace.of_kind(ContributionSubmitted)
-        }
-        for event in trace.of_kind(PaymentIssued):
-            if event.contribution_id not in submitted_at:
-                continue
-            task = trace.tasks.get(event.task_id)
-            if task is None:
-                continue
-            requester = trace.requesters.get(task.requester_id)
-            if requester is None or requester.payment_delay is None:
-                continue
-            opportunities += 1
-            actual_delay = event.time - submitted_at[event.contribution_id]
-            if actual_delay > requester.payment_delay:
-                violations.append(
-                    Violation(
-                        axiom_id=6,
-                        message=(
-                            f"payment arrived after {actual_delay} ticks; "
-                            f"declared delay is {requester.payment_delay}"
-                        ),
-                        time=event.time,
-                        severity=ViolationSeverity.WARNING,
-                        subjects=(event.worker_id, task.requester_id),
-                        witness={
-                            "declared_delay": requester.payment_delay,
-                            "actual_delay": actual_delay,
-                            "type": "late_payment",
-                        },
-                    )
-                )
         return violations, opportunities
+
+    def _rejection_violation(
+        self, event: ContributionReviewed, tasks: dict[str, Task]
+    ) -> Violation | None:
+        """Silent-rejection verdict for one (rejected) review event."""
+        if event.feedback.strip():
+            return None
+        task = tasks.get(event.task_id)
+        requester_id = task.requester_id if task else "?"
+        return Violation(
+            axiom_id=6,
+            message="contribution rejected without feedback",
+            time=event.time,
+            severity=ViolationSeverity.WARNING,
+            subjects=(event.worker_id, requester_id),
+            witness={
+                "contribution_id": event.contribution_id,
+                "type": "silent_rejection",
+            },
+        )
+
+    def _delay_verdict(
+        self,
+        event: PaymentIssued,
+        submitted_at: dict[str, int],
+        tasks: dict[str, Task],
+        requesters: dict[str, Requester],
+    ) -> Violation | bool | None:
+        """Late-payment verdict for one payment event.
+
+        ``None``: not an opportunity (no declared delay to hold the
+        requester to); ``False``: on time; a :class:`Violation`: late.
+        """
+        if event.contribution_id not in submitted_at:
+            return None
+        task = tasks.get(event.task_id)
+        if task is None:
+            return None
+        requester = requesters.get(task.requester_id)
+        if requester is None or requester.payment_delay is None:
+            return None
+        actual_delay = event.time - submitted_at[event.contribution_id]
+        if actual_delay <= requester.payment_delay:
+            return False
+        return Violation(
+            axiom_id=6,
+            message=(
+                f"payment arrived after {actual_delay} ticks; "
+                f"declared delay is {requester.payment_delay}"
+            ),
+            time=event.time,
+            severity=ViolationSeverity.WARNING,
+            subjects=(event.worker_id, task.requester_id),
+            witness={
+                "declared_delay": requester.payment_delay,
+                "actual_delay": actual_delay,
+                "type": "late_payment",
+            },
+        )
+
+
+class _IncrementalRequesterTransparency(IncrementalChecker):
+    """Streaming Axiom 6.
+
+    Rejection-feedback and payment-delay verdicts depend only on the
+    already-observed prefix, so they are settled at observe time and
+    merely replayed into each snapshot; the undisclosed-field sweep is
+    re-derived per snapshot (a later disclosure clears the earlier
+    violation) at O(requesters × mandated fields).
+    """
+
+    def __init__(self, axiom: RequesterTransparency) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._disclosed: dict[str, set[str]] = {}
+        self._requesters: dict[str, Requester] = {}
+        self._tasks: dict[str, Task] = {}
+        self._submitted_at: dict[str, int] = {}
+        self._rejections: list[Violation] = []
+        self._rejection_opportunities = 0
+        self._delays: list[Violation] = []
+        self._delay_opportunities = 0
+        self._end_time = 0
+
+    def observe(self, event: Event) -> None:
+        axiom = self._axiom
+        self._end_time = event.time
+        if isinstance(event, DisclosureShown):
+            self._disclosed.setdefault(event.subject, set()).add(event.field_name)
+        elif isinstance(event, RequesterRegistered):
+            self._requesters[event.requester.requester_id] = event.requester
+        elif isinstance(event, TaskPosted):
+            self._tasks[event.task.task_id] = event.task
+        elif isinstance(event, ContributionSubmitted):
+            self._submitted_at[event.contribution.contribution_id] = event.time
+        elif isinstance(event, ContributionReviewed):
+            if axiom.check_rejection_feedback and not event.accepted:
+                self._rejection_opportunities += 1
+                violation = axiom._rejection_violation(event, self._tasks)
+                if violation is not None:
+                    self._rejections.append(violation)
+        elif isinstance(event, PaymentIssued):
+            if axiom.check_payment_delay:
+                verdict = axiom._delay_verdict(
+                    event, self._submitted_at, self._tasks, self._requesters
+                )
+                if verdict is not None:
+                    self._delay_opportunities += 1
+                    if verdict:
+                        self._delays.append(verdict)
+
+    def snapshot(self) -> AxiomCheck:
+        axiom = self._axiom
+        violations, opportunities = axiom._sweep_fields(
+            self._requesters, self._disclosed, self._end_time
+        )
+        if axiom.check_rejection_feedback:
+            violations.extend(self._rejections)
+            opportunities += self._rejection_opportunities
+        if axiom.check_payment_delay:
+            violations.extend(self._delays)
+            opportunities += self._delay_opportunities
+        return axiom._result(violations, opportunities)
 
 
 @dataclass
@@ -180,26 +293,48 @@ class PlatformTransparency(Axiom):
     title = "Platform transparency"
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
-        violations: list[Violation] = []
-        opportunities = 0
         disclosed: dict[str, set[str]] = defaultdict(set)
         for event in trace.of_kind(DisclosureShown):
-            if self.require_private_audience:
-                # A worker's C_w counts as disclosed to *them* only when
-                # addressed to them (or public).
-                if event.audience_worker_id and (
-                    worker_subject(event.audience_worker_id) != event.subject
-                ):
-                    continue
-            disclosed[event.subject].add(event.field_name)
+            if self._counts_as_disclosed(event):
+                disclosed[event.subject].add(event.field_name)
+        final_workers = {
+            worker_id: trace.final_worker(worker_id)
+            for worker_id in trace.worker_ids
+        }
+        violations, opportunities = self._sweep_workers(
+            final_workers, disclosed, trace.end_time
+        )
+        return self._result(violations, opportunities)
 
-        for worker_id in sorted(trace.worker_ids):
-            worker = trace.final_worker(worker_id)
+    def incremental(self) -> IncrementalChecker:
+        return _IncrementalPlatformTransparency(self)
+
+    def _counts_as_disclosed(self, event: DisclosureShown) -> bool:
+        """A worker's C_w counts as disclosed to *them* only when
+        addressed to them (or public)."""
+        if not self.require_private_audience:
+            return True
+        return not (
+            event.audience_worker_id
+            and worker_subject(event.audience_worker_id) != event.subject
+        )
+
+    def _sweep_workers(
+        self,
+        final_workers: dict[str, Worker],
+        disclosed: dict[str, set[str]],
+        end_time: int,
+    ) -> tuple[list[Violation], int]:
+        violations: list[Violation] = []
+        opportunities = 0
+        for worker_id in sorted(final_workers):
+            worker = final_workers[worker_id]
             relevant = [f for f in self.mandated_fields if f in worker.computed]
             subject = worker_subject(worker_id)
+            shown = disclosed.get(subject, set())
             for field_name in relevant:
                 opportunities += 1
-                if field_name not in disclosed[subject]:
+                if field_name not in shown:
                     violations.append(
                         Violation(
                             axiom_id=7,
@@ -207,7 +342,7 @@ class PlatformTransparency(Axiom):
                                 f"platform never disclosed {field_name!r} to "
                                 f"its worker"
                             ),
-                            time=trace.end_time,
+                            time=end_time,
                             severity=ViolationSeverity.WARNING,
                             subjects=(worker_id,),
                             witness={
@@ -216,4 +351,32 @@ class PlatformTransparency(Axiom):
                             },
                         )
                     )
-        return self._result(violations, opportunities)
+        return violations, opportunities
+
+
+class _IncrementalPlatformTransparency(IncrementalChecker):
+    """Streaming Axiom 7: track latest worker snapshots and disclosed
+    C_w fields; snapshot sweeps workers × mandated fields."""
+
+    def __init__(self, axiom: PlatformTransparency) -> None:
+        super().__init__(axiom)
+        self._axiom = axiom
+        self._disclosed: dict[str, set[str]] = {}
+        self._final_workers: dict[str, Worker] = {}
+        self._end_time = 0
+
+    def observe(self, event: Event) -> None:
+        self._end_time = event.time
+        if isinstance(event, DisclosureShown):
+            if self._axiom._counts_as_disclosed(event):
+                self._disclosed.setdefault(event.subject, set()).add(
+                    event.field_name
+                )
+        elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
+            self._final_workers[event.worker.worker_id] = event.worker
+
+    def snapshot(self) -> AxiomCheck:
+        violations, opportunities = self._axiom._sweep_workers(
+            self._final_workers, self._disclosed, self._end_time
+        )
+        return self._axiom._result(violations, opportunities)

@@ -9,6 +9,17 @@ fairness score ``1 - violations / opportunities`` is well-defined.
 The registry assembles the default instantiation of all seven checkers;
 experiments that need different similarity thresholds build their own
 instances.
+
+Streaming audits use a second, incremental protocol: every axiom can
+produce an :class:`IncrementalChecker` via :meth:`Axiom.incremental`.
+An incremental checker consumes one event at a time (``observe``) and
+can materialise its current verdict at any point (``snapshot``); the
+contract, enforced by the differential property suite, is that after
+observing the first ``N`` events of a trace, ``snapshot()`` equals the
+batch ``check`` of that ``N``-event prefix.  Axioms that do not provide
+a specialised implementation fall back to :class:`ReplayChecker`, which
+buffers events and reruns the batch checker — always correct, never
+faster.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence, TypeVar
 
+from repro.core.events import Event
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation
 from repro.errors import AuditError
@@ -66,6 +78,16 @@ class Axiom(abc.ABC):
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         """Scan the trace; return violations and opportunity count."""
 
+    def incremental(self) -> "IncrementalChecker":
+        """A fresh incremental checker equivalent to batch ``check``.
+
+        The default replays buffered events through ``check``; the
+        seven concrete axioms override this with true incremental
+        implementations whose per-snapshot cost does not grow with the
+        number of already-observed events.
+        """
+        return ReplayChecker(self)
+
     def _result(
         self, violations: Sequence[Violation], opportunities: int
     ) -> AxiomCheck:
@@ -75,6 +97,51 @@ class Axiom(abc.ABC):
             violations=tuple(violations),
             opportunities=opportunities,
         )
+
+
+class IncrementalChecker(abc.ABC):
+    """One axiom's streaming counterpart.
+
+    Feed events in trace order through :meth:`observe`; at any point,
+    :meth:`snapshot` returns the :class:`AxiomCheck` the batch checker
+    would produce for the prefix observed so far.  Incremental checkers
+    assume the :class:`~repro.core.trace.PlatformTrace` well-formedness
+    invariants: events arrive in non-decreasing time order, and
+    entity-bearing events (task posted, worker/requester registered)
+    precede events that reference those entities — exactly what
+    platform-produced traces guarantee.
+    """
+
+    def __init__(self, axiom: Axiom) -> None:
+        self.axiom = axiom
+
+    @abc.abstractmethod
+    def observe(self, event: Event) -> None:
+        """Consume the next event of the stream."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> AxiomCheck:
+        """The batch-equivalent verdict over all observed events."""
+
+
+class ReplayChecker(IncrementalChecker):
+    """Fallback incremental checker: buffer events, rerun batch check.
+
+    Correct for any axiom (it *is* the batch checker), with
+    per-snapshot cost linear in the observed prefix — the behaviour
+    streaming audits exist to avoid, kept as the compatibility path for
+    custom axioms that have no incremental implementation.
+    """
+
+    def __init__(self, axiom: Axiom) -> None:
+        super().__init__(axiom)
+        self._trace = PlatformTrace()
+
+    def observe(self, event: Event) -> None:
+        self._trace.append(event)
+
+    def snapshot(self) -> AxiomCheck:
+        return self.axiom.check(self._trace)
 
 
 def sampled_pairs(

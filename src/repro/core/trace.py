@@ -5,6 +5,19 @@ A :class:`PlatformTrace` is what audits consume.  The simulator in
 platform would emit the same event schema.  The trace maintains
 secondary indexes (tasks by id, worker snapshots over time, events by
 kind) so axiom checkers stay close to linear in trace length.
+
+Streaming consumers have two entry points:
+
+* :meth:`PlatformTrace.events_since` — a positional cursor read: all
+  events appended at or after sequence number ``n``.  Sequence numbers
+  are append positions, so a reader that resumes from
+  ``cursor = len(trace)`` after each read never skips or duplicates an
+  event (:class:`TraceCursor` packages this pattern).
+* :meth:`PlatformTrace.subscribe` — push delivery: a listener called
+  with each event *after* it is indexed, in append order.  This is what
+  the :class:`~repro.core.audit.StreamingAuditEngine` attaches to so a
+  live platform is audited as it runs instead of re-scanned from
+  scratch.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ class PlatformTrace:
         # Per-worker time series of snapshots: (time, Worker), time-sorted.
         self._worker_snapshots: dict[str, list[tuple[int, Worker]]] = defaultdict(list)
         self._contributions: dict[str, Contribution] = {}
+        self._listeners: list[Callable[[Event], None]] = []
         for event in events:
             self.append(event)
 
@@ -54,17 +68,21 @@ class PlatformTrace:
     # Construction
 
     def append(self, event: Event) -> None:
-        """Append one event; indexes update incrementally."""
+        """Append one event; indexes update incrementally.
+
+        Subscribed listeners are notified after the indexes are updated,
+        in subscription order.
+        """
         if self._events and event.time < self._events[-1].time:
             raise TraceError(
                 f"event at t={event.time} appended after t={self._events[-1].time}; "
                 "traces must be time-ordered"
             )
+        if isinstance(event, TaskPosted) and event.task.task_id in self._tasks:
+            raise TraceError(f"task {event.task.task_id} posted twice")
         self._events.append(event)
         self._by_kind[event.kind].append(event)
         if isinstance(event, TaskPosted):
-            if event.task.task_id in self._tasks:
-                raise TraceError(f"task {event.task.task_id} posted twice")
             self._tasks[event.task.task_id] = event.task
         elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
             insort(
@@ -78,6 +96,8 @@ class PlatformTrace:
             self._contributions[event.contribution.contribution_id] = (
                 event.contribution
             )
+        for listener in self._listeners:
+            listener(event)
 
     def extend(self, events: Iterable[Event]) -> None:
         for event in events:
@@ -100,6 +120,48 @@ class PlatformTrace:
     def end_time(self) -> int:
         """Time of the last event (0 for an empty trace)."""
         return self._events[-1].time if self._events else 0
+
+    # ------------------------------------------------------------------
+    # Streaming access
+
+    def events_since(self, n: int) -> tuple[Event, ...]:
+        """Events with sequence numbers ``>= n`` (append positions).
+
+        ``events_since(len(trace))`` is always empty; a reader that
+        advances its cursor to ``len(trace)`` after each call observes
+        every event exactly once, in append order, regardless of how
+        reads interleave with appends.
+        """
+        if n < 0:
+            raise TraceError(f"cursor must be >= 0, got {n}")
+        if n > len(self._events):
+            raise TraceError(
+                f"cursor {n} is past the end of the trace "
+                f"({len(self._events)} events); cursors never run ahead"
+            )
+        return tuple(self._events[n:])
+
+    def cursor(self, start: int = 0) -> "TraceCursor":
+        """A stateful read cursor over this trace (see :class:`TraceCursor`)."""
+        return TraceCursor(self, start)
+
+    def subscribe(self, listener: Callable[[Event], None]) -> Callable[[], None]:
+        """Register a listener called with each newly appended event.
+
+        Listeners run synchronously inside :meth:`append`, after the
+        event is indexed, so a listener may read the trace and will see
+        the event it was notified about.  Returns an unsubscribe
+        callable (idempotent).
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def of_kind(self, event_type: type[E]) -> list[E]:
         """All events of the given type, in time order."""
@@ -242,3 +304,31 @@ class PlatformTrace:
             if start <= event.time < end or (is_entity and event.time < end):
                 kept.append(event)
         return PlatformTrace(kept)
+
+
+class TraceCursor:
+    """A resumable pull-based reader over a :class:`PlatformTrace`.
+
+    Each :meth:`drain` returns the events appended since the previous
+    drain and advances the cursor, so interleaving drains with appends
+    yields every event exactly once, in append order.
+    """
+
+    def __init__(self, trace: PlatformTrace, start: int = 0) -> None:
+        if start < 0 or start > len(trace):
+            raise TraceError(
+                f"cursor start {start} outside [0, {len(trace)}]"
+            )
+        self._trace = trace
+        self._position = start
+
+    @property
+    def position(self) -> int:
+        """The sequence number of the next unread event."""
+        return self._position
+
+    def drain(self) -> tuple[Event, ...]:
+        """All events appended since the last drain (may be empty)."""
+        events = self._trace.events_since(self._position)
+        self._position += len(events)
+        return events

@@ -4,11 +4,18 @@ Each experiment module's ``run`` function returns an
 :class:`ExperimentResult`; the registry maps experiment ids (E1..E7) to
 lazily imported runners so ``python -m repro E2`` works without paying
 for the others.
+
+:func:`run_many` executes a selection of experiments, optionally
+concurrently (``jobs`` > 1, also reachable as ``--jobs`` on the CLI).
+Experiments are independent seeded simulations, so results are
+collected in registry order and are identical for every worker count.
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -64,17 +71,32 @@ def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
     return experiment_runner(experiment_id)(**kwargs)
 
 
-def run_all(**kwargs: object) -> list[ExperimentResult]:
-    """Run every registered experiment with shared keyword parameters.
+def run_many(
+    experiment_ids: list[str], jobs: int = 1, **kwargs: object
+) -> list[ExperimentResult]:
+    """Run the selected experiments, ``jobs`` at a time.
 
     Only parameters an experiment's ``run`` accepts are forwarded.
+    Results come back in the order of ``experiment_ids`` regardless of
+    the worker count — scheduling affects wall-clock only.
     """
-    import inspect
-
-    results = []
-    for experiment_id in sorted(EXPERIMENTS):
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    calls: list[tuple[Callable[..., ExperimentResult], dict]] = []
+    for experiment_id in experiment_ids:
         runner = experiment_runner(experiment_id)
         accepted = set(inspect.signature(runner).parameters)
         forwarded = {k: v for k, v in kwargs.items() if k in accepted}
-        results.append(runner(**forwarded))
-    return results
+        calls.append((runner, forwarded))
+    if jobs == 1 or len(calls) == 1:
+        return [runner(**forwarded) for runner, forwarded in calls]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
+        futures = [
+            pool.submit(runner, **forwarded) for runner, forwarded in calls
+        ]
+        return [future.result() for future in futures]
+
+
+def run_all(jobs: int = 1, **kwargs: object) -> list[ExperimentResult]:
+    """Run every registered experiment with shared keyword parameters."""
+    return run_many(sorted(EXPERIMENTS), jobs=jobs, **kwargs)

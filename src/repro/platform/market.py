@@ -12,6 +12,12 @@ The platform is policy-parameterised: visibility
 ``price(task, contribution, accepted)`` method, see
 :mod:`repro.compensation`) are injected, so both fair and deliberately
 discriminatory platforms are instances of this one class.
+
+A platform can carry its own watchdog: pass ``auditor=`` (any object
+with ``observe(event)``, normally a
+:class:`~repro.core.audit.StreamingAuditEngine`) and every event is fed
+to it the moment it is appended to the trace, so fairness verdicts are
+available while the market runs instead of after a post-hoc scan.
 """
 
 from __future__ import annotations
@@ -61,6 +67,16 @@ class PricingScheme(Protocol):
     ) -> float: ...
 
 
+class LiveAuditor(Protocol):
+    """Consumes platform events as they happen.
+
+    Implemented by :class:`~repro.core.audit.StreamingAuditEngine`;
+    structural so tests can pass plain recorders.
+    """
+
+    def observe(self, event: object) -> None: ...
+
+
 class _FixedRewardPricing:
     """Default pricing: full reward when accepted, nothing otherwise."""
 
@@ -102,6 +118,7 @@ class CrowdsourcingPlatform:
         pricing: PricingScheme | None = None,
         seed: int = 0,
         corrupt_computed_attributes: bool = False,
+        auditor: "LiveAuditor | None" = None,
     ) -> None:
         self.clock = Clock()
         self.ids = IdFactory()
@@ -127,6 +144,9 @@ class CrowdsourcingPlatform:
         # derivation inputs — the unfair-derivation failure mode the
         # audit engine must detect (Section 3.3.1).
         self._corrupt_computed = corrupt_computed_attributes
+        self._auditor = auditor
+        if auditor is not None:
+            self._trace.subscribe(auditor.observe)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,6 +154,11 @@ class CrowdsourcingPlatform:
     @property
     def trace(self) -> PlatformTrace:
         return self._trace
+
+    @property
+    def auditor(self) -> "LiveAuditor | None":
+        """The live auditor observing this platform's trace, if any."""
+        return self._auditor
 
     @property
     def now(self) -> int:

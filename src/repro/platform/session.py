@@ -32,6 +32,16 @@ contribution quality — the fairness/quality link E3 measures.
 Departure: at the end of a round a worker leaves with probability
 ``churn = base_churn + max(0, threshold - satisfaction)``; satisfied
 workers churn at the small base rate only.
+
+Live auditing: with ``SessionConfig.live_audit`` set, the session
+attaches a :class:`~repro.core.audit.StreamingAuditEngine` to the
+platform trace and snapshots it at the end of every round, so each
+:class:`SessionResult` carries the fairness verdict *as of each round*
+(``round_audits``) and the violations are flagged the round they occur
+(``new_violation_counts``) — the paper's §3.3.1 "fairness checks for
+existing crowdsourcing systems" run against the live platform, at
+per-round cost proportional to that round's events, not the whole
+history.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Protocol, Sequence
 
 from repro.assignment.base import Assigner, AssignmentInstance
+from repro.core.audit import AuditReport, StreamingAuditEngine
 from repro.core.entities import Requester, Task, Worker
 from repro.core.trace import PlatformTrace
 from repro.errors import SimulationError
@@ -89,6 +100,8 @@ class SessionConfig:
     review_policy: ReviewPolicy | None = None
     pricing: PricingScheme | None = None
     transparency: TransparencyEnforcer | None = None
+    #: Attach a streaming auditor and snapshot it every round.
+    live_audit: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -124,6 +137,46 @@ class SessionResult:
     rounds: tuple[RoundStats, ...]
     final_satisfaction: Mapping[str, float]
     initial_workers: int
+    #: One streaming-audit snapshot per round (``live_audit`` only).
+    round_audits: tuple[AuditReport, ...] = ()
+
+    def new_violation_counts(self) -> list[int]:
+        """Violations first flagged in each round (``live_audit`` only).
+
+        Compares the violation *lists* of consecutive round snapshots:
+        a violation counts as new when it was absent from the previous
+        snapshot.  Identity deliberately ignores the ``time`` field —
+        sweep-style violations (undisclosed fields, undetected malice)
+        are re-stamped with the trace end time at every snapshot and
+        would otherwise re-count as new each round.  A verdict can also
+        be *cleared* by later evidence (a payment settling, an audience
+        converging); cleared violations simply stop appearing and never
+        offset the count of new ones.
+        """
+
+        def identity(violation):
+            return (
+                violation.axiom_id,
+                violation.message,
+                violation.severity,
+                violation.subjects,
+                repr(sorted(violation.witness.items())),
+            )
+
+        counts: list[int] = []
+        previous: list = []
+        for report in self.round_audits:
+            current = [identity(v) for v in report.violations]
+            carried = list(previous)
+            new = 0
+            for key in current:
+                if key in carried:
+                    carried.remove(key)
+                else:
+                    new += 1
+            counts.append(new)
+            previous = current
+        return counts
 
     @property
     def surviving_workers(self) -> int:
@@ -183,11 +236,13 @@ class Session:
         arrival_rng = spawn(rng, "arrivals")
         churn_rng = spawn(rng, "churn")
         cancel_rng = spawn(rng, "cancel")
+        auditor = StreamingAuditEngine() if config.live_audit else None
         platform = CrowdsourcingPlatform(
             visibility=config.visibility,
             review_policy=config.review_policy,
             pricing=config.pricing,
             seed=rng.randrange(2**31),
+            auditor=auditor,
         )
         transparency = config.transparency or _NoTransparency()
         assigner = config.assigner
@@ -199,18 +254,22 @@ class Session:
             satisfaction[worker.worker_id] = 1.0
 
         stats: list[RoundStats] = []
+        round_audits: list[AuditReport] = []
         for round_index in range(config.rounds):
             round_stats = self._run_round(
                 round_index, platform, assigner, transparency, satisfaction,
                 arrival_rng, churn_rng, cancel_rng,
             )
             stats.append(round_stats)
+            if auditor is not None:
+                round_audits.append(auditor.snapshot())
             platform.clock.tick(1)
         return SessionResult(
             trace=platform.trace,
             rounds=tuple(stats),
             final_satisfaction=dict(satisfaction),
             initial_workers=len(self._workers),
+            round_audits=tuple(round_audits),
         )
 
     # ------------------------------------------------------------------

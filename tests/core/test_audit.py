@@ -132,6 +132,21 @@ class TestAuditEngine:
         with pytest.raises(AuditError):
             report.result_for(42)
 
+    def test_result_for_unknown_axiom_names_available_ids(self):
+        """The error must tell the caller which axiom ids *are* in the
+        report, not just that theirs is missing."""
+        report = AuditEngine().audit(PlatformTrace())
+        with pytest.raises(
+            AuditError,
+            match=r"no result for axiom 42.*\[1, 2, 3, 4, 5, 6, 7\]",
+        ):
+            report.result_for(42)
+
+    def test_result_for_on_empty_report_says_so(self):
+        report = AuditReport(results=(), trace_length=0)
+        with pytest.raises(AuditError, match="empty report"):
+            report.result_for(1)
+
     def test_audit_axioms_subset(self):
         engine = AuditEngine()
         report = engine.audit_axioms(clean_scenario().trace, [3, 5])

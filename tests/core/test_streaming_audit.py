@@ -1,0 +1,154 @@
+"""Unit tests for the streaming audit engine and live platform wiring.
+
+The exhaustive streaming-vs-batch equivalence proofs live in
+``tests/property/test_property_streaming_audit.py``; these tests cover
+the engine's lifecycle (attach/detach, observed-event accounting) and
+the platform/session integration that flags violations the round they
+occur.
+"""
+
+import pytest
+
+from repro.core.audit import AuditEngine, StreamingAuditEngine
+from repro.core.entities import Requester
+from repro.core.events import WorkerDeparted
+from repro.core.trace import PlatformTrace
+from repro.errors import AuditError
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.session import Session, SessionConfig
+from repro.workloads.scenarios import (
+    clean_scenario,
+    survey_cancellation_scenario,
+    unequal_pay_scenario,
+)
+from repro.workloads.skills import standard_vocabulary
+from repro.workloads.tasks import TaskStream
+from repro.workloads.workers import PopulationSpec, population
+
+
+class TestStreamingAuditEngine:
+    def test_empty_engine_matches_empty_batch_audit(self):
+        assert StreamingAuditEngine().snapshot() == AuditEngine().audit(
+            PlatformTrace()
+        )
+
+    def test_observed_events_counts(self):
+        trace = clean_scenario().trace
+        engine = StreamingAuditEngine()
+        engine.observe_all(trace)
+        assert engine.observed_events == len(trace)
+        assert engine.snapshot().trace_length == len(trace)
+
+    def test_attach_catches_up_on_existing_events(self):
+        """Attaching mid-run replays history, then follows appends."""
+        trace = PlatformTrace()
+        events = list(unequal_pay_scenario().trace)
+        midpoint = len(events) // 2
+        for event in events[:midpoint]:
+            trace.append(event)
+        engine = StreamingAuditEngine().attach(trace)
+        assert engine.observed_events == midpoint
+        for event in events[midpoint:]:
+            trace.append(event)
+        assert engine.observed_events == len(events)
+        assert engine.snapshot() == AuditEngine().audit(trace)
+
+    def test_double_attach_rejected(self):
+        engine = StreamingAuditEngine().attach(PlatformTrace())
+        with pytest.raises(AuditError, match="already attached"):
+            engine.attach(PlatformTrace())
+
+    def test_detach_stops_observation(self):
+        trace = PlatformTrace()
+        engine = StreamingAuditEngine().attach(trace)
+        engine.detach()
+        trace.append(WorkerDeparted(time=0, worker_id="w1"))
+        assert engine.observed_events == 0
+        engine.detach()  # no-op, not an error
+
+    def test_reattach_after_detach_allowed(self):
+        trace = PlatformTrace()
+        engine = StreamingAuditEngine().attach(trace)
+        engine.detach()
+        engine.attach(trace)
+        trace.append(WorkerDeparted(time=0, worker_id="w1"))
+        assert engine.observed_events == 1
+
+
+class TestLivePlatformAuditor:
+    def test_platform_feeds_auditor(self):
+        auditor = StreamingAuditEngine()
+        platform = CrowdsourcingPlatform(seed=0, auditor=auditor)
+        platform.register_requester(Requester(requester_id="r0001"))
+        assert platform.auditor is auditor
+        assert auditor.observed_events == len(platform.trace) == 1
+        assert auditor.snapshot() == AuditEngine().audit(platform.trace)
+
+    def test_violation_flagged_in_its_round(self):
+        """The live auditor sees the survey-cancellation violation in
+        the snapshot taken right after it happens."""
+        auditor = StreamingAuditEngine()
+        scenario_events = list(survey_cancellation_scenario().trace)
+        auditor.observe_all(scenario_events)
+        assert auditor.snapshot().result_for(5).violation_count > 0
+
+
+class TestSessionLiveAudit:
+    def _session(self, live_audit, rounds=4):
+        vocabulary = standard_vocabulary()
+        workers, behaviors = population(
+            PopulationSpec(size=8, seed=1), vocabulary
+        )
+        return Session(
+            config=SessionConfig(
+                rounds=rounds, tasks_per_round=4, seed=1,
+                cancel_probability=0.3, live_audit=live_audit,
+            ),
+            workers=workers,
+            behaviors=behaviors,
+            requesters=[Requester(
+                requester_id="r0001", hourly_wage=6.0, payment_delay=5,
+                recruitment_criteria="any", rejection_criteria="quality",
+            )],
+            task_factory=TaskStream(
+                vocabulary=vocabulary, tasks_per_round=4, skills_per_task=1
+            ),
+        )
+
+    def test_disabled_by_default(self):
+        result = self._session(live_audit=False).run()
+        assert result.round_audits == ()
+        assert result.new_violation_counts() == []
+
+    def test_one_snapshot_per_round(self):
+        result = self._session(live_audit=True).run()
+        assert len(result.round_audits) == 4
+        lengths = [report.trace_length for report in result.round_audits]
+        assert lengths == sorted(lengths)
+
+    def test_final_snapshot_equals_batch_audit(self):
+        result = self._session(live_audit=True).run()
+        assert result.round_audits[-1] == AuditEngine().audit(result.trace)
+
+    def test_interruptions_flagged_the_round_they_occur(self):
+        """cancel_probability forces Axiom 5 violations; the first round
+        snapshot containing one must coincide with the first round whose
+        trace prefix contains one."""
+        result = self._session(live_audit=True, rounds=6).run()
+        per_round = [
+            report.result_for(5).violation_count
+            for report in result.round_audits
+        ]
+        assert per_round[-1] > 0  # cancel_probability=0.3 over 6 rounds
+        first_flagged = next(i for i, n in enumerate(per_round) if n)
+        # Violation counts only grow for axiom 5 (verdicts are final).
+        assert per_round == sorted(per_round)
+        assert sum(result.new_violation_counts()) >= per_round[-1] > 0
+        assert first_flagged < len(per_round)
+
+    def test_live_audit_does_not_change_simulation(self):
+        """Observing is passive: the market unfolds identically."""
+        with_audit = self._session(live_audit=True).run()
+        without = self._session(live_audit=False).run()
+        assert with_audit.trace.events == without.trace.events
+        assert with_audit.rounds == without.rounds

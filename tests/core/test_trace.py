@@ -72,6 +72,94 @@ class TestAppendOrdering:
         events = [TaskPosted(time=0, task=make_task("t1", vocabulary))]
         assert len(PlatformTrace(events)) == 1
 
+    def test_rejected_append_leaves_trace_untouched(self, vocabulary):
+        """A rejected event must not be half-indexed: length, kind
+        indexes, and cursors all stay as they were."""
+        trace = PlatformTrace()
+        trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        with pytest.raises(TraceError):
+            trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        assert len(trace) == 1
+        assert len(trace.of_kind(TaskPosted)) == 1
+        assert trace.events_since(0) == trace.events
+
+
+class TestStreamingAccess:
+    def test_events_since_positions(self, trace):
+        assert trace.events_since(0) == trace.events
+        assert trace.events_since(len(trace)) == ()
+        assert trace.events_since(3) == trace.events[3:]
+
+    def test_events_since_bounds_checked(self, trace):
+        with pytest.raises(TraceError, match=">= 0"):
+            trace.events_since(-1)
+        with pytest.raises(TraceError, match="past the end"):
+            trace.events_since(len(trace) + 1)
+
+    def test_cursor_never_skips_or_duplicates_under_interleaving(
+        self, vocabulary
+    ):
+        """Interleave appends with drains in every batching pattern: the
+        concatenation of drains is exactly the event sequence."""
+        events = [
+            TaskPosted(time=t, task=make_task(f"t{t}", vocabulary))
+            for t in range(12)
+        ]
+        for batch_size in (1, 2, 3, 5):
+            trace = PlatformTrace()
+            cursor = trace.cursor()
+            seen = []
+            for index, event in enumerate(events):
+                trace.append(event)
+                if (index + 1) % batch_size == 0:
+                    seen.extend(cursor.drain())
+            seen.extend(cursor.drain())
+            assert list(seen) == events
+            assert cursor.drain() == ()
+            assert cursor.position == len(trace)
+
+    def test_cursor_start_validation(self, trace):
+        with pytest.raises(TraceError, match="outside"):
+            trace.cursor(start=len(trace) + 1)
+        with pytest.raises(TraceError, match="outside"):
+            trace.cursor(start=-1)
+        assert trace.cursor(start=len(trace)).drain() == ()
+
+    def test_listener_sees_every_event_in_order(self, vocabulary):
+        trace = PlatformTrace()
+        heard = []
+        unsubscribe = trace.subscribe(heard.append)
+        events = [
+            TaskPosted(time=t, task=make_task(f"t{t}", vocabulary))
+            for t in range(5)
+        ]
+        for event in events[:3]:
+            trace.append(event)
+        unsubscribe()
+        unsubscribe()  # idempotent
+        for event in events[3:]:
+            trace.append(event)
+        assert heard == events[:3]
+
+    def test_listener_notified_after_indexing(self, vocabulary):
+        """A listener may read the trace and must see the event it was
+        just notified about already indexed."""
+        trace = PlatformTrace()
+        observed_lengths = []
+        trace.subscribe(lambda event: observed_lengths.append(len(trace)))
+        trace.append(TaskPosted(time=0, task=make_task("t1", vocabulary)))
+        trace.append(TaskPosted(time=0, task=make_task("t2", vocabulary)))
+        assert observed_lengths == [1, 2]
+
+    def test_rejected_append_not_delivered_to_listeners(self, vocabulary):
+        trace = PlatformTrace()
+        heard = []
+        trace.subscribe(heard.append)
+        trace.append(TaskPosted(time=1, task=make_task("t1", vocabulary)))
+        with pytest.raises(TraceError):
+            trace.append(TaskPosted(time=0, task=make_task("t2", vocabulary)))
+        assert len(heard) == 1
+
 
 class TestLookups:
     def test_task_and_requester(self, trace):

@@ -62,6 +62,74 @@ class TestReplicate:
             replicate(lambda seed: {"x": 1.0}, seeds=[])
 
 
+class TestParallelReplication:
+    """The --jobs determinism regression: worker count must never leak
+    into results."""
+
+    @staticmethod
+    def _experiment(seed):
+        """A cheap but genuinely seeded simulation metric."""
+        from repro.core.entities import Requester
+        from repro.platform.session import Session, SessionConfig
+        from repro.workloads.skills import standard_vocabulary
+        from repro.workloads.tasks import TaskStream
+        from repro.workloads.workers import PopulationSpec, population
+
+        vocabulary = standard_vocabulary()
+        workers, behaviors = population(
+            PopulationSpec(size=10, seed=seed), vocabulary
+        )
+        session = Session(
+            config=SessionConfig(rounds=4, tasks_per_round=5, seed=seed),
+            workers=workers, behaviors=behaviors,
+            requesters=[Requester(
+                requester_id="r0001", hourly_wage=6.0, payment_delay=5,
+                recruitment_criteria="any", rejection_criteria="quality",
+            )],
+            task_factory=TaskStream(
+                vocabulary=vocabulary, tasks_per_round=5, skills_per_task=1
+            ),
+        )
+        result = session.run()
+        return {
+            "retention": result.retention,
+            "mean_quality": result.rounds[-1].mean_quality,
+            "total_paid": sum(r.total_paid for r in result.rounds),
+        }
+
+    def test_jobs_produce_byte_identical_tables(self):
+        seeds = [1, 2, 3, 4, 5, 6]
+        serial = replicate(self._experiment, seeds, jobs=1)
+        parallel = replicate(self._experiment, seeds, jobs=4)
+        assert serial.table("determinism").render() == (
+            parallel.table("determinism").render()
+        )
+        assert serial == parallel
+
+    def test_values_stay_in_seed_order(self):
+        result = replicate(
+            lambda seed: {"value": float(seed)}, seeds=[5, 3, 9, 1], jobs=4
+        )
+        assert result.summary("value").values == (5.0, 3.0, 9.0, 1.0)
+
+    def test_more_jobs_than_seeds(self):
+        result = replicate(
+            lambda seed: {"value": float(seed)}, seeds=[1, 2], jobs=16
+        )
+        assert result.summary("value").values == (1.0, 2.0)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ReproError, match="jobs must be >= 1"):
+            replicate(lambda seed: {"x": 1.0}, seeds=[1], jobs=0)
+
+    def test_mismatched_metrics_detected_in_parallel(self):
+        def flaky(seed):
+            return {"a": 1.0} if seed == 1 else {"b": 1.0}
+
+        with pytest.raises(ReproError, match="expected"):
+            replicate(flaky, seeds=[1, 2], jobs=2)
+
+
 class TestSignificance:
     def test_separated_intervals_significant(self):
         low = MetricSummary("a", (1.0, 1.1, 0.9, 1.05))

@@ -8,6 +8,7 @@ from repro.experiments.runner import (
     EXPERIMENTS,
     experiment_runner,
     run_experiment,
+    run_many,
 )
 
 
@@ -34,6 +35,19 @@ class TestRunner:
         assert text.startswith("=== E4")
         assert "precision" in text
 
+    def test_run_many_parallel_matches_serial(self):
+        """--jobs determinism at the runner level: same experiments,
+        same order, byte-identical renders for any worker count."""
+        ids = ["E6", "E4"]
+        serial = run_many(ids, jobs=1, seed=0)
+        parallel = run_many(ids, jobs=4, seed=0)
+        assert [r.experiment_id for r in serial] == ids
+        assert [r.render() for r in serial] == [r.render() for r in parallel]
+
+    def test_run_many_invalid_jobs(self):
+        with pytest.raises(ReproError, match="jobs must be >= 1"):
+            run_many(["E6"], jobs=0)
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -59,6 +73,36 @@ class TestCli:
         assert args.experiments == []
         assert args.seed is None
         assert args.format == "text"
+        assert args.jobs == 1
+        assert args.stream_audit is False
+
+    def test_jobs_flag_output_identical(self, capsys):
+        assert main(["E6", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["E6", "--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_invalid_jobs_exit_code(self, capsys):
+        assert main(["E6", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_stream_audit_text(self, capsys):
+        assert main(["--stream-audit"]) == 0
+        output = capsys.readouterr().out
+        assert "matches batch audit" in output
+        assert "DIVERGES" not in output
+        assert "clean" in output and "unequal_pay" in output
+
+    def test_stream_audit_json(self, capsys):
+        import json
+
+        assert main(["--stream-audit", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["scenario"]: entry for entry in payload}
+        assert all(entry["matches_batch_audit"] for entry in payload)
+        assert by_name["clean"]["violations"] == 0
+        assert by_name["unequal_pay"]["violations"] > 0
 
     def test_json_output(self, capsys):
         import json

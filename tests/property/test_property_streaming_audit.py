@@ -1,0 +1,286 @@
+"""Differential tests: streaming audits must equal batch audits.
+
+The :class:`~repro.core.audit.StreamingAuditEngine` contract is exact
+equivalence — after observing the first ``N`` events of a trace, its
+``snapshot()`` must equal ``AuditEngine.audit`` of the ``N``-event
+prefix: same scores, same opportunity counts, same violations in the
+same order.  These tests enforce the contract *at every prefix length*
+over every labelled scenario (clean and malicious) and over
+hypothesis-randomised market scripts, including the pair-sampling
+fallback and the replay fallback for custom axioms.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditEngine, StreamingAuditEngine
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    WorkerFairnessInAssignment,
+)
+from repro.core.axioms import Axiom, AxiomRegistry, default_registry
+from repro.core.axiom_transparency import (
+    REQUESTER_MANDATED_FIELDS,
+    WORKER_MANDATED_FIELDS,
+    requester_subject,
+    worker_subject,
+)
+from repro.core.entities import Requester
+from repro.core.events import TasksShown
+from repro.core.trace import PlatformTrace
+from repro.platform.behavior import behavior_named
+from repro.platform.market import CrowdsourcingPlatform
+from repro.platform.review import QualityThresholdReview, SilentRejectReview
+from repro.workloads.scenarios import all_scenarios
+from repro.workloads.skills import standard_vocabulary
+
+from tests.conftest import make_task, make_worker
+
+_VOCABULARY = standard_vocabulary()
+_BEHAVIORS = ["diligent", "sloppy", "spammer", "malicious"]
+_ACTIONS = [
+    "work", "abandon", "cancel", "browse",
+    "bonus_kept", "bonus_reneged", "disclose", "flag", "tick",
+]
+
+
+def assert_equivalent_at_every_prefix(trace, registry=None):
+    """Replay ``trace`` event by event; streaming must equal batch at
+    every prefix (strict dataclass equality: violations included)."""
+    engine = AuditEngine(**({} if registry is None else {"registry": registry}))
+    streaming = StreamingAuditEngine(
+        **({} if registry is None else {"registry": registry})
+    )
+    prefix = PlatformTrace()
+    for position, event in enumerate(trace, start=1):
+        streaming.observe(event)
+        prefix.append(event)
+        snapshot = streaming.snapshot()
+        batch = engine.audit(prefix)
+        assert snapshot == batch, (
+            f"streaming snapshot diverged from batch audit at prefix "
+            f"{position}/{len(trace)}"
+        )
+
+
+class TestScenarioDifferential:
+    """Streaming ≡ batch on every labelled Section 3.1 scenario."""
+
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(0), ids=lambda scenario: scenario.name
+    )
+    def test_every_prefix_matches_batch(self, scenario):
+        assert_equivalent_at_every_prefix(scenario.trace)
+
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(7), ids=lambda scenario: scenario.name
+    )
+    def test_every_prefix_matches_batch_alternate_seed(self, scenario):
+        assert_equivalent_at_every_prefix(scenario.trace)
+
+    def test_streaming_still_detects_labelled_axioms(self):
+        """End-of-trace snapshots reproduce each scenario's labels."""
+        for scenario in all_scenarios(0):
+            streaming = StreamingAuditEngine()
+            streaming.observe_all(scenario.trace)
+            report = streaming.snapshot()
+            fired = {
+                result.axiom_id
+                for result in report.results
+                if result.violation_count
+            }
+            assert scenario.violated_axioms <= fired, scenario.name
+
+    def test_pair_sampling_fallback_matches_batch(self):
+        """Tiny max_pairs forces the sampled path on axioms 1 and 2."""
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(max_pairs=3, sample_seed=11),
+            axiom2=RequesterFairnessInAssignment(max_pairs=2, sample_seed=11),
+        )
+        for scenario in all_scenarios(0):
+            assert_equivalent_at_every_prefix(scenario.trace, registry=registry)
+
+
+class _EventCountAxiom(Axiom):
+    """A custom axiom with no incremental implementation: exercises the
+    ReplayChecker fallback inside the streaming engine."""
+
+    axiom_id = 42
+    title = "every trace under 10k events"
+
+    def check(self, trace):
+        return self._result([], opportunities=min(len(trace), 10_000))
+
+
+class TestReplayFallback:
+    def test_custom_axiom_streams_via_replay(self):
+        registry = AxiomRegistry().register(_EventCountAxiom())
+        trace = all_scenarios(0)[0].trace
+        assert_equivalent_at_every_prefix(trace, registry=registry)
+
+
+@st.composite
+def audit_scripts(draw):
+    """A random but always-valid platform run touching every axiom's
+    evidence: work/review/pay cycles, cancellations, bonuses,
+    disclosures, malice flags, and (optionally) delayed payments."""
+    n_workers = draw(st.integers(2, 5))
+    delayed_payments = draw(st.booleans())
+    silent_reviews = draw(st.booleans())
+    threshold = draw(st.sampled_from([0.0, 0.3, 0.6]))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_workers - 1),
+                st.sampled_from(_BEHAVIORS),
+                st.sampled_from(_ACTIONS),
+            ),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    seed = draw(st.integers(0, 10_000))
+    return n_workers, delayed_payments, silent_reviews, threshold, steps, seed
+
+
+def _run_script(n_workers, delayed_payments, silent_reviews, threshold,
+                steps, seed):
+    from repro.compensation.discriminatory import DelayedPaymentScheme
+
+    review = (
+        SilentRejectReview(threshold=threshold)
+        if silent_reviews
+        else QualityThresholdReview(threshold=threshold)
+    )
+    platform = CrowdsourcingPlatform(
+        review_policy=review,
+        pricing=DelayedPaymentScheme(delay_ticks=3) if delayed_payments else None,
+        seed=seed,
+    )
+    requester = Requester(
+        requester_id="r0001", hourly_wage=6.0, payment_delay=1,
+        recruitment_criteria="any", rejection_criteria="quality",
+    )
+    platform.register_requester(requester)
+    workers = [
+        make_worker(f"w{i}", _VOCABULARY, skills=("survey",))
+        for i in range(n_workers)
+    ]
+    for worker in workers:
+        platform.register_worker(worker)
+    rng = random.Random(seed)
+    for step_index, (worker_index, behavior_name, action) in enumerate(steps):
+        worker = workers[worker_index]
+        if action == "bonus_kept":
+            platform.promise_bonus(requester.requester_id, worker.worker_id,
+                                   0.25, condition="streak")
+            platform.pay_bonus(requester.requester_id, worker.worker_id, 0.25)
+            continue
+        if action == "bonus_reneged":
+            platform.promise_bonus(requester.requester_id, worker.worker_id,
+                                   0.4, condition="streak")
+            continue
+        if action == "disclose":
+            field_name = rng.choice(REQUESTER_MANDATED_FIELDS)
+            platform.disclose(requester_subject(requester.requester_id),
+                              field_name, getattr(requester, field_name))
+            worker_field = rng.choice(WORKER_MANDATED_FIELDS)
+            platform.disclose(worker_subject(worker.worker_id), worker_field,
+                              "n/a", audience_worker_id=worker.worker_id)
+            continue
+        if action == "flag":
+            platform.flag_malice(worker.worker_id, detector="script", score=0.9)
+            continue
+        if action == "tick":
+            platform.clock.tick(2)
+            platform.settle_due_payments()
+            continue
+        task = make_task(
+            f"t{step_index:03d}", _VOCABULARY, skills=("survey",),
+            reward=0.1, gold_answer="A", duration=2,
+        )
+        platform.post_task(task)
+        if action == "browse":
+            platform.browse(worker.worker_id)
+            if rng.random() < 0.5:
+                other = workers[(worker_index + 1) % n_workers]
+                platform.browse(other.worker_id)
+            platform.close_task(task.task_id)
+            continue
+        platform.start_work(worker.worker_id, task.task_id)
+        if action == "abandon":
+            platform.abandon_work(worker.worker_id, task.task_id)
+            platform.close_task(task.task_id)
+        elif action == "cancel":
+            platform.cancel_task(task.task_id)
+        else:
+            platform.process_contribution(
+                worker.worker_id, task.task_id, behavior_named(behavior_name)
+            )
+            platform.close_task(task.task_id)
+    platform.settle_due_payments()
+    return platform.trace
+
+
+class TestRandomisedDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(script=audit_scripts())
+    def test_every_prefix_matches_batch(self, script):
+        assert_equivalent_at_every_prefix(_run_script(*script))
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=audit_scripts())
+    def test_attached_engine_tracks_live_trace(self, script):
+        """An engine attached before the run observes appends as they
+        happen and lands on the batch verdict."""
+        trace = _run_script(*script)
+        live = PlatformTrace()
+        streaming = StreamingAuditEngine().attach(live)
+        for event in trace:
+            live.append(event)
+        assert streaming.observed_events == len(trace)
+        assert streaming.snapshot() == AuditEngine().audit(live)
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=audit_scripts())
+    def test_snapshot_is_pure(self, script):
+        """Snapshots do not mutate checker state: two snapshots with no
+        events in between are identical, and interleaved snapshots do
+        not perturb the final verdict."""
+        trace = _run_script(*script)
+        streaming = StreamingAuditEngine()
+        rng = random.Random(0)
+        for event in trace:
+            streaming.observe(event)
+            if rng.random() < 0.2:
+                streaming.snapshot()
+        assert streaming.snapshot() == streaming.snapshot()
+        assert streaming.snapshot() == AuditEngine().audit(
+            PlatformTrace(trace)
+        )
+
+
+class TestSamplingEquivalenceUnderGrowth:
+    def test_worker_population_crossing_sampling_cap(self):
+        """The axiom 1 checker flips to the sampled path mid-stream as
+        the population grows; equivalence must survive the flip."""
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(max_pairs=6, sample_seed=3),
+        )
+        platform = CrowdsourcingPlatform(seed=0)
+        platform.register_requester(Requester(requester_id="r0001"))
+        trace_events = []
+        # 6 workers -> 15 pairs > 6: sampling engages around worker 4.
+        for i in range(6):
+            worker = make_worker(f"w{i}", _VOCABULARY, skills=("survey",))
+            platform.register_worker(worker)
+            task = make_task(f"t{i}", _VOCABULARY, skills=("survey",))
+            platform.post_task(task)
+            for registered in range(i + 1):
+                platform.browse(f"w{registered}")
+            platform.clock.tick(1)
+        trace_events = list(platform.trace)
+        assert any(isinstance(e, TasksShown) for e in trace_events)
+        assert_equivalent_at_every_prefix(platform.trace, registry=registry)
