@@ -16,7 +16,7 @@ from repro.assignment import (
     HungarianAssigner,
     RequesterCentricAssigner,
 )
-from repro.core.audit import AuditEngine, StreamingAuditEngine
+from repro.core.audit import AuditEngine, DeltaAuditEngine, StreamingAuditEngine
 from repro.core.trace import PlatformTrace
 from repro.experiments.e1_assignment_discrimination import (
     biased_reputation_population,
@@ -189,6 +189,103 @@ def test_streaming_monitoring_beats_batch_reaudit(growing_trace_chunks):
     assert streaming_elapsed < batch_elapsed, (
         f"streaming {streaming_elapsed:.3f}s not faster than "
         f"batch re-audit {batch_elapsed:.3f}s"
+    )
+
+
+# ----------------------------------------------------------------------
+# Delta-aware repeated batch audits: the scaling fix for the batch path.
+#
+# A delta session (DeltaAuditEngine) audits a growing trace at the same
+# per-round checkpoints as the seed full re-audit, but each audit pays
+# only for the new events plus touched-entity re-sweeps.  The
+# parametrised twins below record the scaling curve at three trace
+# sizes; measured on the dev container (best of 3):
+#
+#   rounds= 6,  586 events: full  35ms, delta 12ms  (~2.9x)
+#   rounds=14, 1306 events: full 160ms, delta 31ms  (~5.3x)
+#   rounds=22, 2026 events: full 377ms, delta 51ms  (~7.5x)
+#
+# Full re-audit grows superlinearly with trace length; the delta path
+# stays near-linear, so the ratio widens with scale.
+
+_DELTA_SCALE_ROUNDS = (6, 14, 22)
+
+
+def _round_chunks(rounds):
+    """A clean trace of ``rounds`` rounds cut into per-round audit
+    checkpoints."""
+    trace = clean_scenario(rounds=rounds, n_workers=12).trace
+    events = list(trace)
+    size = max(1, len(events) // rounds)
+    return [events[i:i + size] for i in range(0, len(events), size)]
+
+
+def _monitor_full(chunks):
+    engine = AuditEngine()
+    prefix = PlatformTrace()
+    reports = []
+    for chunk in chunks:
+        prefix.extend(chunk)
+        reports.append(engine.audit(prefix))
+    return reports
+
+
+def _monitor_delta(chunks):
+    session = DeltaAuditEngine()
+    prefix = PlatformTrace()
+    reports = []
+    for chunk in chunks:
+        prefix.extend(chunk)
+        reports.append(session.audit(prefix))
+    return reports
+
+
+@pytest.mark.parametrize("rounds", _DELTA_SCALE_ROUNDS)
+def test_bench_delta_repeated_audit(benchmark, rounds):
+    """Delta-aware batch monitoring at per-round checkpoints."""
+    chunks = _round_chunks(rounds)
+    reports = benchmark(_monitor_delta, chunks)
+    assert len(reports) == len(chunks)
+
+
+@pytest.mark.parametrize("rounds", _DELTA_SCALE_ROUNDS)
+def test_bench_full_repeated_reaudit(benchmark, rounds):
+    """The seed behaviour the delta session replaces."""
+    chunks = _round_chunks(rounds)
+    reports = benchmark(_monitor_full, chunks)
+    assert len(reports) == len(chunks)
+
+
+def test_delta_repeated_audit_beats_full_reaudit(request):
+    """Identical verdicts, >= 3x cheaper at the largest trace size.
+
+    Best-of-3 minimums keep scheduler noise on loaded CI runners from
+    flaking the comparison; the measured ratio here is ~7.5x, so 3x
+    leaves a wide margin.  Under ``--benchmark-disable`` (the CI smoke
+    step's timing-free mode) only the verdict equality is asserted —
+    wall-clock claims belong to timed runs.
+    """
+    chunks = _round_chunks(_DELTA_SCALE_ROUNDS[-1])
+    if request.config.getoption("benchmark_disable"):
+        assert _monitor_delta(chunks) == _monitor_full(chunks)
+        return
+
+    def best_of_three(monitor):
+        best, reports = float("inf"), None
+        for _ in range(3):
+            start = time.perf_counter()
+            reports = monitor(chunks)
+            best = min(best, time.perf_counter() - start)
+        return best, reports
+
+    full_elapsed, full_reports = best_of_three(_monitor_full)
+    delta_elapsed, delta_reports = best_of_three(_monitor_delta)
+
+    assert delta_reports == full_reports
+    assert full_elapsed >= 3.0 * delta_elapsed, (
+        f"delta repeated audits only {full_elapsed / delta_elapsed:.1f}x "
+        f"faster than full re-audit (delta {delta_elapsed:.3f}s, "
+        f"full {full_elapsed:.3f}s); expected >= 3x"
     )
 
 

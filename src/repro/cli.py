@@ -5,16 +5,30 @@ Usage::
     python -m repro                # run everything at default scale
     python -m repro E2 E4          # run selected experiments
     python -m repro E1 --seed 42   # with a different seed
-    python -m repro --jobs 4      # run experiments 4 at a time
+    python -m repro --jobs 4       # run experiments 4 at a time
+    python -m repro --jobs 4 --backend process   # over processes
     python -m repro --list         # show the experiment index
     python -m repro --stream-audit # live-audit the labelled scenarios
 
-``--jobs N`` fans the selected experiments out over N workers; output
-order (and content) is independent of N.  ``--stream-audit`` replays
+    python -m repro trace save runs/clean --scenario clean
+    python -m repro trace replay runs/clean --stream-audit
+
+``--jobs N`` fans the selected experiments out over N workers (threads
+by default, processes with ``--backend process``); output order (and
+content) is independent of N and backend.  ``--stream-audit`` replays
 every labelled scenario from :mod:`repro.workloads.scenarios` through
 the :class:`~repro.core.audit.StreamingAuditEngine` event by event —
 the continuous-monitoring mode — and prints each scenario's final
-snapshot, cross-checked against a batch audit of the same trace.
+snapshot, cross-checked against a batch audit of the same trace;
+``--trace-backend`` selects which trace store backs the replayed
+copies.
+
+The ``trace`` subcommands are the real-log workflow: ``trace save``
+captures a labelled scenario as a persistent JSONL-segment log (the
+stand-in for a platform adapter's export), and ``trace replay`` feeds
+a saved log back through a :class:`~repro.core.trace.TraceCursor` into
+the streaming engine, cross-checking the final snapshot against a
+batch audit of the reopened trace.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.experiments.replication import REPLICATION_BACKENDS
 from repro.experiments.runner import EXPERIMENTS, run_many
 
 _DESCRIPTIONS: dict[str, str] = {
@@ -37,6 +52,8 @@ _DESCRIPTIONS: dict[str, str] = {
     "E9": "ablation: redundancy and aggregation (budget-optimal premise)",
     "E10": "statistical power of the Axiom 1 checker vs bias intensity",
 }
+
+_TRACE_BACKENDS = ("memory", "windowed", "persistent")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,13 +82,66 @@ def build_parser() -> argparse.ArgumentParser:
              "output is identical for any N)",
     )
     parser.add_argument(
+        "--backend", choices=REPLICATION_BACKENDS, default="thread",
+        help="worker pool for --jobs: threads (default) or processes "
+             "(true multi-core; falls back to threads with a warning "
+             "when something cannot be pickled)",
+    )
+    parser.add_argument(
         "--stream-audit", action="store_true", dest="stream_audit",
         help="replay the labelled scenarios through the streaming audit "
              "engine and print each final snapshot",
     )
     parser.add_argument(
+        "--trace-backend", choices=_TRACE_BACKENDS, default="memory",
+        dest="trace_backend", metavar="BACKEND",
+        help="trace store backing the --stream-audit replays "
+             f"({', '.join(_TRACE_BACKENDS)}; default memory)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiments and exit",
+    )
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Capture and replay persistent platform trace logs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    save = commands.add_parser(
+        "save", help="capture a labelled scenario as a JSONL-segment log"
+    )
+    save.add_argument("path", help="log directory to create")
+    save.add_argument(
+        "--scenario", default="clean",
+        help="labelled scenario name (see repro.workloads.scenarios; "
+             "default clean)",
+    )
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument(
+        "--segment-events", type=int, default=4096, dest="segment_events",
+        help="events per JSONL segment file (default 4096)",
+    )
+
+    replay = commands.add_parser(
+        "replay", help="re-audit a saved log (captured once, audited forever)"
+    )
+    replay.add_argument("path", help="log directory to open")
+    replay.add_argument(
+        "--stream-audit", action="store_true", dest="stream_audit",
+        help="feed the log through a TraceCursor into the streaming "
+             "engine and cross-check against a batch audit",
+    )
+    replay.add_argument("--format", choices=("text", "json"), default="text")
+    replay.add_argument(
+        "--trace-backend", choices=("memory", "windowed"), default="memory",
+        dest="trace_backend",
+        help="store backend the replayed events are re-homed into "
+             "(default memory)",
     )
     return parser
 
@@ -91,25 +161,54 @@ def _result_to_json(result) -> dict:
     }
 
 
-def _stream_audit(seed: int, output_format: str) -> int:
+def _rebuilt(trace, backend: str):
+    """A copy of ``trace`` living in the chosen store backend."""
+    from repro.core.store import make_store
+    from repro.core.trace import PlatformTrace
+
+    if backend == "memory":
+        return PlatformTrace(trace)
+    if backend == "windowed":
+        # Non-evicting by construction: the point here is exercising the
+        # backend, not truncating the audit evidence.
+        return PlatformTrace(
+            trace, store=make_store("windowed", window=max(len(trace), 1))
+        )
+    raise ValueError(f"unsupported replay backend {backend!r}")
+
+
+def _stream_audit(seed: int, output_format: str, backend: str = "memory") -> int:
     """Replay every labelled scenario through the streaming engine."""
+    import tempfile
+
     from repro.core.audit import AuditEngine, StreamingAuditEngine
+    from repro.core.serialize import load_trace, save_trace
     from repro.workloads.scenarios import all_scenarios
 
     batch_engine = AuditEngine()
     summaries = []
-    for scenario in all_scenarios(seed):
-        streaming = StreamingAuditEngine()
-        streaming.observe_all(scenario.trace)
-        snapshot = streaming.snapshot()
-        agrees = snapshot == batch_engine.audit(scenario.trace)
-        summaries.append((scenario, snapshot, agrees))
+    with tempfile.TemporaryDirectory() as scratch:
+        for scenario in all_scenarios(seed):
+            if backend == "persistent":
+                import os
+
+                path = os.path.join(scratch, scenario.name)
+                save_trace(scenario.trace, path)
+                trace = load_trace(path)
+            else:
+                trace = _rebuilt(scenario.trace, backend)
+            streaming = StreamingAuditEngine()
+            streaming.observe_all(trace)
+            snapshot = streaming.snapshot()
+            agrees = snapshot == batch_engine.audit(trace)
+            summaries.append((scenario, snapshot, agrees))
     if output_format == "json":
         import json
 
         print(json.dumps([
             {
                 "scenario": scenario.name,
+                "backend": backend,
                 "events": snapshot.trace_length,
                 "overall_score": snapshot.overall_score,
                 "violations": snapshot.total_violations,
@@ -127,7 +226,95 @@ def _stream_audit(seed: int, output_format: str) -> int:
     return 0 if all(agrees for _, _, agrees in summaries) else 1
 
 
+def _trace_save(args: argparse.Namespace) -> int:
+    from repro.core.serialize import save_trace
+    from repro.errors import TraceError
+    from repro.workloads.scenarios import all_scenarios
+
+    scenarios = {s.name: s for s in all_scenarios(args.seed)}
+    scenario = scenarios.get(args.scenario)
+    if scenario is None:
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(scenarios))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        path = save_trace(
+            scenario.trace, args.path, segment_events=args.segment_events
+        )
+    except TraceError as error:
+        print(f"cannot save to {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"saved scenario {scenario.name!r} "
+        f"({len(scenario.trace)} events) to {path}"
+    )
+    return 0
+
+
+def _trace_replay(args: argparse.Namespace) -> int:
+    from repro.core.audit import AuditEngine, StreamingAuditEngine
+    from repro.core.serialize import load_trace
+    from repro.core.store import make_store
+    from repro.errors import TraceError
+
+    try:
+        trace = load_trace(args.path)
+        if args.trace_backend == "windowed":
+            # Re-home the already-loaded events; no second disk read.
+            from repro.core.trace import PlatformTrace
+
+            opened = trace
+            trace = PlatformTrace(
+                opened,
+                store=make_store("windowed", window=max(len(opened), 1)),
+            )
+            opened.store.close()
+    except TraceError as error:
+        print(f"cannot replay {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    batch = AuditEngine().audit(trace)
+    if args.stream_audit:
+        # The adapter path: a saved platform log drained through a
+        # cursor into the continuous-monitoring engine.
+        streaming = StreamingAuditEngine()
+        cursor = trace.cursor()
+        for event in cursor.drain():
+            streaming.observe(event)
+        report = streaming.snapshot()
+        agrees = report == batch
+    else:
+        report = batch
+        agrees = True
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "path": args.path,
+            "events": report.trace_length,
+            "overall_score": report.overall_score,
+            "violations": report.total_violations,
+            "streamed": bool(args.stream_audit),
+            "matches_batch_audit": agrees,
+        }, indent=2))
+    else:
+        mode = "streamed replay" if args.stream_audit else "batch audit"
+        verdict = "matches" if agrees else "DIVERGES FROM"
+        print(f"--- {args.path} ({mode}, {verdict} batch audit)")
+        for line in report.summary_lines():
+            print(line)
+    return 0 if agrees else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        args = build_trace_parser().parse_args(argv[1:])
+        if args.command == "save":
+            return _trace_save(args)
+        return _trace_replay(args)
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         for experiment_id in sorted(EXPERIMENTS):
@@ -143,7 +330,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"ignoring experiment ids {', '.join(args.experiments)}",
                 file=sys.stderr,
             )
-        return _stream_audit(args.seed or 0, args.format)
+        return _stream_audit(args.seed or 0, args.format, args.trace_backend)
     wanted = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
@@ -151,7 +338,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
     kwargs = {} if args.seed is None else {"seed": args.seed}
-    results = run_many(wanted, jobs=args.jobs, **kwargs)
+    results = run_many(wanted, jobs=args.jobs, backend=args.backend, **kwargs)
     if args.format == "json":
         import json
 

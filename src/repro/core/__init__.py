@@ -18,14 +18,18 @@ from repro.core.audit import (
     AuditEngine,
     AuditReport,
     AxiomResult,
+    DeltaAuditEngine,
     StreamingAuditEngine,
 )
 from repro.core.axioms import (
     Axiom,
     AxiomCheck,
     AxiomRegistry,
+    DeltaChecker,
     IncrementalChecker,
+    IncrementalDeltaChecker,
     ReplayChecker,
+    TraceDelta,
     default_registry,
 )
 from repro.core.entities import (
@@ -36,7 +40,15 @@ from repro.core.entities import (
     Task,
     Worker,
 )
-from repro.core.trace import PlatformTrace, TraceCursor
+from repro.core.store import (
+    InMemoryTraceStore,
+    PersistentTraceStore,
+    TouchedEntities,
+    TraceStore,
+    WindowedTraceStore,
+    make_store,
+)
+from repro.core.trace import PlatformTrace, TraceCursor, as_trace
 from repro.core.violations import Violation, ViolationSeverity
 
 __all__ = [
@@ -49,7 +61,12 @@ __all__ = [
     "ComputedAttributes",
     "Contribution",
     "DeclaredAttributes",
+    "DeltaAuditEngine",
+    "DeltaChecker",
     "IncrementalChecker",
+    "IncrementalDeltaChecker",
+    "InMemoryTraceStore",
+    "PersistentTraceStore",
     "PlatformTrace",
     "ReplayChecker",
     "Requester",
@@ -57,9 +74,15 @@ __all__ = [
     "SkillVocabulary",
     "StreamingAuditEngine",
     "Task",
+    "TouchedEntities",
     "TraceCursor",
+    "TraceDelta",
+    "TraceStore",
     "Violation",
     "ViolationSeverity",
+    "WindowedTraceStore",
     "Worker",
+    "as_trace",
     "default_registry",
+    "make_store",
 ]

@@ -17,6 +17,13 @@ differential property suite — is that ``snapshot()`` after observing
 Attach it to a :class:`~repro.core.trace.PlatformTrace` with
 :meth:`StreamingAuditEngine.attach` (uses the trace's subscription API)
 or drive it manually with :meth:`StreamingAuditEngine.observe`.
+
+For repeated *batch* audits of one growing (possibly store-backed)
+trace, :class:`DeltaAuditEngine` (or ``AuditEngine.delta_session()``)
+is the delta-aware middle ground: each audit pulls only the events
+appended since the previous one via the store's revision cursor, and
+axioms that opt in re-sweep only the entities those events touched —
+same exact batch verdicts, near-linear total cost.
 """
 
 from __future__ import annotations
@@ -27,11 +34,14 @@ from typing import Callable, Iterable, Mapping
 from repro.core.axioms import (
     AxiomCheck,
     AxiomRegistry,
+    DeltaChecker,
     IncrementalChecker,
+    TraceDelta,
     default_registry,
 )
 from repro.core.events import Event
-from repro.core.trace import PlatformTrace
+from repro.core.store import TraceStore, collect_touched
+from repro.core.trace import PlatformTrace, as_trace
 from repro.core.violations import Violation, ViolationSeverity
 from repro.errors import AuditError
 
@@ -111,18 +121,25 @@ class AuditReport:
 
 @dataclass
 class AuditEngine:
-    """Runs a registry of axiom checkers over platform traces."""
+    """Runs a registry of axiom checkers over platform traces.
+
+    Every entry point accepts a :class:`PlatformTrace` or a bare
+    :class:`~repro.core.store.TraceStore` (any backend), so stored or
+    reopened logs audit without rebuilding a facade by hand.
+    """
 
     registry: AxiomRegistry = field(default_factory=default_registry)
 
-    def audit(self, trace: PlatformTrace) -> AuditReport:
+    def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
+        trace = as_trace(trace)
         results = tuple(self.registry.check_all(trace))
         return AuditReport(results=results, trace_length=len(trace))
 
     def audit_axioms(
-        self, trace: PlatformTrace, axiom_ids: Iterable[int]
+        self, trace: "PlatformTrace | TraceStore", axiom_ids: Iterable[int]
     ) -> AuditReport:
         """Audit only the named axioms (cheaper for targeted checks)."""
+        trace = as_trace(trace)
         wanted = set(axiom_ids)
         unknown = wanted - {axiom.axiom_id for axiom in self.registry}
         if unknown:
@@ -135,13 +152,13 @@ class AuditEngine:
         return AuditReport(results=results, trace_length=len(trace))
 
     def compare(
-        self, traces: Mapping[str, PlatformTrace]
+        self, traces: "Mapping[str, PlatformTrace | TraceStore]"
     ) -> dict[str, AuditReport]:
         """Audit several traces (e.g. platforms) with the same suite."""
         return {name: self.audit(trace) for name, trace in traces.items()}
 
     def windowed_audit(
-        self, trace: PlatformTrace, window: int
+        self, trace: "PlatformTrace | TraceStore", window: int
     ) -> list[tuple[int, AuditReport]]:
         """Audit the trace in consecutive time windows of ``window`` ticks.
 
@@ -149,8 +166,10 @@ class AuditEngine:
         ``[0, end_time]`` — the fairness-over-time series a platform
         operator would monitor.  Entity registrations before a window
         are visible inside it (see :meth:`PlatformTrace.slice`), so
-        lookups never dangle.
+        lookups never dangle.  An evicting backend contributes its
+        retained suffix only.
         """
+        trace = as_trace(trace)
         if window < 1:
             raise AuditError("window must be >= 1 tick")
         reports: list[tuple[int, AuditReport]] = []
@@ -161,6 +180,83 @@ class AuditEngine:
             reports.append((start, self.audit(chunk)))
             start += window
         return reports
+
+    def delta_session(self) -> "DeltaAuditEngine":
+        """A delta-aware audit session over one growing trace.
+
+        Repeated ``audit`` calls on the session pay per *new* event
+        (plus touched-entity re-sweeps) instead of per event of the
+        whole trace — see :class:`DeltaAuditEngine`.
+        """
+        return DeltaAuditEngine(registry=self.registry)
+
+
+class DeltaAuditEngine:
+    """Repeated batch audits of one growing trace, paid per delta.
+
+    The batch :class:`AuditEngine` rescans the whole trace every time;
+    over a run that audits after every round, total work is
+    O(trace²).  A delta session instead records, at each audit, the
+    trace's store revision and the set of entities touched since the
+    previous audit (:class:`~repro.core.axioms.TraceDelta`); axioms
+    that opt in via :attr:`~repro.core.axioms.Axiom.supports_delta`
+    re-sweep only the touched entities (Axioms 2, 6, 7) or fold the new
+    events into incremental state (Axioms 1, 3, 4, 5).  Axioms that do
+    not opt in are re-checked in full against the live trace — always
+    exact, never faster.
+
+    The contract, enforced by the differential property suite, is that
+    every ``audit`` equals ``AuditEngine.audit`` of the same trace at
+    the same revision.  A session is bound to the first trace it
+    audits; auditing a different trace raises (deltas would be
+    meaningless across streams).
+    """
+
+    def __init__(self, registry: AxiomRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._checkers: dict[int, DeltaChecker | None] = {}
+        self._revision = 0
+        self._trace: PlatformTrace | None = None
+        #: The delta consumed by the most recent ``audit`` (observability).
+        self.last_delta: TraceDelta | None = None
+
+    @property
+    def revision(self) -> int:
+        """The store revision as of the last audit."""
+        return self._revision
+
+    def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
+        """Audit the trace; equals a full batch audit at this revision."""
+        trace = as_trace(trace)
+        if self._trace is None:
+            self._trace = trace
+        elif self._trace.store is not trace.store:
+            raise AuditError(
+                "delta audit session is bound to one trace; "
+                "start a new session for a different trace"
+            )
+        new_events = trace.events_since(self._revision)
+        delta = TraceDelta(
+            from_revision=self._revision,
+            to_revision=trace.revision,
+            new_events=new_events,
+            touched=collect_touched(new_events),
+        )
+        self._revision = delta.to_revision
+        results = []
+        for axiom in self.registry:
+            if axiom.axiom_id not in self._checkers:
+                self._checkers[axiom.axiom_id] = (
+                    axiom.delta_checker() if axiom.supports_delta else None
+                )
+            checker = self._checkers[axiom.axiom_id]
+            if checker is None:
+                results.append(axiom.check(trace))
+            else:
+                checker.apply(trace, delta)
+                results.append(checker.result())
+        self.last_delta = delta
+        return AuditReport(results=tuple(results), trace_length=len(trace))
 
 
 class StreamingAuditEngine:

@@ -28,16 +28,38 @@ re-examines only the still-open tick; Axiom 2 maintains audiences and a
 comparability cache event by event, so a snapshot costs one pass over
 task pairs with every similarity already memoised, instead of a rescan
 of the whole trace.
+
+For unbounded streams, ``WorkerFairnessInAssignment(history_window=N)``
+caps how many finalised browse ticks the incremental checker retains
+for its pair-sampling fallback: verdicts for evicted ticks stay (they
+were finalised before eviction), but if the worker population later
+crosses the sampling cap the recomputation can only see the retained
+window — bounded memory traded for exactness in that corner.  The
+default (``None``) retains everything and stays exact.
+
+Axiom 2 additionally ships a *delta* checker
+(:meth:`~repro.core.axioms.Axiom.delta_checker`, used by
+:class:`~repro.core.audit.DeltaAuditEngine`): the set of qualifying
+task pairs is maintained as tasks post, per-pair verdicts are cached,
+and each audit re-judges only pairs involving a task whose audience the
+delta changed.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_right, insort
 from collections import defaultdict
 from dataclasses import dataclass
 from itertools import combinations
 
-from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker, sampled_pairs
+from repro.core.axioms import (
+    Axiom,
+    AxiomCheck,
+    DeltaChecker,
+    IncrementalChecker,
+    TraceDelta,
+    sampled_pairs,
+)
 from repro.core.entities import Task, Worker
 from repro.core.events import (
     Event,
@@ -48,7 +70,7 @@ from repro.core.events import (
 )
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation, ViolationSeverity
-from repro.errors import UnknownEntityError
+from repro.errors import AuditError, UnknownEntityError
 from repro.similarity.numeric import reward_comparability
 from repro.similarity.vectors import (
     attribute_overlap_similarity,
@@ -89,9 +111,21 @@ class WorkerFairnessInAssignment(Axiom):
     audit_derivations: bool = True
     max_pairs: int | None = 20_000
     sample_seed: int = 0
+    #: Cap on finalised browse ticks the incremental checker retains for
+    #: the pair-sampling fallback; ``None`` retains all (exact).
+    history_window: int | None = None
 
     axiom_id = 1
     title = "Worker fairness in task assignment"
+    # Delta audits reuse the incremental checker: ticks finalise as the
+    # clock passes them, so a delta audit re-examines the open tick only.
+    supports_delta = True
+
+    def __post_init__(self) -> None:
+        if self.history_window is not None and self.history_window < 1:
+            raise AuditError(
+                f"history_window must be >= 1 tick, got {self.history_window}"
+            )
 
     def workers_similar(self, left: Worker, right: Worker) -> bool:
         """The Axiom 1 similarity predicate over (A_w, C_w, S_w)."""
@@ -256,6 +290,7 @@ class _IncrementalWorkerFairness(IncrementalChecker):
             if not self._sampling_active():
                 self._finalize_tick(self._pending_time)
             self._pending_time = None
+            self._evict_history()
         if isinstance(event, (WorkerRegistered, WorkerUpdated)):
             self._snapshots.setdefault(event.worker.worker_id, []).append(
                 (event.time, event.worker)
@@ -273,6 +308,33 @@ class _IncrementalWorkerFairness(IncrementalChecker):
             self._axiom.max_pairs is not None
             and total_pairs > self._axiom.max_pairs
         )
+
+    @property
+    def retained_view_ticks(self) -> int:
+        """How many browse ticks' merged views are currently retained
+        (the memory the ``history_window`` satellite bounds)."""
+        return len(self._views)
+
+    def _evict_history(self) -> None:
+        """Windowed eviction of finalised view history (ROADMAP item).
+
+        Views are kept solely for the pair-sampling fallback — finalised
+        verdicts live in ``self._final``.  With a ``history_window`` the
+        oldest finalised ticks are dropped once the window is full, so
+        an unbounded stream holds a bounded number of view sets; the
+        sampling fallback (if it ever engages) then recomputes over the
+        retained window only.  Keys of ``self._views`` are in ascending
+        tick order (events arrive time-ordered), so eviction pops from
+        the front.
+        """
+        window = self._axiom.history_window
+        if window is None:
+            return
+        while len(self._views) > window:
+            oldest = next(iter(self._views))
+            if oldest == self._pending_time:
+                break  # never evict the still-open tick
+            del self._views[oldest]
 
     def snapshot(self) -> AxiomCheck:
         axiom = self._axiom
@@ -399,6 +461,7 @@ class RequesterFairnessInAssignment(Axiom):
 
     axiom_id = 2
     title = "Requester fairness in task assignment"
+    supports_delta = True
 
     def tasks_comparable(self, left: Task, right: Task) -> bool:
         """The Axiom 2 comparability predicate over (S_t, d_t)."""
@@ -424,6 +487,43 @@ class RequesterFairnessInAssignment(Axiom):
 
     def incremental(self) -> IncrementalChecker:
         return _IncrementalRequesterFairness(self)
+
+    def delta_checker(self) -> DeltaChecker:
+        return _DeltaRequesterFairness(self)
+
+    def _audience_violation(
+        self,
+        left_id: str,
+        right_id: str,
+        left: Task,
+        right: Task,
+        time: int,
+        left_audience: set[str],
+        right_audience: set[str],
+    ) -> Violation | None:
+        """The Axiom 2 verdict for one comparable pair's audiences."""
+        agreement = _set_jaccard(left_audience, right_audience)
+        if agreement >= self.audience_threshold:
+            return None
+        return Violation(
+            axiom_id=2,
+            message=(
+                f"comparable tasks from different requesters had "
+                f"different audiences (jaccard {agreement:.2f} < "
+                f"{self.audience_threshold:.2f})"
+            ),
+            time=time,
+            severity=ViolationSeverity.WARNING,
+            subjects=(left_id, right_id),
+            witness={
+                "requesters": (left.requester_id, right.requester_id),
+                "audience_sizes": (
+                    len(left_audience),
+                    len(right_audience),
+                ),
+                "jaccard": agreement,
+            },
+        )
 
     def _scan(
         self,
@@ -458,31 +558,14 @@ class RequesterFairnessInAssignment(Axiom):
             if not comparable:
                 continue
             opportunities += 1
-            left_audience = audiences.get(left_id, set())
-            right_audience = audiences.get(right_id, set())
-            agreement = _set_jaccard(left_audience, right_audience)
-            if agreement < self.audience_threshold:
-                violations.append(
-                    Violation(
-                        axiom_id=2,
-                        message=(
-                            f"comparable tasks from different requesters had "
-                            f"different audiences (jaccard {agreement:.2f} < "
-                            f"{self.audience_threshold:.2f})"
-                        ),
-                        time=max(posted_at[left_id], posted_at[right_id]),
-                        severity=ViolationSeverity.WARNING,
-                        subjects=(left_id, right_id),
-                        witness={
-                            "requesters": (left.requester_id, right.requester_id),
-                            "audience_sizes": (
-                                len(left_audience),
-                                len(right_audience),
-                            ),
-                            "jaccard": agreement,
-                        },
-                    )
-                )
+            violation = self._audience_violation(
+                left_id, right_id, left, right,
+                max(posted_at[left_id], posted_at[right_id]),
+                audiences.get(left_id, set()),
+                audiences.get(right_id, set()),
+            )
+            if violation is not None:
+                violations.append(violation)
         return violations, opportunities
 
 
@@ -519,3 +602,123 @@ class _IncrementalRequesterFairness(IncrementalChecker):
             self._posted_at, self._tasks, self._audiences, self._comparable
         )
         return self._axiom._result(violations, opportunities)
+
+
+class _DeltaRequesterFairness(DeltaChecker):
+    """Delta-aware Axiom 2: cached per-pair verdicts, touched re-judges.
+
+    Pair *qualification* (posted within the window, comparable skills
+    and rewards) is static, so the sorted list of qualifying pairs is
+    extended as tasks post — O(existing tasks) per new task, never
+    rescanned.  Pair *verdicts* depend only on the two audiences, so a
+    cached verdict is re-judged only when the delta changed an audience
+    on either side (a refinement of the delta's touched-task superset).
+    Each audit is then one walk over qualifying pairs with almost every
+    verdict served from cache.
+
+    If the task population crosses the pair-sampling cap the cached
+    pair set no longer matches the batch sample; the checker drops to
+    the memoised full scan (exact, comparability still paid once per
+    pair ever) from then on.
+    """
+
+    def __init__(self, axiom: RequesterFairnessInAssignment) -> None:
+        self._axiom = axiom
+        self._posted_at: dict[str, int] = {}
+        self._tasks: dict[str, Task] = {}
+        self._audiences: dict[str, set[str]] = {}
+        self._comparable: dict[tuple[str, str], bool] = {}
+        # Qualifying pairs in batch iteration order (lexicographic),
+        # plus a membership set (two tasks posted in one delta would
+        # otherwise insert their shared pair from both sides).
+        self._qualifying: list[tuple[str, str]] = []
+        self._qualified: set[tuple[str, str]] = set()
+        self._verdicts: dict[tuple[str, str], Violation | None] = {}
+        # Task ids whose audience changed since the last ``result``.
+        self._dirty: set[str] = set()
+        self._sampling = False
+
+    def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        axiom = self._axiom
+        new_task_ids: list[str] = []
+        for event in delta.new_events:
+            if isinstance(event, TaskPosted):
+                task_id = event.task.task_id
+                self._posted_at[task_id] = event.time
+                self._tasks[task_id] = event.task
+                new_task_ids.append(task_id)
+            elif isinstance(event, TasksShown):
+                for task_id in event.task_ids:
+                    audience = self._audiences.setdefault(task_id, set())
+                    if event.worker_id not in audience:
+                        audience.add(event.worker_id)
+                        self._dirty.add(task_id)
+        if self._sampling:
+            return
+        n = len(self._posted_at)
+        if axiom.max_pairs is not None and n * (n - 1) // 2 > axiom.max_pairs:
+            self._sampling = True
+            self._qualifying.clear()
+            self._qualified.clear()
+            self._verdicts.clear()
+            return
+        for task_id in new_task_ids:
+            self._pair_up(task_id)
+
+    def _pair_up(self, task_id: str) -> None:
+        """Qualify the new task against every earlier one; cache the
+        static comparability and insert qualifying pairs in order."""
+        axiom = self._axiom
+        time = self._posted_at[task_id]
+        qualified = False
+        for other_id, other_time in self._posted_at.items():
+            if other_id == task_id:
+                continue
+            if abs(time - other_time) > axiom.posting_window:
+                continue
+            pair = (
+                (task_id, other_id) if task_id < other_id
+                else (other_id, task_id)
+            )
+            comparable = self._comparable.get(pair)
+            if comparable is None:
+                comparable = axiom.tasks_comparable(
+                    self._tasks[pair[0]], self._tasks[pair[1]]
+                )
+                self._comparable[pair] = comparable
+            if comparable and pair not in self._qualified:
+                insort(self._qualifying, pair)
+                self._qualified.add(pair)
+                qualified = True
+        if qualified:
+            # Force first-judgement of the new pairs at the next result.
+            self._dirty.add(task_id)
+
+    def result(self) -> AxiomCheck:
+        axiom = self._axiom
+        if self._sampling:
+            violations, opportunities = axiom._scan(
+                self._posted_at, self._tasks, self._audiences,
+                self._comparable,
+            )
+            return axiom._result(violations, opportunities)
+        violations: list[Violation] = []
+        for pair in self._qualifying:
+            left_id, right_id = pair
+            if (
+                pair not in self._verdicts
+                or left_id in self._dirty
+                or right_id in self._dirty
+            ):
+                self._verdicts[pair] = axiom._audience_violation(
+                    left_id, right_id,
+                    self._tasks[left_id], self._tasks[right_id],
+                    max(self._posted_at[left_id], self._posted_at[right_id]),
+                    self._audiences.get(left_id, set()),
+                    self._audiences.get(right_id, set()),
+                )
+            violation = self._verdicts[pair]
+            if violation is not None:
+                violations.append(violation)
+        self._dirty.clear()
+        return axiom._result(violations, len(self._qualifying))

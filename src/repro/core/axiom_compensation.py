@@ -72,6 +72,9 @@ class FairCompensation(Axiom):
 
     axiom_id = 3
     title = "Fairness in worker compensation"
+    # Delta audits reuse the incremental checker: similarity is already
+    # paid once per pair, and snapshots only re-judge cached pairs.
+    supports_delta = True
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         violations: list[Violation] = []

@@ -56,6 +56,8 @@ class RequesterFairnessInCompletion(Axiom):
 
     axiom_id = 4
     title = "Requester fairness in task completion"
+    # Delta audits reuse the incremental checker's O(workers) snapshot.
+    supports_delta = True
 
     def suspicious_workers(self, trace: PlatformTrace) -> dict[str, dict[str, float]]:
         """Workers the evidence marks as malicious, with the evidence."""
@@ -232,6 +234,9 @@ class WorkerFairnessInCompletion(Axiom):
 
     axiom_id = 5
     title = "Worker fairness in task completion"
+    # Delta audits reuse the incremental checker: verdicts are final on
+    # arrival, so a delta audit costs its new events only.
+    supports_delta = True
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         started = trace.of_kind(TaskStarted)

@@ -27,14 +27,29 @@ registries, and submission times event by event; rejection-feedback and
 late-payment verdicts are final on arrival, while the undisclosed-field
 sweeps (whose verdicts can flip as disclosures arrive) are re-derived
 per snapshot in O(entities × mandated fields).
+
+The *delta* counterparts (used by
+:class:`~repro.core.audit.DeltaAuditEngine`) go one step further: the
+per-entity sweep verdicts are cached, and each audit re-sweeps only the
+entities named in the delta's touched set — a requester's missing-field
+list is recomputed only when a new requester registers or a disclosure
+about them arrives, so an audit of a trace that grew by one round costs
+that round's entities, not all of them.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.core.axioms import Axiom, AxiomCheck, IncrementalChecker
+from repro.core.axioms import (
+    Axiom,
+    AxiomCheck,
+    DeltaChecker,
+    IncrementalChecker,
+    TraceDelta,
+)
 from repro.core.entities import Requester, Task, Worker
 from repro.core.events import (
     ContributionReviewed,
@@ -83,6 +98,7 @@ class RequesterTransparency(Axiom):
 
     axiom_id = 6
     title = "Requester transparency"
+    supports_delta = True
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         violations: list[Violation] = []
@@ -125,6 +141,26 @@ class RequesterTransparency(Axiom):
     def incremental(self) -> IncrementalChecker:
         return _IncrementalRequesterTransparency(self)
 
+    def delta_checker(self) -> DeltaChecker:
+        return _DeltaRequesterTransparency(self)
+
+    def _undisclosed_violation(
+        self, requester_id: str, field_name: str, end_time: int
+    ) -> Violation:
+        return Violation(
+            axiom_id=6,
+            message=(
+                f"requester never disclosed mandated field {field_name!r}"
+            ),
+            time=end_time,
+            severity=ViolationSeverity.WARNING,
+            subjects=(requester_id,),
+            witness={
+                "field": field_name,
+                "type": "undisclosed_field",
+            },
+        )
+
     def _sweep_fields(
         self,
         requesters: dict[str, Requester],
@@ -141,19 +177,8 @@ class RequesterTransparency(Axiom):
                 opportunities += 1
                 if field_name not in shown:
                     violations.append(
-                        Violation(
-                            axiom_id=6,
-                            message=(
-                                f"requester never disclosed mandated field "
-                                f"{field_name!r}"
-                            ),
-                            time=end_time,
-                            severity=ViolationSeverity.WARNING,
-                            subjects=(requester_id,),
-                            witness={
-                                "field": field_name,
-                                "type": "undisclosed_field",
-                            },
+                        self._undisclosed_violation(
+                            requester_id, field_name, end_time
                         )
                     )
         return violations, opportunities
@@ -282,6 +307,105 @@ class _IncrementalRequesterTransparency(IncrementalChecker):
         return axiom._result(violations, opportunities)
 
 
+class _DeltaRequesterTransparency(DeltaChecker):
+    """Delta-aware Axiom 6: cached per-requester sweeps.
+
+    Event folding matches the incremental checker (settled rejection and
+    payment-delay verdicts, maintained disclosure/entity maps); the
+    difference is the undisclosed-field sweep, whose per-requester
+    missing-field lists are cached and recomputed only for requesters in
+    the delta's touched set — a requester untouched since the last audit
+    keeps its verdict.  Violations are materialised fresh each audit
+    because the batch checker stamps them with the current trace end
+    time.
+    """
+
+    def __init__(self, axiom: RequesterTransparency) -> None:
+        self._axiom = axiom
+        self._disclosed: dict[str, set[str]] = {}
+        self._requesters: dict[str, Requester] = {}
+        self._tasks: dict[str, Task] = {}
+        self._submitted_at: dict[str, int] = {}
+        self._rejections: list[Violation] = []
+        self._rejection_opportunities = 0
+        self._delays: list[Violation] = []
+        self._delay_opportunities = 0
+        self._end_time = 0
+        # requester_id -> mandated fields still undisclosed (cached sweep).
+        self._missing: dict[str, tuple[str, ...]] = {}
+        self._sorted_requesters: list[str] = []
+
+    def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        axiom = self._axiom
+        for event in delta.new_events:
+            self._end_time = event.time
+            if isinstance(event, DisclosureShown):
+                self._disclosed.setdefault(event.subject, set()).add(
+                    event.field_name
+                )
+            elif isinstance(event, RequesterRegistered):
+                requester_id = event.requester.requester_id
+                if requester_id not in self._requesters:
+                    insort(self._sorted_requesters, requester_id)
+                self._requesters[requester_id] = event.requester
+            elif isinstance(event, TaskPosted):
+                self._tasks[event.task.task_id] = event.task
+            elif isinstance(event, ContributionSubmitted):
+                self._submitted_at[
+                    event.contribution.contribution_id
+                ] = event.time
+            elif isinstance(event, ContributionReviewed):
+                if axiom.check_rejection_feedback and not event.accepted:
+                    self._rejection_opportunities += 1
+                    violation = axiom._rejection_violation(event, self._tasks)
+                    if violation is not None:
+                        self._rejections.append(violation)
+            elif isinstance(event, PaymentIssued):
+                if axiom.check_payment_delay:
+                    verdict = axiom._delay_verdict(
+                        event, self._submitted_at, self._tasks,
+                        self._requesters,
+                    )
+                    if verdict is not None:
+                        self._delay_opportunities += 1
+                        if verdict:
+                            self._delays.append(verdict)
+        # Touched-entity re-sweep: only requesters the delta referenced
+        # can have gained a registration or a disclosure.
+        for requester_id in delta.touched.requester_ids:
+            if requester_id in self._requesters:
+                self._missing[requester_id] = self._compute_missing(
+                    requester_id
+                )
+
+    def _compute_missing(self, requester_id: str) -> tuple[str, ...]:
+        shown = self._disclosed.get(requester_subject(requester_id), set())
+        return tuple(
+            field_name
+            for field_name in self._axiom.mandated_fields
+            if field_name not in shown
+        )
+
+    def result(self) -> AxiomCheck:
+        axiom = self._axiom
+        violations: list[Violation] = []
+        for requester_id in self._sorted_requesters:
+            for field_name in self._missing.get(requester_id, ()):
+                violations.append(
+                    axiom._undisclosed_violation(
+                        requester_id, field_name, self._end_time
+                    )
+                )
+        opportunities = len(self._requesters) * len(axiom.mandated_fields)
+        if axiom.check_rejection_feedback:
+            violations.extend(self._rejections)
+            opportunities += self._rejection_opportunities
+        if axiom.check_payment_delay:
+            violations.extend(self._delays)
+            opportunities += self._delay_opportunities
+        return axiom._result(violations, opportunities)
+
+
 @dataclass
 class PlatformTransparency(Axiom):
     """Axiom 7 checker."""
@@ -291,6 +415,7 @@ class PlatformTransparency(Axiom):
 
     axiom_id = 7
     title = "Platform transparency"
+    supports_delta = True
 
     def check(self, trace: PlatformTrace) -> AxiomCheck:
         disclosed: dict[str, set[str]] = defaultdict(set)
@@ -309,6 +434,9 @@ class PlatformTransparency(Axiom):
     def incremental(self) -> IncrementalChecker:
         return _IncrementalPlatformTransparency(self)
 
+    def delta_checker(self) -> DeltaChecker:
+        return _DeltaPlatformTransparency(self)
+
     def _counts_as_disclosed(self, event: DisclosureShown) -> bool:
         """A worker's C_w counts as disclosed to *them* only when
         addressed to them (or public)."""
@@ -317,6 +445,23 @@ class PlatformTransparency(Axiom):
         return not (
             event.audience_worker_id
             and worker_subject(event.audience_worker_id) != event.subject
+        )
+
+    def _undisclosed_violation(
+        self, worker_id: str, field_name: str, end_time: int
+    ) -> Violation:
+        return Violation(
+            axiom_id=7,
+            message=(
+                f"platform never disclosed {field_name!r} to its worker"
+            ),
+            time=end_time,
+            severity=ViolationSeverity.WARNING,
+            subjects=(worker_id,),
+            witness={
+                "field": field_name,
+                "type": "undisclosed_computed_attribute",
+            },
         )
 
     def _sweep_workers(
@@ -336,19 +481,8 @@ class PlatformTransparency(Axiom):
                 opportunities += 1
                 if field_name not in shown:
                     violations.append(
-                        Violation(
-                            axiom_id=7,
-                            message=(
-                                f"platform never disclosed {field_name!r} to "
-                                f"its worker"
-                            ),
-                            time=end_time,
-                            severity=ViolationSeverity.WARNING,
-                            subjects=(worker_id,),
-                            witness={
-                                "field": field_name,
-                                "type": "undisclosed_computed_attribute",
-                            },
+                        self._undisclosed_violation(
+                            worker_id, field_name, end_time
                         )
                     )
         return violations, opportunities
@@ -380,3 +514,66 @@ class _IncrementalPlatformTransparency(IncrementalChecker):
             self._final_workers, self._disclosed, self._end_time
         )
         return self._axiom._result(violations, opportunities)
+
+
+class _DeltaPlatformTransparency(DeltaChecker):
+    """Delta-aware Axiom 7: cached per-worker sweeps.
+
+    A worker's verdict — which of their computed attributes are both
+    mandated and undisclosed — changes only when their snapshot changes
+    (new ``C_w`` published) or a disclosure addressed to them arrives,
+    so each audit recomputes it only for workers in the delta's touched
+    set.  Violations are materialised fresh per audit with the current
+    trace end time (matching the batch stamp).
+    """
+
+    def __init__(self, axiom: PlatformTransparency) -> None:
+        self._axiom = axiom
+        self._disclosed: dict[str, set[str]] = {}
+        self._final_workers: dict[str, Worker] = {}
+        self._sorted_workers: list[str] = []
+        self._end_time = 0
+        # worker_id -> (relevant mandated-field count, undisclosed fields).
+        self._sweeps: dict[str, tuple[int, tuple[str, ...]]] = {}
+
+    def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        axiom = self._axiom
+        for event in delta.new_events:
+            self._end_time = event.time
+            if isinstance(event, DisclosureShown):
+                if axiom._counts_as_disclosed(event):
+                    self._disclosed.setdefault(event.subject, set()).add(
+                        event.field_name
+                    )
+            elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
+                worker_id = event.worker.worker_id
+                if worker_id not in self._final_workers:
+                    insort(self._sorted_workers, worker_id)
+                self._final_workers[worker_id] = event.worker
+        for worker_id in delta.touched.worker_ids:
+            if worker_id in self._final_workers:
+                self._sweeps[worker_id] = self._compute_sweep(worker_id)
+
+    def _compute_sweep(self, worker_id: str) -> tuple[int, tuple[str, ...]]:
+        worker = self._final_workers[worker_id]
+        shown = self._disclosed.get(worker_subject(worker_id), set())
+        relevant = [
+            f for f in self._axiom.mandated_fields if f in worker.computed
+        ]
+        missing = tuple(f for f in relevant if f not in shown)
+        return len(relevant), missing
+
+    def result(self) -> AxiomCheck:
+        axiom = self._axiom
+        violations: list[Violation] = []
+        opportunities = 0
+        for worker_id in self._sorted_workers:
+            relevant_count, missing = self._sweeps.get(worker_id, (0, ()))
+            opportunities += relevant_count
+            for field_name in missing:
+                violations.append(
+                    axiom._undisclosed_violation(
+                        worker_id, field_name, self._end_time
+                    )
+                )
+        return axiom._result(violations, opportunities)

@@ -20,6 +20,20 @@ batch ``check`` of that ``N``-event prefix.  Axioms that do not provide
 a specialised implementation fall back to :class:`ReplayChecker`, which
 buffers events and reruns the batch checker — always correct, never
 faster.
+
+*Delta-aware batch audits* are a third protocol, used by
+:class:`~repro.core.audit.DeltaAuditEngine` for repeated batch audits
+of one growing trace.  An axiom opts in by setting
+:attr:`Axiom.supports_delta`; its :meth:`Axiom.delta_checker` then
+returns a :class:`DeltaChecker` that is handed, per audit, a
+:class:`TraceDelta` — the events appended since the previous audit
+plus the :class:`~repro.core.store.TouchedEntities` they referenced —
+and re-sweeps only what the delta invalidates.  The default
+``delta_checker`` adapts the axiom's incremental checker
+(:class:`IncrementalDeltaChecker`); Axioms 2, 6, and 7 override it
+with touched-entity implementations that cache per-entity verdicts.
+The contract is the same exact batch equivalence, enforced by the same
+differential suite.
 """
 
 from __future__ import annotations
@@ -31,11 +45,32 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence, TypeVar
 
 from repro.core.events import Event
+from repro.core.store import TouchedEntities
 from repro.core.trace import PlatformTrace
 from repro.core.violations import Violation
 from repro.errors import AuditError
 
 T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TraceDelta:
+    """What changed in a trace between two audits of it.
+
+    ``new_events`` is the slice ``[from_revision, to_revision)`` of the
+    trace's append sequence; ``touched`` summarises every entity those
+    events referenced (the invalidation set for cached per-entity
+    verdicts).
+    """
+
+    from_revision: int
+    to_revision: int
+    new_events: tuple[Event, ...]
+    touched: TouchedEntities
+
+    @property
+    def event_count(self) -> int:
+        return len(self.new_events)
 
 
 @dataclass(frozen=True)
@@ -73,6 +108,12 @@ class Axiom(abc.ABC):
     axiom_id: int = 0
     #: The paper's axiom title.
     title: str = ""
+    #: Opt-in hook for delta-aware batch audits: when True, the
+    #: :class:`~repro.core.audit.DeltaAuditEngine` drives this axiom
+    #: through :meth:`delta_checker` instead of re-running ``check``
+    #: over the whole trace at every audit.  Custom axioms keep the
+    #: default (False) and get exact full re-checks.
+    supports_delta: bool = False
 
     @abc.abstractmethod
     def check(self, trace: PlatformTrace) -> AxiomCheck:
@@ -87,6 +128,20 @@ class Axiom(abc.ABC):
         number of already-observed events.
         """
         return ReplayChecker(self)
+
+    def delta_checker(self) -> "DeltaChecker | None":
+        """A fresh delta-aware checker, or ``None`` when not supported.
+
+        The default (for axioms that set :attr:`supports_delta`) adapts
+        the incremental checker: every audit feeds it only the events
+        appended since the last one.  Axioms whose batch check is an
+        entity sweep override this with a :class:`DeltaChecker` that
+        caches per-entity verdicts and re-sweeps only the entities the
+        delta touched.
+        """
+        if not self.supports_delta:
+            return None
+        return IncrementalDeltaChecker(self.incremental())
 
     def _result(
         self, violations: Sequence[Violation], opportunities: int
@@ -122,6 +177,48 @@ class IncrementalChecker(abc.ABC):
     @abc.abstractmethod
     def snapshot(self) -> AxiomCheck:
         """The batch-equivalent verdict over all observed events."""
+
+
+class DeltaChecker(abc.ABC):
+    """One axiom's delta-aware batch counterpart.
+
+    A :class:`~repro.core.audit.DeltaAuditEngine` calls :meth:`apply`
+    once per audit with the :class:`TraceDelta` since the previous
+    audit, then :meth:`result` for the verdict.  The contract mirrors
+    the incremental one: after applying deltas covering the first ``N``
+    events, ``result()`` equals the batch ``check`` of that ``N``-event
+    prefix — violations, order, and opportunity counts included.
+    Implementations exploit the delta's touched-entity sets to re-sweep
+    only invalidated cached verdicts.
+    """
+
+    @abc.abstractmethod
+    def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        """Fold the events appended since the previous audit."""
+
+    @abc.abstractmethod
+    def result(self) -> AxiomCheck:
+        """The batch-equivalent verdict over all applied events."""
+
+
+class IncrementalDeltaChecker(DeltaChecker):
+    """Adapts an :class:`IncrementalChecker` to the delta protocol.
+
+    The right choice for axioms whose incremental checker is already
+    cheap per snapshot (Axioms 1, 3, 4, 5): each audit feeds it only
+    the delta's new events and snapshots.  Exactness is inherited from
+    the incremental contract.
+    """
+
+    def __init__(self, checker: IncrementalChecker) -> None:
+        self._checker = checker
+
+    def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        for event in delta.new_events:
+            self._checker.observe(event)
+
+    def result(self) -> AxiomCheck:
+        return self._checker.snapshot()
 
 
 class ReplayChecker(IncrementalChecker):

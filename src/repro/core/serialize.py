@@ -6,13 +6,26 @@ the audit engine consumes them exactly like simulator traces.  The
 format is line-oriented-friendly (a dict per event) and versioned.
 
 Round-trip guarantee: ``trace_from_json(trace_to_json(t))`` reproduces
-every event, entity, and index of ``t``.
+every event, entity, and index of ``t``.  :func:`save_trace` /
+:func:`load_trace` round-trip through the persistent JSONL-segment
+backend (:mod:`repro.core.store.persistent`) — the durable counterpart
+of the single-document JSON form, sharing the same event codecs.
+
+This module deliberately does not import :class:`PlatformTrace` at
+module level: the persistent store imports these codecs, and the trace
+facade imports the store package.
 """
 
 from __future__ import annotations
 
+import os
+from typing import TYPE_CHECKING, Any
+
 import json
-from typing import Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import TraceStore
+    from repro.core.trace import PlatformTrace
 
 from repro.core.attributes import ComputedAttributes, DeclaredAttributes
 from repro.core.entities import (
@@ -42,7 +55,6 @@ from repro.core.events import (
     WorkerRegistered,
     WorkerUpdated,
 )
-from repro.core.trace import PlatformTrace
 from repro.errors import TraceError
 
 FORMAT_VERSION = 1
@@ -258,7 +270,7 @@ def event_from_dict(data: dict[str, Any]) -> Event:
 # ----------------------------------------------------------------------
 # Trace codecs
 
-def trace_to_json(trace: PlatformTrace, indent: int | None = None) -> str:
+def trace_to_json(trace: "PlatformTrace", indent: int | None = None) -> str:
     """The whole trace as a JSON document."""
     document = {
         "format_version": FORMAT_VERSION,
@@ -267,8 +279,16 @@ def trace_to_json(trace: PlatformTrace, indent: int | None = None) -> str:
     return json.dumps(document, indent=indent)
 
 
-def trace_from_json(text: str) -> PlatformTrace:
-    """Parse a JSON document back into an indexed trace."""
+def trace_from_json(
+    text: str, store: "TraceStore | None" = None
+) -> "PlatformTrace":
+    """Parse a JSON document back into an indexed trace.
+
+    ``store`` selects the storage backend of the restored trace
+    (in-memory when not given).
+    """
+    from repro.core.trace import PlatformTrace
+
     try:
         document = json.loads(text)
     except json.JSONDecodeError as error:
@@ -282,5 +302,47 @@ def trace_from_json(text: str) -> PlatformTrace:
             f"(supported: {FORMAT_VERSION})"
         )
     return PlatformTrace(
-        event_from_dict(item) for item in document["events"]
+        (event_from_dict(item) for item in document["events"]), store=store
     )
+
+
+def save_trace(
+    trace: "PlatformTrace",
+    path: str | os.PathLike[str],
+    segment_events: int = 4096,
+) -> str:
+    """Capture a trace as a persistent JSONL-segment log at ``path``.
+
+    Returns the log directory.  The adapter workflow for real platform
+    logs: export once with this, then :func:`load_trace` (or
+    ``PlatformTrace.open``) forever after.
+    """
+    from repro.core.store.persistent import PersistentTraceStore
+
+    with PersistentTraceStore.create(
+        path, segment_events=segment_events
+    ) as capture:
+        for event in trace:
+            capture.append(event)
+        return capture.save()
+
+
+def load_trace(
+    path: str | os.PathLike[str], store: "TraceStore | None" = None
+) -> "PlatformTrace":
+    """Reopen a persistent trace log.
+
+    Without ``store`` the returned trace stays backed by the reopened
+    persistent store (appends continue the on-disk log); passing a
+    store re-homes the events into that backend instead.
+    """
+    from repro.core.store.persistent import PersistentTraceStore
+    from repro.core.trace import PlatformTrace
+
+    opened = PersistentTraceStore.open(path)
+    if store is None:
+        return PlatformTrace(store=opened)
+    trace = PlatformTrace(store=store)
+    trace.extend(opened.events)
+    opened.close()
+    return trace

@@ -1,0 +1,51 @@
+"""Pluggable trace storage backends (see :mod:`repro.core.store.base`).
+
+:func:`make_store` is the factory the platform layer and CLI use::
+
+    make_store()                                  # in-memory (default)
+    make_store("windowed", window=50_000)         # bounded memory
+    make_store("persistent", path="runs/log")     # JSONL segments
+"""
+
+from __future__ import annotations
+
+from repro.core.store.base import TouchedEntities, TraceStore, collect_touched
+from repro.core.store.memory import InMemoryTraceStore
+from repro.core.store.persistent import PersistentTraceStore
+from repro.core.store.windowed import WindowedTraceStore
+from repro.errors import TraceError
+
+#: backend name -> store class, the registry behind ``make_store``.
+STORE_BACKENDS: dict[str, type[TraceStore]] = {
+    InMemoryTraceStore.backend_name: InMemoryTraceStore,
+    WindowedTraceStore.backend_name: WindowedTraceStore,
+    PersistentTraceStore.backend_name: PersistentTraceStore,
+}
+
+
+def make_store(backend: str = "memory", **options: object) -> TraceStore:
+    """Instantiate a trace store by backend name.
+
+    Options are forwarded to the backend constructor (``window=`` for
+    windowed, ``path=``/``segment_events=`` for persistent).
+    """
+    try:
+        store_cls = STORE_BACKENDS[backend]
+    except KeyError:
+        raise TraceError(
+            f"unknown trace backend {backend!r}; "
+            f"known: {sorted(STORE_BACKENDS)}"
+        ) from None
+    return store_cls(**options)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "STORE_BACKENDS",
+    "InMemoryTraceStore",
+    "PersistentTraceStore",
+    "TouchedEntities",
+    "TraceStore",
+    "WindowedTraceStore",
+    "collect_touched",
+    "make_store",
+]

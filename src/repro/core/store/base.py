@@ -1,0 +1,231 @@
+"""The ``TraceStore`` protocol: pluggable storage behind a trace.
+
+A :class:`~repro.core.trace.PlatformTrace` is a thin facade; everything
+it knows — the ordered event log, the per-kind lists, and the entity
+indexes (tasks, requesters, contributions, worker snapshot series) —
+lives in a :class:`TraceStore`.  Three backends ship with the package:
+
+* :class:`~repro.core.store.memory.InMemoryTraceStore` — the default;
+  everything indexed in RAM, unbounded.
+* :class:`~repro.core.store.windowed.WindowedTraceStore` — bounded
+  memory for unbounded streams: retains the newest ``window`` events
+  (entity registries stay complete, old worker snapshots are pruned).
+* :class:`~repro.core.store.persistent.PersistentTraceStore` — JSONL
+  segment files on disk with ``open``/``save``/write-through ``append``,
+  so a real platform log is captured once and re-audited forever.
+
+Stores also carry the bookkeeping delta-aware audits need: a
+monotonically increasing :attr:`TraceStore.revision` (the total number
+of events ever appended — eviction never decreases it) and the
+:func:`collect_touched` helper that summarises which entities a batch
+of new events referenced.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.entities import Contribution, Requester, Task, Worker
+    from repro.core.events import Event
+
+
+class TraceStore(abc.ABC):
+    """Ordered, indexed storage for platform events.
+
+    The store owns ordering validation (events must arrive in
+    non-decreasing time order, a task id may be posted once) so every
+    backend enforces the same trace well-formedness; the facade adds
+    only subscription plumbing on top.
+
+    Sequence numbers are *global* append positions: ``revision`` is the
+    next sequence number, and :meth:`events_since` addresses events by
+    those positions even on backends that evict (which raise
+    :class:`~repro.errors.TraceError` for evicted ranges rather than
+    silently returning a gap).
+    """
+
+    #: Stable name used by :func:`repro.core.store.make_store` and CLI flags.
+    backend_name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @abc.abstractmethod
+    def append(self, event: "Event") -> None:
+        """Validate, store, and index one event."""
+
+    # ------------------------------------------------------------------
+    # Log access
+
+    @property
+    @abc.abstractmethod
+    def revision(self) -> int:
+        """Total number of events ever appended (never decreases)."""
+
+    @property
+    @abc.abstractmethod
+    def first_retained(self) -> int:
+        """Sequence number of the oldest event still readable (0 unless
+        the backend evicts)."""
+
+    @property
+    @abc.abstractmethod
+    def events(self) -> Sequence["Event"]:
+        """All retained events, in append order."""
+
+    @abc.abstractmethod
+    def events_since(self, n: int) -> "tuple[Event, ...]":
+        """Events with sequence numbers ``>= n``; raises for evicted or
+        out-of-range cursors."""
+
+    @property
+    @abc.abstractmethod
+    def end_time(self) -> int:
+        """Time of the last appended event (0 for an empty store)."""
+
+    @abc.abstractmethod
+    def of_kind(self, kind: str) -> "Sequence[Event]":
+        """Retained events of one kind name, in append order."""
+
+    def __iter__(self) -> "Iterator[Event]":
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        """Logical length == revision, so cursor arithmetic
+        (``events_since(len(trace))``) holds on every backend."""
+        return self.revision
+
+    # ------------------------------------------------------------------
+    # Entity indexes (references, not copies — the facade copies)
+
+    @property
+    @abc.abstractmethod
+    def tasks(self) -> "dict[str, Task]": ...
+
+    @property
+    @abc.abstractmethod
+    def requesters(self) -> "dict[str, Requester]": ...
+
+    @property
+    @abc.abstractmethod
+    def contributions(self) -> "dict[str, Contribution]": ...
+
+    @property
+    @abc.abstractmethod
+    def worker_ids(self) -> tuple[str, ...]:
+        """Worker ids in first-registration order."""
+
+    @abc.abstractmethod
+    def worker_at(self, worker_id: str, time: int) -> "Worker":
+        """Latest snapshot of a worker at or before ``time``."""
+
+    @abc.abstractmethod
+    def final_worker(self, worker_id: str) -> "Worker": ...
+
+    @abc.abstractmethod
+    def final_workers(self) -> "dict[str, Worker]": ...
+
+
+@dataclass(frozen=True)
+class TouchedEntities:
+    """Which entities a batch of events referenced.
+
+    This is the invalidation currency of delta-aware audits: a checker
+    that cached per-entity verdicts only re-sweeps entities named here.
+    The sets are deliberately conservative supersets (an entity merely
+    *mentioned* counts as touched) — over-invalidation costs a little
+    recomputation, under-invalidation would cost correctness.
+    """
+
+    worker_ids: frozenset[str] = frozenset()
+    task_ids: frozenset[str] = frozenset()
+    requester_ids: frozenset[str] = frozenset()
+    contribution_ids: frozenset[str] = frozenset()
+
+    @property
+    def total(self) -> int:
+        return (
+            len(self.worker_ids) + len(self.task_ids)
+            + len(self.requester_ids) + len(self.contribution_ids)
+        )
+
+
+def collect_touched(events: "Iterable[Event]") -> TouchedEntities:
+    """Summarise every entity referenced by ``events``."""
+    from repro.core.events import (
+        AssignmentMade,
+        BonusPaid,
+        BonusPromised,
+        ContributionReviewed,
+        ContributionSubmitted,
+        DisclosureShown,
+        MaliceFlagged,
+        PaymentIssued,
+        RequesterRegistered,
+        TaskCancelled,
+        TaskInterrupted,
+        TaskPosted,
+        TasksShown,
+        TaskStarted,
+        WorkerDeparted,
+        WorkerRegistered,
+        WorkerUpdated,
+    )
+
+    workers: set[str] = set()
+    tasks: set[str] = set()
+    requesters: set[str] = set()
+    contributions: set[str] = set()
+    for event in events:
+        if isinstance(event, (WorkerRegistered, WorkerUpdated)):
+            workers.add(event.worker.worker_id)
+        elif isinstance(event, WorkerDeparted):
+            workers.add(event.worker_id)
+        elif isinstance(event, RequesterRegistered):
+            requesters.add(event.requester.requester_id)
+        elif isinstance(event, TaskPosted):
+            tasks.add(event.task.task_id)
+            requesters.add(event.task.requester_id)
+        elif isinstance(event, TasksShown):
+            workers.add(event.worker_id)
+            tasks.update(event.task_ids)
+        elif isinstance(event, (AssignmentMade, TaskStarted, TaskInterrupted)):
+            workers.add(event.worker_id)
+            tasks.add(event.task_id)
+        elif isinstance(event, TaskCancelled):
+            tasks.add(event.task_id)
+        elif isinstance(event, ContributionSubmitted):
+            contributions.add(event.contribution.contribution_id)
+            tasks.add(event.contribution.task_id)
+            workers.add(event.contribution.worker_id)
+        elif isinstance(event, ContributionReviewed):
+            contributions.add(event.contribution_id)
+            tasks.add(event.task_id)
+            workers.add(event.worker_id)
+        elif isinstance(event, PaymentIssued):
+            workers.add(event.worker_id)
+            tasks.add(event.task_id)
+            if event.contribution_id:
+                contributions.add(event.contribution_id)
+        elif isinstance(event, (BonusPromised, BonusPaid)):
+            requesters.add(event.requester_id)
+            workers.add(event.worker_id)
+        elif isinstance(event, MaliceFlagged):
+            workers.add(event.worker_id)
+        elif isinstance(event, DisclosureShown):
+            subject = event.subject
+            if subject.startswith("requester:"):
+                requesters.add(subject.split(":", 1)[1])
+            elif subject.startswith("worker:"):
+                workers.add(subject.split(":", 1)[1])
+            if event.audience_worker_id:
+                workers.add(event.audience_worker_id)
+    return TouchedEntities(
+        worker_ids=frozenset(workers),
+        task_ids=frozenset(tasks),
+        requester_ids=frozenset(requesters),
+        contribution_ids=frozenset(contributions),
+    )

@@ -1,0 +1,162 @@
+"""The default backend: everything indexed in RAM, unbounded.
+
+This is the seed ``PlatformTrace`` storage factored out behind the
+:class:`~repro.core.store.base.TraceStore` protocol.  The windowed and
+persistent backends subclass it: all three share one indexing
+implementation, so an audit reads identical indexes whichever backend
+holds the events.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.entities import Contribution, Requester, Task, Worker
+from repro.core.events import (
+    ContributionSubmitted,
+    Event,
+    RequesterRegistered,
+    TaskPosted,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.core.store.base import TraceStore
+from repro.errors import TraceError, UnknownEntityError
+
+
+class InMemoryTraceStore(TraceStore):
+    """Append-only in-memory event log with entity indexes."""
+
+    backend_name = "memory"
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: list[Event] = []
+        #: Sequence number of self._events[0]; > 0 only after eviction.
+        self._offset = 0
+        self._end_time = 0
+        self._by_kind: dict[str, list[Event]] = defaultdict(list)
+        self._tasks: dict[str, Task] = {}
+        self._requesters: dict[str, Requester] = {}
+        # Per-worker time series of snapshots: (time, Worker), time-sorted.
+        self._worker_snapshots: dict[str, list[tuple[int, Worker]]] = (
+            defaultdict(list)
+        )
+        self._contributions: dict[str, Contribution] = {}
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def append(self, event: Event) -> None:
+        self._validate(event)
+        self._events.append(event)
+        self._end_time = event.time
+        self._by_kind[event.kind].append(event)
+        self._index_entities(event)
+
+    def _validate(self, event: Event) -> None:
+        if self.revision and event.time < self._end_time:
+            raise TraceError(
+                f"event at t={event.time} appended after t={self._end_time}; "
+                "traces must be time-ordered"
+            )
+        if isinstance(event, TaskPosted) and event.task.task_id in self._tasks:
+            raise TraceError(f"task {event.task.task_id} posted twice")
+
+    def _index_entities(self, event: Event) -> None:
+        if isinstance(event, TaskPosted):
+            self._tasks[event.task.task_id] = event.task
+        elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
+            insort(
+                self._worker_snapshots[event.worker.worker_id],
+                (event.time, event.worker),
+                key=lambda pair: pair[0],
+            )
+        elif isinstance(event, RequesterRegistered):
+            self._requesters[event.requester.requester_id] = event.requester
+        elif isinstance(event, ContributionSubmitted):
+            self._contributions[event.contribution.contribution_id] = (
+                event.contribution
+            )
+
+    # ------------------------------------------------------------------
+    # Log access
+
+    @property
+    def revision(self) -> int:
+        return self._offset + len(self._events)
+
+    @property
+    def first_retained(self) -> int:
+        return self._offset
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    def events_since(self, n: int) -> tuple[Event, ...]:
+        if n < 0:
+            raise TraceError(f"cursor must be >= 0, got {n}")
+        if n > self.revision:
+            raise TraceError(
+                f"cursor {n} is past the end of the trace "
+                f"({self.revision} events); cursors never run ahead"
+            )
+        if n < self._offset:
+            raise TraceError(
+                f"events [{n}, {self._offset}) were evicted from this "
+                f"{self.backend_name!r} store; cursors must stay within "
+                "the retained window"
+            )
+        return tuple(self._events[n - self._offset:])
+
+    @property
+    def end_time(self) -> int:
+        return self._end_time if self.revision else 0
+
+    def of_kind(self, kind: str) -> Sequence[Event]:
+        return self._by_kind.get(kind, [])
+
+    # ------------------------------------------------------------------
+    # Entity indexes
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        return self._tasks
+
+    @property
+    def requesters(self) -> dict[str, Requester]:
+        return self._requesters
+
+    @property
+    def contributions(self) -> dict[str, Contribution]:
+        return self._contributions
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(self._worker_snapshots.keys())
+
+    def worker_at(self, worker_id: str, time: int) -> Worker:
+        snapshots = self._worker_snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        index = bisect_right(snapshots, time, key=lambda pair: pair[0])
+        if index == 0:
+            raise UnknownEntityError(
+                f"worker {worker_id!r} not yet registered at t={time}"
+            )
+        return snapshots[index - 1][1]
+
+    def final_worker(self, worker_id: str) -> Worker:
+        snapshots = self._worker_snapshots.get(worker_id)
+        if not snapshots:
+            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
+        return snapshots[-1][1]
+
+    def final_workers(self) -> dict[str, Worker]:
+        return {
+            wid: snaps[-1][1] for wid, snaps in self._worker_snapshots.items()
+        }

@@ -1,0 +1,217 @@
+"""Durable backend: JSONL segment files with write-through append.
+
+A real platform's log should be captured once and re-audited forever.
+:class:`PersistentTraceStore` keeps the same in-memory indexes as the
+default backend (audits read identically) and additionally writes every
+appended event through to disk, as one JSON object per line, in
+fixed-size segment files::
+
+    trace-dir/
+        meta.json             {"format_version": 1, "segment_events": N}
+        events-00000.jsonl
+        events-00001.jsonl    # started once segment 0 held N events
+
+Segments cap the blast radius of file corruption and keep individual
+files tail-able; the event codec is the same one
+:mod:`repro.core.serialize` uses for whole-trace JSON, so an adapter
+for a real platform can emit either format.
+
+Workflow::
+
+    store = PersistentTraceStore.create(path)     # capture
+    trace = PlatformTrace(store=store)            # ... run platform ...
+    store.save()                                  # flush (appends are
+                                                  # written through anyway)
+
+    reopened = PersistentTraceStore.open(path)    # re-audit later
+    AuditEngine().audit(PlatformTrace(store=reopened))
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable
+
+from repro.core.events import Event
+from repro.core.serialize import event_from_dict, event_to_dict
+from repro.core.store.memory import InMemoryTraceStore
+from repro.errors import TraceError
+
+LOG_FORMAT_VERSION = 1
+_META_NAME = "meta.json"
+_SEGMENT_PREFIX = "events-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:05d}{_SEGMENT_SUFFIX}"
+
+
+class PersistentTraceStore(InMemoryTraceStore):
+    """In-memory indexes + JSONL segments on disk."""
+
+    backend_name = "persistent"
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        segment_events: int = 4096,
+        events: Iterable[Event] = (),
+    ) -> None:
+        """Open the log directory at ``path``, creating it if absent.
+
+        Use :meth:`create`/:meth:`open` when existence should be an
+        invariant rather than a branch.  ``segment_events`` applies to
+        newly created logs; reopened logs keep the size they were
+        created with.
+        """
+        if segment_events < 1:
+            raise TraceError(
+                f"segment_events must be >= 1, got {segment_events}"
+            )
+        self._path = os.fspath(path)
+        self._segment_events = segment_events
+        self._segment_index = 0
+        self._segment_count = 0  # events in the open segment
+        self._handle: IO[str] | None = None
+        self._replaying = False
+        meta_path = os.path.join(self._path, _META_NAME)
+        existing = os.path.exists(meta_path)
+        super().__init__(())
+        if existing:
+            self._load(meta_path)
+        else:
+            os.makedirs(self._path, exist_ok=True)
+            with open(meta_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "format_version": LOG_FORMAT_VERSION,
+                        "segment_events": self._segment_events,
+                    },
+                    handle,
+                )
+                handle.write("\n")
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------
+    # Explicit open/create entry points
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike[str], segment_events: int = 4096
+    ) -> "PersistentTraceStore":
+        """Start a fresh log; refuses to reuse an existing one."""
+        if os.path.exists(os.path.join(os.fspath(path), _META_NAME)):
+            raise TraceError(f"trace log already exists at {path!r}")
+        return cls(path, segment_events=segment_events)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike[str]) -> "PersistentTraceStore":
+        """Reopen a previously captured log; refuses a missing one."""
+        if not os.path.exists(os.path.join(os.fspath(path), _META_NAME)):
+            raise TraceError(f"no trace log at {path!r}")
+        return cls(path)
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def append(self, event: Event) -> None:
+        super().append(event)
+        if self._replaying:
+            return
+        if self._segment_count >= self._segment_events:
+            self._roll_segment()
+        if self._handle is None:
+            self._handle = open(
+                os.path.join(self._path, _segment_name(self._segment_index)),
+                "a",
+                encoding="utf-8",
+            )
+        json.dump(event_to_dict(event), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+        self._segment_count += 1
+
+    def _roll_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segment_index += 1
+        self._segment_count = 0
+
+    def save(self) -> str:
+        """Flush buffered writes; returns the log directory path.
+
+        Appends are written through (and flushed) as they happen, so
+        this is a convenience for symmetry with ``open`` — the log on
+        disk is already complete after every ``append``.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+        return self._path
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "PersistentTraceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def _load(self, meta_path: str) -> None:
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise TraceError(f"unreadable trace log meta: {error}") from None
+        version = meta.get("format_version")
+        if version != LOG_FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace log version {version!r} "
+                f"(supported: {LOG_FORMAT_VERSION})"
+            )
+        self._segment_events = int(meta.get("segment_events", 4096))
+        segments = sorted(
+            name
+            for name in os.listdir(self._path)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        )
+        self._replaying = True
+        try:
+            for name in segments:
+                with open(
+                    os.path.join(self._path, name), encoding="utf-8"
+                ) as handle:
+                    for line_number, line in enumerate(handle, start=1):
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            data = json.loads(line)
+                        except json.JSONDecodeError as error:
+                            raise TraceError(
+                                f"corrupt trace log line {name}:{line_number}: "
+                                f"{error}"
+                            ) from None
+                        self.append(event_from_dict(data))
+        finally:
+            self._replaying = False
+        if segments:
+            self._segment_index = len(segments) - 1
+            last = os.path.join(self._path, segments[-1])
+            with open(last, encoding="utf-8") as handle:
+                self._segment_count = sum(1 for line in handle if line.strip())
+        # A reopened log continues appending to its last segment.

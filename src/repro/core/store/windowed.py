@@ -1,0 +1,80 @@
+"""Bounded-memory backend for unbounded streams.
+
+A platform that never stops producing events would grow the in-memory
+store without bound.  :class:`WindowedTraceStore` retains only the
+newest ``window`` events; what it keeps of the past:
+
+* **Entity registries stay complete.**  Tasks, requesters, and
+  contributions are bounded by entity count, not event count, and
+  audits dangle without them, so they are never evicted.
+* **Worker snapshot series are pruned**, keeping every snapshot inside
+  the retained window plus the latest one before it — exactly what
+  :meth:`worker_at` needs to answer for any retained event's time.
+
+While nothing has been evicted the store is indistinguishable from the
+in-memory backend (the differential suite proves audit equivalence at
+every prefix).  After eviction, an audit over the store is
+*fairness-over-the-recent-window*: every checker's event-derived
+evidence (browse views, postings, disclosures, payments) is restricted
+to the retained events, while entity lookups (task table, requester
+table, worker snapshots) never dangle.  ``tests/core/test_trace_stores``
+pins this down by reconstruction.  Reads addressed before the window
+(``events_since`` with an evicted cursor) raise
+:class:`~repro.errors.TraceError` instead of silently skipping a gap.
+
+Eviction is amortised: the store lets the event list grow to twice the
+window, then cuts it back in one batch, so ``append`` stays O(1)
+amortised instead of paying a per-event list shift.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from typing import Iterable
+
+from repro.core.events import Event
+from repro.core.store.memory import InMemoryTraceStore
+from repro.errors import TraceError
+
+
+class WindowedTraceStore(InMemoryTraceStore):
+    """Retains the newest ``window`` events; entity indexes complete."""
+
+    backend_name = "windowed"
+
+    def __init__(self, window: int = 10_000, events: Iterable[Event] = ()) -> None:
+        if window < 1:
+            raise TraceError(f"window must be >= 1 event, got {window}")
+        self.window = window
+        super().__init__(events)
+
+    @property
+    def retained(self) -> int:
+        """How many events are currently readable (<= window + slack)."""
+        return len(self._events)
+
+    def append(self, event: Event) -> None:
+        super().append(event)
+        # Amortised batch eviction: grow to 2x window, cut back to window.
+        if len(self._events) > 2 * self.window:
+            self._evict(len(self._events) - self.window)
+
+    def _evict(self, count: int) -> None:
+        evicted = self._events[:count]
+        del self._events[:count]
+        self._offset += count
+        per_kind = Counter(event.kind for event in evicted)
+        for kind, dropped in per_kind.items():
+            del self._by_kind[kind][:dropped]
+        self._prune_worker_snapshots(self._events[0].time)
+
+    def _prune_worker_snapshots(self, oldest_retained_time: int) -> None:
+        """Drop snapshots no retained-time lookup can reach: everything
+        before the latest snapshot at or before the window start."""
+        for snapshots in self._worker_snapshots.values():
+            index = bisect_left(
+                snapshots, oldest_retained_time, key=lambda pair: pair[0]
+            )
+            if index > 1:
+                del snapshots[: index - 1]

@@ -2,9 +2,18 @@
 
 A :class:`PlatformTrace` is what audits consume.  The simulator in
 :mod:`repro.platform` produces traces natively; an adapter for a real
-platform would emit the same event schema.  The trace maintains
-secondary indexes (tasks by id, worker snapshots over time, events by
-kind) so axiom checkers stay close to linear in trace length.
+platform would emit the same event schema.  The trace is a thin facade
+over a pluggable :class:`~repro.core.store.TraceStore`, which owns the
+event log and the secondary indexes (tasks by id, worker snapshots over
+time, events by kind) that keep axiom checkers close to linear in trace
+length.  Three backends ship with :mod:`repro.core.store`:
+
+* ``memory`` (default) — everything indexed in RAM, unbounded;
+* ``windowed`` — bounded memory for unbounded streams (newest ``window``
+  events retained, entity registries complete);
+* ``persistent`` — JSONL segment files with write-through append, so a
+  platform log is captured once and re-audited forever
+  (:meth:`PlatformTrace.open` / :meth:`PlatformTrace.save`).
 
 Streaming consumers have two entry points:
 
@@ -18,11 +27,15 @@ Streaming consumers have two entry points:
   the :class:`~repro.core.audit.StreamingAuditEngine` attaches to so a
   live platform is audited as it runs instead of re-scanned from
   scratch.
+
+The facade is the write path: appends must go through
+:meth:`PlatformTrace.append` (not the store directly) so subscribed
+listeners observe every event.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+import os
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -39,6 +52,7 @@ from repro.core.events import (
     WorkerRegistered,
     WorkerUpdated,
 )
+from repro.core.store import InMemoryTraceStore, TraceStore
 from repro.errors import TraceError, UnknownEntityError
 
 E = TypeVar("E", bound=Event)
@@ -49,20 +63,46 @@ class PlatformTrace:
 
     Events must be appended in non-decreasing time order; this mirrors
     how a platform log accumulates and keeps the per-kind indexes
-    sorted for binary search.
+    sorted for binary search.  Storage and indexing live in the
+    injected :class:`~repro.core.store.TraceStore` (in-memory when not
+    given); the facade adds subscription plumbing and derived views.
     """
 
-    def __init__(self, events: Iterable[Event] = ()) -> None:
-        self._events: list[Event] = []
-        self._by_kind: dict[str, list[Event]] = defaultdict(list)
-        self._tasks: dict[str, Task] = {}
-        self._requesters: dict[str, Requester] = {}
-        # Per-worker time series of snapshots: (time, Worker), time-sorted.
-        self._worker_snapshots: dict[str, list[tuple[int, Worker]]] = defaultdict(list)
-        self._contributions: dict[str, Contribution] = {}
+    def __init__(
+        self,
+        events: Iterable[Event] = (),
+        store: TraceStore | None = None,
+    ) -> None:
+        self._store = store if store is not None else InMemoryTraceStore()
         self._listeners: list[Callable[[Event], None]] = []
         for event in events:
             self.append(event)
+
+    @property
+    def store(self) -> TraceStore:
+        """The storage backend behind this trace."""
+        return self._store
+
+    @classmethod
+    def open(cls, path: str | os.PathLike[str]) -> "PlatformTrace":
+        """Reopen a trace captured by the persistent backend."""
+        from repro.core.store.persistent import PersistentTraceStore
+
+        return cls(store=PersistentTraceStore.open(path))
+
+    def save(self, path: str | os.PathLike[str]) -> str:
+        """Capture this trace as a persistent JSONL-segment log.
+
+        Returns the log directory path; reopen with
+        :meth:`PlatformTrace.open`.  When the trace is already backed
+        by a persistent store this writes an independent copy.
+        """
+        from repro.core.store.persistent import PersistentTraceStore
+
+        with PersistentTraceStore.create(path) as capture:
+            for event in self._store.events:
+                capture.append(event)
+            return capture.save()
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,29 +113,7 @@ class PlatformTrace:
         Subscribed listeners are notified after the indexes are updated,
         in subscription order.
         """
-        if self._events and event.time < self._events[-1].time:
-            raise TraceError(
-                f"event at t={event.time} appended after t={self._events[-1].time}; "
-                "traces must be time-ordered"
-            )
-        if isinstance(event, TaskPosted) and event.task.task_id in self._tasks:
-            raise TraceError(f"task {event.task.task_id} posted twice")
-        self._events.append(event)
-        self._by_kind[event.kind].append(event)
-        if isinstance(event, TaskPosted):
-            self._tasks[event.task.task_id] = event.task
-        elif isinstance(event, (WorkerRegistered, WorkerUpdated)):
-            insort(
-                self._worker_snapshots[event.worker.worker_id],
-                (event.time, event.worker),
-                key=lambda pair: pair[0],
-            )
-        elif isinstance(event, RequesterRegistered):
-            self._requesters[event.requester.requester_id] = event.requester
-        elif isinstance(event, ContributionSubmitted):
-            self._contributions[event.contribution.contribution_id] = (
-                event.contribution
-            )
+        self._store.append(event)
         for listener in self._listeners:
             listener(event)
 
@@ -107,19 +125,24 @@ class PlatformTrace:
     # Basic access
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._store.revision
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return iter(self._store.events)
 
     @property
     def events(self) -> Sequence[Event]:
-        return tuple(self._events)
+        return tuple(self._store.events)
+
+    @property
+    def revision(self) -> int:
+        """Total events ever appended (== ``len`` on every backend)."""
+        return self._store.revision
 
     @property
     def end_time(self) -> int:
         """Time of the last event (0 for an empty trace)."""
-        return self._events[-1].time if self._events else 0
+        return self._store.end_time
 
     # ------------------------------------------------------------------
     # Streaming access
@@ -130,16 +153,10 @@ class PlatformTrace:
         ``events_since(len(trace))`` is always empty; a reader that
         advances its cursor to ``len(trace)`` after each call observes
         every event exactly once, in append order, regardless of how
-        reads interleave with appends.
+        reads interleave with appends.  Evicting backends raise for
+        cursors that point before their retained window.
         """
-        if n < 0:
-            raise TraceError(f"cursor must be >= 0, got {n}")
-        if n > len(self._events):
-            raise TraceError(
-                f"cursor {n} is past the end of the trace "
-                f"({len(self._events)} events); cursors never run ahead"
-            )
-        return tuple(self._events[n:])
+        return self._store.events_since(n)
 
     def cursor(self, start: int = 0) -> "TraceCursor":
         """A stateful read cursor over this trace (see :class:`TraceCursor`)."""
@@ -171,40 +188,40 @@ class PlatformTrace:
             name = _KIND_NAMES[event_type]
         except KeyError:
             raise TraceError(f"unknown event type: {event_type!r}") from None
-        return list(self._by_kind.get(name, []))  # type: ignore[return-value]
+        return list(self._store.of_kind(name))  # type: ignore[return-value]
 
     def where(self, predicate: Callable[[Event], bool]) -> list[Event]:
         """All events matching an arbitrary predicate."""
-        return [event for event in self._events if predicate(event)]
+        return [event for event in self._store.events if predicate(event)]
 
     # ------------------------------------------------------------------
     # Entity lookups
 
     @property
     def tasks(self) -> dict[str, Task]:
-        return dict(self._tasks)
+        return dict(self._store.tasks)
 
     @property
     def requesters(self) -> dict[str, Requester]:
-        return dict(self._requesters)
+        return dict(self._store.requesters)
 
     @property
     def contributions(self) -> dict[str, Contribution]:
-        return dict(self._contributions)
+        return dict(self._store.contributions)
 
     @property
     def worker_ids(self) -> tuple[str, ...]:
-        return tuple(self._worker_snapshots.keys())
+        return self._store.worker_ids
 
     def task(self, task_id: str) -> Task:
         try:
-            return self._tasks[task_id]
+            return self._store.tasks[task_id]
         except KeyError:
             raise UnknownEntityError(f"no task {task_id!r} in trace") from None
 
     def requester(self, requester_id: str) -> Requester:
         try:
-            return self._requesters[requester_id]
+            return self._store.requesters[requester_id]
         except KeyError:
             raise UnknownEntityError(
                 f"no requester {requester_id!r} in trace"
@@ -212,7 +229,7 @@ class PlatformTrace:
 
     def contribution(self, contribution_id: str) -> Contribution:
         try:
-            return self._contributions[contribution_id]
+            return self._store.contributions[contribution_id]
         except KeyError:
             raise UnknownEntityError(
                 f"no contribution {contribution_id!r} in trace"
@@ -220,26 +237,15 @@ class PlatformTrace:
 
     def worker_at(self, worker_id: str, time: int) -> Worker:
         """The latest snapshot of a worker at or before ``time``."""
-        snapshots = self._worker_snapshots.get(worker_id)
-        if not snapshots:
-            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
-        index = bisect_right(snapshots, time, key=lambda pair: pair[0])
-        if index == 0:
-            raise UnknownEntityError(
-                f"worker {worker_id!r} not yet registered at t={time}"
-            )
-        return snapshots[index - 1][1]
+        return self._store.worker_at(worker_id, time)
 
     def final_worker(self, worker_id: str) -> Worker:
         """The last known snapshot of a worker."""
-        snapshots = self._worker_snapshots.get(worker_id)
-        if not snapshots:
-            raise UnknownEntityError(f"no worker {worker_id!r} in trace")
-        return snapshots[-1][1]
+        return self._store.final_worker(worker_id)
 
     def final_workers(self) -> dict[str, Worker]:
         """Last known snapshot of every worker."""
-        return {wid: snaps[-1][1] for wid, snaps in self._worker_snapshots.items()}
+        return self._store.final_workers()
 
     # ------------------------------------------------------------------
     # Derived views used by axiom checkers and metrics
@@ -294,9 +300,12 @@ class PlatformTrace:
 
     def slice(self, start: int, end: int) -> "PlatformTrace":
         """A sub-trace with events in ``[start, end)``; entity-bearing
-        registration events before ``start`` are retained so lookups work."""
+        registration events before ``start`` are retained so lookups
+        work.  The slice reads the backend's retained events (an
+        evicting backend contributes only its window) and is always
+        memory-backed."""
         kept: list[Event] = []
-        for event in self._events:
+        for event in self._store.events:
             is_entity = isinstance(
                 event, (WorkerRegistered, WorkerUpdated, RequesterRegistered,
                         TaskPosted)
@@ -304,6 +313,21 @@ class PlatformTrace:
             if start <= event.time < end or (is_entity and event.time < end):
                 kept.append(event)
         return PlatformTrace(kept)
+
+
+def as_trace(source: "PlatformTrace | TraceStore") -> "PlatformTrace":
+    """Coerce a raw :class:`~repro.core.store.TraceStore` to a trace.
+
+    Audit entry points accept either; a store is wrapped in a facade
+    without copying (the facade reads the store's live indexes).
+    """
+    if isinstance(source, PlatformTrace):
+        return source
+    if isinstance(source, TraceStore):
+        return PlatformTrace(store=source)
+    raise TraceError(
+        f"expected a PlatformTrace or TraceStore, got {type(source).__name__}"
+    )
 
 
 class TraceCursor:

@@ -8,23 +8,63 @@ retention) from seed noise without external stats packages.
 
 Replications are embarrassingly parallel: each seed's run is an
 independent, self-seeded simulation.  ``replicate(..., jobs=4)`` fans
-the seeds out over a :class:`concurrent.futures.ThreadPoolExecutor`
-while collecting results *in seed order*, so the summaries — and any
-table rendered from them — are byte-identical for every worker count
-(the determinism regression test locks this down).  Thread-based
-parallelism keeps arbitrary closures usable as experiments; a process
-pool would demand picklable callables.
+the seeds out over an executor while collecting results *in seed
+order*, so the summaries — and any table rendered from them — are
+byte-identical for every worker count and backend (the determinism
+regression tests lock this down).  Two backends:
+
+* ``backend="thread"`` (default) keeps arbitrary closures usable as
+  experiments but shares one GIL;
+* ``backend="process"`` unlocks true multi-core scaling for *picklable*
+  experiments (module-level functions).  When the experiment cannot be
+  pickled the call falls back to threads with a warning rather than
+  failing — the results are identical either way, only wall-clock
+  differs.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.tables import Table
+
+#: Executor families for parallel replication.
+REPLICATION_BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: str, *callables: object) -> str:
+    """Validate a backend name; degrade ``process`` to ``thread`` when
+    any of ``callables`` cannot cross a process boundary.
+
+    The pickle probe runs up front so a failure costs a warning, not a
+    half-spawned pool.
+    """
+    if backend not in REPLICATION_BACKENDS:
+        raise ReproError(
+            f"unknown replication backend {backend!r}; "
+            f"known: {', '.join(REPLICATION_BACKENDS)}"
+        )
+    if backend != "process":
+        return backend
+    for item in callables:
+        try:
+            pickle.dumps(item)
+        except Exception:  # pickle raises a zoo of types
+            warnings.warn(
+                f"experiment {getattr(item, '__name__', item)!r} is not "
+                "picklable (closures and lambdas cannot cross process "
+                "boundaries); falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "thread"
+    return "process"
 
 
 @dataclass(frozen=True)
@@ -98,24 +138,39 @@ def replicate(
     experiment: Callable[[int], Mapping[str, float]],
     seeds: Sequence[int],
     jobs: int = 1,
+    backend: str = "thread",
 ) -> ReplicationResult:
     """Run ``experiment(seed)`` per seed and summarize its metrics.
 
     The experiment returns a flat mapping of metric name -> float; all
     replications must return the same metric names.  ``jobs`` > 1 runs
-    the seeds concurrently; results are folded in seed order either
-    way, so the summaries do not depend on the worker count (only on
-    ``experiment`` being deterministic per seed, which every simulation
-    here is — each run seeds its own RNGs).
+    the seeds concurrently — over threads by default, or over processes
+    with ``backend="process"`` when the experiment is picklable (an
+    unpicklable experiment falls back to threads with a warning).
+    Results are folded in seed order either way, so the summaries do
+    not depend on the worker count or backend (only on ``experiment``
+    being deterministic per seed, which every simulation here is — each
+    run seeds its own RNGs).
     """
     if not seeds:
         raise ReproError("replicate needs at least one seed")
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if backend not in REPLICATION_BACKENDS:
+        raise ReproError(
+            f"unknown replication backend {backend!r}; "
+            f"known: {', '.join(REPLICATION_BACKENDS)}"
+        )
     if jobs == 1 or len(seeds) == 1:
         per_seed = [dict(experiment(seed)) for seed in seeds]
     else:
-        with ThreadPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+        # Probe picklability only when a pool will actually spawn, so a
+        # serial run of a closure never warns about a moot fallback.
+        backend = resolve_backend(backend, experiment)
+        executor_cls = (
+            ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+        )
+        with executor_cls(max_workers=min(jobs, len(seeds))) as pool:
             futures = [pool.submit(experiment, seed) for seed in seeds]
             per_seed = [dict(future.result()) for future in futures]
     per_metric: dict[str, list[float]] = {}

@@ -6,20 +6,24 @@ lazily imported runners so ``python -m repro E2`` works without paying
 for the others.
 
 :func:`run_many` executes a selection of experiments, optionally
-concurrently (``jobs`` > 1, also reachable as ``--jobs`` on the CLI).
-Experiments are independent seeded simulations, so results are
-collected in registry order and are identical for every worker count.
+concurrently (``jobs`` > 1, also reachable as ``--jobs`` on the CLI;
+``backend="process"`` / ``--backend process`` fans out over processes
+for true multi-core scaling, falling back to threads with a warning if
+a runner cannot be pickled).  Experiments are independent seeded
+simulations, so results are collected in registry order and are
+identical for every worker count and backend.
 """
 
 from __future__ import annotations
 
 import importlib
 import inspect
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ReproError
+from repro.experiments.replication import resolve_backend
 from repro.experiments.tables import Table
 
 
@@ -72,13 +76,19 @@ def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
 
 
 def run_many(
-    experiment_ids: list[str], jobs: int = 1, **kwargs: object
+    experiment_ids: list[str],
+    jobs: int = 1,
+    backend: str = "thread",
+    **kwargs: object,
 ) -> list[ExperimentResult]:
     """Run the selected experiments, ``jobs`` at a time.
 
     Only parameters an experiment's ``run`` accepts are forwarded.
     Results come back in the order of ``experiment_ids`` regardless of
-    the worker count — scheduling affects wall-clock only.
+    the worker count or backend — scheduling affects wall-clock only.
+    Registered runners are module-level functions, so the ``process``
+    backend normally applies; anything unpicklable (monkeypatched
+    runners, closure kwargs) degrades to threads with a warning.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -90,13 +100,22 @@ def run_many(
         calls.append((runner, forwarded))
     if jobs == 1 or len(calls) == 1:
         return [runner(**forwarded) for runner, forwarded in calls]
-    with ThreadPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
+    backend = resolve_backend(
+        backend, *(item for runner, forwarded in calls
+                   for item in (runner, forwarded))
+    )
+    executor_cls = (
+        ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    )
+    with executor_cls(max_workers=min(jobs, len(calls))) as pool:
         futures = [
             pool.submit(runner, **forwarded) for runner, forwarded in calls
         ]
         return [future.result() for future in futures]
 
 
-def run_all(jobs: int = 1, **kwargs: object) -> list[ExperimentResult]:
+def run_all(
+    jobs: int = 1, backend: str = "thread", **kwargs: object
+) -> list[ExperimentResult]:
     """Run every registered experiment with shared keyword parameters."""
-    return run_many(sorted(EXPERIMENTS), jobs=jobs, **kwargs)
+    return run_many(sorted(EXPERIMENTS), jobs=jobs, backend=backend, **kwargs)

@@ -18,6 +18,13 @@ with ``observe(event)``, normally a
 :class:`~repro.core.audit.StreamingAuditEngine`) and every event is fed
 to it the moment it is appended to the trace, so fairness verdicts are
 available while the market runs instead of after a post-hoc scan.
+
+Trace storage is pluggable: ``trace_store=`` accepts a
+:class:`~repro.core.store.TraceStore` instance or a backend name for
+:func:`~repro.core.store.make_store` (``"memory"``, ``"windowed"``,
+``"persistent"`` — the latter needs an instance carrying its path), so
+a long-running market can run with bounded memory or write its log
+through to disk as it happens.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.core.events import (
     WorkerRegistered,
     WorkerUpdated,
 )
+from repro.core.store import TraceStore, make_store
 from repro.core.trace import PlatformTrace
 from repro.errors import SimulationError, UnknownEntityError
 from repro.platform.behavior import BehaviorModel, WorkProduct
@@ -119,6 +127,7 @@ class CrowdsourcingPlatform:
         seed: int = 0,
         corrupt_computed_attributes: bool = False,
         auditor: "LiveAuditor | None" = None,
+        trace_store: "TraceStore | str | None" = None,
     ) -> None:
         self.clock = Clock()
         self.ids = IdFactory()
@@ -129,7 +138,9 @@ class CrowdsourcingPlatform:
         )
         self.pricing = pricing if pricing is not None else _FixedRewardPricing()
         self._rng = random.Random(seed)
-        self._trace = PlatformTrace()
+        if isinstance(trace_store, str):
+            trace_store = make_store(trace_store)
+        self._trace = PlatformTrace(store=trace_store)
         self._workers: dict[str, Worker] = {}
         self._requesters: dict[str, Requester] = {}
         self._tasks: dict[str, Task] = {}

@@ -53,6 +53,7 @@ from typing import Callable, Mapping, Protocol, Sequence
 from repro.assignment.base import Assigner, AssignmentInstance
 from repro.core.audit import AuditReport, StreamingAuditEngine
 from repro.core.entities import Requester, Task, Worker
+from repro.core.store import TraceStore, make_store
 from repro.core.trace import PlatformTrace
 from repro.errors import SimulationError
 from repro.platform.behavior import BehaviorModel, DiligentBehavior, WorkProduct
@@ -102,6 +103,19 @@ class SessionConfig:
     transparency: TransparencyEnforcer | None = None
     #: Attach a streaming auditor and snapshot it every round.
     live_audit: bool = False
+    #: Trace storage: a backend name for
+    #: :func:`~repro.core.store.make_store` or a zero-argument factory
+    #: returning a fresh :class:`~repro.core.store.TraceStore` per run
+    #: (a factory because each ``Session.run`` needs its own store).
+    trace_store: str | Callable[[], TraceStore] | None = None
+
+    def make_trace_store(self) -> TraceStore | None:
+        """A fresh store for one run (None = backend default)."""
+        if self.trace_store is None:
+            return None
+        if isinstance(self.trace_store, str):
+            return make_store(self.trace_store)
+        return self.trace_store()
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -243,6 +257,7 @@ class Session:
             pricing=config.pricing,
             seed=rng.randrange(2**31),
             auditor=auditor,
+            trace_store=config.make_trace_store(),
         )
         transparency = config.transparency or _NoTransparency()
         assigner = config.assigner

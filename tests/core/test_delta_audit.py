@@ -1,0 +1,190 @@
+"""Unit tests for the delta-aware batch audit engine."""
+
+import pytest
+
+from repro.core.audit import AuditEngine, DeltaAuditEngine
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    WorkerFairnessInAssignment,
+)
+from repro.core.axioms import Axiom, AxiomRegistry, default_registry
+from repro.core.store import WindowedTraceStore, make_store
+from repro.core.trace import PlatformTrace
+from repro.errors import AuditError
+from repro.workloads.scenarios import all_scenarios, clean_scenario
+
+
+@pytest.fixture(scope="module")
+def clean_events():
+    return list(clean_scenario(rounds=3).trace)
+
+
+def audit_in_chunks(events, chunk_size, registry=None):
+    """Delta-audit a growing trace every ``chunk_size`` events; assert
+    every report equals a fresh batch audit at that point."""
+    engine = AuditEngine(
+        **({} if registry is None else {"registry": registry})
+    )
+    delta_engine = engine.delta_session()
+    trace = PlatformTrace()
+    for start in range(0, len(events), chunk_size):
+        trace.extend(events[start:start + chunk_size])
+        delta_report = delta_engine.audit(trace)
+        batch_report = engine.audit(trace)
+        assert delta_report == batch_report, (
+            f"delta diverged from batch after {len(trace)} events "
+            f"(chunk size {chunk_size})"
+        )
+    return delta_engine
+
+
+class TestDeltaEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 50])
+    def test_chunked_audits_match_batch(self, clean_events, chunk_size):
+        audit_in_chunks(clean_events, chunk_size)
+
+    def test_final_reports_match_for_all_scenarios(self):
+        engine = AuditEngine()
+        for scenario in all_scenarios(0):
+            session = engine.delta_session()
+            trace = PlatformTrace()
+            events = list(scenario.trace)
+            # Two audits: mid-trace and at the end (multi-event deltas).
+            trace.extend(events[: len(events) // 2])
+            session.audit(trace)
+            trace.extend(events[len(events) // 2:])
+            assert session.audit(trace) == engine.audit(trace), scenario.name
+
+    def test_no_new_events_is_a_noop_delta(self, clean_events):
+        trace = PlatformTrace(clean_events)
+        session = DeltaAuditEngine()
+        first = session.audit(trace)
+        second = session.audit(trace)
+        assert first == second
+        assert session.last_delta.event_count == 0
+        assert session.last_delta.touched.total == 0
+
+    def test_works_over_windowed_and_persistent_backends(
+        self, clean_events, tmp_path
+    ):
+        batch = AuditEngine().audit(PlatformTrace(clean_events))
+        for store in (
+            WindowedTraceStore(window=len(clean_events)),
+            make_store("persistent", path=tmp_path / "log"),
+        ):
+            trace = PlatformTrace(store=store)
+            session = DeltaAuditEngine()
+            trace.extend(clean_events[:80])
+            session.audit(trace)
+            trace.extend(clean_events[80:])
+            assert session.audit(trace) == batch
+
+
+class TestDeltaBookkeeping:
+    def test_records_revision_and_touched_entities(self, clean_events):
+        trace = PlatformTrace()
+        session = DeltaAuditEngine()
+        trace.extend(clean_events[:10])
+        session.audit(trace)
+        assert session.revision == 10
+        delta = session.last_delta
+        assert (delta.from_revision, delta.to_revision) == (0, 10)
+        assert delta.new_events == tuple(clean_events[:10])
+        assert delta.touched.total > 0
+        trace.extend(clean_events[10:25])
+        session.audit(trace)
+        assert session.last_delta.from_revision == 10
+        assert session.last_delta.to_revision == 25
+
+    def test_session_bound_to_one_trace(self, clean_events):
+        session = DeltaAuditEngine()
+        session.audit(PlatformTrace(clean_events[:5]))
+        with pytest.raises(AuditError, match="bound to one trace"):
+            session.audit(PlatformTrace(clean_events[:5]))
+
+    def test_delta_session_shares_registry(self):
+        engine = AuditEngine()
+        assert engine.delta_session().registry is engine.registry
+
+
+class _OpportunityPerEventAxiom(Axiom):
+    """Custom axiom with no delta support: the engine must fall back to
+    exact full re-checks, and the fallback must stay correct."""
+
+    axiom_id = 41
+    title = "one opportunity per event"
+
+    def check(self, trace):
+        return self._result([], opportunities=len(trace))
+
+
+class _ReplayDeltaAxiom(_OpportunityPerEventAxiom):
+    """Custom axiom that opts in via supports_delta without overriding
+    delta_checker: exercises the IncrementalDeltaChecker-over-
+    ReplayChecker default path."""
+
+    axiom_id = 42
+    supports_delta = True
+
+
+class TestOptInHook:
+    def test_all_builtin_axioms_opt_in(self):
+        for axiom in default_registry():
+            assert axiom.supports_delta, axiom.axiom_id
+            assert axiom.delta_checker() is not None, axiom.axiom_id
+
+    def test_custom_axiom_without_support_full_checks(self, clean_events):
+        registry = AxiomRegistry().register(_OpportunityPerEventAxiom())
+        assert _OpportunityPerEventAxiom().delta_checker() is None
+        session = audit_in_chunks(clean_events, 20, registry=registry)
+        assert session.audit is not None  # session remained usable
+
+    def test_custom_axiom_with_replay_delta_default(self, clean_events):
+        registry = AxiomRegistry().register(_ReplayDeltaAxiom())
+        audit_in_chunks(clean_events, 20, registry=registry)
+
+
+class TestDeltaSamplingFallbacks:
+    def test_axiom2_pair_sampling_engages_mid_stream(self, clean_events):
+        """Tiny max_pairs flips the Axiom 2 delta checker to the
+        memoised full scan mid-stream; equivalence must survive."""
+        registry = default_registry(
+            axiom2=RequesterFairnessInAssignment(max_pairs=2, sample_seed=11),
+        )
+        audit_in_chunks(clean_events, 9, registry=registry)
+
+    def test_axiom1_sampling_via_incremental_adapter(self, clean_events):
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(max_pairs=3, sample_seed=11),
+        )
+        audit_in_chunks(clean_events, 9, registry=registry)
+
+
+class TestStoreCoercion:
+    def test_audit_accepts_raw_store(self, clean_events):
+        from repro.core.store import InMemoryTraceStore
+
+        store = InMemoryTraceStore(clean_events)
+        engine = AuditEngine()
+        assert engine.audit(store) == engine.audit(PlatformTrace(clean_events))
+
+    def test_windowed_audit_accepts_any_backend(self, clean_events, tmp_path):
+        engine = AuditEngine()
+        baseline = engine.windowed_audit(PlatformTrace(clean_events), window=4)
+        windowed_backend = PlatformTrace(
+            clean_events,
+            store=WindowedTraceStore(window=len(clean_events)),
+        )
+        assert engine.windowed_audit(windowed_backend, window=4) == baseline
+        persistent = make_store("persistent", path=tmp_path / "log")
+        PlatformTrace(clean_events, store=persistent)
+        assert engine.windowed_audit(persistent, window=4) == baseline
+
+    def test_audit_axioms_and_compare_accept_stores(self, clean_events):
+        from repro.core.store import InMemoryTraceStore
+
+        store = InMemoryTraceStore(clean_events)
+        engine = AuditEngine()
+        assert engine.audit_axioms(store, [5]).result_for(5).passed
+        by_name = engine.compare({"stored": store})
+        assert by_name["stored"] == engine.audit(PlatformTrace(clean_events))

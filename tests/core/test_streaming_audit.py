@@ -152,3 +152,86 @@ class TestSessionLiveAudit:
         without = self._session(live_audit=False).run()
         assert with_audit.trace.events == without.trace.events
         assert with_audit.rounds == without.rounds
+
+
+class TestAxiom1HistoryWindowEviction:
+    """The ROADMAP satellite: incremental Axiom 1 checkers retain view
+    history only for the pair-sampling fallback; a ``history_window``
+    bounds that memory on unbounded streams."""
+
+    @staticmethod
+    def _browse_stream(ticks, n_workers=3):
+        """A long stream of browse rounds: every worker sees one fresh
+        task per tick, so every tick leaves a merged view behind."""
+        from tests.conftest import make_task, make_worker
+
+        vocabulary = standard_vocabulary()
+        platform = CrowdsourcingPlatform(seed=0)
+        platform.register_requester(Requester(requester_id="r0001"))
+        for i in range(n_workers):
+            platform.register_worker(
+                make_worker(f"w{i}", vocabulary, skills=("survey",))
+            )
+        for tick in range(ticks):
+            platform.post_task(
+                make_task(f"t{tick:04d}", vocabulary, skills=("survey",))
+            )
+            for i in range(n_workers):
+                platform.browse(f"w{i}")
+            platform.clock.tick(1)
+        return platform.trace
+
+    def test_memory_bounded_on_long_stream(self):
+        from repro.core.axiom_assignment import WorkerFairnessInAssignment
+
+        window = 16
+        axiom = WorkerFairnessInAssignment(history_window=window)
+        checker = axiom.incremental()
+        trace = self._browse_stream(ticks=200)
+        for event in trace:
+            checker.observe(event)
+        # The window plus at most the still-open tick.
+        assert checker.retained_view_ticks <= window + 1
+        # Default (no window) retains every browse tick.
+        unbounded = WorkerFairnessInAssignment().incremental()
+        for event in trace:
+            unbounded.observe(event)
+        assert unbounded.retained_view_ticks == 200
+
+    def test_eviction_preserves_exactness_without_sampling(self):
+        """Finalised verdicts precede eviction, so while pair sampling
+        never engages the windowed checker stays batch-exact."""
+        from repro.core.axiom_assignment import WorkerFairnessInAssignment
+        from repro.core.axioms import default_registry
+
+        trace = self._browse_stream(ticks=60)
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(history_window=8),
+        )
+        streaming = StreamingAuditEngine(registry=registry)
+        streaming.observe_all(trace)
+        assert streaming.snapshot() == AuditEngine(registry=registry).audit(
+            trace
+        )
+
+    def test_window_validated(self):
+        from repro.core.axiom_assignment import WorkerFairnessInAssignment
+
+        with pytest.raises(AuditError, match="history_window"):
+            WorkerFairnessInAssignment(history_window=0)
+
+    def test_open_tick_never_evicted(self):
+        """Even a window of 1 keeps the still-open tick intact."""
+        from repro.core.axiom_assignment import WorkerFairnessInAssignment
+
+        axiom = WorkerFairnessInAssignment(history_window=1)
+        checker = axiom.incremental()
+        trace = self._browse_stream(ticks=20)
+        for event in trace:
+            checker.observe(event)
+        assert 1 <= checker.retained_view_ticks <= 2
+        final = checker.snapshot()
+        batch = axiom.check(trace)
+        # No sampling engaged (3 workers), so even the tightest window
+        # stays exact.
+        assert final == batch

@@ -1,0 +1,276 @@
+"""Unit tests for the pluggable TraceStore backends."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.events import TaskPosted, TasksShown, WorkerRegistered, WorkerUpdated
+from repro.core.serialize import load_trace, save_trace
+from repro.core.store import (
+    STORE_BACKENDS,
+    InMemoryTraceStore,
+    PersistentTraceStore,
+    WindowedTraceStore,
+    collect_touched,
+    make_store,
+)
+from repro.core.trace import PlatformTrace, as_trace
+from repro.errors import TraceError
+from repro.workloads.scenarios import all_scenarios, clean_scenario
+
+
+@pytest.fixture(scope="module")
+def clean_events():
+    return list(clean_scenario(rounds=3).trace)
+
+
+class TestFactory:
+    def test_known_backends(self):
+        assert set(STORE_BACKENDS) == {"memory", "windowed", "persistent"}
+        assert isinstance(make_store(), InMemoryTraceStore)
+        assert isinstance(make_store("windowed", window=5), WindowedTraceStore)
+
+    def test_persistent_needs_path(self, tmp_path):
+        store = make_store("persistent", path=tmp_path / "log")
+        assert isinstance(store, PersistentTraceStore)
+
+    def test_unknown_backend(self):
+        with pytest.raises(TraceError, match="unknown trace backend"):
+            make_store("papyrus")
+
+
+class TestFacade:
+    def test_default_store_is_memory(self):
+        assert isinstance(PlatformTrace().store, InMemoryTraceStore)
+
+    def test_as_trace_wraps_store_without_copy(self, clean_events):
+        store = InMemoryTraceStore(clean_events)
+        trace = as_trace(store)
+        assert trace.store is store
+        assert as_trace(trace) is trace
+        assert len(trace) == len(clean_events)
+
+    def test_as_trace_rejects_other_types(self):
+        with pytest.raises(TraceError, match="expected a PlatformTrace"):
+            as_trace(["not", "a", "trace"])
+
+    def test_listeners_fire_on_any_backend(self, clean_events, tmp_path):
+        for store in (
+            InMemoryTraceStore(),
+            WindowedTraceStore(window=10),
+            PersistentTraceStore(tmp_path / "log"),
+        ):
+            trace = PlatformTrace(store=store)
+            seen = []
+            trace.subscribe(seen.append)
+            trace.extend(clean_events[:20])
+            assert seen == clean_events[:20]
+
+    def test_validation_shared_by_backends(self, clean_events, tmp_path):
+        first_posted = next(
+            e for e in clean_events if isinstance(e, TaskPosted)
+        )
+        for store in (
+            InMemoryTraceStore(),
+            WindowedTraceStore(window=10_000),
+            PersistentTraceStore(tmp_path / "log2"),
+        ):
+            trace = PlatformTrace(clean_events, store=store)
+            with pytest.raises(TraceError, match="time-ordered"):
+                trace.append(TasksShown(time=0, worker_id="w", task_ids=frozenset()))
+            with pytest.raises(TraceError, match="posted twice"):
+                trace.append(
+                    TaskPosted(time=trace.end_time, task=first_posted.task)
+                )
+
+
+class TestWindowedStore:
+    def test_window_validated(self):
+        with pytest.raises(TraceError, match="window must be >= 1"):
+            WindowedTraceStore(window=0)
+
+    def test_no_eviction_below_window(self, clean_events):
+        store = WindowedTraceStore(window=len(clean_events))
+        trace = PlatformTrace(clean_events, store=store)
+        assert store.first_retained == 0
+        assert list(trace) == clean_events
+        assert AuditEngine().audit(trace) == AuditEngine().audit(
+            PlatformTrace(clean_events)
+        )
+
+    def test_eviction_preserves_sequence_numbers(self, clean_events):
+        store = WindowedTraceStore(window=25)
+        trace = PlatformTrace(clean_events, store=store)
+        assert trace.revision == len(clean_events)
+        assert len(trace) == len(clean_events)
+        assert store.first_retained > 0
+        assert store.retained <= 2 * store.window
+        # Retained events keep their global positions.
+        assert trace.events_since(store.first_retained) == tuple(
+            clean_events[store.first_retained:]
+        )
+        assert trace.events_since(len(trace)) == ()
+
+    def test_evicted_cursor_raises(self, clean_events):
+        store = WindowedTraceStore(window=25)
+        PlatformTrace(clean_events, store=store)
+        with pytest.raises(TraceError, match="evicted"):
+            store.events_since(0)
+
+    def test_entity_registries_survive_eviction(self, clean_events):
+        store = WindowedTraceStore(window=10)
+        trace = PlatformTrace(clean_events, store=store)
+        full = PlatformTrace(clean_events)
+        assert trace.tasks == full.tasks
+        assert trace.requesters == full.requesters
+        assert trace.contributions == full.contributions
+        assert trace.worker_ids == full.worker_ids
+        for worker_id in trace.worker_ids:
+            assert trace.final_worker(worker_id) == full.final_worker(worker_id)
+
+    def test_worker_lookup_valid_for_retained_times(self, clean_events):
+        store = WindowedTraceStore(window=20)
+        trace = PlatformTrace(clean_events, store=store)
+        full = PlatformTrace(clean_events)
+        for event in store.events:
+            if isinstance(event, TasksShown):
+                assert trace.worker_at(event.worker_id, event.time) == (
+                    full.worker_at(event.worker_id, event.time)
+                )
+
+    def test_eviction_semantics_by_reconstruction(self, clean_events):
+        """After eviction the audit is fairness-over-the-recent-window:
+        event-derived evidence is restricted to retained events, entity
+        lookups stay complete.  Pinned by reconstruction: every axiom
+        except 2 equals an audit of (pre-window entity events + retained
+        suffix); Axiom 2 — whose posting-time evidence is the TaskPosted
+        events themselves — equals an audit of the retained suffix
+        alone."""
+        from repro.core.axiom_assignment import RequesterFairnessInAssignment
+
+        store = WindowedTraceStore(window=30)
+        trace = PlatformTrace(clean_events, store=store)
+        cut = store.first_retained
+        assert cut > 0
+        entity_prefix = [
+            event
+            for event in clean_events[:cut]
+            if isinstance(
+                event, (WorkerRegistered, WorkerUpdated, TaskPosted)
+            )
+            or event.kind == "requester_registered"
+        ]
+        reconstruction = PlatformTrace(entity_prefix + clean_events[cut:])
+        windowed_report = AuditEngine().audit(trace)
+        expected_report = AuditEngine().audit(reconstruction)
+        for axiom_id in (1, 3, 4, 5, 6, 7):
+            assert windowed_report.result_for(axiom_id) == (
+                expected_report.result_for(axiom_id)
+            ), f"axiom {axiom_id}"
+        suffix_only = PlatformTrace(clean_events[cut:])
+        assert windowed_report.result_for(2) == (
+            RequesterFairnessInAssignment().check(suffix_only)
+        )
+
+
+class TestPersistentStore:
+    def test_round_trip_with_segments(self, clean_events, tmp_path):
+        path = tmp_path / "log"
+        store = PersistentTraceStore.create(path, segment_events=40)
+        trace = PlatformTrace(clean_events, store=store)
+        store.close()
+        segments = [
+            name for name in os.listdir(path) if name.endswith(".jsonl")
+        ]
+        assert len(segments) == -(-len(clean_events) // 40)  # ceil
+        reopened = PlatformTrace.open(path)
+        assert list(reopened) == clean_events
+        assert len(reopened) == len(trace)
+
+    def test_append_after_reopen_continues_log(self, clean_events, tmp_path):
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path, segment_events=32) as store:
+            PlatformTrace(clean_events[:100], store=store)
+        with PersistentTraceStore.open(path) as store:
+            trace = PlatformTrace(store=store)
+            assert len(trace) == 100
+            trace.extend(clean_events[100:])
+        final = PlatformTrace.open(path)
+        assert list(final) == clean_events
+
+    def test_create_refuses_existing_open_refuses_missing(self, tmp_path):
+        path = tmp_path / "log"
+        PersistentTraceStore.create(path).close()
+        with pytest.raises(TraceError, match="already exists"):
+            PersistentTraceStore.create(path)
+        with pytest.raises(TraceError, match="no trace log"):
+            PersistentTraceStore.open(tmp_path / "absent")
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "log"
+        PersistentTraceStore.create(path).close()
+        meta = path / "meta.json"
+        meta.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(TraceError, match="unsupported trace log version"):
+            PersistentTraceStore.open(path)
+
+    def test_corrupt_segment_line_reported(self, clean_events, tmp_path):
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:10], store=store)
+        segment = path / "events-00000.jsonl"
+        segment.write_text(segment.read_text() + "{nope\n")
+        with pytest.raises(TraceError, match="corrupt trace log line"):
+            PersistentTraceStore.open(path)
+
+    def test_save_trace_and_load_trace_helpers(self, clean_events, tmp_path):
+        trace = PlatformTrace(clean_events)
+        path = save_trace(trace, tmp_path / "log", segment_events=64)
+        restored = load_trace(path)
+        assert list(restored) == clean_events
+        rehomed = load_trace(path, store=WindowedTraceStore(window=10_000))
+        assert isinstance(rehomed.store, WindowedTraceStore)
+        assert list(rehomed) == clean_events
+
+    def test_trace_save_convenience(self, clean_events, tmp_path):
+        trace = PlatformTrace(clean_events)
+        trace.save(tmp_path / "copy")
+        assert list(PlatformTrace.open(tmp_path / "copy")) == clean_events
+
+
+class TestReopenedAuditRegression:
+    def test_reopened_log_reports_byte_identical_for_all_scenarios(
+        self, tmp_path
+    ):
+        """The capture-once-audit-forever contract: a reopened persistent
+        trace must produce a byte-identical AuditReport to the original
+        in-memory one, for every labelled scenario."""
+        engine = AuditEngine()
+        scenarios = all_scenarios(0)
+        assert len(scenarios) == 12
+        for scenario in scenarios:
+            original = engine.audit(scenario.trace)
+            path = tmp_path / scenario.name
+            save_trace(scenario.trace, path)
+            reopened = engine.audit(PlatformTrace.open(path))
+            assert reopened == original, scenario.name
+            assert repr(reopened) == repr(original), scenario.name
+
+
+class TestTouchedEntities:
+    def test_collects_all_reference_kinds(self, clean_events):
+        touched = collect_touched(clean_events)
+        full = PlatformTrace(clean_events)
+        assert touched.worker_ids == set(full.worker_ids)
+        assert touched.task_ids >= set(full.tasks)
+        assert touched.requester_ids == set(full.requesters)
+        assert touched.contribution_ids == set(full.contributions)
+        assert touched.total == (
+            len(touched.worker_ids) + len(touched.task_ids)
+            + len(touched.requester_ids) + len(touched.contribution_ids)
+        )
+
+    def test_empty(self):
+        assert collect_touched([]).total == 0

@@ -1,13 +1,23 @@
 """Unit + integration tests for the multi-seed replication harness."""
 
+import random
+
 import pytest
 
 from repro.errors import ReproError
 from repro.experiments.replication import (
     MetricSummary,
     replicate,
+    resolve_backend,
     significant_difference,
 )
+
+
+def seeded_metrics_experiment(seed):
+    """Module-level (hence picklable) seeded experiment for the
+    process-pool determinism tests."""
+    rng = random.Random(seed)
+    return {"value": rng.random(), "steps": float(rng.randrange(100))}
 
 
 class TestMetricSummary:
@@ -128,6 +138,69 @@ class TestParallelReplication:
 
         with pytest.raises(ReproError, match="expected"):
             replicate(flaky, seeds=[1, 2], jobs=2)
+
+
+class TestProcessBackend:
+    """backend="process" must be byte-identical to threads, and must
+    degrade to threads (with a warning, never an error) for closures."""
+
+    def test_process_matches_thread_and_serial(self):
+        seeds = [3, 1, 4, 1, 5, 9]
+        serial = replicate(seeded_metrics_experiment, seeds, jobs=1)
+        threaded = replicate(seeded_metrics_experiment, seeds, jobs=3)
+        processed = replicate(
+            seeded_metrics_experiment, seeds, jobs=3, backend="process"
+        )
+        assert processed == serial
+        assert processed == threaded
+        assert processed.table("determinism").render() == (
+            serial.table("determinism").render()
+        )
+
+    def test_unpicklable_experiment_falls_back_to_threads(self):
+        offset = 10.0
+        with pytest.warns(RuntimeWarning, match="picklable"):
+            result = replicate(
+                lambda seed: {"x": seed + offset},
+                seeds=[1, 2, 3],
+                jobs=2,
+                backend="process",
+            )
+        assert result.summary("x").values == (11.0, 12.0, 13.0)
+
+    def test_serial_run_skips_pool_even_for_process_backend(self):
+        # jobs=1 never spawns workers, so even an unpicklable closure
+        # runs unwarned — the pickle probe is deferred to pool spawn.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = replicate(
+                lambda seed: {"value": float(seed)},
+                seeds=[7], jobs=1, backend="process",
+            )
+        assert result.summary("value").values == (7.0,)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown replication backend"):
+            replicate(seeded_metrics_experiment, seeds=[1], backend="fiber")
+
+    def test_resolve_backend_passthrough(self):
+        assert resolve_backend("thread", object()) == "thread"
+        assert resolve_backend("process", seeded_metrics_experiment) == (
+            "process"
+        )
+
+
+class TestRunManyProcessBackend:
+    def test_registry_runners_cross_process_boundary(self):
+        from repro.experiments.runner import run_many
+
+        serial = run_many(["E6", "E8"], jobs=1)
+        processed = run_many(["E6", "E8"], jobs=2, backend="process")
+        assert [r.render() for r in serial] == [
+            r.render() for r in processed
+        ]
 
 
 class TestSignificance:

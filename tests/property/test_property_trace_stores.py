@@ -1,0 +1,194 @@
+"""Differential tests: every store backend and the delta-aware batch
+path must be audit-equivalent to the seed batch audit.
+
+Two contracts, each enforced at *every prefix* of the labelled
+scenarios and of hypothesis-randomised market scripts:
+
+* **Backends.**  A trace rebuilt through the windowed backend (window
+  covering the trace — the bounded-memory backend's exactness regime)
+  or the persistent JSONL backend must audit identically to the
+  in-memory baseline at every prefix.  Evicting-window semantics are
+  pinned separately in ``tests/core/test_trace_stores.py``.
+* **Delta path.**  A :class:`~repro.core.audit.DeltaAuditEngine`
+  audited after every append must equal a fresh batch audit of each
+  prefix — violations, order, opportunity counts — including when pair
+  sampling engages mid-stream and for custom axioms with and without
+  delta support.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditEngine, DeltaAuditEngine
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    WorkerFairnessInAssignment,
+)
+from repro.core.axioms import Axiom, AxiomRegistry, default_registry
+from repro.core.store import PersistentTraceStore, WindowedTraceStore
+from repro.core.trace import PlatformTrace
+from repro.workloads.scenarios import all_scenarios
+
+from tests.property.test_property_streaming_audit import (
+    _run_script,
+    audit_scripts,
+)
+
+#: Scenarios exercised at every prefix (the largest plus two violation-
+#: heavy ones); all 12 are covered end-to-end below and by the delta
+#: differential.
+_PREFIX_SCENARIOS = ("clean", "corrupt_reputation", "undetected_malice")
+
+
+def _scenarios_by_name(seed=0):
+    return {scenario.name: scenario for scenario in all_scenarios(seed)}
+
+
+def assert_backends_equivalent_at_every_prefix(trace, tmp_path):
+    """Rebuild ``trace`` event by event in each backend; audits of all
+    backends must coincide with the in-memory baseline at each prefix."""
+    engine = AuditEngine()
+    shadows = {
+        "memory": PlatformTrace(),
+        "windowed": PlatformTrace(
+            store=WindowedTraceStore(window=max(len(trace), 1))
+        ),
+        "persistent": PlatformTrace(
+            store=PersistentTraceStore(tmp_path / "prefix-log")
+        ),
+    }
+    for position, event in enumerate(trace, start=1):
+        for shadow in shadows.values():
+            shadow.append(event)
+        baseline = engine.audit(shadows["memory"])
+        for name, shadow in shadows.items():
+            report = engine.audit(shadow)
+            assert report == baseline, (
+                f"{name} backend diverged from the in-memory audit at "
+                f"prefix {position}/{len(trace)}"
+            )
+
+
+def assert_delta_equivalent_at_every_prefix(trace, registry=None):
+    """Delta-audit after every append; each report must equal a fresh
+    batch audit of the prefix."""
+    engine = AuditEngine(
+        **({} if registry is None else {"registry": registry})
+    )
+    session = DeltaAuditEngine(
+        **({} if registry is None else {"registry": registry})
+    )
+    prefix = PlatformTrace()
+    for position, event in enumerate(trace, start=1):
+        prefix.append(event)
+        delta_report = session.audit(prefix)
+        batch_report = engine.audit(prefix)
+        assert delta_report == batch_report, (
+            f"delta audit diverged from batch at prefix "
+            f"{position}/{len(trace)}"
+        )
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("name", _PREFIX_SCENARIOS)
+    def test_every_prefix_matches_in_memory(self, name, tmp_path):
+        scenario = _scenarios_by_name()[name]
+        assert_backends_equivalent_at_every_prefix(scenario.trace, tmp_path)
+
+    def test_all_scenarios_match_end_to_end(self, tmp_path):
+        """Cheaper full coverage: every labelled scenario audits
+        identically from all three backends (and from a reopened
+        persistent log) at full length."""
+        engine = AuditEngine()
+        for scenario in all_scenarios(0):
+            events = list(scenario.trace)
+            baseline = engine.audit(scenario.trace)
+            windowed = PlatformTrace(
+                events, store=WindowedTraceStore(window=len(events))
+            )
+            assert engine.audit(windowed) == baseline, scenario.name
+            path = tmp_path / scenario.name
+            PlatformTrace(
+                events, store=PersistentTraceStore(path)
+            )
+            assert engine.audit(PlatformTrace.open(path)) == baseline, (
+                scenario.name
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(script=audit_scripts())
+    def test_randomised_scripts_match_across_backends(
+        self, script, tmp_path_factory
+    ):
+        trace = _run_script(*script)
+        tmp_path = tmp_path_factory.mktemp("stores")
+        assert_backends_equivalent_at_every_prefix(trace, tmp_path)
+
+
+class TestDeltaDifferential:
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(0), ids=lambda scenario: scenario.name
+    )
+    def test_every_prefix_matches_batch(self, scenario):
+        assert_delta_equivalent_at_every_prefix(scenario.trace)
+
+    def test_pair_sampling_fallbacks_match_batch(self):
+        """Tiny max_pairs flips both assignment axioms to their sampled
+        paths mid-stream; the delta session must follow exactly."""
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(max_pairs=3, sample_seed=11),
+            axiom2=RequesterFairnessInAssignment(max_pairs=2, sample_seed=11),
+        )
+        for scenario in all_scenarios(0):
+            assert_delta_equivalent_at_every_prefix(
+                scenario.trace, registry=registry
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(script=audit_scripts())
+    def test_randomised_scripts_match_batch(self, script):
+        assert_delta_equivalent_at_every_prefix(_run_script(*script))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        script=audit_scripts(),
+        chunk_size=st.integers(min_value=2, max_value=25),
+    )
+    def test_chunked_deltas_match_batch(self, script, chunk_size):
+        """Deltas covering several events at once (the realistic audit
+        cadence) must be just as exact as per-event deltas."""
+        trace = _run_script(*script)
+        events = list(trace)
+        engine = AuditEngine()
+        session = DeltaAuditEngine()
+        prefix = PlatformTrace()
+        for start in range(0, len(events), chunk_size):
+            prefix.extend(events[start:start + chunk_size])
+            assert session.audit(prefix) == engine.audit(prefix)
+
+
+class _EventParityAxiom(Axiom):
+    """Custom axiom without delta support: the engine's full-recheck
+    fallback must keep sessions exact."""
+
+    axiom_id = 43
+    title = "even number of events"
+
+    def check(self, trace):
+        return self._result([], opportunities=len(trace) % 2)
+
+
+class _OptedInParityAxiom(_EventParityAxiom):
+    axiom_id = 44
+    supports_delta = True  # exercises the replay-backed default adapter
+
+
+class TestDeltaCustomAxioms:
+    @pytest.mark.parametrize(
+        "axiom", [_EventParityAxiom(), _OptedInParityAxiom()],
+        ids=["full-recheck", "replay-adapter"],
+    )
+    def test_custom_axiom_stays_exact(self, axiom):
+        registry = AxiomRegistry().register(axiom)
+        trace = _scenarios_by_name()["clean"].trace
+        assert_delta_equivalent_at_every_prefix(trace, registry=registry)
