@@ -11,7 +11,11 @@ Usage::
     python -m repro --stream-audit # live-audit the labelled scenarios
 
     python -m repro trace save runs/clean --scenario clean
+    python -m repro trace save runs/clean.db --store sqlite
     python -m repro trace replay runs/clean --stream-audit
+    python -m repro trace info runs/clean.db
+    python -m repro trace query runs/clean.db --entity w0001 --kind payment_issued
+    python -m repro trace stats runs/clean.db
 
 ``--jobs N`` fans the selected experiments out over N workers (threads
 by default, processes with ``--backend process``); output order (and
@@ -24,11 +28,17 @@ snapshot, cross-checked against a batch audit of the same trace;
 copies.
 
 The ``trace`` subcommands are the real-log workflow: ``trace save``
-captures a labelled scenario as a persistent JSONL-segment log (the
-stand-in for a platform adapter's export), and ``trace replay`` feeds
-a saved log back through a :class:`~repro.core.trace.TraceCursor` into
-the streaming engine, cross-checking the final snapshot against a
-batch audit of the reopened trace.
+captures a labelled scenario as an on-disk log (JSONL segments by
+default, a single indexed SQLite database with ``--store sqlite`` or a
+``.db`` path — the stand-in for a platform adapter's export), and
+``trace replay`` feeds a saved log back through a
+:class:`~repro.core.trace.TraceCursor` into the streaming engine,
+cross-checking the final snapshot against a batch audit of the
+reopened trace.  ``trace info``, ``trace query``, and ``trace stats``
+answer questions about a saved log without re-auditing it: ``query``
+executes :class:`~repro.query.TraceQuery` filters (entity / event-kind
+/ time-range scoped, indexed SQL on the sqlite format) and ``stats``
+prints per-entity event counts plus violation-adjacent counters.
 """
 
 from __future__ import annotations
@@ -53,7 +63,8 @@ _DESCRIPTIONS: dict[str, str] = {
     "E10": "statistical power of the Axiom 1 checker vs bias intensity",
 }
 
-_TRACE_BACKENDS = ("memory", "windowed", "persistent")
+_TRACE_BACKENDS = ("memory", "windowed", "persistent", "sqlite")
+_ENTITY_KINDS = ("worker", "task", "requester", "contribution")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,9 +124,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     save = commands.add_parser(
-        "save", help="capture a labelled scenario as a JSONL-segment log"
+        "save", help="capture a labelled scenario as an on-disk log"
     )
-    save.add_argument("path", help="log directory to create")
+    save.add_argument("path", help="log directory (or .db file) to create")
     save.add_argument(
         "--scenario", default="clean",
         help="labelled scenario name (see repro.workloads.scenarios; "
@@ -124,13 +135,19 @@ def build_trace_parser() -> argparse.ArgumentParser:
     save.add_argument("--seed", type=int, default=0)
     save.add_argument(
         "--segment-events", type=int, default=4096, dest="segment_events",
-        help="events per JSONL segment file (default 4096)",
+        help="events per JSONL segment file (default 4096; persistent only)",
+    )
+    save.add_argument(
+        "--store", choices=("persistent", "sqlite"), default=None,
+        help="on-disk format (persistent JSONL segments or a single "
+             "indexed sqlite database; default: inferred from the path "
+             "suffix, .db/.sqlite means sqlite)",
     )
 
     replay = commands.add_parser(
         "replay", help="re-audit a saved log (captured once, audited forever)"
     )
-    replay.add_argument("path", help="log directory to open")
+    replay.add_argument("path", help="log directory or .db file to open")
     replay.add_argument(
         "--stream-audit", action="store_true", dest="stream_audit",
         help="feed the log through a TraceCursor into the streaming "
@@ -138,11 +155,66 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--format", choices=("text", "json"), default="text")
     replay.add_argument(
-        "--trace-backend", choices=("memory", "windowed"), default="memory",
-        dest="trace_backend",
+        "--trace-backend", choices=("memory", "windowed", "sqlite"),
+        default="memory", dest="trace_backend",
         help="store backend the replayed events are re-homed into "
-             "(default memory)",
+             "(default memory; sqlite re-homes into a scratch database "
+             "to exercise the indexed backend)",
     )
+
+    info = commands.add_parser(
+        "info", help="print backend, event count, entity counts, revision"
+    )
+    info.add_argument("path", help="log directory or .db file to open")
+    info.add_argument("--format", choices=("text", "json"), default="text")
+
+    query = commands.add_parser(
+        "query",
+        help="run an entity/kind/time-scoped TraceQuery over a saved log",
+    )
+    query.add_argument("path", help="log directory or .db file to open")
+    query.add_argument(
+        "--entity", action="append", default=[], metavar="ID",
+        help="scope to events touching this entity id (repeatable)",
+    )
+    query.add_argument(
+        "--entity-kind", choices=_ENTITY_KINDS, default=None,
+        dest="entity_kind",
+        help="restrict --entity matches to one entity role",
+    )
+    query.add_argument(
+        "--kind", action="append", default=[], metavar="KIND",
+        help="scope to this event kind, e.g. payment_issued (repeatable)",
+    )
+    query.add_argument(
+        "--since", type=int, default=None, metavar="T",
+        help="events at time >= T",
+    )
+    query.add_argument(
+        "--until", type=int, default=None, metavar="T",
+        help="events at time < T",
+    )
+    query.add_argument(
+        "--round", type=int, default=None, dest="round_tick", metavar="N",
+        help="events of one simulated round (= clock tick N)",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N matching events",
+    )
+    query.add_argument(
+        "--count", action="store_true",
+        help="print only the number of matching events",
+    )
+    query.add_argument("--format", choices=("text", "json"), default="text")
+
+    stats = commands.add_parser(
+        "stats",
+        help="per-worker/per-task event counts and violation-adjacent "
+             "counters for a saved log",
+    )
+    stats.add_argument("path", help="log directory or .db file to open")
+    stats.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
 
@@ -189,11 +261,12 @@ def _stream_audit(seed: int, output_format: str, backend: str = "memory") -> int
     summaries = []
     with tempfile.TemporaryDirectory() as scratch:
         for scenario in all_scenarios(seed):
-            if backend == "persistent":
+            if backend in ("persistent", "sqlite"):
                 import os
 
-                path = os.path.join(scratch, scenario.name)
-                save_trace(scenario.trace, path)
+                suffix = ".db" if backend == "sqlite" else ""
+                path = os.path.join(scratch, scenario.name + suffix)
+                save_trace(scenario.trace, path, backend=backend)
                 trace = load_trace(path)
             else:
                 trace = _rebuilt(scenario.trace, backend)
@@ -242,7 +315,8 @@ def _trace_save(args: argparse.Namespace) -> int:
         return 2
     try:
         path = save_trace(
-            scenario.trace, args.path, segment_events=args.segment_events
+            scenario.trace, args.path,
+            segment_events=args.segment_events, backend=args.store,
         )
     except TraceError as error:
         print(f"cannot save to {args.path!r}: {error}", file=sys.stderr)
@@ -255,26 +329,47 @@ def _trace_save(args: argparse.Namespace) -> int:
 
 
 def _trace_replay(args: argparse.Namespace) -> int:
-    from repro.core.audit import AuditEngine, StreamingAuditEngine
+    import contextlib
+    import tempfile
+
     from repro.core.serialize import load_trace
     from repro.core.store import make_store
     from repro.errors import TraceError
 
-    try:
-        trace = load_trace(args.path)
-        if args.trace_backend == "windowed":
-            # Re-home the already-loaded events; no second disk read.
-            from repro.core.trace import PlatformTrace
+    with contextlib.ExitStack() as stack:
+        try:
+            trace = load_trace(args.path)
+            if args.trace_backend != "memory":
+                # Re-home the already-loaded events; no second disk read.
+                import os
 
-            opened = trace
-            trace = PlatformTrace(
-                opened,
-                store=make_store("windowed", window=max(len(opened), 1)),
-            )
-            opened.store.close()
-    except TraceError as error:
-        print(f"cannot replay {args.path!r}: {error}", file=sys.stderr)
-        return 2
+                from repro.core.trace import PlatformTrace
+
+                opened = trace
+                if args.trace_backend == "windowed":
+                    store = make_store(
+                        "windowed", window=max(len(opened), 1)
+                    )
+                else:  # sqlite: a scratch database exercising the indexes
+                    scratch = stack.enter_context(
+                        tempfile.TemporaryDirectory()
+                    )
+                    store = make_store(
+                        "sqlite", path=os.path.join(scratch, "replay.db")
+                    )
+                    # Close before the directory is cleaned up.
+                    stack.callback(store.close)
+                trace = PlatformTrace(opened, store=store)
+                opened.store.close()
+        except TraceError as error:
+            print(f"cannot replay {args.path!r}: {error}", file=sys.stderr)
+            return 2
+        return _replay_loaded(args, trace)
+
+
+def _replay_loaded(args: argparse.Namespace, trace) -> int:
+    from repro.core.audit import AuditEngine, StreamingAuditEngine
+
     batch = AuditEngine().audit(trace)
     if args.stream_audit:
         # The adapter path: a saved platform log drained through a
@@ -308,13 +403,134 @@ def _trace_replay(args: argparse.Namespace) -> int:
     return 0 if agrees else 1
 
 
+def _opened_store(path: str):
+    """Open a saved log of either on-disk format, or exit with code 2."""
+    from repro.core.store import open_store
+    from repro.errors import TraceError
+
+    try:
+        return open_store(path)
+    except TraceError as error:
+        print(f"cannot open {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _trace_info(args: argparse.Namespace) -> int:
+    from repro.query import trace_info
+
+    store = _opened_store(args.path)
+    if store is None:
+        return 2
+    info = trace_info(store)
+    store.close()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"--- {args.path}")
+    for key in ("backend", "events", "revision", "end_time",
+                "workers", "tasks", "requesters", "contributions"):
+        print(f"{key}: {info[key]}")
+    return 0
+
+
+def _trace_query(args: argparse.Namespace) -> int:
+    from repro.core.serialize import event_to_dict
+    from repro.errors import QueryError
+    from repro.query import TraceQuery
+
+    if args.entity_kind is not None and not args.entity:
+        print("--entity-kind requires at least one --entity", file=sys.stderr)
+        return 2
+    if args.round_tick is not None and (
+        args.since is not None or args.until is not None
+    ):
+        print(
+            "--round selects one tick and cannot be combined with "
+            "--since/--until",
+            file=sys.stderr,
+        )
+        return 2
+    store = _opened_store(args.path)
+    if store is None:
+        return 2
+    try:
+        query = TraceQuery()
+        if args.entity:
+            query = query.entity(*args.entity, kind=args.entity_kind)
+        if args.kind:
+            query = query.of_kind(*args.kind)
+        if args.round_tick is not None:
+            query = query.at_round(args.round_tick)
+        elif args.since is not None or args.until is not None:
+            query = query.time_range(args.since, args.until)
+        if args.limit is not None:
+            query = query.take(args.limit)
+        if args.count:
+            total = query.count(store)
+        else:
+            events = query.run(store)
+    except QueryError as error:
+        print(f"invalid query: {error}", file=sys.stderr)
+        store.close()
+        return 2
+    store.close()
+    if args.count:
+        if args.format == "json":
+            import json
+
+            print(json.dumps({"count": total}))
+        else:
+            print(total)
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps([event_to_dict(event) for event in events], indent=2))
+        return 0
+    for event in events:
+        data = event_to_dict(event)
+        rest = {
+            key: value for key, value in data.items()
+            if key not in ("kind", "time")
+        }
+        print(f"t={event.time:<6} {event.kind:<24} {rest}")
+    print(f"({len(events)} event(s))")
+    return 0
+
+
+def _trace_stats(args: argparse.Namespace) -> int:
+    from repro.query import trace_stats
+
+    store = _opened_store(args.path)
+    if store is None:
+        return 2
+    stats = trace_stats(store)
+    store.close()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(stats.as_dict(), indent=2))
+        return 0
+    print(f"--- {args.path}")
+    for line in stats.summary_lines():
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         args = build_trace_parser().parse_args(argv[1:])
-        if args.command == "save":
-            return _trace_save(args)
-        return _trace_replay(args)
+        handlers = {
+            "save": _trace_save,
+            "replay": _trace_replay,
+            "info": _trace_info,
+            "query": _trace_query,
+            "stats": _trace_stats,
+        }
+        return handlers[args.command](args)
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         for experiment_id in sorted(EXPERIMENTS):

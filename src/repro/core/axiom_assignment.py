@@ -637,9 +637,16 @@ class _DeltaRequesterFairness(DeltaChecker):
         # Task ids whose audience changed since the last ``result``.
         self._dirty: set[str] = set()
         self._sampling = False
+        # The audited trace; indexed backends serve per-task audience
+        # slices through TraceQuery instead of reading the folded map.
+        # (The map itself stays maintained on every backend: it is
+        # load-bearing for dirty tracking and the sampling fallback.)
+        self._trace: PlatformTrace | None = None
+        self._slice_cache: "SliceCache | None" = None
 
     def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
         axiom = self._axiom
+        self._trace = trace
         new_task_ids: list[str] = []
         for event in delta.new_events:
             if isinstance(event, TaskPosted):
@@ -694,6 +701,31 @@ class _DeltaRequesterFairness(DeltaChecker):
             # Force first-judgement of the new pairs at the next result.
             self._dirty.add(task_id)
 
+    def _audience(self, task_id: str) -> set[str]:
+        """One task's audience — the per-entity slice a re-judge needs.
+
+        On an indexed store it is fetched through
+        :func:`repro.query.task_audience` (a seq-bounded point query on
+        the entity index, topping up a cached view so each audit
+        decodes only the events appended since the last one); elsewhere
+        the event-folded map answers.
+        """
+        from repro.query.slices import (
+            SliceCache,
+            task_audience,
+            uses_indexed_slices,
+        )
+
+        if uses_indexed_slices(self._trace):
+            if self._slice_cache is None:
+                self._slice_cache = SliceCache()
+            return self._slice_cache.topped_up(
+                self._trace,
+                task_id,
+                lambda since: task_audience(self._trace, task_id, since=since),
+            )
+        return self._audiences.get(task_id, set())
+
     def result(self) -> AxiomCheck:
         axiom = self._axiom
         if self._sampling:
@@ -714,8 +746,8 @@ class _DeltaRequesterFairness(DeltaChecker):
                     left_id, right_id,
                     self._tasks[left_id], self._tasks[right_id],
                     max(self._posted_at[left_id], self._posted_at[right_id]),
-                    self._audiences.get(left_id, set()),
-                    self._audiences.get(right_id, set()),
+                    self._audience(left_id),
+                    self._audience(right_id),
                 )
             violation = self._verdicts[pair]
             if violation is not None:

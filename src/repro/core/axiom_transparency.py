@@ -334,15 +334,26 @@ class _DeltaRequesterTransparency(DeltaChecker):
         # requester_id -> mandated fields still undisclosed (cached sweep).
         self._missing: dict[str, tuple[str, ...]] = {}
         self._sorted_requesters: list[str] = []
+        # The audited trace; indexed backends serve per-requester
+        # disclosure slices through TraceQuery instead of the folded map.
+        self._trace: PlatformTrace | None = None
+        self._slice_cache: "SliceCache | None" = None
 
     def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        from repro.query.slices import uses_indexed_slices
+
         axiom = self._axiom
+        self._trace = trace
+        # On an indexed store the disclosure map is never read (the
+        # slice cache answers through TraceQuery), so don't build it.
+        indexed = uses_indexed_slices(trace)
         for event in delta.new_events:
             self._end_time = event.time
             if isinstance(event, DisclosureShown):
-                self._disclosed.setdefault(event.subject, set()).add(
-                    event.field_name
-                )
+                if not indexed:
+                    self._disclosed.setdefault(event.subject, set()).add(
+                        event.field_name
+                    )
             elif isinstance(event, RequesterRegistered):
                 requester_id = event.requester.requester_id
                 if requester_id not in self._requesters:
@@ -379,12 +390,44 @@ class _DeltaRequesterTransparency(DeltaChecker):
                 )
 
     def _compute_missing(self, requester_id: str) -> tuple[str, ...]:
-        shown = self._disclosed.get(requester_subject(requester_id), set())
+        subject = requester_subject(requester_id)
+        shown = self._disclosed_fields(requester_id, subject)
         return tuple(
             field_name
             for field_name in self._axiom.mandated_fields
             if field_name not in shown
         )
+
+    def _disclosed_fields(self, requester_id: str, subject: str) -> set[str]:
+        """This requester's disclosed fields — the per-entity slice.
+
+        On an indexed store the slice is fetched through
+        :func:`repro.query.entity_disclosures` (a seq-bounded point
+        query on the entity index, topping up a cached view so each
+        audit decodes only the events appended since the last one);
+        elsewhere the event-folded map answers.
+        """
+        from repro.query.slices import (
+            SliceCache,
+            entity_disclosures,
+            uses_indexed_slices,
+        )
+
+        if uses_indexed_slices(self._trace):
+            if self._slice_cache is None:
+                self._slice_cache = SliceCache()
+            return self._slice_cache.topped_up(
+                self._trace,
+                requester_id,
+                lambda since: {
+                    event.field_name
+                    for event in entity_disclosures(
+                        self._trace, requester_id, "requester", since=since
+                    )
+                    if event.subject == subject
+                },
+            )
+        return self._disclosed.get(subject, set())
 
     def result(self) -> AxiomCheck:
         axiom = self._axiom
@@ -535,13 +578,23 @@ class _DeltaPlatformTransparency(DeltaChecker):
         self._end_time = 0
         # worker_id -> (relevant mandated-field count, undisclosed fields).
         self._sweeps: dict[str, tuple[int, tuple[str, ...]]] = {}
+        # The audited trace; indexed backends serve per-worker
+        # disclosure slices through TraceQuery instead of the folded map.
+        self._trace: PlatformTrace | None = None
+        self._slice_cache: "SliceCache | None" = None
 
     def apply(self, trace: PlatformTrace, delta: TraceDelta) -> None:
+        from repro.query.slices import uses_indexed_slices
+
         axiom = self._axiom
+        self._trace = trace
+        # On an indexed store the disclosure map is never read (the
+        # slice cache answers through TraceQuery), so don't build it.
+        indexed = uses_indexed_slices(trace)
         for event in delta.new_events:
             self._end_time = event.time
             if isinstance(event, DisclosureShown):
-                if axiom._counts_as_disclosed(event):
+                if not indexed and axiom._counts_as_disclosed(event):
                     self._disclosed.setdefault(event.subject, set()).add(
                         event.field_name
                     )
@@ -556,12 +609,44 @@ class _DeltaPlatformTransparency(DeltaChecker):
 
     def _compute_sweep(self, worker_id: str) -> tuple[int, tuple[str, ...]]:
         worker = self._final_workers[worker_id]
-        shown = self._disclosed.get(worker_subject(worker_id), set())
+        shown = self._disclosed_fields(worker_id)
         relevant = [
             f for f in self._axiom.mandated_fields if f in worker.computed
         ]
         missing = tuple(f for f in relevant if f not in shown)
         return len(relevant), missing
+
+    def _disclosed_fields(self, worker_id: str) -> set[str]:
+        """C_w fields disclosed *to this worker* — the per-entity slice.
+
+        On an indexed store the slice is fetched through
+        :func:`repro.query.entity_disclosures` and re-filtered by the
+        axiom's audience rule; elsewhere the event-folded map (which
+        already applied the rule at observe time) answers.
+        """
+        from repro.query.slices import (
+            SliceCache,
+            entity_disclosures,
+            uses_indexed_slices,
+        )
+
+        subject = worker_subject(worker_id)
+        if uses_indexed_slices(self._trace):
+            if self._slice_cache is None:
+                self._slice_cache = SliceCache()
+            return self._slice_cache.topped_up(
+                self._trace,
+                worker_id,
+                lambda since: {
+                    event.field_name
+                    for event in entity_disclosures(
+                        self._trace, worker_id, "worker", since=since
+                    )
+                    if event.subject == subject
+                    and self._axiom._counts_as_disclosed(event)
+                },
+            )
+        return self._disclosed.get(subject, set())
 
     def result(self) -> AxiomCheck:
         axiom = self._axiom

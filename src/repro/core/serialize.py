@@ -310,17 +310,22 @@ def save_trace(
     trace: "PlatformTrace",
     path: str | os.PathLike[str],
     segment_events: int = 4096,
+    backend: str | None = None,
 ) -> str:
-    """Capture a trace as a persistent JSONL-segment log at ``path``.
+    """Capture a trace as an on-disk log at ``path``.
 
-    Returns the log directory.  The adapter workflow for real platform
-    logs: export once with this, then :func:`load_trace` (or
-    ``PlatformTrace.open``) forever after.
+    ``backend`` selects ``"persistent"`` (JSONL segments, the default)
+    or ``"sqlite"`` (single indexed database file); ``None`` infers it
+    from the path suffix (see
+    :func:`repro.core.trace.infer_disk_backend`).  Returns the log
+    path.  The adapter workflow for real platform logs: export once
+    with this, then :func:`load_trace` (or ``PlatformTrace.open``)
+    forever after.
     """
-    from repro.core.store.persistent import PersistentTraceStore
+    from repro.core.trace import make_disk_store
 
-    with PersistentTraceStore.create(
-        path, segment_events=segment_events
+    with make_disk_store(
+        path, backend, segment_events=segment_events
     ) as capture:
         for event in trace:
             capture.append(event)
@@ -330,19 +335,19 @@ def save_trace(
 def load_trace(
     path: str | os.PathLike[str], store: "TraceStore | None" = None
 ) -> "PlatformTrace":
-    """Reopen a persistent trace log.
+    """Reopen a saved trace log (JSONL segments or SQLite, detected).
 
     Without ``store`` the returned trace stays backed by the reopened
-    persistent store (appends continue the on-disk log); passing a
-    store re-homes the events into that backend instead.
+    on-disk store (appends continue the log); passing a store re-homes
+    the events into that backend instead.
     """
-    from repro.core.store.persistent import PersistentTraceStore
+    from repro.core.store import open_store
     from repro.core.trace import PlatformTrace
 
-    opened = PersistentTraceStore.open(path)
+    opened = open_store(path)
     if store is None:
         return PlatformTrace(store=opened)
     trace = PlatformTrace(store=store)
     trace.extend(opened.events)
-    opened.close()
+    opened.close()  # type: ignore[attr-defined]
     return trace

@@ -5,21 +5,31 @@
     make_store()                                  # in-memory (default)
     make_store("windowed", window=50_000)         # bounded memory
     make_store("persistent", path="runs/log")     # JSONL segments
+    make_store("sqlite", path="runs/log.db")      # indexed SQLite file
+
+:func:`open_store` reopens a saved log of either on-disk flavour,
+detecting the format from what is at the path (a directory with a
+``meta.json`` manifest is a JSONL segment log; a file with the SQLite
+magic is a trace database).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.core.store.base import TouchedEntities, TraceStore, collect_touched
 from repro.core.store.memory import InMemoryTraceStore
 from repro.core.store.persistent import PersistentTraceStore
+from repro.core.store.sqlite import SQLiteTraceStore, is_sqlite_trace
 from repro.core.store.windowed import WindowedTraceStore
-from repro.errors import TraceError
+from repro.errors import TraceError, UnknownBackendError
 
 #: backend name -> store class, the registry behind ``make_store``.
 STORE_BACKENDS: dict[str, type[TraceStore]] = {
     InMemoryTraceStore.backend_name: InMemoryTraceStore,
     WindowedTraceStore.backend_name: WindowedTraceStore,
     PersistentTraceStore.backend_name: PersistentTraceStore,
+    SQLiteTraceStore.backend_name: SQLiteTraceStore,
 }
 
 
@@ -27,25 +37,52 @@ def make_store(backend: str = "memory", **options: object) -> TraceStore:
     """Instantiate a trace store by backend name.
 
     Options are forwarded to the backend constructor (``window=`` for
-    windowed, ``path=``/``segment_events=`` for persistent).
+    windowed, ``path=``/``segment_events=`` for persistent, ``path=``/
+    ``commit_every=`` for sqlite).  An unknown name raises
+    :class:`~repro.errors.UnknownBackendError` (a :class:`ValueError`)
+    naming the available backends.
     """
     try:
         store_cls = STORE_BACKENDS[backend]
     except KeyError:
-        raise TraceError(
+        raise UnknownBackendError(
             f"unknown trace backend {backend!r}; "
-            f"known: {sorted(STORE_BACKENDS)}"
+            f"available backends: {', '.join(sorted(STORE_BACKENDS))}"
         ) from None
     return store_cls(**options)  # type: ignore[arg-type]
+
+
+def open_store(path: str | os.PathLike[str]) -> TraceStore:
+    """Reopen a saved trace log, detecting its on-disk format.
+
+    A directory containing a ``meta.json`` manifest opens as a
+    :class:`PersistentTraceStore`; a SQLite database file opens as a
+    :class:`SQLiteTraceStore`.  Anything else raises
+    :class:`~repro.errors.TraceError`.
+    """
+    fspath = os.fspath(path)
+    if os.path.isdir(fspath):
+        return PersistentTraceStore.open(fspath)
+    if is_sqlite_trace(fspath):
+        return SQLiteTraceStore.open(fspath)
+    if os.path.isfile(fspath):
+        raise TraceError(
+            f"{fspath!r} is neither a JSONL segment log directory nor a "
+            "SQLite trace database"
+        )
+    raise TraceError(f"no trace log at {fspath!r}")
 
 
 __all__ = [
     "STORE_BACKENDS",
     "InMemoryTraceStore",
     "PersistentTraceStore",
+    "SQLiteTraceStore",
     "TouchedEntities",
     "TraceStore",
     "WindowedTraceStore",
     "collect_touched",
+    "is_sqlite_trace",
     "make_store",
+    "open_store",
 ]

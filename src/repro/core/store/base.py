@@ -50,6 +50,13 @@ class TraceStore(abc.ABC):
     #: Stable name used by :func:`repro.core.store.make_store` and CLI flags.
     backend_name: str = "abstract"
 
+    #: True when the backend executes :class:`repro.query.TraceQuery`
+    #: filters natively against secondary indexes (``query_events`` /
+    #: ``query_count`` / ``query_kind_counts`` / ``query_entity_counts``
+    #: hooks).  Backends that leave this False are served by the generic
+    #: cursor scan in :mod:`repro.query` — same results, linear cost.
+    supports_indexed_query: bool = False
+
     # ------------------------------------------------------------------
     # Construction
 

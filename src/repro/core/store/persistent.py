@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import IO, Iterable
 
 from repro.core.events import Event
@@ -191,22 +192,8 @@ class PersistentTraceStore(InMemoryTraceStore):
         )
         self._replaying = True
         try:
-            for name in segments:
-                with open(
-                    os.path.join(self._path, name), encoding="utf-8"
-                ) as handle:
-                    for line_number, line in enumerate(handle, start=1):
-                        line = line.strip()
-                        if not line:
-                            continue
-                        try:
-                            data = json.loads(line)
-                        except json.JSONDecodeError as error:
-                            raise TraceError(
-                                f"corrupt trace log line {name}:{line_number}: "
-                                f"{error}"
-                            ) from None
-                        self.append(event_from_dict(data))
+            for position, name in enumerate(segments):
+                self._replay_segment(name, last=position == len(segments) - 1)
         finally:
             self._replaying = False
         if segments:
@@ -215,3 +202,52 @@ class PersistentTraceStore(InMemoryTraceStore):
             with open(last, encoding="utf-8") as handle:
                 self._segment_count = sum(1 for line in handle if line.strip())
         # A reopened log continues appending to its last segment.
+
+    def _replay_segment(self, name: str, last: bool) -> None:
+        """Replay one segment file into the in-memory indexes.
+
+        Appends are line-buffered, so a crash mid-append can leave the
+        *final* segment with a trailing line that never got its
+        newline.  Such an unterminated tail is recovered rather than
+        fatal: if it parses it is kept (and its newline repaired so
+        future appends start a fresh line), otherwise it is dropped
+        with a warning and the file truncated to the complete prefix.
+        A corrupt line anywhere else — mid-file, or cleanly
+        newline-terminated — is still an error: that is damage, not a
+        crashed append.
+        """
+        segment_path = os.path.join(self._path, name)
+        with open(segment_path, "rb") as handle:
+            content = handle.read()
+        offset = 0
+        for line_number, raw in enumerate(
+            content.splitlines(keepends=True), start=1
+        ):
+            unterminated = not raw.endswith(b"\n")
+            try:
+                line = raw.decode("utf-8").strip()
+                data = json.loads(line) if line else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                if last and unterminated:
+                    warnings.warn(
+                        f"trace log {name} ends in a truncated line "
+                        f"(crash mid-append?); recovered the complete "
+                        f"prefix of {line_number - 1} line(s) and "
+                        f"dropped the tail",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    with open(segment_path, "ab") as repair:
+                        repair.truncate(offset)
+                    return
+                raise TraceError(
+                    f"corrupt trace log line {name}:{line_number}: {error}"
+                ) from None
+            if data is not None:
+                self.append(event_from_dict(data))
+            if unterminated:
+                # A parseable tail that lost only its newline: keep the
+                # event, terminate the line so appends stay one-per-line.
+                with open(segment_path, "ab") as repair:
+                    repair.write(b"\n")
+            offset += len(raw)

@@ -1,0 +1,360 @@
+"""Indexed on-disk backend: one SQLite ``.db`` file per trace.
+
+The JSONL persistent backend answers *any* question by replaying the
+whole log.  At production scale the common questions are scoped — "what
+happened to worker w0042", "all payments in [t0, t1)", "how many
+disclosures" — and should cost the size of the *answer*, not the size
+of the log.  :class:`SQLiteTraceStore` keeps the same in-memory indexes
+as the default backend (audits read identically, the full differential
+suite applies) and additionally writes every appended event through to
+a single SQLite database with secondary indexes::
+
+    events(seq PRIMARY KEY, time, kind, payload)
+        -- idx_events_kind  (kind, seq)
+        -- idx_events_time  (time)
+    event_entities(entity_id, entity_kind, seq)
+        -- PRIMARY KEY (entity_id, entity_kind, seq)  ~  (entity_id, seq)
+    meta(key PRIMARY KEY, value)
+
+``event_entities`` is the inverted index behind entity-scoped queries:
+one row per (event, touched entity) pair, derived from the same
+:func:`~repro.core.store.base.collect_touched` summary the delta-audit
+path uses.  :mod:`repro.query` executes :class:`~repro.query.TraceQuery`
+filters as indexed SQL against these tables (the ``query_*`` methods
+below), so an entity/kind/time-scoped question reads only its matching
+rows — no log replay, no full scan.
+
+Durability: appends are written inside batched transactions
+(``commit_every`` events per commit, WAL journal) and committed on
+:meth:`save`/:meth:`close`; readers on the store's own connection see
+uncommitted appends immediately, so queries are always current.
+
+Workflow parity with the persistent backend::
+
+    store = SQLiteTraceStore.create(path)         # capture
+    trace = PlatformTrace(store=store)            # ... run platform ...
+    store.save()                                  # commit
+
+    reopened = SQLiteTraceStore.open(path)        # re-audit later
+    AuditEngine().audit(reopened)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.core.events import Event
+from repro.core.serialize import event_from_dict, event_to_dict
+from repro.core.store.base import collect_touched
+from repro.core.store.memory import InMemoryTraceStore
+from repro.errors import QueryError, TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.api import TraceQuery
+
+DB_FORMAT_VERSION = 1
+
+#: SQLite database file magic (the first 16 header bytes).
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    seq     INTEGER PRIMARY KEY,
+    time    INTEGER NOT NULL,
+    kind    TEXT    NOT NULL,
+    payload TEXT    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_events_kind ON events (kind, seq);
+CREATE INDEX IF NOT EXISTS idx_events_time ON events (time);
+CREATE TABLE IF NOT EXISTS event_entities (
+    entity_id   TEXT    NOT NULL,
+    entity_kind TEXT    NOT NULL,
+    seq         INTEGER NOT NULL,
+    PRIMARY KEY (entity_id, entity_kind, seq)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_entities_kind
+    ON event_entities (entity_kind, entity_id, seq);
+"""
+
+
+def is_sqlite_trace(path: str | os.PathLike[str]) -> bool:
+    """True when ``path`` is an existing SQLite database file."""
+    path = os.fspath(path)
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+class SQLiteTraceStore(InMemoryTraceStore):
+    """In-memory indexes + a single indexed SQLite file on disk."""
+
+    backend_name = "sqlite"
+    supports_indexed_query = True
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        events: Iterable[Event] = (),
+        commit_every: int = 64,
+    ) -> None:
+        """Open (or create) the trace database at ``path``.
+
+        Use :meth:`create`/:meth:`open` when existence should be an
+        invariant rather than a branch.  ``commit_every`` bounds the
+        crash-loss window: appends are grouped into transactions of at
+        most that many events (1 = write-through commit per append).
+        """
+        if commit_every < 1:
+            raise TraceError(
+                f"commit_every must be >= 1, got {commit_every}"
+            )
+        self._db_path = os.fspath(path)
+        self._commit_every = commit_every
+        self._pending = 0
+        self._replaying = False
+        existing = os.path.exists(self._db_path)
+        if existing and not is_sqlite_trace(self._db_path):
+            raise TraceError(
+                f"{self._db_path!r} exists but is not a SQLite database"
+            )
+        parent = os.path.dirname(self._db_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self._db_path)
+        try:
+            if existing:
+                # Validate before any PRAGMA or schema write: a foreign
+                # (or damaged) SQLite file must be rejected untouched —
+                # no journal-mode flip, no sidecar files, no tables.
+                self._check_version()
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            super().__init__(())
+            if existing:
+                self._load()
+            else:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("format_version", str(DB_FORMAT_VERSION)),
+                )
+                self._conn.commit()
+            for event in events:
+                self.append(event)
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise TraceError(
+                f"unreadable trace database {self._db_path!r}: {error}"
+            ) from None
+        except BaseException:
+            self._conn.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Explicit open/create entry points (parity with the persistent backend)
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike[str], commit_every: int = 64
+    ) -> "SQLiteTraceStore":
+        """Start a fresh database; refuses to reuse an existing one."""
+        if os.path.exists(os.fspath(path)):
+            raise TraceError(f"trace database already exists at {path!r}")
+        return cls(path, commit_every=commit_every)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike[str]) -> "SQLiteTraceStore":
+        """Reopen a previously captured database; refuses a missing one."""
+        if not os.path.exists(os.fspath(path)):
+            raise TraceError(f"no trace database at {path!r}")
+        return cls(path)
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def append(self, event: Event) -> None:
+        seq = self.revision  # next global append position
+        super().append(event)
+        if self._replaying:
+            return
+        payload = json.dumps(event_to_dict(event), separators=(",", ":"))
+        self._conn.execute(
+            "INSERT INTO events (seq, time, kind, payload) VALUES (?, ?, ?, ?)",
+            (seq, event.time, event.kind, payload),
+        )
+        touched = collect_touched((event,))
+        rows = [
+            (entity_id, entity_kind, seq)
+            for entity_kind, entity_ids in (
+                ("worker", touched.worker_ids),
+                ("task", touched.task_ids),
+                ("requester", touched.requester_ids),
+                ("contribution", touched.contribution_ids),
+            )
+            for entity_id in entity_ids
+        ]
+        if rows:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO event_entities "
+                "(entity_id, entity_kind, seq) VALUES (?, ?, ?)",
+                rows,
+            )
+        self._pending += 1
+        if self._pending >= self._commit_every:
+            self._conn.commit()
+            self._pending = 0
+
+    def save(self) -> str:
+        """Commit buffered appends; returns the database file path."""
+        self._conn.commit()
+        self._pending = 0
+        return self._db_path
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteTraceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        return self._db_path
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def _check_version(self) -> None:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'format_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError as error:
+            raise TraceError(
+                f"{self._db_path!r} is not a trace database: {error}"
+            ) from None
+        version = None if row is None else row[0]
+        if version != str(DB_FORMAT_VERSION):
+            raise TraceError(
+                f"unsupported trace database version {version!r} "
+                f"(supported: {DB_FORMAT_VERSION})"
+            )
+
+    def _load(self) -> None:
+        self._replaying = True
+        try:
+            for (payload,) in self._conn.execute(
+                "SELECT payload FROM events ORDER BY seq"
+            ):
+                try:
+                    data = json.loads(payload)
+                except json.JSONDecodeError as error:
+                    raise TraceError(
+                        f"corrupt trace database payload: {error}"
+                    ) from None
+                self.append(event_from_dict(data))
+        finally:
+            self._replaying = False
+
+    # ------------------------------------------------------------------
+    # Indexed query execution (the repro.query backend hooks)
+    #
+    # These take a TraceQuery (duck-typed: this module never imports
+    # repro.query, which imports the store package) and translate its
+    # filters into one SQL statement over the indexed tables.  The
+    # differential suite proves results identical to the generic
+    # cursor-scan fallback on every other backend.
+
+    def _compile(
+        self, query: "TraceQuery", select: str
+    ) -> tuple[str, list[Any]]:
+        clauses: list[str] = []
+        params: list[Any] = []
+        sql = f"SELECT {select} FROM events e"
+        if query.entity_ids:
+            marks = ", ".join("?" for _ in query.entity_ids)
+            entity_sql = (
+                "SELECT DISTINCT seq FROM event_entities "
+                f"WHERE entity_id IN ({marks})"
+            )
+            params.extend(query.entity_ids)
+            if query.entity_kind is not None:
+                entity_sql += " AND entity_kind = ?"
+                params.append(query.entity_kind)
+            sql += f" JOIN ({entity_sql}) m ON m.seq = e.seq"
+        if query.kinds:
+            marks = ", ".join("?" for _ in query.kinds)
+            clauses.append(f"e.kind IN ({marks})")
+            params.extend(query.kinds)
+        for clause, value in (
+            ("e.time >= ?", query.time_start),
+            ("e.time < ?", query.time_end),
+            ("e.seq >= ?", query.seq_start),
+            ("e.seq < ?", query.seq_end),
+        ):
+            if value is not None:
+                clauses.append(clause)
+                params.append(value)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        return sql, params
+
+    def query_events(self, query: "TraceQuery") -> "tuple[Event, ...]":
+        """Matching events in append order, decoded from stored payloads."""
+        sql, params = self._compile(query, "e.payload")
+        sql += " ORDER BY e.seq"
+        if query.limit is not None:
+            sql += " LIMIT ?"
+            params.append(query.limit)
+        return tuple(
+            event_from_dict(json.loads(payload))
+            for (payload,) in self._conn.execute(sql, params)
+        )
+
+    def query_count(self, query: "TraceQuery") -> int:
+        """``COUNT(*)`` of matching events (ignores any limit)."""
+        sql, params = self._compile(query, "COUNT(*)")
+        return int(self._conn.execute(sql, params).fetchone()[0])
+
+    def query_kind_counts(self, query: "TraceQuery") -> dict[str, int]:
+        """Histogram of matching events by kind, kind-sorted."""
+        sql, params = self._compile(query, "e.kind, COUNT(*)")
+        sql += " GROUP BY e.kind ORDER BY e.kind"
+        return {
+            kind: int(count)
+            for kind, count in self._conn.execute(sql, params)
+        }
+
+    def query_entity_counts(self, entity_kind: str) -> dict[str, int]:
+        """Events touching each entity of one kind (id-sorted)."""
+        if entity_kind not in ("worker", "task", "requester", "contribution"):
+            raise QueryError(f"unknown entity kind {entity_kind!r}")
+        return {
+            entity_id: int(count)
+            for entity_id, count in self._conn.execute(
+                "SELECT entity_id, COUNT(*) FROM event_entities "
+                "WHERE entity_kind = ? GROUP BY entity_id ORDER BY entity_id",
+                (entity_kind,),
+            )
+        }
+
+    def iter_payloads(self) -> Iterator[dict[str, Any]]:
+        """Raw event dicts in append order (tooling/inspection hook)."""
+        for (payload,) in self._conn.execute(
+            "SELECT payload FROM events ORDER BY seq"
+        ):
+            yield json.loads(payload)

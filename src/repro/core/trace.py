@@ -58,6 +58,44 @@ from repro.errors import TraceError, UnknownEntityError
 E = TypeVar("E", bound=Event)
 
 
+def infer_disk_backend(
+    path: str | os.PathLike[str], backend: str | None = None
+) -> str:
+    """Resolve which on-disk backend a capture path selects.
+
+    An explicit ``backend`` wins; otherwise a ``.db``/``.sqlite``/
+    ``.sqlite3`` suffix means sqlite and anything else means the JSONL
+    persistent log.
+    """
+    if backend is not None:
+        if backend not in ("persistent", "sqlite"):
+            raise TraceError(
+                f"unknown on-disk trace backend {backend!r}; "
+                "available backends: persistent, sqlite"
+            )
+        return backend
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    return "sqlite" if suffix in (".db", ".sqlite", ".sqlite3") else "persistent"
+
+
+def make_disk_store(
+    path: str | os.PathLike[str],
+    backend: str | None = None,
+    segment_events: int = 4096,
+):
+    """A fresh on-disk capture store of the resolved backend.
+
+    ``segment_events`` applies to the persistent (JSONL-segment)
+    backend only.
+    """
+    from repro.core.store.persistent import PersistentTraceStore
+    from repro.core.store.sqlite import SQLiteTraceStore
+
+    if infer_disk_backend(path, backend) == "sqlite":
+        return SQLiteTraceStore.create(path)
+    return PersistentTraceStore.create(path, segment_events=segment_events)
+
+
 class PlatformTrace:
     """Append-only, time-ordered event log with entity indexes.
 
@@ -85,21 +123,29 @@ class PlatformTrace:
 
     @classmethod
     def open(cls, path: str | os.PathLike[str]) -> "PlatformTrace":
-        """Reopen a trace captured by the persistent backend."""
-        from repro.core.store.persistent import PersistentTraceStore
+        """Reopen a saved trace of either on-disk flavour.
 
-        return cls(store=PersistentTraceStore.open(path))
-
-    def save(self, path: str | os.PathLike[str]) -> str:
-        """Capture this trace as a persistent JSONL-segment log.
-
-        Returns the log directory path; reopen with
-        :meth:`PlatformTrace.open`.  When the trace is already backed
-        by a persistent store this writes an independent copy.
+        The format is detected from what is at ``path``: a JSONL
+        segment-log directory or a SQLite trace database (see
+        :func:`repro.core.store.open_store`).
         """
-        from repro.core.store.persistent import PersistentTraceStore
+        from repro.core.store import open_store
 
-        with PersistentTraceStore.create(path) as capture:
+        return cls(store=open_store(path))
+
+    def save(
+        self, path: str | os.PathLike[str], backend: str | None = None
+    ) -> str:
+        """Capture this trace as an on-disk log at ``path``.
+
+        ``backend`` is ``"persistent"`` (JSONL segments) or ``"sqlite"``
+        (single indexed database file); when ``None`` it is inferred
+        from the path — a ``.db``/``.sqlite`` suffix selects sqlite.
+        Returns the log path; reopen with :meth:`PlatformTrace.open`.
+        When the trace is already disk-backed this writes an
+        independent copy.
+        """
+        with make_disk_store(path, backend) as capture:
             for event in self._store.events:
                 capture.append(event)
             return capture.save()

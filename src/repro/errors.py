@@ -28,6 +28,19 @@ class TraceError(ReproError):
     """A platform trace is malformed or violates event-ordering rules."""
 
 
+class UnknownBackendError(TraceError, ValueError):
+    """An unknown trace-store backend name was requested.
+
+    Doubles as :class:`ValueError` so callers validating user input
+    (CLI flags, config files) can catch the conventional type without
+    importing the library hierarchy.
+    """
+
+
+class QueryError(TraceError):
+    """A trace query is malformed (bad filter, unknown field/kind)."""
+
+
 class AssignmentError(ReproError):
     """A task-assignment algorithm received an infeasible instance."""
 

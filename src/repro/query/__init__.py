@@ -1,0 +1,31 @@
+"""Typed trace queries and analytics over any :class:`TraceStore`.
+
+One contract, two plans: a :class:`TraceQuery` describes *what* (entity
+scope, event kinds, time/round/sequence ranges, projection, counts) and
+the backend decides *how* — indexed SQL on the SQLite store, a generic
+cursor scan everywhere else — with result equality pinned by the
+differential property suite.  :func:`trace_stats` / :func:`trace_info`
+build the CLI-facing analytics on top, and :mod:`repro.query.slices`
+feeds per-entity slices to the delta-audit re-sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.query.api import (
+    ENTITY_KINDS,
+    TraceQuery,
+    entity_event_counts,
+)
+from repro.query.slices import entity_disclosures, task_audience
+from repro.query.stats import TraceStats, trace_info, trace_stats
+
+__all__ = [
+    "ENTITY_KINDS",
+    "TraceQuery",
+    "TraceStats",
+    "entity_disclosures",
+    "entity_event_counts",
+    "task_audience",
+    "trace_info",
+    "trace_stats",
+]

@@ -1,0 +1,284 @@
+"""``TraceQuery``: one typed query contract over every trace backend.
+
+A query is an immutable filter description — entity scope, event kinds,
+time range, round, sequence range, limit — built fluently::
+
+    TraceQuery().worker("w0042").of_kind(PaymentIssued).run(trace)
+    TraceQuery().time_range(10, 20).count(trace)
+    TraceQuery().entity("t0007", kind="task").count_by_kind(trace)
+
+Execution dispatches on the backend: stores that declare
+``supports_indexed_query`` (the SQLite backend) execute the filters as
+indexed SQL and pay only for matching rows; every other backend is
+served by a generic scan over its retained events.  The two paths are
+proven result-identical by the differential property suite
+(``tests/property/test_property_trace_query.py``), so callers — the
+CLI, the stats module, the axioms' delta re-sweeps — write one query
+and get the best plan the storage can offer.
+
+Entity scoping matches the delta-audit notion of *touched*: an event is
+in scope for entity ``x`` when :func:`~repro.core.store.collect_touched`
+of that single event names ``x`` (optionally restricted to one entity
+kind) — deliberately the same currency the
+:class:`~repro.core.audit.DeltaAuditEngine` invalidates by, so a delta
+re-sweep can fetch exactly the slice it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+from repro.core.events import _KIND_NAMES, Event
+from repro.core.store import TraceStore, collect_touched
+from repro.core.trace import PlatformTrace
+from repro.errors import QueryError
+
+ENTITY_KINDS: tuple[str, ...] = (
+    "worker", "task", "requester", "contribution",
+)
+
+_VALID_KINDS: frozenset[str] = frozenset(
+    name for event_type, name in _KIND_NAMES.items() if name != "event"
+)
+
+
+def _resolve_store(source: "PlatformTrace | TraceStore") -> TraceStore:
+    if isinstance(source, PlatformTrace):
+        return source.store
+    if isinstance(source, TraceStore):
+        return source
+    raise QueryError(
+        f"queries run against a PlatformTrace or TraceStore, "
+        f"got {type(source).__name__}"
+    )
+
+
+def _kind_name(kind: "str | type[Event]") -> str:
+    if isinstance(kind, type):
+        if issubclass(kind, Event) and kind in _KIND_NAMES:
+            return _KIND_NAMES[kind]
+        raise QueryError(f"unknown event type {kind!r}")
+    if kind not in _VALID_KINDS:
+        raise QueryError(
+            f"unknown event kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(_VALID_KINDS))}"
+        )
+    return str(kind)
+
+
+@dataclass(frozen=True)
+class TraceQuery:
+    """An immutable, composable filter over a trace's event log.
+
+    Builder methods return new queries (the receiver is never
+    mutated), so partial queries can be shared and refined::
+
+        payments = TraceQuery().of_kind(PaymentIssued)
+        payments.worker("w0001").count(trace)
+        payments.time_range(0, 50).run(trace)
+    """
+
+    entity_ids: tuple[str, ...] = ()
+    entity_kind: str | None = None
+    kinds: tuple[str, ...] = ()
+    time_start: int | None = None
+    time_end: int | None = None
+    seq_start: int | None = None
+    seq_end: int | None = None
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.entity_kind is not None and self.entity_kind not in ENTITY_KINDS:
+            raise QueryError(
+                f"unknown entity kind {self.entity_kind!r}; "
+                f"known kinds: {', '.join(ENTITY_KINDS)}"
+            )
+        if self.entity_kind is not None and not self.entity_ids:
+            raise QueryError("entity_kind without entity ids filters nothing")
+        for name in ("time_start", "time_end", "seq_start", "seq_end"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise QueryError(f"{name} must be >= 0, got {value}")
+        if (
+            self.time_start is not None and self.time_end is not None
+            and self.time_end < self.time_start
+        ):
+            raise QueryError(
+                f"empty time range [{self.time_start}, {self.time_end})"
+            )
+        if self.limit is not None and self.limit < 0:
+            raise QueryError(f"limit must be >= 0, got {self.limit}")
+
+    # ------------------------------------------------------------------
+    # Builders
+
+    def entity(self, *entity_ids: str, kind: str | None = None) -> "TraceQuery":
+        """Scope to events *touching* any of the given entities.
+
+        ``kind`` optionally restricts which entity role counts
+        ("worker", "task", "requester", "contribution"); without it an
+        id matches in any role.
+        """
+        if not entity_ids:
+            raise QueryError("entity() needs at least one entity id")
+        return replace(
+            self, entity_ids=tuple(entity_ids), entity_kind=kind
+        )
+
+    def worker(self, *worker_ids: str) -> "TraceQuery":
+        return self.entity(*worker_ids, kind="worker")
+
+    def task(self, *task_ids: str) -> "TraceQuery":
+        return self.entity(*task_ids, kind="task")
+
+    def requester(self, *requester_ids: str) -> "TraceQuery":
+        return self.entity(*requester_ids, kind="requester")
+
+    def contribution(self, *contribution_ids: str) -> "TraceQuery":
+        return self.entity(*contribution_ids, kind="contribution")
+
+    def of_kind(self, *kinds: "str | type[Event]") -> "TraceQuery":
+        """Scope to the given event kinds (names or event classes)."""
+        if not kinds:
+            raise QueryError("of_kind() needs at least one event kind")
+        return replace(
+            self, kinds=tuple(_kind_name(kind) for kind in kinds)
+        )
+
+    def time_range(
+        self, start: int | None = None, end: int | None = None
+    ) -> "TraceQuery":
+        """Scope to event times in the half-open range ``[start, end)``."""
+        return replace(self, time_start=start, time_end=end)
+
+    def at_round(self, tick: int) -> "TraceQuery":
+        """Scope to one simulated round (sessions advance one clock
+        tick per round, so a round is the time slice ``[tick, tick+1)``)."""
+        return replace(self, time_start=tick, time_end=tick + 1)
+
+    def seq_range(
+        self, start: int | None = None, end: int | None = None
+    ) -> "TraceQuery":
+        """Scope to append positions in the half-open range ``[start, end)``."""
+        return replace(self, seq_start=start, seq_end=end)
+
+    def take(self, limit: int) -> "TraceQuery":
+        """Return at most ``limit`` events from :meth:`run` (counts and
+        aggregates ignore the limit)."""
+        return replace(self, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, source: "PlatformTrace | TraceStore") -> tuple[Event, ...]:
+        """Matching events in append order."""
+        store = _resolve_store(source)
+        if store.supports_indexed_query:
+            return store.query_events(self)  # type: ignore[attr-defined]
+        matches: list[Event] = []
+        for event in self._scan(store):
+            matches.append(event)
+            if self.limit is not None and len(matches) >= self.limit:
+                break
+        return tuple(matches)
+
+    def count(self, source: "PlatformTrace | TraceStore") -> int:
+        """How many events match (ignores any :meth:`take` limit)."""
+        store = _resolve_store(source)
+        if store.supports_indexed_query:
+            return store.query_count(self)  # type: ignore[attr-defined]
+        return sum(1 for _ in self._scan(store))
+
+    def count_by_kind(
+        self, source: "PlatformTrace | TraceStore"
+    ) -> dict[str, int]:
+        """Histogram of matching events by kind, kind-sorted (ignores
+        any :meth:`take` limit)."""
+        store = _resolve_store(source)
+        if store.supports_indexed_query:
+            return store.query_kind_counts(self)  # type: ignore[attr-defined]
+        counts: dict[str, int] = {}
+        for event in self._scan(store):
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def project(
+        self,
+        source: "PlatformTrace | TraceStore",
+        *fields: str,
+    ) -> list[tuple]:
+        """Matching events projected to attribute tuples.
+
+        ``"kind"`` and ``"time"`` exist on every event; other fields
+        are event-type-specific and project as ``None`` where absent
+        (queries often span kinds).
+        """
+        if not fields:
+            raise QueryError("project() needs at least one field name")
+        return [
+            tuple(getattr(event, name, None) for name in fields)
+            for event in self.run(source)
+        ]
+
+    # ------------------------------------------------------------------
+    # Generic fallback: one pass over the backend's retained events.
+
+    def _scan(self, store: TraceStore) -> Iterator[Event]:
+        kinds = set(self.kinds) if self.kinds else None
+        entity_ids = set(self.entity_ids) if self.entity_ids else None
+        for seq, event in enumerate(store.events, start=store.first_retained):
+            if self.seq_start is not None and seq < self.seq_start:
+                continue
+            if self.seq_end is not None and seq >= self.seq_end:
+                break
+            if kinds is not None and event.kind not in kinds:
+                continue
+            if self.time_start is not None and event.time < self.time_start:
+                continue
+            if self.time_end is not None and event.time >= self.time_end:
+                continue
+            if entity_ids is not None and not self._touches(event, entity_ids):
+                continue
+            yield event
+
+    def _touches(self, event: Event, entity_ids: set[str]) -> bool:
+        touched = collect_touched((event,))
+        if self.entity_kind == "worker":
+            pool: Iterable[str] = touched.worker_ids
+        elif self.entity_kind == "task":
+            pool = touched.task_ids
+        elif self.entity_kind == "requester":
+            pool = touched.requester_ids
+        elif self.entity_kind == "contribution":
+            pool = touched.contribution_ids
+        else:
+            pool = (
+                touched.worker_ids | touched.task_ids
+                | touched.requester_ids | touched.contribution_ids
+            )
+        return not entity_ids.isdisjoint(pool)
+
+
+def entity_event_counts(
+    source: "PlatformTrace | TraceStore", entity_kind: str
+) -> dict[str, int]:
+    """Events touching each entity of one kind, id-sorted.
+
+    Indexed backends group over the ``event_entities`` inverted index;
+    the generic fallback accumulates touched sets in one scan.
+    """
+    if entity_kind not in ENTITY_KINDS:
+        raise QueryError(
+            f"unknown entity kind {entity_kind!r}; "
+            f"known kinds: {', '.join(ENTITY_KINDS)}"
+        )
+    store = _resolve_store(source)
+    if store.supports_indexed_query:
+        return store.query_entity_counts(entity_kind)  # type: ignore[attr-defined]
+    counts: dict[str, int] = {}
+    attribute = f"{entity_kind}_ids"
+    for event in store.events:
+        for entity_id in getattr(collect_touched((event,)), attribute):
+            counts[entity_id] = counts.get(entity_id, 0) + 1
+    return dict(sorted(counts.items()))

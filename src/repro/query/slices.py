@@ -1,0 +1,97 @@
+"""Per-entity trace slices for the delta-audit re-sweep path.
+
+A delta-aware axiom checker caches per-entity verdicts and, per audit,
+recomputes only the entities the delta touched.  Recomputing a verdict
+needs that entity's evidence — the disclosures about one requester, the
+audience of one task.  On an indexed backend fetching that slice is a
+point query; these helpers express the fetches as
+:class:`~repro.query.TraceQuery` filters so Axioms 2, 6, and 7 read
+per-entity slices through the query subsystem instead of maintaining
+(or scanning for) whole-trace maps.
+
+The helpers assume an indexed store (``supports_indexed_query``); the
+axioms keep their event-folding fallback for every other backend, and
+the differential property suite proves both paths verdict-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.events import DisclosureShown, TasksShown
+from repro.query.api import TraceQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PlatformTrace
+
+_DISCLOSURES = TraceQuery().of_kind(DisclosureShown)
+_SHOWINGS = TraceQuery().of_kind(TasksShown)
+
+
+def uses_indexed_slices(trace: "PlatformTrace | None") -> bool:
+    """True when per-entity slices should flow through indexed queries."""
+    return trace is not None and trace.store.supports_indexed_query
+
+
+class SliceCache:
+    """Cached per-entity views over an append-only trace.
+
+    A delta checker's per-entity evidence (a task's audience, a
+    requester's disclosed fields) only *accretes* as events append, so
+    a cached view is topped up — never recomputed — by fetching the
+    slice at sequence numbers the cache has not seen.  ``fetch(since)``
+    must return the entity's new contributions derived from events at
+    ``seq >= since``; each audit therefore decodes only the events
+    appended since the entity was last looked at.
+    """
+
+    def __init__(self) -> None:
+        # entity_id -> (derived view, trace revision it is synced to).
+        self._views: dict[str, tuple[frozenset, int]] = {}
+
+    def topped_up(
+        self,
+        trace: "PlatformTrace",
+        entity_id: str,
+        fetch,
+    ) -> frozenset:
+        view, synced = self._views.get(entity_id, (frozenset(), 0))
+        revision = trace.revision
+        if synced < revision:
+            view = view | frozenset(fetch(synced))
+            self._views[entity_id] = (view, revision)
+        return view
+
+
+def entity_disclosures(
+    trace: "PlatformTrace", entity_id: str, entity_kind: str,
+    since: int = 0,
+) -> "tuple[DisclosureShown, ...]":
+    """Disclosure events touching one entity, in append order.
+
+    *Touching* is the delta-audit superset (subject or audience), so
+    callers filter by subject/audience themselves — exactly what the
+    axiom predicates already do.  ``since`` bounds the slice to events
+    at sequence numbers ``>= since``: traces are append-only, so a
+    caller that caches its derived view only tops it up with the events
+    appended since it last looked.
+    """
+    query = _DISCLOSURES.entity(entity_id, kind=entity_kind)
+    if since:
+        query = query.seq_range(since, None)
+    return query.run(trace)  # type: ignore[return-value]
+
+
+def task_audience(
+    trace: "PlatformTrace", task_id: str, since: int = 0
+) -> set[str]:
+    """Workers one task was shown to at sequence numbers ``>= since``
+    (Axiom 2's evidence; ``since=0`` means the whole-trace audience)."""
+    query = _SHOWINGS.entity(task_id, kind="task")
+    if since:
+        query = query.seq_range(since, None)
+    return {
+        event.worker_id
+        for event in query.run(trace)  # type: ignore[union-attr]
+        if task_id in event.task_ids
+    }

@@ -1,0 +1,241 @@
+"""Unit tests for the SQLite trace backend and on-disk format detection.
+
+The audit-equivalence of the backend is pinned by the differential
+property suite (``tests/property/test_property_trace_stores.py``);
+these tests cover the lifecycle (create/open/save/close), durability
+boundaries, format detection (``open_store`` / ``PlatformTrace.open`` /
+``infer_disk_backend``), and the error paths.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.serialize import load_trace, save_trace
+from repro.core.store import (
+    SQLiteTraceStore,
+    is_sqlite_trace,
+    make_store,
+    open_store,
+)
+from repro.core.store.sqlite import DB_FORMAT_VERSION
+from repro.core.trace import PlatformTrace, infer_disk_backend
+from repro.errors import QueryError, TraceError
+from repro.workloads.scenarios import clean_scenario
+
+
+@pytest.fixture()
+def clean_events():
+    return list(clean_scenario(rounds=3).trace)
+
+
+class TestLifecycle:
+    def test_create_save_reopen_round_trip(self, clean_events, tmp_path):
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path) as store:
+            PlatformTrace(clean_events, store=store)
+            assert store.save() == str(path)
+        reopened = SQLiteTraceStore.open(path)
+        assert list(reopened.events) == clean_events
+        assert reopened.revision == len(clean_events)
+        assert reopened.backend_name == "sqlite"
+        assert reopened.supports_indexed_query
+
+    def test_reopened_log_audits_byte_identically(self, clean_events, tmp_path):
+        path = tmp_path / "log.db"
+        trace = PlatformTrace(clean_events)
+        trace.save(path)
+        engine = AuditEngine()
+        assert engine.audit(PlatformTrace.open(path)) == engine.audit(trace)
+
+    def test_append_after_reopen_continues_log(self, clean_events, tmp_path):
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:100], store=store)
+        with SQLiteTraceStore.open(path) as store:
+            trace = PlatformTrace(store=store)
+            assert len(trace) == 100
+            trace.extend(clean_events[100:])
+        final = PlatformTrace.open(path)
+        assert list(final) == clean_events
+
+    def test_create_refuses_existing_open_refuses_missing(self, tmp_path):
+        path = tmp_path / "log.db"
+        SQLiteTraceStore.create(path).close()
+        with pytest.raises(TraceError, match="already exists"):
+            SQLiteTraceStore.create(path)
+        with pytest.raises(TraceError, match="no trace database"):
+            SQLiteTraceStore.open(tmp_path / "absent.db")
+
+    def test_uncommitted_appends_visible_to_own_queries(
+        self, clean_events, tmp_path
+    ):
+        """Readers on the store's connection see appends before commit."""
+        from repro.query import TraceQuery
+
+        store = SQLiteTraceStore.create(tmp_path / "log.db", commit_every=10_000)
+        PlatformTrace(clean_events, store=store)
+        assert TraceQuery().count(store) == len(clean_events)
+
+    def test_commit_every_validated(self, tmp_path):
+        with pytest.raises(TraceError, match="commit_every must be >= 1"):
+            SQLiteTraceStore(tmp_path / "log.db", commit_every=0)
+
+    def test_make_store_constructs_sqlite(self, tmp_path):
+        store = make_store("sqlite", path=tmp_path / "log.db")
+        assert isinstance(store, SQLiteTraceStore)
+        assert store.path == str(tmp_path / "log.db")
+
+
+class TestErrorPaths:
+    def test_non_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "notdb.db"
+        path.write_text("plain text, not a database")
+        with pytest.raises(TraceError, match="not a SQLite database"):
+            SQLiteTraceStore(path)
+
+    def test_foreign_sqlite_database_rejected(self, tmp_path):
+        """A valid SQLite file that is not a trace db is refused, not
+        adopted: no tables added, no journal-mode flip, no -wal/-shm
+        sidecars left behind."""
+        path = tmp_path / "other.db"
+        with sqlite3.connect(path) as conn:
+            conn.execute("CREATE TABLE users (id INTEGER PRIMARY KEY)")
+        with pytest.raises(TraceError, match="not a trace database"):
+            SQLiteTraceStore.open(path)
+        with sqlite3.connect(path) as conn:
+            tables = {
+                name
+                for (name,) in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            journal_mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert "events" not in tables
+        assert journal_mode == "delete"
+        assert not (tmp_path / "other.db-wal").exists()
+
+    def test_damaged_file_with_sqlite_magic_raises_trace_error(
+        self, tmp_path
+    ):
+        """A torn file that still bears the SQLite magic must surface as
+        TraceError (the CLI's clean exit), not raw sqlite3 errors."""
+        from repro.core.store import open_store
+        from repro.core.store.sqlite import SQLITE_MAGIC
+
+        path = tmp_path / "torn.db"
+        path.write_bytes(SQLITE_MAGIC + b"\x00" * 400)
+        with pytest.raises(TraceError):
+            SQLiteTraceStore.open(path)
+        with pytest.raises(TraceError):
+            open_store(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "log.db"
+        SQLiteTraceStore.create(path).close()
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = '99' WHERE key = 'format_version'"
+            )
+        with pytest.raises(TraceError, match="unsupported trace database"):
+            SQLiteTraceStore.open(path)
+        assert DB_FORMAT_VERSION == 1
+
+    def test_corrupt_payload_reported(self, clean_events, tmp_path):
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:5], store=store)
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE events SET payload = '{nope' WHERE seq = 3")
+        with pytest.raises(TraceError, match="corrupt trace database"):
+            SQLiteTraceStore.open(path)
+
+    def test_unknown_entity_kind_count_rejected(self, tmp_path):
+        store = SQLiteTraceStore.create(tmp_path / "log.db")
+        with pytest.raises(QueryError, match="unknown entity kind"):
+            store.query_entity_counts("moderator")
+
+
+class TestFormatDetection:
+    def test_is_sqlite_trace(self, tmp_path):
+        db = tmp_path / "log.db"
+        SQLiteTraceStore.create(db).close()
+        assert is_sqlite_trace(db)
+        text = tmp_path / "log.txt"
+        text.write_text("nope")
+        assert not is_sqlite_trace(text)
+        assert not is_sqlite_trace(tmp_path)          # a directory
+        assert not is_sqlite_trace(tmp_path / "gone")  # missing
+
+    def test_open_store_detects_both_formats(self, clean_events, tmp_path):
+        trace = PlatformTrace(clean_events)
+        jsonl = trace.save(tmp_path / "log", backend="persistent")
+        db = trace.save(tmp_path / "log.db")
+        assert open_store(jsonl).backend_name == "persistent"
+        assert open_store(db).backend_name == "sqlite"
+
+    def test_open_store_rejects_unknown(self, tmp_path):
+        stray = tmp_path / "stray.bin"
+        stray.write_bytes(b"\x00\x01")
+        with pytest.raises(TraceError, match="neither"):
+            open_store(stray)
+        with pytest.raises(TraceError, match="no trace log"):
+            open_store(tmp_path / "absent")
+
+    def test_infer_disk_backend(self, tmp_path):
+        assert infer_disk_backend("runs/log") == "persistent"
+        assert infer_disk_backend("runs/log.db") == "sqlite"
+        assert infer_disk_backend("runs/log.SQLITE") == "sqlite"
+        assert infer_disk_backend("runs/log", "sqlite") == "sqlite"
+        assert infer_disk_backend("runs/log.db", "persistent") == "persistent"
+        with pytest.raises(TraceError, match="unknown on-disk trace backend"):
+            infer_disk_backend("runs/log", "papyrus")
+
+    def test_save_load_trace_helpers_sqlite(self, clean_events, tmp_path):
+        trace = PlatformTrace(clean_events)
+        path = save_trace(trace, tmp_path / "log", backend="sqlite")
+        restored = load_trace(path)
+        assert isinstance(restored.store, SQLiteTraceStore)
+        assert list(restored) == clean_events
+
+
+class TestIndexedTables:
+    def test_entity_index_rows_cover_touched_entities(
+        self, clean_events, tmp_path
+    ):
+        """Every (event, touched entity) pair has exactly one index row."""
+        from repro.core.store import collect_touched
+
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path) as store:
+            PlatformTrace(clean_events, store=store)
+            store.save()
+            expected = 0
+            for event in clean_events:
+                touched = collect_touched((event,))
+                expected += (
+                    len(touched.worker_ids) + len(touched.task_ids)
+                    + len(touched.requester_ids)
+                    + len(touched.contribution_ids)
+                )
+            with sqlite3.connect(path) as conn:
+                rows = conn.execute(
+                    "SELECT COUNT(*) FROM event_entities"
+                ).fetchone()[0]
+                events_rows = conn.execute(
+                    "SELECT COUNT(*) FROM events"
+                ).fetchone()[0]
+        assert rows == expected
+        assert events_rows == len(clean_events)
+
+    def test_payloads_match_serialize_codec(self, clean_events, tmp_path):
+        from repro.core.serialize import event_to_dict
+
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:20], store=store)
+            payloads = list(store.iter_payloads())
+        assert payloads == [event_to_dict(event) for event in clean_events[:20]]
+        assert all(isinstance(json.dumps(p), str) for p in payloads)

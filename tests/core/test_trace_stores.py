@@ -28,7 +28,9 @@ def clean_events():
 
 class TestFactory:
     def test_known_backends(self):
-        assert set(STORE_BACKENDS) == {"memory", "windowed", "persistent"}
+        assert set(STORE_BACKENDS) == {
+            "memory", "windowed", "persistent", "sqlite",
+        }
         assert isinstance(make_store(), InMemoryTraceStore)
         assert isinstance(make_store("windowed", window=5), WindowedTraceStore)
 
@@ -39,6 +41,15 @@ class TestFactory:
     def test_unknown_backend(self):
         with pytest.raises(TraceError, match="unknown trace backend"):
             make_store("papyrus")
+
+    def test_unknown_backend_is_value_error_naming_backends(self):
+        """CLI/config validators catch plain ValueError; the message
+        must name every available backend."""
+        with pytest.raises(ValueError) as excinfo:
+            make_store("papyrus")
+        message = str(excinfo.value)
+        for name in ("memory", "windowed", "persistent", "sqlite"):
+            assert name in message
 
 
 class TestFacade:
@@ -238,6 +249,82 @@ class TestPersistentStore:
         trace = PlatformTrace(clean_events)
         trace.save(tmp_path / "copy")
         assert list(PlatformTrace.open(tmp_path / "copy")) == clean_events
+
+
+class TestCrashRecovery:
+    """A crash mid-append leaves the final segment with an unterminated
+    tail line; ``open`` must recover the complete prefix and keep the
+    log appendable."""
+
+    def _last_segment(self, path):
+        return sorted(path.glob("events-*.jsonl"))[-1]
+
+    def test_truncated_tail_recovered_with_warning(
+        self, clean_events, tmp_path
+    ):
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path, segment_events=50) as store:
+            PlatformTrace(clean_events, store=store)
+        segment = self._last_segment(path)
+        raw = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(b"".join(raw[:-1]) + raw[-1][:25])  # mid-append
+        with pytest.warns(RuntimeWarning, match="truncated line"):
+            store = PersistentTraceStore.open(path)
+        assert list(store.events) == clean_events[:-1]
+        # ...and keep appending: the recovered log continues cleanly.
+        PlatformTrace(store=store).append(clean_events[-1])
+        store.close()
+        assert list(PersistentTraceStore.open(path).events) == clean_events
+
+    def test_truncated_tail_in_single_line_segment(
+        self, clean_events, tmp_path
+    ):
+        """Segment roll puts the torn line alone in the last file."""
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path, segment_events=10) as store:
+            PlatformTrace(clean_events[:11], store=store)
+        segment = self._last_segment(path)
+        segment.write_bytes(segment.read_bytes()[:-10])
+        with pytest.warns(RuntimeWarning, match="truncated line"):
+            store = PersistentTraceStore.open(path)
+        assert list(store.events) == clean_events[:10]
+
+    def test_unterminated_but_parseable_tail_is_kept_and_repaired(
+        self, clean_events, tmp_path
+    ):
+        """A crash between the JSON write and the newline loses nothing:
+        the event is kept and the newline repaired."""
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:10], store=store)
+        segment = self._last_segment(path)
+        segment.write_bytes(segment.read_bytes()[:-1])  # strip newline only
+        store = PersistentTraceStore.open(path)
+        assert list(store.events) == clean_events[:10]
+        assert segment.read_bytes().endswith(b"\n")
+
+    def test_complete_corrupt_line_still_fatal(self, clean_events, tmp_path):
+        """A newline-terminated corrupt line is damage, not a crash tail."""
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:10], store=store)
+        segment = self._last_segment(path)
+        with segment.open("ab") as handle:
+            handle.write(b"{nope\n")
+        with pytest.raises(TraceError, match="corrupt trace log line"):
+            PersistentTraceStore.open(path)
+
+    def test_corrupt_line_mid_file_still_fatal(self, clean_events, tmp_path):
+        """An unterminated line that is not the trailing one (data after
+        it) cannot be a crash tail either."""
+        path = tmp_path / "log"
+        with PersistentTraceStore.create(path, segment_events=10) as store:
+            PlatformTrace(clean_events[:25], store=store)
+        first = sorted(path.glob("events-*.jsonl"))[0]
+        lines = first.read_bytes().splitlines(keepends=True)
+        first.write_bytes(lines[0][:20] + b"\n" + b"".join(lines[1:]))
+        with pytest.raises(TraceError, match="corrupt trace log line"):
+            PersistentTraceStore.open(path)
 
 
 class TestReopenedAuditRegression:

@@ -111,3 +111,119 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["experiment_id"] == "E6"
         assert payload[0]["tables"][0]["rows"]
+
+
+class TestTraceCli:
+    """The trace save/replay/info/query/stats workflow over both
+    on-disk formats."""
+
+    @pytest.fixture()
+    def saved_db(self, tmp_path, capsys):
+        path = tmp_path / "run.db"
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_save_infers_sqlite_from_suffix(self, saved_db):
+        from repro.core.store import is_sqlite_trace
+
+        assert is_sqlite_trace(saved_db)
+
+    def test_save_store_flag_overrides_suffix(self, tmp_path, capsys):
+        path = tmp_path / "run.db"
+        assert main(
+            ["trace", "save", str(path), "--store", "persistent"]
+        ) == 0
+        assert (path / "meta.json").exists()
+
+    def test_replay_sqlite_log_and_backend(self, saved_db, capsys):
+        assert main(["trace", "replay", str(saved_db)]) == 0
+        assert "batch audit" in capsys.readouterr().out
+        assert main(
+            ["trace", "replay", str(saved_db), "--stream-audit",
+             "--trace-backend", "sqlite"]
+        ) == 0
+        assert "matches batch audit" in capsys.readouterr().out
+
+    def test_info(self, saved_db, capsys):
+        import json
+
+        assert main(["trace", "info", str(saved_db)]) == 0
+        out = capsys.readouterr().out
+        assert "backend: sqlite" in out and "events: 46" in out
+        assert main(
+            ["trace", "info", str(saved_db), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["revision"] == 46
+        assert payload["workers"] == 4
+
+    def test_info_works_for_persistent_logs(self, tmp_path, capsys):
+        path = tmp_path / "run-log"
+        assert main(["trace", "save", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(path)]) == 0
+        assert "backend: persistent" in capsys.readouterr().out
+
+    def test_query_entity_and_kind(self, saved_db, capsys):
+        import json
+
+        assert main(
+            ["trace", "query", str(saved_db), "--entity", "w0001",
+             "--kind", "payment_issued", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["kind"] == "payment_issued"
+        assert payload[0]["worker_id"] == "w0001"
+
+    def test_query_count_and_round(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--count",
+             "--kind", "tasks_shown"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "4"
+        assert main(
+            ["trace", "query", str(saved_db), "--round", "0", "--count"]
+        ) == 0
+        assert int(capsys.readouterr().out) > 0
+
+    def test_query_rejects_unknown_kind(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--kind", "no_such"]
+        ) == 2
+        assert "unknown event kind" in capsys.readouterr().err
+
+    def test_query_rejects_conflicting_time_filters(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--round", "2", "--since", "1"]
+        ) == 2
+        assert "--round" in capsys.readouterr().err
+
+    def test_query_rejects_entity_kind_without_entity(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--entity-kind", "worker"]
+        ) == 2
+        assert "--entity-kind requires" in capsys.readouterr().err
+
+    def test_stats(self, saved_db, capsys):
+        import json
+
+        assert main(["trace", "stats", str(saved_db)]) == 0
+        out = capsys.readouterr().out
+        assert "violation-adjacent" in out
+        assert main(
+            ["trace", "stats", str(saved_db), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 46
+        assert payload["per_worker_events"]["w0001"] > 0
+
+    def test_missing_log_exit_codes(self, tmp_path, capsys):
+        for command in ("info", "query", "stats", "replay"):
+            assert main(
+                ["trace", command, str(tmp_path / "absent")]
+            ) == 2
+            assert "cannot" in capsys.readouterr().err

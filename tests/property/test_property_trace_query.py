@@ -1,0 +1,163 @@
+"""Differential tests for the query subsystem: indexed SQL ≡ scan.
+
+A :class:`~repro.query.TraceQuery` has one contract and two execution
+plans — indexed SQL on the SQLite backend, a generic cursor scan
+everywhere else.  These tests run a structured family of queries (all
+filters, alone and combined) plus hypothesis-randomised filter
+combinations over the labelled scenarios and random market scripts,
+asserting that events, counts, kind histograms, and per-entity counts
+are identical between the two plans.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import (
+    ContributionSubmitted,
+    DisclosureShown,
+    PaymentIssued,
+    TasksShown,
+)
+from repro.core.store import SQLiteTraceStore
+from repro.core.trace import PlatformTrace
+from repro.query import ENTITY_KINDS, TraceQuery, entity_event_counts
+from repro.query.stats import trace_stats
+from repro.workloads.scenarios import all_scenarios
+
+from tests.property.test_property_streaming_audit import (
+    _run_script,
+    audit_scripts,
+)
+
+
+def _twin(trace, tmp_path, name="twin.db"):
+    """The same events, memory-backed and sqlite-backed."""
+    store = SQLiteTraceStore.create(tmp_path / name)
+    sqlite_trace = PlatformTrace(trace, store=store)
+    return trace, sqlite_trace
+
+
+def _sample_entities(trace):
+    """A few ids of every entity kind present in the trace."""
+    entities = {
+        "worker": list(trace.worker_ids)[:2],
+        "task": list(trace.tasks)[:2],
+        "requester": list(trace.requesters)[:2],
+        "contribution": list(trace.contributions)[:2],
+    }
+    return {kind: ids for kind, ids in entities.items() if ids}
+
+
+def _query_family(trace):
+    """A structured sweep of filter shapes over one trace."""
+    end = trace.end_time
+    queries = [
+        TraceQuery(),
+        TraceQuery().of_kind(TasksShown),
+        TraceQuery().of_kind(PaymentIssued, DisclosureShown),
+        TraceQuery().time_range(0, max(end // 2, 1)),
+        TraceQuery().time_range(end // 2, None),
+        TraceQuery().at_round(min(1, end)),
+        TraceQuery().seq_range(len(trace) // 3, 2 * len(trace) // 3),
+        TraceQuery().take(5),
+    ]
+    for kind, ids in _sample_entities(trace).items():
+        queries.append(TraceQuery().entity(*ids))
+        queries.append(TraceQuery().entity(*ids, kind=kind))
+        queries.append(
+            TraceQuery().entity(ids[0], kind=kind).of_kind(TasksShown)
+        )
+        queries.append(
+            TraceQuery().entity(ids[0]).time_range(1, end + 1).take(3)
+        )
+    return queries
+
+
+def assert_queries_agree(memory_trace, sqlite_trace, queries):
+    for query in queries:
+        scan = query.run(memory_trace)
+        indexed = query.run(sqlite_trace)
+        assert scan == indexed, f"events diverged for {query}"
+        assert query.count(memory_trace) == query.count(sqlite_trace), (
+            f"count diverged for {query}"
+        )
+        assert query.count_by_kind(memory_trace) == query.count_by_kind(
+            sqlite_trace
+        ), f"kind histogram diverged for {query}"
+
+
+class TestQueryDifferential:
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(0), ids=lambda scenario: scenario.name
+    )
+    def test_structured_family_agrees(self, scenario, tmp_path):
+        memory_trace, sqlite_trace = _twin(scenario.trace, tmp_path)
+        assert_queries_agree(
+            memory_trace, sqlite_trace, _query_family(memory_trace)
+        )
+
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(0)[:3], ids=lambda scenario: scenario.name
+    )
+    def test_entity_counts_agree(self, scenario, tmp_path):
+        memory_trace, sqlite_trace = _twin(scenario.trace, tmp_path)
+        for kind in ENTITY_KINDS:
+            assert entity_event_counts(
+                memory_trace, kind
+            ) == entity_event_counts(sqlite_trace, kind), kind
+
+    def test_stats_agree_modulo_backend_name(self, tmp_path):
+        scenario = all_scenarios(0)[0]
+        memory_trace, sqlite_trace = _twin(scenario.trace, tmp_path)
+        scan = trace_stats(memory_trace).as_dict()
+        indexed = trace_stats(sqlite_trace).as_dict()
+        scan.pop("backend"), indexed.pop("backend")
+        assert scan == indexed
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        script=audit_scripts(),
+        seed=st.integers(0, 2**16),
+        spec=st.tuples(
+            st.booleans(),  # scope to an entity?
+            st.sampled_from([None, *ENTITY_KINDS]),
+            st.booleans(),  # scope to kinds?
+            st.integers(0, 12),  # time start
+            st.integers(0, 12),  # time width
+            st.booleans(),  # seq range?
+            st.sampled_from([None, 1, 3, 10]),  # limit
+        ),
+    )
+    def test_randomised_filters_agree(
+        self, script, seed, spec, tmp_path_factory
+    ):
+        import random
+
+        trace = _run_script(*script)
+        tmp_path = tmp_path_factory.mktemp("query")
+        memory_trace, sqlite_trace = _twin(trace, tmp_path)
+
+        use_entity, entity_kind, use_kinds, start, width, use_seq, limit = spec
+        rng = random.Random(seed)
+        query = TraceQuery().time_range(start, start + width + 1)
+        if use_entity:
+            pools = _sample_entities(memory_trace)
+            if entity_kind is not None and entity_kind in pools:
+                query = query.entity(
+                    rng.choice(pools[entity_kind]), kind=entity_kind
+                )
+            elif pools:
+                kind = rng.choice(sorted(pools))
+                query = query.entity(rng.choice(pools[kind]))
+        if use_kinds:
+            query = query.of_kind(
+                rng.choice(
+                    [TasksShown, PaymentIssued, ContributionSubmitted]
+                )
+            )
+        if use_seq:
+            lo = rng.randrange(max(len(trace), 1))
+            query = query.seq_range(lo, lo + rng.randrange(20))
+        if limit is not None:
+            query = query.take(limit)
+        assert_queries_agree(memory_trace, sqlite_trace, [query])

@@ -5,15 +5,20 @@ Two contracts, each enforced at *every prefix* of the labelled
 scenarios and of hypothesis-randomised market scripts:
 
 * **Backends.**  A trace rebuilt through the windowed backend (window
-  covering the trace — the bounded-memory backend's exactness regime)
-  or the persistent JSONL backend must audit identically to the
-  in-memory baseline at every prefix.  Evicting-window semantics are
-  pinned separately in ``tests/core/test_trace_stores.py``.
+  covering the trace — the bounded-memory backend's exactness regime),
+  the persistent JSONL backend, or the indexed SQLite backend must
+  audit identically to the in-memory baseline at every prefix.
+  Evicting-window semantics are pinned separately in
+  ``tests/core/test_trace_stores.py``.
 * **Delta path.**  A :class:`~repro.core.audit.DeltaAuditEngine`
   audited after every append must equal a fresh batch audit of each
   prefix — violations, order, opportunity counts — including when pair
   sampling engages mid-stream and for custom axioms with and without
-  delta support.
+  delta support.  The delta differential runs on the memory *and* the
+  sqlite backend: on sqlite the touched-entity re-sweeps of Axioms 2,
+  6, and 7 fetch their per-entity slices through indexed
+  :class:`~repro.query.TraceQuery` point queries, so this suite pins
+  the query-served path to the same exactness.
 """
 
 import pytest
@@ -25,7 +30,11 @@ from repro.core.axiom_assignment import (
     WorkerFairnessInAssignment,
 )
 from repro.core.axioms import Axiom, AxiomRegistry, default_registry
-from repro.core.store import PersistentTraceStore, WindowedTraceStore
+from repro.core.store import (
+    PersistentTraceStore,
+    SQLiteTraceStore,
+    WindowedTraceStore,
+)
 from repro.core.trace import PlatformTrace
 from repro.workloads.scenarios import all_scenarios
 
@@ -39,9 +48,23 @@ from tests.property.test_property_streaming_audit import (
 #: differential.
 _PREFIX_SCENARIOS = ("clean", "corrupt_reputation", "undetected_malice")
 
+#: Backends the delta differential runs on: the baseline and the
+#: indexed one whose per-entity re-sweeps flow through TraceQuery.
+_DELTA_BACKENDS = ("memory", "sqlite")
+
 
 def _scenarios_by_name(seed=0):
     return {scenario.name: scenario for scenario in all_scenarios(seed)}
+
+
+def _delta_prefix_trace(backend, tmp_path):
+    if backend == "memory":
+        return PlatformTrace()
+    if backend == "sqlite":
+        return PlatformTrace(
+            store=SQLiteTraceStore.create(tmp_path / "delta-prefix.db")
+        )
+    raise AssertionError(f"unknown delta backend {backend!r}")
 
 
 def assert_backends_equivalent_at_every_prefix(trace, tmp_path):
@@ -56,6 +79,9 @@ def assert_backends_equivalent_at_every_prefix(trace, tmp_path):
         "persistent": PlatformTrace(
             store=PersistentTraceStore(tmp_path / "prefix-log")
         ),
+        "sqlite": PlatformTrace(
+            store=SQLiteTraceStore(tmp_path / "prefix.db")
+        ),
     }
     for position, event in enumerate(trace, start=1):
         for shadow in shadows.values():
@@ -69,16 +95,19 @@ def assert_backends_equivalent_at_every_prefix(trace, tmp_path):
             )
 
 
-def assert_delta_equivalent_at_every_prefix(trace, registry=None):
+def assert_delta_equivalent_at_every_prefix(
+    trace, registry=None, prefix_trace=None
+):
     """Delta-audit after every append; each report must equal a fresh
-    batch audit of the prefix."""
+    batch audit of the prefix.  ``prefix_trace`` selects the store the
+    growing prefix lives in (in-memory when not given)."""
     engine = AuditEngine(
         **({} if registry is None else {"registry": registry})
     )
     session = DeltaAuditEngine(
         **({} if registry is None else {"registry": registry})
     )
-    prefix = PlatformTrace()
+    prefix = prefix_trace if prefix_trace is not None else PlatformTrace()
     for position, event in enumerate(trace, start=1):
         prefix.append(event)
         delta_report = session.audit(prefix)
@@ -97,8 +126,8 @@ class TestBackendDifferential:
 
     def test_all_scenarios_match_end_to_end(self, tmp_path):
         """Cheaper full coverage: every labelled scenario audits
-        identically from all three backends (and from a reopened
-        persistent log) at full length."""
+        identically from all four backends (and from reopened
+        persistent/sqlite logs) at full length."""
         engine = AuditEngine()
         for scenario in all_scenarios(0):
             events = list(scenario.trace)
@@ -114,6 +143,13 @@ class TestBackendDifferential:
             assert engine.audit(PlatformTrace.open(path)) == baseline, (
                 scenario.name
             )
+            db_path = tmp_path / f"{scenario.name}.db"
+            with SQLiteTraceStore.create(db_path) as capture:
+                PlatformTrace(events, store=capture)
+                capture.save()
+            assert engine.audit(PlatformTrace.open(db_path)) == baseline, (
+                scenario.name
+            )
 
     @settings(max_examples=8, deadline=None)
     @given(script=audit_scripts())
@@ -126,28 +162,50 @@ class TestBackendDifferential:
 
 
 class TestDeltaDifferential:
+    @pytest.mark.parametrize("backend", _DELTA_BACKENDS)
     @pytest.mark.parametrize(
         "scenario", all_scenarios(0), ids=lambda scenario: scenario.name
     )
-    def test_every_prefix_matches_batch(self, scenario):
-        assert_delta_equivalent_at_every_prefix(scenario.trace)
+    def test_every_prefix_matches_batch(self, scenario, backend, tmp_path):
+        assert_delta_equivalent_at_every_prefix(
+            scenario.trace,
+            prefix_trace=_delta_prefix_trace(backend, tmp_path),
+        )
 
-    def test_pair_sampling_fallbacks_match_batch(self):
+    @pytest.mark.parametrize("backend", _DELTA_BACKENDS)
+    def test_pair_sampling_fallbacks_match_batch(self, backend, tmp_path):
         """Tiny max_pairs flips both assignment axioms to their sampled
         paths mid-stream; the delta session must follow exactly."""
         registry = default_registry(
             axiom1=WorkerFairnessInAssignment(max_pairs=3, sample_seed=11),
             axiom2=RequesterFairnessInAssignment(max_pairs=2, sample_seed=11),
         )
-        for scenario in all_scenarios(0):
+        for index, scenario in enumerate(all_scenarios(0)):
             assert_delta_equivalent_at_every_prefix(
-                scenario.trace, registry=registry
+                scenario.trace,
+                registry=registry,
+                prefix_trace=_delta_prefix_trace(
+                    backend, tmp_path / str(index)
+                )
+                if backend != "memory"
+                else None,
             )
 
     @settings(max_examples=15, deadline=None)
     @given(script=audit_scripts())
     def test_randomised_scripts_match_batch(self, script):
         assert_delta_equivalent_at_every_prefix(_run_script(*script))
+
+    @settings(max_examples=8, deadline=None)
+    @given(script=audit_scripts())
+    def test_randomised_scripts_match_batch_on_sqlite(
+        self, script, tmp_path_factory
+    ):
+        tmp_path = tmp_path_factory.mktemp("delta-sqlite")
+        assert_delta_equivalent_at_every_prefix(
+            _run_script(*script),
+            prefix_trace=_delta_prefix_trace("sqlite", tmp_path),
+        )
 
     @settings(max_examples=8, deadline=None)
     @given(

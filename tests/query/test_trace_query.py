@@ -1,0 +1,203 @@
+"""Unit tests for the ``repro.query`` subsystem.
+
+The SQL-vs-scan equivalence is pinned by the differential suite
+(``tests/property/test_property_trace_query.py``); these tests cover
+the query builder's validation, execution semantics on the generic
+path (including evicting backends), projection, aggregates, stats,
+and the per-entity slice helpers the delta audits use.
+"""
+
+import pytest
+
+from repro.core.events import PaymentIssued, TaskPosted, TasksShown
+from repro.core.store import SQLiteTraceStore, WindowedTraceStore
+from repro.core.trace import PlatformTrace
+from repro.errors import QueryError
+from repro.query import (
+    ENTITY_KINDS,
+    TraceQuery,
+    entity_event_counts,
+    task_audience,
+    trace_info,
+    trace_stats,
+)
+from repro.workloads.scenarios import clean_scenario
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return clean_scenario(rounds=3).trace
+
+
+class TestBuilder:
+    def test_builders_return_new_queries(self):
+        base = TraceQuery()
+        scoped = base.worker("w0001").of_kind(TasksShown).take(3)
+        assert base == TraceQuery()
+        assert scoped.entity_ids == ("w0001",)
+        assert scoped.entity_kind == "worker"
+        assert scoped.kinds == ("tasks_shown",)
+        assert scoped.limit == 3
+
+    def test_kind_accepts_classes_and_names(self):
+        by_class = TraceQuery().of_kind(PaymentIssued, TaskPosted)
+        by_name = TraceQuery().of_kind("payment_issued", "task_posted")
+        assert by_class.kinds == by_name.kinds
+
+    def test_validation_errors(self):
+        with pytest.raises(QueryError, match="unknown event kind"):
+            TraceQuery().of_kind("no_such_kind")
+        with pytest.raises(QueryError, match="unknown event type"):
+            TraceQuery().of_kind(int)
+        with pytest.raises(QueryError, match="at least one entity id"):
+            TraceQuery().entity()
+        with pytest.raises(QueryError, match="at least one event kind"):
+            TraceQuery().of_kind()
+        with pytest.raises(QueryError, match="unknown entity kind"):
+            TraceQuery().entity("x", kind="moderator")
+        with pytest.raises(QueryError, match="empty time range"):
+            TraceQuery().time_range(5, 2)
+        with pytest.raises(QueryError, match="must be >= 0"):
+            TraceQuery().time_range(-1, 2)
+        with pytest.raises(QueryError, match="limit must be >= 0"):
+            TraceQuery().take(-1)
+        with pytest.raises(QueryError, match="filters nothing"):
+            TraceQuery(entity_kind="worker")
+
+    def test_source_type_checked(self):
+        with pytest.raises(QueryError, match="PlatformTrace or TraceStore"):
+            TraceQuery().run([1, 2, 3])
+
+
+class TestExecution:
+    def test_no_filters_returns_everything(self, trace):
+        assert TraceQuery().run(trace) == tuple(trace)
+        assert TraceQuery().count(trace) == len(trace)
+
+    def test_kind_filter(self, trace):
+        events = TraceQuery().of_kind(TasksShown).run(trace)
+        assert events == tuple(trace.of_kind(TasksShown))
+
+    def test_entity_filter_matches_touched_semantics(self, trace):
+        from repro.core.store import collect_touched
+
+        worker_id = trace.worker_ids[0]
+        scoped = TraceQuery().worker(worker_id).run(trace)
+        expected = tuple(
+            event
+            for event in trace
+            if worker_id in collect_touched((event,)).worker_ids
+        )
+        assert scoped == expected
+        any_role = TraceQuery().entity(worker_id).run(trace)
+        assert all(event in any_role for event in scoped)
+
+    def test_time_round_and_seq_filters(self, trace):
+        mid = trace.end_time // 2
+        windowed = TraceQuery().time_range(0, mid + 1).run(trace)
+        assert all(event.time <= mid for event in windowed)
+        one_round = TraceQuery().at_round(mid).run(trace)
+        assert all(event.time == mid for event in one_round)
+        sliced = TraceQuery().seq_range(5, 10).run(trace)
+        assert sliced == tuple(trace.events[5:10])
+
+    def test_take_limits_run_but_not_count(self, trace):
+        query = TraceQuery().take(4)
+        assert len(query.run(trace)) == 4
+        assert query.count(trace) == len(trace)
+
+    def test_count_by_kind_matches_manual_histogram(self, trace):
+        histogram = TraceQuery().count_by_kind(trace)
+        manual = {}
+        for event in trace:
+            manual[event.kind] = manual.get(event.kind, 0) + 1
+        assert histogram == manual
+        assert list(histogram) == sorted(histogram)
+
+    def test_project(self, trace):
+        rows = TraceQuery().of_kind(PaymentIssued).project(
+            trace, "time", "worker_id", "amount"
+        )
+        expected = [
+            (event.time, event.worker_id, event.amount)
+            for event in trace.of_kind(PaymentIssued)
+        ]
+        assert rows == expected
+
+    def test_project_missing_fields_are_none(self, trace):
+        rows = TraceQuery().of_kind(TaskPosted).project(trace, "kind", "worker_id")
+        assert rows and all(row == ("task_posted", None) for row in rows)
+        with pytest.raises(QueryError, match="at least one field"):
+            TraceQuery().project(trace)
+
+    def test_runs_against_bare_store(self, trace):
+        store = trace.store
+        assert TraceQuery().count(store) == len(trace)
+
+
+class TestEvictingBackends:
+    def test_scan_covers_retained_window_with_global_seqs(self, trace):
+        """On an evicted windowed store the generic scan sees retained
+        events only, and seq filters stay global append positions."""
+        events = list(trace)
+        window = 40
+        store = WindowedTraceStore(window=window)
+        for event in events:
+            store.append(event)
+        assert store.first_retained > 0
+        retained = TraceQuery().run(store)
+        assert retained == tuple(store.events)
+        # A seq range entirely before the window matches nothing.
+        assert TraceQuery().seq_range(0, store.first_retained).run(store) == ()
+        # A global seq range inside the window addresses the same events.
+        lo = store.first_retained + 5
+        assert TraceQuery().seq_range(lo, lo + 3).run(store) == tuple(
+            store.events[5:8]
+        )
+
+
+class TestAggregatesAndStats:
+    def test_entity_event_counts_kinds_validated(self, trace):
+        with pytest.raises(QueryError, match="unknown entity kind"):
+            entity_event_counts(trace, "moderator")
+        for kind in ENTITY_KINDS:
+            counts = entity_event_counts(trace, kind)
+            assert all(count > 0 for count in counts.values())
+            assert list(counts) == sorted(counts)
+
+    def test_trace_info_shape(self, trace, tmp_path):
+        info = trace_info(trace)
+        assert info["backend"] == "memory"
+        assert info["events"] == info["revision"] == len(trace)
+        assert info["workers"] == len(trace.worker_ids)
+        assert "path" not in info
+        db = tmp_path / "log.db"
+        trace.save(db)
+        disk_info = trace_info(PlatformTrace.open(db))
+        assert disk_info["backend"] == "sqlite"
+        assert disk_info["path"] == str(db)
+        assert disk_info["events"] == len(trace)
+
+    def test_trace_stats_counts(self, trace):
+        stats = trace_stats(trace)
+        assert stats.events == len(trace)
+        assert stats.kind_counts == TraceQuery().count_by_kind(trace)
+        assert stats.per_worker_events == entity_event_counts(trace, "worker")
+        assert set(stats.violation_adjacent) == {
+            "silent_rejections", "involuntary_interruptions",
+            "malice_flags", "task_cancellations",
+        }
+        assert stats.violation_adjacent["silent_rejections"] == 0
+        assert stats.summary_lines()[0].startswith(f"{len(trace)} events")
+        assert stats.as_dict()["backend"] == "memory"
+
+
+class TestSliceHelpers:
+    def test_task_audience_matches_trace_view(self, trace, tmp_path):
+        store = SQLiteTraceStore.create(tmp_path / "log.db")
+        sqlite_trace = PlatformTrace(trace, store=store)
+        audiences = trace.audience_by_task()
+        for task_id in trace.tasks:
+            assert task_audience(sqlite_trace, task_id) == audiences.get(
+                task_id, set()
+            )
