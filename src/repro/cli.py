@@ -15,7 +15,11 @@ Usage::
     python -m repro trace replay runs/clean --stream-audit
     python -m repro trace info runs/clean.db
     python -m repro trace query runs/clean.db --entity w0001 --kind payment_issued
+    python -m repro trace query runs/clean.db --count-by-kind
     python -m repro trace stats runs/clean.db
+
+    python -m repro trace tail export.jsonl runs/live.db --audit
+    python -m repro trace resume export.jsonl runs/live.db --audit
 
 ``--jobs N`` fans the selected experiments out over N workers (threads
 by default, processes with ``--backend process``); output order (and
@@ -37,8 +41,16 @@ cross-checking the final snapshot against a batch audit of the
 reopened trace.  ``trace info``, ``trace query``, and ``trace stats``
 answer questions about a saved log without re-auditing it: ``query``
 executes :class:`~repro.query.TraceQuery` filters (entity / event-kind
-/ time-range scoped, indexed SQL on the sqlite format) and ``stats``
-prints per-entity event counts plus violation-adjacent counters.
+/ time-range scoped, indexed SQL on the sqlite format, histogram via
+``--count-by-kind``) and ``stats`` prints per-entity event counts plus
+violation-adjacent counters.
+
+``trace tail`` is the live-platform workflow (:mod:`repro.ingest`):
+follow a growing export — JSONL file, persistent segment directory, or
+mapped CSV — into a fresh on-disk store, delta-auditing each batch
+with ``--audit`` and checkpointing after every batch so a killed tail
+continues with ``trace resume`` without duplicating or dropping a
+single event.
 """
 
 from __future__ import annotations
@@ -206,6 +218,11 @@ def build_trace_parser() -> argparse.ArgumentParser:
         "--count", action="store_true",
         help="print only the number of matching events",
     )
+    query.add_argument(
+        "--count-by-kind", action="store_true", dest="count_by_kind",
+        help="print a histogram of matching events by kind instead of "
+             "the events themselves",
+    )
     query.add_argument("--format", choices=("text", "json"), default="text")
 
     stats = commands.add_parser(
@@ -215,7 +232,95 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("path", help="log directory or .db file to open")
     stats.add_argument("--format", choices=("text", "json"), default="text")
+
+    tail = commands.add_parser(
+        "tail",
+        help="follow a platform export into a fresh checkpointed store, "
+             "optionally delta-auditing each batch",
+    )
+    tail.add_argument(
+        "source",
+        help="export to tail: a JSONL file, a segment-log directory, "
+             "or a .csv (see --source-kind)",
+    )
+    tail.add_argument(
+        "dest", help="destination store to create (log directory or .db file)"
+    )
+    tail.add_argument(
+        "--store", choices=("persistent", "sqlite"), default=None,
+        help="destination on-disk format (default: inferred from the "
+             "dest path suffix, .db/.sqlite means sqlite)",
+    )
+    _add_tail_options(tail)
+
+    resume = commands.add_parser(
+        "resume",
+        help="continue a killed or stopped 'trace tail' from its "
+             "checkpoint, duplicating and dropping nothing",
+    )
+    resume.add_argument("source", help="the export the tail was following")
+    resume.add_argument(
+        "dest", help="the destination store the tail was writing"
+    )
+    _add_tail_options(resume)
     return parser
+
+
+def _add_tail_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``trace tail`` and ``trace resume``."""
+    parser.add_argument(
+        "--source-kind", choices=("auto", "jsonl", "segments", "csv"),
+        default="auto", dest="source_kind",
+        help="how to read the export (auto: directory means segments, "
+             ".csv means csv, anything else jsonl)",
+    )
+    parser.add_argument(
+        "--csv-map", action="append", default=[], metavar="COLUMN=FIELD",
+        dest="csv_map",
+        help="map a CSV column to an event field, e.g. who=worker_id "
+             "(repeatable; required for csv sources)",
+    )
+    parser.add_argument(
+        "--csv-const", action="append", default=[], metavar="FIELD=VALUE",
+        dest="csv_const",
+        help="fix an event field for every CSV row, e.g. "
+             "kind=payment_issued (repeatable; values are JSON-decoded "
+             "where possible)",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run a delta audit after every batch and report "
+             "newly appearing violations",
+    )
+    parser.add_argument(
+        "--stats-every", type=int, default=0, metavar="N", dest="stats_every",
+        help="print a trace_stats snapshot every N batches (default: never)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="cadence: seconds to sleep between polls (default 1.0)",
+    )
+    parser.add_argument(
+        "--batch-events", type=int, default=256, metavar="N",
+        dest="batch_events",
+        help="maximum events ingested per batch (default 256)",
+    )
+    parser.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        dest="max_batches",
+        help="stop after N non-empty batches (default: unbounded)",
+    )
+    parser.add_argument(
+        "--until-idle", type=int, default=None, metavar="N",
+        dest="until_idle",
+        help="stop after N consecutive empty polls (default: follow "
+             "the export forever)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume-token path (default: <dest>.checkpoint)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
 
 
 def _result_to_json(result) -> dict:
@@ -443,6 +548,13 @@ def _trace_query(args: argparse.Namespace) -> int:
     if args.entity_kind is not None and not args.entity:
         print("--entity-kind requires at least one --entity", file=sys.stderr)
         return 2
+    if args.count and args.count_by_kind:
+        print(
+            "--count and --count-by-kind are different aggregates; "
+            "pick one",
+            file=sys.stderr,
+        )
+        return 2
     if args.round_tick is not None and (
         args.since is not None or args.until is not None
     ):
@@ -469,6 +581,8 @@ def _trace_query(args: argparse.Namespace) -> int:
             query = query.take(args.limit)
         if args.count:
             total = query.count(store)
+        elif args.count_by_kind:
+            histogram = query.count_by_kind(store)
         else:
             events = query.run(store)
     except QueryError as error:
@@ -483,6 +597,16 @@ def _trace_query(args: argparse.Namespace) -> int:
             print(json.dumps({"count": total}))
         else:
             print(total)
+        return 0
+    if args.count_by_kind:
+        if args.format == "json":
+            import json
+
+            print(json.dumps({"count_by_kind": histogram}, indent=2))
+        else:
+            for kind, count in histogram.items():
+                print(f"{kind}: {count}")
+            print(f"({sum(histogram.values())} event(s))")
         return 0
     if args.format == "json":
         import json
@@ -519,6 +643,195 @@ def _trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv_mapping(args: argparse.Namespace):
+    """--csv-map/--csv-const flags -> a CSVMapping (None when absent)."""
+    import json
+
+    from repro.ingest import CSVMapping
+
+    if not args.csv_map and not args.csv_const:
+        return None
+    columns = {}
+    for item in args.csv_map:
+        column, sep, field_name = item.partition("=")
+        if not sep or not column or not field_name:
+            raise ValueError(
+                f"--csv-map wants COLUMN=FIELD, got {item!r}"
+            )
+        columns[column] = field_name
+    constants = {}
+    for item in args.csv_const:
+        field_name, sep, value = item.partition("=")
+        if not sep or not field_name:
+            raise ValueError(
+                f"--csv-const wants FIELD=VALUE, got {item!r}"
+            )
+        try:
+            constants[field_name] = json.loads(value)
+        except json.JSONDecodeError:
+            constants[field_name] = value
+    return CSVMapping(columns=columns, constants=constants)
+
+
+def _ingest_runner_options(args: argparse.Namespace) -> dict:
+    return {
+        "batch_events": args.batch_events,
+        "audit": args.audit,
+        "stats_cadence": args.stats_every,
+        "interval": args.interval,
+    }
+
+
+def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int:
+    """Run a (resumed or fresh) ingest loop and render its progress."""
+    text = args.format == "text"
+
+    def on_batch(batch) -> None:
+        if not text:
+            return
+        line = (
+            f"batch {batch.index}: +{batch.events} event(s) "
+            f"-> revision {batch.store_revision}"
+        )
+        if batch.report is not None:
+            line += (
+                f", {batch.report.total_violations} violation(s) "
+                f"({len(batch.new_violations)} new)"
+            )
+        print(line, flush=True)
+        for violation in batch.new_violations:
+            print(f"  new: {violation.describe()}")
+        if batch.stats is not None:
+            for stat_line in batch.stats.summary_lines():
+                print(f"  {stat_line}")
+
+    interrupted = False
+    try:
+        summary = runner.run(
+            max_batches=args.max_batches,
+            idle_limit=args.until_idle,
+            on_batch=on_batch,
+        )
+    except KeyboardInterrupt:
+        interrupted = True
+        summary = None
+    finally:
+        close = getattr(runner.trace.store, "close", None)
+        if callable(close):
+            close()
+        runner.source.close()
+    if interrupted:
+        print(
+            f"interrupted; checkpoint at {checkpoint_path!r} — continue "
+            f"with: python -m repro trace resume {args.source} {args.dest}",
+            file=sys.stderr,
+        )
+        return 130
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "source": args.source,
+            "dest": args.dest,
+            "checkpoint": checkpoint_path,
+            "batches": summary.batches,
+            "events": summary.events,
+            "store_revision": summary.store_revision,
+            "stopped_on": summary.stopped_on,
+            "violations": (
+                None if summary.report is None
+                else summary.report.total_violations
+            ),
+            "overall_score": (
+                None if summary.report is None
+                else summary.report.overall_score
+            ),
+        }, indent=2))
+        return 0
+    print(
+        f"ingested {summary.events} event(s) in {summary.batches} "
+        f"batch(es) -> revision {summary.store_revision} "
+        f"(stopped on {summary.stopped_on}); checkpoint: {checkpoint_path}"
+    )
+    if summary.report is not None:
+        for line in summary.report.summary_lines():
+            print(line)
+    return 0
+
+
+def _trace_tail(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.trace import make_disk_store
+    from repro.errors import IngestError, TraceError
+    from repro.ingest import IngestRunner, checkpoint_path_for, resolve_source
+
+    checkpoint_path = args.checkpoint or checkpoint_path_for(args.dest)
+    if os.path.exists(checkpoint_path):
+        print(
+            f"checkpoint {checkpoint_path!r} already exists; continue "
+            f"with 'trace resume {args.source} {args.dest}' or delete it "
+            "to start over",
+            file=sys.stderr,
+        )
+        return 2
+    options = _ingest_runner_options(args)
+    try:
+        from repro.ingest.runner import validate_runner_options
+
+        # Validate flags before the destination exists, so a bad flag
+        # does not leave a stray empty store blocking the retry.
+        validate_runner_options(
+            options["batch_events"], options["stats_cadence"],
+            options["interval"],
+        )
+        mapping = _parse_csv_mapping(args)
+        source = resolve_source(
+            args.source, args.source_kind, csv_mapping=mapping
+        )
+        store = make_disk_store(args.dest, args.store)
+    except (TraceError, ValueError) as error:
+        print(f"cannot tail {args.source!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        runner = IngestRunner(
+            source, store, checkpoint_path=checkpoint_path, **options
+        )
+        return _drive_ingest(args, runner, checkpoint_path)
+    except (TraceError, IngestError) as error:
+        print(f"ingest failed: {error}", file=sys.stderr)
+        return 2
+
+
+def _trace_resume(args: argparse.Namespace) -> int:
+    from repro.core.store import open_store
+    from repro.errors import IngestError, TraceError
+    from repro.ingest import IngestRunner, checkpoint_path_for, resolve_source
+
+    checkpoint_path = args.checkpoint or checkpoint_path_for(args.dest)
+    try:
+        mapping = _parse_csv_mapping(args)
+        source = resolve_source(
+            args.source, args.source_kind, csv_mapping=mapping
+        )
+        store = open_store(args.dest)
+    except (TraceError, ValueError) as error:
+        print(f"cannot resume {args.dest!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        runner = IngestRunner.resume(
+            source, store, checkpoint_path,
+            **_ingest_runner_options(args),
+        )
+        return _drive_ingest(args, runner, checkpoint_path)
+    except (TraceError, IngestError) as error:
+        close = getattr(store, "close", None)
+        if callable(close):
+            close()
+        print(f"cannot resume {args.dest!r}: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
@@ -529,6 +842,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "info": _trace_info,
             "query": _trace_query,
             "stats": _trace_stats,
+            "tail": _trace_tail,
+            "resume": _trace_resume,
         }
         return handlers[args.command](args)
     args = build_parser().parse_args(argv)

@@ -327,8 +327,9 @@ def save_trace(
     with make_disk_store(
         path, backend, segment_events=segment_events
     ) as capture:
-        for event in trace:
-            capture.append(event)
+        # One transaction on backends that batch (sqlite), a plain
+        # write-through loop elsewhere.
+        capture.append_batch(trace)
         return capture.save()
 
 

@@ -62,6 +62,13 @@ def open_store(path: str | os.PathLike[str]) -> TraceStore:
     """
     fspath = os.fspath(path)
     if os.path.isdir(fspath):
+        if not os.path.exists(os.path.join(fspath, "meta.json")):
+            raise TraceError(
+                f"directory {fspath!r} is not a trace log: it has no "
+                "meta.json manifest (expected either a JSONL segment-log "
+                "directory containing meta.json, or a SQLite trace "
+                "database file)"
+            )
         return PersistentTraceStore.open(fspath)
     if is_sqlite_trace(fspath):
         return SQLiteTraceStore.open(fspath)

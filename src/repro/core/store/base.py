@@ -64,6 +64,21 @@ class TraceStore(abc.ABC):
     def append(self, event: "Event") -> None:
         """Validate, store, and index one event."""
 
+    def append_batch(self, events: "Iterable[Event]") -> int:
+        """Append many events; returns how many were appended.
+
+        The base implementation is a plain loop.  Backends that pay a
+        per-append transaction cost (the SQLite store) override this to
+        amortise it into one transaction; the observable store state is
+        identical either way, including after a mid-batch validation
+        failure (events appended before the failure stay appended).
+        """
+        count = 0
+        for event in events:
+            self.append(event)
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Log access
 

@@ -176,7 +176,17 @@ class PersistentTraceStore(InMemoryTraceStore):
             with open(meta_path, encoding="utf-8") as handle:
                 meta = json.load(handle)
         except (OSError, json.JSONDecodeError) as error:
-            raise TraceError(f"unreadable trace log meta: {error}") from None
+            raise TraceError(
+                f"unreadable trace log manifest {meta_path!r}: {error} "
+                "(expected a JSON object with format_version and "
+                "segment_events)"
+            ) from None
+        if not isinstance(meta, dict):
+            raise TraceError(
+                f"trace log manifest {meta_path!r} is not a JSON object "
+                f"(got {type(meta).__name__}); expected "
+                "{'format_version': ..., 'segment_events': ...}"
+            )
         version = meta.get("format_version")
         if version != LOG_FORMAT_VERSION:
             raise TraceError(

@@ -183,18 +183,13 @@ class SQLiteTraceStore(InMemoryTraceStore):
     # ------------------------------------------------------------------
     # Write path
 
-    def append(self, event: Event) -> None:
-        seq = self.revision  # next global append position
-        super().append(event)
-        if self._replaying:
-            return
+    def _sql_rows(
+        self, seq: int, event: Event
+    ) -> tuple[tuple[int, int, str, str], list[tuple[str, str, int]]]:
+        """The ``events`` row and ``event_entities`` rows for one event."""
         payload = json.dumps(event_to_dict(event), separators=(",", ":"))
-        self._conn.execute(
-            "INSERT INTO events (seq, time, kind, payload) VALUES (?, ?, ?, ?)",
-            (seq, event.time, event.kind, payload),
-        )
         touched = collect_touched((event,))
-        rows = [
+        entity_rows = [
             (entity_id, entity_kind, seq)
             for entity_kind, entity_ids in (
                 ("worker", touched.worker_ids),
@@ -204,16 +199,68 @@ class SQLiteTraceStore(InMemoryTraceStore):
             )
             for entity_id in entity_ids
         ]
-        if rows:
+        return (seq, event.time, event.kind, payload), entity_rows
+
+    def append(self, event: Event) -> None:
+        seq = self.revision  # next global append position
+        super().append(event)
+        if self._replaying:
+            return
+        event_row, entity_rows = self._sql_rows(seq, event)
+        self._conn.execute(
+            "INSERT INTO events (seq, time, kind, payload) VALUES (?, ?, ?, ?)",
+            event_row,
+        )
+        if entity_rows:
             self._conn.executemany(
                 "INSERT OR IGNORE INTO event_entities "
                 "(entity_id, entity_kind, seq) VALUES (?, ?, ?)",
-                rows,
+                entity_rows,
             )
         self._pending += 1
         if self._pending >= self._commit_every:
             self._conn.commit()
             self._pending = 0
+
+    def append_batch(self, events: Iterable[Event]) -> int:
+        """Append many events as one transaction (``executemany`` for
+        both tables + a single commit) instead of paying per-event
+        statement and commit costs.  Used by ``save_trace`` and the
+        ingest runner's batched write path.
+
+        Events appended (validated + indexed in RAM) before a mid-batch
+        failure are flushed to the database before the error propagates,
+        so the on-disk log never diverges from the in-memory indexes.
+        """
+        if self._replaying:
+            return super().append_batch(events)
+        event_rows: list[tuple[int, int, str, str]] = []
+        entity_rows: list[tuple[str, str, int]] = []
+        count = 0
+        try:
+            for event in events:
+                seq = self.revision
+                InMemoryTraceStore.append(self, event)
+                event_row, entities = self._sql_rows(seq, event)
+                event_rows.append(event_row)
+                entity_rows.extend(entities)
+                count += 1
+        finally:
+            if event_rows:
+                self._conn.executemany(
+                    "INSERT INTO events (seq, time, kind, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    event_rows,
+                )
+                if entity_rows:
+                    self._conn.executemany(
+                        "INSERT OR IGNORE INTO event_entities "
+                        "(entity_id, entity_kind, seq) VALUES (?, ?, ?)",
+                        entity_rows,
+                    )
+                self._conn.commit()
+                self._pending = 0
+        return count
 
     def save(self) -> str:
         """Commit buffered appends; returns the database file path."""

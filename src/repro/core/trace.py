@@ -146,8 +146,7 @@ class PlatformTrace:
         independent copy.
         """
         with make_disk_store(path, backend) as capture:
-            for event in self._store.events:
-                capture.append(event)
+            capture.append_batch(self._store.events)
             return capture.save()
 
     # ------------------------------------------------------------------
@@ -166,6 +165,23 @@ class PlatformTrace:
     def extend(self, events: Iterable[Event]) -> None:
         for event in events:
             self.append(event)
+
+    def append_batch(self, events: Iterable[Event]) -> int:
+        """Append many events through the store's batched write path.
+
+        With no subscribed listeners this delegates to
+        :meth:`TraceStore.append_batch` (one transaction on backends
+        that batch); with listeners it falls back to per-event appends
+        so every listener observes every event in order.  Returns how
+        many events were appended.
+        """
+        if self._listeners:
+            count = 0
+            for event in events:
+                self.append(event)
+                count += 1
+            return count
+        return self._store.append_batch(events)
 
     # ------------------------------------------------------------------
     # Basic access

@@ -41,6 +41,18 @@ class QueryError(TraceError):
     """A trace query is malformed (bad filter, unknown field/kind)."""
 
 
+class IngestError(TraceError):
+    """A live-ingestion source or runner hit an unrecoverable condition
+    (corrupt export record, truncated/rotated source file, mismatched
+    destination)."""
+
+
+class CheckpointError(IngestError):
+    """An ingest resume token is missing, half-written, or inconsistent
+    with the destination store.  Raised instead of silently re-ingesting
+    from zero — the operator decides whether to repair or start over."""
+
+
 class AssignmentError(ReproError):
     """A task-assignment algorithm received an infeasible instance."""
 

@@ -1,0 +1,57 @@
+"""Live ingestion: tail external platform exports into audited stores.
+
+The paper's axioms are meant to be checked against *running*
+platforms.  This package closes the gap between a platform's export
+files — JSONL logs, segment directories, CSV dumps, possibly still
+growing — and the TraceStore + delta-audit machinery:
+
+* :mod:`repro.ingest.sources` — the :class:`IngestSource` protocol and
+  the three shipped tailers (JSONL file, persistent segment directory,
+  mapped CSV), all normalising through :mod:`repro.core.serialize`.
+* :mod:`repro.ingest.checkpoint` — atomic, checksummed resume tokens
+  binding a source position to a destination store revision.
+* :mod:`repro.ingest.runner` — :class:`IngestRunner`, the cadenced
+  poll → batched append → delta audit → checkpoint loop, with
+  :meth:`IngestRunner.resume` for exactly-once continuation after a
+  kill.
+
+CLI counterparts: ``python -m repro trace tail`` and ``trace resume``.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    IngestCheckpoint,
+    checkpoint_path_for,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.ingest.runner import IngestBatch, IngestRunner, IngestSummary
+from repro.ingest.sources import (
+    CSVExportSource,
+    CSVMapping,
+    IngestSource,
+    JSONLExportSource,
+    SegmentDirectorySource,
+    export_jsonl,
+    resolve_source,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CSVExportSource",
+    "CSVMapping",
+    "IngestBatch",
+    "IngestCheckpoint",
+    "IngestRunner",
+    "IngestSource",
+    "IngestSummary",
+    "JSONLExportSource",
+    "SegmentDirectorySource",
+    "checkpoint_path_for",
+    "export_jsonl",
+    "read_checkpoint",
+    "resolve_source",
+    "write_checkpoint",
+]

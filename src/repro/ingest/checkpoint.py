@@ -1,0 +1,157 @@
+"""Crash-safe resume tokens for checkpointed ingestion.
+
+A checkpoint binds a **source position** (where the next unread export
+record starts) to a **destination revision** (how many events the
+TraceStore held when that position was current).  The runner writes one
+after every committed batch; a killed ingest resumes by loading it,
+seeking the source, and reconciling against the store's actual
+revision — see :meth:`repro.ingest.runner.IngestRunner.resume`.
+
+Durability rules:
+
+* **Atomic writes.**  The token is written to a temporary file in the
+  same directory, fsynced, then :func:`os.replace`\\ d over the target,
+  so a kill mid-write leaves either the old complete token or the new
+  complete token — never a half of each.
+* **Detected corruption.**  The payload carries a SHA-256 checksum; a
+  token that is unparseable, truncated, checksum-mismatched, or missing
+  required fields raises :class:`~repro.errors.CheckpointError` instead
+  of silently restarting ingestion from zero.  Re-ingesting an entire
+  export *looks* safe but duplicates every event in the destination —
+  the one outcome a resume token exists to prevent — so a damaged token
+  is surfaced to the operator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import CheckpointError
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def checkpoint_path_for(dest: str | os.PathLike[str]) -> str:
+    """The default checkpoint path for a destination store: a sibling
+    ``<dest>.checkpoint`` file (works for both ``.db`` files and
+    segment-log directories)."""
+    return os.fspath(dest).rstrip("/\\") + ".checkpoint"
+
+
+@dataclass(frozen=True)
+class IngestCheckpoint:
+    """Where a checkpointed ingest can resume.
+
+    ``source_position`` is the source's opaque token
+    (:attr:`~repro.ingest.sources.IngestSource.position`);
+    ``source_info`` identifies which export it belongs to
+    (:meth:`~repro.ingest.sources.IngestSource.describe`), so resuming
+    against a different file fails loudly.  ``dest_revision`` is the
+    destination store's revision at the moment the position was
+    captured; ``batches`` counts completed batches (observability
+    only).
+    """
+
+    source_position: dict[str, Any]
+    source_info: dict[str, Any]
+    dest_revision: int
+    batches: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "source_position": dict(self.source_position),
+            "source_info": dict(self.source_info),
+            "dest_revision": self.dest_revision,
+            "batches": self.batches,
+            "metadata": dict(self.metadata),
+        }
+
+
+def _digest(payload: Mapping[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(
+    checkpoint: IngestCheckpoint, path: str | os.PathLike[str]
+) -> str:
+    """Atomically persist a resume token at ``path``."""
+    fspath = os.fspath(path)
+    payload = checkpoint.payload()
+    document = dict(payload, checksum=_digest(payload))
+    tmp = fspath + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, fspath)
+    return fspath
+
+
+def read_checkpoint(path: str | os.PathLike[str]) -> IngestCheckpoint:
+    """Load and verify a resume token; raises
+    :class:`~repro.errors.CheckpointError` for anything less than a
+    complete, checksum-verified checkpoint."""
+    fspath = os.fspath(path)
+    recovery = (
+        "refusing to guess a resume point — verify the destination "
+        "store, then delete the checkpoint to start a fresh ingest"
+    )
+    try:
+        with open(fspath, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no ingest checkpoint at {fspath!r}") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"ingest checkpoint {fspath!r} is unreadable or half-written "
+            f"({error}); {recovery}"
+        ) from None
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"ingest checkpoint {fspath!r} is not a JSON object; {recovery}"
+        )
+    version = document.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} in {fspath!r} "
+            f"(supported: {CHECKPOINT_FORMAT_VERSION})"
+        )
+    checksum = document.pop("checksum", None)
+    if checksum != _digest(document):
+        raise CheckpointError(
+            f"ingest checkpoint {fspath!r} failed its checksum "
+            "(half-written or garbled); " + recovery
+        )
+    try:
+        source_position = document["source_position"]
+        source_info = document["source_info"]
+        dest_revision = document["dest_revision"]
+    except KeyError as error:
+        raise CheckpointError(
+            f"ingest checkpoint {fspath!r} is missing field {error}; "
+            + recovery
+        ) from None
+    if (
+        not isinstance(source_position, dict)
+        or not isinstance(source_info, dict)
+        or not isinstance(dest_revision, int)
+        or dest_revision < 0
+    ):
+        raise CheckpointError(
+            f"ingest checkpoint {fspath!r} has malformed fields; " + recovery
+        )
+    return IngestCheckpoint(
+        source_position=source_position,
+        source_info=source_info,
+        dest_revision=dest_revision,
+        batches=int(document.get("batches", 0)),
+        metadata=dict(document.get("metadata", {})),
+    )

@@ -1,0 +1,335 @@
+"""The ingest runner: cadenced batches from a source into an audited store.
+
+:class:`IngestRunner` is the piece that turns a possibly still-growing
+platform export into a continuously audited TraceStore.  Each
+:meth:`~IngestRunner.step`:
+
+1. polls the :class:`~repro.ingest.sources.IngestSource` for one
+   bounded batch of new events,
+2. appends them write-through into the destination store (any
+   :func:`~repro.core.store.make_store` backend) via the batched
+   append path and commits,
+3. optionally runs a :class:`~repro.core.audit.DeltaAuditEngine`
+   audit — exact batch verdicts, paid per new event — and surfaces the
+   violations that are *new* since the previous batch,
+4. optionally snapshots :func:`~repro.query.trace_stats` (the
+   operator's view of the accumulating log), and
+5. atomically persists an :class:`~repro.ingest.checkpoint.IngestCheckpoint`.
+
+Crash safety is the ordering of 2 and 5: events are committed before
+the checkpoint that covers them, so a kill at any point leaves the
+store *at or ahead of* its checkpoint — never behind.
+:meth:`IngestRunner.resume` reconciles the gap: it seeks the source to
+the checkpointed position, then skips exactly ``store.revision -
+checkpoint.dest_revision`` records (the events the store absorbed after
+the last durable token; on the sqlite backend the revision is the
+``events.seq`` high-water mark, so the skip count falls straight out of
+the existing index).  The differential property suite pins both
+contracts: cadenced ingest + delta audit equals a one-shot batch audit
+at every batch boundary, and kill-then-resume produces a store
+identical to an uninterrupted ingest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.audit import AuditReport, DeltaAuditEngine
+from repro.core.trace import PlatformTrace, as_trace
+from repro.errors import CheckpointError, IngestError
+from repro.ingest.checkpoint import (
+    IngestCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.ingest.sources import IngestSource
+from repro.query import TraceStats, trace_stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.axioms import AxiomRegistry
+    from repro.core.store import TraceStore
+    from repro.core.violations import Violation
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """What one :meth:`IngestRunner.step` accomplished."""
+
+    #: 0-based batch number over the whole ingest (resumes continue it).
+    index: int
+    #: Events appended by this batch.
+    events: int
+    #: Destination store revision after the append.
+    store_revision: int
+    #: Source position after the batch (what the checkpoint recorded).
+    source_position: dict[str, Any]
+    #: Delta-audit report at this boundary (``None`` without ``audit``).
+    report: AuditReport | None = None
+    #: Violations present now that were absent at the previous boundary.
+    new_violations: "tuple[Violation, ...]" = ()
+    #: Operator stats snapshot (``None`` unless the cadence hit).
+    stats: TraceStats | None = None
+
+
+@dataclass(frozen=True)
+class IngestSummary:
+    """What one :meth:`IngestRunner.run` call accomplished."""
+
+    batches: int
+    events: int
+    store_revision: int
+    stopped_on: str  # "max_batches" | "idle"
+    report: AuditReport | None = None
+
+
+def validate_runner_options(
+    batch_events: int = 256,
+    stats_cadence: int = 0,
+    interval: float = 0.0,
+) -> None:
+    """Validate the numeric :class:`IngestRunner` options.
+
+    Factored out so callers that must allocate resources *before*
+    constructing a runner (the CLI creates the destination store first)
+    can fail on bad options without leaving anything behind.
+    """
+    if batch_events < 1:
+        raise IngestError(
+            f"batch_events must be >= 1, got {batch_events}"
+        )
+    if stats_cadence < 0:
+        raise IngestError(
+            f"stats_cadence must be >= 0, got {stats_cadence}"
+        )
+    if interval < 0:
+        raise IngestError(f"interval must be >= 0, got {interval}")
+
+
+class IngestRunner:
+    """Pulls bounded batches from a source into an audited TraceStore.
+
+    ``store`` is the destination — a :class:`~repro.core.trace.
+    PlatformTrace` or bare :class:`~repro.core.store.TraceStore` of any
+    backend.  ``batch_events`` bounds each poll; ``interval`` is the
+    cadence (seconds slept between polls by :meth:`run`; injectable
+    ``sleep`` for tests).  ``audit=True`` attaches a delta session so
+    every batch boundary gets exact batch-audit verdicts;
+    ``stats_cadence=N`` snapshots :func:`trace_stats` every N batches
+    (0 = never).  ``checkpoint_path`` enables crash-safe resume.
+    """
+
+    def __init__(
+        self,
+        source: IngestSource,
+        store: "PlatformTrace | TraceStore",
+        *,
+        checkpoint_path: str | None = None,
+        batch_events: int = 256,
+        audit: bool = False,
+        registry: "AxiomRegistry | None" = None,
+        stats_cadence: int = 0,
+        interval: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        validate_runner_options(batch_events, stats_cadence, interval)
+        self._source = source
+        self._trace = as_trace(store)
+        self._checkpoint_path = checkpoint_path
+        self._batch_events = batch_events
+        self._session = (
+            DeltaAuditEngine(registry=registry) if audit else None
+        )
+        self._stats_cadence = stats_cadence
+        self._interval = interval
+        self._sleep = sleep
+        self._batches = 0
+        self._last_report: AuditReport | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def trace(self) -> PlatformTrace:
+        """The destination trace (facade over the destination store)."""
+        return self._trace
+
+    @property
+    def source(self) -> IngestSource:
+        return self._source
+
+    @property
+    def batches_completed(self) -> int:
+        """Completed batches over the whole ingest, resumes included."""
+        return self._batches
+
+    @property
+    def last_report(self) -> AuditReport | None:
+        """The most recent delta-audit report (``None`` before the
+        first audited batch or without ``audit=True``)."""
+        return self._last_report
+
+    # ------------------------------------------------------------------
+    # Resume
+
+    @classmethod
+    def resume(
+        cls,
+        source: IngestSource,
+        store: "PlatformTrace | TraceStore",
+        checkpoint_path: str,
+        **options: Any,
+    ) -> "IngestRunner":
+        """Continue a checkpointed ingest after a stop or crash.
+
+        Loads and verifies the resume token, refuses a token written
+        for a different export, seeks the source, and reconciles the
+        store-ahead-of-checkpoint window (killed after a batch commit
+        but before its checkpoint write) by skipping exactly the
+        already-stored records.  The result duplicates and drops
+        nothing — pinned by the kill/resume differential suite.
+        """
+        checkpoint = read_checkpoint(checkpoint_path)
+        described = source.describe()
+        if checkpoint.source_info != described:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} was written for source "
+                f"{checkpoint.source_info!r}, not {described!r}; refusing "
+                "to resume against a different export"
+            )
+        trace = as_trace(store)
+        actual = trace.revision
+        if actual < checkpoint.dest_revision:
+            raise CheckpointError(
+                f"destination store holds {actual} event(s) but the "
+                f"checkpoint {checkpoint_path!r} recorded "
+                f"{checkpoint.dest_revision}; the store was truncated or "
+                "this is the wrong destination"
+            )
+        source.seek(checkpoint.source_position)
+        excess = actual - checkpoint.dest_revision
+        if excess:
+            skipped = source.skip_records(excess)
+            if skipped != excess:
+                raise CheckpointError(
+                    f"destination store is {excess} event(s) ahead of "
+                    f"checkpoint {checkpoint_path!r} but the source only "
+                    f"had {skipped} record(s) past the checkpointed "
+                    "position; source and store disagree"
+                )
+        runner = cls(
+            source, trace, checkpoint_path=checkpoint_path, **options
+        )
+        runner._batches = checkpoint.batches
+        if runner._session is not None and trace.revision:
+            # Baseline the delta session on the already-ingested trace:
+            # violations that existed before the kill are not "new"
+            # again after it, and the first post-resume audit pays only
+            # for its own batch.
+            runner._last_report = runner._session.audit(trace)
+        return runner
+
+    # ------------------------------------------------------------------
+    # The cadence
+
+    def step(self) -> IngestBatch | None:
+        """Ingest one batch; ``None`` when the source had nothing new."""
+        events = self._source.poll(self._batch_events)
+        if not events:
+            return None
+        self._trace.append_batch(events)
+        save = getattr(self._trace.store, "save", None)
+        if callable(save):
+            save()  # commit before the checkpoint that covers the batch
+        index = self._batches
+        self._batches += 1
+        report: AuditReport | None = None
+        new_violations: "tuple[Violation, ...]" = ()
+        if self._session is not None:
+            report = self._session.audit(self._trace)
+            previous = self._last_report
+            if previous is None:
+                new_violations = report.violations
+            else:
+                new_violations = tuple(
+                    violation
+                    for violation in report.violations
+                    if violation not in previous.violations
+                )
+            self._last_report = report
+        stats: TraceStats | None = None
+        if self._stats_cadence and index % self._stats_cadence == 0:
+            stats = trace_stats(self._trace)
+        position = dict(self._source.position)
+        if self._checkpoint_path is not None:
+            write_checkpoint(
+                IngestCheckpoint(
+                    source_position=position,
+                    source_info=self._source.describe(),
+                    dest_revision=self._trace.revision,
+                    batches=self._batches,
+                ),
+                self._checkpoint_path,
+            )
+        return IngestBatch(
+            index=index,
+            events=len(events),
+            store_revision=self._trace.revision,
+            source_position=position,
+            report=report,
+            new_violations=new_violations,
+            stats=stats,
+        )
+
+    def run(
+        self,
+        *,
+        max_batches: int | None = None,
+        idle_limit: int | None = None,
+        on_batch: Callable[[IngestBatch], None] | None = None,
+    ) -> IngestSummary:
+        """Drive :meth:`step` on the cadence until a stop condition.
+
+        ``max_batches`` stops after that many non-empty batches;
+        ``idle_limit`` stops after that many *consecutive* empty polls
+        (the "caught up with a finished export" signal).  With neither,
+        the runner follows the export forever — the live-tail posture.
+        ``on_batch`` observes each completed batch.
+        """
+        if max_batches is not None and max_batches < 1:
+            raise IngestError(
+                f"max_batches must be >= 1, got {max_batches}"
+            )
+        if idle_limit is not None and idle_limit < 1:
+            raise IngestError(
+                f"idle_limit must be >= 1, got {idle_limit}"
+            )
+        batches = 0
+        events = 0
+        idle = 0
+        stopped_on = "idle"
+        while True:
+            batch = self.step()
+            if batch is None:
+                idle += 1
+                if idle_limit is not None and idle >= idle_limit:
+                    break
+            else:
+                idle = 0
+                batches += 1
+                events += batch.events
+                if on_batch is not None:
+                    on_batch(batch)
+                if max_batches is not None and batches >= max_batches:
+                    stopped_on = "max_batches"
+                    break
+            if self._interval:
+                self._sleep(self._interval)
+        return IngestSummary(
+            batches=batches,
+            events=events,
+            store_revision=self._trace.revision,
+            stopped_on=stopped_on,
+            report=self._last_report,
+        )

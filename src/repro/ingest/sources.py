@@ -1,0 +1,605 @@
+"""Ingest sources: tail external platform exports as ``Event`` streams.
+
+The audit stack consumes :class:`~repro.core.events.Event` objects; a
+real platform exports *files* — and keeps writing to them.  An
+:class:`IngestSource` bridges the two: it reads whatever new, complete
+records an export has accumulated since the last poll, normalises each
+through the :mod:`repro.core.serialize` codecs, and exposes a JSON-able
+``position`` token so a checkpointed runner can stop and resume without
+skipping or duplicating a record.  Three sources ship here, mirroring
+the exporter/adapter layering of real log tooling (many source formats,
+one normalised event stream):
+
+* :class:`JSONLExportSource` — a single growing JSONL file, one event
+  dict per line (:func:`repro.core.serialize.event_to_dict` schema).
+* :class:`SegmentDirectorySource` — a
+  :class:`~repro.core.store.persistent.PersistentTraceStore` segment
+  directory (``events-00000.jsonl``, ``events-00001.jsonl``, …): the
+  format one repro process writes and another tails.
+* :class:`CSVExportSource` — a CSV export with a configurable
+  column→event-field mapping (:class:`CSVMapping`) for platforms whose
+  dumps are tabular rather than JSON.
+
+Torn tails: appends to a live export are not atomic, so the newest line
+may be half-written.  Where :meth:`PersistentTraceStore.open` recovers
+a torn tail by truncating it (the file is *done* growing), a tailer
+must assume the opposite — the bytes after the last newline may still
+be arriving — so every source here consumes **complete (newline-
+terminated) lines only** and leaves an unterminated tail unread until a
+later poll sees its newline.  Truncation or rotation of the source
+(size shrinking below the read offset, the inode changing, the file
+disappearing) raises :class:`~repro.errors.IngestError` rather than
+silently re-reading: the operator decides whether the old offsets still
+mean anything.
+"""
+
+from __future__ import annotations
+
+import abc
+import csv
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.core.serialize import event_from_dict, event_to_dict
+from repro.core.store.persistent import (
+    _SEGMENT_PREFIX,
+    _SEGMENT_SUFFIX,
+    _segment_name,
+)
+from repro.errors import IngestError, TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import Event
+
+
+class IngestSource(abc.ABC):
+    """A resumable, pull-based reader over an external platform export.
+
+    The contract all sources share:
+
+    * :meth:`poll` returns up to ``max_records`` newly completed records
+      as :class:`~repro.core.events.Event` objects and advances the
+      source position past exactly those records.  An empty list means
+      "nothing new yet", never "end of stream" — exports grow.
+    * :attr:`position` is a JSON-able token identifying the next unread
+      record; :meth:`seek` restores it.  ``poll → position → seek →
+      poll`` across process restarts yields every record exactly once.
+    * :meth:`describe` identifies the source (kind + path) so a resume
+      token can refuse to drive a *different* export.
+    """
+
+    #: Stable name used by checkpoints and the CLI ``--source`` flag.
+    source_kind: str = "abstract"
+
+    @abc.abstractmethod
+    def poll(self, max_records: int) -> "list[Event]":
+        """Up to ``max_records`` new events; advances the position."""
+
+    @property
+    @abc.abstractmethod
+    def position(self) -> dict[str, Any]:
+        """JSON-able token for the next unread record."""
+
+    @abc.abstractmethod
+    def seek(self, position: Mapping[str, Any]) -> None:
+        """Restore a token previously read from :attr:`position`."""
+
+    @abc.abstractmethod
+    def describe(self) -> dict[str, Any]:
+        """Source identity (``kind`` + ``path``) for checkpoints."""
+
+    def skip_records(self, count: int) -> int:
+        """Advance past ``count`` records without using them.
+
+        The resume path uses this to reconcile a destination store that
+        is *ahead* of the checkpoint (killed after the batch append but
+        before the checkpoint write): the surplus events are already
+        stored, so their source records are skipped.  Returns how many
+        records were actually available to skip.
+        """
+        skipped = 0
+        while skipped < count:
+            batch = self.poll(count - skipped)
+            if not batch:
+                break
+            skipped += len(batch)
+        return skipped
+
+    def close(self) -> None:  # pragma: no cover - stateless sources
+        """Release any held resources (default: nothing held)."""
+
+    def __enter__(self) -> "IngestSource":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Shared line-tail machinery
+
+
+def _decode_record(raw: bytes, label: str) -> dict[str, Any] | None:
+    """One complete JSONL line -> event dict (``None`` for blank lines)."""
+    try:
+        line = raw.decode("utf-8").strip()
+        return json.loads(line) if line else None
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise IngestError(
+            f"corrupt record in {label}: {error}"
+        ) from None
+
+
+def _record_to_event(data: dict[str, Any], label: str) -> "Event":
+    try:
+        return event_from_dict(data)
+    except TraceError as error:
+        raise IngestError(
+            f"unrecognised record in {label}: {error}"
+        ) from None
+
+
+def _stat_guard(
+    path: str, offset: int, signature: tuple[int, int] | None
+) -> tuple[os.stat_result, tuple[int, int]]:
+    """Stat ``path`` and fail loudly on rotation/truncation.
+
+    Returns the stat plus the (device, inode) signature to remember.
+    """
+    try:
+        stat = os.stat(path)
+    except FileNotFoundError:
+        raise IngestError(
+            f"source file {path!r} disappeared (deleted or rotated away); "
+            "refusing to continue from a stale offset"
+        ) from None
+    current = (stat.st_dev, stat.st_ino)
+    if signature is not None and current != signature:
+        raise IngestError(
+            f"source file {path!r} was replaced (inode changed — log "
+            "rotation?); the read offset no longer addresses this file"
+        )
+    if stat.st_size < offset:
+        raise IngestError(
+            f"source file {path!r} shrank below the read offset "
+            f"({stat.st_size} < {offset} bytes — truncated or rotated); "
+            "refusing to re-read silently"
+        )
+    return stat, current
+
+
+def _read_complete_lines(
+    path: str, offset: int, max_records: int, label: str
+) -> tuple[list[dict[str, Any]], int, bool]:
+    """Read up to ``max_records`` complete-line records from ``offset``.
+
+    Returns ``(records, new_offset, saw_torn_tail)``.  A trailing line
+    without its newline is never consumed — it may still be growing.
+    Lines are read one at a time (buffered), so polling a multi-GB
+    backlog costs memory proportional to the batch, not the file.
+    """
+    records: list[dict[str, Any]] = []
+    torn = False
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        while len(records) < max_records:
+            raw = handle.readline()
+            if not raw:
+                break
+            if not raw.endswith(b"\n"):
+                torn = True
+                break
+            data = _decode_record(raw, f"{label} at byte {offset}")
+            offset += len(raw)
+            if data is not None:
+                records.append(data)
+    return records, offset, torn
+
+
+def _signature_token(signature: tuple[int, int] | None) -> dict[str, int]:
+    """The (device, inode) identity as position-token fields, so
+    rotation detection survives a kill/resume (the checkpoint carries
+    the identity of the file the offset belongs to)."""
+    if signature is None:
+        return {}
+    return {"dev": signature[0], "ino": signature[1]}
+
+
+def _signature_from_token(
+    position: Mapping[str, Any]
+) -> tuple[int, int] | None:
+    dev, ino = position.get("dev"), position.get("ino")
+    if isinstance(dev, int) and isinstance(ino, int):
+        return (dev, ino)
+    return None
+
+
+# ----------------------------------------------------------------------
+# JSONL file tailer
+
+
+class JSONLExportSource(IngestSource):
+    """Tail one growing JSONL file (one event dict per line).
+
+    ``position`` is the byte offset of the next unread line.  The file
+    may not exist yet on early polls (an adapter that has not produced
+    output is "nothing new", not an error) — but once read, the file
+    disappearing, shrinking below the offset, or changing inode raises
+    :class:`~repro.errors.IngestError`.
+    """
+
+    source_kind = "jsonl"
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self._path = os.fspath(path)
+        self._offset = 0
+        self._signature: tuple[int, int] | None = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def position(self) -> dict[str, Any]:
+        return {"offset": self._offset, **_signature_token(self._signature)}
+
+    def seek(self, position: Mapping[str, Any]) -> None:
+        offset = position.get("offset")
+        if not isinstance(offset, int) or offset < 0:
+            raise IngestError(
+                f"invalid {self.source_kind} source position {position!r}; "
+                "expected {'offset': <byte offset>}"
+            )
+        self._offset = offset
+        # Restore the file identity when the token carries one, so a
+        # rotation that happened while we were down is still detected.
+        self._signature = _signature_from_token(position)
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.source_kind, "path": os.path.abspath(self._path)}
+
+    def poll(self, max_records: int) -> "list[Event]":
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        if self._offset == 0 and self._signature is None and not os.path.exists(
+            self._path
+        ):
+            return []  # nothing exported yet
+        stat, self._signature = _stat_guard(
+            self._path, self._offset, self._signature
+        )
+        if stat.st_size == self._offset:
+            return []
+        records, self._offset, _ = _read_complete_lines(
+            self._path, self._offset, max_records, self._path
+        )
+        return [_record_to_event(data, self._path) for data in records]
+
+
+# ----------------------------------------------------------------------
+# Persistent segment-directory tailer
+
+
+class SegmentDirectorySource(IngestSource):
+    """Tail a :class:`PersistentTraceStore` segment directory.
+
+    One repro process captures a platform run with the persistent
+    backend; another tails the directory as it grows.  ``position`` is
+    ``{"segment": index, "offset": bytes}``.  Only the *newest* segment
+    may have a torn tail (the writer rolls segments between complete
+    lines); an unterminated line in a sealed segment — one with a
+    successor — is corruption and raises.
+    """
+
+    source_kind = "segments"
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self._path = os.fspath(path)
+        self._segment = 0
+        self._offset = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def position(self) -> dict[str, Any]:
+        return {"segment": self._segment, "offset": self._offset}
+
+    def seek(self, position: Mapping[str, Any]) -> None:
+        segment = position.get("segment")
+        offset = position.get("offset")
+        if (
+            not isinstance(segment, int) or segment < 0
+            or not isinstance(offset, int) or offset < 0
+        ):
+            raise IngestError(
+                f"invalid {self.source_kind} source position {position!r}; "
+                "expected {'segment': <index>, 'offset': <byte offset>}"
+            )
+        self._segment = segment
+        self._offset = offset
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.source_kind, "path": os.path.abspath(self._path)}
+
+    def _segment_indexes(self) -> list[int]:
+        try:
+            names = os.listdir(self._path)
+        except FileNotFoundError:
+            raise IngestError(
+                f"segment directory {self._path!r} disappeared "
+                "(deleted or rotated away)"
+            ) from None
+        indexes = []
+        for name in names:
+            if not (
+                name.startswith(_SEGMENT_PREFIX)
+                and name.endswith(_SEGMENT_SUFFIX)
+            ):
+                continue
+            stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+            try:
+                indexes.append(int(stem))
+            except ValueError:
+                raise IngestError(
+                    f"unexpected file {name!r} in segment directory "
+                    f"{self._path!r}: segment names must be "
+                    f"{_SEGMENT_PREFIX}<number>{_SEGMENT_SUFFIX}"
+                ) from None
+        return sorted(indexes)
+
+    def poll(self, max_records: int) -> "list[Event]":
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        present = self._segment_indexes()
+        records: list[dict[str, Any]] = []
+        while len(records) < max_records:
+            if self._segment not in present:
+                if any(index > self._segment for index in present):
+                    raise IngestError(
+                        f"segment {_segment_name(self._segment)} is missing "
+                        f"from {self._path!r} but later segments exist; "
+                        "the log is damaged or was rewritten"
+                    )
+                break  # the writer has not started this segment yet
+            name = os.path.join(self._path, _segment_name(self._segment))
+            _stat_guard(name, self._offset, None)
+            batch, self._offset, torn = _read_complete_lines(
+                name, self._offset, max_records - len(records), name
+            )
+            records.extend(batch)
+            sealed = any(index > self._segment for index in present)
+            if torn and sealed:
+                raise IngestError(
+                    f"sealed segment {name!r} ends in an unterminated "
+                    "line; the log is damaged (only the newest segment "
+                    "may have a torn tail)"
+                )
+            if len(records) >= max_records:
+                break
+            if sealed and not torn:
+                with open(name, "rb") as handle:
+                    handle.seek(0, os.SEEK_END)
+                    size = handle.tell()
+                if self._offset == size:
+                    self._segment += 1
+                    self._offset = 0
+                    continue
+            break  # caught up with the newest segment (or mid-read)
+        return [
+            _record_to_event(data, self._path) for data in records
+        ]
+
+
+# ----------------------------------------------------------------------
+# CSV export source
+
+
+def _decode_cell(cell: str) -> Any:
+    """JSON-decode a CSV cell where possible, else keep the string.
+
+    ``"3"`` → 3, ``"3.5"`` → 3.5, ``"true"`` → True, ``"null"`` → None,
+    ``'["t1","t2"]'`` → list; anything unparseable stays a string —
+    platform exports quote ids and enum-ish fields without JSON quoting.
+    """
+    try:
+        return json.loads(cell)
+    except (json.JSONDecodeError, ValueError):
+        return cell
+
+
+@dataclass(frozen=True)
+class CSVMapping:
+    """How a CSV export's columns become event-dict fields.
+
+    ``columns`` maps CSV column name → event field name (``"time"``,
+    ``"kind"``, ``"worker_id"``, …); cells are JSON-decoded where
+    possible (see :func:`_decode_cell`).  ``constants`` supplies fields
+    the export does not carry per row — e.g. a payments-only export
+    maps ``{"constants": {"kind": "payment_issued"}}``.  Unmapped CSV
+    columns are ignored.
+    """
+
+    columns: Mapping[str, str]
+    constants: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.columns and not self.constants:
+            raise IngestError("a CSV mapping needs columns or constants")
+
+    def record(self, header: list[str], cells: list[str], label: str) -> dict:
+        if len(cells) != len(header):
+            raise IngestError(
+                f"malformed CSV row in {label}: {len(cells)} cell(s) "
+                f"for {len(header)} column(s)"
+            )
+        record: dict[str, Any] = dict(self.constants)
+        by_column = dict(zip(header, cells))
+        for column, field_name in self.columns.items():
+            if column not in by_column:
+                raise IngestError(
+                    f"CSV export {label} has no column {column!r} "
+                    f"(columns: {', '.join(header)})"
+                )
+            record[field_name] = _decode_cell(by_column[column])
+        return record
+
+
+class CSVExportSource(IngestSource):
+    """Tail a CSV export whose rows map onto events via a ``CSVMapping``.
+
+    The first line must be a header naming every mapped column; the
+    position token is the byte offset of the next unread row (the
+    header is re-read on demand, so tokens survive restarts).  Rows
+    must not contain embedded newlines — a streaming tailer cannot
+    distinguish a quoted newline from a torn tail.
+    """
+
+    source_kind = "csv"
+
+    def __init__(
+        self, path: str | os.PathLike[str], mapping: CSVMapping
+    ) -> None:
+        self._path = os.fspath(path)
+        self._mapping = mapping
+        self._offset = 0  # 0 = header not yet consumed
+        self._header: list[str] | None = None
+        self._signature: tuple[int, int] | None = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def position(self) -> dict[str, Any]:
+        return {"offset": self._offset, **_signature_token(self._signature)}
+
+    def seek(self, position: Mapping[str, Any]) -> None:
+        offset = position.get("offset")
+        if not isinstance(offset, int) or offset < 0:
+            raise IngestError(
+                f"invalid {self.source_kind} source position {position!r}; "
+                "expected {'offset': <byte offset>}"
+            )
+        self._offset = offset
+        self._header = None
+        self._signature = _signature_from_token(position)
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.source_kind, "path": os.path.abspath(self._path)}
+
+    def _parse_row(self, line: str) -> list[str]:
+        return next(csv.reader(io.StringIO(line)))
+
+    def _ensure_header(self) -> bool:
+        """Consume the header line; False when it has not arrived yet."""
+        if self._header is not None:
+            return True
+        with open(self._path, "rb") as handle:
+            header_raw = handle.readline()
+        if not header_raw.endswith(b"\n"):
+            return False  # header still being written
+        try:
+            self._header = self._parse_row(header_raw.decode("utf-8"))
+        except (UnicodeDecodeError, csv.Error) as error:
+            raise IngestError(
+                f"unreadable CSV header in {self._path!r}: {error}"
+            ) from None
+        if self._offset == 0:
+            self._offset = len(header_raw)
+        return True
+
+    def poll(self, max_records: int) -> "list[Event]":
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        if self._offset == 0 and self._signature is None and not os.path.exists(
+            self._path
+        ):
+            return []
+        stat, self._signature = _stat_guard(
+            self._path, self._offset, self._signature
+        )
+        if not self._ensure_header() or stat.st_size == self._offset:
+            return []
+        events: "list[Event]" = []
+        assert self._header is not None
+        with open(self._path, "rb") as handle:
+            handle.seek(self._offset)
+            while len(events) < max_records:
+                raw = handle.readline()
+                if not raw or not raw.endswith(b"\n"):
+                    break  # caught up, or torn tail: wait for the newline
+                label = f"{self._path} at byte {self._offset}"
+                try:
+                    line = raw.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    raise IngestError(
+                        f"corrupt record in {label}: {error}"
+                    ) from None
+                self._offset += len(raw)
+                if not line.strip():
+                    continue
+                cells = self._parse_row(line)
+                record = self._mapping.record(self._header, cells, label)
+                events.append(_record_to_event(record, label))
+        return events
+
+
+# ----------------------------------------------------------------------
+# Source resolution + export helper
+
+
+def resolve_source(
+    path: str | os.PathLike[str],
+    kind: str = "auto",
+    csv_mapping: CSVMapping | None = None,
+) -> IngestSource:
+    """Build the right source for an export path.
+
+    ``kind`` is ``"jsonl"``, ``"segments"``, ``"csv"``, or ``"auto"``:
+    a directory means segments, a ``.csv`` suffix means CSV, anything
+    else means a flat JSONL file.  CSV requires a ``csv_mapping``.
+    """
+    fspath = os.fspath(path)
+    if kind == "auto":
+        if os.path.isdir(fspath):
+            kind = "segments"
+        elif os.path.splitext(fspath)[1].lower() == ".csv":
+            kind = "csv"
+        else:
+            kind = "jsonl"
+    if kind == "segments":
+        return SegmentDirectorySource(fspath)
+    if kind == "csv":
+        if csv_mapping is None:
+            raise IngestError(
+                "a CSV source needs a column mapping (CSVMapping / "
+                "--csv-map COLUMN=FIELD)"
+            )
+        return CSVExportSource(fspath, csv_mapping)
+    if kind == "jsonl":
+        return JSONLExportSource(fspath)
+    raise IngestError(
+        f"unknown source kind {kind!r}; "
+        "available kinds: auto, jsonl, segments, csv"
+    )
+
+
+def export_jsonl(
+    events: "Iterable[Event]", path: str | os.PathLike[str],
+    append: bool = False,
+) -> str:
+    """Write events as a flat JSONL export (the adapter's side of the
+    contract): one :func:`event_to_dict` object per line.  Used by
+    tests and the operator runbook to stand in for a real platform's
+    exporter."""
+    fspath = os.fspath(path)
+    with open(fspath, "ab" if append else "wb") as handle:
+        for event in events:
+            line = json.dumps(event_to_dict(event), separators=(",", ":"))
+            handle.write(line.encode("utf-8") + b"\n")
+    return fspath

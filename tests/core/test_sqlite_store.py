@@ -239,3 +239,87 @@ class TestIndexedTables:
             payloads = list(store.iter_payloads())
         assert payloads == [event_to_dict(event) for event in clean_events[:20]]
         assert all(isinstance(json.dumps(p), str) for p in payloads)
+
+
+class TestAppendBatch:
+    """`append_batch`: executemany + one commit, state-identical to a
+    per-event append loop (the satellite behind batched ingestion)."""
+
+    def test_batch_equals_per_event_appends(self, clean_events, tmp_path):
+        loop_path = tmp_path / "loop.db"
+        with SQLiteTraceStore.create(loop_path, commit_every=1) as store:
+            for event in clean_events:
+                store.append(event)
+            loop_payloads = list(store.iter_payloads())
+        batch_path = tmp_path / "batch.db"
+        with SQLiteTraceStore.create(batch_path) as store:
+            appended = store.append_batch(clean_events)
+            assert appended == len(clean_events)
+            assert store.revision == len(clean_events)
+            batch_payloads = list(store.iter_payloads())
+        assert batch_payloads == loop_payloads
+        reopened = SQLiteTraceStore.open(batch_path)
+        assert list(reopened.events) == clean_events
+        reopened.close()
+
+    def test_batch_is_durable_without_explicit_save(
+        self, clean_events, tmp_path
+    ):
+        """append_batch commits; a crash right after it loses nothing."""
+        path = tmp_path / "durable.db"
+        store = SQLiteTraceStore.create(path, commit_every=10_000)
+        store.append_batch(clean_events[:50])
+        # Read through an independent connection: only committed rows.
+        with sqlite3.connect(path) as conn:
+            committed = conn.execute("SELECT COUNT(*) FROM events").fetchone()
+        assert committed[0] == 50
+        store.close()
+
+    def test_mid_batch_failure_keeps_ram_and_db_consistent(
+        self, clean_events, tmp_path
+    ):
+        from repro.core.events import WorkerDeparted
+
+        path = tmp_path / "partial.db"
+        time_travel = WorkerDeparted(time=0, worker_id="w0001", reason="x")
+        batch = clean_events[:30] + [time_travel] + clean_events[30:]
+        store = SQLiteTraceStore.create(path)
+        with pytest.raises(TraceError, match="time-ordered"):
+            store.append_batch(batch)
+        # The valid prefix is kept, in RAM and (committed) on disk.
+        assert store.revision == 30
+        assert list(store.events) == clean_events[:30]
+        store.close()
+        reopened = SQLiteTraceStore.open(path)
+        assert list(reopened.events) == clean_events[:30]
+        reopened.close()
+
+    def test_base_backends_inherit_loop_semantics(self, clean_events):
+        store = make_store("memory")
+        assert store.append_batch(clean_events[:7]) == 7
+        assert list(store.events) == clean_events[:7]
+
+    def test_trace_facade_batch_notifies_listeners(self, clean_events):
+        trace = PlatformTrace()
+        heard = []
+        trace.subscribe(heard.append)
+        assert trace.append_batch(clean_events[:9]) == 9
+        assert heard == clean_events[:9]
+
+    def test_save_trace_routes_through_append_batch(
+        self, clean_events, tmp_path, monkeypatch
+    ):
+        """save_trace uses the batched write path (one transaction for
+        the whole capture) instead of per-event appends."""
+        per_event_calls = []
+        original = SQLiteTraceStore.append
+
+        def counting_append(self, event):
+            per_event_calls.append(event)
+            return original(self, event)
+
+        monkeypatch.setattr(SQLiteTraceStore, "append", counting_append)
+        trace = PlatformTrace(clean_events)
+        path = save_trace(trace, tmp_path / "cap.db")
+        assert per_event_calls == []
+        assert list(load_trace(path)) == clean_events

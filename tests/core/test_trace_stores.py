@@ -361,3 +361,56 @@ class TestTouchedEntities:
 
     def test_empty(self):
         assert collect_touched([]).total == 0
+
+
+class TestOpenDiagnostics:
+    """Opening something that is not (or no longer) a trace log must
+    say what was found, where, and what formats were expected."""
+
+    def test_open_directory_without_manifest(self, tmp_path):
+        bare = tmp_path / "not-a-log"
+        bare.mkdir()
+        with pytest.raises(TraceError) as caught:
+            PlatformTrace.open(bare)
+        message = str(caught.value)
+        assert str(bare) in message
+        assert "meta.json" in message
+        assert "SQLite" in message  # names the expected formats
+
+    def test_open_store_matches_facade_diagnostic(self, tmp_path):
+        from repro.core.store import open_store
+
+        bare = tmp_path / "not-a-log"
+        bare.mkdir()
+        with pytest.raises(TraceError, match="no meta.json manifest"):
+            open_store(bare)
+
+    def test_open_empty_manifest(self, tmp_path):
+        path = tmp_path / "log"
+        path.mkdir()
+        (path / "meta.json").write_text("")
+        with pytest.raises(TraceError) as caught:
+            PlatformTrace.open(path)
+        message = str(caught.value)
+        assert "meta.json" in message and str(path) in message
+        assert "format_version" in message  # says what was expected
+
+    def test_open_garbage_manifest(self, tmp_path):
+        path = tmp_path / "log"
+        path.mkdir()
+        (path / "meta.json").write_text("not json at all {{{")
+        with pytest.raises(TraceError, match="unreadable trace log manifest"):
+            PlatformTrace.open(path)
+
+    def test_open_non_object_manifest(self, tmp_path):
+        path = tmp_path / "log"
+        path.mkdir()
+        (path / "meta.json").write_text('["format_version", 1]')
+        with pytest.raises(TraceError, match="not a JSON object"):
+            PlatformTrace.open(path)
+
+    def test_valid_logs_still_open(self, clean_events, tmp_path):
+        path = tmp_path / "ok-log"
+        with PersistentTraceStore.create(path) as store:
+            PlatformTrace(clean_events[:10], store=store)
+        assert len(PlatformTrace.open(path)) == 10

@@ -227,3 +227,208 @@ class TestTraceCli:
                 ["trace", command, str(tmp_path / "absent")]
             ) == 2
             assert "cannot" in capsys.readouterr().err
+
+
+class TestTraceQueryCountByKind:
+    @pytest.fixture()
+    def saved_db(self, tmp_path, capsys):
+        path = tmp_path / "run.db"
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_text_histogram(self, saved_db, capsys):
+        assert main(["trace", "query", str(saved_db), "--count-by-kind"]) == 0
+        out = capsys.readouterr().out
+        assert "payment_issued: 4" in out
+        assert "(46 event(s))" in out
+
+    def test_json_histogram(self, saved_db, capsys):
+        import json
+
+        assert main(
+            ["trace", "query", str(saved_db), "--count-by-kind",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count_by_kind"]["payment_issued"] == 4
+        assert sum(payload["count_by_kind"].values()) == 46
+
+    def test_composes_with_filters(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--count-by-kind",
+             "--entity", "w0001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worker_registered: 1" in out
+
+    def test_conflicts_with_count(self, saved_db, capsys):
+        assert main(
+            ["trace", "query", str(saved_db), "--count", "--count-by-kind"]
+        ) == 2
+        assert "pick one" in capsys.readouterr().err
+
+
+class TestTraceTailCli:
+    """The live-ingestion workflow: tail -> kill -> resume -> query."""
+
+    @pytest.fixture()
+    def export_log(self, tmp_path, capsys):
+        path = tmp_path / "export-log"
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay",
+             "--segment-events", "10"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def _tail(self, *argv):
+        return main(["trace", "tail", *argv, "--interval", "0"])
+
+    def _resume(self, *argv):
+        return main(["trace", "resume", *argv, "--interval", "0"])
+
+    def test_tail_full_export_with_audit(self, export_log, tmp_path, capsys):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--audit",
+            "--until-idle", "1", "--batch-events", "20",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 0: +20 event(s)" in out
+        assert "new: [axiom" in out  # unequal_pay has violations
+        assert "stopped on idle" in out
+        assert (tmp_path / "live.db.checkpoint").exists()
+        assert main(["trace", "query", str(dest), "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "46"
+
+    def test_kill_and_resume_round_trip(self, export_log, tmp_path, capsys):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest),
+            "--max-batches", "1", "--batch-events", "17",
+        ) == 0
+        capsys.readouterr()
+        assert self._resume(
+            str(export_log), str(dest),
+            "--until-idle", "1", "--batch-events", "17",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 1" in out  # batch numbering continues
+        assert main(["trace", "info", str(dest), "--format", "json"]) == 0
+        import json
+
+        info = json.loads(capsys.readouterr().out)
+        assert info["events"] == 46 and info["revision"] == 46
+
+    def test_tail_persistent_destination(self, export_log, tmp_path, capsys):
+        dest = tmp_path / "live-log"
+        assert self._tail(
+            str(export_log), str(dest), "--store", "persistent",
+            "--until-idle", "1",
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(dest)]) == 0
+        assert "backend: persistent" in capsys.readouterr().out
+
+    def test_tail_json_summary(self, export_log, tmp_path, capsys):
+        import json
+
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--audit", "--until-idle", "1",
+            "--format", "json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 46
+        assert payload["stopped_on"] == "idle"
+        assert payload["violations"] > 0
+
+    def test_tail_refuses_existing_checkpoint(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--max-batches", "1",
+        ) == 0
+        capsys.readouterr()
+        assert self._tail(str(export_log), str(dest)) == 2
+        assert "trace resume" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_fails(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert main(["trace", "save", str(dest)]) == 0
+        capsys.readouterr()
+        assert self._resume(str(export_log), str(dest)) == 2
+        assert "no ingest checkpoint" in capsys.readouterr().err
+
+    def test_resume_with_garbled_checkpoint_fails(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--max-batches", "1",
+        ) == 0
+        capsys.readouterr()
+        (tmp_path / "live.db.checkpoint").write_text('{"format_version"')
+        assert self._resume(str(export_log), str(dest)) == 2
+        err = capsys.readouterr().err
+        assert "half-written" in err
+
+    def test_tail_csv_export(self, tmp_path, capsys):
+        from repro.workloads.scenarios import unequal_pay_scenario
+
+        trace = unequal_pay_scenario().trace
+        csv_path = tmp_path / "payments.csv"
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write("ts,who,task,amt\n")
+            for event in trace:
+                if event.kind == "payment_issued":
+                    handle.write(
+                        f"{event.time},{event.worker_id},"
+                        f"{event.task_id},{event.amount}\n"
+                    )
+        dest = tmp_path / "payments.db"
+        assert self._tail(
+            str(csv_path), str(dest),
+            "--csv-map", "ts=time", "--csv-map", "who=worker_id",
+            "--csv-map", "task=task_id", "--csv-map", "amt=amount",
+            "--csv-const", "kind=payment_issued",
+            "--until-idle", "1",
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "query", str(dest), "--count", "--kind",
+             "payment_issued"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_bad_flag_leaves_no_stray_destination(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--batch-events", "0",
+        ) == 2
+        assert "batch_events" in capsys.readouterr().err
+        assert not dest.exists()  # a corrected retry must work
+        assert self._tail(
+            str(export_log), str(dest), "--max-batches", "1",
+        ) == 0
+
+    def test_csv_without_mapping_fails(self, tmp_path, capsys):
+        csv_path = tmp_path / "x.csv"
+        csv_path.write_text("a,b\n")
+        assert self._tail(str(csv_path), str(tmp_path / "x.db")) == 2
+        assert "column mapping" in capsys.readouterr().err
+
+    def test_bad_csv_map_syntax_fails(self, tmp_path, capsys):
+        assert self._tail(
+            str(tmp_path / "x.csv"), str(tmp_path / "x.db"),
+            "--csv-map", "nonsense",
+        ) == 2
+        assert "COLUMN=FIELD" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Unit tests for crash-safe ingest resume tokens.
+
+The satellite requirement this file pins: a half-written or garbled
+checkpoint is *detected and reported* — never silently treated as
+"no checkpoint, start from zero", which would duplicate every already-
+ingested event.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, IngestError, TraceError
+from repro.ingest import (
+    IngestCheckpoint,
+    checkpoint_path_for,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+@pytest.fixture()
+def token():
+    return IngestCheckpoint(
+        source_position={"segment": 2, "offset": 4711},
+        source_info={"kind": "segments", "path": "/exports/run-07"},
+        dest_revision=96,
+        batches=4,
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path, token):
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        assert read_checkpoint(path) == token
+
+    def test_overwrite_is_atomic_no_tmp_leftover(self, tmp_path, token):
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        newer = IngestCheckpoint(
+            source_position={"segment": 3, "offset": 12},
+            source_info=token.source_info,
+            dest_revision=120,
+            batches=5,
+        )
+        write_checkpoint(newer, path)
+        assert read_checkpoint(path) == newer
+        assert sorted(os.listdir(tmp_path)) == ["ingest.checkpoint"]
+
+    def test_default_path_derivation(self):
+        assert checkpoint_path_for("runs/live.db") == "runs/live.db.checkpoint"
+        assert checkpoint_path_for("runs/live-log/") == (
+            "runs/live-log.checkpoint"
+        )
+
+    def test_error_hierarchy(self):
+        assert issubclass(CheckpointError, IngestError)
+        assert issubclass(IngestError, TraceError)
+
+
+class TestCorruptionDetection:
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no ingest checkpoint"):
+            read_checkpoint(tmp_path / "absent.checkpoint")
+
+    def test_garbled_json_is_reported_not_reset(self, tmp_path):
+        path = tmp_path / "bad.checkpoint"
+        path.write_text('{"format_version": 1, "source_pos')
+        with pytest.raises(
+            CheckpointError, match="unreadable or half-written"
+        ):
+            read_checkpoint(path)
+
+    def test_truncated_mid_write_copy_is_detected(self, tmp_path, token):
+        """A non-atomic writer killed mid-write leaves a prefix of the
+        document; every truncation point must fail loudly."""
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        complete = path.read_bytes()
+        for cut in range(1, len(complete) - 1, 37):
+            path.write_bytes(complete[:cut])
+            with pytest.raises(CheckpointError):
+                read_checkpoint(path)
+
+    def test_checksum_catches_field_tampering(self, tmp_path, token):
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        document = json.loads(path.read_text())
+        document["dest_revision"] = 9999  # bit-rot / manual edit
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_missing_checksum_rejected(self, tmp_path, token):
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        document = json.loads(path.read_text())
+        del document["checksum"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_wrong_version(self, tmp_path, token):
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            CheckpointError, match="unsupported checkpoint version"
+        ):
+            read_checkpoint(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "list.checkpoint"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="not a JSON object"):
+            read_checkpoint(path)
+
+    def test_kill_during_write_preserves_previous_token(
+        self, tmp_path, token, monkeypatch
+    ):
+        """A kill *inside* write_checkpoint (simulated at the fsync,
+        i.e. before the atomic rename) must leave the previous complete
+        token readable — the window where neither token exists is
+        exactly what os.replace removes."""
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+
+        def killed(fd):
+            raise KeyboardInterrupt("SIGKILL stand-in")
+
+        monkeypatch.setattr(os, "fsync", killed)
+        newer = IngestCheckpoint(
+            source_position={"segment": 9, "offset": 0},
+            source_info=token.source_info,
+            dest_revision=500,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            write_checkpoint(newer, path)
+        monkeypatch.undo()
+        assert read_checkpoint(path) == token  # old token intact

@@ -1,0 +1,277 @@
+"""Unit tests for the cadenced ingest runner and its resume path."""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.store import PersistentTraceStore, SQLiteTraceStore
+from repro.core.trace import PlatformTrace
+from repro.errors import CheckpointError, IngestError
+from repro.ingest import (
+    IngestRunner,
+    JSONLExportSource,
+    checkpoint_path_for,
+    export_jsonl,
+    read_checkpoint,
+)
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+
+@pytest.fixture(scope="module")
+def events():
+    return list(clean_scenario().trace)
+
+
+@pytest.fixture()
+def export(tmp_path, events):
+    return export_jsonl(events, tmp_path / "export.jsonl")
+
+
+def _runner(export, store, **kwargs):
+    return IngestRunner(JSONLExportSource(export), store, **kwargs)
+
+
+class TestIngestLoop:
+    def test_ingests_everything_into_memory(self, export, events):
+        runner = _runner(export, PlatformTrace(), batch_events=19)
+        summary = runner.run(idle_limit=1)
+        assert summary.events == len(events)
+        assert summary.store_revision == len(events)
+        assert summary.stopped_on == "idle"
+        assert list(runner.trace) == events
+
+    @pytest.mark.parametrize("backend", ["sqlite", "persistent"])
+    def test_ingests_into_disk_backends(
+        self, tmp_path, export, events, backend
+    ):
+        if backend == "sqlite":
+            store = SQLiteTraceStore.create(tmp_path / "dest.db")
+        else:
+            store = PersistentTraceStore.create(tmp_path / "dest-log")
+        runner = _runner(export, store, batch_events=40)
+        runner.run(idle_limit=1)
+        store.close()
+        reopened = (
+            SQLiteTraceStore.open(tmp_path / "dest.db")
+            if backend == "sqlite"
+            else PersistentTraceStore.open(tmp_path / "dest-log")
+        )
+        assert list(reopened.events) == events
+        reopened.close()
+
+    def test_max_batches_stops_early(self, export, events):
+        runner = _runner(export, PlatformTrace(), batch_events=25)
+        summary = runner.run(max_batches=2)
+        assert summary.batches == 2
+        assert summary.events == 50
+        assert summary.stopped_on == "max_batches"
+
+    def test_batch_reports_and_on_batch(self, export, events):
+        seen = []
+        runner = _runner(export, PlatformTrace(), batch_events=60)
+        runner.run(idle_limit=1, on_batch=seen.append)
+        assert [batch.index for batch in seen] == [0, 1, 2]
+        assert [batch.events for batch in seen] == [60, 60, 43]
+        assert seen[-1].store_revision == len(events)
+
+    def test_interval_sleeps_between_polls(self, export):
+        naps = []
+        runner = _runner(
+            export, PlatformTrace(), batch_events=50,
+            interval=0.25, sleep=naps.append,
+        )
+        runner.run(idle_limit=1)
+        assert naps and all(nap == 0.25 for nap in naps)
+
+    def test_audit_reports_match_fresh_batch_audit(self, export):
+        engine = AuditEngine()
+        boundary_checks = []
+
+        def check(batch):
+            boundary_checks.append(
+                batch.report == engine.audit(runner.trace)
+            )
+
+        runner = _runner(
+            export, PlatformTrace(), batch_events=35, audit=True
+        )
+        runner.run(idle_limit=1, on_batch=check)
+        assert boundary_checks and all(boundary_checks)
+
+    def test_new_violations_surface_once(self, tmp_path):
+        trace = unequal_pay_scenario().trace
+        export = export_jsonl(trace, tmp_path / "pay.jsonl")
+        batches = []
+        runner = _runner(
+            export, PlatformTrace(), batch_events=len(trace), audit=True
+        )
+        runner.run(idle_limit=1, on_batch=batches.append)
+        (batch,) = batches
+        # First audited batch: everything the report holds is new.
+        assert batch.new_violations == batch.report.violations
+        assert batch.report.total_violations > 0
+
+    def test_stats_cadence(self, export):
+        batches = []
+        runner = _runner(
+            export, PlatformTrace(), batch_events=30, stats_cadence=2
+        )
+        runner.run(idle_limit=1, on_batch=batches.append)
+        with_stats = [b.index for b in batches if b.stats is not None]
+        assert with_stats == [0, 2, 4]
+        assert batches[0].stats.events == 30
+
+    def test_validation(self, export):
+        with pytest.raises(IngestError, match="batch_events"):
+            _runner(export, PlatformTrace(), batch_events=0)
+        with pytest.raises(IngestError, match="stats_cadence"):
+            _runner(export, PlatformTrace(), stats_cadence=-1)
+        with pytest.raises(IngestError, match="interval"):
+            _runner(export, PlatformTrace(), interval=-0.5)
+        runner = _runner(export, PlatformTrace())
+        with pytest.raises(IngestError, match="max_batches"):
+            runner.run(max_batches=0)
+        with pytest.raises(IngestError, match="idle_limit"):
+            runner.run(idle_limit=0)
+
+
+class TestCheckpointedResume:
+    def test_checkpoint_written_after_every_batch(
+        self, tmp_path, export, events
+    ):
+        path = tmp_path / "dest.checkpoint"
+        runner = _runner(
+            export, PlatformTrace(), checkpoint_path=str(path),
+            batch_events=50,
+        )
+        runner.run(max_batches=1)
+        first = read_checkpoint(path)
+        assert first.dest_revision == 50 and first.batches == 1
+        runner.run(max_batches=1)
+        second = read_checkpoint(path)
+        assert second.dest_revision == 100 and second.batches == 2
+        assert second.source_info["kind"] == "jsonl"
+
+    def test_resume_continues_exactly(self, tmp_path, export, events):
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        _runner(
+            export, store, checkpoint_path=path, batch_events=45
+        ).run(max_batches=2)
+        resumed = IngestRunner.resume(
+            JSONLExportSource(export), store, path, batch_events=45
+        )
+        assert resumed.batches_completed == 2
+        summary = resumed.run(idle_limit=1)
+        assert summary.events == len(events) - 90
+        assert list(store) == events
+
+    def test_resume_reconciles_store_ahead_of_checkpoint(
+        self, tmp_path, export, events
+    ):
+        """Killed after a batch append but before its checkpoint: the
+        store is ahead; resume must skip the already-stored records."""
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        runner = _runner(
+            export, store, checkpoint_path=path, batch_events=40
+        )
+        runner.run(max_batches=2)  # checkpoint at 80
+        orphan = JSONLExportSource(export)
+        orphan.seek(read_checkpoint(path).source_position)
+        store.append_batch(orphan.poll(40))  # the un-checkpointed batch
+        resumed = IngestRunner.resume(
+            JSONLExportSource(export), store, path, batch_events=40
+        )
+        resumed.run(idle_limit=1)
+        assert list(store) == events  # no duplicates, no gaps
+
+    def test_resume_does_not_re_report_old_violations_as_new(
+        self, tmp_path
+    ):
+        """The delta session is baselined on the already-ingested trace
+        at resume, so kill/resume cycles never duplicate alerts."""
+        trace = unequal_pay_scenario().trace
+        export = export_jsonl(trace, tmp_path / "pay.jsonl")
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        first = _runner(
+            export, store, checkpoint_path=path, batch_events=30,
+            audit=True,
+        )
+        seen_before = []
+        first.run(max_batches=1, on_batch=seen_before.append)
+        assert seen_before[0].report.total_violations > 0
+        resumed = IngestRunner.resume(
+            JSONLExportSource(export), store, path,
+            batch_events=30, audit=True,
+        )
+        seen_after = []
+        resumed.run(idle_limit=1, on_batch=seen_after.append)
+        surviving = [
+            violation
+            for violation in seen_before[0].report.violations
+            if violation in seen_after[0].report.violations
+        ]
+        # Violations that were already reported before the kill and
+        # still hold afterwards must not resurface as "new".
+        assert all(
+            violation not in seen_after[0].new_violations
+            for violation in surviving
+        )
+
+    def test_resume_refuses_store_behind_checkpoint(
+        self, tmp_path, export
+    ):
+        path = str(tmp_path / "dest.checkpoint")
+        _runner(
+            export, PlatformTrace(), checkpoint_path=path, batch_events=40
+        ).run(max_batches=2)
+        with pytest.raises(CheckpointError, match="truncated or this is"):
+            IngestRunner.resume(
+                JSONLExportSource(export), PlatformTrace(), path
+            )
+
+    def test_resume_refuses_different_source(
+        self, tmp_path, export, events
+    ):
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        _runner(
+            export, store, checkpoint_path=path, batch_events=40
+        ).run(max_batches=1)
+        other = export_jsonl(events, tmp_path / "other-export.jsonl")
+        with pytest.raises(CheckpointError, match="different export"):
+            IngestRunner.resume(JSONLExportSource(other), store, path)
+
+    def test_resume_refuses_missing_or_garbled_checkpoint(
+        self, tmp_path, export
+    ):
+        source = JSONLExportSource(export)
+        with pytest.raises(CheckpointError, match="no ingest checkpoint"):
+            IngestRunner.resume(
+                source, PlatformTrace(), str(tmp_path / "none.checkpoint")
+            )
+        garbled = tmp_path / "garbled.checkpoint"
+        garbled.write_text('{"format_version": 1, "source')
+        with pytest.raises(CheckpointError, match="half-written"):
+            IngestRunner.resume(source, PlatformTrace(), str(garbled))
+
+    def test_resume_refuses_when_source_cannot_cover_excess(
+        self, tmp_path, export, events
+    ):
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        _runner(
+            export, store, checkpoint_path=path, batch_events=len(events)
+        ).run(max_batches=1)  # everything ingested, checkpoint current
+        # Store grows past what the source can explain.
+        bigger = PlatformTrace(events)
+        from repro.core.events import WorkerDeparted
+
+        bigger.append(
+            WorkerDeparted(
+                time=events[-1].time, worker_id="w0001", reason="left"
+            )
+        )
+        with pytest.raises(CheckpointError, match="ahead of"):
+            IngestRunner.resume(JSONLExportSource(export), bigger, path)

@@ -1,0 +1,363 @@
+"""Unit tests for the ingest sources (JSONL, segment-dir, CSV tailers)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.serialize import event_to_dict
+from repro.core.store import PersistentTraceStore
+from repro.errors import IngestError
+from repro.ingest import (
+    CSVExportSource,
+    CSVMapping,
+    JSONLExportSource,
+    SegmentDirectorySource,
+    export_jsonl,
+    resolve_source,
+)
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+
+@pytest.fixture(scope="module")
+def events():
+    return list(clean_scenario().trace)
+
+
+class TestJSONLExportSource:
+    def test_polls_normalised_events(self, tmp_path, events):
+        path = export_jsonl(events, tmp_path / "export.jsonl")
+        source = JSONLExportSource(path)
+        drained = []
+        while True:
+            batch = source.poll(17)
+            if not batch:
+                break
+            assert len(batch) <= 17
+            drained.extend(batch)
+        assert drained == events
+
+    def test_missing_file_means_nothing_yet(self, tmp_path):
+        source = JSONLExportSource(tmp_path / "not-written-yet.jsonl")
+        assert source.poll(5) == []
+
+    def test_follows_appends_between_polls(self, tmp_path, events):
+        path = tmp_path / "grow.jsonl"
+        export_jsonl(events[:3], path)
+        source = JSONLExportSource(path)
+        assert source.poll(100) == events[:3]
+        assert source.poll(100) == []
+        export_jsonl(events[3:6], path, append=True)
+        assert source.poll(100) == events[3:6]
+
+    def test_torn_tail_held_back_until_terminated(self, tmp_path, events):
+        path = tmp_path / "torn.jsonl"
+        export_jsonl(events[:1], path)
+        line = json.dumps(event_to_dict(events[1]))
+        with open(path, "ab") as handle:
+            handle.write(line[:10].encode())  # a crash mid-append
+        source = JSONLExportSource(path)
+        assert source.poll(100) == events[:1]
+        assert source.poll(100) == []  # still torn: not consumed, no error
+        with open(path, "ab") as handle:
+            handle.write(line[10:].encode() + b"\n")
+        assert source.poll(100) == [events[1]]
+
+    def test_blank_lines_are_skipped(self, tmp_path, events):
+        path = tmp_path / "blanks.jsonl"
+        with open(path, "wb") as handle:
+            handle.write(b"\n")
+            handle.write(
+                json.dumps(event_to_dict(events[0])).encode() + b"\n\n"
+            )
+        assert JSONLExportSource(path).poll(100) == [events[0]]
+
+    def test_corrupt_complete_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_bytes(b"{not json}\n")
+        with pytest.raises(IngestError, match="corrupt record"):
+            JSONLExportSource(path).poll(100)
+
+    def test_unknown_event_kind_raises(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_bytes(b'{"kind": "no_such_event", "time": 0}\n')
+        with pytest.raises(IngestError, match="unrecognised record"):
+            JSONLExportSource(path).poll(100)
+
+    def test_truncation_below_offset_raises(self, tmp_path, events):
+        path = export_jsonl(events[:5], tmp_path / "t.jsonl")
+        source = JSONLExportSource(path)
+        source.poll(100)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        with pytest.raises(IngestError, match="shrank below the read offset"):
+            source.poll(100)
+
+    def test_rotation_detected_by_inode_change(self, tmp_path, events):
+        path = tmp_path / "rotated.jsonl"
+        export_jsonl(events[:3], path)
+        source = JSONLExportSource(path)
+        assert source.poll(2)  # establishes the inode signature
+        replacement = tmp_path / "replacement.jsonl"
+        export_jsonl(events, replacement)
+        os.replace(replacement, path)
+        with pytest.raises(IngestError, match="replaced|rotation"):
+            source.poll(100)
+
+    def test_rotation_detected_across_restart(self, tmp_path, events):
+        """The position token carries the file identity, so a rotation
+        that happens while the tailer is down is still detected."""
+        path = tmp_path / "rotated.jsonl"
+        export_jsonl(events[:3], path)
+        source = JSONLExportSource(path)
+        source.poll(100)
+        token = source.position
+        assert "ino" in token and "dev" in token
+        replacement = tmp_path / "replacement.jsonl"
+        export_jsonl(events, replacement)
+        os.replace(replacement, path)
+        fresh = JSONLExportSource(path)
+        fresh.seek(token)
+        with pytest.raises(IngestError, match="replaced|rotation"):
+            fresh.poll(100)
+
+    def test_disappearing_file_raises_once_read(self, tmp_path, events):
+        path = export_jsonl(events[:2], tmp_path / "gone.jsonl")
+        source = JSONLExportSource(path)
+        source.poll(100)
+        os.remove(path)
+        with pytest.raises(IngestError, match="disappeared"):
+            source.poll(100)
+
+    def test_position_seek_round_trip(self, tmp_path, events):
+        path = export_jsonl(events, tmp_path / "seek.jsonl")
+        source = JSONLExportSource(path)
+        first = source.poll(4)
+        token = source.position
+        rest = source.poll(10_000)
+        fresh = JSONLExportSource(path)
+        fresh.seek(token)
+        assert fresh.poll(10_000) == rest
+        assert first + rest == events
+
+    def test_invalid_seek_token(self, tmp_path):
+        source = JSONLExportSource(tmp_path / "x.jsonl")
+        with pytest.raises(IngestError, match="invalid jsonl source position"):
+            source.seek({"offset": -1})
+        with pytest.raises(IngestError, match="invalid jsonl source position"):
+            source.seek({"segment": 0})
+
+    def test_poll_validates_max_records(self, tmp_path):
+        with pytest.raises(IngestError, match="max_records"):
+            JSONLExportSource(tmp_path / "x.jsonl").poll(0)
+
+    def test_describe_names_kind_and_path(self, tmp_path):
+        info = JSONLExportSource(tmp_path / "x.jsonl").describe()
+        assert info["kind"] == "jsonl"
+        assert info["path"].endswith("x.jsonl")
+
+    def test_skip_records(self, tmp_path, events):
+        path = export_jsonl(events, tmp_path / "skip.jsonl")
+        source = JSONLExportSource(path)
+        assert source.skip_records(5) == 5
+        assert source.poll(10_000) == events[5:]
+        assert source.skip_records(3) == 0  # nothing left to skip
+
+
+class TestSegmentDirectorySource:
+    def _capture(self, tmp_path, events, segment_events=25):
+        store = PersistentTraceStore.create(
+            tmp_path / "log", segment_events=segment_events
+        )
+        store.append_batch(events)
+        store.close()
+        return tmp_path / "log"
+
+    def test_reads_across_segments(self, tmp_path, events):
+        path = self._capture(tmp_path, events, segment_events=20)
+        source = SegmentDirectorySource(path)
+        drained = []
+        while True:
+            batch = source.poll(13)
+            if not batch:
+                break
+            drained.extend(batch)
+        assert drained == events
+
+    def test_follows_new_segments(self, tmp_path, events):
+        store = PersistentTraceStore.create(
+            tmp_path / "log", segment_events=10
+        )
+        store.append_batch(events[:15])
+        source = SegmentDirectorySource(tmp_path / "log")
+        assert source.poll(10_000) == events[:15]
+        assert source.poll(10_000) == []
+        store.append_batch(events[15:40])
+        store.close()
+        assert source.poll(10_000) == events[15:40]
+
+    def test_empty_directory_is_nothing_yet(self, tmp_path):
+        (tmp_path / "log").mkdir()
+        assert SegmentDirectorySource(tmp_path / "log").poll(5) == []
+
+    def test_sealed_segment_with_torn_tail_raises(self, tmp_path, events):
+        path = self._capture(tmp_path, events, segment_events=20)
+        with open(path / "events-00000.jsonl", "ab") as handle:
+            handle.write(b'{"kind": "half')
+        with pytest.raises(IngestError, match="sealed segment"):
+            SegmentDirectorySource(path).poll(10_000)
+
+    def test_torn_tail_on_newest_segment_held_back(self, tmp_path, events):
+        path = self._capture(tmp_path, events[:10], segment_events=100)
+        with open(path / "events-00000.jsonl", "ab") as handle:
+            handle.write(b'{"kind": "half')
+        source = SegmentDirectorySource(path)
+        assert source.poll(10_000) == events[:10]
+        assert source.poll(10_000) == []
+
+    def test_stray_non_numeric_segment_file_raises(self, tmp_path, events):
+        path = self._capture(tmp_path, events[:10], segment_events=100)
+        (path / "events-backup.jsonl").write_bytes(b"")
+        with pytest.raises(IngestError, match="unexpected file"):
+            SegmentDirectorySource(path).poll(10)
+
+    def test_missing_middle_segment_raises(self, tmp_path, events):
+        path = self._capture(tmp_path, events, segment_events=10)
+        os.remove(path / "events-00001.jsonl")
+        source = SegmentDirectorySource(path)
+        with pytest.raises(IngestError, match="missing"):
+            while source.poll(10_000):
+                pass
+
+    def test_position_survives_restart(self, tmp_path, events):
+        path = self._capture(tmp_path, events, segment_events=15)
+        source = SegmentDirectorySource(path)
+        source.poll(23)
+        token = source.position
+        rest = source.poll(10_000)
+        fresh = SegmentDirectorySource(path)
+        fresh.seek(token)
+        assert fresh.poll(10_000) == rest
+
+    def test_invalid_seek_token(self, tmp_path):
+        source = SegmentDirectorySource(tmp_path / "log")
+        with pytest.raises(
+            IngestError, match="invalid segments source position"
+        ):
+            source.seek({"segment": -1, "offset": 0})
+
+
+class TestCSVExportSource:
+    @pytest.fixture()
+    def payments(self):
+        trace = unequal_pay_scenario().trace
+        return [e for e in trace if e.kind == "payment_issued"]
+
+    def _write(self, path, payments, header="ts,who,task,contr,amt"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(header + "\n")
+            for event in payments:
+                handle.write(
+                    f"{event.time},{event.worker_id},{event.task_id},"
+                    f"{event.contribution_id},{event.amount}\n"
+                )
+        return path
+
+    @pytest.fixture()
+    def mapping(self):
+        return CSVMapping(
+            columns={
+                "ts": "time",
+                "who": "worker_id",
+                "task": "task_id",
+                "contr": "contribution_id",
+                "amt": "amount",
+            },
+            constants={"kind": "payment_issued"},
+        )
+
+    def test_mapped_rows_become_events(self, tmp_path, payments, mapping):
+        path = self._write(tmp_path / "pay.csv", payments)
+        source = CSVExportSource(path, mapping)
+        assert source.poll(10_000) == payments
+
+    def test_cells_are_json_decoded(self, tmp_path, mapping):
+        path = tmp_path / "typed.csv"
+        path.write_text(
+            "ts,who,task,contr,amt\n"
+            '3,w0001,t0001,null,1.25\n'
+        )
+        (event,) = CSVExportSource(path, mapping).poll(10)
+        assert event.time == 3 and event.amount == 1.25
+        assert event.contribution_id is None
+
+    def test_missing_mapped_column_raises(self, tmp_path, payments, mapping):
+        path = self._write(
+            tmp_path / "pay.csv", payments, header="ts,who,task,contr,amount"
+        )
+        with pytest.raises(IngestError, match="no column 'amt'"):
+            CSVExportSource(path, mapping).poll(10)
+
+    def test_short_row_raises(self, tmp_path, mapping):
+        path = tmp_path / "short.csv"
+        path.write_text("ts,who,task,contr,amt\n1,w0001\n")
+        with pytest.raises(IngestError, match="malformed CSV row"):
+            CSVExportSource(path, mapping).poll(10)
+
+    def test_torn_row_held_back(self, tmp_path, payments, mapping):
+        path = self._write(tmp_path / "pay.csv", payments[:1])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("4,w0002")  # no newline yet
+        source = CSVExportSource(path, mapping)
+        assert source.poll(10) == payments[:1]
+        assert source.poll(10) == []
+
+    def test_header_only_file_is_nothing_yet(self, tmp_path, mapping):
+        path = tmp_path / "empty.csv"
+        path.write_text("ts,who,task,contr,amt\n")
+        assert CSVExportSource(path, mapping).poll(10) == []
+
+    def test_position_survives_restart(self, tmp_path, payments, mapping):
+        path = self._write(tmp_path / "pay.csv", payments)
+        source = CSVExportSource(path, mapping)
+        source.poll(2)
+        token = source.position
+        rest = source.poll(10_000)
+        fresh = CSVExportSource(path, mapping)
+        fresh.seek(token)
+        assert fresh.poll(10_000) == rest
+        assert rest == payments[2:]
+
+    def test_mapping_needs_columns_or_constants(self):
+        with pytest.raises(IngestError, match="columns or constants"):
+            CSVMapping(columns={})
+
+
+class TestResolveSource:
+    def test_auto_detection(self, tmp_path):
+        (tmp_path / "log").mkdir()
+        mapping = CSVMapping(columns={"t": "time"})
+        assert isinstance(
+            resolve_source(tmp_path / "log"), SegmentDirectorySource
+        )
+        assert isinstance(
+            resolve_source(tmp_path / "x.csv", csv_mapping=mapping),
+            CSVExportSource,
+        )
+        assert isinstance(
+            resolve_source(tmp_path / "x.jsonl"), JSONLExportSource
+        )
+
+    def test_explicit_kind_wins(self, tmp_path):
+        assert isinstance(
+            resolve_source(tmp_path / "export.log", "jsonl"),
+            JSONLExportSource,
+        )
+
+    def test_csv_requires_mapping(self, tmp_path):
+        with pytest.raises(IngestError, match="column mapping"):
+            resolve_source(tmp_path / "x.csv")
+
+    def test_unknown_kind(self, tmp_path):
+        with pytest.raises(IngestError, match="unknown source kind"):
+            resolve_source(tmp_path / "x", "parquet")

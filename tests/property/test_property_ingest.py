@@ -1,0 +1,301 @@
+"""Differential tests for the live-ingestion subsystem.
+
+Two contracts, mirroring the acceptance criteria of the ingest PR:
+
+* **Cadence equivalence.**  A cadenced :class:`IngestRunner` that
+  delta-audits after every batch must report, at *every batch
+  boundary*, exactly what a one-shot batch audit of the events ingested
+  so far reports — over all 12 labelled scenarios and over
+  hypothesis-randomised batch sizes and live-append interleavings.
+
+* **Kill/resume equivalence.**  Killing an ingest at any point —
+  cleanly between batches, after an append but before its checkpoint,
+  or mid-write on the destination's own files — and resuming from the
+  checkpoint must produce a destination store *byte-identical* to an
+  uninterrupted ingest of the same export: identical segment bytes for
+  the persistent backend, identical SQL dumps for the sqlite backend
+  (page layout is allocator-dependent; the dump is the byte-exact
+  logical content).
+"""
+
+import os
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditEngine
+from repro.core.store import PersistentTraceStore, SQLiteTraceStore
+from repro.core.trace import PlatformTrace
+from repro.ingest import (
+    IngestRunner,
+    JSONLExportSource,
+    checkpoint_path_for,
+    export_jsonl,
+    read_checkpoint,
+)
+from repro.workloads.scenarios import all_scenarios
+
+
+def _scenarios_by_name(seed=0):
+    return {scenario.name: scenario for scenario in all_scenarios(seed)}
+
+
+_SCENARIO_NAMES = sorted(_scenarios_by_name())
+
+
+# ----------------------------------------------------------------------
+# Cadence equivalence: runner + delta audit == one-shot batch audit
+# at every batch boundary.
+
+
+def assert_cadenced_audit_equals_batch(events, tmp_path, batch_events):
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+    runner = IngestRunner(
+        JSONLExportSource(export), PlatformTrace(),
+        batch_events=batch_events, audit=True,
+    )
+    engine = AuditEngine()
+    boundaries = []
+
+    def check(batch):
+        one_shot = engine.audit(PlatformTrace(runner.trace))
+        assert batch.report == one_shot, (
+            f"cadenced audit diverged from one-shot batch audit at "
+            f"batch {batch.index} (revision {batch.store_revision})"
+        )
+        boundaries.append(batch.store_revision)
+
+    runner.run(idle_limit=1, on_batch=check)
+    assert boundaries and boundaries[-1] == len(events)
+
+
+@pytest.mark.parametrize("name", _SCENARIO_NAMES)
+def test_cadenced_tail_audit_equals_one_shot_batch_audit(name, tmp_path):
+    scenario = _scenarios_by_name()[name]
+    assert_cadenced_audit_equals_batch(
+        list(scenario.trace), tmp_path, batch_events=25
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    batch_events=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_cadence_equivalence_over_random_batch_sizes(
+    name, batch_events, seed, tmp_path_factory
+):
+    scenario = _scenarios_by_name(seed)[name]
+    tmp_path = tmp_path_factory.mktemp("cadence")
+    assert_cadenced_audit_equals_batch(
+        list(scenario.trace), tmp_path, batch_events=batch_events
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    splits=st.lists(
+        st.integers(min_value=1, max_value=80), min_size=1, max_size=12
+    ),
+)
+def test_cadence_equivalence_while_export_still_growing(
+    name, splits, tmp_path_factory
+):
+    """The live-follow path: the export grows *between* runner steps in
+    hypothesis-chosen chunks; every audited boundary must still equal a
+    one-shot batch audit of what has been ingested."""
+    events = list(_scenarios_by_name()[name].trace)
+    tmp_path = tmp_path_factory.mktemp("live")
+    export = tmp_path / "growing.jsonl"
+    export_jsonl([], export)
+    runner = IngestRunner(
+        JSONLExportSource(export), PlatformTrace(),
+        batch_events=10_000, audit=True,
+    )
+    engine = AuditEngine()
+    position = 0
+    for size in splits:
+        chunk = events[position:position + size]
+        position += len(chunk)
+        export_jsonl(chunk, export, append=True)
+        batch = runner.step()
+        if not chunk:
+            assert batch is None
+            continue
+        assert batch is not None
+        assert batch.report == engine.audit(PlatformTrace(runner.trace))
+    assert list(runner.trace) == events[:position]
+
+
+# ----------------------------------------------------------------------
+# Kill/resume equivalence: byte-identical destination stores.
+
+
+def _fingerprint(path):
+    """Byte-exact content of a destination store.
+
+    Persistent logs: every file's raw bytes.  SQLite: the full SQL dump
+    (logical pages are allocator-dependent; the dump is canonical).
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        return {
+            name: open(os.path.join(path, name), "rb").read()
+            for name in sorted(os.listdir(path))
+        }
+    with sqlite3.connect(path) as conn:
+        return "\n".join(conn.iterdump())
+
+
+def _ingest_all(export, dest, backend, batch_events, checkpoint=None):
+    store = (
+        SQLiteTraceStore.create(dest)
+        if backend == "sqlite"
+        else PersistentTraceStore.create(dest)
+    )
+    runner = IngestRunner(
+        JSONLExportSource(export), store,
+        checkpoint_path=checkpoint, batch_events=batch_events,
+    )
+    summary = runner.run(idle_limit=1)
+    store.close()
+    return summary
+
+
+def _reopen(dest, backend):
+    return (
+        SQLiteTraceStore.open(dest)
+        if backend == "sqlite"
+        else PersistentTraceStore.open(dest)
+    )
+
+
+def assert_kill_resume_identical(
+    events, tmp_path, backend, batch_events, kill_after_batches,
+    orphan_events=0,
+):
+    """Interrupt after ``kill_after_batches`` (optionally appending
+    ``orphan_events`` beyond the checkpoint first, simulating a kill
+    between append and checkpoint write), resume, and compare against
+    an uninterrupted ingest byte for byte."""
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+    suffix = ".db" if backend == "sqlite" else ""
+
+    baseline = tmp_path / f"uninterrupted{suffix}"
+    _ingest_all(export, baseline, backend, batch_events)
+
+    killed = tmp_path / f"killed{suffix}"
+    checkpoint = checkpoint_path_for(killed)
+    store = (
+        SQLiteTraceStore.create(killed)
+        if backend == "sqlite"
+        else PersistentTraceStore.create(killed)
+    )
+    runner = IngestRunner(
+        JSONLExportSource(export), store,
+        checkpoint_path=checkpoint, batch_events=batch_events,
+    )
+    runner.run(max_batches=kill_after_batches, idle_limit=1)
+    if orphan_events:
+        # The batch the crash interrupted: appended + committed, but
+        # its checkpoint never made it out.
+        orphan = JSONLExportSource(export)
+        orphan.seek(read_checkpoint(checkpoint).source_position)
+        store.append_batch(orphan.poll(orphan_events))
+        save = getattr(store, "save", None)
+        if callable(save):
+            save()
+    store.close()
+
+    reopened = _reopen(killed, backend)
+    resumed = IngestRunner.resume(
+        JSONLExportSource(export), reopened, checkpoint,
+        batch_events=batch_events,
+    )
+    resumed.run(idle_limit=1)
+    reopened.close()
+
+    assert _fingerprint(killed) == _fingerprint(baseline), (
+        f"kill-after-{kill_after_batches}-batches + resume diverged "
+        f"from uninterrupted ingest on the {backend} backend"
+    )
+    final = _reopen(killed, backend)
+    assert list(final.events) == events
+    final.close()
+
+
+@pytest.mark.parametrize("backend", ["persistent", "sqlite"])
+@pytest.mark.parametrize("name", _SCENARIO_NAMES)
+def test_kill_and_resume_is_byte_identical(name, backend, tmp_path):
+    events = list(_scenarios_by_name()[name].trace)
+    assert_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=max(1, len(events) // 5), kill_after_batches=2,
+    )
+
+
+@pytest.mark.parametrize("backend", ["persistent", "sqlite"])
+def test_kill_between_append_and_checkpoint_is_byte_identical(
+    backend, tmp_path
+):
+    events = list(_scenarios_by_name()["clean"].trace)
+    assert_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=30, kill_after_batches=2, orphan_events=17,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    backend=st.sampled_from(["persistent", "sqlite"]),
+    batch_events=st.integers(min_value=5, max_value=70),
+    kill_after=st.integers(min_value=1, max_value=4),
+    orphan=st.integers(min_value=0, max_value=20),
+)
+def test_kill_resume_identical_over_random_splits(
+    name, backend, batch_events, kill_after, orphan, tmp_path_factory
+):
+    events = list(_scenarios_by_name()[name].trace)
+    tmp_path = tmp_path_factory.mktemp("kill")
+    assert_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=batch_events, kill_after_batches=kill_after,
+        orphan_events=orphan,
+    )
+
+
+def test_kill_mid_write_on_persistent_destination(tmp_path):
+    """The hardest crash: the destination's own segment file has a torn
+    tail (killed mid-append-write) AND the checkpoint lags.  Reopen
+    recovers the torn line, resume re-ingests it; the final store must
+    still match the uninterrupted baseline byte for byte."""
+    events = list(_scenarios_by_name()["clean"].trace)
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+
+    baseline = tmp_path / "uninterrupted"
+    _ingest_all(export, baseline, "persistent", batch_events=40)
+
+    killed = tmp_path / "killed"
+    checkpoint = checkpoint_path_for(killed)
+    store = PersistentTraceStore.create(killed)
+    runner = IngestRunner(
+        JSONLExportSource(export), store,
+        checkpoint_path=checkpoint, batch_events=40,
+    )
+    runner.run(max_batches=2)
+    store.close()
+    # Torn tail: half of one post-checkpoint record hits the segment.
+    with open(killed / "events-00000.jsonl", "ab") as handle:
+        handle.write(b'{"kind": "worker_upd')
+    with pytest.warns(RuntimeWarning, match="truncated line"):
+        reopened = PersistentTraceStore.open(killed)
+    resumed = IngestRunner.resume(
+        JSONLExportSource(export), reopened, checkpoint, batch_events=40
+    )
+    resumed.run(idle_limit=1)
+    reopened.close()
+    assert _fingerprint(killed) == _fingerprint(baseline)
