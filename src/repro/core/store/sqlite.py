@@ -297,8 +297,8 @@ class SQLiteTraceStore(InMemoryTraceStore):
         version = None if row is None else row[0]
         if version != str(DB_FORMAT_VERSION):
             raise TraceError(
-                f"unsupported trace database version {version!r} "
-                f"(supported: {DB_FORMAT_VERSION})"
+                f"{self._db_path!r} has unsupported trace database "
+                f"version {version!r} (supported: {DB_FORMAT_VERSION})"
             )
 
     def _load(self) -> None:
@@ -311,7 +311,8 @@ class SQLiteTraceStore(InMemoryTraceStore):
                     data = json.loads(payload)
                 except json.JSONDecodeError as error:
                     raise TraceError(
-                        f"corrupt trace database payload: {error}"
+                        f"corrupt payload in trace database "
+                        f"{self._db_path!r}: {error}"
                     ) from None
                 self.append(event_from_dict(data))
         finally:

@@ -70,8 +70,9 @@ def infer_disk_backend(
     if backend is not None:
         if backend not in ("persistent", "sqlite"):
             raise TraceError(
-                f"unknown on-disk trace backend {backend!r}; "
-                "available backends: persistent, sqlite"
+                f"unknown on-disk trace backend {backend!r} for path "
+                f"{os.fspath(path)!r}; available backends: "
+                "persistent, sqlite"
             )
         return backend
     suffix = os.path.splitext(os.fspath(path))[1].lower()

@@ -38,12 +38,16 @@ from repro.experiments.tables import Table
 REPLICATION_BACKENDS = ("thread", "process")
 
 
-def resolve_backend(backend: str, *callables: object) -> str:
+def resolve_backend(
+    backend: str, *callables: object, noun: str = "experiment"
+) -> str:
     """Validate a backend name; degrade ``process`` to ``thread`` when
     any of ``callables`` cannot cross a process boundary.
 
     The pickle probe runs up front so a failure costs a warning, not a
-    half-spawned pool.
+    half-spawned pool.  ``noun`` names what is being probed in that
+    warning — other subsystems (the sharded audit engine probes axioms
+    and partitioners) reuse this machinery.
     """
     if backend not in REPLICATION_BACKENDS:
         raise ReproError(
@@ -57,7 +61,7 @@ def resolve_backend(backend: str, *callables: object) -> str:
             pickle.dumps(item)
         except Exception:  # pickle raises a zoo of types
             warnings.warn(
-                f"experiment {getattr(item, '__name__', item)!r} is not "
+                f"{noun} {getattr(item, '__name__', item)!r} is not "
                 "picklable (closures and lambdas cannot cross process "
                 "boundaries); falling back to the thread backend",
                 RuntimeWarning,

@@ -9,9 +9,12 @@ platform export into a continuously audited TraceStore.  Each
 2. appends them write-through into the destination store (any
    :func:`~repro.core.store.make_store` backend) via the batched
    append path and commits,
-3. optionally runs a :class:`~repro.core.audit.DeltaAuditEngine`
-   audit — exact batch verdicts, paid per new event — and surfaces the
-   violations that are *new* since the previous batch,
+3. optionally runs a delta-aware audit — exact batch verdicts, paid
+   per new event — and surfaces the violations that are *new* since
+   the previous batch; with ``audit_jobs=N`` the audit is a
+   :class:`~repro.shard.ShardedDeltaAuditEngine` that fans each
+   batch's touched-entity re-sweeps out across N partitioned workers
+   (identical reports, multi-core throughput),
 4. optionally snapshots :func:`~repro.query.trace_stats` (the
    operator's view of the accumulating log), and
 5. atomically persists an :class:`~repro.ingest.checkpoint.IngestCheckpoint`.
@@ -36,7 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.core.audit import AuditReport, DeltaAuditEngine
+from repro.core.audit import AuditReport
 from repro.core.trace import PlatformTrace, as_trace
 from repro.errors import CheckpointError, IngestError
 from repro.ingest.checkpoint import (
@@ -88,6 +91,7 @@ def validate_runner_options(
     batch_events: int = 256,
     stats_cadence: int = 0,
     interval: float = 0.0,
+    audit_jobs: int = 1,
 ) -> None:
     """Validate the numeric :class:`IngestRunner` options.
 
@@ -105,6 +109,8 @@ def validate_runner_options(
         )
     if interval < 0:
         raise IngestError(f"interval must be >= 0, got {interval}")
+    if audit_jobs < 1:
+        raise IngestError(f"audit_jobs must be >= 1, got {audit_jobs}")
 
 
 class IngestRunner:
@@ -113,11 +119,19 @@ class IngestRunner:
     ``store`` is the destination — a :class:`~repro.core.trace.
     PlatformTrace` or bare :class:`~repro.core.store.TraceStore` of any
     backend.  ``batch_events`` bounds each poll; ``interval`` is the
-    cadence (seconds slept between polls by :meth:`run`; injectable
-    ``sleep`` for tests).  ``audit=True`` attaches a delta session so
-    every batch boundary gets exact batch-audit verdicts;
-    ``stats_cadence=N`` snapshots :func:`trace_stats` every N batches
-    (0 = never).  ``checkpoint_path`` enables crash-safe resume.
+    target polling *rate* in seconds — :meth:`run` sleeps only the
+    remainder of the interval after each poll-and-process cycle, so a
+    slow batch does not stretch the cadence (injectable ``sleep`` and
+    monotonic ``clock`` for tests).  ``audit=True`` attaches a delta
+    session so every batch boundary gets exact batch-audit verdicts;
+    ``audit_jobs=N`` (N > 1) shards that session's per-batch audit
+    into N partitions over N workers
+    (:class:`~repro.shard.ShardedDeltaAuditEngine` — identical
+    reports, multi-core throughput; ``audit_backend`` picks thread or
+    process workers).  ``stats_cadence=N`` snapshots
+    :func:`trace_stats` every N batches (0 = never).
+    ``checkpoint_path`` enables crash-safe resume.  Call :meth:`close`
+    when done to release audit worker pools.
     """
 
     def __init__(
@@ -129,21 +143,32 @@ class IngestRunner:
         batch_events: int = 256,
         audit: bool = False,
         registry: "AxiomRegistry | None" = None,
+        audit_jobs: int = 1,
+        audit_backend: str = "thread",
         stats_cadence: int = 0,
         interval: float = 0.0,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        validate_runner_options(batch_events, stats_cadence, interval)
+        validate_runner_options(
+            batch_events, stats_cadence, interval, audit_jobs
+        )
         self._source = source
         self._trace = as_trace(store)
         self._checkpoint_path = checkpoint_path
         self._batch_events = batch_events
-        self._session = (
-            DeltaAuditEngine(registry=registry) if audit else None
-        )
+        if audit:
+            from repro.shard import make_audit_session
+
+            self._session = make_audit_session(
+                audit_jobs, backend=audit_backend, registry=registry
+            )
+        else:
+            self._session = None
         self._stats_cadence = stats_cadence
         self._interval = interval
         self._sleep = sleep
+        self._clock = clock
         self._batches = 0
         self._last_report: AuditReport | None = None
 
@@ -169,6 +194,17 @@ class IngestRunner:
         """The most recent delta-audit report (``None`` before the
         first audited batch or without ``audit=True``)."""
         return self._last_report
+
+    def close(self) -> None:
+        """Release the audit session's worker pools (idempotent).
+
+        Only sharded sessions hold threads/processes; the plain delta
+        session's close is a no-op, so callers can close
+        unconditionally.
+        """
+        close = getattr(self._session, "close", None)
+        if callable(close):
+            close()
 
     # ------------------------------------------------------------------
     # Resume
@@ -227,7 +263,13 @@ class IngestRunner:
             # violations that existed before the kill are not "new"
             # again after it, and the first post-resume audit pays only
             # for its own batch.
-            runner._last_report = runner._session.audit(trace)
+            try:
+                runner._last_report = runner._session.audit(trace)
+            except BaseException:
+                # The caller never sees the runner, so it could never
+                # close it — release the audit worker pools here.
+                runner.close()
+                raise
         return runner
 
     # ------------------------------------------------------------------
@@ -296,6 +338,12 @@ class IngestRunner:
         (the "caught up with a finished export" signal).  With neither,
         the runner follows the export forever — the live-tail posture.
         ``on_batch`` observes each completed batch.
+
+        ``interval`` is honoured as a *rate*: after each cycle the
+        runner sleeps only the part of the interval the poll (append,
+        audit, checkpoint) did not already consume, so a slow batch is
+        followed by the next poll immediately rather than a full
+        fixed-length nap on top.
         """
         if max_batches is not None and max_batches < 1:
             raise IngestError(
@@ -310,6 +358,7 @@ class IngestRunner:
         idle = 0
         stopped_on = "idle"
         while True:
+            cycle_started = self._clock()
             batch = self.step()
             if batch is None:
                 idle += 1
@@ -325,7 +374,11 @@ class IngestRunner:
                     stopped_on = "max_batches"
                     break
             if self._interval:
-                self._sleep(self._interval)
+                remaining = self._interval - (
+                    self._clock() - cycle_started
+                )
+                if remaining > 0:
+                    self._sleep(remaining)
         return IngestSummary(
             batches=batches,
             events=events,

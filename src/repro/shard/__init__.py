@@ -1,0 +1,55 @@
+"""Sharded parallel audit subsystem.
+
+Partitions the delta-audit workload — the touched-entity relation the
+single-threaded :class:`~repro.core.audit.DeltaAuditEngine` re-sweeps —
+across N shards, runs per-partition checks over thread or process
+workers, and deterministically merges the per-partition verdicts into
+an :class:`~repro.core.audit.AuditReport` identical to the unsharded
+(and batch) result.  See :mod:`repro.shard.engine` for the entry point
+and ``tests/property/test_property_sharded_audit.py`` for the
+equivalence contract.
+"""
+
+from repro.shard.checkers import (
+    PartitionChecker,
+    PartitionVerdicts,
+    partition_checkers,
+    supports_partitioning,
+)
+from repro.shard.engine import (
+    ShardedDeltaAuditEngine,
+    default_shards,
+    make_audit_session,
+)
+from repro.shard.merge import merge_axiom_verdicts
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    HashPartitioner,
+    MappedPartitioner,
+    Partitioner,
+    make_partitioner,
+    size_balanced_partitioner,
+    stable_hash,
+)
+from repro.shard.workers import ProcessShardPool, ShardRunner, ThreadShardPool
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "HashPartitioner",
+    "MappedPartitioner",
+    "PartitionChecker",
+    "PartitionVerdicts",
+    "Partitioner",
+    "ProcessShardPool",
+    "ShardRunner",
+    "ShardedDeltaAuditEngine",
+    "ThreadShardPool",
+    "default_shards",
+    "make_audit_session",
+    "make_partitioner",
+    "merge_axiom_verdicts",
+    "partition_checkers",
+    "size_balanced_partitioner",
+    "stable_hash",
+    "supports_partitioning",
+]

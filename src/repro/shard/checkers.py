@@ -1,0 +1,472 @@
+"""Partition-aware delta checkers for the entity-sweep axioms (2, 6, 7).
+
+A partition checker is one shard's share of one axiom.  It subclasses
+the axiom's delta checker, so event folding, slice fetching, sampling
+fallbacks, and verdict predicates are *the same code* the single-
+threaded :class:`~repro.core.audit.DeltaAuditEngine` runs — the shard
+layer only narrows which work units (qualifying task pairs for Axiom 2,
+requesters for Axiom 6, workers for Axiom 7) the checker owns, via a
+:class:`~repro.shard.partition.Partitioner`.  Ownership is total and
+disjoint across shards, so summed opportunity counts and key-merged
+violation lists reproduce the batch verdict exactly (see
+:mod:`repro.shard.merge`).
+
+Each audit is split into two phases with different freedoms:
+
+``fold(trace, delta)``
+    Sequential, in the driver (thread backend) or inside the worker
+    process (process backend, with ``trace=None``).  Folds the delta's
+    events into the inherited maintained state and *pulls the shard's
+    evidence*: for every owned unit the delta invalidated, the entity
+    slice (a task's audience, an entity's disclosed fields) is
+    refreshed through the inherited per-entity fetch — a seq-bounded
+    :class:`~repro.query.TraceQuery` point query on indexed stores, the
+    event-folded map elsewhere.
+
+``judge()``
+    Pure CPU over the prefetched evidence — safe to run on a worker
+    thread or in a worker process; never touches the trace.  Returns
+    the shard's :class:`PartitionVerdicts`.
+
+Beyond parallelism, partition checkers keep *dirty-unit indexes* (which
+owned pairs does a touched task invalidate) and a map of currently
+violating units, so a judge pass costs the invalidated units plus the
+shard's violations — not a walk over every owned unit the way the
+unsharded Axiom 2 checker re-walks its full qualifying-pair list per
+audit.  That is where the single-core speedup in
+``benchmarks/test_bench_shard.py`` comes from; worker fan-out adds
+multi-core scaling on top.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import insort
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+# The partition subclasses deliberately extend the engine-facing delta
+# checkers (module-private to repro.core: the shard package is their
+# only external consumer, and sharing the implementation is what keeps
+# the sharded verdicts byte-identical to the unsharded ones).
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    _DeltaRequesterFairness,
+)
+from repro.core.axiom_transparency import (
+    PlatformTransparency,
+    RequesterTransparency,
+    _DeltaPlatformTransparency,
+    _DeltaRequesterTransparency,
+)
+from repro.core.axioms import Axiom, AxiomCheck, TraceDelta
+from repro.core.events import (
+    RequesterRegistered,
+    WorkerRegistered,
+    WorkerUpdated,
+)
+from repro.core.violations import Violation
+from repro.shard.partition import Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PlatformTrace
+
+
+@dataclass(frozen=True)
+class PartitionVerdicts:
+    """One shard's contribution to one axiom's verdict.
+
+    ``keyed_violations`` carries each violation with its within-axiom
+    sort key; keys are globally ordered exactly as the batch checker
+    emits violations, so a key-merge of all shards reproduces the batch
+    order (see :func:`repro.shard.merge.merge_axiom_verdicts`).
+    ``override``, when set, is a complete axiom verdict that replaces
+    the merge — the designated shard raises it when the axiom left its
+    partitionable regime (Axiom 2's pair-sampling fallback).
+    """
+
+    axiom_id: int
+    keyed_violations: tuple[tuple[tuple, Violation], ...] = ()
+    opportunities: int = 0
+    override: AxiomCheck | None = None
+
+
+class PartitionChecker(abc.ABC):
+    """One shard's share of one axiom's delta-aware audit."""
+
+    @abc.abstractmethod
+    def fold(self, trace: "PlatformTrace | None", delta: TraceDelta) -> None:
+        """Fold the delta and refresh the owned evidence it touched."""
+
+    @abc.abstractmethod
+    def judge(self) -> PartitionVerdicts:
+        """Re-judge invalidated owned units; trace-free, thread-safe."""
+
+
+class RequesterFairnessPartition(_DeltaRequesterFairness, PartitionChecker):
+    """One shard of Axiom 2: owns qualifying pairs by anchor task.
+
+    A pair is owned by the shard of its lexicographically first task —
+    the touched-entity relation is what partitions, per the entity
+    partitioner, and per-task shard assignments are computed once and
+    cached, so qualifying a new task against N earlier ones costs N
+    dictionary lookups, not N hashes.  Pair qualification and folding
+    are inherited; this subclass only (a) skips pairs the shard does
+    not own (before paying the comparability predicate — each pair's
+    skill cosine is computed by exactly one shard), (b) indexes owned
+    pairs by task so a dirty task invalidates just its own pairs, and
+    (c) maintains the violating-pair list incrementally instead of
+    re-walking every owned pair per audit.
+    """
+
+    def __init__(
+        self,
+        axiom: RequesterFairnessInAssignment,
+        partitioner: Partitioner,
+        shard_index: int,
+    ) -> None:
+        super().__init__(axiom)
+        self._partitioner = partitioner
+        self._shard_index = shard_index
+        # task_id -> owned qualifying pairs containing it.
+        self._pairs_by_task: dict[str, list[tuple[str, str]]] = {}
+        # Owned pairs awaiting their first judgement.
+        self._pending: set[tuple[str, str]] = set()
+        # Owned pairs currently violating, as a key-sorted tuple
+        # maintained by linear merges of each judge pass's changes —
+        # never re-sorted, never re-walked when clean.
+        self._keyed: tuple[tuple[tuple[str, str], Violation], ...] = ()
+        # Pairs invalidated since the last judge, with their audiences
+        # prefetched at fold time (judge never touches the trace).
+        self._to_judge: tuple[tuple[str, str], ...] = ()
+        self._views: dict[str, set[str]] = {}
+        # This shard's anchor tasks, in posted order (a pair is owned
+        # by the shard of its lexicographically first task, so a new
+        # task pairs against owned anchors below it plus — when itself
+        # owned — everything above it: expected work 2T/S per task
+        # instead of rescanning all T tasks in every shard).
+        self._owned_anchors: list[str] = []
+
+    def _pair_up(self, task_id: str) -> None:
+        """Qualify the new task against earlier ones, owned pairs only."""
+        axiom = self._axiom
+        window = axiom.posting_window
+        time = self._posted_at[task_id]
+        mine = self._partitioner.assign(task_id) == self._shard_index
+        if mine:
+            self._owned_anchors.append(task_id)
+        for other_id in self._owned_anchors:
+            if other_id >= task_id:
+                continue
+            if abs(time - self._posted_at[other_id]) > window:
+                continue
+            self._qualify((other_id, task_id))
+        if mine:
+            for other_id, other_time in self._posted_at.items():
+                if other_id <= task_id:
+                    continue
+                if abs(time - other_time) > window:
+                    continue
+                self._qualify((task_id, other_id))
+
+    def _qualify(self, pair: tuple[str, str]) -> None:
+        """Admit one owned, window-passing pair if it is comparable."""
+        comparable = self._comparable.get(pair)
+        if comparable is None:
+            comparable = self._axiom.tasks_comparable(
+                self._tasks[pair[0]], self._tasks[pair[1]]
+            )
+            self._comparable[pair] = comparable
+        if comparable and pair not in self._qualified:
+            self._qualifying.append(pair)
+            self._qualified.add(pair)
+            self._pairs_by_task.setdefault(pair[0], []).append(pair)
+            self._pairs_by_task.setdefault(pair[1], []).append(pair)
+            self._pending.add(pair)
+
+    def fold(self, trace: "PlatformTrace | None", delta: TraceDelta) -> None:
+        was_sampling = self._sampling
+        super().apply(trace, delta)
+        if self._sampling:
+            if not was_sampling:
+                # Mirror the parent's cache reset when the pair cap
+                # engages: from here on the designated shard serves the
+                # memoised full scan.
+                self._pairs_by_task.clear()
+                self._pending.clear()
+                self._owned_anchors.clear()
+                self._keyed = ()
+            self._to_judge = ()
+            self._views = {}
+            self._dirty.clear()
+            return
+        invalidated = set(self._pending)
+        for task_id in self._dirty:
+            invalidated.update(self._pairs_by_task.get(task_id, ()))
+        self._to_judge = tuple(sorted(invalidated))
+        self._pending.clear()
+        self._dirty.clear()
+        # Pull this partition's evidence now (seq-bounded TraceQuery
+        # point queries on indexed stores, folded maps elsewhere) so
+        # judge() is pure CPU.  One fetch per involved task, however
+        # many invalidated pairs it appears in.
+        involved = {task_id for pair in self._to_judge for task_id in pair}
+        self._views = {
+            task_id: self._audience(task_id) for task_id in involved
+        }
+
+    def judge(self) -> PartitionVerdicts:
+        axiom = self._axiom
+        if self._sampling:
+            if self._shard_index != 0:
+                return PartitionVerdicts(axiom_id=axiom.axiom_id)
+            violations, opportunities = axiom._scan(
+                self._posted_at, self._tasks, self._audiences,
+                self._comparable,
+            )
+            return PartitionVerdicts(
+                axiom_id=axiom.axiom_id,
+                override=axiom._result(violations, opportunities),
+            )
+        if self._to_judge:
+            changes = [
+                (
+                    pair,
+                    axiom._audience_violation(
+                        pair[0], pair[1],
+                        self._tasks[pair[0]], self._tasks[pair[1]],
+                        max(
+                            self._posted_at[pair[0]],
+                            self._posted_at[pair[1]],
+                        ),
+                        self._views[pair[0]], self._views[pair[1]],
+                    ),
+                )
+                for pair in self._to_judge
+            ]
+            self._keyed = self._merge_changes(self._keyed, changes)
+            self._to_judge = ()
+            self._views = {}
+        return PartitionVerdicts(
+            axiom_id=axiom.axiom_id,
+            keyed_violations=self._keyed,
+            opportunities=len(self._qualifying),
+        )
+
+    @staticmethod
+    def _merge_changes(
+        old: "tuple[tuple[tuple[str, str], Violation], ...]",
+        changes: "list[tuple[tuple[str, str], Violation | None]]",
+    ) -> "tuple[tuple[tuple[str, str], Violation], ...]":
+        """Fold key-sorted re-judgements into the key-sorted violating
+        list in one linear pass (``changes`` replace, insert, or — for
+        a ``None`` verdict — drop their pair)."""
+        merged: list[tuple[tuple[str, str], Violation]] = []
+        index = 0
+        for pair, verdict in changes:
+            while index < len(old) and old[index][0] < pair:
+                merged.append(old[index])
+                index += 1
+            if index < len(old) and old[index][0] == pair:
+                index += 1
+            if verdict is not None:
+                merged.append((pair, verdict))
+        merged.extend(old[index:])
+        return tuple(merged)
+
+
+class RequesterTransparencyPartition(
+    _DeltaRequesterTransparency, PartitionChecker
+):
+    """One shard of Axiom 6: owns requesters by id.
+
+    The mandated-field sweep partitions cleanly by requester.  The
+    event-settled streams (silent rejections, late payments) are
+    whole-trace verdicts every shard folds identically; shard 0 alone
+    reports them, keyed to sort after every sweep violation — matching
+    the batch checker's sweep-then-rejections-then-delays order.
+    """
+
+    def __init__(
+        self,
+        axiom: RequesterTransparency,
+        partitioner: Partitioner,
+        shard_index: int,
+    ) -> None:
+        super().__init__(axiom)
+        self._partitioner = partitioner
+        self._shard_index = shard_index
+        self._owned_sorted: list[str] = []
+        self._owned: set[str] = set()
+        # Only the designated shard reports the event-settled streams
+        # (rejections, late payments); the others skip building — and
+        # retaining — a Violation per event they would never emit.
+        self._keep_settled = shard_index == 0
+
+    def _owns(self, requester_id: str) -> bool:
+        return self._partitioner.assign(requester_id) == self._shard_index
+
+    def _resweep(self, requester_ids: Iterable[str]) -> None:
+        super()._resweep(
+            requester_id
+            for requester_id in requester_ids
+            if self._owns(requester_id)
+        )
+
+    def fold(self, trace: "PlatformTrace | None", delta: TraceDelta) -> None:
+        super().apply(trace, delta)
+        # Admit only the delta's newly registered owned requesters —
+        # O(delta), not a re-filter of every requester ever seen.
+        for event in delta.new_events:
+            if isinstance(event, RequesterRegistered):
+                requester_id = event.requester.requester_id
+                if requester_id not in self._owned and self._owns(
+                    requester_id
+                ):
+                    self._owned.add(requester_id)
+                    insort(self._owned_sorted, requester_id)
+
+    def judge(self) -> PartitionVerdicts:
+        axiom = self._axiom
+        keyed: list[tuple[tuple, Violation]] = []
+        for requester_id in self._owned_sorted:
+            for index, field_name in enumerate(
+                self._missing.get(requester_id, ())
+            ):
+                keyed.append((
+                    (0, requester_id, index),
+                    axiom._undisclosed_violation(
+                        requester_id, field_name, self._end_time
+                    ),
+                ))
+        opportunities = len(self._owned_sorted) * len(axiom.mandated_fields)
+        if self._shard_index == 0:
+            if axiom.check_rejection_feedback:
+                keyed.extend(
+                    ((1, "", index), violation)
+                    for index, violation in enumerate(self._rejections)
+                )
+                opportunities += self._rejection_opportunities
+            if axiom.check_payment_delay:
+                keyed.extend(
+                    ((2, "", index), violation)
+                    for index, violation in enumerate(self._delays)
+                )
+                opportunities += self._delay_opportunities
+        return PartitionVerdicts(
+            axiom_id=axiom.axiom_id,
+            keyed_violations=tuple(keyed),
+            opportunities=opportunities,
+        )
+
+
+class PlatformTransparencyPartition(
+    _DeltaPlatformTransparency, PartitionChecker
+):
+    """One shard of Axiom 7: owns workers by id."""
+
+    def __init__(
+        self,
+        axiom: PlatformTransparency,
+        partitioner: Partitioner,
+        shard_index: int,
+    ) -> None:
+        super().__init__(axiom)
+        self._partitioner = partitioner
+        self._shard_index = shard_index
+        self._owned_sorted: list[str] = []
+        self._owned: set[str] = set()
+
+    def _owns(self, worker_id: str) -> bool:
+        return self._partitioner.assign(worker_id) == self._shard_index
+
+    def _resweep(self, worker_ids: Iterable[str]) -> None:
+        super()._resweep(
+            worker_id for worker_id in worker_ids if self._owns(worker_id)
+        )
+
+    def fold(self, trace: "PlatformTrace | None", delta: TraceDelta) -> None:
+        super().apply(trace, delta)
+        # Admit only the delta's newly seen owned workers — O(delta),
+        # not a re-filter of every worker ever seen.
+        for event in delta.new_events:
+            if isinstance(event, (WorkerRegistered, WorkerUpdated)):
+                worker_id = event.worker.worker_id
+                if worker_id not in self._owned and self._owns(worker_id):
+                    self._owned.add(worker_id)
+                    insort(self._owned_sorted, worker_id)
+
+    def judge(self) -> PartitionVerdicts:
+        axiom = self._axiom
+        keyed: list[tuple[tuple, Violation]] = []
+        opportunities = 0
+        for worker_id in self._owned_sorted:
+            relevant_count, missing = self._sweeps.get(worker_id, (0, ()))
+            opportunities += relevant_count
+            for index, field_name in enumerate(missing):
+                keyed.append((
+                    (worker_id, index),
+                    axiom._undisclosed_violation(
+                        worker_id, field_name, self._end_time
+                    ),
+                ))
+        return PartitionVerdicts(
+            axiom_id=axiom.axiom_id,
+            keyed_violations=tuple(keyed),
+            opportunities=opportunities,
+        )
+
+
+#: (axiom type, its stock delta_checker, partition subclass) — an axiom
+#: partitions only when its delta path is the stock one this package
+#: mirrors; a subclass that overrides ``delta_checker`` or clears
+#: ``supports_delta`` opted out (mirroring the unsharded engine, which
+#: honours ``supports_delta`` with exact full re-checks).
+_PARTITIONABLE: tuple[tuple[type, object, type], ...] = (
+    (
+        RequesterFairnessInAssignment,
+        RequesterFairnessInAssignment.delta_checker,
+        RequesterFairnessPartition,
+    ),
+    (
+        RequesterTransparency,
+        RequesterTransparency.delta_checker,
+        RequesterTransparencyPartition,
+    ),
+    (
+        PlatformTransparency,
+        PlatformTransparency.delta_checker,
+        PlatformTransparencyPartition,
+    ),
+)
+
+
+def _partition_class(axiom: Axiom) -> "type | None":
+    """The partition-checker class for ``axiom``, or ``None`` when the
+    sharded engine must leave it on the driver's unsharded path."""
+    if not axiom.supports_delta:
+        return None
+    for axiom_type, stock_delta, partition_cls in _PARTITIONABLE:
+        if (
+            isinstance(axiom, axiom_type)
+            and type(axiom).delta_checker is stock_delta
+        ):
+            return partition_cls
+    return None
+
+
+def supports_partitioning(axiom: Axiom) -> bool:
+    """True when the sharded engine can split this axiom across shards."""
+    return _partition_class(axiom) is not None
+
+
+def partition_checkers(
+    axioms: Sequence[Axiom], partitioner: Partitioner, shard_index: int
+) -> list[PartitionChecker]:
+    """One shard's checkers for every partitionable axiom, in order."""
+    checkers: list[PartitionChecker] = []
+    for axiom in axioms:
+        partition_cls = _partition_class(axiom)
+        if partition_cls is not None:
+            checkers.append(partition_cls(axiom, partitioner, shard_index))
+    return checkers

@@ -1,0 +1,281 @@
+"""``ShardedDeltaAuditEngine``: partitioned delta audits, merged verdicts.
+
+The single-threaded :class:`~repro.core.audit.DeltaAuditEngine` already
+pays per new event, but each audit still sweeps its cached work units
+serially in one interpreter.  This engine partitions the touched-entity
+relation across N shards (:mod:`repro.shard.partition`), lets each
+shard fold the delta and re-judge only the owned units it invalidated
+(:mod:`repro.shard.checkers`) over a thread or process worker pool
+(:mod:`repro.shard.workers`), and key-merges the per-partition verdicts
+(:mod:`repro.shard.merge`).  Axioms without a partitionable sweep
+(1, 3, 4, 5, and any custom axiom) run on the driver exactly as the
+unsharded session runs them, overlapped with the shard judges.
+
+The contract — enforced by
+``tests/property/test_property_sharded_audit.py`` over every labelled
+scenario × shard counts × store backends × randomised partitions — is
+that every :meth:`audit` equals :class:`~repro.core.audit.AuditEngine`
+(and therefore :class:`~repro.core.audit.DeltaAuditEngine`) on the same
+trace at the same revision: violations, order, opportunity counts.
+
+Typical use::
+
+    engine = ShardedDeltaAuditEngine(shards=4)
+    for batch in batches:
+        trace.append_batch(batch)
+        report = engine.audit(trace)     # == AuditEngine().audit(trace)
+    engine.close()
+
+``IngestRunner(audit_jobs=N)`` (CLI ``trace tail --audit --audit-jobs
+N``) constructs one per ingest to fan each batch's audit out
+per-partition.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.core.audit import AuditReport, DeltaAuditEngine
+from repro.core.axioms import AxiomRegistry, TraceDelta, default_registry
+from repro.core.store import TraceStore, collect_touched
+from repro.core.trace import PlatformTrace, as_trace
+from repro.errors import AuditError
+from repro.experiments.replication import (
+    REPLICATION_BACKENDS,
+    resolve_backend,
+)
+from repro.shard.checkers import supports_partitioning
+from repro.shard.merge import merge_axiom_verdicts
+from repro.shard.partition import HashPartitioner, Partitioner
+from repro.shard.workers import ProcessShardPool, ShardRunner, ThreadShardPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.axioms import Axiom
+
+
+def default_shards() -> int:
+    """Shard count when none is given: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ShardedDeltaAuditEngine:
+    """Delta audits of one growing trace, partitioned across N shards.
+
+    ``shards`` is the partition count (default: one per core; when a
+    ``partitioner`` is supplied its own shard count wins).  ``jobs``
+    bounds *thread*-pool concurrency (default: one worker per shard);
+    the process backend always forks exactly one long-lived worker per
+    shard — its state is per-shard, so pick ``shards`` with the core
+    budget in mind there.  ``backend`` is ``"thread"`` (default) or
+    ``"process"`` — processes are probed for picklability first and
+    degrade to threads with a warning, mirroring
+    :func:`repro.experiments.replication.resolve_backend`.  The engine
+    holds worker state across audits; call :meth:`close` (or use it as
+    a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        shards: int | None = None,
+        *,
+        jobs: int | None = None,
+        backend: str = "thread",
+        registry: AxiomRegistry | None = None,
+        partitioner: Partitioner | None = None,
+    ) -> None:
+        if backend not in REPLICATION_BACKENDS:
+            raise AuditError(
+                f"unknown shard-audit backend {backend!r}; "
+                f"known: {', '.join(REPLICATION_BACKENDS)}"
+            )
+        if partitioner is not None:
+            if shards is not None and shards != partitioner.shards:
+                raise AuditError(
+                    f"shards={shards} disagrees with the supplied "
+                    f"partitioner's {partitioner.shards} shard(s)"
+                )
+            shards = partitioner.shards
+        elif shards is None:
+            shards = default_shards()
+        if shards < 1:
+            raise AuditError(f"shards must be >= 1, got {shards}")
+        if jobs is None:
+            jobs = shards
+        if jobs < 1:
+            raise AuditError(f"jobs must be >= 1, got {jobs}")
+        self.registry = registry if registry is not None else default_registry()
+        self.partitioner = (
+            partitioner if partitioner is not None else HashPartitioner(shards)
+        )
+        self.shards = shards
+        self.jobs = jobs
+        self._sharded_axioms: "list[Axiom]" = [
+            axiom for axiom in self.registry if supports_partitioning(axiom)
+        ]
+        # Driver-side delta checkers for everything else — the exact
+        # machinery DeltaAuditEngine uses (None = full re-check).
+        self._driver_checkers: dict[int, object] = {}
+        self._sharded_ids = frozenset(
+            axiom.axiom_id for axiom in self._sharded_axioms
+        )
+        self._revision = 0
+        self._trace: PlatformTrace | None = None
+        self.last_delta: TraceDelta | None = None
+        self._pool = None
+        self._closed = False
+        self._poisoned = False
+        self.backend = "thread"
+        if not self._sharded_axioms and shards > 1:
+            # Announce the degradation like every other fallback path:
+            # the caller asked for parallelism this registry cannot use.
+            warnings.warn(
+                "no axiom in the registry supports partitioning; every "
+                "axiom runs on the driver single-threaded and the "
+                "requested shard workers are not started",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self._sharded_axioms:
+            self.backend = resolve_backend(
+                backend, *self._sharded_axioms, self.partitioner,
+                noun="shard-audit component",
+            )
+            if self.backend == "process":
+                self._pool = ProcessShardPool(
+                    self._sharded_axioms, self.partitioner, shards
+                )
+            else:
+                runners = [
+                    ShardRunner(self._sharded_axioms, self.partitioner, index)
+                    for index in range(shards)
+                ]
+                self._pool = ThreadShardPool(runners, jobs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def revision(self) -> int:
+        """The store revision as of the last audit."""
+        return self._revision
+
+    @property
+    def sharded_axiom_ids(self) -> tuple[int, ...]:
+        """Axioms whose sweeps this engine partitions across shards."""
+        return tuple(axiom.axiom_id for axiom in self._sharded_axioms)
+
+    # ------------------------------------------------------------------
+
+    def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
+        """Audit the trace; equals a full batch audit at this revision."""
+        trace = as_trace(trace)
+        if self._closed:
+            raise AuditError(
+                "sharded audit engine is closed; build a new one"
+            )
+        if self._poisoned:
+            raise AuditError(
+                "sharded audit engine is in an inconsistent state after "
+                "a failed audit; build a new session (its next audit "
+                "rebuilds from the trace)"
+            )
+        if self._trace is None:
+            self._trace = trace
+        elif self._trace.store is not trace.store:
+            raise AuditError(
+                "sharded audit session is bound to one trace; "
+                "start a new session for a different trace"
+            )
+        new_events = trace.events_since(self._revision)
+        delta = TraceDelta(
+            from_revision=self._revision,
+            to_revision=trace.revision,
+            new_events=new_events,
+            touched=collect_touched(new_events),
+        )
+        self._revision = delta.to_revision
+        try:
+            gather = (
+                self._pool.dispatch(trace, delta)
+                if self._pool is not None
+                else None
+            )
+            driver_results: dict[int, object] = {}
+            for axiom in self.registry:
+                if axiom.axiom_id in self._sharded_ids:
+                    continue
+                if axiom.axiom_id not in self._driver_checkers:
+                    self._driver_checkers[axiom.axiom_id] = (
+                        axiom.delta_checker()
+                        if axiom.supports_delta
+                        else None
+                    )
+                checker = self._driver_checkers[axiom.axiom_id]
+                if checker is None:
+                    driver_results[axiom.axiom_id] = axiom.check(trace)
+                else:
+                    checker.apply(trace, delta)
+                    driver_results[axiom.axiom_id] = checker.result()
+            merged: dict[int, object] = {}
+            if gather is not None:
+                per_shard = gather()
+                for position, axiom in enumerate(self._sharded_axioms):
+                    merged[axiom.axiom_id] = merge_axiom_verdicts(
+                        axiom, [shard[position] for shard in per_shard]
+                    )
+        except BaseException:
+            # A failure mid-audit (a shard folded the delta, another
+            # raised) leaves checker states inconsistent with
+            # _revision; a retry would silently skip those events for
+            # the shards that missed them.  Poison the session so the
+            # next audit fails loudly instead of diverging quietly.
+            self._poisoned = True
+            raise
+        results = tuple(
+            merged[axiom.axiom_id]
+            if axiom.axiom_id in merged
+            else driver_results[axiom.axiom_id]
+            for axiom in self.registry
+        )
+        self.last_delta = delta
+        return AuditReport(results=results, trace_length=len(trace))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Release worker threads/processes (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedDeltaAuditEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def make_audit_session(
+    jobs: int = 1,
+    *,
+    backend: str = "thread",
+    registry: AxiomRegistry | None = None,
+) -> "DeltaAuditEngine | ShardedDeltaAuditEngine":
+    """The audit session a consumer should run at a given parallelism.
+
+    ``jobs=1`` is the plain single-threaded delta session; ``jobs>1``
+    shards the audit into ``jobs`` partitions over ``jobs`` workers.
+    This is the hook :class:`~repro.ingest.runner.IngestRunner` and the
+    CLI construct through.
+    """
+    if jobs < 1:
+        raise AuditError(f"audit jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return DeltaAuditEngine(registry=registry)
+    return ShardedDeltaAuditEngine(
+        shards=jobs, jobs=jobs, backend=backend, registry=registry
+    )

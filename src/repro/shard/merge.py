@@ -1,0 +1,62 @@
+"""Deterministic merge of per-partition verdicts into batch verdicts.
+
+The batch checkers emit violations in a canonical within-axiom order
+(lexicographic qualifying pairs for Axiom 2; sorted entities, then the
+event-settled streams, for Axioms 6 and 7).  Partition checkers tag
+every violation with its position in that order (the merge *key*), and
+each shard's list arrives already key-sorted, so the merge touches
+only the violations — a timsort gallop over the concatenated sorted
+runs, never a re-walk of the work units — and the merged
+:class:`~repro.core.axioms.AxiomCheck` is equal to the unsharded one:
+same violations, same order, summed opportunity counts.
+
+When a shard raises an ``override`` (Axiom 2's pair-sampling fallback,
+where the batch verdict is a whole-population sample no partition can
+own), the override *is* the axiom verdict and the merge is skipped.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Sequence
+
+from repro.core.axioms import Axiom, AxiomCheck
+from repro.errors import AuditError
+from repro.shard.checkers import PartitionVerdicts
+
+
+def merge_axiom_verdicts(
+    axiom: Axiom, parts: Sequence[PartitionVerdicts]
+) -> AxiomCheck:
+    """Fold one axiom's per-shard verdicts into the batch verdict."""
+    if not parts:
+        raise AuditError(
+            f"no partition verdicts to merge for axiom {axiom.axiom_id}"
+        )
+    for part in parts:
+        if part.axiom_id != axiom.axiom_id:
+            raise AuditError(
+                f"cannot merge verdicts of axiom {part.axiom_id} into "
+                f"axiom {axiom.axiom_id}"
+            )
+        if part.override is not None:
+            return part.override
+    populated = [part.keyed_violations for part in parts if part.keyed_violations]
+    if len(populated) == 1:
+        keyed: "Sequence[tuple]" = populated[0]
+    else:
+        # Concatenate the key-sorted runs and let timsort gallop over
+        # them: O(V log S) comparisons, all in C — measurably faster
+        # than a Python-level k-way heap merge at audit cadence.
+        merged: list[tuple] = []
+        for run in populated:
+            merged.extend(run)
+        merged.sort(key=itemgetter(0))
+        keyed = merged
+    violations = tuple(violation for _, violation in keyed)
+    return AxiomCheck(
+        axiom_id=axiom.axiom_id,
+        title=axiom.title,
+        violations=violations,
+        opportunities=sum(part.opportunities for part in parts),
+    )

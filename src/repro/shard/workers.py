@@ -1,0 +1,179 @@
+"""Shard worker pools: run per-partition judges over threads or processes.
+
+The :class:`~repro.shard.engine.ShardedDeltaAuditEngine` owns N shard
+runners (one bundle of partition checkers per shard) and a pool that
+drives them.  Both pools expose the same two-step contract so the
+engine can overlap shard judging with its driver-side axioms:
+
+``dispatch(trace, delta) -> gather``
+    Starts the shards on one audit's delta and returns a ``gather``
+    callable; calling it blocks until every shard's
+    :class:`~repro.shard.checkers.PartitionVerdicts` are in, returned
+    in shard order (merging is order-sensitive only via the verdict
+    keys, but determinism is cheap).
+
+Backends mirror PR 1's replication machinery
+(:func:`repro.experiments.replication.resolve_backend`): ``"thread"``
+keeps the shard state in-process — folds run in the driver (so indexed
+evidence queries stay on the store's own connection/thread) and judges
+fan out over a persistent :class:`~concurrent.futures.ThreadPoolExecutor`;
+``"process"`` forks one long-lived worker per shard holding its
+partition state, fed each audit's delta over a pipe (folds use the
+delta's events — the worker has no trace handle).  The same pickle
+probe guards the process path: an unpicklable registry degrades to
+threads with a warning, never a crash, and verdicts are identical
+either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.axioms import Axiom, TraceDelta
+from repro.errors import AuditError
+from repro.shard.checkers import PartitionVerdicts, partition_checkers
+from repro.shard.partition import Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trace import PlatformTrace
+
+#: A gather callable: blocks until every shard's verdicts are in.
+GatherFn = Callable[[], "list[list[PartitionVerdicts]]"]
+
+
+class ShardRunner:
+    """One shard's partition checkers, driven as a unit."""
+
+    def __init__(
+        self,
+        axioms: Sequence[Axiom],
+        partitioner: Partitioner,
+        shard_index: int,
+    ) -> None:
+        self.shard_index = shard_index
+        self.checkers = partition_checkers(axioms, partitioner, shard_index)
+
+    def fold(self, trace: "PlatformTrace | None", delta: TraceDelta) -> None:
+        for checker in self.checkers:
+            checker.fold(trace, delta)
+
+    def judge(self) -> "list[PartitionVerdicts]":
+        return [checker.judge() for checker in self.checkers]
+
+
+class ThreadShardPool:
+    """Shard state in-process; judges fan out over a thread pool."""
+
+    backend_name = "thread"
+
+    def __init__(self, runners: Sequence[ShardRunner], jobs: int) -> None:
+        self._runners = list(runners)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, min(jobs, len(self._runners))),
+            thread_name_prefix="shard-audit",
+        )
+
+    def dispatch(
+        self, trace: "PlatformTrace", delta: TraceDelta
+    ) -> GatherFn:
+        # Folds run here in the driver: evidence pulls (seq-bounded
+        # TraceQuery point queries on indexed stores) stay on the
+        # thread that owns the store connection.
+        for runner in self._runners:
+            runner.fold(trace, delta)
+        futures = [
+            self._pool.submit(runner.judge) for runner in self._runners
+        ]
+        return lambda: [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _process_worker_main(
+    connection,
+    axioms: Sequence[Axiom],
+    partitioner: Partitioner,
+    shard_index: int,
+) -> None:
+    """Worker-process loop: fold each delta, judge, ship verdicts back.
+
+    A failed fold/judge leaves this shard's state inconsistent with the
+    audited revision, so the worker reports the error and *exits* —
+    serving later audits from corrupt state would silently diverge.
+    (The driver engine poisons itself on the error, so no later
+    dispatch reaches the closed pipe.)
+    """
+    runner = ShardRunner(axioms, partitioner, shard_index)
+    while True:
+        message = connection.recv()
+        if message[0] == "stop":
+            connection.close()
+            return
+        try:
+            runner.fold(None, message[1])
+            connection.send(("ok", runner.judge()))
+        except Exception as error:  # surface, don't hang the driver
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+            connection.close()
+            return
+
+
+class ProcessShardPool:
+    """One long-lived worker process per shard, fed deltas over pipes."""
+
+    backend_name = "process"
+
+    def __init__(
+        self,
+        axioms: Sequence[Axiom],
+        partitioner: Partitioner,
+        shards: int,
+    ) -> None:
+        self._connections = []
+        self._processes = []
+        for shard_index in range(shards):
+            parent_end, child_end = multiprocessing.Pipe()
+            process = multiprocessing.Process(
+                target=_process_worker_main,
+                args=(child_end, tuple(axioms), partitioner, shard_index),
+                daemon=True,
+                name=f"shard-audit-{shard_index}",
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+
+    def dispatch(
+        self, trace: "PlatformTrace", delta: TraceDelta
+    ) -> GatherFn:
+        for connection in self._connections:
+            connection.send(("audit", delta))
+
+        def gather() -> "list[list[PartitionVerdicts]]":
+            results = []
+            for shard_index, connection in enumerate(self._connections):
+                status, payload = connection.recv()
+                if status != "ok":
+                    raise AuditError(
+                        f"shard worker {shard_index} failed: {payload}"
+                    )
+                results.append(payload)
+            return results
+
+        return gather
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+                connection.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()

@@ -139,8 +139,11 @@ class TestErrorPaths:
             conn.execute(
                 "UPDATE meta SET value = '99' WHERE key = 'format_version'"
             )
-        with pytest.raises(TraceError, match="unsupported trace database"):
+        with pytest.raises(
+            TraceError, match="unsupported trace database"
+        ) as excinfo:
             SQLiteTraceStore.open(path)
+        assert str(path) in str(excinfo.value)  # names the attempted path
         assert DB_FORMAT_VERSION == 1
 
     def test_corrupt_payload_reported(self, clean_events, tmp_path):
@@ -149,8 +152,11 @@ class TestErrorPaths:
             PlatformTrace(clean_events[:5], store=store)
         with sqlite3.connect(path) as conn:
             conn.execute("UPDATE events SET payload = '{nope' WHERE seq = 3")
-        with pytest.raises(TraceError, match="corrupt trace database"):
+        with pytest.raises(
+            TraceError, match="corrupt payload in trace database"
+        ) as excinfo:
             SQLiteTraceStore.open(path)
+        assert str(path) in str(excinfo.value)  # names the attempted path
 
     def test_unknown_entity_kind_count_rejected(self, tmp_path):
         store = SQLiteTraceStore.create(tmp_path / "log.db")
@@ -190,8 +196,11 @@ class TestFormatDetection:
         assert infer_disk_backend("runs/log.SQLITE") == "sqlite"
         assert infer_disk_backend("runs/log", "sqlite") == "sqlite"
         assert infer_disk_backend("runs/log.db", "persistent") == "persistent"
-        with pytest.raises(TraceError, match="unknown on-disk trace backend"):
+        with pytest.raises(
+            TraceError, match="unknown on-disk trace backend"
+        ) as excinfo:
             infer_disk_backend("runs/log", "papyrus")
+        assert "runs/log" in str(excinfo.value)  # names the attempted path
 
     def test_save_load_trace_helpers_sqlite(self, clean_events, tmp_path):
         trace = PlatformTrace(clean_events)

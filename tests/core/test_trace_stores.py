@@ -42,6 +42,13 @@ class TestFactory:
         with pytest.raises(TraceError, match="unknown trace backend"):
             make_store("papyrus")
 
+    def test_unknown_backend_names_attempted_path(self, tmp_path):
+        """When the caller supplied a path option, the error names it —
+        an operator juggling several stores sees which one failed."""
+        with pytest.raises(TraceError) as excinfo:
+            make_store("papyrus", path=tmp_path / "run.db")
+        assert str(tmp_path / "run.db") in str(excinfo.value)
+
     def test_unknown_backend_is_value_error_naming_backends(self):
         """CLI/config validators catch plain ValueError; the message
         must name every available backend."""
@@ -224,8 +231,11 @@ class TestPersistentStore:
         PersistentTraceStore.create(path).close()
         meta = path / "meta.json"
         meta.write_text(json.dumps({"format_version": 99}))
-        with pytest.raises(TraceError, match="unsupported trace log version"):
+        with pytest.raises(
+            TraceError, match="unsupported trace log version"
+        ) as excinfo:
             PersistentTraceStore.open(path)
+        assert str(meta) in str(excinfo.value)  # names the attempted path
 
     def test_corrupt_segment_line_reported(self, clean_events, tmp_path):
         path = tmp_path / "log"
@@ -233,8 +243,11 @@ class TestPersistentStore:
             PlatformTrace(clean_events[:10], store=store)
         segment = path / "events-00000.jsonl"
         segment.write_text(segment.read_text() + "{nope\n")
-        with pytest.raises(TraceError, match="corrupt trace log line"):
+        with pytest.raises(
+            TraceError, match="corrupt trace log line"
+        ) as excinfo:
             PersistentTraceStore.open(path)
+        assert str(segment) in str(excinfo.value)  # full path, not basename
 
     def test_save_trace_and_load_trace_helpers(self, clean_events, tmp_path):
         trace = PlatformTrace(clean_events)

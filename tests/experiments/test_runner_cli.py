@@ -432,3 +432,155 @@ class TestTraceTailCli:
             "--csv-map", "nonsense",
         ) == 2
         assert "COLUMN=FIELD" in capsys.readouterr().err
+
+
+class TestCountByKindOrderingAndEmptyStats:
+    """Satellite coverage: histogram key ordering and empty-store
+    stats (exit 0, zeroed counters) over both on-disk formats."""
+
+    @pytest.fixture(params=["sqlite", "persistent"])
+    def saved_log(self, request, tmp_path, capsys):
+        path = tmp_path / ("run.db" if request.param == "sqlite" else "run-log")
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_json_histogram_keys_are_kind_sorted(self, saved_log, capsys):
+        import json
+
+        assert main(
+            ["trace", "query", str(saved_log), "--count-by-kind",
+             "--format", "json"]
+        ) == 0
+        histogram = json.loads(capsys.readouterr().out)["count_by_kind"]
+        keys = list(histogram)
+        assert keys == sorted(keys)
+        assert len(keys) > 3  # a real multi-kind histogram, not a fluke
+
+    def test_text_histogram_lines_are_kind_sorted(self, saved_log, capsys):
+        assert main(
+            ["trace", "query", str(saved_log), "--count-by-kind"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()[:-1]
+        kinds = [line.split(":")[0] for line in lines]
+        assert kinds == sorted(kinds)
+
+    @pytest.fixture(params=["sqlite", "persistent"])
+    def empty_log(self, request, tmp_path):
+        from repro.core.store import PersistentTraceStore, SQLiteTraceStore
+
+        if request.param == "sqlite":
+            path = tmp_path / "empty.db"
+            SQLiteTraceStore.create(path).close()
+        else:
+            path = tmp_path / "empty-log"
+            PersistentTraceStore.create(path).close()
+        return path
+
+    def test_stats_on_empty_store_exits_zero_with_zeroed_counters(
+        self, empty_log, capsys
+    ):
+        import json
+
+        assert main(
+            ["trace", "stats", str(empty_log), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 0
+        assert payload["end_time"] == 0
+        assert payload["kind_counts"] == {}
+        assert payload["per_worker_events"] == {}
+        assert payload["per_task_events"] == {}
+        assert payload["per_requester_events"] == {}
+        assert all(
+            count == 0 for count in payload["violation_adjacent"].values()
+        )
+
+    def test_stats_on_empty_store_text_mode(self, empty_log, capsys):
+        assert main(["trace", "stats", str(empty_log)]) == 0
+        out = capsys.readouterr().out
+        assert "0 events" in out
+
+
+class TestAuditJobsCli:
+    """--audit-jobs on trace tail / trace resume / --stream-audit."""
+
+    @pytest.fixture()
+    def export_log(self, tmp_path, capsys):
+        path = tmp_path / "export-log"
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay",
+             "--segment-events", "10"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_tail_and_resume_with_audit_jobs(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert main(
+            ["trace", "tail", str(export_log), str(dest),
+             "--audit", "--audit-jobs", "4", "--interval", "0",
+             "--batch-events", "20", "--max-batches", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 0: +20 event(s)" in out
+        assert main(
+            ["trace", "resume", str(export_log), str(dest),
+             "--audit", "--audit-jobs", "4", "--interval", "0",
+             "--until-idle", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped on idle" in out
+
+    def test_audit_jobs_without_audit_is_noted_never_fatal(
+        self, export_log, tmp_path, capsys
+    ):
+        """Without --audit the flag does nothing, so any value — even
+        an invalid one — is announced and neutralised instead of
+        killing the tail."""
+        dest = tmp_path / "live.db"
+        assert main(
+            ["trace", "tail", str(export_log), str(dest),
+             "--audit-jobs", "0", "--interval", "0", "--until-idle", "1"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--audit-jobs" in err and "ignoring" in err
+
+    def test_tail_rejects_bad_audit_jobs(self, export_log, tmp_path, capsys):
+        dest = tmp_path / "live.db"
+        assert main(
+            ["trace", "tail", str(export_log), str(dest),
+             "--audit", "--audit-jobs", "0", "--interval", "0"]
+        ) == 2
+        assert "audit_jobs" in capsys.readouterr().err
+        assert not dest.exists()  # bad flag leaves no stray destination
+
+    def test_stream_audit_cross_checks_sharded_engine(self, capsys):
+        import json
+
+        assert main(
+            ["--stream-audit", "--audit-jobs", "2", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and all(
+            entry["matches_batch_audit"]
+            and entry["matches_sharded_audit"]
+            and entry["audit_jobs"] == 2
+            for entry in payload
+        )
+
+    def test_stream_audit_rejects_negative_audit_jobs(self, capsys):
+        assert main(["--stream-audit", "--audit-jobs", "-1"]) == 2
+        assert "--audit-jobs" in capsys.readouterr().err
+
+    def test_audit_jobs_without_stream_audit_warns(self, capsys):
+        """The flag only shapes --stream-audit here; an experiment run
+        that passes it gets a note, not a silent no-op (mirrors the
+        ignored-experiment-ids warning)."""
+        assert main(["E6", "--audit-jobs", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "--audit-jobs" in err and "ignoring" in err

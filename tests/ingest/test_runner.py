@@ -30,6 +30,19 @@ def _runner(export, store, **kwargs):
     return IngestRunner(JSONLExportSource(export), store, **kwargs)
 
 
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 class TestIngestLoop:
     def test_ingests_everything_into_memory(self, export, events):
         runner = _runner(export, PlatformTrace(), batch_events=19)
@@ -77,10 +90,66 @@ class TestIngestLoop:
         naps = []
         runner = _runner(
             export, PlatformTrace(), batch_events=50,
-            interval=0.25, sleep=naps.append,
+            interval=0.25, sleep=naps.append, clock=lambda: 0.0,
         )
         runner.run(idle_limit=1)
         assert naps and all(nap == 0.25 for nap in naps)
+
+    def test_interval_is_a_rate_not_a_gap(self, export):
+        """A batch that consumes part of the interval only sleeps the
+        remainder; a batch slower than the interval sleeps not at all
+        (regression: the runner used to nap a full interval on top of
+        every batch, stretching the cadence)."""
+        fake = FakeClock()
+        naps = []
+        # Each step costs 0.1s of fake time; interval targets 0.25s.
+        source = JSONLExportSource(export)
+        original_poll = source.poll
+
+        def slow_poll(limit):
+            fake.advance(0.1)
+            return original_poll(limit)
+
+        source.poll = slow_poll
+        runner = IngestRunner(
+            source, PlatformTrace(), batch_events=50,
+            interval=0.25, sleep=naps.append, clock=fake,
+        )
+        runner.run(idle_limit=1)
+        assert naps and all(abs(nap - 0.15) < 1e-9 for nap in naps)
+
+        # Slower than the interval: no nap at all, next poll immediate.
+        fake2 = FakeClock()
+        naps2 = []
+        source2 = JSONLExportSource(export)
+        original_poll2 = source2.poll
+
+        def very_slow_poll(limit):
+            fake2.advance(0.4)
+            return original_poll2(limit)
+
+        source2.poll = very_slow_poll
+        runner2 = IngestRunner(
+            source2, PlatformTrace(), batch_events=50,
+            interval=0.25, sleep=naps2.append, clock=fake2,
+        )
+        runner2.run(idle_limit=1)
+        assert naps2 == []
+
+    def test_idle_polls_also_honour_the_rate(self, export):
+        """Empty polls sleep the remaining interval too — the tail
+        posture keeps one poll per interval, busy or idle."""
+        fake = FakeClock()
+        naps = []
+        runner = _runner(
+            export, PlatformTrace(), batch_events=10_000,
+            interval=0.5, sleep=naps.append, clock=fake,
+        )
+        runner.run(idle_limit=3)
+        # One non-empty batch + two idle polls sleep a full interval
+        # each (instantaneous on the fake clock); the third idle poll
+        # trips the limit and stops without napping.
+        assert naps == [0.5, 0.5, 0.5]
 
     def test_audit_reports_match_fresh_batch_audit(self, export):
         engine = AuditEngine()
@@ -275,3 +344,77 @@ class TestCheckpointedResume:
         )
         with pytest.raises(CheckpointError, match="ahead of"):
             IngestRunner.resume(JSONLExportSource(export), bigger, path)
+
+
+class TestShardedAuditJobs:
+    def test_sharded_audit_reports_match_fresh_batch_audit(self, export):
+        """audit_jobs=N fans each batch's audit across N partitions;
+        every boundary report must still equal a fresh batch audit."""
+        engine = AuditEngine()
+        boundary_checks = []
+
+        def check(batch):
+            boundary_checks.append(
+                batch.report == engine.audit(runner.trace)
+            )
+
+        runner = _runner(
+            export, PlatformTrace(), batch_events=35,
+            audit=True, audit_jobs=4,
+        )
+        try:
+            runner.run(idle_limit=1, on_batch=check)
+        finally:
+            runner.close()
+        assert boundary_checks and all(boundary_checks)
+
+    def test_sharded_equals_unsharded_ingest_audit(self, export, events):
+        """The whole cadence — batches, reports, new-violation deltas —
+        is identical for any audit_jobs."""
+        def run_with(jobs):
+            batches = []
+            runner = _runner(
+                export, PlatformTrace(), batch_events=40,
+                audit=True, audit_jobs=jobs,
+            )
+            try:
+                runner.run(idle_limit=1, on_batch=batches.append)
+            finally:
+                runner.close()
+            return batches
+
+        unsharded = run_with(1)
+        sharded = run_with(4)
+        assert [b.report for b in sharded] == [b.report for b in unsharded]
+        assert [b.new_violations for b in sharded] == [
+            b.new_violations for b in unsharded
+        ]
+
+    def test_resume_with_audit_jobs(self, tmp_path, export, events):
+        """The resume baseline audit runs through the sharded session
+        too — kill/resume with audit_jobs drops and duplicates
+        nothing."""
+        path = str(tmp_path / "dest.checkpoint")
+        store = PlatformTrace()
+        first = _runner(
+            export, store, checkpoint_path=path, batch_events=45,
+            audit=True, audit_jobs=3,
+        )
+        first.run(max_batches=2)
+        first.close()
+        resumed = IngestRunner.resume(
+            JSONLExportSource(export), store, path,
+            batch_events=45, audit=True, audit_jobs=3,
+        )
+        try:
+            summary = resumed.run(idle_limit=1)
+        finally:
+            resumed.close()
+        assert list(store) == events
+        assert summary.report == AuditEngine().audit(store)
+
+    def test_validation_and_close_without_audit(self, export):
+        with pytest.raises(IngestError, match="audit_jobs"):
+            _runner(export, PlatformTrace(), audit_jobs=0)
+        runner = _runner(export, PlatformTrace())
+        runner.close()  # no audit session: still a safe no-op

@@ -1,0 +1,233 @@
+"""Differential tests: sharded audits ≡ unsharded delta ≡ batch.
+
+The :class:`~repro.shard.ShardedDeltaAuditEngine` contract is exact
+equivalence at every batch boundary: after any sequence of appends, its
+report equals both a fresh :class:`~repro.core.audit.AuditEngine` batch
+audit of the prefix and the single-threaded
+:class:`~repro.core.audit.DeltaAuditEngine` session — violations,
+order, opportunity counts.  This suite pins that over
+
+* all 12 labelled scenarios × shard counts {1, 2, 4, 7} × the memory
+  and sqlite backends (on sqlite the partition checkers pull their
+  per-entity evidence through seq-bounded indexed ``TraceQuery`` point
+  queries),
+* hypothesis-randomised market scripts and batch sizes,
+* hypothesis-random partition assignments (any deterministic
+  entity -> shard mapping must merge exactly; balance only affects
+  speed),
+* the size-balanced partitioner built from observed entity weights,
+* Axiom 2's pair-sampling fallback engaging mid-stream,
+* custom axioms (no partitionable sweep -> exact driver-side path),
+* and the process worker backend (verdicts identical to threads).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditEngine, DeltaAuditEngine
+from repro.core.axiom_assignment import (
+    RequesterFairnessInAssignment,
+    WorkerFairnessInAssignment,
+)
+from repro.core.axioms import AxiomRegistry, default_registry
+from repro.core.store import SQLiteTraceStore, collect_touched
+from repro.core.trace import PlatformTrace
+from repro.query import entity_event_counts
+from repro.shard import (
+    MappedPartitioner,
+    ShardedDeltaAuditEngine,
+    size_balanced_partitioner,
+)
+from repro.workloads.scenarios import all_scenarios
+
+from tests.property.test_property_streaming_audit import (
+    _run_script,
+    audit_scripts,
+)
+from tests.property.test_property_trace_stores import _EventParityAxiom
+
+#: The acceptance grid: every scenario runs at each of these counts.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+#: Store backends the sharded differential runs on.
+_BACKENDS = ("memory", "sqlite")
+
+
+def _prefix_trace(backend, tmp_path):
+    if backend == "memory":
+        return PlatformTrace()
+    if backend == "sqlite":
+        return PlatformTrace(
+            store=SQLiteTraceStore.create(tmp_path / "sharded-prefix.db")
+        )
+    raise AssertionError(f"unknown backend {backend!r}")
+
+
+def _entity_ids(trace):
+    """Every entity id the trace touches (candidate partition keys)."""
+    touched = collect_touched(trace)
+    return sorted(
+        touched.worker_ids | touched.task_ids
+        | touched.requester_ids | touched.contribution_ids
+    )
+
+
+def assert_sharded_equivalent_at_batch_boundaries(
+    trace,
+    *,
+    batch_size=7,
+    shard_counts=SHARD_COUNTS,
+    registry=None,
+    prefix_trace=None,
+    partitioners=None,
+    backend="thread",
+):
+    """Append in batches; at every boundary the batch, delta, and every
+    sharded engine's reports must coincide.
+
+    ``partitioners`` optionally maps a shard count to an explicit
+    partitioner (default: the engine's stable hash partitioner).
+    """
+    events = list(trace)
+    registry_kwargs = {} if registry is None else {"registry": registry}
+    engine = AuditEngine(**registry_kwargs)
+    delta_session = DeltaAuditEngine(**registry_kwargs)
+    sharded_sessions = {
+        shards: ShardedDeltaAuditEngine(
+            shards=shards,
+            backend=backend,
+            partitioner=(partitioners or {}).get(shards),
+            **registry_kwargs,
+        )
+        for shards in shard_counts
+    }
+    prefix = prefix_trace if prefix_trace is not None else PlatformTrace()
+    try:
+        for start in range(0, len(events), batch_size):
+            prefix.extend(events[start:start + batch_size])
+            boundary = f"boundary at event {min(start + batch_size, len(events))}"
+            batch_report = engine.audit(prefix)
+            assert delta_session.audit(prefix) == batch_report, (
+                f"delta diverged from batch at {boundary}"
+            )
+            for shards, session in sharded_sessions.items():
+                assert session.audit(prefix) == batch_report, (
+                    f"{shards}-shard audit diverged from batch at {boundary}"
+                )
+    finally:
+        for session in sharded_sessions.values():
+            session.close()
+
+
+class TestShardedDifferential:
+    @pytest.mark.parametrize("backend", _BACKENDS)
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(0), ids=lambda scenario: scenario.name
+    )
+    def test_scenarios_at_every_batch_boundary(
+        self, scenario, backend, tmp_path
+    ):
+        assert_sharded_equivalent_at_batch_boundaries(
+            scenario.trace,
+            prefix_trace=_prefix_trace(backend, tmp_path),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        script=audit_scripts(),
+        batch_size=st.integers(min_value=1, max_value=25),
+    )
+    def test_randomised_scripts_and_batch_sizes(self, script, batch_size):
+        assert_sharded_equivalent_at_batch_boundaries(
+            _run_script(*script),
+            batch_size=batch_size,
+            shard_counts=(3,),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_partitions_merge_exactly(self, data):
+        """Any deterministic entity->shard assignment is exact —
+        balance affects only speed, never verdicts."""
+        scenarios = {s.name: s for s in all_scenarios(0)}
+        scenario = scenarios[
+            data.draw(
+                st.sampled_from(
+                    ("clean", "corrupt_reputation", "undetected_malice")
+                )
+            )
+        ]
+        shards = data.draw(st.integers(min_value=1, max_value=8))
+        entity_ids = _entity_ids(scenario.trace)
+        assignments = {
+            entity_id: data.draw(
+                st.integers(min_value=0, max_value=shards - 1)
+            )
+            for entity_id in data.draw(
+                st.lists(st.sampled_from(entity_ids), unique=True)
+            )
+        }
+        assert_sharded_equivalent_at_batch_boundaries(
+            scenario.trace,
+            batch_size=13,
+            shard_counts=(shards,),
+            partitioners={shards: MappedPartitioner(assignments, shards)},
+        )
+
+    @pytest.mark.parametrize("backend", _BACKENDS)
+    def test_size_balanced_partitioner_stays_exact(self, backend, tmp_path):
+        """The balanced strategy (weights from observed entity event
+        counts) is just another deterministic assignment."""
+        scenario = next(
+            s for s in all_scenarios(0) if s.name == "undetected_malice"
+        )
+        weights = {}
+        for kind in ("worker", "task", "requester", "contribution"):
+            weights.update(entity_event_counts(scenario.trace, kind))
+        assert_sharded_equivalent_at_batch_boundaries(
+            scenario.trace,
+            prefix_trace=_prefix_trace(backend, tmp_path),
+            shard_counts=(4,),
+            partitioners={4: size_balanced_partitioner(weights, 4)},
+        )
+
+    @pytest.mark.parametrize("backend", _BACKENDS)
+    def test_pair_sampling_fallback_matches_batch(self, backend, tmp_path):
+        """Tiny max_pairs flips both assignment axioms to their sampled
+        paths mid-stream; every shard count must follow exactly."""
+        registry = default_registry(
+            axiom1=WorkerFairnessInAssignment(max_pairs=3, sample_seed=11),
+            axiom2=RequesterFairnessInAssignment(max_pairs=2, sample_seed=11),
+        )
+        for index, scenario in enumerate(all_scenarios(0)):
+            assert_sharded_equivalent_at_batch_boundaries(
+                scenario.trace,
+                registry=registry,
+                shard_counts=(1, 4),
+                prefix_trace=(
+                    _prefix_trace(backend, tmp_path / str(index))
+                    if backend != "memory"
+                    else None
+                ),
+            )
+
+    def test_custom_axiom_registry_stays_exact(self):
+        """A registry without partitionable axioms runs entirely on the
+        driver — still exact, no pool needed (and the engine announces
+        the unused parallelism)."""
+        registry = AxiomRegistry().register(_EventParityAxiom())
+        scenario = next(s for s in all_scenarios(0) if s.name == "clean")
+        with pytest.warns(RuntimeWarning, match="supports partitioning"):
+            assert_sharded_equivalent_at_batch_boundaries(
+                scenario.trace, registry=registry, shard_counts=(4,)
+            )
+
+    def test_process_backend_matches_thread_backend(self):
+        """Worker processes (replicated fold, pipe-shipped deltas)
+        produce byte-identical reports."""
+        scenario = next(
+            s for s in all_scenarios(0) if s.name == "corrupt_reputation"
+        )
+        assert_sharded_equivalent_at_batch_boundaries(
+            scenario.trace, shard_counts=(2,), backend="process"
+        )

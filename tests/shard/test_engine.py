@@ -1,0 +1,253 @@
+"""Unit tests for the sharded audit engine, merge layer, and pools."""
+
+import warnings
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.axiom_transparency import RequesterTransparency
+from repro.core.axioms import AxiomCheck, default_registry
+from repro.core.trace import PlatformTrace
+from repro.errors import AuditError
+from repro.shard import (
+    HashPartitioner,
+    PartitionVerdicts,
+    ShardedDeltaAuditEngine,
+    make_audit_session,
+    merge_axiom_verdicts,
+)
+from repro.workloads.scenarios import all_scenarios
+
+
+def _scenario(name="clean"):
+    return next(s for s in all_scenarios(0) if s.name == name)
+
+
+class TestMerge:
+    def test_override_wins(self):
+        axiom = RequesterTransparency()
+        override = AxiomCheck(
+            axiom_id=6, title=axiom.title, violations=(), opportunities=9
+        )
+        merged = merge_axiom_verdicts(axiom, [
+            PartitionVerdicts(axiom_id=6, opportunities=4),
+            PartitionVerdicts(axiom_id=6, override=override),
+        ])
+        assert merged is override
+
+    def test_opportunities_sum_across_shards(self):
+        axiom = RequesterTransparency()
+        merged = merge_axiom_verdicts(axiom, [
+            PartitionVerdicts(axiom_id=6, opportunities=4),
+            PartitionVerdicts(axiom_id=6, opportunities=8),
+        ])
+        assert merged.opportunities == 12
+        assert merged.violations == ()
+
+    def test_refuses_cross_axiom_merge(self):
+        axiom = RequesterTransparency()
+        with pytest.raises(AuditError, match="axiom 2 into"):
+            merge_axiom_verdicts(
+                axiom, [PartitionVerdicts(axiom_id=2)]
+            )
+
+    def test_refuses_empty_parts(self):
+        with pytest.raises(AuditError, match="no partition verdicts"):
+            merge_axiom_verdicts(RequesterTransparency(), [])
+
+
+class TestEngineLifecycle:
+    def test_bound_to_one_trace(self):
+        scenario = _scenario()
+        with ShardedDeltaAuditEngine(shards=2) as session:
+            session.audit(scenario.trace)
+            with pytest.raises(AuditError, match="bound to one trace"):
+                session.audit(PlatformTrace())
+
+    def test_closed_engine_refuses_audits(self):
+        session = ShardedDeltaAuditEngine(shards=2)
+        session.audit(_scenario().trace)
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(AuditError, match="closed"):
+            session.audit(_scenario().trace)
+
+    def test_validation(self):
+        with pytest.raises(AuditError, match="shards must be >= 1"):
+            ShardedDeltaAuditEngine(shards=0)
+        with pytest.raises(AuditError, match="jobs must be >= 1"):
+            ShardedDeltaAuditEngine(shards=2, jobs=0)
+        with pytest.raises(AuditError, match="unknown shard-audit backend"):
+            ShardedDeltaAuditEngine(shards=2, backend="gpu")
+        with pytest.raises(AuditError, match="disagrees"):
+            ShardedDeltaAuditEngine(
+                shards=3, partitioner=HashPartitioner(2)
+            )
+
+    def test_partitioner_supplies_shard_count(self):
+        with ShardedDeltaAuditEngine(
+            partitioner=HashPartitioner(5)
+        ) as session:
+            assert session.shards == 5
+
+    def test_sharded_axiom_ids_are_the_entity_sweeps(self):
+        with ShardedDeltaAuditEngine(shards=2) as session:
+            assert session.sharded_axiom_ids == (2, 6, 7)
+
+    def test_revision_and_last_delta_track_audits(self):
+        scenario = _scenario()
+        events = list(scenario.trace)
+        with ShardedDeltaAuditEngine(shards=2) as session:
+            prefix = PlatformTrace(events[:10])
+            session.audit(prefix)
+            assert session.revision == 10
+            prefix.extend(events[10:25])
+            session.audit(prefix)
+            assert session.revision == 25
+            assert session.last_delta.event_count == 15
+
+    def test_failed_audit_poisons_the_session(self):
+        """A failure after the delta was consumed leaves shard states
+        inconsistent; the session must refuse further audits instead
+        of quietly diverging on retry."""
+        from repro.core.axioms import Axiom, AxiomRegistry
+
+        class _Boom(Axiom):
+            axiom_id = 99
+            title = "boom"
+
+            def check(self, trace):
+                raise RuntimeError("boom")
+
+        registry = (
+            AxiomRegistry()
+            .register(RequesterTransparency())
+            .register(_Boom())
+        )
+        session = ShardedDeltaAuditEngine(shards=2, registry=registry)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                session.audit(_scenario().trace)
+            with pytest.raises(AuditError, match="inconsistent state"):
+                session.audit(_scenario().trace)
+        finally:
+            session.close()
+
+    def test_repeated_audit_without_new_events_is_stable(self):
+        scenario = _scenario()
+        with ShardedDeltaAuditEngine(shards=3) as session:
+            first = session.audit(scenario.trace)
+            second = session.audit(scenario.trace)
+        assert first == second == AuditEngine().audit(scenario.trace)
+
+
+class TestPartitionOptOut:
+    def test_unpartitionable_registry_warns_when_parallelism_requested(self):
+        """shards > 1 with no partitionable axiom is a silent no-op
+        without a signal; the engine must announce the degradation."""
+        from repro.core.axioms import Axiom, AxiomRegistry
+
+        class Custom(Axiom):
+            axiom_id = 50
+            title = "custom"
+
+            def check(self, trace):
+                return self._result([], opportunities=0)
+
+        registry = AxiomRegistry().register(Custom())
+        with pytest.warns(RuntimeWarning, match="supports partitioning"):
+            session = ShardedDeltaAuditEngine(shards=4, registry=registry)
+        session.close()
+        # shards=1 asks for no parallelism: nothing to announce.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ShardedDeltaAuditEngine(shards=1, registry=registry).close()
+
+    def test_supports_delta_false_runs_custom_check_exactly(self):
+        """A subclass that clears supports_delta (custom check logic)
+        must run on the driver's full-recheck path, matching the
+        unsharded engine — not be partitioned through the stock sweep
+        it opted out of."""
+        from repro.core.axioms import AxiomCheck
+
+        class Strict(RequesterTransparency):
+            supports_delta = False
+
+            def check(self, trace):
+                return AxiomCheck(
+                    axiom_id=self.axiom_id, title="strict",
+                    violations=(), opportunities=len(trace),
+                )
+
+        registry = default_registry(axiom6=Strict())
+        scenario = _scenario()
+        with ShardedDeltaAuditEngine(shards=4, registry=registry) as session:
+            report = session.audit(scenario.trace)
+            assert 6 not in session.sharded_axiom_ids
+        assert report == AuditEngine(registry=registry).audit(scenario.trace)
+        assert report.result_for(6).title == "strict"
+
+    def test_non_designated_shards_drop_settled_streams(self):
+        """Shards other than 0 never report Axiom 6's settled
+        rejection/delay violations, so they must not retain them
+        (memory regression for long-lived sharded ingests)."""
+        scenario = next(
+            s for s in all_scenarios(0) if s.name == "wrongful_rejection"
+        )
+        with ShardedDeltaAuditEngine(shards=3) as session:
+            session.audit(scenario.trace)
+            from repro.shard.checkers import RequesterTransparencyPartition
+
+            per_shard = {
+                runner.shard_index: checker
+                for runner in session._pool._runners
+                for checker in runner.checkers
+                if isinstance(checker, RequesterTransparencyPartition)
+            }
+            assert per_shard[0]._rejections  # the scenario has them
+            for index in (1, 2):
+                assert per_shard[index]._rejections == []
+                assert per_shard[index]._delays == []
+
+
+class TestProcessFallback:
+    def test_unpicklable_registry_degrades_to_threads(self):
+        sneaky = RequesterTransparency()
+        sneaky._closure = lambda: None  # cannot cross a process boundary
+        registry = default_registry(axiom6=sneaky)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = ShardedDeltaAuditEngine(
+                shards=2, backend="process", registry=registry
+            )
+        try:
+            assert session.backend == "thread"
+            assert any(
+                "falling back to the thread backend" in str(w.message)
+                for w in caught
+            )
+            scenario = _scenario()
+            assert session.audit(scenario.trace) == AuditEngine(
+                registry=registry
+            ).audit(scenario.trace)
+        finally:
+            session.close()
+
+
+class TestMakeAuditSession:
+    def test_one_job_is_the_plain_delta_session(self):
+        from repro.core.audit import DeltaAuditEngine
+
+        assert isinstance(make_audit_session(1), DeltaAuditEngine)
+
+    def test_many_jobs_shard(self):
+        session = make_audit_session(3)
+        try:
+            assert isinstance(session, ShardedDeltaAuditEngine)
+            assert session.shards == 3
+        finally:
+            session.close()
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(AuditError, match=">= 1"):
+            make_audit_session(0)

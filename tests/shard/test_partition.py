@@ -1,0 +1,97 @@
+"""Unit tests for the partitioner layer."""
+
+import pytest
+
+from repro.errors import AuditError
+from repro.shard import (
+    HashPartitioner,
+    MappedPartitioner,
+    make_partitioner,
+    size_balanced_partitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_and_process_independent(self):
+        # CRC-32 of the UTF-8 bytes: a fixed value, not Python's
+        # per-process salted hash.
+        assert stable_hash("w0001") == stable_hash("w0001")
+        assert stable_hash("w0001") != stable_hash("w0002")
+        import zlib
+
+        assert stable_hash("t0042") == zlib.crc32(b"t0042")
+
+
+class TestHashPartitioner:
+    def test_assignments_in_range_and_stable(self):
+        partitioner = HashPartitioner(4)
+        keys = [f"e{i}" for i in range(500)]
+        first = [partitioner.assign(k) for k in keys]
+        assert all(0 <= shard < 4 for shard in first)
+        assert first == [partitioner.assign(k) for k in keys]
+
+    def test_roughly_uniform(self):
+        partitioner = HashPartitioner(4)
+        counts = [0, 0, 0, 0]
+        for i in range(2000):
+            counts[partitioner.assign(f"entity-{i}")] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(AuditError, match="shards must be >= 1"):
+            HashPartitioner(0)
+
+
+class TestMappedPartitioner:
+    def test_mapping_wins_hash_falls_back(self):
+        partitioner = MappedPartitioner({"a": 2}, 3)
+        assert partitioner.assign("a") == 2
+        unseen = partitioner.assign("never-mapped")
+        assert unseen == stable_hash("never-mapped") % 3
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(AuditError, match="outside"):
+            MappedPartitioner({"a": 3}, 3)
+
+
+class TestSizeBalanced:
+    def test_balances_weights(self):
+        weights = {f"e{i}": 10 for i in range(8)}
+        partitioner = size_balanced_partitioner(weights, 4)
+        loads = [0] * 4
+        for key, weight in weights.items():
+            loads[partitioner.assign(key)] += weight
+        assert loads == [20, 20, 20, 20]
+
+    def test_deterministic_layout(self):
+        weights = {"a": 5, "b": 3, "c": 3, "d": 1}
+        first = size_balanced_partitioner(weights, 2)
+        second = size_balanced_partitioner(weights, 2)
+        assert all(
+            first.assign(key) == second.assign(key) for key in weights
+        )
+
+    def test_heaviest_keys_spread(self):
+        weights = {"big1": 100, "big2": 100, "small": 1}
+        partitioner = size_balanced_partitioner(weights, 2)
+        assert partitioner.assign("big1") != partitioner.assign("big2")
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(AuditError, match="must be >= 0"):
+            size_balanced_partitioner({"a": -1}, 2)
+
+
+class TestMakePartitioner:
+    def test_hash_strategy(self):
+        assert isinstance(make_partitioner("hash", 3), HashPartitioner)
+
+    def test_balanced_needs_weights(self):
+        with pytest.raises(AuditError, match="weights"):
+            make_partitioner("balanced", 3)
+        partitioner = make_partitioner("balanced", 3, weights={"a": 1})
+        assert partitioner.assign("a") in range(3)
+
+    def test_unknown_strategy_names_known_ones(self):
+        with pytest.raises(AuditError, match="hash, balanced"):
+            make_partitioner("round-robin", 2)
