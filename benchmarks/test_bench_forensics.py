@@ -1,0 +1,100 @@
+"""Benchmarks for the forensics sweep and the report sinks.
+
+Three costs worth tracking as the store grows:
+
+* **Deep verification** — ``verify_store`` re-decodes every payload and
+  cross-checks the sqlite entity index (or every JSONL segment line)
+  against it, so it is O(events); the sweep over a >= 2k-event store is
+  the number to watch.
+* **Salvage** — ``repair_store`` replays every verifiable record into a
+  fresh store; a lossless pass bounds the worst-case repair time an
+  operator pays after a crash.
+* **Report rendering** — all four sinks flatten the same audit
+  document; rendering must stay cheap enough to re-roll after every
+  ingest batch.
+
+Under ``--benchmark-disable`` each test still runs once and asserts the
+result's shape, so CI smoke keeps the paths covered without timing.
+"""
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.store import PersistentTraceStore, SQLiteTraceStore
+from repro.core.trace import PlatformTrace
+from repro.forensics import repair_store, verify_store
+from repro.report import audit_document, render_report
+from repro.workloads.scenarios import clean_scenario
+
+_ROUNDS = 22  # 2026 events — matches the ingest benchmark's scale
+
+
+@pytest.fixture(scope="module")
+def big_events():
+    events = list(clean_scenario(rounds=_ROUNDS, n_workers=12).trace)
+    assert len(events) >= 2000
+    return events
+
+
+@pytest.fixture(scope="module")
+def sqlite_path(big_events, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-forensics") / "trace.db"
+    with SQLiteTraceStore.create(path) as store:
+        store.append_batch(big_events)
+    return path
+
+
+@pytest.fixture(scope="module")
+def log_path(big_events, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-forensics") / "trace-log"
+    with PersistentTraceStore.create(path, segment_events=256) as store:
+        store.append_batch(big_events)
+    return path
+
+
+def test_bench_verify_sqlite(benchmark, sqlite_path, big_events):
+    result = benchmark.pedantic(
+        lambda: verify_store(sqlite_path),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.clean
+    assert result.events_valid == len(big_events)
+
+
+def test_bench_verify_persistent(benchmark, log_path, big_events):
+    result = benchmark.pedantic(
+        lambda: verify_store(log_path),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.clean
+    assert result.events_valid == len(big_events)
+
+
+def test_bench_repair_sqlite_lossless(benchmark, sqlite_path, tmp_path):
+    counter = iter(range(1_000_000))
+    result = benchmark.pedantic(
+        lambda: repair_store(
+            sqlite_path, tmp_path / f"salvaged-{next(counter)}.db"
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.ok
+    assert result.manifest.lossless
+
+
+def test_bench_render_all_report_formats(benchmark, big_events):
+    trace = PlatformTrace(big_events)
+    document = audit_document(
+        AuditEngine().audit(trace), trace, source="bench://clean"
+    )
+
+    def render_all():
+        return {
+            fmt: render_report(document, fmt)
+            for fmt in ("csv", "jsonl", "md", "html")
+        }
+
+    rendered = benchmark.pedantic(
+        render_all, rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert all(rendered.values())

@@ -20,6 +20,12 @@ Usage::
 
     python -m repro trace tail export.jsonl runs/live.db --audit
     python -m repro trace resume export.jsonl runs/live.db --audit
+    python -m repro trace tail export.jsonl runs/live.db --audit \\
+        --report html --report jsonl
+
+    python -m repro trace report runs/clean.db --format html --out audit.html
+    python -m repro trace verify runs/live.db
+    python -m repro trace repair runs/live.db runs/salvaged.db
 
 ``--jobs N`` fans the selected experiments out over N workers (threads
 by default, processes with ``--backend process``); output order (and
@@ -54,7 +60,18 @@ single event.  ``--audit-jobs N`` shards each batch's audit across N
 partitioned workers (:mod:`repro.shard`) — identical reports, audit
 throughput that scales with cores; the same flag on ``--stream-audit``
 cross-checks the sharded engine against the batch verdict per
-scenario.
+scenario.  ``--report FORMAT`` (repeatable, with ``--audit``) keeps a
+rolling report file per format in ``--report-dir`` (default
+``<dest>.reports``), re-rendered after every audited batch.
+
+``trace report`` audits a saved log and exports it through
+:mod:`repro.report` (CSV, JSONL, Markdown, or a self-contained HTML
+dashboard; ``--what verify`` exports deep-verify findings through the
+same sinks).  ``trace verify`` runs the read-only integrity sweeps of
+:mod:`repro.forensics` — exit 0 when sound, 1 when damaged, so it
+scripts as a health check — and ``trace repair`` salvages a damaged
+store into a fresh destination, keeping every verifiable event and
+writing a loss manifest naming the exact seq ranges dropped and why.
 """
 
 from __future__ import annotations
@@ -275,6 +292,56 @@ def build_trace_parser() -> argparse.ArgumentParser:
         "dest", help="the destination store the tail was writing"
     )
     _add_tail_options(resume)
+
+    report = commands.add_parser(
+        "report",
+        help="audit a saved log and export the violations as a "
+             "CSV/JSONL/Markdown/HTML report",
+    )
+    report.add_argument("path", help="log directory or .db file to open")
+    report.add_argument(
+        "--format", choices=("csv", "jsonl", "md", "html"), default="md",
+        help="report format (default md)",
+    )
+    report.add_argument(
+        "--what", choices=("audit", "verify"), default="audit",
+        help="report content: the fairness audit (default) or the "
+             "deep-verify findings of the same store",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="deep integrity checks over a saved log (read-only): "
+             "payload validity, seq gaps, index cross-validation, "
+             "segment reconciliation",
+    )
+    verify.add_argument("path", help="log directory or .db file to check")
+    verify.add_argument("--format", choices=("text", "json"), default="text")
+
+    repair = commands.add_parser(
+        "repair",
+        help="salvage a corrupted log into a fresh store, keeping every "
+             "verifiable event and writing a loss manifest of exactly "
+             "what was dropped and why",
+    )
+    repair.add_argument("source", help="the damaged log directory or .db file")
+    repair.add_argument(
+        "dest", help="fresh destination store to create (must not exist)"
+    )
+    repair.add_argument(
+        "--store", choices=("persistent", "sqlite"), default=None,
+        help="destination on-disk format (default: inferred from the "
+             "dest path suffix, .db/.sqlite means sqlite)",
+    )
+    repair.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="loss-manifest path (default: <dest>.loss.json)",
+    )
+    repair.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
 
@@ -310,6 +377,18 @@ def _add_tail_options(parser: argparse.ArgumentParser) -> None:
         help="shard each batch's delta audit across N partitioned "
              "workers (with --audit; default 1 = single-threaded; "
              "reports are identical for any N)",
+    )
+    parser.add_argument(
+        "--report", action="append", default=[], dest="report_formats",
+        choices=("csv", "jsonl", "md", "html"), metavar="FORMAT",
+        help="with --audit: re-render a rolling report file in this "
+             "format after every audited batch (repeatable; csv, jsonl, "
+             "md, html)",
+    )
+    parser.add_argument(
+        "--report-dir", default=None, metavar="PATH", dest="report_dir",
+        help="directory the rolling --report files land in "
+             "(default: <dest>.reports)",
     )
     parser.add_argument(
         "--stats-every", type=int, default=0, metavar="N", dest="stats_every",
@@ -746,12 +825,35 @@ def _ingest_runner_options(args: argparse.Namespace) -> dict:
             file=sys.stderr,
         )
         audit_jobs = 1
+    report_formats = list(dict.fromkeys(args.report_formats))
+    report_dir = args.report_dir
+    if (report_formats or report_dir) and not args.audit:
+        # Same neutralise-don't-kill posture as --audit-jobs above.
+        print(
+            "note: --report/--report-dir render the per-batch audit "
+            "report, which only runs with --audit; ignoring them",
+            file=sys.stderr,
+        )
+        report_formats = []
+        report_dir = None
+    if report_dir and not report_formats:
+        print(
+            "note: --report-dir without --report names no formats; "
+            "ignoring it",
+            file=sys.stderr,
+        )
+        report_dir = None
+    if report_formats and report_dir is None:
+        report_dir = f"{args.dest}".rstrip("/") + ".reports"
     return {
         "batch_events": args.batch_events,
         "audit": args.audit,
         "audit_jobs": audit_jobs,
         "stats_cadence": args.stats_every,
         "interval": args.interval,
+        "report_dir": report_dir,
+        "report_formats": tuple(report_formats),
+        "report_source": args.dest,
     }
 
 
@@ -808,6 +910,7 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
             "source": args.source,
             "dest": args.dest,
             "checkpoint": checkpoint_path,
+            "report_dir": getattr(runner, "report_dir", None),
             "batches": summary.batches,
             "events": summary.events,
             "store_revision": summary.store_revision,
@@ -830,6 +933,9 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
     if summary.report is not None:
         for line in summary.report.summary_lines():
             print(line)
+    report_dir = getattr(runner, "report_dir", None)
+    if report_dir is not None and summary.report is not None:
+        print(f"rolling reports: {report_dir}")
     return 0
 
 
@@ -906,6 +1012,100 @@ def _trace_resume(args: argparse.Namespace) -> int:
         return 2
 
 
+def _trace_report(args: argparse.Namespace) -> int:
+    from repro.errors import ReportError, TraceError
+    from repro.report import (
+        audit_document,
+        make_exporter,
+        verify_document,
+    )
+
+    if args.what == "verify":
+        from repro.forensics import verify_store
+
+        try:
+            document = verify_document(verify_store(args.path))
+        except TraceError as error:
+            print(f"cannot verify {args.path!r}: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.core.audit import AuditEngine
+
+        store = _opened_store(args.path)
+        if store is None:
+            return 2
+        try:
+            report = AuditEngine().audit(store)
+            document = audit_document(report, store, source=args.path)
+        finally:
+            store.close()
+    exporter = make_exporter(args.format)
+    if args.out is None:
+        print(exporter.render(document), end="")
+        return 0
+    try:
+        written = exporter.export(document, args.out)
+    except ReportError as error:
+        print(f"cannot export report: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {args.what} report ({exporter.format_name}, "
+        f"{len(document.records)} record(s)) to {written}"
+    )
+    return 0
+
+
+def _trace_verify(args: argparse.Namespace) -> int:
+    from repro.errors import TraceError
+    from repro.forensics import verify_store
+
+    try:
+        result = verify_store(args.path)
+    except TraceError as error:
+        print(f"cannot verify {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        for line in result.summary_lines():
+            print(line)
+    return 0 if result.ok else 1
+
+
+def _trace_repair(args: argparse.Namespace) -> int:
+    from repro.errors import TraceError
+    from repro.forensics import repair_store
+
+    try:
+        result = repair_store(
+            args.source, args.dest,
+            dest_backend=args.store,
+            manifest_path=args.manifest,
+        )
+    except TraceError as error:
+        print(f"cannot repair {args.source!r}: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "manifest": result.manifest.as_dict(),
+            "manifest_path": result.manifest_path,
+            "dest_verify": result.verify.as_dict(),
+        }, indent=2))
+    else:
+        for line in result.manifest.summary_lines():
+            print(line)
+        print(f"loss manifest: {result.manifest_path}")
+        for line in result.verify.summary_lines():
+            print(line)
+    # 0: sound salvage (possibly lossy — the manifest says exactly what
+    # was lost); 1: the salvaged store itself fails verification.
+    return 0 if result.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
@@ -918,6 +1118,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             "stats": _trace_stats,
             "tail": _trace_tail,
             "resume": _trace_resume,
+            "report": _trace_report,
+            "verify": _trace_verify,
+            "repair": _trace_repair,
         }
         return handlers[args.command](args)
     args = build_parser().parse_args(argv)

@@ -121,6 +121,22 @@ class TraceStore(abc.ABC):
         return self.revision
 
     # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Release the store's resources.  **Idempotent on every
+        backend**: a second ``close()`` (or ``close()`` inside a
+        ``with`` block whose ``__exit__`` closes again) is a no-op.
+        Backends without resources inherit this no-op, so callers can
+        close unconditionally."""
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Entity indexes (references, not copies — the facade copies)
 
     @property

@@ -115,6 +115,20 @@ class PersistentTraceStore(InMemoryTraceStore):
             raise TraceError(f"no trace log at {path!r}")
         return cls(path)
 
+    @classmethod
+    def verify(cls, path: str | os.PathLike[str]):
+        """Deep, read-only integrity sweep over the log at ``path``.
+
+        Unlike :meth:`open` — which silently repairs a crash-torn final
+        line — this reads the raw segment bytes, validates every line
+        through the event codec, reconciles segment sizes against
+        ``meta.json``, and mutates nothing.  Returns a
+        :class:`repro.forensics.VerifyResult`.
+        """
+        from repro.forensics import verify_persistent
+
+        return verify_persistent(path)
+
     # ------------------------------------------------------------------
     # Write path
 
@@ -154,6 +168,10 @@ class PersistentTraceStore(InMemoryTraceStore):
         return self._path
 
     def close(self) -> None:
+        """Close the open segment handle.  Idempotent: double-close and
+        ``__exit__``-after-``close`` are no-ops (same contract as every
+        backend; appends are write-through, so there is nothing to
+        commit or roll back here)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

@@ -123,6 +123,7 @@ class SQLiteTraceStore(InMemoryTraceStore):
         self._commit_every = commit_every
         self._pending = 0
         self._replaying = False
+        self._closed = False
         existing = os.path.exists(self._db_path)
         if existing and not is_sqlite_trace(self._db_path):
             raise TraceError(
@@ -179,6 +180,20 @@ class SQLiteTraceStore(InMemoryTraceStore):
         if not os.path.exists(os.fspath(path)):
             raise TraceError(f"no trace database at {path!r}")
         return cls(path)
+
+    @classmethod
+    def verify(cls, path: str | os.PathLike[str]):
+        """Deep, read-only integrity sweep over the database at ``path``.
+
+        Strictly stronger than what :meth:`open` checks: page integrity,
+        payload decodability, seq contiguity, time order, and both
+        directions of the ``event_entities`` index cross-validation.
+        Returns a :class:`repro.forensics.VerifyResult`; never mutates
+        the file.
+        """
+        from repro.forensics import verify_sqlite
+
+        return verify_sqlite(path)
 
     # ------------------------------------------------------------------
     # Write path
@@ -269,14 +284,40 @@ class SQLiteTraceStore(InMemoryTraceStore):
         return self._db_path
 
     def close(self) -> None:
-        self._conn.commit()
+        """Commit buffered appends and release the connection.
+
+        Idempotent: a second ``close()`` — or ``__exit__`` after an
+        explicit ``close()`` inside the ``with`` block — is a no-op
+        rather than a ``sqlite3.ProgrammingError``.
+        """
+        self._shutdown(commit=True)
+
+    def _shutdown(self, commit: bool) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if commit:
+            self._conn.commit()
+        else:
+            self._conn.rollback()
+        self._pending = 0
         self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "SQLiteTraceStore":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        """Commit on clean exit; **roll back** buffered appends when the
+        block raised.  Committing unconditionally would persist a
+        partial prefix the caller believed abandoned (the in-memory
+        store object is being discarded along with the exception; the
+        database keeps only what was already committed — batch appends
+        and ``save()`` calls that completed before the failure)."""
+        self._shutdown(commit=exc_type is None)
 
     @property
     def path(self) -> str:

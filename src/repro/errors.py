@@ -53,6 +53,19 @@ class CheckpointError(IngestError):
     from zero — the operator decides whether to repair or start over."""
 
 
+class ForensicsError(TraceError):
+    """A store forensics operation (verify/repair) cannot proceed at
+    all — the path is not a recognisable trace store, or the repair
+    destination is unusable.  Corruption *inside* a recognisable store
+    is never an exception: it becomes findings (verify) or manifest
+    entries (repair)."""
+
+
+class ReportError(ReproError):
+    """A report cannot be rendered or exported — unknown format name,
+    malformed document, or sink I/O failure."""
+
+
 class AssignmentError(ReproError):
     """A task-assignment algorithm received an infeasible instance."""
 

@@ -1,0 +1,52 @@
+"""Store forensics: deep integrity verification and best-effort repair.
+
+``repro.forensics`` is the operator-facing safety net around the
+on-disk trace stores:
+
+* :func:`verify_store` (and the per-backend :func:`verify_sqlite` /
+  :func:`verify_persistent`) runs **read-only** deep integrity sweeps —
+  strictly stronger than the checks ``open`` performs — and reports
+  every defect as structured :class:`Finding`\\ s in a
+  :class:`VerifyResult`.
+* :func:`repair_store` salvages a damaged store into a fresh
+  destination, keeping every verifiable event and accounting for every
+  loss in a :class:`LossManifest` of exact seq ranges with reasons.
+
+Findings and manifests are exporter-shaped: ``repro.report`` renders
+them through the same CSV/JSONL/Markdown/HTML sinks as audit reports.
+The CLI surface is ``python -m repro trace verify`` / ``trace repair``.
+"""
+
+from repro.forensics.findings import (
+    FINDING_SEVERITIES,
+    Finding,
+    VerifyResult,
+)
+from repro.forensics.repair import (
+    MANIFEST_FORMAT_VERSION,
+    DroppedRange,
+    LossManifest,
+    RepairResult,
+    manifest_path_for,
+    repair_store,
+)
+from repro.forensics.verify import (
+    verify_persistent,
+    verify_sqlite,
+    verify_store,
+)
+
+__all__ = [
+    "FINDING_SEVERITIES",
+    "Finding",
+    "VerifyResult",
+    "verify_store",
+    "verify_sqlite",
+    "verify_persistent",
+    "MANIFEST_FORMAT_VERSION",
+    "DroppedRange",
+    "LossManifest",
+    "RepairResult",
+    "manifest_path_for",
+    "repair_store",
+]

@@ -1,0 +1,166 @@
+"""The findings model shared by ``trace verify`` and the report sinks.
+
+A :class:`Finding` is one concrete defect (or recoverable oddity) a
+deep integrity sweep located in an on-disk trace store: what check
+fired, how severe it is, where in the store it sits, and — when the
+damage can be pinned to sequence numbers — exactly which events it
+affects.  A :class:`VerifyResult` aggregates one sweep's findings with
+enough context (path, backend, how much was examined) for an operator
+to decide between "ignore", "repair", and "restore from backup".
+
+The model is deliberately exporter-shaped: ``repro.report`` renders a
+``VerifyResult`` through the same CSV/JSONL/Markdown/HTML sinks as an
+:class:`~repro.core.audit.AuditReport`, so audit output and forensics
+output land in the same operator workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Finding severities, mildest first.  ``warning`` marks recoverable
+#: oddities (a crash-torn tail the store itself would repair on open);
+#: ``error`` marks real damage a plain ``open`` would either die on or
+#: silently misread.
+FINDING_SEVERITIES: tuple[str, ...] = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect located by a deep integrity check."""
+
+    #: Stable machine name of the check that fired, e.g.
+    #: ``"payload-json"``, ``"seq-gap"``, ``"entity-index-missing"``.
+    check: str
+    #: ``"error"`` or ``"warning"`` (see :data:`FINDING_SEVERITIES`).
+    severity: str
+    #: Human-readable position, e.g. ``"events.seq=42"`` or
+    #: ``"events-00001.jsonl:17"``.
+    location: str
+    #: What is wrong, in one sentence.
+    message: str
+    #: Affected global sequence numbers, when the damage pins to any.
+    seqs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.severity not in FINDING_SEVERITIES:
+            raise ValueError(
+                f"unknown finding severity {self.severity!r}; "
+                f"known: {', '.join(FINDING_SEVERITIES)}"
+            )
+
+    def describe(self) -> str:
+        """A single-line human-readable description."""
+        return (
+            f"[{self.check}][{self.severity}] {self.location}: {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+            "seqs": list(self.seqs),
+        }
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """The outcome of one deep integrity sweep over an on-disk store."""
+
+    path: str
+    backend: str  # "sqlite" | "persistent"
+    #: Event records examined (rows / non-blank lines), valid or not.
+    events_examined: int
+    #: Records that decoded to well-formed events.
+    events_valid: int
+    findings: tuple[Finding, ...] = ()
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* finding fired (warnings allowed — they
+        mark conditions a plain ``open`` recovers from on its own)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when the sweep found nothing at all."""
+        return not self.findings
+
+    def counts_by_check(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.check] = counts.get(finding.check, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "backend": self.backend,
+            "events_examined": self.events_examined,
+            "events_valid": self.events_valid,
+            "ok": self.ok,
+            "clean": self.clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "counts_by_check": self.counts_by_check(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def summary_lines(self) -> list[str]:
+        verdict = "CLEAN" if self.clean else ("OK*" if self.ok else "DAMAGED")
+        lines = [
+            f"verify {self.path} ({self.backend} backend): {verdict} — "
+            f"{self.events_valid}/{self.events_examined} event record(s) "
+            f"valid, {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.describe()}")
+        return lines
+
+
+class _FindingCollector:
+    """Mutable accumulator the verify sweeps report into."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.examined = 0
+        self.valid = 0
+
+    def add(
+        self,
+        check: str,
+        severity: str,
+        location: str,
+        message: str,
+        seqs: "tuple[int, ...] | list[int]" = (),
+    ) -> None:
+        self.findings.append(
+            Finding(
+                check=check,
+                severity=severity,
+                location=location,
+                message=message,
+                seqs=tuple(seqs),
+            )
+        )
+
+    def result(self, path: str, backend: str) -> VerifyResult:
+        return VerifyResult(
+            path=path,
+            backend=backend,
+            events_examined=self.examined,
+            events_valid=self.valid,
+            findings=tuple(self.findings),
+        )

@@ -1,0 +1,462 @@
+"""``trace repair``: best-effort salvage of a corrupted trace store.
+
+Repair never touches the damaged source.  It walks the source's raw
+on-disk records in sequence order, keeps **every verifiable event** —
+one that decodes through the event codec, still satisfies the trace
+invariants (time order, single posting per task id) against the events
+already salvaged, and references no entity whose introduction event
+was itself lost — and writes the survivors into a fresh destination
+store.  The dangling-reference rule is what keeps the salvaged store
+*auditable*: an assignment to a worker whose registration is gone has
+lost its evidence, and keeping it would crash every axiom that looks
+the worker up.  Everything that cannot be kept is accounted for in a
+:class:`LossManifest`: the exact (inclusive) seq ranges dropped and,
+per range, why.  Nothing disappears silently.
+
+The salvaged store is immediately re-verified
+(:func:`~repro.forensics.verify.verify_store`), so the returned
+:class:`RepairResult` carries proof the destination is sound, and —
+because the destination replays the surviving events through the
+normal ``append`` path — the destination audits identically to an
+in-memory trace of the same surviving events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.serialize import event_from_dict
+from repro.core.store.persistent import (
+    _META_NAME,
+    _SEGMENT_PREFIX,
+    _SEGMENT_SUFFIX,
+    _segment_name,
+)
+from repro.core.store.sqlite import is_sqlite_trace
+from repro.core.trace import make_disk_store
+from repro.errors import ForensicsError, ReproError, TraceError
+from repro.forensics.findings import VerifyResult
+from repro.forensics.verify import _segment_index, verify_store
+
+
+@dataclass(frozen=True)
+class DroppedRange:
+    """A contiguous run of source seqs dropped for one reason."""
+
+    start_seq: int
+    end_seq: int  # inclusive
+    reason: str
+
+    @property
+    def count(self) -> int:
+        return self.end_seq - self.start_seq + 1
+
+    def describe(self) -> str:
+        span = (
+            f"seq {self.start_seq}"
+            if self.start_seq == self.end_seq
+            else f"seqs {self.start_seq}..{self.end_seq}"
+        )
+        return f"{span} ({self.count} event(s)): {self.reason}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "start_seq": self.start_seq,
+            "end_seq": self.end_seq,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class LossManifest:
+    """Exact accounting of what a repair could not salvage."""
+
+    source: str
+    dest: str
+    source_backend: str
+    dest_backend: str
+    events_salvaged: int
+    events_dropped: int
+    dropped: tuple[DroppedRange, ...] = ()
+
+    @property
+    def lossless(self) -> bool:
+        return self.events_dropped == 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "source": self.source,
+            "dest": self.dest,
+            "source_backend": self.source_backend,
+            "dest_backend": self.dest_backend,
+            "events_salvaged": self.events_salvaged,
+            "events_dropped": self.events_dropped,
+            "lossless": self.lossless,
+            "dropped": [dropped.as_dict() for dropped in self.dropped],
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"repair {self.source} ({self.source_backend}) -> "
+            f"{self.dest} ({self.dest_backend}): "
+            f"{self.events_salvaged} event(s) salvaged, "
+            f"{self.events_dropped} dropped"
+        ]
+        for dropped in self.dropped:
+            lines.append(f"  dropped {dropped.describe()}")
+        return lines
+
+
+#: Version stamp of the loss-manifest JSON document.
+MANIFEST_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Everything a repair produced: the salvaged store's path, the
+    loss accounting, and a fresh verify pass over the destination."""
+
+    manifest: LossManifest
+    manifest_path: str
+    dest_path: str
+    verify: VerifyResult
+
+    @property
+    def ok(self) -> bool:
+        """True when the salvaged destination itself verifies clean of
+        errors — the repair produced a sound store (possibly lossy)."""
+        return self.verify.ok
+
+
+def manifest_path_for(dest: str | os.PathLike[str]) -> str:
+    """Default loss-manifest location: next to the destination."""
+    fspath = os.fspath(dest).rstrip("/").rstrip(os.sep)
+    return f"{fspath}.loss.json"
+
+
+class _RangeBuilder:
+    """Merge per-seq drop reasons into contiguous same-reason ranges."""
+
+    def __init__(self) -> None:
+        self._ranges: list[DroppedRange] = []
+
+    def drop(self, seq: int, reason: str) -> None:
+        if self._ranges:
+            last = self._ranges[-1]
+            if last.end_seq == seq - 1 and last.reason == reason:
+                self._ranges[-1] = DroppedRange(
+                    last.start_seq, seq, reason
+                )
+                return
+        self._ranges.append(DroppedRange(seq, seq, reason))
+
+    @property
+    def ranges(self) -> tuple[DroppedRange, ...]:
+        return tuple(self._ranges)
+
+    @property
+    def total(self) -> int:
+        return sum(r.count for r in self._ranges)
+
+
+# Each record is (seq, event-or-None, drop-reason-or-None).
+_Record = "tuple[int, object | None, str | None]"
+
+#: (attribute carrying a full entity snapshot, entity kind, id field).
+_INTRODUCTIONS: tuple[tuple[str, str, str], ...] = (
+    ("worker", "worker", "worker_id"),
+    ("requester", "requester", "requester_id"),
+    ("task", "task", "task_id"),
+    ("contribution", "contribution", "contribution_id"),
+)
+
+#: (id attribute, entity kind) pairs that *reference* an entity.
+_REFERENCES: tuple[tuple[str, str], ...] = (
+    ("worker_id", "worker"),
+    ("task_id", "task"),
+    ("requester_id", "requester"),
+    ("contribution_id", "contribution"),
+)
+
+
+def _introduced(event) -> "set[tuple[str, str]]":
+    """Entities this event brings into existence (full snapshots)."""
+    out = set()
+    for attribute, kind, id_field in _INTRODUCTIONS:
+        entity = getattr(event, attribute, None)
+        if entity is not None:
+            out.add((kind, getattr(entity, id_field)))
+    return out
+
+
+def _referenced(event) -> "set[tuple[str, str]]":
+    """Entities this event points at by id (must already exist)."""
+    refs = set()
+    for attribute, kind in _REFERENCES:
+        value = getattr(event, attribute, None)
+        if value:
+            refs.add((kind, value))
+    for task_id in getattr(event, "task_ids", ()) or ():
+        refs.add(("task", task_id))
+    contribution = getattr(event, "contribution", None)
+    if contribution is not None:
+        for attribute, kind in (("worker_id", "worker"),
+                                ("task_id", "task")):
+            value = getattr(contribution, attribute, None)
+            if value:
+                refs.add((kind, value))
+    return refs
+
+
+def _iter_sqlite_records(fspath: str) -> Iterator[tuple]:
+    try:
+        conn = sqlite3.connect(f"file:{fspath}?mode=ro", uri=True)
+    except sqlite3.Error as error:
+        raise ForensicsError(
+            f"cannot open {fspath!r} read-only for salvage: {error}"
+        ) from error
+    try:
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if "events" not in tables:
+            raise ForensicsError(
+                f"{fspath!r} has no events table; nothing to salvage"
+            )
+        expected = 0
+        cursor = conn.execute(
+            "SELECT seq, payload FROM events ORDER BY seq"
+        )
+        while True:
+            try:
+                row = cursor.fetchone()
+            except sqlite3.DatabaseError as error:
+                # Page-level damage killed the scan; everything beyond
+                # this point is unreachable and of unknown extent.
+                yield (
+                    expected, None,
+                    f"row scan aborted by SQLite ({error}); events from "
+                    f"seq {expected} on are unreachable",
+                )
+                return
+            if row is None:
+                return
+            seq, payload = row
+            for missing in range(expected, seq):
+                yield missing, None, "missing from events table"
+            expected = seq + 1
+            try:
+                event = event_from_dict(json.loads(payload))
+            except (json.JSONDecodeError, TypeError) as error:
+                yield seq, None, f"payload is not valid JSON: {error}"
+                continue
+            except (TraceError, KeyError, ValueError) as error:
+                yield seq, None, (
+                    f"payload does not decode to an event: {error}"
+                )
+                continue
+            yield seq, event, None
+    finally:
+        conn.close()
+
+
+def _iter_persistent_records(fspath: str) -> Iterator[tuple]:
+    meta_path = os.path.join(fspath, _META_NAME)
+    segment_events: "int | None" = None
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if isinstance(meta, dict) and isinstance(
+            meta.get("segment_events"), int
+        ):
+            segment_events = meta["segment_events"]
+    except (OSError, json.JSONDecodeError):
+        pass  # salvage proceeds from the segment files alone
+    segments = sorted(
+        (
+            name
+            for name in os.listdir(fspath)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        ),
+        key=_segment_index,
+    )
+    if not segments:
+        raise ForensicsError(
+            f"{fspath!r} contains no event segments; nothing to salvage"
+        )
+    seq = 0
+    next_index = 0
+    for name in segments:
+        index = _segment_index(name)
+        while next_index < index:
+            # A whole interior segment file is gone.  Non-final
+            # segments hold exactly segment_events lines, so when the
+            # manifest is readable the loss extent is exact.
+            missing = _segment_name(next_index)
+            if segment_events is not None:
+                for _ in range(segment_events):
+                    yield seq, None, f"segment file {missing} is missing"
+                    seq += 1
+            else:
+                yield seq, None, (
+                    f"segment file {missing} is missing and "
+                    f"{_META_NAME} is unreadable; loss extent unknown"
+                )
+                seq += 1
+            next_index += 1
+        next_index = index + 1
+        with open(os.path.join(fspath, name), "rb") as handle:
+            content = handle.read()
+        for line_number, raw in enumerate(
+            content.splitlines(keepends=True), start=1
+        ):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            location = f"{name}:{line_number}"
+            try:
+                data = json.loads(stripped.decode("utf-8"))
+                if not isinstance(data, dict):
+                    raise TraceError(
+                        f"expected a JSON object, got {type(data).__name__}"
+                    )
+                event = event_from_dict(data)
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                yield seq, None, (
+                    f"{location}: line is not a valid JSON object: {error}"
+                )
+                seq += 1
+                continue
+            except (TraceError, KeyError, TypeError, ValueError) as error:
+                yield seq, None, (
+                    f"{location}: line does not decode to an event: {error}"
+                )
+                seq += 1
+                continue
+            yield seq, event, None
+            seq += 1
+
+
+def repair_store(
+    source: str | os.PathLike[str],
+    dest: str | os.PathLike[str],
+    *,
+    dest_backend: str | None = None,
+    segment_events: int = 4096,
+    manifest_path: str | os.PathLike[str] | None = None,
+) -> RepairResult:
+    """Salvage a damaged store at ``source`` into a fresh ``dest``.
+
+    The source is opened read-only and never modified.  ``dest`` must
+    not exist yet (repair refuses to overwrite anything).  The
+    destination backend follows :func:`~repro.core.trace.make_disk_store`
+    rules — explicit ``dest_backend`` wins, else the path suffix
+    decides.  The loss manifest is written as JSON to ``manifest_path``
+    (default ``<dest>.loss.json``) and also returned.
+
+    Raises :class:`~repro.errors.ForensicsError` when the source is not
+    a recognisable trace store, holds no event records at all, or the
+    destination is unusable.  Damage *inside* a recognisable source
+    never raises — it becomes manifest entries.
+    """
+    src = os.fspath(source)
+    destp = os.fspath(dest)
+    if os.path.isdir(src):
+        if not os.path.exists(os.path.join(src, _META_NAME)) and not any(
+            name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+            for name in os.listdir(src)
+        ):
+            raise ForensicsError(
+                f"directory {src!r} is not a trace log (no {_META_NAME} "
+                "and no event segments); nothing to salvage"
+            )
+        source_backend = "persistent"
+        records = _iter_persistent_records(src)
+    elif is_sqlite_trace(src):
+        source_backend = "sqlite"
+        records = _iter_sqlite_records(src)
+    elif os.path.isfile(src):
+        raise ForensicsError(
+            f"{src!r} is neither a JSONL segment log directory nor a "
+            "SQLite trace database; nothing to salvage"
+        )
+    else:
+        raise ForensicsError(f"no trace store at {src!r}")
+
+    if os.path.exists(destp):
+        raise ForensicsError(
+            f"repair destination {destp!r} already exists; repair only "
+            "writes into a fresh store, it never overwrites"
+        )
+    out = make_disk_store(destp, dest_backend, segment_events=segment_events)
+    resolved_dest_backend = out.backend_name
+
+    drops = _RangeBuilder()
+    salvaged = 0
+    known: set[tuple[str, str]] = set()
+    try:
+        for seq, event, reason in records:
+            if event is None:
+                drops.drop(seq, reason)
+                continue
+            dangling = _referenced(event) - _introduced(event) - known
+            if dangling:
+                lost = ", ".join(
+                    f"{kind} {entity_id!r}"
+                    for kind, entity_id in sorted(dangling)
+                )
+                drops.drop(seq, f"references entity lost earlier: {lost}")
+                continue
+            try:
+                out.append(event)
+            except ReproError as error:
+                drops.drop(seq, f"conflicts with salvaged prefix: {error}")
+                continue
+            salvaged += 1
+            known |= _introduced(event)
+        out.save()
+    finally:
+        out.close()
+
+    manifest = LossManifest(
+        source=src,
+        dest=destp,
+        source_backend=source_backend,
+        dest_backend=resolved_dest_backend,
+        events_salvaged=salvaged,
+        events_dropped=drops.total,
+        dropped=drops.ranges,
+    )
+    resolved_manifest = os.fspath(
+        manifest_path if manifest_path is not None
+        else manifest_path_for(destp)
+    )
+    _write_manifest(manifest, resolved_manifest)
+    return RepairResult(
+        manifest=manifest,
+        manifest_path=resolved_manifest,
+        dest_path=destp,
+        verify=verify_store(destp),
+    )
+
+
+def _write_manifest(manifest: LossManifest, path: str) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        raise ForensicsError(
+            f"cannot write loss manifest to {path!r}: {error}"
+        ) from error

@@ -1,0 +1,444 @@
+"""``trace verify``: deep, read-only integrity sweeps per backend.
+
+Opening a store runs only the checks that keep *opening* safe; a
+corrupted payload mid-file is simply fatal there.  These sweeps instead
+read the raw on-disk artifacts directly (read-only — verify never
+mutates, not even the torn-tail repair ``PersistentTraceStore.open``
+would perform) and report **everything** wrong at once as
+:class:`~repro.forensics.findings.Finding`\\ s:
+
+SQLite (:func:`verify_sqlite`):
+
+* SQLite-level page integrity (``PRAGMA integrity_check``),
+* ``meta`` format version,
+* per-row payload JSON validity and event-codec decodability,
+* ``seq`` contiguity from 0 (gaps name the exact missing ranges) and
+  time monotonicity,
+* ``events`` column ↔ payload cross-validation (``kind``/``time``
+  columns must match the decoded payload), and
+* ``event_entities`` ↔ payload cross-validation both ways: every
+  touched entity of every decoded event must be indexed, every index
+  row must correspond to a real touched entity of a real event.
+
+Persistent JSONL segments (:func:`verify_persistent`):
+
+* ``meta.json`` readability, shape, and format version,
+* segment-file naming contiguity (a missing middle segment is damage),
+* per-segment line sweeps: UTF-8/JSON validity and event-codec
+  decodability of every line, with a *final unterminated* line graded
+  as a recoverable ``torn-tail`` warning (exactly the case ``open``
+  repairs) and any other bad line as an error,
+* segment-fullness reconciliation against ``meta.json`` — every
+  non-final segment must hold exactly ``segment_events`` lines,
+* trace-level invariants across segments: time monotonicity and
+  single-posting of task ids.
+
+Both sweeps return a :class:`~repro.forensics.findings.VerifyResult`;
+:func:`verify_store` dispatches on what is at the path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+
+from repro.core.serialize import event_from_dict
+from repro.core.store.base import collect_touched
+from repro.core.store.persistent import (
+    LOG_FORMAT_VERSION,
+    _META_NAME,
+    _SEGMENT_PREFIX,
+    _SEGMENT_SUFFIX,
+)
+from repro.core.store.sqlite import DB_FORMAT_VERSION, is_sqlite_trace
+from repro.errors import ForensicsError, TraceError
+from repro.forensics.findings import VerifyResult, _FindingCollector
+
+#: entity_kind label -> TouchedEntities attribute, the index vocabulary.
+_ENTITY_ATTRS: tuple[tuple[str, str], ...] = (
+    ("worker", "worker_ids"),
+    ("task", "task_ids"),
+    ("requester", "requester_ids"),
+    ("contribution", "contribution_ids"),
+)
+
+
+def verify_store(path: str | os.PathLike[str]) -> VerifyResult:
+    """Deep-verify an on-disk trace store, detecting its format.
+
+    Never mutates anything; corruption becomes findings, not
+    exceptions.  Raises :class:`~repro.errors.ForensicsError` only when
+    ``path`` is not recognisably a trace store of either format.
+    """
+    fspath = os.fspath(path)
+    if os.path.isdir(fspath):
+        if not os.path.exists(os.path.join(fspath, _META_NAME)):
+            raise ForensicsError(
+                f"directory {fspath!r} is not a trace log: it has no "
+                f"{_META_NAME} manifest, so there is nothing to verify"
+            )
+        return verify_persistent(fspath)
+    if is_sqlite_trace(fspath):
+        return verify_sqlite(fspath)
+    if os.path.isfile(fspath):
+        raise ForensicsError(
+            f"{fspath!r} is neither a JSONL segment log directory nor a "
+            "SQLite trace database; nothing to verify"
+        )
+    raise ForensicsError(f"no trace store at {fspath!r}")
+
+
+# ----------------------------------------------------------------------
+# SQLite
+
+
+def _expected_entity_rows(event) -> set[tuple[str, str]]:
+    """The ``(entity_id, entity_kind)`` index rows one event demands."""
+    touched = collect_touched((event,))
+    return {
+        (entity_id, kind)
+        for kind, attribute in _ENTITY_ATTRS
+        for entity_id in getattr(touched, attribute)
+    }
+
+
+def verify_sqlite(path: str | os.PathLike[str]) -> VerifyResult:
+    """Deep integrity sweep over a SQLite trace database (read-only)."""
+    fspath = os.fspath(path)
+    if not os.path.isfile(fspath):
+        raise ForensicsError(f"no trace database at {fspath!r}")
+    out = _FindingCollector()
+    try:
+        conn = sqlite3.connect(f"file:{fspath}?mode=ro", uri=True)
+    except sqlite3.Error as error:
+        out.add(
+            "database-unreadable", "error", fspath,
+            f"cannot open database read-only: {error}",
+        )
+        return out.result(fspath, "sqlite")
+    try:
+        _sqlite_sweep(conn, fspath, out)
+    finally:
+        conn.close()
+    return out.result(fspath, "sqlite")
+
+
+def _sqlite_sweep(
+    conn: sqlite3.Connection, fspath: str, out: _FindingCollector
+) -> None:
+    # Page-level integrity first: if SQLite itself reports damage the
+    # row sweeps below may die mid-scan, so surface its verdict.
+    try:
+        verdicts = [row[0] for row in conn.execute("PRAGMA integrity_check")]
+    except sqlite3.DatabaseError as error:
+        out.add(
+            "sqlite-integrity", "error", fspath,
+            f"PRAGMA integrity_check failed: {error}",
+        )
+        return
+    for verdict in verdicts:
+        if verdict != "ok":
+            out.add("sqlite-integrity", "error", fspath, str(verdict))
+    try:
+        _sqlite_row_sweep(conn, fspath, out)
+    except sqlite3.DatabaseError as error:
+        out.add(
+            "database-unreadable", "error", fspath,
+            f"row sweep aborted by SQLite: {error}",
+        )
+
+
+def _sqlite_row_sweep(
+    conn: sqlite3.Connection, fspath: str, out: _FindingCollector
+) -> None:
+    tables = {
+        row[0]
+        for row in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    }
+    missing = {"meta", "events", "event_entities"} - tables
+    if missing:
+        out.add(
+            "schema-missing", "error", fspath,
+            f"trace tables missing: {', '.join(sorted(missing))}",
+        )
+        return
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'format_version'"
+    ).fetchone()
+    version = None if row is None else row[0]
+    if version != str(DB_FORMAT_VERSION):
+        out.add(
+            "format-version", "error", "meta",
+            f"format_version is {version!r} "
+            f"(supported: {DB_FORMAT_VERSION})",
+        )
+
+    decoded: dict[int, object] = {}
+    expected_seq = 0
+    previous_time: int | None = None
+    posted_tasks: dict[str, int] = {}
+    for seq, time, kind, payload in conn.execute(
+        "SELECT seq, time, kind, payload FROM events ORDER BY seq"
+    ):
+        out.examined += 1
+        location = f"events.seq={seq}"
+        if seq != expected_seq:
+            missing_range = list(range(expected_seq, seq))
+            out.add(
+                "seq-gap", "error", location,
+                f"sequence jumps from {expected_seq} to {seq}; "
+                f"event(s) {expected_seq}..{seq - 1} are missing",
+                seqs=missing_range,
+            )
+        expected_seq = seq + 1
+        if previous_time is not None and time < previous_time:
+            out.add(
+                "time-order", "error", location,
+                f"time {time} after time {previous_time}; "
+                "traces must be time-ordered",
+                seqs=[seq],
+            )
+        previous_time = time
+        try:
+            data = json.loads(payload)
+        except (json.JSONDecodeError, TypeError) as error:
+            out.add(
+                "payload-json", "error", location,
+                f"payload is not valid JSON: {error}", seqs=[seq],
+            )
+            continue
+        try:
+            event = event_from_dict(data)
+        except (TraceError, KeyError, TypeError, ValueError) as error:
+            out.add(
+                "payload-codec", "error", location,
+                f"payload does not decode to an event: {error}", seqs=[seq],
+            )
+            continue
+        out.valid += 1
+        decoded[seq] = event
+        if event.kind != kind:
+            out.add(
+                "kind-mismatch", "error", location,
+                f"kind column says {kind!r} but the payload decodes to "
+                f"{event.kind!r}", seqs=[seq],
+            )
+        if event.time != time:
+            out.add(
+                "time-mismatch", "error", location,
+                f"time column says {time} but the payload says "
+                f"{event.time}", seqs=[seq],
+            )
+        task = getattr(event, "task", None)
+        if event.kind == "task_posted" and task is not None:
+            first = posted_tasks.setdefault(task.task_id, seq)
+            if first != seq:
+                out.add(
+                    "duplicate-task", "error", location,
+                    f"task {task.task_id!r} already posted at seq {first}",
+                    seqs=[seq],
+                )
+
+    _sqlite_entity_index_sweep(conn, decoded, out)
+
+
+def _sqlite_entity_index_sweep(
+    conn: sqlite3.Connection, decoded: "dict[int, object]", out: _FindingCollector
+) -> None:
+    """Cross-validate ``event_entities`` against the decoded payloads,
+    both directions."""
+    actual: dict[int, set[tuple[str, str]]] = {}
+    for entity_id, entity_kind, seq in conn.execute(
+        "SELECT entity_id, entity_kind, seq FROM event_entities"
+    ):
+        actual.setdefault(seq, set()).add((entity_id, entity_kind))
+    for seq, rows in sorted(actual.items()):
+        if seq not in decoded:
+            out.add(
+                "entity-index-orphan", "error", f"event_entities.seq={seq}",
+                f"{len(rows)} index row(s) reference seq {seq}, which has "
+                "no decodable event",
+                seqs=[seq],
+            )
+    for seq, event in sorted(decoded.items()):
+        expected = _expected_entity_rows(event)
+        present = actual.get(seq, set())
+        for entity_id, kind in sorted(expected - present):
+            out.add(
+                "entity-index-missing", "error", f"event_entities.seq={seq}",
+                f"touched {kind} {entity_id!r} is not in the entity "
+                "index; entity-scoped queries would silently miss this "
+                "event",
+                seqs=[seq],
+            )
+        for entity_id, kind in sorted(present - expected):
+            out.add(
+                "entity-index-extra", "error", f"event_entities.seq={seq}",
+                f"index row ({entity_id!r}, {kind!r}) matches no entity "
+                "touched by the event at this seq",
+                seqs=[seq],
+            )
+
+
+# ----------------------------------------------------------------------
+# Persistent JSONL segments
+
+
+def _segment_index(name: str) -> int:
+    return int(name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+def _read_meta(fspath: str, out: _FindingCollector) -> "int | None":
+    """Validate ``meta.json``; returns ``segment_events`` when usable."""
+    meta_path = os.path.join(fspath, _META_NAME)
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        out.add(
+            "meta-unreadable", "error", _META_NAME,
+            f"manifest is unreadable: {error}",
+        )
+        return None
+    if not isinstance(meta, dict):
+        out.add(
+            "meta-malformed", "error", _META_NAME,
+            f"manifest is not a JSON object (got {type(meta).__name__})",
+        )
+        return None
+    version = meta.get("format_version")
+    if version != LOG_FORMAT_VERSION:
+        out.add(
+            "format-version", "error", _META_NAME,
+            f"format_version is {version!r} "
+            f"(supported: {LOG_FORMAT_VERSION})",
+        )
+    segment_events = meta.get("segment_events")
+    if not isinstance(segment_events, int) or segment_events < 1:
+        out.add(
+            "meta-malformed", "error", _META_NAME,
+            f"segment_events is {segment_events!r} "
+            "(expected a positive integer)",
+        )
+        return None
+    return segment_events
+
+
+def verify_persistent(path: str | os.PathLike[str]) -> VerifyResult:
+    """Deep integrity sweep over a JSONL segment log (read-only)."""
+    fspath = os.fspath(path)
+    if not os.path.isdir(fspath):
+        raise ForensicsError(f"no trace log directory at {fspath!r}")
+    out = _FindingCollector()
+    segment_events = _read_meta(fspath, out)
+    segments = sorted(
+        name
+        for name in os.listdir(fspath)
+        if name.startswith(_SEGMENT_PREFIX)
+        and name.endswith(_SEGMENT_SUFFIX)
+    )
+    for position, name in enumerate(segments):
+        if _segment_index(name) != position:
+            out.add(
+                "segment-gap", "error", name,
+                f"expected segment index {position:05d} next but found "
+                f"{name}; a whole segment file is missing or misnamed",
+            )
+            break
+    seq = 0
+    previous_time: int | None = None
+    posted_tasks: dict[str, int] = {}
+    for position, name in enumerate(segments):
+        last_segment = position == len(segments) - 1
+        lines = 0
+        with open(os.path.join(fspath, name), "rb") as handle:
+            content = handle.read()
+        for line_number, raw in enumerate(
+            content.splitlines(keepends=True), start=1
+        ):
+            location = f"{name}:{line_number}"
+            unterminated = not raw.endswith(b"\n")
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            lines += 1
+            out.examined += 1
+            try:
+                data = json.loads(stripped.decode("utf-8"))
+                if not isinstance(data, dict):
+                    raise TraceError(
+                        f"expected a JSON object, got {type(data).__name__}"
+                    )
+            except (UnicodeDecodeError, json.JSONDecodeError,
+                    TraceError) as error:
+                if unterminated and last_segment:
+                    out.add(
+                        "torn-tail", "warning", location,
+                        "final line is truncated mid-write (crash "
+                        "mid-append?); open() would drop it and keep "
+                        f"the complete prefix ({error})",
+                        seqs=[seq],
+                    )
+                else:
+                    out.add(
+                        "line-json", "error", location,
+                        f"line is not a valid JSON object: {error}",
+                        seqs=[seq],
+                    )
+                seq += 1
+                continue
+            if unterminated and not last_segment:
+                out.add(
+                    "line-unterminated", "error", location,
+                    "non-final segment ends without a newline; only the "
+                    "newest segment may carry a crash-torn tail",
+                    seqs=[seq],
+                )
+            try:
+                event = event_from_dict(data)
+            except (TraceError, KeyError, TypeError, ValueError) as error:
+                out.add(
+                    "line-codec", "error", location,
+                    f"line does not decode to an event: {error}",
+                    seqs=[seq],
+                )
+                seq += 1
+                continue
+            out.valid += 1
+            if previous_time is not None and event.time < previous_time:
+                out.add(
+                    "time-order", "error", location,
+                    f"time {event.time} after time {previous_time}; "
+                    "traces must be time-ordered",
+                    seqs=[seq],
+                )
+            previous_time = event.time
+            task = getattr(event, "task", None)
+            if event.kind == "task_posted" and task is not None:
+                first = posted_tasks.setdefault(task.task_id, seq)
+                if first != seq:
+                    out.add(
+                        "duplicate-task", "error", location,
+                        f"task {task.task_id!r} already posted at "
+                        f"seq {first}",
+                        seqs=[seq],
+                    )
+            seq += 1
+        if segment_events is not None:
+            if not last_segment and lines != segment_events:
+                out.add(
+                    "segment-size", "error", name,
+                    f"non-final segment holds {lines} event line(s) but "
+                    f"{_META_NAME} says segments roll at {segment_events}; "
+                    "lines were lost or injected",
+                )
+            elif last_segment and lines > segment_events:
+                out.add(
+                    "segment-size", "error", name,
+                    f"final segment holds {lines} event line(s), over the "
+                    f"{segment_events}-line roll threshold",
+                )
+    return out.result(fspath, "persistent")

@@ -12,7 +12,11 @@ Durability rules:
 * **Atomic writes.**  The token is written to a temporary file in the
   same directory, fsynced, then :func:`os.replace`\\ d over the target,
   so a kill mid-write leaves either the old complete token or the new
-  complete token — never a half of each.
+  complete token — never a half of each.  The parent *directory* is
+  fsynced after the replace (best-effort on platforms whose
+  filesystems cannot fsync a directory fd): the rename itself lives in
+  directory metadata, so without it a power loss could silently revert
+  to the old token despite the data fsync.
 * **Detected corruption.**  The payload carries a SHA-256 checksum; a
   token that is unparseable, truncated, checksum-mismatched, or missing
   required fields raises :class:`~repro.errors.CheckpointError` instead
@@ -78,6 +82,26 @@ def _digest(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata (the rename) to stable storage.
+
+    Best-effort by design: some platforms (Windows) and filesystems
+    refuse to open or fsync a directory fd.  Failure here degrades
+    durability of the *latest* token only — the replaced file content
+    was already fsynced — so it must never fail the write.
+    """
+    try:
+        fd = os.open(directory or os.curdir, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_checkpoint(
     checkpoint: IngestCheckpoint, path: str | os.PathLike[str]
 ) -> str:
@@ -92,6 +116,9 @@ def write_checkpoint(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, fspath)
+    # The replace is a directory-metadata operation; without flushing
+    # the directory a crash can resurrect the previous token.
+    _fsync_directory(os.path.dirname(fspath))
     return fspath
 
 

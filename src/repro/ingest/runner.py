@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.core.audit import AuditReport
 from repro.core.trace import PlatformTrace, as_trace
@@ -130,8 +130,12 @@ class IngestRunner:
     reports, multi-core throughput; ``audit_backend`` picks thread or
     process workers).  ``stats_cadence=N`` snapshots
     :func:`trace_stats` every N batches (0 = never).
-    ``checkpoint_path`` enables crash-safe resume.  Call :meth:`close`
-    when done to release audit worker pools.
+    ``checkpoint_path`` enables crash-safe resume.
+    ``report_dir``/``report_formats`` (with ``audit=True``) write
+    rolling report files — one ``audit.<suffix>`` per format, via
+    :func:`repro.report.export_report_files` — after every audited
+    batch, so an operator always has a current dashboard next to the
+    store.  Call :meth:`close` when done to release audit worker pools.
     """
 
     def __init__(
@@ -147,12 +151,40 @@ class IngestRunner:
         audit_backend: str = "thread",
         stats_cadence: int = 0,
         interval: float = 0.0,
+        report_dir: str | None = None,
+        report_formats: "Sequence[str]" = (),
+        report_source: str = "",
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         validate_runner_options(
             batch_events, stats_cadence, interval, audit_jobs
         )
+        if report_formats and report_dir is None:
+            raise IngestError(
+                "report_formats without report_dir: rolling reports "
+                "need a directory to land in"
+            )
+        if report_dir is not None:
+            if not report_formats:
+                raise IngestError(
+                    "report_dir without report_formats: name at least "
+                    "one format (csv, jsonl, md, html)"
+                )
+            if not audit:
+                raise IngestError(
+                    "rolling reports render the per-batch audit report; "
+                    "they require audit=True"
+                )
+            from repro.report import make_exporter
+
+            # Resolve every format now: an unknown name must fail
+            # before the first batch, not mid-ingest.
+            for format_name in report_formats:
+                make_exporter(format_name)
+        self._report_dir = report_dir
+        self._report_formats = tuple(report_formats)
+        self._report_source = report_source
         self._source = source
         self._trace = as_trace(store)
         self._checkpoint_path = checkpoint_path
@@ -188,6 +220,11 @@ class IngestRunner:
     def batches_completed(self) -> int:
         """Completed batches over the whole ingest, resumes included."""
         return self._batches
+
+    @property
+    def report_dir(self) -> "str | None":
+        """Where rolling report files land (``None`` when disabled)."""
+        return self._report_dir
 
     @property
     def last_report(self) -> AuditReport | None:
@@ -300,6 +337,8 @@ class IngestRunner:
                     if violation not in previous.violations
                 )
             self._last_report = report
+            if self._report_dir is not None:
+                self._write_rolling_reports(report)
         stats: TraceStats | None = None
         if self._stats_cadence and index % self._stats_cadence == 0:
             stats = trace_stats(self._trace)
@@ -322,6 +361,21 @@ class IngestRunner:
             report=report,
             new_violations=new_violations,
             stats=stats,
+        )
+
+    def _write_rolling_reports(self, report: AuditReport) -> None:
+        """Re-render every configured report file from the latest audit.
+
+        Each audited batch overwrites the previous roll, so the files
+        always describe the store as of the newest checkpointed batch.
+        """
+        from repro.report import audit_document, export_report_files
+
+        document = audit_document(
+            report, self._trace, source=self._report_source
+        )
+        export_report_files(
+            document, self._report_dir, self._report_formats
         )
 
     def run(

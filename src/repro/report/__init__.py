@@ -1,0 +1,74 @@
+"""Violation reporting & export: render audit/forensics results to files.
+
+The subsystem has three layers:
+
+* **Document model** (:mod:`repro.report.base`): a format-independent
+  :class:`ReportDocument` (summary facts + a record table + section
+  tables) and the :class:`ReportExporter` protocol with a registry of
+  named formats.
+* **Builders** (:mod:`repro.report.context`): flatteners from domain
+  objects — :class:`~repro.core.audit.AuditReport`,
+  :class:`~repro.forensics.VerifyResult`,
+  :class:`~repro.forensics.LossManifest` — into documents, optionally
+  enriched with trace-query context (events by kind, per-entity
+  violation timelines with activity denominators).
+* **Sinks**: CSV and JSONL (lossless, re-parseable), Markdown (paste
+  into a PR/issue), and a self-contained static HTML dashboard.
+
+CLI surface: ``python -m repro trace report`` and the ``--report`` /
+``--report-dir`` rolling-report flags on ``trace tail`` / ``resume``.
+"""
+
+from repro.report.base import (
+    REPORT_FORMATS,
+    ReportDocument,
+    ReportError,
+    ReportExporter,
+    ReportSection,
+    export_report,
+    export_report_files,
+    make_exporter,
+    register_format,
+    render_report,
+)
+from repro.report.context import (
+    AUDIT_COLUMNS,
+    REPAIR_COLUMNS,
+    VERIFY_COLUMNS,
+    audit_document,
+    jsonable,
+    manifest_document,
+    verify_document,
+)
+
+# Importing a format module registers its exporter; all four ship
+# registered so REPORT_FORMATS is complete after `import repro.report`.
+from repro.report.csv_format import CsvReportExporter, csv_cell
+from repro.report.html_format import HtmlReportExporter
+from repro.report.jsonl_format import JsonlReportExporter
+from repro.report.markdown_format import MarkdownReportExporter
+
+__all__ = [
+    "REPORT_FORMATS",
+    "ReportDocument",
+    "ReportError",
+    "ReportExporter",
+    "ReportSection",
+    "register_format",
+    "make_exporter",
+    "render_report",
+    "export_report",
+    "export_report_files",
+    "AUDIT_COLUMNS",
+    "VERIFY_COLUMNS",
+    "REPAIR_COLUMNS",
+    "audit_document",
+    "verify_document",
+    "manifest_document",
+    "jsonable",
+    "csv_cell",
+    "CsvReportExporter",
+    "JsonlReportExporter",
+    "MarkdownReportExporter",
+    "HtmlReportExporter",
+]

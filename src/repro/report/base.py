@@ -1,0 +1,169 @@
+"""The exporter protocol: one document model, many sinks.
+
+Audit reports, verify results, and loss manifests all flatten into the
+same :class:`ReportDocument` — a titled, summarised table of records
+plus supporting :class:`ReportSection` tables — so every sink renders
+every kind of report.  A sink is a :class:`ReportExporter`: it renders
+a document to text (:meth:`~ReportExporter.render`) or writes it to a
+file (:meth:`~ReportExporter.export`).  Formats register themselves in
+:data:`REPORT_FORMATS`; :func:`make_exporter` resolves a name, and
+:func:`render_report` / :func:`export_report` are the one-call
+conveniences the CLI and the ingest runner use.
+
+Tabular sinks (CSV, JSONL) carry the records losslessly and re-parse
+back to equal data; presentation sinks (Markdown, HTML) additionally
+render the summary and sections for humans.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReportError
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One supporting table: a title, column names, and rows."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ReportError(
+                    f"section {self.title!r}: row has {len(row)} cell(s) "
+                    f"but the section declares {len(self.columns)} column(s)"
+                )
+
+
+@dataclass(frozen=True)
+class ReportDocument:
+    """The format-independent content of one report.
+
+    ``records`` is the primary table — one JSON-safe mapping per line
+    item (a violation, a finding, a dropped range); ``columns`` fixes
+    the column order tabular sinks use.  ``summary`` is an ordered list
+    of (label, value) headline facts; ``sections`` are secondary tables
+    presentation sinks render after the summary.
+    """
+
+    title: str
+    #: Stable machine name: ``"audit"``, ``"verify"``, or ``"repair"``.
+    kind: str
+    #: Where the underlying data came from (a store path, usually).
+    source: str
+    summary: tuple[tuple[str, Any], ...] = ()
+    columns: tuple[str, ...] = ()
+    records: tuple[Mapping[str, Any], ...] = ()
+    sections: tuple[ReportSection, ...] = ()
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            missing = set(self.columns) - set(record)
+            if missing:
+                raise ReportError(
+                    f"document {self.title!r}: record lacks declared "
+                    f"column(s) {sorted(missing)}"
+                )
+
+
+class ReportExporter(ABC):
+    """One output format for :class:`ReportDocument`\\ s."""
+
+    #: Machine name used on the CLI (``--format``) and in the registry.
+    format_name: str = "abstract"
+    #: File suffix (with dot) :meth:`default_filename` uses.
+    file_suffix: str = ""
+
+    @abstractmethod
+    def render(self, document: ReportDocument) -> str:
+        """The complete rendered document as text."""
+
+    def export(
+        self, document: ReportDocument, path: str | os.PathLike[str]
+    ) -> str:
+        """Render to ``path`` (UTF-8); returns the path written."""
+        fspath = os.fspath(path)
+        text = self.render(document)
+        try:
+            parent = os.path.dirname(fspath)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(fspath, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as error:
+            raise ReportError(
+                f"cannot write {self.format_name} report to "
+                f"{fspath!r}: {error}"
+            ) from error
+        return fspath
+
+    def default_filename(self, document: ReportDocument) -> str:
+        """The conventional file name: ``<kind><suffix>``."""
+        return f"{document.kind}{self.file_suffix}"
+
+
+#: Registered exporters by format name, registration order preserved.
+REPORT_FORMATS: dict[str, type[ReportExporter]] = {}
+
+
+def register_format(cls: type[ReportExporter]) -> type[ReportExporter]:
+    """Class decorator adding an exporter to :data:`REPORT_FORMATS`."""
+    REPORT_FORMATS[cls.format_name] = cls
+    return cls
+
+
+def make_exporter(format_name: str) -> ReportExporter:
+    """Instantiate the exporter registered under ``format_name``."""
+    try:
+        exporter_cls = REPORT_FORMATS[format_name]
+    except KeyError:
+        raise ReportError(
+            f"unknown report format {format_name!r}; "
+            f"available formats: {', '.join(sorted(REPORT_FORMATS))}"
+        ) from None
+    return exporter_cls()
+
+
+def render_report(document: ReportDocument, format_name: str) -> str:
+    """Render ``document`` in the named format."""
+    return make_exporter(format_name).render(document)
+
+
+def export_report(
+    document: ReportDocument,
+    format_name: str,
+    path: str | os.PathLike[str],
+) -> str:
+    """Write ``document`` to ``path`` in the named format."""
+    return make_exporter(format_name).export(document, path)
+
+
+def export_report_files(
+    document: ReportDocument,
+    directory: str | os.PathLike[str],
+    formats: Sequence[str],
+) -> list[str]:
+    """Write one conventionally-named file per format into ``directory``.
+
+    The rolling-report entry point the ingest runner uses after every
+    audited batch: each format lands at
+    ``<directory>/<kind><suffix>`` (e.g. ``audit.html``), overwriting
+    the previous roll.  Returns the paths written, format order
+    preserved.  Unknown format names raise before anything is written.
+    """
+    exporters = [make_exporter(name) for name in formats]
+    base = os.fspath(directory)
+    os.makedirs(base, exist_ok=True)
+    return [
+        exporter.export(
+            document, os.path.join(base, exporter.default_filename(document))
+        )
+        for exporter in exporters
+    ]

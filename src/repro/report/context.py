@@ -1,0 +1,295 @@
+"""Document builders: flatten audit/forensics results for the sinks.
+
+Each builder turns one domain object into a
+:class:`~repro.report.base.ReportDocument` whose records are plain
+JSON-safe mappings (tuples become lists, enums become their values), so
+the CSV and JSONL sinks round-trip them losslessly and the Markdown and
+HTML sinks never meet a live domain object.
+
+:func:`audit_document` optionally takes the audited trace (or store) as
+context: with it, the document gains the evidence an operator needs to
+judge the numbers — events-by-kind denominators, per-entity activity
+counts, and a violation timeline per affected entity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.query import TraceQuery, entity_event_counts
+from repro.report.base import ReportDocument, ReportSection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.audit import AuditReport
+    from repro.core.store import TraceStore
+    from repro.core.trace import PlatformTrace
+    from repro.forensics import LossManifest, VerifyResult
+
+#: Entity kinds whose activity counts feed the audit context section.
+_ENTITY_KINDS = ("worker", "task", "requester", "contribution")
+
+
+def jsonable(value: Any) -> Any:
+    """Normalise a value into JSON-safe types.
+
+    Tuples/sets/frozensets become lists (sets sorted for determinism),
+    enums become their ``value``, mappings become plain dicts with the
+    same treatment applied to their values; anything that is not
+    already a JSON scalar falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [jsonable(item) for item in sorted(value, key=str)]
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Audit reports
+
+#: Record columns of an audit document — one record per violation.
+AUDIT_COLUMNS: tuple[str, ...] = (
+    "axiom_id",
+    "axiom_title",
+    "severity",
+    "time",
+    "subjects",
+    "type",
+    "message",
+)
+
+
+def audit_document(
+    report: "AuditReport",
+    trace: "PlatformTrace | TraceStore | None" = None,
+    *,
+    source: str = "",
+    title: str | None = None,
+) -> ReportDocument:
+    """Flatten an :class:`~repro.core.audit.AuditReport` (one record per
+    violation), with trace-fed context sections when ``trace`` given."""
+    titles = {check.axiom_id: check.title for check in report.results}
+    records = tuple(
+        {
+            "axiom_id": violation.axiom_id,
+            "axiom_title": titles.get(violation.axiom_id, ""),
+            "severity": violation.severity.value,
+            "time": violation.time,
+            "subjects": list(violation.subjects),
+            "type": str(violation.witness.get("type", "untyped")),
+            "message": violation.message,
+        }
+        for violation in report.violations
+    )
+    summary = (
+        ("source", source),
+        ("events audited", report.trace_length),
+        ("overall score", round(report.overall_score, 6)),
+        ("verdict", "PASS" if report.passed else "FAIL"),
+        ("violations", report.total_violations),
+        ("axioms checked", len(report.results)),
+    )
+    sections = [_axiom_section(report), _violation_type_section(report)]
+    if trace is not None:
+        sections.append(_events_by_kind_section(trace))
+        sections.append(_entity_timeline_section(report, trace))
+    return ReportDocument(
+        title=title or "Fairness audit report",
+        kind="audit",
+        source=source,
+        summary=summary,
+        columns=AUDIT_COLUMNS,
+        records=records,
+        sections=tuple(sections),
+    )
+
+
+def _axiom_section(report: "AuditReport") -> ReportSection:
+    return ReportSection(
+        title="Axiom scores",
+        columns=("axiom", "title", "score", "violations", "opportunities"),
+        rows=tuple(
+            (
+                check.axiom_id,
+                check.title,
+                round(check.score, 6),
+                check.violation_count,
+                check.opportunities,
+            )
+            for check in report.results
+        ),
+    )
+
+
+def _violation_type_section(report: "AuditReport") -> ReportSection:
+    return ReportSection(
+        title="Violations by type",
+        columns=("type", "count"),
+        rows=tuple(sorted(report.violations_by_type().items())),
+    )
+
+
+def _events_by_kind_section(
+    trace: "PlatformTrace | TraceStore"
+) -> ReportSection:
+    return ReportSection(
+        title="Events by kind",
+        columns=("kind", "count"),
+        rows=tuple(sorted(TraceQuery().count_by_kind(trace).items())),
+    )
+
+
+def _entity_timeline_section(
+    report: "AuditReport", trace: "PlatformTrace | TraceStore"
+) -> ReportSection:
+    """Per affected entity: violation timeline + activity denominator.
+
+    The ``events_touching`` column is the opportunity denominator — how
+    many trace events involve the entity at all — so five violations
+    against a worker with six events reads very differently from five
+    against a worker with six hundred.
+    """
+    activity: dict[str, int] = {}
+    for kind in _ENTITY_KINDS:
+        activity.update(entity_event_counts(trace, kind))
+    timelines: dict[str, list[tuple[int, int]]] = {}
+    for violation in report.violations:
+        for subject in violation.subjects:
+            timelines.setdefault(subject, []).append(
+                (violation.time, violation.axiom_id)
+            )
+    rows = []
+    for subject in sorted(timelines):
+        hits = sorted(timelines[subject])
+        rows.append(
+            (
+                subject,
+                len(hits),
+                activity.get(subject, 0),
+                hits[0][0],
+                hits[-1][0],
+                " ".join(
+                    f"t{time}:ax{axiom_id}" for time, axiom_id in hits
+                ),
+            )
+        )
+    return ReportSection(
+        title="Entity violation timelines",
+        columns=(
+            "entity",
+            "violations",
+            "events_touching",
+            "first_time",
+            "last_time",
+            "timeline",
+        ),
+        rows=tuple(rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Verify results
+
+#: Record columns of a verify document — one record per finding.
+VERIFY_COLUMNS: tuple[str, ...] = (
+    "check",
+    "severity",
+    "location",
+    "seqs",
+    "message",
+)
+
+
+def verify_document(
+    result: "VerifyResult", *, title: str | None = None
+) -> ReportDocument:
+    """Flatten a :class:`~repro.forensics.VerifyResult` (one record per
+    finding) through the same sinks as an audit report."""
+    records = tuple(
+        {
+            "check": finding.check,
+            "severity": finding.severity,
+            "location": finding.location,
+            "seqs": list(finding.seqs),
+            "message": finding.message,
+        }
+        for finding in result.findings
+    )
+    verdict = "CLEAN" if result.clean else ("OK*" if result.ok else "DAMAGED")
+    summary = (
+        ("source", result.path),
+        ("backend", result.backend),
+        ("verdict", verdict),
+        ("events examined", result.events_examined),
+        ("events valid", result.events_valid),
+        ("errors", len(result.errors)),
+        ("warnings", len(result.warnings)),
+    )
+    sections = (
+        ReportSection(
+            title="Findings by check",
+            columns=("check", "count"),
+            rows=tuple(result.counts_by_check().items()),
+        ),
+    )
+    return ReportDocument(
+        title=title or "Store integrity verification",
+        kind="verify",
+        source=result.path,
+        summary=summary,
+        columns=VERIFY_COLUMNS,
+        records=records,
+        sections=sections,
+    )
+
+
+# ----------------------------------------------------------------------
+# Loss manifests
+
+#: Record columns of a repair document — one record per dropped range.
+REPAIR_COLUMNS: tuple[str, ...] = (
+    "start_seq",
+    "end_seq",
+    "count",
+    "reason",
+)
+
+
+def manifest_document(
+    manifest: "LossManifest", *, title: str | None = None
+) -> ReportDocument:
+    """Flatten a :class:`~repro.forensics.LossManifest` (one record per
+    dropped seq range)."""
+    records = tuple(
+        {
+            "start_seq": dropped.start_seq,
+            "end_seq": dropped.end_seq,
+            "count": dropped.count,
+            "reason": dropped.reason,
+        }
+        for dropped in manifest.dropped
+    )
+    summary = (
+        ("source", manifest.source),
+        ("destination", manifest.dest),
+        ("source backend", manifest.source_backend),
+        ("destination backend", manifest.dest_backend),
+        ("events salvaged", manifest.events_salvaged),
+        ("events dropped", manifest.events_dropped),
+        ("lossless", manifest.lossless),
+    )
+    return ReportDocument(
+        title=title or "Trace repair loss manifest",
+        kind="repair",
+        source=manifest.source,
+        summary=summary,
+        columns=REPAIR_COLUMNS,
+        records=records,
+    )

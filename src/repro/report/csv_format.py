@@ -1,0 +1,55 @@
+"""CSV sink: the primary record table, one row per record.
+
+CSV is the spreadsheet-facing format, so it carries only the record
+table (summary and sections belong to the presentation sinks).  Cells
+are strings as-is and compact JSON for everything else
+(:func:`csv_cell`), and :meth:`CsvReportExporter.parse` reads a
+rendered document back into the same per-cell strings — the round-trip
+contract the test suite pins.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.report.base import (
+    ReportDocument,
+    ReportExporter,
+    register_format,
+)
+
+
+def csv_cell(value: Any) -> str:
+    """The canonical CSV cell text for a record value: strings pass
+    through untouched, everything else is compact, key-sorted JSON."""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+@register_format
+class CsvReportExporter(ReportExporter):
+    """Render the record table as RFC-4180 CSV with a header row."""
+
+    format_name = "csv"
+    file_suffix = ".csv"
+
+    def render(self, document: ReportDocument) -> str:
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(document.columns)
+        for record in document.records:
+            writer.writerow(
+                csv_cell(record[column]) for column in document.columns
+            )
+        return out.getvalue()
+
+    @staticmethod
+    def parse(text: str) -> list[dict[str, str]]:
+        """Read a rendered CSV document back: one dict of cell strings
+        per record, keyed by the header columns."""
+        reader = csv.DictReader(io.StringIO(text))
+        return [dict(row) for row in reader]

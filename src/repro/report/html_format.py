@@ -1,0 +1,156 @@
+"""HTML sink: a self-contained static dashboard, no external assets.
+
+One file an operator can open from disk or serve from a bucket: inline
+CSS, no JavaScript, no CDN fetches.  Summary facts render as headline
+cards, the record table and every section as styled tables.  Severity
+cells are colour-badged and numeric ``score`` cells get a three-band
+heatmap (healthy / degraded / failing), which turns the per-axiom
+scores section into the fairness heatmap the operator runbook refers
+to.  All text is HTML-escaped — violation messages carry free-form
+platform strings.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any
+
+from repro.report.base import (
+    ReportDocument,
+    ReportExporter,
+    ReportSection,
+    register_format,
+)
+from repro.report.csv_format import csv_cell
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+.cards { display: flex; flex-wrap: wrap; gap: .6rem; margin: 1rem 0; }
+.card { background: #f4f4f8; border-radius: .4rem; padding: .5rem .9rem; }
+.card .label { font-size: .72rem; text-transform: uppercase;
+               letter-spacing: .05em; color: #666; }
+.card .value { font-size: 1.15rem; font-weight: 600; }
+table { border-collapse: collapse; margin: .8rem 0 1.6rem; width: 100%; }
+th, td { border: 1px solid #d8d8e0; padding: .35rem .6rem;
+         text-align: left; font-size: .9rem; }
+th { background: #eceded; }
+tr:nth-child(even) td { background: #fafafc; }
+.sev-critical, .sev-error { background: #c0392b; color: #fff;
+    border-radius: .3rem; padding: .1rem .45rem; font-size: .8rem; }
+.sev-warning { background: #e67e22; color: #fff; border-radius: .3rem;
+    padding: .1rem .45rem; font-size: .8rem; }
+.sev-info { background: #2980b9; color: #fff; border-radius: .3rem;
+    padding: .1rem .45rem; font-size: .8rem; }
+td.score-high { background: #d5f5d5; }
+td.score-mid { background: #fdf3d0; }
+td.score-low { background: #fad7d2; }
+.empty { color: #888; font-style: italic; }
+footer { color: #888; font-size: .8rem; margin-top: 2rem; }
+"""
+
+_SEVERITIES = ("critical", "error", "warning", "info")
+
+
+def _score_class(value: Any) -> str:
+    try:
+        score = float(value)
+    except (TypeError, ValueError):
+        return ""
+    if score >= 0.9:
+        return "score-high"
+    if score >= 0.6:
+        return "score-mid"
+    return "score-low"
+
+
+def _cell_html(column: str, value: Any) -> str:
+    text = html.escape(csv_cell(value))
+    if column == "severity" and str(value).lower() in _SEVERITIES:
+        return f'<span class="sev-{str(value).lower()}">{text}</span>'
+    return text
+
+
+def _table_html(columns: tuple[str, ...], rows: list) -> list[str]:
+    lines = ["<table>", "<thead><tr>"]
+    lines.extend(f"<th>{html.escape(column)}</th>" for column in columns)
+    lines.append("</tr></thead>")
+    lines.append("<tbody>")
+    for row in rows:
+        cells = []
+        for column, value in zip(columns, row):
+            css = _score_class(value) if column == "score" else ""
+            attr = f' class="{css}"' if css else ""
+            cells.append(f"<td{attr}>{_cell_html(column, value)}</td>")
+        lines.append("<tr>" + "".join(cells) + "</tr>")
+    lines.append("</tbody></table>")
+    return lines
+
+
+@register_format
+class HtmlReportExporter(ReportExporter):
+    """A single static HTML page: cards, record table, section tables."""
+
+    format_name = "html"
+    file_suffix = ".html"
+
+    def render(self, document: ReportDocument) -> str:
+        lines = [
+            "<!DOCTYPE html>",
+            '<html lang="en">',
+            "<head>",
+            '<meta charset="utf-8">',
+            f"<title>{html.escape(document.title)}</title>",
+            f"<style>{_STYLE}</style>",
+            "</head>",
+            "<body>",
+            f"<h1>{html.escape(document.title)}</h1>",
+        ]
+        if document.summary:
+            lines.append('<div class="cards">')
+            for label, value in document.summary:
+                lines.append(
+                    '<div class="card">'
+                    f'<div class="label">{html.escape(str(label))}</div>'
+                    '<div class="value">'
+                    f"{html.escape(csv_cell(value))}</div>"
+                    "</div>"
+                )
+            lines.append("</div>")
+        lines.append("<h2>Records</h2>")
+        if document.records:
+            lines.extend(
+                _table_html(
+                    document.columns,
+                    [
+                        [record[column] for column in document.columns]
+                        for record in document.records
+                    ],
+                )
+            )
+        else:
+            lines.append(
+                '<p class="empty">No records — nothing to report.</p>'
+            )
+        for section in document.sections:
+            lines.extend(self._render_section(section))
+        source = html.escape(document.source or "-")
+        lines.append(
+            f"<footer>kind: {html.escape(document.kind)} · "
+            f"source: {source}</footer>"
+        )
+        lines.append("</body>")
+        lines.append("</html>")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_section(section: ReportSection) -> list[str]:
+        lines = [f"<h2>{html.escape(section.title)}</h2>"]
+        if section.rows:
+            lines.extend(
+                _table_html(section.columns, list(section.rows))
+            )
+        else:
+            lines.append('<p class="empty">empty</p>')
+        return lines

@@ -1,0 +1,83 @@
+"""JSONL sink: lossless, machine-first, stream-appendable.
+
+Line 1 is a ``{"_meta": ...}`` object carrying the document envelope
+(title, kind, source, summary, columns, sections); every following
+line is one record as a JSON object with keys in column order.  This
+is the format downstream tooling should consume:
+:meth:`JsonlReportExporter.parse` recovers the records with their
+original types intact (the typed round-trip contract the test suite
+pins).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReportError
+from repro.report.base import (
+    ReportDocument,
+    ReportExporter,
+    register_format,
+)
+
+
+@register_format
+class JsonlReportExporter(ReportExporter):
+    """One meta line, then one JSON object per record."""
+
+    format_name = "jsonl"
+    file_suffix = ".jsonl"
+
+    def render(self, document: ReportDocument) -> str:
+        meta = {
+            "_meta": {
+                "title": document.title,
+                "kind": document.kind,
+                "source": document.source,
+                "summary": [
+                    [label, value] for label, value in document.summary
+                ],
+                "columns": list(document.columns),
+                "records": len(document.records),
+                "sections": [
+                    {
+                        "title": section.title,
+                        "columns": list(section.columns),
+                        "rows": [list(row) for row in section.rows],
+                    }
+                    for section in document.sections
+                ],
+            }
+        }
+        lines = [json.dumps(meta, separators=(",", ":"), sort_keys=True)]
+        for record in document.records:
+            ordered = {
+                column: record[column] for column in document.columns
+            }
+            lines.append(
+                json.dumps(ordered, separators=(",", ":"))
+            )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def parse(text: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """Read a rendered JSONL document back as ``(meta, records)``
+        with record value types intact."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ReportError("empty JSONL report: no meta line")
+        try:
+            head = json.loads(lines[0])
+            meta = head["_meta"]
+        except (json.JSONDecodeError, TypeError, KeyError) as error:
+            raise ReportError(
+                f"JSONL report does not start with a _meta line: {error}"
+            ) from error
+        try:
+            records = [json.loads(line) for line in lines[1:]]
+        except json.JSONDecodeError as error:
+            raise ReportError(
+                f"JSONL report has a malformed record line: {error}"
+            ) from error
+        return meta, records

@@ -1,0 +1,84 @@
+"""Markdown sink: the full document as a GitHub-flavoured page.
+
+Renders everything — title, summary facts, the record table, and every
+section table — so the output drops straight into a PR description,
+issue, or wiki page.  Pipes and newlines inside cells are escaped so a
+hostile violation message cannot break the table grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.report.base import (
+    ReportDocument,
+    ReportExporter,
+    ReportSection,
+    register_format,
+)
+from repro.report.csv_format import csv_cell
+
+
+def _md_cell(value: Any) -> str:
+    text = csv_cell(value)
+    return (
+        text.replace("\\", "\\\\")
+        .replace("|", "\\|")
+        .replace("\n", " ")
+    )
+
+
+def _md_table(columns: tuple[str, ...], rows: list) -> list[str]:
+    lines = [
+        "| " + " | ".join(_md_cell(column) for column in columns) + " |",
+        "|" + "|".join(" --- " for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_md_cell(cell) for cell in row) + " |"
+        )
+    return lines
+
+
+@register_format
+class MarkdownReportExporter(ReportExporter):
+    """Title, summary list, record table, and section tables."""
+
+    format_name = "md"
+    file_suffix = ".md"
+
+    def render(self, document: ReportDocument) -> str:
+        lines = [f"# {document.title}", ""]
+        if document.summary:
+            for label, value in document.summary:
+                lines.append(f"- **{_md_cell(label)}:** {_md_cell(value)}")
+            lines.append("")
+        if document.records:
+            lines.append("## Records")
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    document.columns,
+                    [
+                        [record[column] for column in document.columns]
+                        for record in document.records
+                    ],
+                )
+            )
+            lines.append("")
+        else:
+            lines.append("_No records — nothing to report._")
+            lines.append("")
+        for section in document.sections:
+            lines.extend(self._render_section(section))
+        return "\n".join(lines).rstrip("\n") + "\n"
+
+    @staticmethod
+    def _render_section(section: ReportSection) -> list[str]:
+        lines = [f"## {section.title}", ""]
+        if section.rows:
+            lines.extend(_md_table(section.columns, list(section.rows)))
+        else:
+            lines.append("_empty_")
+        lines.append("")
+        return lines

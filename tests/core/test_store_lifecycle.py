@@ -1,0 +1,150 @@
+"""Regression tests for the store close/exit lifecycle contract.
+
+Every backend must survive double-``close()`` and ``__exit__`` after an
+explicit ``close()`` (the natural shape of ``with store: ...;
+store.close()``), and the SQLite backend must not persist uncommitted
+appends when the ``with`` block exits on an exception — closing after a
+failed batch used to commit a partial prefix the caller believed
+abandoned.
+"""
+
+import pytest
+
+from repro.core.store import (
+    InMemoryTraceStore,
+    PersistentTraceStore,
+    SQLiteTraceStore,
+    WindowedTraceStore,
+    make_store,
+)
+from repro.core.trace import PlatformTrace
+from repro.workloads.scenarios import clean_scenario
+
+
+@pytest.fixture()
+def clean_events():
+    return list(clean_scenario(rounds=3).trace)
+
+
+def _make_backends(tmp_path):
+    return [
+        InMemoryTraceStore(),
+        WindowedTraceStore(window=100),
+        PersistentTraceStore.create(tmp_path / "log"),
+        SQLiteTraceStore.create(tmp_path / "log.db"),
+    ]
+
+
+class TestIdempotentClose:
+    def test_double_close_is_a_noop_on_every_backend(
+        self, clean_events, tmp_path
+    ):
+        for store in _make_backends(tmp_path):
+            store.append_batch(clean_events[:20])
+            store.close()
+            store.close()  # must not raise (sqlite3.ProgrammingError before)
+
+    def test_exit_after_explicit_close(self, clean_events, tmp_path):
+        for store in _make_backends(tmp_path):
+            with store:
+                store.append_batch(clean_events[:20])
+                store.close()  # __exit__ closes again on the way out
+
+    def test_every_backend_is_a_context_manager(self, tmp_path):
+        for store in _make_backends(tmp_path):
+            with store as entered:
+                assert entered is store
+
+    def test_sqlite_closed_property(self, tmp_path):
+        store = SQLiteTraceStore.create(tmp_path / "log.db")
+        assert not store.closed
+        store.close()
+        assert store.closed
+
+    def test_make_store_backends_close_unconditionally(self, tmp_path):
+        # The getattr(store, "close", ...) dance is no longer needed
+        # anywhere: the base protocol guarantees close() exists.
+        for backend, options in (
+            ("memory", {}),
+            ("windowed", {"window": 10}),
+            ("persistent", {"path": tmp_path / "mk-log"}),
+            ("sqlite", {"path": tmp_path / "mk-log.db"}),
+        ):
+            store = make_store(backend, **options)
+            store.close()
+            store.close()
+
+
+class TestRollbackOnException:
+    def test_exception_exit_rolls_back_uncommitted_appends(
+        self, clean_events, tmp_path
+    ):
+        """Appends buffered inside a failed ``with`` block must not be
+        committed by the implicit close — the caller saw the block
+        abort and believes nothing after the last commit survived."""
+        path = tmp_path / "log.db"
+        with pytest.raises(RuntimeError, match="aborted"):
+            with SQLiteTraceStore.create(path, commit_every=10_000) as store:
+                store.append_batch(clean_events[:10])  # commits itself
+                for event in clean_events[10:20]:      # buffered only
+                    store.append(event)
+                raise RuntimeError("aborted mid-ingest")
+        reopened = SQLiteTraceStore.open(path)
+        assert reopened.revision == 10
+        assert list(reopened.events) == clean_events[:10]
+        reopened.close()
+
+    def test_clean_exit_still_commits_buffered_appends(
+        self, clean_events, tmp_path
+    ):
+        path = tmp_path / "log.db"
+        with SQLiteTraceStore.create(path, commit_every=10_000) as store:
+            for event in clean_events[:15]:
+                store.append(event)
+        reopened = SQLiteTraceStore.open(path)
+        assert reopened.revision == 15
+        reopened.close()
+
+    def test_explicit_save_survives_a_later_exception_exit(
+        self, clean_events, tmp_path
+    ):
+        path = tmp_path / "log.db"
+        with pytest.raises(RuntimeError):
+            with SQLiteTraceStore.create(path, commit_every=10_000) as store:
+                for event in clean_events[:5]:
+                    store.append(event)
+                store.save()  # durable from here on
+                for event in clean_events[5:12]:
+                    store.append(event)
+                raise RuntimeError("late failure")
+        reopened = SQLiteTraceStore.open(path)
+        assert reopened.revision == 5
+        reopened.close()
+
+    def test_persistent_backend_write_through_is_exception_proof(
+        self, clean_events, tmp_path
+    ):
+        """The JSONL backend has no commit buffer: appends that happened
+        before the failure are on disk, by design."""
+        path = tmp_path / "log"
+        with pytest.raises(RuntimeError):
+            with PersistentTraceStore.create(path) as store:
+                store.append_batch(clean_events[:8])
+                raise RuntimeError("aborted")
+        reopened = PersistentTraceStore.open(path)
+        assert reopened.revision == 8
+        reopened.close()
+
+    def test_trace_facade_with_sqlite_store_rolls_back(
+        self, clean_events, tmp_path
+    ):
+        path = tmp_path / "log.db"
+        with pytest.raises(RuntimeError):
+            with SQLiteTraceStore.create(path, commit_every=10_000) as store:
+                trace = PlatformTrace(store=store)
+                for event in clean_events[:7]:
+                    trace.append(event)
+                raise RuntimeError("aborted")
+        reopened = SQLiteTraceStore.open(path)
+        assert reopened.revision == 0
+        reopened.close()

@@ -1,0 +1,190 @@
+"""CLI coverage for ``trace report``, ``trace verify``, ``trace repair``
+and the rolling ``--report`` flags on ``trace tail``.
+
+Exit-code contract: 0 = healthy (verify ok / sound salvage), 1 = the
+store (or salvaged store) fails verification, 2 = the command itself
+cannot run (unreadable path, bad arguments).
+"""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.ingest import export_jsonl
+from repro.workloads.scenarios import clean_scenario
+
+
+@pytest.fixture()
+def saved_db(tmp_path):
+    db = tmp_path / "trace.db"
+    assert main(["trace", "save", str(db), "--scenario", "clean"]) == 0
+    return db
+
+
+def _damage(db):
+    conn = sqlite3.connect(db)
+    conn.execute("UPDATE events SET payload='XX' WHERE seq=3")
+    conn.commit()
+    conn.close()
+
+
+class TestTraceReport:
+    def test_markdown_to_stdout(self, saved_db, capsys):
+        assert main(["trace", "report", str(saved_db)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Fairness audit report")
+        assert "Axiom scores" in out
+
+    def test_html_to_file(self, saved_db, tmp_path, capsys):
+        out_file = tmp_path / "dash.html"
+        code = main([
+            "trace", "report", str(saved_db),
+            "--format", "html", "--out", str(out_file),
+        ])
+        assert code == 0
+        assert "wrote audit report (html" in capsys.readouterr().out
+        assert out_file.read_text().lstrip().startswith("<!")
+
+    def test_verify_report_csv(self, saved_db, capsys):
+        code = main([
+            "trace", "report", str(saved_db),
+            "--what", "verify", "--format", "csv",
+        ])
+        assert code == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header == "check,severity,location,seqs,message"
+
+    def test_unreadable_path_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "report", str(tmp_path / "nope.db")]) == 2
+        assert "cannot" in capsys.readouterr().err
+
+
+class TestTraceVerify:
+    def test_clean_store_exits_0(self, saved_db, capsys):
+        assert main(["trace", "verify", str(saved_db)]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_damaged_store_exits_1(self, saved_db, capsys):
+        _damage(saved_db)
+        assert main(["trace", "verify", str(saved_db)]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+
+    def test_json_format(self, saved_db, capsys):
+        assert main([
+            "trace", "verify", str(saved_db), "--format", "json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] and data["clean"]
+        assert data["backend"] == "sqlite"
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "verify", str(tmp_path / "gone")]) == 2
+        assert "cannot verify" in capsys.readouterr().err
+
+
+class TestTraceRepair:
+    def test_salvage_round_trip(self, saved_db, tmp_path, capsys):
+        _damage(saved_db)
+        dest = tmp_path / "fixed.db"
+        code = main(["trace", "repair", str(saved_db), str(dest)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss manifest:" in out
+        assert os.path.exists(f"{dest}.loss.json")
+        # The salvaged store passes verification.
+        assert main(["trace", "verify", str(dest)]) == 0
+
+    def test_json_format_carries_manifest_and_verify(
+        self, saved_db, tmp_path, capsys
+    ):
+        _damage(saved_db)
+        dest = tmp_path / "fixed2.db"
+        code = main([
+            "trace", "repair", str(saved_db), str(dest),
+            "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["manifest"]["events_dropped"] >= 1
+        assert data["dest_verify"]["ok"] is True
+        assert data["manifest_path"] == f"{dest}.loss.json"
+
+    def test_existing_destination_exits_2(self, saved_db, tmp_path, capsys):
+        dest = tmp_path / "occupied.db"
+        dest.write_text("here")
+        assert main(["trace", "repair", str(saved_db), str(dest)]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_cross_backend_flag(self, saved_db, tmp_path, capsys):
+        _damage(saved_db)
+        dest = tmp_path / "as-log"
+        code = main([
+            "trace", "repair", str(saved_db), str(dest),
+            "--store", "persistent", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["manifest"]["dest_backend"] == "persistent"
+
+
+class TestTailRollingReports:
+    @pytest.fixture()
+    def export(self, tmp_path):
+        events = list(clean_scenario().trace)
+        return export_jsonl(events, tmp_path / "export.jsonl")
+
+    def test_tail_writes_rolling_reports(self, export, tmp_path, capsys):
+        dest = tmp_path / "live.db"
+        code = main([
+            "trace", "tail", str(export), str(dest),
+            "--audit", "--report", "html", "--report", "jsonl",
+            "--until-idle", "1", "--interval", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        report_dir = f"{dest}.reports"
+        assert f"rolling reports: {report_dir}" in out
+        assert os.path.exists(os.path.join(report_dir, "audit.html"))
+        assert os.path.exists(os.path.join(report_dir, "audit.jsonl"))
+
+    def test_custom_report_dir(self, export, tmp_path):
+        dest = tmp_path / "live2.db"
+        report_dir = tmp_path / "my-reports"
+        code = main([
+            "trace", "tail", str(export), str(dest),
+            "--audit", "--report", "md",
+            "--report-dir", str(report_dir),
+            "--until-idle", "1", "--interval", "0",
+        ])
+        assert code == 0
+        assert (report_dir / "audit.md").exists()
+
+    def test_report_without_audit_is_neutralized(
+        self, export, tmp_path, capsys
+    ):
+        dest = tmp_path / "live3.db"
+        code = main([
+            "trace", "tail", str(export), str(dest),
+            "--report", "html",
+            "--until-idle", "1", "--interval", "0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "only runs with --audit" in captured.err
+        assert not os.path.exists(f"{dest}.reports")
+
+    def test_report_dir_without_report_is_neutralized(
+        self, export, tmp_path, capsys
+    ):
+        dest = tmp_path / "live4.db"
+        code = main([
+            "trace", "tail", str(export), str(dest),
+            "--audit", "--report-dir", str(tmp_path / "r"),
+            "--until-idle", "1", "--interval", "0",
+        ])
+        assert code == 0
+        assert "--report-dir" in capsys.readouterr().err
+        assert not (tmp_path / "r").exists()

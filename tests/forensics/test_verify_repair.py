@@ -1,0 +1,575 @@
+"""Corruption-injection suite for ``trace verify`` / ``trace repair``.
+
+Every test damages a real on-disk store in one specific way and then
+asserts three things the forensics subsystem promises:
+
+1. **verify finds it** — the sweep reports a finding whose ``check``
+   names the injected defect (and stays non-mutating);
+2. **repair salvages around it** — the destination passes verify and
+   batch-audits identically to an in-memory trace of the surviving
+   events (for suffix damage: byte-identically to the uncorrupted
+   prefix);
+3. **the loss manifest is exact** — it names precisely the seq ranges
+   that were dropped, and why.
+"""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.store import (
+    PersistentTraceStore,
+    SQLiteTraceStore,
+    open_store,
+)
+from repro.errors import ForensicsError, TraceError
+from repro.forensics import (
+    Finding,
+    LossManifest,
+    VerifyResult,
+    manifest_path_for,
+    repair_store,
+    verify_store,
+)
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+
+@pytest.fixture(scope="module")
+def events():
+    return list(clean_scenario(rounds=4, n_workers=8).trace)
+
+
+def _sqlite_store(tmp_path, events, name="trace.db"):
+    path = tmp_path / name
+    store = SQLiteTraceStore.create(path)
+    store.append_batch(events)
+    store.close()
+    return path
+
+
+def _persistent_store(tmp_path, events, name="trace-log", segment_events=40):
+    path = tmp_path / name
+    store = PersistentTraceStore.create(path, segment_events=segment_events)
+    store.append_batch(events)
+    store.close()
+    return path
+
+
+def _checks(result: VerifyResult) -> set:
+    return {finding.check for finding in result.findings}
+
+
+def _audit_of(source) -> "tuple":
+    """A comparable audit verdict of a store path or event list."""
+    engine = AuditEngine()
+    if isinstance(source, (list, tuple)):
+        from repro.core.trace import PlatformTrace
+
+        return engine.audit(PlatformTrace(source))
+    store = open_store(source)
+    try:
+        return engine.audit(store)
+    finally:
+        store.close()
+
+
+#: Event kinds that introduce an entity (carry a full snapshot).
+#: Dropping one of these cascades — repair must also drop every later
+#: event that references the lost entity — so corruption-injection
+#: tests that want *surgical* losses target the other ("leaf") kinds.
+_INTRO_KINDS = {
+    "worker_registered",
+    "worker_updated",
+    "requester_registered",
+    "task_posted",
+    "contribution_submitted",
+}
+
+
+def _leaf_seqs(events, lo=0, hi=None):
+    """Seqs in [lo, hi) whose events introduce no entity."""
+    hi = len(events) if hi is None else hi
+    return [
+        seq
+        for seq in range(lo, hi)
+        if events[seq].kind not in _INTRO_KINDS
+    ]
+
+
+def _dropped_seqs(manifest) -> set:
+    return {
+        seq
+        for span in manifest.dropped
+        for seq in range(span.start_seq, span.end_seq + 1)
+    }
+
+
+class TestVerifyCleanStores:
+    def test_clean_sqlite_store_verifies_clean(self, tmp_path, events):
+        result = verify_store(_sqlite_store(tmp_path, events))
+        assert result.clean and result.ok
+        assert result.backend == "sqlite"
+        assert result.events_examined == len(events)
+        assert result.events_valid == len(events)
+
+    def test_clean_persistent_store_verifies_clean(self, tmp_path, events):
+        result = verify_store(_persistent_store(tmp_path, events))
+        assert result.clean and result.ok
+        assert result.backend == "persistent"
+        assert result.events_valid == len(events)
+
+    def test_store_classmethod_hooks(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        log = _persistent_store(tmp_path, events)
+        assert SQLiteTraceStore.verify(db).clean
+        assert PersistentTraceStore.verify(log).clean
+
+    def test_verify_never_mutates(self, tmp_path, events):
+        """Even over a damaged store — verify is strictly read-only."""
+        log = _persistent_store(tmp_path, events)
+        # Tear the final line (the one defect open() would repair).
+        final = sorted(
+            name for name in os.listdir(log) if name.startswith("events-")
+        )[-1]
+        segment = log / final
+        segment.write_bytes(segment.read_bytes()[:-9])
+        before = {
+            name: (log / name).read_bytes() for name in os.listdir(log)
+        }
+        result = verify_store(log)
+        assert "torn-tail" in _checks(result)
+        after = {
+            name: (log / name).read_bytes() for name in os.listdir(log)
+        }
+        assert before == after
+
+    def test_unrecognisable_paths_raise(self, tmp_path):
+        with pytest.raises(ForensicsError, match="no trace store"):
+            verify_store(tmp_path / "absent")
+        plain = tmp_path / "plain.txt"
+        plain.write_text("not a store\n")
+        with pytest.raises(ForensicsError, match="neither"):
+            verify_store(plain)
+        bare = tmp_path / "bare-dir"
+        bare.mkdir()
+        with pytest.raises(ForensicsError, match="meta.json"):
+            verify_store(bare)
+
+    def test_forensics_error_is_a_trace_error(self):
+        assert issubclass(ForensicsError, TraceError)
+
+
+class TestVerifySqliteCorruption:
+    def test_garbled_payload_found(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("UPDATE events SET payload='{{nope' WHERE seq=5")
+        conn.commit(); conn.close()
+        result = verify_store(db)
+        assert not result.ok
+        assert "payload-json" in _checks(result)
+        assert any(
+            f.seqs == (5,) for f in result.errors if f.check == "payload-json"
+        )
+
+    def test_undecodable_payload_found(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE events SET payload='{\"kind\": \"no_such_kind\"}' "
+            "WHERE seq=2"
+        )
+        conn.commit(); conn.close()
+        assert "payload-codec" in _checks(verify_store(db))
+
+    def test_deleted_rows_become_seq_gap(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq IN (10, 11, 12)")
+        conn.execute("DELETE FROM event_entities WHERE seq IN (10, 11, 12)")
+        conn.commit(); conn.close()
+        result = verify_store(db)
+        gaps = [f for f in result.errors if f.check == "seq-gap"]
+        assert len(gaps) == 1
+        assert gaps[0].seqs == (10, 11, 12)
+
+    def test_deleted_entity_index_rows_found(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM event_entities WHERE seq=7")
+        conn.commit(); conn.close()
+        result = verify_store(db)
+        assert "entity-index-missing" in _checks(result)
+        assert all(
+            f.seqs == (7,)
+            for f in result.errors
+            if f.check == "entity-index-missing"
+        )
+
+    def test_orphan_and_extra_index_rows_found(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "INSERT INTO event_entities VALUES ('w9999', 'worker', 2)"
+        )
+        conn.execute(
+            "INSERT INTO event_entities VALUES ('w9999', 'worker', 99999)"
+        )
+        conn.commit(); conn.close()
+        checks = _checks(verify_store(db))
+        assert "entity-index-extra" in checks   # real seq, wrong entity
+        assert "entity-index-orphan" in checks  # seq with no event at all
+
+    def test_time_rewrite_found_both_ways(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        last = len(events) - 1
+        assert events[last].time > 0  # rewriting to 0 must be a change
+        conn = sqlite3.connect(db)
+        # Rewrite the column only: payload disagrees AND order breaks.
+        conn.execute("UPDATE events SET time = 0 WHERE seq = ?", (last,))
+        conn.commit(); conn.close()
+        checks = _checks(verify_store(db))
+        assert "time-mismatch" in checks
+        assert "time-order" in checks
+
+    def test_kind_rewrite_found(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE events SET kind = 'payment_issued' WHERE seq = 0"
+        )
+        conn.commit(); conn.close()
+        assert "kind-mismatch" in _checks(verify_store(db))
+
+    def test_overwritten_file_reported_unreadable(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        # Keep the 16-byte SQLite magic, destroy the rest.
+        raw = db.read_bytes()
+        db.write_bytes(raw[:16] + b"\x00" * 4096)
+        result = verify_store(db)
+        assert not result.ok
+
+
+class TestVerifyPersistentCorruption:
+    def test_flipped_bytes_mid_segment_found(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        segment = log / "events-00001.jsonl"
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[5] = b"\xff\xfe garbage \xff\n"
+        segment.write_bytes(b"".join(lines))
+        result = verify_store(log)
+        assert not result.ok
+        findings = [f for f in result.errors if f.check == "line-json"]
+        assert len(findings) == 1
+        assert findings[0].location == "events-00001.jsonl:6"
+        assert findings[0].seqs == (45,)  # 40 per segment + line 6
+
+    def test_truncated_final_segment_is_torn_tail_warning(
+        self, tmp_path, events
+    ):
+        log = _persistent_store(tmp_path, events)
+        final = sorted(
+            name for name in os.listdir(log) if name.startswith("events-")
+        )[-1]
+        segment = log / final
+        segment.write_bytes(segment.read_bytes()[:-11])
+        result = verify_store(log)
+        assert "torn-tail" in {f.check for f in result.warnings}
+        assert result.ok          # open() recovers this on its own
+        assert not result.clean
+
+    def test_truncated_interior_segment_is_an_error(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        segment = log / "events-00000.jsonl"
+        segment.write_bytes(segment.read_bytes()[:-11])
+        result = verify_store(log)
+        # A torn tail is only forgivable on the FINAL segment; here the
+        # broken trailing line is a hard error, never a warning.
+        assert not result.ok
+        checks = _checks(result)
+        assert "line-unterminated" in checks or "line-json" in checks
+        assert "torn-tail" not in checks
+
+    def test_lost_line_in_interior_segment_is_size_error(
+        self, tmp_path, events
+    ):
+        log = _persistent_store(tmp_path, events)
+        segment = log / "events-00000.jsonl"
+        lines = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(b"".join(lines[:-1]))  # whole line vanishes
+        result = verify_store(log)
+        assert not result.ok
+        assert "segment-size" in _checks(result)  # 39 lines, meta says 40
+
+    def test_deleted_segment_file_found(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        os.remove(log / "events-00001.jsonl")
+        result = verify_store(log)
+        assert "segment-gap" in _checks(result)
+
+    def test_garbage_meta_found(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        (log / "meta.json").write_text("{broken")
+        assert "meta-unreadable" in _checks(verify_store(log))
+
+    def test_wrong_format_version_found(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        meta = json.loads((log / "meta.json").read_text())
+        meta["format_version"] = 99
+        (log / "meta.json").write_text(json.dumps(meta))
+        assert "format-version" in _checks(verify_store(log))
+
+    def test_undecodable_line_found(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        segment = log / "events-00000.jsonl"
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[0] = b'{"kind": "task_posted", "time": 0}\n'  # no task field
+        segment.write_bytes(b"".join(lines))
+        result = verify_store(log)
+        assert "line-codec" in _checks(result)
+        assert any(f.seqs == (0,) for f in result.errors)
+
+
+class TestRepairSqlite:
+    def test_mid_file_corruption_salvaged(self, tmp_path, events):
+        # Corrupt leaf events only, so the losses stay surgical: no
+        # later event depends on them and nothing else cascades.
+        garbled, deleted_a, deleted_b = _leaf_seqs(events, lo=5)[:3]
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE events SET payload='XX' WHERE seq=?", (garbled,)
+        )
+        conn.execute(
+            "DELETE FROM events WHERE seq IN (?, ?)",
+            (deleted_a, deleted_b),
+        )
+        conn.commit(); conn.close()
+        dest = tmp_path / "salvaged.db"
+        result = repair_store(db, dest)
+        assert result.ok and result.verify.clean
+        assert result.manifest.events_salvaged == len(events) - 3
+        assert result.manifest.events_dropped == 3
+        assert _dropped_seqs(result.manifest) == {
+            garbled, deleted_a, deleted_b,
+        }
+        # The salvaged store audits exactly like an in-memory trace of
+        # the surviving events.
+        lost = {garbled, deleted_a, deleted_b}
+        survivors = [e for i, e in enumerate(events) if i not in lost]
+        assert _audit_of(dest) == _audit_of(survivors)
+
+    def test_losing_a_registration_cascades_dependents(
+        self, tmp_path, events
+    ):
+        """Dropping an entity's introduction drops its dependents too —
+        the salvaged store stays auditable instead of crashing axiom
+        checks with dangling entity lookups."""
+        intro = next(
+            seq for seq, e in enumerate(events)
+            if e.kind == "worker_registered"
+        )
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq=?", (intro,))
+        conn.commit(); conn.close()
+        dest = tmp_path / "cascaded.db"
+        result = repair_store(db, dest)
+        assert result.ok and result.verify.clean
+        dropped = _dropped_seqs(result.manifest)
+        assert intro in dropped
+        reasons = {span.reason for span in result.manifest.dropped}
+        assert any("references entity lost earlier" in r for r in reasons)
+        # Whatever survived must audit cleanly end to end.
+        survivors = [
+            e for i, e in enumerate(events) if i not in dropped
+        ]
+        assert result.manifest.events_salvaged == len(survivors)
+        assert _audit_of(dest) == _audit_of(survivors)
+
+    def test_suffix_corruption_keeps_prefix_byte_identical(
+        self, tmp_path, events
+    ):
+        """Damage confined to the tail: the salvaged store must audit
+        byte-identically to the uncorrupted prefix."""
+        db = _sqlite_store(tmp_path, events)
+        cut = len(events) - 6
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq >= ?", (cut,))
+        conn.execute("UPDATE events SET payload='}{' WHERE seq = ?", (cut - 1,))
+        conn.commit(); conn.close()
+        dest = tmp_path / "prefix.db"
+        result = repair_store(db, dest)
+        assert result.ok
+        assert _audit_of(dest) == _audit_of(events[:cut - 1])
+        reopened = SQLiteTraceStore.open(dest)
+        try:
+            assert list(reopened.events) == events[:cut - 1]
+        finally:
+            reopened.close()
+
+    def test_manifest_written_to_default_path(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        dest = tmp_path / "out.db"
+        result = repair_store(db, dest)
+        assert result.manifest_path == manifest_path_for(dest)
+        document = json.loads(
+            open(result.manifest_path, encoding="utf-8").read()
+        )
+        assert document["events_salvaged"] == len(events)
+        assert document["events_dropped"] == 0
+        assert document["lossless"] is True
+        assert document["dropped"] == []
+
+    def test_refuses_existing_destination(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        dest = tmp_path / "occupied.db"
+        dest.write_text("already here")
+        with pytest.raises(ForensicsError, match="already exists"):
+            repair_store(db, dest)
+
+    def test_cross_backend_repair(self, tmp_path, events):
+        """A damaged sqlite store can be salvaged into a JSONL log."""
+        lost = _leaf_seqs(events)[0]
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq=?", (lost,))
+        conn.commit(); conn.close()
+        dest = tmp_path / "as-log"
+        result = repair_store(db, dest, dest_backend="persistent")
+        assert result.ok
+        assert result.manifest.dest_backend == "persistent"
+        assert result.verify.backend == "persistent"
+        survivors = [e for i, e in enumerate(events) if i != lost]
+        assert _audit_of(dest) == _audit_of(survivors)
+
+
+class TestRepairPersistent:
+    def test_flipped_bytes_mid_segment_salvaged(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events)
+        # Garble a leaf event inside segment 1 (seqs 40..79) so the
+        # loss stays a single seq.
+        dropped_seq = _leaf_seqs(events, lo=40, hi=80)[0]
+        segment = log / "events-00001.jsonl"
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[dropped_seq - 40] = b"\x00\x01\x02\n"
+        segment.write_bytes(b"".join(lines))
+        dest = tmp_path / "salvaged-log"
+        result = repair_store(log, dest)
+        assert result.ok and result.verify.clean
+        assert result.manifest.events_dropped == 1
+        assert result.manifest.dropped[0].start_seq == dropped_seq
+        assert result.manifest.dropped[0].end_seq == dropped_seq
+        survivors = [
+            e for i, e in enumerate(events) if i != dropped_seq
+        ]
+        assert _audit_of(dest) == _audit_of(survivors)
+
+    def test_torn_tail_salvage_keeps_prefix_byte_identical(
+        self, tmp_path, events
+    ):
+        log = _persistent_store(tmp_path, events)
+        final = sorted(
+            name for name in os.listdir(log) if name.startswith("events-")
+        )[-1]
+        segment = log / final
+        segment.write_bytes(segment.read_bytes()[:-9])
+        dest = tmp_path / "from-torn"
+        result = repair_store(log, dest)
+        assert result.ok
+        assert result.manifest.events_dropped == 1
+        assert result.manifest.dropped[0].start_seq == len(events) - 1
+        reopened = PersistentTraceStore.open(dest)
+        try:
+            assert list(reopened.events) == events[:-1]
+        finally:
+            reopened.close()
+        assert _audit_of(dest) == _audit_of(events[:-1])
+
+    def test_missing_interior_segment_exact_range(self, tmp_path, events):
+        log = _persistent_store(tmp_path, events, segment_events=40)
+        os.remove(log / "events-00001.jsonl")
+        dest = tmp_path / "gap-salvage"
+        result = repair_store(log, dest)
+        assert result.ok
+        spans = {
+            (r.start_seq, r.end_seq) for r in result.manifest.dropped
+        }
+        # The lost segment itself is one exact range; any entity that
+        # was introduced inside it takes its later dependents along.
+        assert (40, 79) in spans
+        for span in result.manifest.dropped:
+            if (span.start_seq, span.end_seq) == (40, 79):
+                assert "missing" in span.reason
+            else:
+                assert span.start_seq >= 80
+                assert "references entity lost earlier" in span.reason
+        dropped = _dropped_seqs(result.manifest)
+        survivors = [
+            e for i, e in enumerate(events) if i not in dropped
+        ]
+        assert result.manifest.events_salvaged == len(survivors)
+        assert _audit_of(dest) == _audit_of(survivors)
+
+    def test_salvaged_store_is_ingestable_again(self, tmp_path, events):
+        """The repaired log round-trips through verify AND reopen."""
+        log = _persistent_store(tmp_path, events)
+        (log / "events-00000.jsonl").write_bytes(b"junk\n")
+        dest = tmp_path / "round"
+        result = repair_store(log, dest)
+        assert result.ok
+        reopened = open_store(dest)
+        try:
+            assert reopened.revision == result.manifest.events_salvaged
+        finally:
+            reopened.close()
+        assert verify_store(dest).ok
+
+    def test_repair_a_violating_trace_preserves_verdict(self, tmp_path):
+        """Salvage must not launder violations away: a trace with real
+        fairness violations still reports them after repair."""
+        bad_events = list(unequal_pay_scenario(3).trace)
+        log = _persistent_store(tmp_path, bad_events, name="bad-log")
+        final = sorted(
+            name for name in os.listdir(log) if name.startswith("events-")
+        )[-1]
+        (log / final).write_bytes((log / final).read_bytes()[:-5])
+        dest = tmp_path / "bad-salvaged"
+        result = repair_store(log, dest)
+        assert result.ok
+        report = _audit_of(dest)
+        assert not report.passed
+        assert report.total_violations > 0
+
+
+class TestFindingsModel:
+    def test_finding_severity_validated(self):
+        with pytest.raises(ValueError, match="unknown finding severity"):
+            Finding(
+                check="x", severity="fatal", location="loc", message="m"
+            )
+
+    def test_result_dict_shape(self, tmp_path, events):
+        result = verify_store(_sqlite_store(tmp_path, events))
+        data = result.as_dict()
+        assert data["ok"] and data["clean"]
+        assert data["errors"] == 0 and data["warnings"] == 0
+        assert data["findings"] == []
+        assert data["events_valid"] == len(events)
+
+    def test_manifest_dict_round_trips_through_json(self, tmp_path, events):
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq IN (1, 2)")
+        conn.commit(); conn.close()
+        result = repair_store(db, tmp_path / "m.db")
+        on_disk = json.loads(
+            open(result.manifest_path, encoding="utf-8").read()
+        )
+        assert on_disk == json.loads(json.dumps(result.manifest.as_dict()))
+        assert isinstance(result.manifest, LossManifest)
+        assert on_disk["dropped"][0]["start_seq"] == 1
+        assert on_disk["dropped"][0]["end_seq"] == 2

@@ -60,6 +60,63 @@ class TestRoundTrip:
         assert issubclass(IngestError, TraceError)
 
 
+class TestDurability:
+    def test_directory_fsync_attempted_after_replace(
+        self, tmp_path, token, monkeypatch
+    ):
+        """os.replace is a directory-metadata operation: without an
+        fsync of the parent directory a power loss can silently revert
+        to the old token.  The write must therefore fsync (at least
+        attempt to) a directory fd after the rename."""
+        import stat
+
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced_dirs.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        write_checkpoint(token, tmp_path / "ingest.checkpoint")
+        assert synced_dirs, "no directory fd was fsynced after os.replace"
+
+    def test_directory_fsync_failure_is_best_effort(
+        self, tmp_path, token, monkeypatch
+    ):
+        """Platforms that cannot fsync a directory fd (EBADF/EINVAL on
+        some filesystems, Windows) must not fail the checkpoint write."""
+        import stat
+
+        real_fsync = os.fsync
+
+        def refusing_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported here")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", refusing_fsync)
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        assert read_checkpoint(path) == token
+
+    def test_directory_open_failure_is_best_effort(
+        self, tmp_path, token, monkeypatch
+    ):
+        real_open = os.open
+
+        def refusing_open(path, flags, *args, **kwargs):
+            if os.path.isdir(path):
+                raise OSError("cannot open directories")
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", refusing_open)
+        path = tmp_path / "ingest.checkpoint"
+        write_checkpoint(token, path)
+        assert read_checkpoint(path) == token
+
+
 class TestCorruptionDetection:
     def test_missing_checkpoint(self, tmp_path):
         with pytest.raises(CheckpointError, match="no ingest checkpoint"):

@@ -1,0 +1,280 @@
+"""Round-trip and rendering tests for the report/export subsystem.
+
+Pins the ISSUE acceptance contract: all four formats render the same
+``AuditReport`` content — CSV and JSONL re-parse to equal data, and the
+Markdown/HTML presentation sinks contain every violation.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.audit import AuditEngine
+from repro.core.trace import PlatformTrace
+from repro.errors import IngestError, ReportError
+from repro.forensics import repair_store, verify_store
+from repro.ingest import IngestRunner, JSONLExportSource, export_jsonl
+from repro.report import (
+    REPORT_FORMATS,
+    CsvReportExporter,
+    JsonlReportExporter,
+    ReportDocument,
+    ReportSection,
+    audit_document,
+    csv_cell,
+    export_report_files,
+    make_exporter,
+    manifest_document,
+    render_report,
+    verify_document,
+)
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+ALL_FORMATS = ("csv", "jsonl", "md", "html")
+
+
+@pytest.fixture(scope="module")
+def violating_trace():
+    return PlatformTrace(list(unequal_pay_scenario(3).trace))
+
+
+@pytest.fixture(scope="module")
+def audit_report(violating_trace):
+    return AuditEngine().audit(violating_trace)
+
+
+@pytest.fixture(scope="module")
+def audit_doc(audit_report, violating_trace):
+    return audit_document(
+        audit_report, violating_trace, source="mem://unequal-pay"
+    )
+
+
+class TestRegistry:
+    def test_all_four_formats_registered(self):
+        assert set(ALL_FORMATS) <= set(REPORT_FORMATS)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ReportError, match="unknown report format"):
+            make_exporter("pdf")
+
+    def test_default_filenames(self, audit_doc):
+        names = {
+            make_exporter(fmt).default_filename(audit_doc)
+            for fmt in ALL_FORMATS
+        }
+        assert names == {"audit.csv", "audit.jsonl", "audit.md", "audit.html"}
+
+
+class TestDocumentModel:
+    def test_section_rejects_ragged_rows(self):
+        with pytest.raises(ReportError, match="declares 2 column"):
+            ReportSection(title="t", columns=("a", "b"), rows=(("only",),))
+
+    def test_document_rejects_missing_columns(self):
+        with pytest.raises(ReportError, match="lacks declared"):
+            ReportDocument(
+                title="t",
+                kind="audit",
+                source="s",
+                columns=("a", "b"),
+                records=({"a": 1},),
+            )
+
+    def test_audit_doc_shape(self, audit_doc, audit_report):
+        assert audit_doc.kind == "audit"
+        assert len(audit_doc.records) == audit_report.total_violations
+        assert audit_doc.records  # the scenario actually violates
+        titles = [section.title for section in audit_doc.sections]
+        assert "Axiom scores" in titles
+        assert "Events by kind" in titles
+        assert "Entity violation timelines" in titles
+
+
+class TestCsvRoundTrip:
+    def test_reparse_equals_cell_strings(self, audit_doc):
+        text = render_report(audit_doc, "csv")
+        parsed = CsvReportExporter.parse(text)
+        expected = [
+            {col: csv_cell(rec[col]) for col in audit_doc.columns}
+            for rec in audit_doc.records
+        ]
+        assert parsed == expected
+
+    def test_non_string_cells_are_json(self, audit_doc):
+        parsed = CsvReportExporter.parse(render_report(audit_doc, "csv"))
+        for row, record in zip(parsed, audit_doc.records):
+            assert json.loads(row["subjects"]) == record["subjects"]
+            assert json.loads(row["time"]) == record["time"]
+
+
+class TestJsonlRoundTrip:
+    def test_reparse_preserves_types(self, audit_doc):
+        text = render_report(audit_doc, "jsonl")
+        meta, records = JsonlReportExporter.parse(text)
+        assert meta["kind"] == "audit"
+        assert meta["columns"] == list(audit_doc.columns)
+        assert meta["records"] == len(audit_doc.records)
+        expected = [
+            {col: rec[col] for col in audit_doc.columns}
+            for rec in audit_doc.records
+        ]
+        assert records == expected
+
+    def test_meta_carries_sections_and_summary(self, audit_doc):
+        meta, _ = JsonlReportExporter.parse(render_report(audit_doc, "jsonl"))
+        assert dict(map(tuple, meta["summary"]))["verdict"] == "FAIL"
+        section_titles = {s["title"] for s in meta["sections"]}
+        assert "Axiom scores" in section_titles
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReportError, match="_meta"):
+            JsonlReportExporter.parse('{"not": "meta"}\n')
+        with pytest.raises(ReportError, match="no meta line"):
+            JsonlReportExporter.parse("")
+
+
+class TestPresentationSinks:
+    def test_markdown_contains_every_violation(self, audit_doc):
+        text = render_report(audit_doc, "md")
+        assert text.startswith("# ")
+        for record in audit_doc.records:
+            assert record["axiom_title"] in text
+
+    def test_html_contains_every_violation_escaped(self, audit_doc):
+        import html as html_mod
+
+        text = render_report(audit_doc, "html")
+        for record in audit_doc.records:
+            assert html_mod.escape(record["message"]) in text
+
+    def test_html_escapes_hostile_content(self):
+        doc = ReportDocument(
+            title="<script>alert(1)</script>",
+            kind="audit",
+            source="s",
+            columns=("message",),
+            records=({"message": "<img onerror=x>"},),
+        )
+        text = render_report(doc, "html")
+        assert "<script>alert" not in text
+        assert "<img" not in text
+        assert "&lt;script&gt;" in text
+
+    def test_html_score_heatmap_classes(self, audit_doc):
+        text = render_report(audit_doc, "html")
+        assert "score-" in text  # axiom score cells are colour-graded
+
+
+class TestOtherDocumentKinds:
+    def test_verify_document_through_all_sinks(self, tmp_path):
+        from tests.forensics.test_verify_repair import _sqlite_store
+
+        events = list(clean_scenario().trace)
+        db = _sqlite_store(tmp_path, events)
+        doc = verify_document(verify_store(db))
+        assert doc.kind == "verify"
+        for fmt in ALL_FORMATS:
+            assert render_report(doc, fmt)
+        meta, records = JsonlReportExporter.parse(
+            render_report(doc, "jsonl")
+        )
+        assert meta["kind"] == "verify"
+        assert records == []  # clean store: no findings
+
+    def test_manifest_document_through_all_sinks(self, tmp_path):
+        import sqlite3
+
+        from tests.forensics.test_verify_repair import (
+            _leaf_seqs,
+            _sqlite_store,
+        )
+
+        events = list(clean_scenario().trace)
+        lost = _leaf_seqs(events)[0]
+        db = _sqlite_store(tmp_path, events)
+        conn = sqlite3.connect(db)
+        conn.execute("DELETE FROM events WHERE seq=?", (lost,))
+        conn.commit()
+        conn.close()
+        result = repair_store(db, tmp_path / "fixed.db")
+        doc = manifest_document(result.manifest)
+        assert doc.kind == "repair"
+        parsed = CsvReportExporter.parse(render_report(doc, "csv"))
+        assert parsed[0]["start_seq"] == str(lost)
+        md = render_report(doc, "md")
+        assert "events dropped" in md
+        for fmt in ALL_FORMATS:
+            assert render_report(doc, fmt)
+
+
+class TestExportFiles:
+    def test_conventional_names_in_directory(self, tmp_path, audit_doc):
+        paths = export_report_files(audit_doc, tmp_path / "out", ALL_FORMATS)
+        assert [os.path.basename(p) for p in paths] == [
+            "audit.csv",
+            "audit.jsonl",
+            "audit.md",
+            "audit.html",
+        ]
+        for path in paths:
+            assert os.path.getsize(path) > 0
+
+    def test_unknown_format_fails_before_writing(self, tmp_path, audit_doc):
+        target = tmp_path / "never"
+        with pytest.raises(ReportError, match="unknown report format"):
+            export_report_files(audit_doc, target, ["csv", "nope"])
+        assert not target.exists()
+
+
+class TestRollingReports:
+    def _runner(self, tmp_path, **kwargs):
+        events = list(unequal_pay_scenario(5).trace)
+        export = export_jsonl(events, tmp_path / "export.jsonl")
+        return IngestRunner(
+            JSONLExportSource(export), PlatformTrace(), **kwargs
+        )
+
+    def test_runner_writes_rolling_reports(self, tmp_path):
+        report_dir = tmp_path / "reports"
+        runner = self._runner(
+            tmp_path,
+            audit=True,
+            report_dir=str(report_dir),
+            report_formats=("jsonl", "html"),
+            report_source="export.jsonl",
+        )
+        runner.run(idle_limit=1)
+        assert runner.report_dir == str(report_dir)
+        meta, records = JsonlReportExporter.parse(
+            (report_dir / "audit.jsonl").read_text()
+        )
+        assert meta["kind"] == "audit"
+        assert len(records) == runner.last_report.total_violations
+        assert (report_dir / "audit.html").read_text().startswith("<!")
+
+    def test_report_formats_require_dir(self, tmp_path):
+        with pytest.raises(IngestError, match="without report_dir"):
+            self._runner(tmp_path, audit=True, report_formats=("csv",))
+
+    def test_report_dir_requires_formats(self, tmp_path):
+        with pytest.raises(IngestError, match="without report_formats"):
+            self._runner(tmp_path, audit=True, report_dir=str(tmp_path / "r"))
+
+    def test_rolling_reports_require_audit(self, tmp_path):
+        with pytest.raises(IngestError, match="require audit"):
+            self._runner(
+                tmp_path,
+                report_dir=str(tmp_path / "r"),
+                report_formats=("csv",),
+            )
+
+    def test_unknown_rolling_format_fails_at_construction(self, tmp_path):
+        with pytest.raises(ReportError, match="unknown report format"):
+            self._runner(
+                tmp_path,
+                audit=True,
+                report_dir=str(tmp_path / "r"),
+                report_formats=("tsv",),
+            )
