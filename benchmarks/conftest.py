@@ -9,9 +9,53 @@ qualitative shape.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+``--bench-record PATH`` (available when pytest is invoked on the
+``benchmarks/`` tree, where this conftest loads at startup) writes the
+machine-readable numbers the gated comparisons measured — the committed
+``BENCH_pipeline.json`` at the repo root is produced this way::
+
+    pytest benchmarks/test_bench_pipeline.py --bench-record BENCH_pipeline.json
 """
 
 from __future__ import annotations
+
+import json
+
+#: Records appended by :func:`record_bench` during the session, flushed
+#: to ``--bench-record PATH`` (if given) at session end.
+_BENCH_RECORDS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    # Only honoured when this conftest is *initial* (pytest invoked on
+    # benchmarks/...); under a whole-repo run pytest skips the hook, and
+    # record_bench degrades to collecting records nobody flushes.
+    parser.addoption(
+        "--bench-record", action="store", default=None, metavar="PATH",
+        dest="bench_record",
+        help="write measured benchmark numbers to PATH as JSON",
+    )
+
+
+def record_bench(config, bench_id: str, **fields) -> None:
+    """Queue one benchmark's measured numbers for ``--bench-record``."""
+    _BENCH_RECORDS.append({"bench": bench_id, **fields})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        path = session.config.getoption("bench_record")
+    except ValueError:  # whole-repo run: option never registered
+        return
+    if not path or not _BENCH_RECORDS:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"format_version": 1, "benches": list(_BENCH_RECORDS)},
+            handle, indent=2,
+        )
+        handle.write("\n")
 
 
 def run_once(benchmark, func, *args, **kwargs):

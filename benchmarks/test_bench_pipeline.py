@@ -1,0 +1,209 @@
+"""Pipelined vs sequential ingest on an audit-bound tail.
+
+The workload scales the hot-catalog regime of ``test_bench_shard.py``
+up to a ~125k-qualifying-pair catalog (Axiom 2's ``max_pairs`` raised
+to match, same registry for both runners): every delta audit re-walks
+that pair list to materialise its verdict, so the verdict walk — not
+the 17-event append — is the per-batch cost.  The catalog itself is
+seeded into the destination store first and the runners *resume* on
+top of it, exactly the operator situation (``trace resume`` on a
+populated store), so the one-time pair construction both engines pay
+identically happens in untimed setup and the timed region is the pure
+tail: 105 batches, one audit boundary each.
+
+The sequential :class:`~repro.ingest.IngestRunner` pays the verdict
+walk at all 105 boundaries.  The
+:class:`~repro.ingest.PipelinedIngestRunner` overlaps polling and
+appending with the audit stage and *coalesces* queued batches into one
+audit at the newest boundary — the walk is paid once per drained group
+instead of once per batch.  That amortisation is the single-core win
+the ``>= 2x`` gate below pins; ``--audit-jobs`` sharding inside each
+audit compounds with it.
+
+Both runners must produce byte-identical destination stores and equal
+final audit reports — the speedup is never allowed to change a
+verdict.  Under ``--benchmark-disable`` (the CI smoke step) only that
+equivalence is asserted; wall-clock claims belong to timed runs.  A
+timed run records its numbers for ``--bench-record`` (see
+``conftest.py``), which is how the committed ``BENCH_pipeline.json``
+is produced.
+"""
+
+import shutil
+import sqlite3
+import time
+
+import pytest
+
+from conftest import record_bench
+from repro.core.axiom_assignment import RequesterFairnessInAssignment
+from repro.core.axioms import default_registry
+from repro.core.store import open_store
+from repro.core.trace import PlatformTrace, make_disk_store
+from repro.ingest import (
+    IngestRunner,
+    JSONLExportSource,
+    PipelinedIngestRunner,
+    export_jsonl,
+)
+from test_bench_shard import hot_catalog_batches
+
+#: Catalog size: C(500, 2) ≈ 125k task pairs in front of Axiom 2.
+N_TASKS = 500
+
+#: Events per ingest batch in the timed region — one hot-catalog round
+#: per batch, so the sequential runner audits at every round boundary.
+BATCH_EVENTS = 17
+
+#: Stage-queue depth for the pipelined runner: how many batches may sit
+#: behind a slow audit before backpressure throttles polling (and hence
+#: the largest group one coalesced audit drains).
+PIPELINE_DEPTH = 8
+
+
+def _registry():
+    """The default suite with Axiom 2 walking the full catalog."""
+    return default_registry(
+        axiom2=RequesterFairnessInAssignment(max_pairs=150_000)
+    )
+
+
+@pytest.fixture(scope="module")
+def seeded_tail(tmp_path_factory):
+    """The export plus a destination pre-seeded with the setup batch.
+
+    Returns ``(export_path, seed_db, seed_ckpt, setup_events)``: the
+    full trace as one JSONL export, and a sqlite destination whose
+    checkpoint sits exactly at the end of the catalog-posting setup
+    batch — every timed run resumes a copy of it.
+    """
+    batches = hot_catalog_batches(n_tasks=N_TASKS)
+    setup_events = len(batches[0])
+    trace = PlatformTrace()
+    for batch in batches:
+        trace.extend(batch)
+    assert len(trace.events) >= 2000, (
+        f"bench trace shrank to {len(trace.events)} events"
+    )
+    workdir = tmp_path_factory.mktemp("pipeline-bench")
+    export = str(workdir / "export.jsonl")
+    export_jsonl(trace, export)
+
+    seed_db = str(workdir / "seed.db")
+    seed_ckpt = seed_db + ".ckpt"
+    store = make_disk_store(seed_db)
+    runner = IngestRunner(
+        JSONLExportSource(export), store, checkpoint_path=seed_ckpt,
+        batch_events=setup_events, audit=True, interval=0.0,
+        registry=_registry(),
+    )
+    try:
+        summary = runner.run(max_batches=1)
+    finally:
+        runner.close()
+        store.close()
+    assert summary.events == setup_events
+    return export, seed_db, seed_ckpt, setup_events
+
+
+def _resume_tail(runner_cls, seeded, dest, **extra):
+    """Resume a copy of the seeded destination; time ``run()`` only.
+
+    Runner construction — including the resume baseline audit, where
+    the one-time qualifying-pair construction happens — stays outside
+    the timed window for both engines.
+    """
+    export, seed_db, seed_ckpt, _ = seeded
+    shutil.copy(seed_db, dest)
+    shutil.copy(seed_ckpt, dest + ".ckpt")
+    store = open_store(dest)
+    runner = runner_cls.resume(
+        JSONLExportSource(export), store, dest + ".ckpt",
+        batch_events=BATCH_EVENTS, audit=True, interval=0.0,
+        registry=_registry(), **extra,
+    )
+    try:
+        start = time.perf_counter()
+        summary = runner.run(idle_limit=1)
+        elapsed = time.perf_counter() - start
+    finally:
+        runner.close()
+        store.close()
+    return elapsed, summary
+
+
+def _sqlite_dump(path):
+    conn = sqlite3.connect(path)
+    try:
+        return "\n".join(conn.iterdump())
+    finally:
+        conn.close()
+
+
+def _run_pair(seeded, workdir, tag):
+    seq_dest = str(workdir / f"seq-{tag}.db")
+    pipe_dest = str(workdir / f"pipe-{tag}.db")
+    seq_elapsed, sequential = _resume_tail(IngestRunner, seeded, seq_dest)
+    pipe_elapsed, pipelined = _resume_tail(
+        PipelinedIngestRunner, seeded, pipe_dest,
+        pipeline_depth=PIPELINE_DEPTH,
+    )
+    return (seq_dest, seq_elapsed, sequential,
+            pipe_dest, pipe_elapsed, pipelined)
+
+
+def test_pipelined_tail_matches_sequential(seeded_tail, tmp_path):
+    """Same bytes on disk, same verdict — pipelining is invisible."""
+    (seq_dest, _, sequential,
+     pipe_dest, _, pipelined) = _run_pair(seeded_tail, tmp_path, "equiv")
+    assert sequential.events == pipelined.events
+    assert sequential.store_revision == pipelined.store_revision
+    assert sequential.report == pipelined.report
+    assert _sqlite_dump(seq_dest) == _sqlite_dump(pipe_dest)
+    # The pipelined run must actually have run behind at some point —
+    # otherwise the coalescing win measured below is vacuous.
+    assert pipelined.max_audit_lag_batches >= 1
+
+
+def test_pipelined_tail_beats_sequential(request, seeded_tail, tmp_path):
+    """Identical stores and verdicts, >= 2x faster end-to-end tail.
+
+    Best-of-3 minimums with the two modes interleaved keep scheduler
+    noise on loaded CI runners from flaking the comparison (measured
+    ~4.4x on the dev container, so 2x leaves margin).  Under
+    ``--benchmark-disable`` only the equivalence is asserted.
+    """
+    if request.config.getoption("benchmark_disable"):
+        (seq_dest, _, sequential,
+         pipe_dest, _, pipelined) = _run_pair(seeded_tail, tmp_path, "smoke")
+        assert sequential.report == pipelined.report
+        assert _sqlite_dump(seq_dest) == _sqlite_dump(pipe_dest)
+        return
+
+    seq_best = pipe_best = float("inf")
+    for attempt in range(3):
+        (seq_dest, seq_elapsed, sequential,
+         pipe_dest, pipe_elapsed, pipelined) = _run_pair(
+            seeded_tail, tmp_path, str(attempt)
+        )
+        seq_best = min(seq_best, seq_elapsed)
+        pipe_best = min(pipe_best, pipe_elapsed)
+        assert sequential.report == pipelined.report
+        assert _sqlite_dump(seq_dest) == _sqlite_dump(pipe_dest)
+
+    speedup = seq_best / pipe_best
+    record_bench(
+        request.config, "pipelined_tail_vs_sequential",
+        sequential_ms=round(seq_best * 1000.0, 3),
+        pipelined_ms=round(pipe_best * 1000.0, 3),
+        speedup=round(speedup, 3),
+        events=sequential.events,
+        batches=sequential.batches,
+        max_audit_lag_batches=pipelined.max_audit_lag_batches,
+        max_audit_lag_events=pipelined.max_audit_lag_events,
+    )
+    assert speedup >= 2.0, (
+        f"pipelined tail only {speedup:.1f}x faster than the sequential "
+        f"runner (pipelined {pipe_best:.3f}s, sequential "
+        f"{seq_best:.3f}s); expected >= 2x"
+    )

@@ -22,6 +22,8 @@ Usage::
     python -m repro trace resume export.jsonl runs/live.db --audit
     python -m repro trace tail export.jsonl runs/live.db --audit \\
         --report html --report jsonl
+    python -m repro trace tail a.jsonl b.jsonl runs/live.db --audit --pipeline
+    python -m repro trace resume export.jsonl runs/live.db --audit --verify
 
     python -m repro trace report runs/clean.db --format html --out audit.html
     python -m repro trace verify runs/live.db
@@ -63,11 +65,19 @@ cross-checks the sharded engine against the batch verdict per
 scenario.  ``--report FORMAT`` (repeatable, with ``--audit``) keeps a
 rolling report file per format in ``--report-dir`` (default
 ``<dest>.reports``), re-rendered after every audited batch.
+``--pipeline`` overlaps polling, appending, and auditing as staged
+threads over bounded queues (:mod:`repro.ingest.pipeline`) — same
+verdicts and stored bytes, higher throughput when audits dominate —
+with ``--pipeline-depth`` sizing the queues; passing several ``SRC``
+paths merges the exports by event time under one checkpoint.  ``trace
+resume --verify`` deep-verifies the destination (read-only) before
+ingesting anything and refuses — exit 1 — when it is damaged.
 
 ``trace report`` audits a saved log and exports it through
 :mod:`repro.report` (CSV, JSONL, Markdown, or a self-contained HTML
 dashboard; ``--what verify`` exports deep-verify findings through the
-same sinks).  ``trace verify`` runs the read-only integrity sweeps of
+same sinks, and ``--what repair`` renders a saved ``*.loss.json`` loss
+manifest through them).  ``trace verify`` runs the read-only integrity sweeps of
 :mod:`repro.forensics` — exit 0 when sound, 1 when damaged, so it
 scripts as a health check — and ``trace repair`` salvages a damaged
 store into a fresh destination, keeping every verifiable event and
@@ -264,13 +274,15 @@ def build_trace_parser() -> argparse.ArgumentParser:
 
     tail = commands.add_parser(
         "tail",
-        help="follow a platform export into a fresh checkpointed store, "
-             "optionally delta-auditing each batch",
+        help="follow one or more platform exports into a fresh "
+             "checkpointed store, optionally delta-auditing each batch",
     )
     tail.add_argument(
-        "source",
-        help="export to tail: a JSONL file, a segment-log directory, "
-             "or a .csv (see --source-kind)",
+        "source", nargs="+", metavar="SRC",
+        help="export(s) to tail: JSONL files, segment-log directories, "
+             "or .csv files (see --source-kind); several exports are "
+             "interleaved by event time into one store under a single "
+             "checkpoint",
     )
     tail.add_argument(
         "dest", help="destination store to create (log directory or .db file)"
@@ -287,9 +299,19 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="continue a killed or stopped 'trace tail' from its "
              "checkpoint, duplicating and dropping nothing",
     )
-    resume.add_argument("source", help="the export the tail was following")
+    resume.add_argument(
+        "source", nargs="+", metavar="SRC",
+        help="the export(s) the tail was following (same paths, same "
+             "order)",
+    )
     resume.add_argument(
         "dest", help="the destination store the tail was writing"
+    )
+    resume.add_argument(
+        "--verify", action="store_true",
+        help="deep-verify the destination store (read-only) before "
+             "ingesting anything and refuse to resume — exit 1 — when "
+             "it is damaged",
     )
     _add_tail_options(resume)
 
@@ -298,15 +320,20 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="audit a saved log and export the violations as a "
              "CSV/JSONL/Markdown/HTML report",
     )
-    report.add_argument("path", help="log directory or .db file to open")
+    report.add_argument(
+        "path",
+        help="log directory or .db file to open (for --what repair: "
+             "the saved *.loss.json manifest to render)",
+    )
     report.add_argument(
         "--format", choices=("csv", "jsonl", "md", "html"), default="md",
         help="report format (default md)",
     )
     report.add_argument(
-        "--what", choices=("audit", "verify"), default="audit",
-        help="report content: the fairness audit (default) or the "
-             "deep-verify findings of the same store",
+        "--what", choices=("audit", "verify", "repair"), default="audit",
+        help="report content: the fairness audit (default), the "
+             "deep-verify findings of the same store, or a saved "
+             "trace-repair loss manifest (PATH is the *.loss.json file)",
     )
     report.add_argument(
         "--out", default=None, metavar="PATH",
@@ -365,6 +392,20 @@ def _add_tail_options(parser: argparse.ArgumentParser) -> None:
         help="fix an event field for every CSV row, e.g. "
              "kind=payment_issued (repeatable; values are JSON-decoded "
              "where possible)",
+    )
+    parser.add_argument(
+        "--pipeline", action="store_true",
+        help="overlap the source poll, the batched append+checkpoint, "
+             "and the delta audit as concurrent stages over bounded "
+             "queues (same stores, same verdicts, higher throughput; "
+             "see --pipeline-depth)",
+    )
+    parser.add_argument(
+        "--pipeline-depth", type=int, default=None, metavar="N",
+        dest="pipeline_depth",
+        help="with --pipeline: bound of each inter-stage queue in "
+             "batches — the backpressure window before polling "
+             "throttles (default 4)",
     )
     parser.add_argument(
         "--audit", action="store_true",
@@ -813,6 +854,40 @@ def _parse_csv_mapping(args: argparse.Namespace):
     return CSVMapping(columns=columns, constants=constants)
 
 
+def _resolve_cli_source(args: argparse.Namespace):
+    """The ingest source for the SRC argument(s): one tailer, or a
+    time-ordered :class:`~repro.ingest.MergedSource` over several."""
+    from repro.ingest import MergedSource, resolve_source
+
+    mapping = _parse_csv_mapping(args)
+    sources = [
+        resolve_source(path, args.source_kind, csv_mapping=mapping)
+        for path in args.source
+    ]
+    if len(sources) == 1:
+        return sources[0]
+    return MergedSource(sources)
+
+
+def _source_display(args: argparse.Namespace) -> str:
+    return " ".join(args.source)
+
+
+def _pipeline_settings(args: argparse.Namespace) -> dict | None:
+    """The PipelinedIngestRunner-only options (``None`` = sequential)."""
+    if not args.pipeline:
+        if args.pipeline_depth is not None:
+            # Neutralise-don't-kill, like the other ignored flags.
+            print(
+                "note: --pipeline-depth sizes the --pipeline stage "
+                "queues; ignoring it without --pipeline",
+                file=sys.stderr,
+            )
+        return None
+    depth = 4 if args.pipeline_depth is None else args.pipeline_depth
+    return {"pipeline_depth": depth}
+
+
 def _ingest_runner_options(args: argparse.Namespace) -> dict:
     audit_jobs = args.audit_jobs
     if not args.audit and audit_jobs != 1:
@@ -899,15 +974,19 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
     if interrupted:
         print(
             f"interrupted; checkpoint at {checkpoint_path!r} — continue "
-            f"with: python -m repro trace resume {args.source} {args.dest}",
+            f"with: python -m repro trace resume "
+            f"{_source_display(args)} {args.dest}",
             file=sys.stderr,
         )
         return 130
+    pipelined = bool(getattr(args, "pipeline", False))
     if args.format == "json":
         import json
 
         print(json.dumps({
-            "source": args.source,
+            "source": (
+                args.source[0] if len(args.source) == 1 else args.source
+            ),
             "dest": args.dest,
             "checkpoint": checkpoint_path,
             "report_dir": getattr(runner, "report_dir", None),
@@ -915,6 +994,9 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
             "events": summary.events,
             "store_revision": summary.store_revision,
             "stopped_on": summary.stopped_on,
+            "pipelined": pipelined,
+            "max_audit_lag_batches": summary.max_audit_lag_batches,
+            "max_audit_lag_events": summary.max_audit_lag_events,
             "violations": (
                 None if summary.report is None
                 else summary.report.total_violations
@@ -930,6 +1012,12 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
         f"batch(es) -> revision {summary.store_revision} "
         f"(stopped on {summary.stopped_on}); checkpoint: {checkpoint_path}"
     )
+    if pipelined:
+        print(
+            f"peak audit lag: {summary.max_audit_lag_batches} batch(es) "
+            f"({summary.max_audit_lag_events} event(s)) behind the "
+            "append stage"
+        )
     if summary.report is not None:
         for line in summary.report.summary_lines():
             print(line)
@@ -944,19 +1032,25 @@ def _trace_tail(args: argparse.Namespace) -> int:
 
     from repro.core.trace import make_disk_store
     from repro.errors import IngestError, TraceError
-    from repro.ingest import IngestRunner, checkpoint_path_for, resolve_source
+    from repro.ingest import (
+        IngestRunner,
+        PipelinedIngestRunner,
+        checkpoint_path_for,
+    )
 
     checkpoint_path = args.checkpoint or checkpoint_path_for(args.dest)
     if os.path.exists(checkpoint_path):
         print(
             f"checkpoint {checkpoint_path!r} already exists; continue "
-            f"with 'trace resume {args.source} {args.dest}' or delete it "
-            "to start over",
+            f"with 'trace resume {_source_display(args)} {args.dest}' "
+            "or delete it to start over",
             file=sys.stderr,
         )
         return 2
     options = _ingest_runner_options(args)
+    pipeline = _pipeline_settings(args)
     try:
+        from repro.ingest import validate_pipeline_options
         from repro.ingest.runner import validate_runner_options
 
         # Validate flags before the destination exists, so a bad flag
@@ -965,18 +1059,26 @@ def _trace_tail(args: argparse.Namespace) -> int:
             options["batch_events"], options["stats_cadence"],
             options["interval"], options["audit_jobs"],
         )
-        mapping = _parse_csv_mapping(args)
-        source = resolve_source(
-            args.source, args.source_kind, csv_mapping=mapping
-        )
+        if pipeline is not None:
+            validate_pipeline_options(pipeline["pipeline_depth"])
+        source = _resolve_cli_source(args)
         store = make_disk_store(args.dest, args.store)
     except (TraceError, ValueError) as error:
-        print(f"cannot tail {args.source!r}: {error}", file=sys.stderr)
+        print(
+            f"cannot tail {_source_display(args)!r}: {error}",
+            file=sys.stderr,
+        )
         return 2
     try:
-        runner = IngestRunner(
-            source, store, checkpoint_path=checkpoint_path, **options
-        )
+        if pipeline is None:
+            runner = IngestRunner(
+                source, store, checkpoint_path=checkpoint_path, **options
+            )
+        else:
+            runner = PipelinedIngestRunner(
+                source, store, checkpoint_path=checkpoint_path,
+                **pipeline, **options,
+            )
         return _drive_ingest(args, runner, checkpoint_path)
     except (TraceError, IngestError) as error:
         print(f"ingest failed: {error}", file=sys.stderr)
@@ -986,23 +1088,52 @@ def _trace_tail(args: argparse.Namespace) -> int:
 def _trace_resume(args: argparse.Namespace) -> int:
     from repro.core.store import open_store
     from repro.errors import IngestError, TraceError
-    from repro.ingest import IngestRunner, checkpoint_path_for, resolve_source
+    from repro.ingest import (
+        IngestRunner,
+        PipelinedIngestRunner,
+        checkpoint_path_for,
+    )
 
     checkpoint_path = args.checkpoint or checkpoint_path_for(args.dest)
+    if args.verify:
+        # The PR 6 read-only sweep, run *before* the store is even
+        # opened for writing: resuming on top of silent corruption
+        # would checkpoint right past it.
+        from repro.forensics import verify_store
+
+        try:
+            result = verify_store(args.dest)
+        except TraceError as error:
+            print(f"cannot verify {args.dest!r}: {error}", file=sys.stderr)
+            return 2
+        verify_out = sys.stdout if args.format == "text" else sys.stderr
+        for line in result.summary_lines():
+            print(line, file=verify_out)
+        if not result.ok:
+            print(
+                f"destination {args.dest!r} is damaged; refusing to "
+                "resume — salvage it first (trace repair)",
+                file=sys.stderr,
+            )
+            return 1
+    pipeline = _pipeline_settings(args)
     try:
-        mapping = _parse_csv_mapping(args)
-        source = resolve_source(
-            args.source, args.source_kind, csv_mapping=mapping
-        )
+        source = _resolve_cli_source(args)
         store = open_store(args.dest)
     except (TraceError, ValueError) as error:
         print(f"cannot resume {args.dest!r}: {error}", file=sys.stderr)
         return 2
     try:
-        runner = IngestRunner.resume(
-            source, store, checkpoint_path,
-            **_ingest_runner_options(args),
-        )
+        if pipeline is None:
+            runner = IngestRunner.resume(
+                source, store, checkpoint_path,
+                **_ingest_runner_options(args),
+            )
+        else:
+            runner = PipelinedIngestRunner.resume(
+                source, store, checkpoint_path,
+                **pipeline, **_ingest_runner_options(args),
+            )
         return _drive_ingest(args, runner, checkpoint_path)
     except (TraceError, IngestError) as error:
         close = getattr(store, "close", None)
@@ -1017,6 +1148,7 @@ def _trace_report(args: argparse.Namespace) -> int:
     from repro.report import (
         audit_document,
         make_exporter,
+        manifest_document,
         verify_document,
     )
 
@@ -1027,6 +1159,17 @@ def _trace_report(args: argparse.Namespace) -> int:
             document = verify_document(verify_store(args.path))
         except TraceError as error:
             print(f"cannot verify {args.path!r}: {error}", file=sys.stderr)
+            return 2
+    elif args.what == "repair":
+        from repro.forensics import read_manifest
+
+        try:
+            document = manifest_document(read_manifest(args.path))
+        except TraceError as error:
+            print(
+                f"cannot load loss manifest {args.path!r}: {error}",
+                file=sys.stderr,
+            )
             return 2
     else:
         from repro.core.audit import AuditEngine

@@ -28,6 +28,7 @@ from repro.forensics.repair import (
     LossManifest,
     RepairResult,
     manifest_path_for,
+    read_manifest,
     repair_store,
 )
 from repro.forensics.verify import (
@@ -48,5 +49,6 @@ __all__ = [
     "LossManifest",
     "RepairResult",
     "manifest_path_for",
+    "read_manifest",
     "repair_store",
 ]

@@ -460,3 +460,95 @@ def _write_manifest(manifest: LossManifest, path: str) -> None:
         raise ForensicsError(
             f"cannot write loss manifest to {path!r}: {error}"
         ) from error
+
+
+def read_manifest(path: str | os.PathLike[str]) -> LossManifest:
+    """Load a saved ``*.loss.json`` manifest back into a
+    :class:`LossManifest` (the inverse of what :func:`repair_store`
+    writes), so past repairs can be re-rendered through the report
+    sinks — ``trace report --what repair``.  Anything less than a
+    complete, well-formed, version-matched document raises
+    :class:`~repro.errors.ForensicsError`: a garbled loss accounting
+    is worse than none.
+    """
+    fspath = os.fspath(path)
+    try:
+        with open(fspath, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise ForensicsError(f"no loss manifest at {fspath!r}") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise ForensicsError(
+            f"loss manifest {fspath!r} is unreadable or not JSON "
+            f"({error})"
+        ) from None
+    if not isinstance(document, dict):
+        raise ForensicsError(
+            f"loss manifest {fspath!r} is not a JSON object"
+        )
+    version = document.get("format_version")
+    if version != MANIFEST_FORMAT_VERSION:
+        raise ForensicsError(
+            f"unsupported loss-manifest version {version!r} in "
+            f"{fspath!r} (supported: {MANIFEST_FORMAT_VERSION})"
+        )
+    try:
+        source = document["source"]
+        dest = document["dest"]
+        source_backend = document["source_backend"]
+        dest_backend = document["dest_backend"]
+        events_salvaged = document["events_salvaged"]
+        events_dropped = document["events_dropped"]
+        dropped_raw = document["dropped"]
+    except KeyError as error:
+        raise ForensicsError(
+            f"loss manifest {fspath!r} is missing field {error}"
+        ) from None
+    if (
+        not all(
+            isinstance(value, str)
+            for value in (source, dest, source_backend, dest_backend)
+        )
+        or not isinstance(events_salvaged, int)
+        or not isinstance(events_dropped, int)
+        or not isinstance(dropped_raw, list)
+    ):
+        raise ForensicsError(
+            f"loss manifest {fspath!r} has malformed fields"
+        )
+    dropped = []
+    for entry in dropped_raw:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("start_seq"), int)
+            or not isinstance(entry.get("end_seq"), int)
+            or not isinstance(entry.get("reason"), str)
+            or entry["end_seq"] < entry["start_seq"]
+        ):
+            raise ForensicsError(
+                f"loss manifest {fspath!r} has a malformed dropped "
+                f"range: {entry!r}"
+            )
+        dropped.append(
+            DroppedRange(
+                start_seq=entry["start_seq"],
+                end_seq=entry["end_seq"],
+                reason=entry["reason"],
+            )
+        )
+    manifest = LossManifest(
+        source=source,
+        dest=dest,
+        source_backend=source_backend,
+        dest_backend=dest_backend,
+        events_salvaged=events_salvaged,
+        events_dropped=events_dropped,
+        dropped=tuple(dropped),
+    )
+    if events_dropped != sum(r.count for r in manifest.dropped):
+        raise ForensicsError(
+            f"loss manifest {fspath!r} is inconsistent: events_dropped "
+            f"is {events_dropped} but the dropped ranges cover "
+            f"{sum(r.count for r in manifest.dropped)} event(s)"
+        )
+    return manifest

@@ -14,8 +14,14 @@ growing — and the TraceStore + delta-audit machinery:
   poll → batched append → delta audit → checkpoint loop, with
   :meth:`IngestRunner.resume` for exactly-once continuation after a
   kill.
+* :mod:`repro.ingest.pipeline` — :class:`PipelinedIngestRunner`, the
+  same cycle as three overlapped stages over bounded queues (poll ∥
+  append+checkpoint ∥ coalescing delta audit) with backpressure and an
+  audit-lag watermark; :class:`MergedSource` (in ``sources``) feeds it
+  N exports interleaved by event time under one atomic checkpoint.
 
-CLI counterparts: ``python -m repro trace tail`` and ``trace resume``.
+CLI counterparts: ``python -m repro trace tail`` and ``trace resume``
+(``--pipeline``, repeatable ``SRC``).
 """
 
 from __future__ import annotations
@@ -27,12 +33,17 @@ from repro.ingest.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.ingest.pipeline import (
+    PipelinedIngestRunner,
+    validate_pipeline_options,
+)
 from repro.ingest.runner import IngestBatch, IngestRunner, IngestSummary
 from repro.ingest.sources import (
     CSVExportSource,
     CSVMapping,
     IngestSource,
     JSONLExportSource,
+    MergedSource,
     SegmentDirectorySource,
     export_jsonl,
     resolve_source,
@@ -48,10 +59,13 @@ __all__ = [
     "IngestSource",
     "IngestSummary",
     "JSONLExportSource",
+    "MergedSource",
+    "PipelinedIngestRunner",
     "SegmentDirectorySource",
     "checkpoint_path_for",
     "export_jsonl",
     "read_checkpoint",
     "resolve_source",
+    "validate_pipeline_options",
     "write_checkpoint",
 ]

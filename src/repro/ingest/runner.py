@@ -85,6 +85,13 @@ class IngestSummary:
     store_revision: int
     stopped_on: str  # "max_batches" | "idle"
     report: AuditReport | None = None
+    #: Peak audit lag observed during the run — how many committed
+    #: batches (and the events they carried) the audit stage was behind
+    #: the append stage at its worst.  The sequential runner audits
+    #: inline, so both stay 0; the pipelined runner surfaces its
+    #: backpressure watermark here.
+    max_audit_lag_batches: int = 0
+    max_audit_lag_events: int = 0
 
 
 def validate_runner_options(
@@ -111,6 +118,40 @@ def validate_runner_options(
         raise IngestError(f"interval must be >= 0, got {interval}")
     if audit_jobs < 1:
         raise IngestError(f"audit_jobs must be >= 1, got {audit_jobs}")
+
+
+def _verify_destination(
+    store: "PlatformTrace | TraceStore", checkpoint_path: str
+) -> None:
+    """The ``resume(verify=True)`` gate: deep-verify the destination.
+
+    Raises :class:`~repro.errors.IngestError` when the destination is
+    not an on-disk store (nothing to sweep) or when the sweep reports
+    error-level findings (a DAMAGED store must be repaired — see
+    ``trace repair`` — before more events are ingested on top).
+    """
+    from repro.forensics import verify_store
+
+    path = getattr(as_trace(store).store, "path", None)
+    if path is None:
+        raise IngestError(
+            "resume(verify=True) needs an on-disk destination store; "
+            f"the {as_trace(store).store.backend_name!r} backend has "
+            "no path to sweep"
+        )
+    result = verify_store(path)
+    if not result.ok:
+        findings = "; ".join(
+            finding.describe() for finding in result.errors[:3]
+        )
+        raise IngestError(
+            f"destination store {path!r} is DAMAGED: "
+            f"{len(result.errors)} error-level finding(s) "
+            f"({findings}); refusing to resume ingest on top of "
+            f"corruption — salvage it first (trace repair), or resume "
+            f"without verify after checkpoint {checkpoint_path!r} is "
+            "confirmed good"
+        )
 
 
 class IngestRunner:
@@ -252,6 +293,7 @@ class IngestRunner:
         source: IngestSource,
         store: "PlatformTrace | TraceStore",
         checkpoint_path: str,
+        verify: bool = False,
         **options: Any,
     ) -> "IngestRunner":
         """Continue a checkpointed ingest after a stop or crash.
@@ -262,8 +304,16 @@ class IngestRunner:
         but before its checkpoint write) by skipping exactly the
         already-stored records.  The result duplicates and drops
         nothing — pinned by the kill/resume differential suite.
+
+        ``verify=True`` additionally runs the read-only deep-integrity
+        sweep (:func:`repro.forensics.verify_store`) over the on-disk
+        destination *before* anything is ingested, and refuses to
+        resume into a store with error-level findings — resuming on
+        top of silent corruption would checkpoint right past it.
         """
         checkpoint = read_checkpoint(checkpoint_path)
+        if verify:
+            _verify_destination(store, checkpoint_path)
         described = source.describe()
         if checkpoint.source_info != described:
             raise CheckpointError(
@@ -301,13 +351,22 @@ class IngestRunner:
             # again after it, and the first post-resume audit pays only
             # for its own batch.
             try:
-                runner._last_report = runner._session.audit(trace)
+                runner._last_report = runner._baseline_audit()
             except BaseException:
                 # The caller never sees the runner, so it could never
                 # close it — release the audit worker pools here.
                 runner.close()
                 raise
         return runner
+
+    def _baseline_audit(self) -> AuditReport:
+        """Audit everything already in the destination (resume path).
+
+        Subclasses that audit through a stand-in trace (the pipelined
+        runner's shadow) override this to baseline that trace instead.
+        """
+        assert self._session is not None
+        return self._session.audit(self._trace)
 
     # ------------------------------------------------------------------
     # The cadence
@@ -363,16 +422,22 @@ class IngestRunner:
             stats=stats,
         )
 
-    def _write_rolling_reports(self, report: AuditReport) -> None:
+    def _write_rolling_reports(
+        self, report: AuditReport, trace: "PlatformTrace | None" = None
+    ) -> None:
         """Re-render every configured report file from the latest audit.
 
         Each audited batch overwrites the previous roll, so the files
         always describe the store as of the newest checkpointed batch.
+        ``trace`` supplies the report's evidence context (default: the
+        destination; the pipelined runner passes its shadow so the
+        render never reads the destination store off-thread).
         """
         from repro.report import audit_document, export_report_files
 
         document = audit_document(
-            report, self._trace, source=self._report_source
+            report, trace if trace is not None else self._trace,
+            source=self._report_source,
         )
         export_report_files(
             document, self._report_dir, self._report_formats

@@ -550,6 +550,147 @@ class CSVExportSource(IngestSource):
 
 
 # ----------------------------------------------------------------------
+# Multi-source time merge
+
+
+class MergedSource(IngestSource):
+    """Interleave N sources into one time-ordered event stream.
+
+    A federated platform exports several logs (one per region, shard,
+    or adapter); the destination store enforces a single non-decreasing
+    event-time order.  ``MergedSource`` merges its children the way a
+    k-way merge of sorted runs does: it holds at most one *peeked*
+    record per child and always emits the head with the smallest
+    ``(event.time, child index)`` — deterministic for any poll pattern,
+    so ingest through a merge is exactly reproducible (and therefore
+    checkpointable).
+
+    Positions: children are polled one record at a time, so each
+    child's **committed** position (its token *before* the currently
+    peeked record) is exact.  :attr:`position` packs every committed
+    child token plus the merge watermark (the last emitted event time)
+    into a single JSON-able dict — one atomic checkpoint covers all N
+    sources.  :meth:`seek` restores all of them and drops the peeks.
+
+    Late arrivals fail loudly: once time ``t`` has been emitted, a
+    child producing a record with time ``< t`` raises
+    :class:`~repro.errors.IngestError` — emitting it would break the
+    destination's time-order invariant, and silently dropping or
+    reordering it would falsify the audit.  Coordinated exports (all
+    children flushed up to a common time before polling resumes) never
+    trip this.
+    """
+
+    source_kind = "merged"
+
+    def __init__(self, sources: "Iterable[IngestSource]") -> None:
+        self._sources = tuple(sources)
+        if len(self._sources) < 2:
+            raise IngestError(
+                "MergedSource interleaves several exports; got "
+                f"{len(self._sources)} source(s) — use the source "
+                "directly instead of merging one"
+            )
+        self._heads: "list[Event | None]" = [None] * len(self._sources)
+        # Child position after the peeked head was consumed from it.
+        self._after: "list[dict[str, Any] | None]" = (
+            [None] * len(self._sources)
+        )
+        # Child position before the peeked head: the resume point.
+        self._committed: "list[dict[str, Any]]" = [
+            dict(child.position) for child in self._sources
+        ]
+        self._watermark: int | None = None
+
+    @property
+    def sources(self) -> "tuple[IngestSource, ...]":
+        return self._sources
+
+    @property
+    def position(self) -> dict[str, Any]:
+        token: dict[str, Any] = {
+            "sources": [dict(position) for position in self._committed]
+        }
+        if self._watermark is not None:
+            token["watermark"] = self._watermark
+        return token
+
+    def seek(self, position: Mapping[str, Any]) -> None:
+        tokens = position.get("sources")
+        watermark = position.get("watermark")
+        if (
+            not isinstance(tokens, list)
+            or len(tokens) != len(self._sources)
+            or not all(isinstance(token, dict) for token in tokens)
+            or not (watermark is None or isinstance(watermark, int))
+        ):
+            raise IngestError(
+                f"invalid {self.source_kind} source position "
+                f"{position!r}; expected {{'sources': [<one token per "
+                f"child>  x{len(self._sources)}], 'watermark': <time>}}"
+            )
+        for child, token in zip(self._sources, tokens):
+            child.seek(token)
+        self._committed = [dict(token) for token in tokens]
+        self._heads = [None] * len(self._sources)
+        self._after = [None] * len(self._sources)
+        self._watermark = watermark
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": self.source_kind,
+            "sources": [child.describe() for child in self._sources],
+        }
+
+    def _refill(self, index: int) -> None:
+        """Peek the next record of one child (if it has one)."""
+        if self._heads[index] is not None:
+            return
+        records = self._sources[index].poll(1)
+        if not records:
+            return
+        event = records[0]
+        if self._watermark is not None and event.time < self._watermark:
+            raise IngestError(
+                f"late arrival in merged source: child "
+                f"{self._sources[index].describe()!r} produced an event "
+                f"at time {event.time} after time {self._watermark} was "
+                "already emitted; the merge cannot reorder an event "
+                "stream that has been committed downstream"
+            )
+        self._heads[index] = event
+        self._after[index] = dict(self._sources[index].position)
+
+    def poll(self, max_records: int) -> "list[Event]":
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        merged: "list[Event]" = []
+        while len(merged) < max_records:
+            for index in range(len(self._sources)):
+                self._refill(index)
+            best: int | None = None
+            for index, head in enumerate(self._heads):
+                if head is None:
+                    continue
+                if best is None or head.time < self._heads[best].time:
+                    best = index
+            if best is None:
+                break  # every child is (currently) drained
+            head = self._heads[best]
+            assert head is not None and self._after[best] is not None
+            self._watermark = head.time
+            self._committed[best] = self._after[best]
+            self._heads[best] = None
+            self._after[best] = None
+            merged.append(head)
+        return merged
+
+    def close(self) -> None:
+        for child in self._sources:
+            child.close()
+
+
+# ----------------------------------------------------------------------
 # Source resolution + export helper
 
 

@@ -54,9 +54,14 @@ class TraceStats:
     per_task_events: dict[str, int]
     per_requester_events: dict[str, int]
     violation_adjacent: dict[str, int]
+    #: Pipelined-ingest backpressure watermark at snapshot time —
+    #: ``{"batches": n, "events": m}`` appended but not yet audited.
+    #: ``None`` outside a pipelined ingest (including plain
+    #: ``trace stats`` over a saved log).
+    audit_lag: dict | None = None
 
     def as_dict(self) -> dict:
-        return {
+        document = {
             "backend": self.backend,
             "events": self.events,
             "end_time": self.end_time,
@@ -66,6 +71,9 @@ class TraceStats:
             "per_requester_events": dict(self.per_requester_events),
             "violation_adjacent": dict(self.violation_adjacent),
         }
+        if self.audit_lag is not None:
+            document["audit_lag"] = dict(self.audit_lag)
+        return document
 
     def summary_lines(self) -> list[str]:
         def top(counts: dict[str, int], n: int = 5) -> str:
@@ -84,16 +92,28 @@ class TraceStats:
                 for name, count in self.violation_adjacent.items()
             ),
         ]
+        if self.audit_lag is not None:
+            lines.append(
+                f"audit lag: {self.audit_lag.get('batches', 0)} "
+                f"batch(es) ({self.audit_lag.get('events', 0)} "
+                "event(s)) behind the append stage"
+            )
         return lines
 
 
-def trace_stats(source: "PlatformTrace | TraceStore") -> TraceStats:
+def trace_stats(
+    source: "PlatformTrace | TraceStore",
+    *,
+    audit_lag: dict | None = None,
+) -> TraceStats:
     """Per-kind, per-entity, and violation-adjacent counters.
 
     The violation-adjacent counters are the cheap log-level signals the
     axioms formalise: silent rejections (Axiom 6 opacity), involuntary
     interruptions (Axiom 5 evidence), malice flags (Axiom 4's detector
-    output), and task cancellations.
+    output), and task cancellations.  ``audit_lag`` attaches the
+    pipelined-ingest backpressure watermark to the snapshot (see
+    :mod:`repro.ingest.pipeline`).
     """
     store = _resolve_store(source)
     everything = TraceQuery()
@@ -121,4 +141,5 @@ def trace_stats(source: "PlatformTrace | TraceStore") -> TraceStats:
             "malice_flags": everything.of_kind(MaliceFlagged).count(store),
             "task_cancellations": everything.of_kind(TaskCancelled).count(store),
         },
+        audit_lag=None if audit_lag is None else dict(audit_lag),
     )

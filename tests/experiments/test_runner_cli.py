@@ -584,3 +584,171 @@ class TestAuditJobsCli:
         assert main(["E6", "--audit-jobs", "4"]) == 0
         err = capsys.readouterr().err
         assert "--audit-jobs" in err and "ignoring" in err
+
+
+class TestPipelineTailCli:
+    """--pipeline / multi-SRC merge on trace tail and trace resume."""
+
+    @pytest.fixture()
+    def export_log(self, tmp_path, capsys):
+        path = tmp_path / "export-log"
+        assert main(
+            ["trace", "save", str(path), "--scenario", "unequal_pay",
+             "--segment-events", "10"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture()
+    def split_exports(self, tmp_path):
+        """The clean scenario cut into two JSONL exports, alternating
+        whole same-timestamp groups so the merge never has to break a
+        registration-before-use tie across sources."""
+        from itertools import groupby
+
+        from repro.ingest import export_jsonl
+        from repro.workloads.scenarios import clean_scenario
+
+        events = list(clean_scenario().trace)
+        halves = ([], [])
+        for i, (_, group) in enumerate(
+            groupby(events, key=lambda event: event.time)
+        ):
+            halves[i % 2].extend(group)
+        assert halves[0] and halves[1]
+        paths = (tmp_path / "even.jsonl", tmp_path / "odd.jsonl")
+        for path, half in zip(paths, halves):
+            export_jsonl(half, path)
+        return [str(path) for path in paths], len(events)
+
+    def _tail(self, *argv):
+        return main(["trace", "tail", *argv, "--interval", "0"])
+
+    def _resume(self, *argv):
+        return main(["trace", "resume", *argv, "--interval", "0"])
+
+    def test_pipelined_tail_text_reports_lag_watermark(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--pipeline", "--audit",
+            "--until-idle", "1", "--batch-events", "20",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped on idle" in out
+        assert "peak audit lag:" in out
+        assert (tmp_path / "live.db.checkpoint").exists()
+        assert main(["trace", "query", str(dest), "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "46"
+
+    def test_pipelined_tail_json_summary(self, export_log, tmp_path, capsys):
+        import json
+
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--pipeline",
+            "--pipeline-depth", "2", "--audit", "--until-idle", "1",
+            "--format", "json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 46
+        assert payload["pipelined"] is True
+        assert payload["max_audit_lag_batches"] >= 0
+        assert payload["max_audit_lag_events"] >= 0
+        assert payload["violations"] > 0
+
+    def test_sequential_tail_json_says_unpipelined(
+        self, export_log, tmp_path, capsys
+    ):
+        import json
+
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--audit", "--until-idle", "1",
+            "--format", "json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pipelined"] is False
+        assert payload["max_audit_lag_batches"] == 0
+        assert payload["max_audit_lag_events"] == 0
+
+    def test_pipelined_kill_resume_round_trip(
+        self, export_log, tmp_path, capsys
+    ):
+        import json
+
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--pipeline", "--audit",
+            "--max-batches", "1", "--batch-events", "17",
+        ) == 0
+        capsys.readouterr()
+        assert self._resume(
+            str(export_log), str(dest), "--pipeline", "--audit",
+            "--until-idle", "1", "--batch-events", "17",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 1" in out  # batch numbering continues
+        assert main(["trace", "info", str(dest), "--format", "json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["events"] == 46 and info["revision"] == 46
+
+    def test_merged_tail_interleaves_two_sources(
+        self, split_exports, tmp_path, capsys
+    ):
+        import json
+
+        paths, total = split_exports
+        dest = tmp_path / "merged.db"
+        assert self._tail(
+            *paths, str(dest), "--audit", "--until-idle", "1",
+            "--format", "json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == paths  # both named in the summary
+        assert payload["events"] == total
+        assert payload["violations"] == 0  # clean scenario stays clean
+
+    def test_merged_pipelined_kill_resume(
+        self, split_exports, tmp_path, capsys
+    ):
+        """The whole tentpole in one pass: merge two exports, pipeline
+        the tail, kill mid-stream, resume from the atomic per-source
+        checkpoint, and land the complete time-ordered trace."""
+        paths, total = split_exports
+        dest = tmp_path / "merged.db"
+        assert self._tail(
+            *paths, str(dest), "--pipeline", "--audit",
+            "--max-batches", "2", "--batch-events", "7",
+        ) == 0
+        capsys.readouterr()
+        assert self._resume(
+            *paths, str(dest), "--pipeline", "--audit",
+            "--until-idle", "1", "--batch-events", "7",
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "query", str(dest), "--count"]) == 0
+        assert capsys.readouterr().out.strip() == str(total)
+
+    def test_pipeline_depth_without_pipeline_is_noted(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--pipeline-depth", "8",
+            "--until-idle", "1",
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--pipeline-depth" in err and "ignoring" in err
+
+    def test_bad_pipeline_depth_leaves_no_stray_destination(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        assert self._tail(
+            str(export_log), str(dest), "--pipeline",
+            "--pipeline-depth", "0",
+        ) == 2
+        assert "pipeline_depth" in capsys.readouterr().err
+        assert not dest.exists()

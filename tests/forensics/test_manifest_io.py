@@ -1,0 +1,127 @@
+"""Unit tests for loss-manifest round-tripping (:func:`read_manifest`).
+
+The manifest is forensic evidence: reading one back must reproduce the
+:class:`LossManifest` the repair wrote exactly, and anything less than
+a complete, well-formed, version-matched document must be refused —
+a garbled loss accounting is worse than none.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.store import SQLiteTraceStore
+from repro.errors import ForensicsError
+from repro.forensics import read_manifest, repair_store
+from repro.workloads.scenarios import clean_scenario
+
+
+@pytest.fixture()
+def repaired(tmp_path):
+    """A real repair with real losses; returns its RepairResult."""
+    db = tmp_path / "damaged.db"
+    store = SQLiteTraceStore.create(db)
+    store.append_batch(list(clean_scenario().trace))
+    store.save()
+    store.close()
+    conn = sqlite3.connect(db)
+    conn.execute("UPDATE events SET payload='XX' WHERE seq=3")
+    conn.execute("DELETE FROM events WHERE seq=7")
+    conn.commit()
+    conn.close()
+    return repair_store(db, tmp_path / "salvaged.db")
+
+
+class TestRoundTrip:
+    def test_read_back_equals_what_repair_wrote(self, repaired):
+        assert read_manifest(repaired.manifest_path) == repaired.manifest
+
+    def test_lossless_round_trip(self, tmp_path):
+        db = tmp_path / "healthy.db"
+        store = SQLiteTraceStore.create(db)
+        store.append_batch(list(clean_scenario().trace))
+        store.save()
+        store.close()
+        result = repair_store(db, tmp_path / "copy.db")
+        manifest = read_manifest(result.manifest_path)
+        assert manifest == result.manifest
+        assert manifest.lossless
+        assert manifest.dropped == ()
+
+
+def _write(tmp_path, document):
+    path = tmp_path / "manifest.loss.json"
+    path.write_text(
+        document if isinstance(document, str) else json.dumps(document)
+    )
+    return path
+
+
+def _valid_document(repaired):
+    return json.loads(open(repaired.manifest_path).read())
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ForensicsError, match="no loss manifest"):
+            read_manifest(tmp_path / "absent.loss.json")
+
+    def test_not_json(self, tmp_path):
+        path = _write(tmp_path, "not json {")
+        with pytest.raises(ForensicsError, match="not JSON"):
+            read_manifest(path)
+
+    def test_not_an_object(self, tmp_path):
+        path = _write(tmp_path, [1, 2, 3])
+        with pytest.raises(ForensicsError, match="not a JSON object"):
+            read_manifest(path)
+
+    def test_wrong_version(self, tmp_path, repaired):
+        document = _valid_document(repaired)
+        document["format_version"] = 99
+        with pytest.raises(ForensicsError, match="version"):
+            read_manifest(_write(tmp_path, document))
+
+    @pytest.mark.parametrize(
+        "field",
+        ["source", "dest", "source_backend", "dest_backend",
+         "events_salvaged", "events_dropped", "dropped"],
+    )
+    def test_missing_required_field(self, tmp_path, repaired, field):
+        document = _valid_document(repaired)
+        del document[field]
+        with pytest.raises(ForensicsError, match="missing field"):
+            read_manifest(_write(tmp_path, document))
+
+    def test_malformed_scalar_types(self, tmp_path, repaired):
+        document = _valid_document(repaired)
+        document["events_salvaged"] = "many"
+        with pytest.raises(ForensicsError, match="malformed fields"):
+            read_manifest(_write(tmp_path, document))
+
+    def test_malformed_dropped_range(self, tmp_path, repaired):
+        document = _valid_document(repaired)
+        document["dropped"] = [{"start_seq": 1}]
+        with pytest.raises(ForensicsError, match="malformed dropped"):
+            read_manifest(_write(tmp_path, document))
+
+    def test_inverted_dropped_range(self, tmp_path, repaired):
+        document = _valid_document(repaired)
+        document["dropped"] = [
+            {"start_seq": 9, "end_seq": 3, "reason": "backwards"}
+        ]
+        document["events_dropped"] = 7
+        with pytest.raises(ForensicsError, match="malformed dropped"):
+            read_manifest(_write(tmp_path, document))
+
+    def test_dropped_count_must_match_ranges(self, tmp_path, repaired):
+        document = _valid_document(repaired)
+        document["events_dropped"] = (
+            sum(
+                entry["end_seq"] - entry["start_seq"] + 1
+                for entry in document["dropped"]
+            ) + 5
+        )
+        with pytest.raises(ForensicsError, match="dropped"):
+            read_manifest(_write(tmp_path, document))

@@ -1,0 +1,186 @@
+"""Unit tests for :class:`~repro.ingest.MergedSource`.
+
+The merge contract: always emit the head with the smallest
+``(event.time, child index)``, commit per-child positions plus the
+merge watermark as one atomic token, and fail loudly on late arrivals
+rather than break the destination's time-order invariant.
+"""
+
+import pytest
+
+from repro.core.events import DisclosureShown
+from repro.errors import IngestError
+from repro.ingest import JSONLExportSource, MergedSource, export_jsonl
+
+
+def _event(time, tag):
+    """A minimal, self-contained event with a recognisable payload."""
+    return DisclosureShown(
+        time=time, subject=f"requester:{tag}",
+        field_name="hourly_wage", value=6.0,
+    )
+
+
+def _export(tmp_path, name, events):
+    return export_jsonl(events, tmp_path / f"{name}.jsonl")
+
+
+def _merged(tmp_path, *streams):
+    paths = [
+        _export(tmp_path, f"s{i}", events)
+        for i, events in enumerate(streams)
+    ]
+    return MergedSource([JSONLExportSource(path) for path in paths])
+
+
+class TestMergeOrder:
+    def test_interleaves_by_event_time(self, tmp_path):
+        source = _merged(
+            tmp_path,
+            [_event(1, "a1"), _event(4, "a4"), _event(5, "a5")],
+            [_event(2, "b2"), _event(3, "b3"), _event(6, "b6")],
+        )
+        polled = source.poll(10)
+        assert [event.time for event in polled] == [1, 2, 3, 4, 5, 6]
+        assert [event.subject for event in polled] == [
+            "requester:a1", "requester:b2", "requester:b3",
+            "requester:a4", "requester:a5", "requester:b6",
+        ]
+
+    def test_ties_go_to_the_lowest_child_index(self, tmp_path):
+        source = _merged(
+            tmp_path,
+            [_event(5, "a-first")],
+            [_event(5, "b-second"), _event(5, "b-third")],
+        )
+        polled = source.poll(10)
+        assert [event.subject for event in polled] == [
+            "requester:a-first", "requester:b-second", "requester:b-third",
+        ]
+
+    def test_poll_respects_max_events(self, tmp_path):
+        source = _merged(
+            tmp_path,
+            [_event(1, "a"), _event(3, "c")],
+            [_event(2, "b")],
+        )
+        assert [e.time for e in source.poll(2)] == [1, 2]
+        assert [e.time for e in source.poll(2)] == [3]
+        assert source.poll(2) == []
+
+    def test_three_way_merge(self, tmp_path):
+        source = _merged(
+            tmp_path,
+            [_event(3, "a")],
+            [_event(1, "b")],
+            [_event(2, "c")],
+        )
+        assert [e.time for e in source.poll(10)] == [1, 2, 3]
+
+
+class TestConstruction:
+    def test_fewer_than_two_sources_is_refused(self, tmp_path):
+        path = _export(tmp_path, "solo", [_event(1, "x")])
+        with pytest.raises(IngestError, match="interleaves several"):
+            MergedSource([JSONLExportSource(path)])
+        with pytest.raises(IngestError, match="interleaves several"):
+            MergedSource([])
+
+    def test_describe_names_every_child(self, tmp_path):
+        source = _merged(tmp_path, [_event(1, "a")], [_event(2, "b")])
+        info = source.describe()
+        assert info["kind"] == "merged"
+        assert len(info["sources"]) == 2
+        assert all(child["kind"] == "jsonl" for child in info["sources"])
+
+    def test_close_closes_children(self, tmp_path):
+        source = _merged(tmp_path, [_event(1, "a")], [_event(2, "b")])
+        closed = []
+        for i, child in enumerate(source.sources):
+            original = child.close
+            child.close = (lambda orig=original, i=i: (closed.append(i),
+                                                      orig())[-1])
+        source.close()
+        assert closed == [0, 1]
+
+
+class TestCheckpointing:
+    def test_position_round_trips_through_seek(self, tmp_path):
+        streams = (
+            [_event(1, "a1"), _event(4, "a4"), _event(6, "a6")],
+            [_event(2, "b2"), _event(3, "b3"), _event(5, "b5")],
+        )
+        source = _merged(tmp_path, *streams)
+        first = source.poll(3)
+        token = dict(source.position)
+
+        fresh = _merged(tmp_path, *streams)
+        fresh.seek(token)
+        rest = fresh.poll(10)
+        assert [e.time for e in first] == [1, 2, 3]
+        assert [e.time for e in rest] == [4, 5, 6]
+
+    def test_initial_position_restarts_from_scratch(self, tmp_path):
+        streams = ([_event(1, "a")], [_event(2, "b")])
+        source = _merged(tmp_path, *streams)
+        start = dict(source.position)
+        source.poll(10)
+        source.seek(start)
+        assert [e.time for e in source.poll(10)] == [1, 2]
+
+    def test_seek_rejects_malformed_tokens(self, tmp_path):
+        source = _merged(tmp_path, [_event(1, "a")], [_event(2, "b")])
+        child_token = dict(source.position)["sources"][0]
+        with pytest.raises(IngestError):
+            source.seek({"sources": [child_token]})  # wrong arity
+        with pytest.raises(IngestError):
+            source.seek({"sources": "nope"})
+        with pytest.raises(IngestError):
+            source.seek({
+                "sources": [child_token, child_token],
+                "watermark": "later",
+            })
+
+    def test_position_is_exact_mid_tie(self, tmp_path):
+        """Resuming between two same-time events must not duplicate or
+        drop either side of the tie."""
+        streams = (
+            [_event(5, "a1"), _event(7, "a2")],
+            [_event(5, "b1"), _event(7, "b2")],
+        )
+        reference = _merged(tmp_path, *streams).poll(10)
+        for cut in range(1, 4):
+            source = _merged(tmp_path, *streams)
+            head = source.poll(cut)
+            resumed = _merged(tmp_path, *streams)
+            resumed.seek(dict(source.position))
+            tail = resumed.poll(10)
+            combined = head + tail
+            assert [e.subject for e in combined] == [
+                e.subject for e in reference
+            ], f"cut at {cut} broke the merge"
+
+
+class TestLateArrivals:
+    def test_event_behind_the_watermark_is_refused(self, tmp_path):
+        a = _export(tmp_path, "a", [_event(10, "a10")])
+        b = _export(tmp_path, "b", [])
+        source = MergedSource(
+            [JSONLExportSource(a), JSONLExportSource(b)]
+        )
+        assert [e.time for e in source.poll(5)] == [10]
+        # The second export produces an event from before the merge
+        # watermark — a late arrival the merge must not reorder past.
+        export_jsonl([_event(4, "late")], b, append=True)
+        with pytest.raises(IngestError, match="late"):
+            source.poll(5)
+
+    def test_same_time_as_watermark_is_fine(self, tmp_path):
+        a = _export(tmp_path, "a", [_event(10, "a10")])
+        b = _export(tmp_path, "b", [])
+        source = MergedSource(
+            [JSONLExportSource(a), JSONLExportSource(b)]
+        )
+        source.poll(5)
+        export_jsonl([_event(10, "b10")], b, append=True)
+        assert [e.subject for e in source.poll(5)] == ["requester:b10"]

@@ -1,0 +1,307 @@
+"""Unit tests for the staged ingest pipeline.
+
+Equivalence with the sequential runner is pinned exhaustively in
+``tests/property/test_property_pipeline.py``; this module covers the
+pipeline-specific machinery — option validation, the backpressure /
+audit-lag watermark, stats plumbing, checkpoint metadata, and error
+propagation out of the stage threads.
+"""
+
+import time
+
+import pytest
+
+from repro.core.trace import PlatformTrace
+from repro.core.store import SQLiteTraceStore
+from repro.errors import IngestError
+from repro.ingest import (
+    IngestRunner,
+    JSONLExportSource,
+    PipelinedIngestRunner,
+    export_jsonl,
+    read_checkpoint,
+    validate_pipeline_options,
+)
+from repro.workloads.scenarios import clean_scenario, unequal_pay_scenario
+
+
+@pytest.fixture(scope="module")
+def events():
+    return list(clean_scenario().trace)
+
+
+@pytest.fixture()
+def export(tmp_path, events):
+    return export_jsonl(events, tmp_path / "export.jsonl")
+
+
+def _pipelined(export, store, **kwargs):
+    return PipelinedIngestRunner(JSONLExportSource(export), store, **kwargs)
+
+
+class SlowSession:
+    """Wraps a real audit session; every audit takes ``delay`` seconds."""
+
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.delay = delay
+        self.audits = 0
+
+    def audit(self, trace):
+        time.sleep(self.delay)
+        self.audits += 1
+        return self.inner.audit(trace)
+
+    def close(self):
+        close = getattr(self.inner, "close", None)
+        if callable(close):
+            close()
+
+
+class ExplodingSession:
+    def __init__(self, inner, after):
+        self.inner = inner
+        self.remaining = after
+
+    def audit(self, trace):
+        if self.remaining <= 0:
+            raise RuntimeError("audit stage blew up")
+        self.remaining -= 1
+        return self.inner.audit(trace)
+
+
+class TestOptions:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(IngestError, match="pipeline_depth"):
+            validate_pipeline_options(0)
+        with pytest.raises(IngestError, match="pipeline_depth"):
+            validate_pipeline_options(-3)
+        validate_pipeline_options(1)
+
+    def test_constructor_validates_depth(self, export):
+        with pytest.raises(IngestError, match="pipeline_depth"):
+            _pipelined(export, PlatformTrace(), pipeline_depth=0)
+
+    def test_no_single_step_mode(self, export):
+        runner = _pipelined(export, PlatformTrace())
+        try:
+            with pytest.raises(IngestError, match="step"):
+                runner.step()
+        finally:
+            runner.close()
+
+    def test_depth_property(self, export):
+        runner = _pipelined(export, PlatformTrace(), pipeline_depth=7)
+        try:
+            assert runner.pipeline_depth == 7
+        finally:
+            runner.close()
+
+
+class TestEquivalenceSmoke:
+    """One quick end-to-end parity check; the heavy differential suite
+    lives in tests/property/test_property_pipeline.py."""
+
+    def test_matches_sequential_summary_and_report(self, tmp_path):
+        events = list(unequal_pay_scenario().trace)
+        export = export_jsonl(events, tmp_path / "e.jsonl")
+        sequential = IngestRunner(
+            JSONLExportSource(export), PlatformTrace(),
+            batch_events=25, audit=True,
+        )
+        seq = sequential.run(idle_limit=1)
+        pipelined = _pipelined(
+            export, PlatformTrace(), batch_events=25, audit=True,
+        )
+        try:
+            pipe = pipelined.run(idle_limit=1)
+        finally:
+            pipelined.close()
+        assert pipe.events == seq.events
+        assert pipe.batches == seq.batches
+        assert pipe.store_revision == seq.store_revision
+        assert pipe.report == seq.report
+        assert list(pipelined.trace) == events
+
+    def test_batches_arrive_in_order(self, export, events):
+        runner = _pipelined(export, PlatformTrace(), batch_events=20,
+                            audit=True)
+        indexes = []
+        try:
+            runner.run(idle_limit=1,
+                       on_batch=lambda b: indexes.append(b.index))
+        finally:
+            runner.close()
+        assert indexes == list(range(len(indexes)))
+        assert indexes, "no batches delivered"
+
+
+class TestAuditLagWatermark:
+    def test_sequential_runner_reports_zero_lag(self, export):
+        runner = IngestRunner(
+            JSONLExportSource(export), PlatformTrace(),
+            batch_events=20, audit=True,
+        )
+        summary = runner.run(idle_limit=1)
+        assert summary.max_audit_lag_batches == 0
+        assert summary.max_audit_lag_events == 0
+
+    def test_slow_audits_build_bounded_backlog(self, export, events):
+        depth = 2
+        runner = _pipelined(
+            export, PlatformTrace(), batch_events=10, audit=True,
+            pipeline_depth=depth,
+        )
+        runner._session = SlowSession(runner._session, delay=0.05)
+        try:
+            summary = runner.run(idle_limit=1)
+        finally:
+            runner.close()
+        # Backpressure: the poller throttles once the stage queues
+        # fill, so the peak backlog is bounded by what the queues plus
+        # the group in flight can hold — it must lag (the auditor is
+        # slow) but never run away.
+        assert summary.max_audit_lag_batches >= 1
+        assert summary.max_audit_lag_batches <= 2 * depth + 2
+        assert summary.max_audit_lag_events <= (2 * depth + 2) * 10
+        assert summary.events == len(events)
+
+    def test_lag_reaches_stats_snapshots(self, export):
+        runner = _pipelined(
+            export, PlatformTrace(), batch_events=10, audit=True,
+            stats_cadence=1,
+        )
+        runner._session = SlowSession(runner._session, delay=0.03)
+        snapshots = []
+        try:
+            runner.run(
+                idle_limit=1,
+                on_batch=lambda b: snapshots.append(b.stats),
+            )
+        finally:
+            runner.close()
+        lags = [s.audit_lag for s in snapshots if s is not None]
+        assert lags, "stats_cadence=1 produced no snapshots"
+        assert all(
+            set(lag) == {"batches", "events"} for lag in lags
+        )
+        assert any(lag["batches"] >= 1 for lag in lags)
+        # The lag line renders only when the watermark is attached.
+        lagging = next(
+            s for s in snapshots
+            if s is not None and s.audit_lag["batches"] >= 1
+        )
+        assert any(
+            "audit lag:" in line for line in lagging.summary_lines()
+        )
+        assert lagging.as_dict()["audit_lag"] == lagging.audit_lag
+
+    def test_sequential_stats_carry_no_lag(self, export):
+        runner = IngestRunner(
+            JSONLExportSource(export), PlatformTrace(),
+            batch_events=10, audit=True, stats_cadence=1,
+        )
+        snapshots = []
+        runner.run(
+            idle_limit=1, on_batch=lambda b: snapshots.append(b.stats)
+        )
+        assert all(
+            s.audit_lag is None for s in snapshots if s is not None
+        )
+
+
+class TestCheckpointing:
+    def test_checkpoints_are_marked_pipelined(self, tmp_path, export):
+        ckpt = str(tmp_path / "dest.ckpt")
+        runner = _pipelined(
+            export, PlatformTrace(), checkpoint_path=ckpt,
+            batch_events=25,
+        )
+        try:
+            runner.run(idle_limit=1)
+        finally:
+            runner.close()
+        assert read_checkpoint(ckpt).metadata.get("pipelined") is True
+
+    def test_resume_continues_after_kill(self, tmp_path, events):
+        export = export_jsonl(events, tmp_path / "e.jsonl")
+        dest = str(tmp_path / "dest.db")
+        ckpt = dest + ".ckpt"
+        store = SQLiteTraceStore.create(dest)
+        runner = _pipelined(
+            export, store, checkpoint_path=ckpt, batch_events=20,
+            audit=True,
+        )
+        try:
+            runner.run(max_batches=2)
+        finally:
+            runner.close()
+            store.close()
+        reopened = SQLiteTraceStore.open(dest)
+        resumed = PipelinedIngestRunner.resume(
+            JSONLExportSource(export), reopened, ckpt,
+            batch_events=20, audit=True,
+        )
+        try:
+            summary = resumed.run(idle_limit=1)
+        finally:
+            resumed.close()
+        assert list(reopened.events) == events
+        assert summary.report is not None
+        reopened.close()
+
+
+class TestErrorPropagation:
+    def test_audit_stage_error_reaches_the_caller(self, export):
+        runner = _pipelined(
+            export, PlatformTrace(), batch_events=10, audit=True,
+        )
+        runner._session = ExplodingSession(runner._session, after=2)
+        try:
+            with pytest.raises(RuntimeError, match="blew up"):
+                runner.run(idle_limit=1)
+        finally:
+            runner.close()
+
+    def test_poll_stage_error_reaches_the_caller(self, tmp_path, events):
+        export = export_jsonl(events, tmp_path / "e.jsonl")
+        source = JSONLExportSource(export)
+        original = source.poll
+        calls = {"n": 0}
+
+        def poisoned(max_events):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise OSError("export vanished")
+            return original(max_events)
+
+        source.poll = poisoned
+        runner = PipelinedIngestRunner(
+            source, PlatformTrace(), batch_events=10,
+        )
+        try:
+            with pytest.raises(OSError, match="vanished"):
+                runner.run(idle_limit=1)
+        finally:
+            runner.close()
+
+    def test_threads_are_reaped_after_failure(self, export):
+        import threading
+
+        before = {t.name for t in threading.enumerate()}
+        runner = _pipelined(
+            export, PlatformTrace(), batch_events=10, audit=True,
+        )
+        runner._session = ExplodingSession(runner._session, after=0)
+        try:
+            with pytest.raises(RuntimeError):
+                runner.run(idle_limit=1)
+        finally:
+            runner.close()
+        time.sleep(0.1)
+        lingering = {
+            t.name for t in threading.enumerate()
+        } - before
+        assert not {
+            name for name in lingering if name.startswith("ingest-")
+        }

@@ -418,3 +418,78 @@ class TestShardedAuditJobs:
             _runner(export, PlatformTrace(), audit_jobs=0)
         runner = _runner(export, PlatformTrace())
         runner.close()  # no audit session: still a safe no-op
+
+
+class TestResumeVerify:
+    """resume(verify=True): deep-verify the destination before any
+    new event lands on top of it (CLI coverage lives in
+    tests/forensics/test_cli_forensics.py)."""
+
+    def _tail_two_batches(self, tmp_path, export):
+        dest = str(tmp_path / "dest.db")
+        ckpt = dest + ".ckpt"
+        store = SQLiteTraceStore.create(dest)
+        runner = IngestRunner(
+            JSONLExportSource(export), store, checkpoint_path=ckpt,
+            batch_events=40,
+        )
+        runner.run(max_batches=2)
+        store.close()
+        return dest, ckpt
+
+    def test_healthy_destination_resumes(self, tmp_path, export, events):
+        dest, ckpt = self._tail_two_batches(tmp_path, export)
+        store = SQLiteTraceStore.open(dest)
+        resumed = IngestRunner.resume(
+            JSONLExportSource(export), store, ckpt,
+            batch_events=40, verify=True,
+        )
+        summary = resumed.run(idle_limit=1)
+        assert list(store) == events
+        assert summary.stopped_on == "idle"
+        store.close()
+
+    def test_damaged_destination_is_refused(self, tmp_path, export):
+        import sqlite3
+
+        dest, ckpt = self._tail_two_batches(tmp_path, export)
+        # Quietly lose entity-index rows: every payload still decodes,
+        # so the store opens fine — only the deep sweep notices.
+        conn = sqlite3.connect(dest)
+        conn.execute(
+            "DELETE FROM event_entities WHERE seq = "
+            "(SELECT MIN(seq) FROM event_entities)"
+        )
+        conn.commit()
+        conn.close()
+        store = SQLiteTraceStore.open(dest)
+        try:
+            with pytest.raises(IngestError, match="DAMAGED"):
+                IngestRunner.resume(
+                    JSONLExportSource(export), store, ckpt,
+                    batch_events=40, verify=True,
+                )
+        finally:
+            store.close()
+        # Without verify the corruption is invisible at resume time —
+        # exactly the hole verify=True closes.
+        reopened = SQLiteTraceStore.open(dest)
+        IngestRunner.resume(
+            JSONLExportSource(export), reopened, ckpt, batch_events=40
+        )
+        reopened.close()
+
+    def test_memory_destination_has_nothing_to_sweep(
+        self, tmp_path, export
+    ):
+        ckpt = str(tmp_path / "dest.ckpt")
+        store = PlatformTrace()
+        IngestRunner(
+            JSONLExportSource(export), store, checkpoint_path=ckpt,
+            batch_events=40,
+        ).run(max_batches=1)
+        with pytest.raises(IngestError, match="on-disk"):
+            IngestRunner.resume(
+                JSONLExportSource(export), store, ckpt,
+                batch_events=40, verify=True,
+            )

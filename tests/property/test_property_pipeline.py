@@ -1,0 +1,442 @@
+"""Differential tests for the staged ingest pipeline.
+
+Three contracts, mirroring the acceptance criteria of the pipeline PR:
+
+* **Batch-boundary equivalence.**  A pipelined runner with coalescing
+  disabled must deliver, at every batch boundary, exactly what the
+  sequential runner delivers — same indexes, revisions, positions,
+  verdicts, new-violation deltas, and stats (modulo the audit-lag
+  watermark, which only the pipeline carries) — over all 12 labelled
+  scenarios and both on-disk formats, with byte-identical destination
+  stores.
+
+* **Kill/resume equivalence.**  Killing a pipelined ingest at any
+  batch count (including between append and checkpoint) and resuming —
+  pipelined or sequential, in either direction — must converge on a
+  destination byte-identical to an uninterrupted sequential ingest.
+
+* **Merge determinism.**  Ingesting N exports through
+  :class:`~repro.ingest.MergedSource` yields a time-sorted stream that
+  preserves every export's internal order and is bit-for-bit invariant
+  under batch size, kill/resume, and sequential-vs-pipelined drivers.
+"""
+
+import dataclasses
+import os
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.store import PersistentTraceStore, SQLiteTraceStore
+from repro.core.trace import PlatformTrace
+from repro.ingest import (
+    IngestRunner,
+    JSONLExportSource,
+    MergedSource,
+    PipelinedIngestRunner,
+    checkpoint_path_for,
+    export_jsonl,
+    read_checkpoint,
+)
+from repro.workloads.scenarios import all_scenarios
+
+
+def _scenarios_by_name(seed=0):
+    return {scenario.name: scenario for scenario in all_scenarios(seed)}
+
+
+_SCENARIO_NAMES = sorted(_scenarios_by_name())
+
+
+def _make_store(dest, backend):
+    return (
+        SQLiteTraceStore.create(dest)
+        if backend == "sqlite"
+        else PersistentTraceStore.create(dest)
+    )
+
+
+def _reopen(dest, backend):
+    return (
+        SQLiteTraceStore.open(dest)
+        if backend == "sqlite"
+        else PersistentTraceStore.open(dest)
+    )
+
+
+def _fingerprint(path):
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        return {
+            name: open(os.path.join(path, name), "rb").read()
+            for name in sorted(os.listdir(path))
+        }
+    with sqlite3.connect(path) as conn:
+        return "\n".join(conn.iterdump())
+
+
+def _normalise_stats(stats):
+    return (
+        None if stats is None
+        else dataclasses.replace(stats, audit_lag=None)
+    )
+
+
+def _batch_key(batch):
+    return (
+        batch.index, batch.events, batch.store_revision,
+        batch.source_position, batch.report, batch.new_violations,
+        _normalise_stats(batch.stats),
+    )
+
+
+def _collecting_run(runner, collected):
+    try:
+        return runner.run(
+            idle_limit=1, on_batch=lambda batch: collected.append(batch)
+        )
+    finally:
+        runner.close()
+
+
+# ----------------------------------------------------------------------
+# Batch-boundary equivalence: pipelined (uncoalesced) == sequential.
+
+
+def assert_pipelined_equals_sequential(
+    events, tmp_path, backend, batch_events
+):
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+    suffix = ".db" if backend == "sqlite" else ""
+
+    seq_dest = tmp_path / f"seq{suffix}"
+    seq_store = _make_store(seq_dest, backend)
+    seq_batches = []
+    seq_summary = _collecting_run(
+        IngestRunner(
+            JSONLExportSource(export), seq_store,
+            batch_events=batch_events, audit=True, stats_cadence=2,
+        ),
+        seq_batches,
+    )
+    seq_store.close()
+
+    pipe_dest = tmp_path / f"pipe{suffix}"
+    pipe_store = _make_store(pipe_dest, backend)
+    pipe_batches = []
+    pipe_summary = _collecting_run(
+        PipelinedIngestRunner(
+            JSONLExportSource(export), pipe_store,
+            batch_events=batch_events, audit=True, stats_cadence=2,
+            pipeline_depth=3, coalesce_audits=False,
+        ),
+        pipe_batches,
+    )
+    pipe_store.close()
+
+    assert [_batch_key(b) for b in pipe_batches] == [
+        _batch_key(b) for b in seq_batches
+    ], "pipelined batch stream diverged from sequential"
+    assert dataclasses.replace(
+        pipe_summary, max_audit_lag_batches=0, max_audit_lag_events=0
+    ) == seq_summary
+    assert _fingerprint(pipe_dest) == _fingerprint(seq_dest)
+
+
+@pytest.mark.parametrize("backend", ["persistent", "sqlite"])
+@pytest.mark.parametrize("name", _SCENARIO_NAMES)
+def test_pipelined_batches_equal_sequential(name, backend, tmp_path):
+    events = list(_scenarios_by_name()[name].trace)
+    assert_pipelined_equals_sequential(
+        events, tmp_path, backend, batch_events=25
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    backend=st.sampled_from(["persistent", "sqlite"]),
+    batch_events=st.integers(min_value=1, max_value=64),
+)
+def test_pipelined_equivalence_over_random_batch_sizes(
+    name, backend, batch_events, tmp_path_factory
+):
+    events = list(_scenarios_by_name()[name].trace)
+    tmp_path = tmp_path_factory.mktemp("pipe-diff")
+    assert_pipelined_equals_sequential(
+        events, tmp_path, backend, batch_events=batch_events
+    )
+
+
+def test_coalesced_final_verdict_equals_sequential(tmp_path):
+    """With coalescing ON intermediate boundaries may be skipped, but
+    the final report and the stored bytes must still match."""
+    events = list(_scenarios_by_name()["unequal_pay"].trace)
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+
+    seq_store = SQLiteTraceStore.create(tmp_path / "seq.db")
+    seq = IngestRunner(
+        JSONLExportSource(export), seq_store, batch_events=10, audit=True
+    ).run(idle_limit=1)
+    seq_store.close()
+
+    pipe_store = SQLiteTraceStore.create(tmp_path / "pipe.db")
+    runner = PipelinedIngestRunner(
+        JSONLExportSource(export), pipe_store, batch_events=10,
+        audit=True, pipeline_depth=4,
+    )
+    try:
+        pipe = runner.run(idle_limit=1)
+    finally:
+        runner.close()
+    pipe_store.close()
+
+    assert pipe.report == seq.report
+    assert _fingerprint(tmp_path / "pipe.db") == _fingerprint(
+        tmp_path / "seq.db"
+    )
+
+
+# ----------------------------------------------------------------------
+# Kill/resume equivalence, including cross-mode resumes.
+
+
+_RUNNERS = {
+    "sequential": IngestRunner,
+    "pipelined": PipelinedIngestRunner,
+}
+
+
+def assert_pipelined_kill_resume_identical(
+    events, tmp_path, backend, batch_events, kill_after_batches,
+    orphan_events=0, killed_mode="pipelined", resumed_mode="pipelined",
+):
+    export = export_jsonl(events, tmp_path / "export.jsonl")
+    suffix = ".db" if backend == "sqlite" else ""
+
+    baseline = tmp_path / f"uninterrupted{suffix}"
+    store = _make_store(baseline, backend)
+    IngestRunner(
+        JSONLExportSource(export), store, batch_events=batch_events
+    ).run(idle_limit=1)
+    store.close()
+
+    killed = tmp_path / f"killed{suffix}"
+    checkpoint = checkpoint_path_for(killed)
+    store = _make_store(killed, backend)
+    runner = _RUNNERS[killed_mode](
+        JSONLExportSource(export), store,
+        checkpoint_path=checkpoint, batch_events=batch_events,
+    )
+    try:
+        runner.run(max_batches=kill_after_batches, idle_limit=1)
+    finally:
+        runner.close()
+    if orphan_events:
+        orphan = JSONLExportSource(export)
+        orphan.seek(read_checkpoint(checkpoint).source_position)
+        polled = orphan.poll(orphan_events)
+        if polled:
+            store.append_batch(polled)
+            save = getattr(store, "save", None)
+            if callable(save):
+                save()
+    store.close()
+
+    reopened = _reopen(killed, backend)
+    resumed = _RUNNERS[resumed_mode].resume(
+        JSONLExportSource(export), reopened, checkpoint,
+        batch_events=batch_events,
+    )
+    try:
+        resumed.run(idle_limit=1)
+    finally:
+        resumed.close()
+    reopened.close()
+
+    assert _fingerprint(killed) == _fingerprint(baseline), (
+        f"{killed_mode} kill after {kill_after_batches} batches "
+        f"(+{orphan_events} orphans) resumed {resumed_mode} diverged "
+        f"from the uninterrupted ingest on the {backend} backend"
+    )
+    final = _reopen(killed, backend)
+    assert list(final.events) == events
+    final.close()
+
+
+@pytest.mark.parametrize("backend", ["persistent", "sqlite"])
+@pytest.mark.parametrize("kill_after", [1, 2, 3])
+def test_pipelined_kill_resume_is_byte_identical(
+    backend, kill_after, tmp_path
+):
+    events = list(_scenarios_by_name()["clean"].trace)
+    assert_pipelined_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=30, kill_after_batches=kill_after,
+    )
+
+
+@pytest.mark.parametrize("backend", ["persistent", "sqlite"])
+def test_pipelined_kill_with_orphan_append(backend, tmp_path):
+    events = list(_scenarios_by_name()["clean"].trace)
+    assert_pipelined_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=30, kill_after_batches=2, orphan_events=17,
+    )
+
+
+@pytest.mark.parametrize(
+    "killed_mode, resumed_mode",
+    [("pipelined", "sequential"), ("sequential", "pipelined")],
+)
+def test_cross_mode_resume_is_byte_identical(
+    killed_mode, resumed_mode, tmp_path
+):
+    """A checkpoint written by either runner is resumable by the other."""
+    events = list(_scenarios_by_name()["clean"].trace)
+    assert_pipelined_kill_resume_identical(
+        events, tmp_path, "sqlite",
+        batch_events=30, kill_after_batches=2,
+        killed_mode=killed_mode, resumed_mode=resumed_mode,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    backend=st.sampled_from(["persistent", "sqlite"]),
+    batch_events=st.integers(min_value=5, max_value=70),
+    kill_after=st.integers(min_value=1, max_value=4),
+    orphan=st.integers(min_value=0, max_value=20),
+    resumed_mode=st.sampled_from(["pipelined", "sequential"]),
+)
+def test_pipelined_kill_resume_over_random_splits(
+    name, backend, batch_events, kill_after, orphan, resumed_mode,
+    tmp_path_factory,
+):
+    events = list(_scenarios_by_name()[name].trace)
+    tmp_path = tmp_path_factory.mktemp("pipe-kill")
+    assert_pipelined_kill_resume_identical(
+        events, tmp_path, backend,
+        batch_events=batch_events, kill_after_batches=kill_after,
+        orphan_events=orphan, resumed_mode=resumed_mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# Merge determinism under randomised interleavings.
+
+
+def _split_exports(events, assignment, n_sources, tmp_path):
+    """Scatter ``events`` over ``n_sources`` JSONL exports, preserving
+    relative order (each export stays time-sorted because the original
+    stream is)."""
+    streams = [[] for _ in range(n_sources)]
+    for event, pick in zip(events, assignment):
+        streams[pick % n_sources].append(event)
+    return [
+        export_jsonl(stream, tmp_path / f"part-{i}.jsonl")
+        for i, stream in enumerate(streams)
+    ]
+
+
+def _merged_ingest(
+    paths, batch_events, pipelined=False, kill_after=None
+):
+    """Ingest the merge into memory; returns the stored event list."""
+    def make_source():
+        return MergedSource(
+            [JSONLExportSource(path) for path in paths]
+        )
+
+    trace = PlatformTrace()
+    if kill_after is not None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            checkpoint = os.path.join(scratch, "merge.ckpt")
+            runner = IngestRunner(
+                make_source(), trace, checkpoint_path=checkpoint,
+                batch_events=batch_events,
+            )
+            runner.run(max_batches=kill_after, idle_limit=1)
+            resumed = IngestRunner.resume(
+                make_source(), trace, checkpoint,
+                batch_events=batch_events,
+            )
+            resumed.run(idle_limit=1)
+            return list(trace)
+    runner_cls = PipelinedIngestRunner if pipelined else IngestRunner
+    runner = runner_cls(make_source(), trace, batch_events=batch_events)
+    try:
+        runner.run(idle_limit=1)
+    finally:
+        runner.close()
+    return list(trace)
+
+
+def _is_subsequence(needle, haystack):
+    position = iter(haystack)
+    return all(item in position for item in needle)
+
+
+def _assert_valid_merge(result, events, assignment, n_sources):
+    from collections import Counter
+
+    from repro.core.serialize import event_to_dict
+
+    assert all(
+        result[i].time <= result[i + 1].time
+        for i in range(len(result) - 1)
+    ), "merged stream is not time-sorted"
+    # Same multiset of events (duplicates included), and each source's
+    # internal order preserved as a subsequence of the merge.
+    serialised = [repr(event_to_dict(event)) for event in result]
+    original = [repr(event_to_dict(event)) for event in events]
+    assert Counter(serialised) == Counter(original)
+    for source_index in range(n_sources):
+        expected = [
+            line for line, pick in zip(original, assignment)
+            if pick % n_sources == source_index
+        ]
+        assert _is_subsequence(expected, serialised), (
+            f"source {source_index}'s internal order was not preserved"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(_SCENARIO_NAMES),
+    n_sources=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+    batch_a=st.integers(min_value=1, max_value=40),
+    batch_b=st.integers(min_value=1, max_value=40),
+    kill_after=st.integers(min_value=1, max_value=3),
+)
+def test_merged_ingest_is_deterministic(
+    name, n_sources, data, batch_a, batch_b, kill_after,
+    tmp_path_factory,
+):
+    events = list(_scenarios_by_name()[name].trace)
+    assignment = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_sources - 1),
+            min_size=len(events), max_size=len(events),
+        )
+    )
+    tmp_path = tmp_path_factory.mktemp("merge")
+    paths = _split_exports(events, assignment, n_sources, tmp_path)
+
+    reference = _merged_ingest(paths, batch_events=batch_a)
+    _assert_valid_merge(reference, events, assignment, n_sources)
+
+    assert _merged_ingest(paths, batch_events=batch_b) == reference, (
+        "merge order changed with the batch size"
+    )
+    assert _merged_ingest(
+        paths, batch_events=batch_a, pipelined=True
+    ) == reference, "pipelined merge diverged from sequential"
+    assert _merged_ingest(
+        paths, batch_events=batch_a, kill_after=kill_after
+    ) == reference, "kill/resume changed the merge order"
