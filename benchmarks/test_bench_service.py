@@ -1,0 +1,139 @@
+"""Audit-service concurrency: >= 100 tenant sessions on one box.
+
+The tentpole claim for the service layer is multi-tenancy, not raw
+single-stream speed: one `AuditService` must sustain append + delta
+audit + query traffic from at least 100 concurrent tenant sessions —
+each with its own store, its own audit session, and its own lock — on
+one box, with every tenant's verdict identical to a local batch audit
+of the same events.
+
+Each tenant thread drives the real HTTP stack (ThreadingHTTPServer +
+urllib `ServiceClient`, no shortcuts through `ServiceApp.dispatch`):
+create the tenant, stream one labelled scenario in batches with a
+delta audit per batch, then pull the latest verdict and a couple of
+queries.  The recorded number is aggregate appended-events/second
+across all tenants.
+
+Under ``--benchmark-disable`` (the CI smoke step) the same 100 tenants
+run a single batch+audit round each — concurrency and correctness are
+still exercised; wall-clock claims belong to timed runs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from conftest import record_bench
+
+from repro.core.audit import AuditEngine
+from repro.core.serialize import event_to_dict
+from repro.service import AuditService, ServiceClient
+from repro.service.wire import report_to_dict
+from repro.workloads.scenarios import all_scenarios
+
+#: The concurrency floor the ISSUE gates on.
+TENANTS = 100
+
+#: Events appended per HTTP batch in the timed run.
+BATCH_EVENTS = 16
+
+
+@pytest.fixture(scope="module")
+def scenario_records():
+    """The 12 labelled scenarios as (name, wire records, local verdict)."""
+    engine = AuditEngine()
+    prepared = []
+    for scenario in all_scenarios(0):
+        records = [event_to_dict(event) for event in scenario.trace]
+        verdict = report_to_dict(engine.audit(scenario.trace))
+        prepared.append((scenario.name, records, verdict))
+    assert len(prepared) == 12
+    return prepared
+
+
+def _drive_tenant(client, name, records, batch_events):
+    """One tenant session: create, stream batches, audit, query."""
+    client.create_tenant(name, backend="memory")
+    appended = 0
+    for start in range(0, len(records), batch_events):
+        batch = records[start:start + batch_events]
+        client.append(name, batch)
+        appended += len(batch)
+        client.run_audit(name)
+    count = client.query(name, count=True)["count"]
+    assert count == appended == len(records)
+    latest = client.latest_audit(name)
+    return appended, latest
+
+
+def _hammer(service, scenario_records, batch_events):
+    """All tenants concurrently; returns (events, elapsed, failures)."""
+    client = ServiceClient(service.url, timeout=120.0)
+    results: list[tuple] = [None] * TENANTS
+    failures: list[tuple] = []
+    barrier = threading.Barrier(TENANTS)
+
+    def session(index):
+        name, records, verdict = scenario_records[
+            index % len(scenario_records)
+        ]
+        try:
+            barrier.wait(timeout=60)
+            results[index] = (
+                verdict, _drive_tenant(
+                    client, f"tenant-{index:03d}-{name}", records,
+                    batch_events,
+                )
+            )
+        except Exception as error:  # noqa: BLE001 - collected and asserted
+            failures.append((index, repr(error)))
+
+    threads = [
+        threading.Thread(target=session, args=(i,), daemon=True)
+        for i in range(TENANTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    assert not failures, f"{len(failures)} tenant session(s) failed: " \
+                         f"{failures[:3]}"
+    total_events = 0
+    for verdict, (appended, latest) in results:
+        total_events += appended
+        assert latest == verdict, (
+            "service verdict diverged from the local batch audit"
+        )
+    return total_events, elapsed
+
+
+def test_service_sustains_100_concurrent_tenants(request, scenario_records):
+    """>= 100 tenant sessions, verdicts identical to local audits.
+
+    The recorded throughput is aggregate events/second across every
+    tenant's append+audit stream.  Under ``--benchmark-disable`` each
+    tenant sends its scenario as one batch (cheap, still concurrent);
+    the timed run streams real batch cadences.
+    """
+    disabled = request.config.getoption("benchmark_disable")
+    batch_events = 10_000 if disabled else BATCH_EVENTS
+    with AuditService(None, port=0) as service:
+        total_events, elapsed = _hammer(
+            service, scenario_records, batch_events
+        )
+        hosted = ServiceClient(service.url).ping()["tenants"]
+    assert hosted == TENANTS
+    assert total_events > 0
+    if disabled:
+        return
+    record_bench(
+        request.config, "service_concurrent_tenants",
+        tenants=TENANTS,
+        events=total_events,
+        batch_events=batch_events,
+        elapsed_ms=round(elapsed * 1000.0, 3),
+        events_per_sec=round(total_events / elapsed, 1),
+    )

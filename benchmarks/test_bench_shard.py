@@ -21,6 +21,8 @@ import time
 
 import pytest
 
+from conftest import record_bench
+
 from repro.core.attributes import ComputedAttributes, DeclaredAttributes
 from repro.core.audit import DeltaAuditEngine
 from repro.core.entities import (
@@ -222,6 +224,15 @@ def test_sharded_audit_beats_single_threaded_delta(request, audit_batches):
         sharded_elapsed = min(sharded_elapsed, elapsed)
 
     assert sharded_reports == delta_reports
+    record_bench(
+        request.config, "sharded_audit_vs_delta",
+        delta_ms=round(delta_elapsed * 1000.0, 3),
+        sharded_ms=round(sharded_elapsed * 1000.0, 3),
+        speedup=round(delta_elapsed / sharded_elapsed, 3),
+        events=sum(len(batch) for batch in audit_batches),
+        batches=len(audit_batches),
+        audit_jobs=AUDIT_JOBS,
+    )
     assert delta_elapsed >= 2.0 * sharded_elapsed, (
         f"sharded audits only "
         f"{delta_elapsed / sharded_elapsed:.1f}x faster than the "

@@ -369,16 +369,50 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="loss-manifest path (default: <dest>.loss.json)",
     )
     repair.add_argument("--format", choices=("text", "json"), default="text")
+
+    serve = commands.add_parser(
+        "serve",
+        help="host stores, delta audits, queries, and reports as a "
+             "multi-tenant HTTP service (audit-as-a-service)",
+    )
+    serve.add_argument(
+        "data_dir", nargs="?", default=None, metavar="DATA_DIR",
+        help="directory tenant stores and the tenant manifest live in "
+             "(omit for an in-memory-only service: disk backends "
+             "disabled, nothing survives shutdown)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8023,
+        help="port to bind (default 8023; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--store", choices=("memory", "persistent", "sqlite"),
+        default="sqlite",
+        help="backend for tenants created without an explicit one "
+             "(default sqlite)",
+    )
+    serve.add_argument(
+        "--audit-jobs", type=int, default=1, metavar="N",
+        dest="audit_jobs",
+        help="default shard count for each tenant's delta audits "
+             "(default 1 = single-threaded)",
+    )
     return parser
 
 
 def _add_tail_options(parser: argparse.ArgumentParser) -> None:
     """Flags shared by ``trace tail`` and ``trace resume``."""
     parser.add_argument(
-        "--source-kind", choices=("auto", "jsonl", "segments", "csv"),
+        "--source-kind",
+        choices=("auto", "jsonl", "segments", "csv", "http"),
         default="auto", dest="source_kind",
         help="how to read the export (auto: directory means segments, "
-             ".csv means csv, anything else jsonl)",
+             ".csv means csv, http(s):// URLs mean an audit-service "
+             "tenant's events endpoint, anything else jsonl)",
     )
     parser.add_argument(
         "--csv-map", action="append", default=[], metavar="COLUMN=FIELD",
@@ -935,8 +969,14 @@ def _ingest_runner_options(args: argparse.Namespace) -> dict:
 def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int:
     """Run a (resumed or fresh) ingest loop and render its progress."""
     text = args.format == "text"
+    snapshots: list = []
 
     def on_batch(batch) -> None:
+        if batch.stats is not None:
+            # Collected in both output modes: --format json emits the
+            # cadenced snapshots (incl. federated per-source counters)
+            # in the summary document instead of printing them live.
+            snapshots.append(batch.stats)
         if not text:
             return
         line = (
@@ -1004,6 +1044,10 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
             "overall_score": (
                 None if summary.report is None
                 else summary.report.overall_score
+            ),
+            **(
+                {"stats_snapshots": [s.as_dict() for s in snapshots]}
+                if snapshots else {}
             ),
         }, indent=2))
         return 0
@@ -1249,6 +1293,53 @@ def _trace_repair(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _trace_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError, TraceError
+    from repro.service import AuditService
+
+    try:
+        service = AuditService(
+            args.data_dir,
+            host=args.host,
+            port=args.port,
+            default_backend=args.store,
+            default_audit_jobs=args.audit_jobs,
+        )
+    except (ServiceError, TraceError, OSError, ValueError,
+            OverflowError) as error:
+        # OverflowError is what ``socket.bind`` raises for an
+        # out-of-range port — a bad argument, not a crash.
+        print(f"cannot serve: {error}", file=sys.stderr)
+        return 2
+    where = args.data_dir if args.data_dir else "memory only"
+    print(f"audit service listening on {service.url} ({where}, "
+          f"default backend {args.store})")
+    print(f"{len(service.tenants.names())} tenant(s) hosted; "
+          "Ctrl-C checkpoints and closes every tenant")
+    # Backgrounded non-interactive shells (CI steps, `cmd &` in
+    # scripts) start children with SIGINT ignored, and Python keeps the
+    # inherited disposition — re-arm it, and give SIGTERM the same
+    # checkpoint-then-exit path a daemon supervisor expects.
+    import signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _interrupt)
+    signal.signal(signal.SIGTERM, _interrupt)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        summary = service.close()
+        print(
+            f"\nshut down: {summary['tenants']} tenant(s) closed, "
+            f"{summary['checkpointed']} checkpointed"
+        )
+        return 130
+    service.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
@@ -1264,6 +1355,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "report": _trace_report,
             "verify": _trace_verify,
             "repair": _trace_repair,
+            "serve": _trace_serve,
         }
         return handlers[args.command](args)
     args = build_parser().parse_args(argv)

@@ -132,7 +132,14 @@ class SQLiteTraceStore(InMemoryTraceStore):
         parent = os.path.dirname(self._db_path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(self._db_path)
+        # check_same_thread=False: the connection may be used from a
+        # thread other than the opener — the audit service handles each
+        # HTTP request on its own thread and serializes all access to a
+        # store behind its per-tenant lock.  Single-threaded callers
+        # (CLI, ingest runners) are unaffected; concurrent callers must
+        # bring their own serialization, as sqlite3 objects are not
+        # themselves thread-safe.
+        self._conn = sqlite3.connect(self._db_path, check_same_thread=False)
         try:
             if existing:
                 # Validate before any PRAGMA or schema write: a foreign

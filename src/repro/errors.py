@@ -66,6 +66,54 @@ class ReportError(ReproError):
     malformed document, or sink I/O failure."""
 
 
+class ServiceError(ReproError):
+    """Base class for audit-service failures.
+
+    Subclasses carry the HTTP status code the service layer maps them
+    to (``status``), so routers raise domain errors and the dispatch
+    envelope turns them into responses uniformly.
+    """
+
+    status: int = 500
+
+
+class BadRequestError(ServiceError):
+    """A service request is malformed: missing/ill-typed body fields,
+    unparseable parameters, or an unsupported option value."""
+
+    status = 400
+
+
+class UnknownTenantError(ServiceError):
+    """A request addressed a tenant the service does not host."""
+
+    status = 404
+
+
+class TenantExistsError(ServiceError):
+    """A tenant-create request named an already-registered tenant."""
+
+    status = 409
+
+
+class TenantClosedError(ServiceError):
+    """A data operation addressed a tenant whose store is closed.
+    Reopen it first (``POST /tenants/{name}/open``)."""
+
+    status = 409
+
+
+class ServiceClientError(ReproError):
+    """The service client received an error response (or no response).
+
+    ``status`` is the HTTP status code (0 when the request never got a
+    response — connection refused, timeout)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class AssignmentError(ReproError):
     """A task-assignment algorithm received an infeasible instance."""
 

@@ -6,8 +6,10 @@ files — JSONL logs, segment directories, CSV dumps, possibly still
 growing — and the TraceStore + delta-audit machinery:
 
 * :mod:`repro.ingest.sources` — the :class:`IngestSource` protocol and
-  the three shipped tailers (JSONL file, persistent segment directory,
-  mapped CSV), all normalising through :mod:`repro.core.serialize`.
+  the shipped tailers (JSONL file, persistent segment directory,
+  mapped CSV), all normalising through :mod:`repro.core.serialize`;
+  :mod:`repro.ingest.http_source` adds :class:`HTTPIngestSource`, the
+  tailer over an audit-service tenant's export endpoint.
 * :mod:`repro.ingest.checkpoint` — atomic, checksummed resume tokens
   binding a source position to a destination store revision.
 * :mod:`repro.ingest.runner` — :class:`IngestRunner`, the cadenced
@@ -33,12 +35,14 @@ from repro.ingest.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.ingest.http_source import HTTPIngestSource
 from repro.ingest.pipeline import (
     PipelinedIngestRunner,
     validate_pipeline_options,
 )
 from repro.ingest.runner import IngestBatch, IngestRunner, IngestSummary
 from repro.ingest.sources import (
+    SOURCE_KINDS,
     CSVExportSource,
     CSVMapping,
     IngestSource,
@@ -53,6 +57,7 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CSVExportSource",
     "CSVMapping",
+    "HTTPIngestSource",
     "IngestBatch",
     "IngestCheckpoint",
     "IngestRunner",
@@ -61,6 +66,7 @@ __all__ = [
     "JSONLExportSource",
     "MergedSource",
     "PipelinedIngestRunner",
+    "SOURCE_KINDS",
     "SegmentDirectorySource",
     "checkpoint_path_for",
     "export_jsonl",

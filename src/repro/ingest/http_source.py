@@ -1,0 +1,137 @@
+"""``HTTPIngestSource``: tail an audit-service tenant over HTTP.
+
+The service's export endpoint (``GET /tenants/{name}/events?start=N``)
+is a positional cursor read — exactly the shape
+:meth:`~repro.core.trace.PlatformTrace.events_since` has locally — so
+the source's position token is simply the next unread sequence number.
+That makes this the simplest source in the ingest family: no byte
+offsets, no torn tails, no rotation detection; the server owns
+durability and the sequence numbers are stable forever.
+
+With it, one service's tenant can be tailed into any local store (or
+another service) with the standard checkpointed pipeline::
+
+    python -m repro trace tail http://host:8040/tenants/acme live.db \\
+        --audit --interval 2
+
+The URL form is ``http(s)://host:port/tenants/<name>`` — the same base
+path the other tenant endpoints hang off.  Network failures and
+non-JSON responses raise :class:`~repro.errors.IngestError`, matching
+the fail-loudly stance of the file sources (a checkpointed runner
+retries by simply running again; the cursor never moves past an
+unfetched record).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.serialize import event_from_dict
+from repro.errors import IngestError, TraceError
+from repro.ingest.sources import IngestSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import Event
+
+
+def is_http_url(path: str) -> bool:
+    """True for the URL forms this source tails."""
+    return path.startswith(("http://", "https://"))
+
+
+class HTTPIngestSource(IngestSource):
+    """Tail one service tenant's export endpoint.
+
+    ``url`` is the tenant base URL (``http://host:port/tenants/name``);
+    a trailing slash or an explicit ``/events`` suffix is accepted and
+    normalised.  ``position`` is ``{"next_seq": <sequence number>}``.
+    """
+
+    source_kind = "http"
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        if not is_http_url(url):
+            raise IngestError(
+                f"not an HTTP source URL: {url!r} (expected "
+                "http(s)://host:port/tenants/<name>)"
+            )
+        url = url.rstrip("/")
+        if url.endswith("/events"):
+            url = url[: -len("/events")]
+        self._url = url
+        self._timeout = timeout
+        self._next_seq = 0
+
+    @property
+    def url(self) -> str:
+        return self._url
+
+    @property
+    def position(self) -> dict[str, Any]:
+        return {"next_seq": self._next_seq}
+
+    def seek(self, position: Mapping[str, Any]) -> None:
+        next_seq = position.get("next_seq")
+        if not isinstance(next_seq, int) or next_seq < 0:
+            raise IngestError(
+                f"invalid {self.source_kind} source position {position!r}; "
+                "expected {'next_seq': <sequence number>}"
+            )
+        self._next_seq = next_seq
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": self.source_kind, "path": self._url}
+
+    def _fetch(self, start: int, limit: int) -> dict[str, Any]:
+        query = urllib.parse.urlencode({"start": start, "limit": limit})
+        url = f"{self._url}/events?{query}"
+        try:
+            with urllib.request.urlopen(url, timeout=self._timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+                detail = f": {body.get('error', {}).get('message', '')}"
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                pass
+            raise IngestError(
+                f"HTTP source {url!r} answered {error.code}{detail}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise IngestError(
+                f"HTTP source {url!r} is unreachable: {error.reason}"
+            ) from None
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise IngestError(
+                f"HTTP source {url!r} returned a non-JSON body: {error}"
+            ) from None
+        if not isinstance(document, dict) or not isinstance(
+            document.get("events"), list
+        ):
+            raise IngestError(
+                f"HTTP source {url!r} returned an unexpected document "
+                "(no 'events' list) — is this an audit-service tenant URL?"
+            )
+        return document
+
+    def poll(self, max_records: int) -> "list[Event]":
+        if max_records < 1:
+            raise IngestError(f"max_records must be >= 1, got {max_records}")
+        document = self._fetch(self._next_seq, max_records)
+        events: "list[Event]" = []
+        for record in document["events"]:
+            try:
+                events.append(event_from_dict(record))
+            except TraceError as error:
+                raise IngestError(
+                    f"unrecognised record from {self._url!r}: {error}"
+                ) from None
+        self._next_seq += len(events)
+        return events

@@ -8,10 +8,10 @@ connected by bounded queues:
 
 * **poll** (worker thread) — owns the :class:`~repro.ingest.sources.
   IngestSource`, polls on the configured interval *rate*, and emits
-  ``(batch index, events, source position)`` triples.
+  ``(batch index, events, source position, source stats)`` tuples.
 * **append** (the calling thread) — owns the destination store (store
-  backends are thread-affine: a sqlite connection must stay on the
-  thread that created it), appends each batch write-through, commits,
+  handles are not thread-safe; all access to one store stays on this
+  thread), appends each batch write-through, commits,
   and checkpoints.  The PR 4 crash contract is untouched: events are
   committed *before* the checkpoint that covers them, and the
   checkpoint never depends on the audit, so a kill at any stage leaves
@@ -264,8 +264,10 @@ class PipelinedIngestRunner(IngestRunner):
                 if item[0] == "done":
                     stopped_on = item[1]
                     break
-                _, index, polled, position = item
-                batch = self._append_batch(index, polled, position)
+                _, index, polled, position, source_stats = item
+                batch = self._append_batch(
+                    index, polled, position, source_stats
+                )
                 batches += 1
                 events += batch.events
                 if audit_q is not None:
@@ -313,6 +315,7 @@ class PipelinedIngestRunner(IngestRunner):
         index: int,
         polled: "list[Event]",
         position: dict[str, Any],
+        source_stats: dict | None = None,
     ) -> IngestBatch:
         self._trace.append_batch(polled)
         save = getattr(self._trace.store, "save", None)
@@ -329,6 +332,7 @@ class PipelinedIngestRunner(IngestRunner):
                     if self._session is None
                     else {"batches": lag_batches, "events": lag_events}
                 ),
+                sources=source_stats,
             )
         if self._checkpoint_path is not None:
             write_checkpoint(
@@ -369,9 +373,14 @@ class PipelinedIngestRunner(IngestRunner):
                 if polled:
                     idle = 0
                     position = dict(self._source.position)
+                    # Snapshot federation counters on this thread — the
+                    # source is owned by the poll stage, so the append
+                    # stage must not call source_stats() itself.
+                    source_stats = self._source_stats()
                     if not self._worker_put(
                         poll_q,
-                        ("batch", start_index + produced, polled, position),
+                        ("batch", start_index + produced, polled, position,
+                         source_stats),
                     ):
                         return  # stopped while blocked on backpressure
                     produced += 1

@@ -400,7 +400,9 @@ class IngestRunner:
                 self._write_rolling_reports(report)
         stats: TraceStats | None = None
         if self._stats_cadence and index % self._stats_cadence == 0:
-            stats = trace_stats(self._trace)
+            stats = trace_stats(
+                self._trace, sources=self._source_stats()
+            )
         position = dict(self._source.position)
         if self._checkpoint_path is not None:
             write_checkpoint(
@@ -421,6 +423,17 @@ class IngestRunner:
             new_violations=new_violations,
             stats=stats,
         )
+
+    def _source_stats(self) -> dict | None:
+        """Federation counters when the source publishes them.
+
+        Only :class:`~repro.ingest.sources.MergedSource` does today;
+        single sources contribute nothing to the stats snapshot.
+        """
+        source_stats = getattr(self._source, "source_stats", None)
+        if callable(source_stats):
+            return source_stats()
+        return None
 
     def _write_rolling_reports(
         self, report: AuditReport, trace: "PlatformTrace | None" = None

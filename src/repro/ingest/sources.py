@@ -601,6 +601,14 @@ class MergedSource(IngestSource):
             dict(child.position) for child in self._sources
         ]
         self._watermark: int | None = None
+        # Runtime federation counters behind ``source_stats``: events
+        # emitted from each child and the last emitted time per child.
+        # Counters cover this process's run (they reset on seek), which
+        # is what a live ``trace stats`` snapshot reports.
+        self._emitted: list[int] = [0] * len(self._sources)
+        self._child_watermark: "list[int | None]" = (
+            [None] * len(self._sources)
+        )
 
     @property
     def sources(self) -> "tuple[IngestSource, ...]":
@@ -635,6 +643,8 @@ class MergedSource(IngestSource):
         self._heads = [None] * len(self._sources)
         self._after = [None] * len(self._sources)
         self._watermark = watermark
+        self._emitted = [0] * len(self._sources)
+        self._child_watermark = [None] * len(self._sources)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -682,8 +692,28 @@ class MergedSource(IngestSource):
             self._committed[best] = self._after[best]
             self._heads[best] = None
             self._after[best] = None
+            self._emitted[best] += 1
+            self._child_watermark[best] = head.time
             merged.append(head)
         return merged
+
+    def source_stats(self) -> dict[str, Any]:
+        """Federation counters for ``trace stats``: per-child events
+        emitted and watermarks (this run; counters reset on seek)."""
+        children = []
+        for index, child in enumerate(self._sources):
+            identity = child.describe()
+            children.append({
+                "kind": identity.get("kind", child.source_kind),
+                "path": identity.get("path"),
+                "events": self._emitted[index],
+                "watermark": self._child_watermark[index],
+            })
+        return {
+            "kind": self.source_kind,
+            "watermark": self._watermark,
+            "sources": children,
+        }
 
     def close(self) -> None:
         for child in self._sources:
@@ -693,26 +723,40 @@ class MergedSource(IngestSource):
 # ----------------------------------------------------------------------
 # Source resolution + export helper
 
+#: Source kinds ``resolve_source`` accepts (``auto`` = detect from the
+#: path shape).  The CLI's ``--source-kind`` choices and the
+#: unknown-kind error derive from this tuple, so adding a source means
+#: registering it here once.
+SOURCE_KINDS: tuple[str, ...] = ("auto", "jsonl", "segments", "csv", "http")
+
 
 def resolve_source(
     path: str | os.PathLike[str],
     kind: str = "auto",
     csv_mapping: CSVMapping | None = None,
 ) -> IngestSource:
-    """Build the right source for an export path.
+    """Build the right source for an export path (see ``SOURCE_KINDS``).
 
-    ``kind`` is ``"jsonl"``, ``"segments"``, ``"csv"``, or ``"auto"``:
-    a directory means segments, a ``.csv`` suffix means CSV, anything
-    else means a flat JSONL file.  CSV requires a ``csv_mapping``.
+    ``"auto"`` detects from the path shape: an ``http(s)://`` URL means
+    an audit-service tenant, a directory means segments, a ``.csv``
+    suffix means CSV, anything else means a flat JSONL file.  CSV
+    requires a ``csv_mapping``.
     """
     fspath = os.fspath(path)
     if kind == "auto":
-        if os.path.isdir(fspath):
+        if fspath.startswith(("http://", "https://")):
+            kind = "http"
+        elif os.path.isdir(fspath):
             kind = "segments"
         elif os.path.splitext(fspath)[1].lower() == ".csv":
             kind = "csv"
         else:
             kind = "jsonl"
+    if kind == "http":
+        # Local import: http_source imports IngestSource from here.
+        from repro.ingest.http_source import HTTPIngestSource
+
+        return HTTPIngestSource(fspath)
     if kind == "segments":
         return SegmentDirectorySource(fspath)
     if kind == "csv":
@@ -726,7 +770,7 @@ def resolve_source(
         return JSONLExportSource(fspath)
     raise IngestError(
         f"unknown source kind {kind!r}; "
-        "available kinds: auto, jsonl, segments, csv"
+        f"available kinds: {', '.join(SOURCE_KINDS)}"
     )
 
 

@@ -59,6 +59,10 @@ class TraceStats:
     #: ``None`` outside a pipelined ingest (including plain
     #: ``trace stats`` over a saved log).
     audit_lag: dict | None = None
+    #: Federated-ingest metadata at snapshot time — the merged tail's
+    #: ``source_stats()`` (per-child event counts and watermarks).
+    #: ``None`` outside a merged-source ingest.
+    sources: dict | None = None
 
     def as_dict(self) -> dict:
         document = {
@@ -73,6 +77,8 @@ class TraceStats:
         }
         if self.audit_lag is not None:
             document["audit_lag"] = dict(self.audit_lag)
+        if self.sources is not None:
+            document["sources"] = dict(self.sources)
         return document
 
     def summary_lines(self) -> list[str]:
@@ -98,6 +104,18 @@ class TraceStats:
                 f"batch(es) ({self.audit_lag.get('events', 0)} "
                 "event(s)) behind the append stage"
             )
+        if self.sources is not None:
+            children = self.sources.get("sources", [])
+            lines.append(
+                f"federated sources: {len(children)} merged, "
+                f"watermark t={self.sources.get('watermark')}"
+            )
+            for child in children:
+                lines.append(
+                    f"  {child.get('kind')} {child.get('path')}: "
+                    f"{child.get('events', 0)} event(s), "
+                    f"watermark t={child.get('watermark')}"
+                )
         return lines
 
 
@@ -105,6 +123,7 @@ def trace_stats(
     source: "PlatformTrace | TraceStore",
     *,
     audit_lag: dict | None = None,
+    sources: dict | None = None,
 ) -> TraceStats:
     """Per-kind, per-entity, and violation-adjacent counters.
 
@@ -113,7 +132,9 @@ def trace_stats(
     interruptions (Axiom 5 evidence), malice flags (Axiom 4's detector
     output), and task cancellations.  ``audit_lag`` attaches the
     pipelined-ingest backpressure watermark to the snapshot (see
-    :mod:`repro.ingest.pipeline`).
+    :mod:`repro.ingest.pipeline`); ``sources`` attaches the merged
+    tail's per-child federation counters (see
+    :meth:`~repro.ingest.sources.MergedSource.source_stats`).
     """
     store = _resolve_store(source)
     everything = TraceQuery()
@@ -142,4 +163,5 @@ def trace_stats(
             "task_cancellations": everything.of_kind(TaskCancelled).count(store),
         },
         audit_lag=None if audit_lag is None else dict(audit_lag),
+        sources=None if sources is None else dict(sources),
     )

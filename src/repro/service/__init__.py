@@ -1,0 +1,49 @@
+"""Audit-as-a-service: a multi-tenant HTTP layer over the library.
+
+One long-running process (CLI: ``python -m repro trace serve``) hosts
+many tenants — each a :class:`~repro.core.store.TraceStore` plus a
+delta-audit session against one shared axiom registry — behind a JSON
+HTTP API: append events (wire format = :mod:`repro.core.serialize`),
+run/poll/watch audits, execute :class:`~repro.query.TraceQuery` filters
+over the wire, and render reports through the exporter registry.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.app` — transport-free router/DI/envelope core;
+* :mod:`repro.service.tenants` — tenant lifecycle, locks, manifest;
+* :mod:`repro.service.routers` — the resource endpoints;
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` wiring;
+* :mod:`repro.service.client` — the synchronous Python client.
+
+The matching ingest side, :class:`~repro.ingest.http_source
+.HTTPIngestSource`, tails a tenant's export endpoint with the standard
+checkpointed pipeline — service-hosted traces compose with every
+``trace tail``/``resume`` workflow.
+"""
+
+from repro.service.app import Request, Response, Router, ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.server import AuditService, build_app
+from repro.service.tenants import (
+    TENANT_BACKENDS,
+    Tenant,
+    TenantManager,
+    validate_tenant_name,
+)
+from repro.service.wire import report_to_dict, violation_to_dict
+
+__all__ = [
+    "AuditService",
+    "Request",
+    "Response",
+    "Router",
+    "ServiceApp",
+    "ServiceClient",
+    "TENANT_BACKENDS",
+    "Tenant",
+    "TenantManager",
+    "build_app",
+    "report_to_dict",
+    "validate_tenant_name",
+    "violation_to_dict",
+]

@@ -1,0 +1,316 @@
+"""The service's router/DI core: routes, envelopes, error mapping.
+
+The audit service runs on the stdlib HTTP server (tier-1 stays
+dependency-free), so this module supplies the small FastAPI-style layer
+the routers are written against:
+
+* :class:`Router` — named path patterns (``/tenants/{tenant}/events``)
+  registered per method with ``@router.get(...)`` / ``@router.post(...)``
+  decorators, grouped per resource module under
+  :mod:`repro.service.routers`.
+* :class:`ServiceApp` — the dispatch table.  It owns the app's shared
+  dependencies (the :class:`~repro.service.tenants.TenantManager`,
+  the axiom registry — the *template layer*) and injects them into
+  handlers by parameter name, so a handler declares exactly what it
+  needs::
+
+      @router.post("/tenants/{tenant}/events")
+      def append(request: Request, tenants: TenantManager) -> dict:
+          ...
+
+* The JSON envelope: a handler returns a dict (sent as ``200``), a
+  :class:`Response` (explicit status / non-JSON payload), and raises
+  library errors for everything abnormal.  :meth:`ServiceApp.dispatch`
+  maps exception types to status codes — :class:`ServiceError`
+  subclasses carry their own code, query/trace/report errors are client
+  errors (400), anything unexpected is a 500 — and renders every error
+  as ``{"error": {"type", "message", "status"}}`` so clients branch on
+  one shape.
+
+The layer is transport-free: :meth:`ServiceApp.dispatch` takes method,
+path, query, and decoded body, and returns a :class:`Response`.  The
+HTTP plumbing lives in :mod:`repro.service.server`; tests can drive an
+app without a socket.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    BadRequestError,
+    ReportError,
+    ReproError,
+    ServiceError,
+    TraceError,
+)
+
+#: Library errors that mean "the client asked for something invalid"
+#: rather than "the service broke".  ``TraceError`` covers the query,
+#: ingest, backend, and serialisation families (they all subclass it);
+#: ``ReportError`` is its sibling for unknown report formats.
+_CLIENT_ERRORS: tuple[type[Exception], ...] = (TraceError, ReportError)
+
+
+@dataclass
+class Request:
+    """One decoded service request, transport-independent."""
+
+    method: str
+    path: str
+    path_params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, list[str]] = field(default_factory=dict)
+    body: Any = None
+
+    # ------------------------------------------------------------------
+    # Typed parameter access (raise BadRequestError, never ValueError)
+
+    def param(self, name: str) -> str:
+        """A path parameter captured by the matched route pattern."""
+        return self.path_params[name]
+
+    def query_str(self, name: str, default: str | None = None) -> str | None:
+        values = self.query.get(name)
+        if not values:
+            return default
+        return values[-1]
+
+    def query_list(self, name: str) -> list[str]:
+        """Every value given for a repeatable query parameter."""
+        return list(self.query.get(name, ()))
+
+    def query_int(self, name: str, default: int | None = None) -> int | None:
+        raw = self.query_str(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequestError(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+
+    def query_float(
+        self, name: str, default: float | None = None
+    ) -> float | None:
+        raw = self.query_str(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise BadRequestError(
+                f"query parameter {name!r} must be a number, got {raw!r}"
+            ) from None
+
+    def query_flag(self, name: str) -> bool:
+        """A boolean query parameter (``?count=1``/``true``/``yes``)."""
+        raw = self.query_str(name)
+        if raw is None:
+            return False
+        if raw.lower() in ("1", "true", "yes", "on", ""):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise BadRequestError(
+            f"query parameter {name!r} must be boolean-ish, got {raw!r}"
+        )
+
+    def body_object(self) -> dict[str, Any]:
+        """The request body as a JSON object, or a 400."""
+        if not isinstance(self.body, dict):
+            raise BadRequestError(
+                "request body must be a JSON object, got "
+                f"{type(self.body).__name__ if self.body is not None else 'nothing'}"
+            )
+        return self.body
+
+    def body_field(self, name: str, types: tuple[type, ...], *,
+                   required: bool = True, default: Any = None) -> Any:
+        """One typed field of the JSON body, or a 400 naming the field."""
+        body = self.body_object()
+        if name not in body:
+            if required:
+                raise BadRequestError(f"request body is missing {name!r}")
+            return default
+        value = body[name]
+        # bool is an int subclass; an int field must not accept True.
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            wanted = "/".join(t.__name__ for t in types)
+            raise BadRequestError(
+                f"request body field {name!r} must be {wanted}, got "
+                f"{type(value).__name__}"
+            )
+        return value
+
+
+@dataclass
+class Response:
+    """What a handler produced: a status plus JSON payload or raw text."""
+
+    status: int = 200
+    payload: Any = None
+    text: str | None = None
+    content_type: str = "application/json"
+
+    def encode(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode("utf-8")
+        return json.dumps(self.payload, indent=2).encode("utf-8") + b"\n"
+
+
+@dataclass(frozen=True)
+class _Route:
+    method: str
+    segments: tuple[str, ...]
+    handler: Callable[..., Any]
+    wants: tuple[str, ...]  # dependency parameter names, in order
+
+
+class Router:
+    """A group of routes contributed by one resource module."""
+
+    def __init__(self) -> None:
+        self.routes: list[_Route] = []
+
+    def route(self, method: str, pattern: str) -> Callable:
+        if not pattern.startswith("/"):
+            raise ValueError(f"route pattern must start with '/': {pattern!r}")
+        segments = tuple(s for s in pattern.split("/") if s)
+
+        def decorate(handler: Callable[..., Any]) -> Callable[..., Any]:
+            parameters = list(inspect.signature(handler).parameters)
+            if not parameters or parameters[0] != "request":
+                raise ValueError(
+                    f"handler {handler.__name__} must take 'request' as "
+                    "its first parameter"
+                )
+            self.routes.append(_Route(
+                method=method.upper(),
+                segments=segments,
+                handler=handler,
+                wants=tuple(parameters[1:]),
+            ))
+            return handler
+
+        return decorate
+
+    def get(self, pattern: str) -> Callable:
+        return self.route("GET", pattern)
+
+    def post(self, pattern: str) -> Callable:
+        return self.route("POST", pattern)
+
+    def delete(self, pattern: str) -> Callable:
+        return self.route("DELETE", pattern)
+
+
+def _match(segments: tuple[str, ...], path: str) -> dict[str, str] | None:
+    parts = [p for p in path.split("/") if p]
+    if len(parts) != len(segments):
+        return None
+    captured: dict[str, str] = {}
+    for pattern_part, part in zip(segments, parts):
+        if pattern_part.startswith("{") and pattern_part.endswith("}"):
+            captured[pattern_part[1:-1]] = part
+        elif pattern_part != part:
+            return None
+    return captured
+
+
+def error_status(error: Exception) -> int:
+    """The HTTP status an exception maps to."""
+    if isinstance(error, ServiceError):
+        return error.status
+    if isinstance(error, _CLIENT_ERRORS):
+        return 400
+    return 500
+
+
+class ServiceApp:
+    """Dispatch table + dependency injector for the audit service.
+
+    ``dependencies`` are the shared objects handlers may declare by
+    parameter name (conventionally ``tenants`` — the
+    :class:`~repro.service.tenants.TenantManager` holding the shared
+    axiom registry and every per-tenant store/session).
+    """
+
+    def __init__(self, **dependencies: Any) -> None:
+        self._dependencies = dependencies
+        self._routes: list[_Route] = []
+
+    def include(self, router: Router) -> "ServiceApp":
+        for route in router.routes:
+            missing = [
+                name for name in route.wants
+                if name not in self._dependencies
+            ]
+            if missing:
+                raise ValueError(
+                    f"handler {route.handler.__name__} wants unknown "
+                    f"dependencies: {', '.join(missing)} "
+                    f"(available: {', '.join(sorted(self._dependencies))})"
+                )
+            self._routes.append(route)
+        return self
+
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, list[str]] | None = None,
+        body: Any = None,
+    ) -> Response:
+        """Route one request and envelope whatever happens."""
+        method = method.upper()
+        matched_other_method = False
+        for route in self._routes:
+            params = _match(route.segments, path)
+            if params is None:
+                continue
+            if route.method != method:
+                matched_other_method = True
+                continue
+            request = Request(
+                method=method,
+                path=path,
+                path_params=params,
+                query=dict(query or {}),
+                body=body,
+            )
+            arguments = [
+                self._dependencies[name] for name in route.wants
+            ]
+            try:
+                result = route.handler(request, *arguments)
+            except Exception as error:  # noqa: BLE001 - envelope boundary
+                return self._error_response(error)
+            if isinstance(result, Response):
+                return result
+            return Response(status=200, payload=result)
+        if matched_other_method:
+            return _envelope(
+                405, "MethodNotAllowed",
+                f"method {method} is not supported on {path}",
+            )
+        return _envelope(404, "NotFound", f"no route matches {method} {path}")
+
+    def _error_response(self, error: Exception) -> Response:
+        code = error_status(error)
+        kind = type(error).__name__ if isinstance(error, ReproError) else (
+            "InternalError" if code >= 500 else type(error).__name__
+        )
+        return _envelope(code, kind, str(error))
+
+
+def _envelope(status: int, kind: str, message: str) -> Response:
+    return Response(
+        status=status,
+        payload={"error": {"type": kind, "message": message, "status": status}},
+    )

@@ -1,0 +1,217 @@
+"""``ServiceClient``: a thin typed wrapper over the service's HTTP API.
+
+Stdlib-only (``urllib``), synchronous, one method per endpoint, raising
+:class:`~repro.errors.ServiceClientError` with the server's error
+message and status on anything but success.  Used by the service tests,
+the CI smoke drive, and anyone scripting a service from Python::
+
+    client = ServiceClient("http://127.0.0.1:8040")
+    client.create_tenant("acme")
+    client.append("acme", [event_to_dict(e) for e in events])
+    verdict = client.run_audit("acme")
+    rows = client.query("acme", kind=["payment_issued"], count=True)
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ServiceClientError
+
+
+class ServiceClient:
+    """Synchronous client for one audit service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        params: Mapping[str, Any] | None = None,
+        body: Any = None,
+        raw: bool = False,
+        timeout: float | None = None,
+    ) -> Any:
+        """One request; decoded JSON back (or text when ``raw``)."""
+        url = self.base_url + path
+        if params:
+            pairs: list[tuple[str, str]] = []
+            for key, value in params.items():
+                if value is None:
+                    continue
+                if isinstance(value, (list, tuple)):
+                    pairs.extend((key, str(item)) for item in value)
+                elif isinstance(value, bool):
+                    pairs.append((key, "1" if value else "0"))
+                else:
+                    pairs.append((key, str(value)))
+            if pairs:
+                url += "?" + urllib.parse.urlencode(pairs)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method.upper()
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                f"no response from {url}: {error.reason}", status=0
+            ) from None
+        if raw:
+            return payload.decode("utf-8")
+        return json.loads(payload.decode("utf-8"))
+
+    @staticmethod
+    def _decode_error(error: urllib.error.HTTPError) -> ServiceClientError:
+        status = error.code
+        message = f"HTTP {status}"
+        try:
+            document = json.loads(error.read().decode("utf-8"))
+            detail = document.get("error", {})
+            message = (
+                f"{detail.get('type', 'error')}: "
+                f"{detail.get('message', message)}"
+            )
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            pass
+        return ServiceClientError(message, status=status)
+
+    # ------------------------------------------------------------------
+    # Service + tenant lifecycle
+
+    def ping(self) -> dict:
+        return self.request("GET", "/")
+
+    def list_tenants(self) -> list[dict]:
+        return self.request("GET", "/tenants")["tenants"]
+
+    def create_tenant(
+        self,
+        name: str,
+        *,
+        backend: str | None = None,
+        audit_jobs: int | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {"name": name}
+        if backend is not None:
+            body["backend"] = backend
+        if audit_jobs is not None:
+            body["audit_jobs"] = audit_jobs
+        return self.request("POST", "/tenants", body=body)
+
+    def tenant(self, name: str) -> dict:
+        return self.request("GET", f"/tenants/{name}")
+
+    def delete_tenant(self, name: str) -> dict:
+        return self.request("DELETE", f"/tenants/{name}")
+
+    def open_tenant(self, name: str) -> dict:
+        return self.request("POST", f"/tenants/{name}/open")
+
+    def close_tenant(self, name: str) -> dict:
+        return self.request("POST", f"/tenants/{name}/close")
+
+    # ------------------------------------------------------------------
+    # Data plane
+
+    def append(self, name: str, records: Sequence[dict]) -> dict:
+        return self.request(
+            "POST", f"/tenants/{name}/events", body={"events": list(records)}
+        )
+
+    def events(self, name: str, *, start: int = 0, limit: int = 1000) -> dict:
+        return self.request(
+            "GET",
+            f"/tenants/{name}/events",
+            params={"start": start, "limit": limit},
+        )
+
+    def run_audit(self, name: str) -> dict:
+        return self.request("POST", f"/tenants/{name}/audits")
+
+    def audits(self, name: str, *, after: int = 0) -> dict:
+        return self.request(
+            "GET", f"/tenants/{name}/audits", params={"after": after}
+        )
+
+    def latest_audit(self, name: str) -> dict:
+        return self.request("GET", f"/tenants/{name}/audits/latest")
+
+    def watch(self, name: str, *, after: int = 0, timeout: float = 10.0) -> dict:
+        # The socket deadline must outlive the server-side long poll.
+        return self.request(
+            "GET",
+            f"/tenants/{name}/watch",
+            params={"after": after, "timeout": timeout},
+            timeout=timeout + self.timeout,
+        )
+
+    def query(
+        self,
+        name: str,
+        *,
+        entity: Iterable[str] = (),
+        entity_kind: str | None = None,
+        kind: Iterable[str] = (),
+        since: int | None = None,
+        until: int | None = None,
+        round_tick: int | None = None,
+        seq_start: int | None = None,
+        seq_end: int | None = None,
+        limit: int | None = None,
+        count: bool = False,
+        count_by_kind: bool = False,
+        project: Sequence[str] = (),
+    ) -> dict:
+        params: dict[str, Any] = {
+            "entity": list(entity),
+            "entity_kind": entity_kind,
+            "kind": list(kind),
+            "since": since,
+            "until": until,
+            "round": round_tick,
+            "seq_start": seq_start,
+            "seq_end": seq_end,
+            "limit": limit,
+        }
+        if count:
+            params["count"] = True
+        if count_by_kind:
+            params["count_by_kind"] = True
+        if project:
+            params["project"] = ",".join(project)
+        return self.request("GET", f"/tenants/{name}/query", params=params)
+
+    def stats(self, name: str) -> dict:
+        return self.request("GET", f"/tenants/{name}/stats")
+
+    def info(self, name: str) -> dict:
+        return self.request("GET", f"/tenants/{name}/info")
+
+    def report(self, name: str, *, format: str = "md") -> str:  # noqa: A002
+        return self.request(
+            "GET",
+            f"/tenants/{name}/report",
+            params={"format": format},
+            raw=True,
+        )

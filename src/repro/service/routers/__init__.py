@@ -1,0 +1,35 @@
+"""Resource routers of the audit service, one module per resource.
+
+:func:`all_routers` is what :mod:`repro.service.server` includes into
+the app; tests can include a subset to exercise one resource in
+isolation.
+"""
+
+from __future__ import annotations
+
+from repro.service.app import Router
+from repro.service.routers.audits import router as audits_router
+from repro.service.routers.events import router as events_router
+from repro.service.routers.query import router as query_router
+from repro.service.routers.reports import router as reports_router
+from repro.service.routers.tenants import router as tenants_router
+
+
+def all_routers() -> list[Router]:
+    return [
+        tenants_router,
+        events_router,
+        audits_router,
+        query_router,
+        reports_router,
+    ]
+
+
+__all__ = [
+    "all_routers",
+    "audits_router",
+    "events_router",
+    "query_router",
+    "reports_router",
+    "tenants_router",
+]

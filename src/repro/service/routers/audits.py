@@ -1,0 +1,59 @@
+"""Audit execution, history, and the long-poll watch stream.
+
+| method | path                      | action                            |
+|--------|---------------------------|-----------------------------------|
+| POST   | /tenants/{tenant}/audits  | run one delta audit now           |
+| GET    | /tenants/{tenant}/audits  | audit history (delta records)     |
+| GET    | /tenants/{tenant}/audits/latest | full latest verdict         |
+| GET    | /tenants/{tenant}/watch   | long-poll for audits ``>= after`` |
+
+``watch`` is the streaming contract from the ROADMAP sketch flattened
+onto plain request/response HTTP: a client holds a cursor (the number
+of audit records it has seen), asks for everything at or past it, and
+blocks server-side until an audit lands or the timeout runs out.  Each
+record carries the *new* violations that audit surfaced, so a dashboard
+renders deltas without diffing cumulative reports client-side.
+"""
+
+from __future__ import annotations
+
+from repro.service.app import Request, Router
+from repro.service.tenants import TenantManager
+
+#: Long-poll timeout ceiling; keeps handler threads bounded.
+MAX_WATCH_TIMEOUT = 60.0
+
+router = Router()
+
+
+@router.post("/tenants/{tenant}/audits")
+def run_audit(request: Request, tenants: TenantManager) -> dict:
+    return tenants.get(request.param("tenant")).run_audit()
+
+
+@router.get("/tenants/{tenant}/audits")
+def audit_history(request: Request, tenants: TenantManager) -> dict:
+    tenant = tenants.get(request.param("tenant"))
+    after = request.query_int("after", 0)
+    with tenant.lock:
+        records = list(tenant.audits[max(after, 0):])
+    return {"audits": records, "total": after + len(records)}
+
+
+@router.get("/tenants/{tenant}/audits/latest")
+def latest_audit(request: Request, tenants: TenantManager) -> dict:
+    return tenants.get(request.param("tenant")).latest_report()
+
+
+@router.get("/tenants/{tenant}/watch")
+def watch(request: Request, tenants: TenantManager) -> dict:
+    tenant = tenants.get(request.param("tenant"))
+    after = request.query_int("after", 0)
+    timeout = request.query_float("timeout", 10.0)
+    timeout = max(0.0, min(timeout, MAX_WATCH_TIMEOUT))
+    records = tenant.watch(after, timeout)
+    return {
+        "audits": records,
+        "next": after + len(records) if records else after,
+        "timed_out": not records,
+    }

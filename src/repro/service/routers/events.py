@@ -1,0 +1,62 @@
+"""Event append + export endpoints (wire format = ``core/serialize``).
+
+| method | path                      | action                           |
+|--------|---------------------------|----------------------------------|
+| POST   | /tenants/{tenant}/events  | batch-append wire-format records |
+| GET    | /tenants/{tenant}/events  | positional export (for tailing)  |
+
+The GET side is the service twin of a JSONL export file: a cursor read
+``?start=N&limit=M`` returning records plus the next cursor, which is
+exactly what :class:`~repro.ingest.http_source.HTTPIngestSource` polls
+— so one service's tenant can be tailed into another store with the
+standard ingest pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.serialize import event_to_dict
+from repro.errors import BadRequestError
+from repro.service.app import Request, Router
+from repro.service.tenants import TenantManager
+
+#: Cap on one export page, so a misconfigured poller cannot ask one
+#: request to serialize an entire multi-million-event store.
+MAX_EXPORT_PAGE = 10_000
+
+router = Router()
+
+
+@router.post("/tenants/{tenant}/events")
+def append_events(request: Request, tenants: TenantManager) -> dict:
+    records = request.body_field("events", (list,))
+    for position, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise BadRequestError(
+                f"events[{position}] is not an event record object "
+                f"(got {type(record).__name__})"
+            )
+    tenant = tenants.get(request.param("tenant"))
+    return tenant.append_records(records)
+
+
+@router.get("/tenants/{tenant}/events")
+def export_events(request: Request, tenants: TenantManager) -> dict:
+    start = request.query_int("start", 0)
+    limit = request.query_int("limit", 1000)
+    if start < 0:
+        raise BadRequestError(f"start must be >= 0, got {start}")
+    if limit < 1 or limit > MAX_EXPORT_PAGE:
+        raise BadRequestError(
+            f"limit must be in [1, {MAX_EXPORT_PAGE}], got {limit}"
+        )
+    tenant = tenants.get(request.param("tenant"))
+    with tenant.lock:
+        trace = tenant.trace
+        events = trace.events_since(start)[:limit]
+        revision = trace.revision
+    return {
+        "events": [event_to_dict(event) for event in events],
+        "start": start,
+        "next": start + len(events),
+        "revision": revision,
+    }

@@ -1,0 +1,108 @@
+"""``TraceQuery``/stats/info over the wire.
+
+| method | path                     | action                             |
+|--------|--------------------------|------------------------------------|
+| GET    | /tenants/{tenant}/query  | filtered events / count / histogram|
+| GET    | /tenants/{tenant}/stats  | ``trace_stats`` as JSON            |
+| GET    | /tenants/{tenant}/info   | ``trace_info`` as JSON             |
+
+The query endpoint takes the same vocabulary as ``trace query`` —
+repeatable ``entity``/``kind``, ``entity_kind``, ``since``/``until``,
+``round``, ``seq_start``/``seq_end``, ``limit``, plus one of
+``count``/``count_by_kind``/``project`` — builds the identical
+:class:`~repro.query.TraceQuery`, and runs it against the tenant's
+store under the tenant lock.  The differential property suite proves
+the wire results equal local execution over every labelled scenario.
+"""
+
+from __future__ import annotations
+
+from repro.core.serialize import event_to_dict
+from repro.errors import BadRequestError
+from repro.query import TraceQuery, trace_info, trace_stats
+from repro.report import jsonable
+from repro.service.app import Request, Router
+from repro.service.tenants import TenantManager
+
+router = Router()
+
+
+def build_query(request: Request) -> TraceQuery:
+    """The ``TraceQuery`` a request's parameters describe.
+
+    Mirrors the CLI's construction exactly (same builders, same
+    ordering, same mutual-exclusion rules), so a URL and a command line
+    describing the same filters execute the same query object.
+    """
+    query = TraceQuery()
+    entities = request.query_list("entity")
+    entity_kind = request.query_str("entity_kind")
+    if entity_kind is not None and not entities:
+        raise BadRequestError("entity_kind requires at least one entity")
+    if entities:
+        query = query.entity(*entities, kind=entity_kind)
+    kinds = request.query_list("kind")
+    if kinds:
+        query = query.of_kind(*kinds)
+    round_tick = request.query_int("round")
+    since = request.query_int("since")
+    until = request.query_int("until")
+    if round_tick is not None:
+        if since is not None or until is not None:
+            raise BadRequestError(
+                "round selects one tick and cannot be combined with "
+                "since/until"
+            )
+        query = query.at_round(round_tick)
+    elif since is not None or until is not None:
+        query = query.time_range(since, until)
+    seq_start = request.query_int("seq_start")
+    seq_end = request.query_int("seq_end")
+    if seq_start is not None or seq_end is not None:
+        query = query.seq_range(seq_start, seq_end)
+    limit = request.query_int("limit")
+    if limit is not None:
+        query = query.take(limit)
+    return query
+
+
+@router.get("/tenants/{tenant}/query")
+def run_query(request: Request, tenants: TenantManager) -> dict:
+    count = request.query_flag("count")
+    count_by_kind = request.query_flag("count_by_kind")
+    project = request.query_str("project")
+    if count and count_by_kind:
+        raise BadRequestError(
+            "count and count_by_kind are different aggregates; pick one"
+        )
+    query = build_query(request)
+    tenant = tenants.get(request.param("tenant"))
+    with tenant.lock:
+        store = tenant.store
+        if count:
+            return {"count": query.count(store)}
+        if count_by_kind:
+            return {"count_by_kind": query.count_by_kind(store)}
+        if project is not None:
+            fields = [f for f in project.split(",") if f]
+            rows = query.project(store, *fields)
+            return {
+                "fields": fields,
+                "rows": [jsonable(row) for row in rows],
+            }
+        events = query.run(store)
+    return {"events": [event_to_dict(event) for event in events]}
+
+
+@router.get("/tenants/{tenant}/stats")
+def tenant_stats(request: Request, tenants: TenantManager) -> dict:
+    tenant = tenants.get(request.param("tenant"))
+    with tenant.lock:
+        return trace_stats(tenant.store).as_dict()
+
+
+@router.get("/tenants/{tenant}/info")
+def tenant_trace_info(request: Request, tenants: TenantManager) -> dict:
+    tenant = tenants.get(request.param("tenant"))
+    with tenant.lock:
+        return trace_info(tenant.store)

@@ -1,0 +1,52 @@
+"""Report rendering through the exporter registry.
+
+| method | path                      | action                            |
+|--------|---------------------------|-----------------------------------|
+| GET    | /tenants/{tenant}/report  | render the latest audit verdict   |
+
+``?format=`` selects any registered exporter (csv, jsonl, md, html by
+default — a custom ``@register_format`` sink is immediately servable),
+and the response body is byte-identical to what ``trace report`` writes
+for the same store, which the differential suite asserts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadRequestError
+from repro.report import audit_document, render_report
+from repro.service.app import Request, Response, Router
+from repro.service.tenants import TenantManager
+
+#: Response content types per built-in format; unknown (custom
+#: registered) formats fall back to text/plain.
+CONTENT_TYPES: dict[str, str] = {
+    "csv": "text/csv; charset=utf-8",
+    "jsonl": "application/jsonl; charset=utf-8",
+    "md": "text/markdown; charset=utf-8",
+    "html": "text/html; charset=utf-8",
+}
+
+router = Router()
+
+
+@router.get("/tenants/{tenant}/report")
+def render_audit_report(request: Request, tenants: TenantManager) -> Response:
+    format_name = request.query_str("format", "md")
+    tenant = tenants.get(request.param("tenant"))
+    with tenant.lock:
+        if tenant.last_report is None:
+            raise BadRequestError(
+                f"tenant {tenant.name!r} has not been audited yet; "
+                f"POST /tenants/{tenant.name}/audits first"
+            )
+        document = audit_document(
+            tenant.last_report, tenant.store, source=tenant.name
+        )
+        text = render_report(document, format_name)
+    return Response(
+        status=200,
+        text=text,
+        content_type=CONTENT_TYPES.get(
+            format_name, "text/plain; charset=utf-8"
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Tenant lifecycle endpoints.
+
+| method | path                     | action                          |
+|--------|--------------------------|---------------------------------|
+| GET    | /                        | service identity + tenant count |
+| GET    | /tenants                 | list tenant identity cards      |
+| POST   | /tenants                 | create (name, backend, jobs)    |
+| GET    | /tenants/{tenant}        | one tenant's identity card      |
+| DELETE | /tenants/{tenant}        | deregister (files kept)         |
+| POST   | /tenants/{tenant}/open   | reopen a closed disk tenant     |
+| POST   | /tenants/{tenant}/close  | checkpoint + close the store    |
+"""
+
+from __future__ import annotations
+
+from repro.service.app import Request, Response, Router
+from repro.service.tenants import TENANT_BACKENDS, TenantManager
+
+router = Router()
+
+
+@router.get("/")
+def service_info(request: Request, tenants: TenantManager) -> dict:
+    return {
+        "service": "repro-audit",
+        "tenants": len(tenants.names()),
+        "backends": list(TENANT_BACKENDS),
+        "data_dir": tenants.data_dir,
+        "axioms": [axiom.axiom_id for axiom in tenants.registry],
+    }
+
+
+@router.get("/tenants")
+def list_tenants(request: Request, tenants: TenantManager) -> dict:
+    return {"tenants": tenants.describe_all()}
+
+
+@router.post("/tenants")
+def create_tenant(request: Request, tenants: TenantManager) -> Response:
+    name = request.body_field("name", (str,))
+    backend = request.body_field("backend", (str,), required=False)
+    audit_jobs = request.body_field("audit_jobs", (int,), required=False)
+    tenant = tenants.create(name, backend=backend, audit_jobs=audit_jobs)
+    return Response(status=201, payload=tenant.describe())
+
+
+@router.get("/tenants/{tenant}")
+def tenant_info(request: Request, tenants: TenantManager) -> dict:
+    return tenants.get(request.param("tenant")).describe()
+
+
+@router.delete("/tenants/{tenant}")
+def delete_tenant(request: Request, tenants: TenantManager) -> dict:
+    return tenants.delete(request.param("tenant"))
+
+
+@router.post("/tenants/{tenant}/open")
+def open_tenant(request: Request, tenants: TenantManager) -> dict:
+    return tenants.open(request.param("tenant")).describe()
+
+
+@router.post("/tenants/{tenant}/close")
+def close_tenant(request: Request, tenants: TenantManager) -> dict:
+    return tenants.close(request.param("tenant")).describe()

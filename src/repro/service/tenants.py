@@ -1,0 +1,478 @@
+"""Tenant lifecycle for the audit service.
+
+The service follows the two-layer shape from the ROADMAP sketch:
+
+* **Template layer** — one shared :class:`~repro.core.axioms.AxiomRegistry`
+  owned by the :class:`TenantManager`.  Every tenant is audited against
+  the same suite, so verdicts are comparable across tenants.
+* **Instance layer** — one :class:`Tenant` per hosted platform: its own
+  :class:`~repro.core.store.TraceStore` (memory, persistent, or
+  sqlite), its own delta-audit session
+  (:func:`~repro.shard.engine.make_audit_session` — plain delta for
+  ``audit_jobs=1``, sharded above), and its own lock.
+
+Concurrency contract: every data operation on a tenant runs under that
+tenant's re-entrant lock, so appenders serialize with each other and
+with audits, while requests for *different* tenants never contend.  The
+lock doubles as the condition variable behind the long-poll ``watch``
+endpoint — each completed audit appends a delta record to the tenant's
+audit log and wakes every waiter.
+
+Durability: disk tenants are registered in ``<data_dir>/tenants.json``
+(written atomically) with an ``open`` flag; a restarting service reopens
+exactly the tenants that were open, and :meth:`TenantManager.close_all`
+— the SIGINT path of ``trace serve`` — checkpoints every store without
+flipping the flags, so a restart resumes where the shutdown left off.
+Memory tenants are ephemeral by definition and never enter the
+manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from collections import Counter
+from typing import Iterable
+
+from repro.core.audit import AuditReport
+from repro.core.axioms import AxiomRegistry, default_registry
+from repro.core.serialize import event_from_dict
+from repro.core.store import make_store, open_store
+from repro.core.trace import PlatformTrace, make_disk_store
+from repro.errors import (
+    BadRequestError,
+    TenantClosedError,
+    TenantExistsError,
+    UnknownTenantError,
+)
+from repro.service.wire import report_to_dict, violation_key, violation_to_dict
+
+#: Store backends a tenant may be created with.
+TENANT_BACKENDS: tuple[str, ...] = ("memory", "persistent", "sqlite")
+
+#: Tenant names double as path components and URL segments.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_MANIFEST_NAME = "tenants.json"
+
+
+def validate_tenant_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise BadRequestError(
+            f"invalid tenant name {name!r}: must be 1-64 characters of "
+            "letters, digits, '.', '_' or '-', starting with a letter "
+            "or digit"
+        )
+    return name
+
+
+class Tenant:
+    """One hosted store + audit session, serialized by its own lock."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        backend: str,
+        path: str | None = None,
+        audit_jobs: int = 1,
+        registry: AxiomRegistry | None = None,
+        store=None,
+    ) -> None:
+        self.name = name
+        self.backend = backend
+        self.path = path
+        self.audit_jobs = audit_jobs
+        self.lock = threading.RLock()
+        #: Waited on by ``watch``; notified once per completed audit.
+        self.audited = threading.Condition(self.lock)
+        self._store = store
+        self._trace = None if store is None else PlatformTrace(store=store)
+        self._session = None
+        self._registry = registry
+        self.last_report: AuditReport | None = None
+        #: One record per completed audit (empty deltas included), in
+        #: audit order — the watch stream and the audit history.
+        self.audits: list[dict] = []
+        self._seen: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # State
+
+    @property
+    def closed(self) -> bool:
+        return self._store is None
+
+    def require_open(self) -> None:
+        if self.closed:
+            raise TenantClosedError(
+                f"tenant {self.name!r} is closed; reopen it with "
+                f"POST /tenants/{self.name}/open"
+            )
+
+    @property
+    def store(self):
+        self.require_open()
+        return self._store
+
+    @property
+    def trace(self) -> PlatformTrace:
+        self.require_open()
+        return self._trace
+
+    def describe(self) -> dict:
+        """The tenant's identity card (works on closed tenants too)."""
+        with self.lock:
+            info = {
+                "name": self.name,
+                "backend": self.backend,
+                "path": self.path,
+                "open": not self.closed,
+                "audit_jobs": self.audit_jobs,
+                "audits": len(self.audits),
+                "events": None if self.closed else self._trace.revision,
+            }
+            if self.last_report is not None:
+                info["last_audit"] = {
+                    "revision": self.last_report.trace_length,
+                    "passed": self.last_report.passed,
+                    "total_violations": self.last_report.total_violations,
+                }
+            return info
+
+    # ------------------------------------------------------------------
+    # Data operations (all take the tenant lock)
+
+    def append_records(self, records: Iterable[dict]) -> dict:
+        """Decode and append a batch of wire-format event records.
+
+        Decoding happens *before* any append so a malformed record in
+        the middle of a batch rejects the whole batch instead of
+        leaving half of it in the store (validate-before-mutate, the
+        same contract as the ingest runner)."""
+        events = [event_from_dict(record) for record in records]
+        with self.lock:
+            self.require_open()
+            appended = self._trace.append_batch(events)
+            self._checkpoint_store()
+            return {"appended": appended, "revision": self._trace.revision}
+
+    def run_audit(self) -> dict:
+        """Audit the trace at its current revision; record the delta.
+
+        The session is delta-based, so each call pays for the events
+        appended since the previous audit.  The returned record carries
+        the cumulative verdict plus the *new* violations this audit
+        surfaced; the same record is appended to :attr:`audits` and
+        wakes ``watch`` waiters."""
+        with self.lock:
+            self.require_open()
+            if self._session is None:
+                from repro.shard.engine import make_audit_session
+
+                self._session = make_audit_session(
+                    self.audit_jobs, registry=self._registry
+                )
+            report = self._session.audit(self._trace)
+            fresh = []
+            for violation in report.violations:
+                record = violation_to_dict(violation)
+                key = violation_key(record)
+                if self._seen[key] > 0:
+                    self._seen[key] -= 1
+                else:
+                    fresh.append(record)
+            self._seen = Counter(
+                violation_key(violation_to_dict(v))
+                for v in report.violations
+            )
+            entry = {
+                "audit": len(self.audits),
+                "revision": report.trace_length,
+                "passed": report.passed,
+                "overall_score": report.overall_score,
+                "total_violations": report.total_violations,
+                "new_violations": fresh,
+            }
+            self.audits.append(entry)
+            self.last_report = report
+            self.audited.notify_all()
+            return entry
+
+    def watch(self, after: int, timeout: float) -> list[dict]:
+        """Block until an audit numbered ``>= after`` completes.
+
+        Returns every audit record from ``after`` on (empty on
+        timeout).  ``Condition.wait`` releases the tenant lock, so
+        appends and audits proceed while watchers sleep."""
+        if after < 0:
+            raise BadRequestError(f"watch cursor must be >= 0, got {after}")
+        with self.audited:
+            self.require_open()
+            self.audited.wait_for(
+                lambda: len(self.audits) > after or self.closed,
+                timeout=timeout,
+            )
+            return list(self.audits[after:])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def _checkpoint_store(self) -> None:
+        save = getattr(self._store, "save", None)
+        if save is not None:
+            save()
+
+    def close(self) -> None:
+        """Checkpoint and release the store + audit session (idempotent).
+
+        Waiting watchers are woken so a long poll against a tenant being
+        shut down returns promptly instead of running out its timeout.
+        """
+        with self.lock:
+            if self.closed:
+                return
+            if self._session is not None:
+                close = getattr(self._session, "close", None)
+                if close is not None:
+                    close()
+                self._session = None
+            self._checkpoint_store()
+            self._store.close()
+            self._store = None
+            self._trace = None
+            self.audited.notify_all()
+
+    def latest_report(self) -> dict:
+        with self.lock:
+            if self.last_report is None:
+                raise BadRequestError(
+                    f"tenant {self.name!r} has not been audited yet"
+                )
+            return report_to_dict(self.last_report)
+
+
+class TenantManager:
+    """The instance layer: every hosted tenant, plus the shared registry.
+
+    ``data_dir`` is where disk tenants live (``<name>.db`` for sqlite,
+    ``<name>-log/`` for persistent) and where the manifest is written;
+    without one the service hosts memory tenants only.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike[str] | None = None,
+        *,
+        default_backend: str = "sqlite",
+        default_audit_jobs: int = 1,
+        registry: AxiomRegistry | None = None,
+    ) -> None:
+        if default_backend not in TENANT_BACKENDS:
+            raise BadRequestError(
+                f"unknown tenant backend {default_backend!r}; available "
+                f"backends: {', '.join(TENANT_BACKENDS)}"
+            )
+        if default_audit_jobs < 1:
+            raise BadRequestError(
+                f"audit jobs must be >= 1, got {default_audit_jobs}"
+            )
+        self.registry = registry if registry is not None else default_registry()
+        self.data_dir = None if data_dir is None else os.fspath(data_dir)
+        self.default_backend = default_backend
+        self.default_audit_jobs = default_audit_jobs
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.RLock()
+        if self.data_dir is not None:
+            os.makedirs(self.data_dir, exist_ok=True)
+            self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Lookup
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def get(self, name: str) -> Tenant:
+        """The named tenant (open or closed), or a 404."""
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise UnknownTenantError(
+                    f"unknown tenant {name!r}; hosted tenants: "
+                    f"{', '.join(sorted(self._tenants)) or 'none'}"
+                ) from None
+
+    def describe_all(self) -> list[dict]:
+        with self._lock:
+            tenants = list(self._tenants.values())
+        return [tenant.describe() for tenant in tenants]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def create(
+        self,
+        name: str,
+        *,
+        backend: str | None = None,
+        audit_jobs: int | None = None,
+    ) -> Tenant:
+        validate_tenant_name(name)
+        backend = self.default_backend if backend is None else backend
+        if backend not in TENANT_BACKENDS:
+            raise BadRequestError(
+                f"unknown tenant backend {backend!r}; available "
+                f"backends: {', '.join(TENANT_BACKENDS)}"
+            )
+        jobs = self.default_audit_jobs if audit_jobs is None else audit_jobs
+        if jobs < 1:
+            raise BadRequestError(f"audit jobs must be >= 1, got {jobs}")
+        with self._lock:
+            if name in self._tenants:
+                raise TenantExistsError(f"tenant {name!r} already exists")
+            path: str | None = None
+            if backend == "memory":
+                store = make_store()
+            else:
+                if self.data_dir is None:
+                    raise BadRequestError(
+                        f"cannot create a {backend!r} tenant: the service "
+                        "has no data dir (start `trace serve` with one, "
+                        "or create a memory tenant)"
+                    )
+                suffix = ".db" if backend == "sqlite" else "-log"
+                path = os.path.join(self.data_dir, name + suffix)
+                if os.path.exists(path):
+                    raise TenantExistsError(
+                        f"tenant files already exist at {path!r}; delete "
+                        "them or pick another name"
+                    )
+                store = make_disk_store(path, backend)
+            tenant = Tenant(
+                name,
+                backend=backend,
+                path=path,
+                audit_jobs=jobs,
+                registry=self.registry,
+                store=store,
+            )
+            self._tenants[name] = tenant
+            if path is not None:
+                self._write_manifest()
+            return tenant
+
+    def close(self, name: str) -> Tenant:
+        tenant = self.get(name)
+        tenant.close()
+        with self._lock:
+            if tenant.path is not None:
+                self._write_manifest()
+        return tenant
+
+    def open(self, name: str) -> Tenant:
+        """Reopen a closed disk tenant (idempotent for open ones).
+
+        The reopened tenant gets a fresh audit session — the first
+        audit after a reopen rebuilds from the full trace, exactly like
+        an ingest resume."""
+        tenant = self.get(name)
+        with self._lock:
+            if not tenant.closed:
+                return tenant
+            if tenant.path is None:
+                raise BadRequestError(
+                    f"memory tenant {tenant.name!r} cannot be reopened: "
+                    "its events were discarded on close"
+                )
+            store = open_store(tenant.path)
+            reopened = Tenant(
+                tenant.name,
+                backend=tenant.backend,
+                path=tenant.path,
+                audit_jobs=tenant.audit_jobs,
+                registry=self.registry,
+                store=store,
+            )
+            self._tenants[tenant.name] = reopened
+            self._write_manifest()
+            return reopened
+
+    def delete(self, name: str) -> dict:
+        """Close and deregister a tenant.  Files stay on disk — removal
+        is an operator action (same stance as ``trace repair``: the
+        service never destroys trace data)."""
+        tenant = self.get(name)
+        tenant.close()
+        with self._lock:
+            self._tenants.pop(name, None)
+            if tenant.path is not None:
+                self._write_manifest()
+        return {"deleted": name, "files_kept": tenant.path}
+
+    def close_all(self) -> dict:
+        """Checkpoint and close every open tenant (the SIGINT path).
+
+        Manifest ``open`` flags are left as they were, so a restarted
+        service reopens the same tenants."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+        closed = 0
+        for tenant in tenants:
+            if not tenant.closed:
+                tenant.close()
+                closed += 1
+        return {"tenants": len(tenants), "checkpointed": closed}
+
+    # ------------------------------------------------------------------
+    # Manifest (disk tenants only; atomic replace like every repo
+    # checkpoint)
+
+    def _manifest_path(self) -> str:
+        assert self.data_dir is not None
+        return os.path.join(self.data_dir, _MANIFEST_NAME)
+
+    def _write_manifest(self) -> None:
+        if self.data_dir is None:
+            return
+        document = {
+            "format_version": 1,
+            "tenants": {
+                tenant.name: {
+                    "backend": tenant.backend,
+                    "path": os.path.relpath(tenant.path, self.data_dir),
+                    "audit_jobs": tenant.audit_jobs,
+                    "open": not tenant.closed,
+                }
+                for tenant in self._tenants.values()
+                if tenant.path is not None
+            },
+        }
+        path = self._manifest_path()
+        scratch = path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(scratch, path)
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        for name, spec in document.get("tenants", {}).items():
+            store_path = os.path.join(self.data_dir, spec["path"])
+            store = open_store(store_path) if spec.get("open") else None
+            self._tenants[name] = Tenant(
+                name,
+                backend=spec["backend"],
+                path=store_path,
+                audit_jobs=int(spec.get("audit_jobs", 1)),
+                registry=self.registry,
+                store=store,
+            )

@@ -1,0 +1,69 @@
+"""JSON wire shapes for audit-service payloads.
+
+Events cross the wire in the :mod:`repro.core.serialize` export format
+(the same records ``trace save``/``tail`` exchange), so anything that
+can feed an ingest can feed the service and vice versa.  This module
+adds the remaining shapes the serializer does not cover: violations and
+audit verdicts, flattened with :func:`repro.report.jsonable` so every
+payload is plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.report import jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.audit import AuditReport
+    from repro.core.violations import Violation
+
+
+def violation_to_dict(violation: "Violation") -> dict:
+    """One violation as a JSON-safe record (wire twin of ``describe``)."""
+    return {
+        "axiom_id": violation.axiom_id,
+        "severity": violation.severity.value,
+        "time": violation.time,
+        "subjects": list(violation.subjects),
+        "message": violation.message,
+        "witness": jsonable(violation.witness),
+        "description": violation.describe(),
+    }
+
+
+def violation_key(record: dict) -> str:
+    """A canonical identity string for a wire-format violation record.
+
+    Used to diff consecutive cumulative audit reports into per-audit
+    *new* violations: two records are the same violation iff every wire
+    field matches.  ``description`` is derived, so it is excluded.
+    """
+    return json.dumps(
+        {k: v for k, v in record.items() if k != "description"},
+        sort_keys=True,
+    )
+
+
+def report_to_dict(report: "AuditReport") -> dict:
+    """An audit verdict as a JSON-safe document."""
+    return {
+        "trace_length": report.trace_length,
+        "passed": report.passed,
+        "overall_score": report.overall_score,
+        "total_violations": report.total_violations,
+        "scores": {str(axiom): score
+                   for axiom, score in report.scores().items()},
+        "axioms": [
+            {
+                "axiom_id": check.axiom_id,
+                "title": check.title,
+                "score": check.score,
+                "violations": check.violation_count,
+                "opportunities": check.opportunities,
+            }
+            for check in report.results
+        ],
+        "violations": [violation_to_dict(v) for v in report.violations],
+    }

@@ -184,3 +184,46 @@ class TestLateArrivals:
         source.poll(5)
         export_jsonl([_event(10, "b10")], b, append=True)
         assert [e.subject for e in source.poll(5)] == ["requester:b10"]
+
+
+class TestSourceStats:
+    def test_per_child_counters_track_the_merge(self, tmp_path):
+        source = _merged(
+            tmp_path,
+            [_event(1, "a1"), _event(4, "a4"), _event(5, "a5")],
+            [_event(2, "b2"), _event(3, "b3")],
+        )
+        stats = source.source_stats()
+        assert stats["kind"] == "merged"
+        assert stats["watermark"] is None
+        assert [c["events"] for c in stats["sources"]] == [0, 0]
+        assert [c["watermark"] for c in stats["sources"]] == [None, None]
+
+        source.poll(3)  # emits a1, b2, b3
+        stats = source.source_stats()
+        assert stats["watermark"] == 3
+        assert [c["events"] for c in stats["sources"]] == [1, 2]
+        assert [c["watermark"] for c in stats["sources"]] == [1, 3]
+
+        source.poll(10)  # drains a4, a5
+        stats = source.source_stats()
+        assert stats["watermark"] == 5
+        assert [c["events"] for c in stats["sources"]] == [3, 2]
+        assert [c["watermark"] for c in stats["sources"]] == [5, 3]
+
+    def test_children_are_identified(self, tmp_path):
+        source = _merged(tmp_path, [_event(1, "a")], [_event(2, "b")])
+        children = source.source_stats()["sources"]
+        assert [c["kind"] for c in children] == ["jsonl", "jsonl"]
+        assert children[0]["path"].endswith("s0.jsonl")
+        assert children[1]["path"].endswith("s1.jsonl")
+
+    def test_seek_resets_the_counters(self, tmp_path):
+        streams = ([_event(1, "a")], [_event(2, "b")])
+        source = _merged(tmp_path, *streams)
+        start = dict(source.position)
+        source.poll(10)
+        source.seek(start)
+        stats = source.source_stats()
+        assert [c["events"] for c in stats["sources"]] == [0, 0]
+        assert [c["watermark"] for c in stats["sources"]] == [None, None]

@@ -191,6 +191,33 @@ class TestAggregatesAndStats:
         assert stats.summary_lines()[0].startswith(f"{len(trace)} events")
         assert stats.as_dict()["backend"] == "memory"
 
+    def test_trace_stats_federated_sources(self, trace):
+        """The merged-tail counters surface in both output shapes."""
+        plain = trace_stats(trace)
+        assert plain.sources is None
+        assert "sources" not in plain.as_dict()
+        assert not any(
+            "federated" in line for line in plain.summary_lines()
+        )
+
+        sources = {
+            "kind": "merged",
+            "watermark": 9,
+            "sources": [
+                {"kind": "jsonl", "path": "a.jsonl",
+                 "events": 3, "watermark": 7},
+                {"kind": "csv", "path": "b.csv",
+                 "events": 5, "watermark": 9},
+            ],
+        }
+        stats = trace_stats(trace, sources=sources)
+        assert stats.as_dict()["sources"] == sources
+        lines = stats.summary_lines()
+        federated = [line for line in lines if "federated" in line]
+        assert federated == ["federated sources: 2 merged, watermark t=9"]
+        assert "  jsonl a.jsonl: 3 event(s), watermark t=7" in lines
+        assert "  csv b.csv: 5 event(s), watermark t=9" in lines
+
 
 class TestSliceHelpers:
     def test_task_audience_matches_trace_view(self, trace, tmp_path):

@@ -1,0 +1,252 @@
+"""Unit tests for the router/DI/error-envelope core (no sockets)."""
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    QueryError,
+    ReportError,
+    ServiceError,
+    TenantClosedError,
+    TenantExistsError,
+    UnknownTenantError,
+)
+from repro.service.app import (
+    Request,
+    Response,
+    Router,
+    ServiceApp,
+    error_status,
+)
+
+
+def make_app(router, **dependencies):
+    return ServiceApp(**dependencies).include(router)
+
+
+# ---------------------------------------------------------------------------
+# Routing
+
+
+class TestRouting:
+    def test_static_route_dispatches(self):
+        router = Router()
+
+        @router.get("/ping")
+        def ping(request):
+            return {"pong": True}
+
+        response = make_app(router).dispatch("GET", "/ping")
+        assert response.status == 200
+        assert response.payload == {"pong": True}
+
+    def test_path_params_are_captured(self):
+        router = Router()
+
+        @router.get("/tenants/{tenant}/events")
+        def events(request):
+            return {"tenant": request.param("tenant")}
+
+        response = make_app(router).dispatch("GET", "/tenants/acme/events")
+        assert response.payload == {"tenant": "acme"}
+
+    def test_trailing_slash_is_equivalent(self):
+        router = Router()
+
+        @router.get("/tenants")
+        def tenants(request):
+            return {"ok": True}
+
+        app = make_app(router)
+        assert app.dispatch("GET", "/tenants").status == 200
+        assert app.dispatch("GET", "/tenants/").status == 200
+
+    def test_unmatched_path_is_404_notfound(self):
+        response = make_app(Router()).dispatch("GET", "/nowhere")
+        assert response.status == 404
+        assert response.payload["error"]["type"] == "NotFound"
+        assert response.payload["error"]["status"] == 404
+
+    def test_matched_path_wrong_method_is_405(self):
+        router = Router()
+
+        @router.get("/tenants")
+        def tenants(request):
+            return {}
+
+        response = make_app(router).dispatch("DELETE", "/tenants")
+        assert response.status == 405
+        assert response.payload["error"]["type"] == "MethodNotAllowed"
+
+    def test_method_is_case_insensitive(self):
+        router = Router()
+
+        @router.post("/x")
+        def x(request):
+            return {"ok": 1}
+
+        assert make_app(router).dispatch("post", "/x").status == 200
+
+    def test_pattern_must_start_with_slash(self):
+        router = Router()
+        with pytest.raises(ValueError, match="must start with"):
+            @router.get("tenants")
+            def tenants(request):
+                return {}
+
+    def test_handler_must_take_request_first(self):
+        router = Router()
+        with pytest.raises(ValueError, match="'request'"):
+            @router.get("/x")
+            def bad(tenants):
+                return {}
+
+    def test_response_passthrough(self):
+        router = Router()
+
+        @router.get("/raw")
+        def raw(request):
+            return Response(status=201, text="hi", content_type="text/plain")
+
+        response = make_app(router).dispatch("GET", "/raw")
+        assert response.status == 201
+        assert response.encode() == b"hi"
+
+
+# ---------------------------------------------------------------------------
+# Dependency injection
+
+
+class TestInjection:
+    def test_dependencies_injected_by_name(self):
+        router = Router()
+
+        @router.get("/x")
+        def x(request, flavour):
+            return {"flavour": flavour}
+
+        response = make_app(router, flavour="plum").dispatch("GET", "/x")
+        assert response.payload == {"flavour": "plum"}
+
+    def test_unknown_dependency_rejected_at_include_time(self):
+        router = Router()
+
+        @router.get("/x")
+        def x(request, missing_thing):
+            return {}
+
+        with pytest.raises(ValueError, match="missing_thing"):
+            ServiceApp(tenants=object()).include(router)
+
+
+# ---------------------------------------------------------------------------
+# Error mapping
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize("error, status", [
+        (BadRequestError("x"), 400),
+        (UnknownTenantError("x"), 404),
+        (TenantExistsError("x"), 409),
+        (TenantClosedError("x"), 409),
+        (ServiceError("x"), 500),
+        (QueryError("x"), 400),
+        (ReportError("x"), 400),
+        (RuntimeError("x"), 500),
+    ])
+    def test_error_status(self, error, status):
+        assert error_status(error) == status
+
+    def test_library_error_envelope_names_the_type(self):
+        router = Router()
+
+        @router.get("/x")
+        def x(request):
+            raise UnknownTenantError("no such tenant")
+
+        response = make_app(router).dispatch("GET", "/x")
+        assert response.status == 404
+        assert response.payload == {"error": {
+            "type": "UnknownTenantError",
+            "message": "no such tenant",
+            "status": 404,
+        }}
+
+    def test_unexpected_error_is_masked_as_internal(self):
+        router = Router()
+
+        @router.get("/x")
+        def x(request):
+            raise RuntimeError("secret stack detail")
+
+        response = make_app(router).dispatch("GET", "/x")
+        assert response.status == 500
+        assert response.payload["error"]["type"] == "InternalError"
+
+
+# ---------------------------------------------------------------------------
+# Request helpers
+
+
+class TestRequestHelpers:
+    def make(self, query=None, body=None):
+        return Request(
+            method="GET", path="/x", query=query or {}, body=body
+        )
+
+    def test_query_str_takes_last_value(self):
+        request = self.make(query={"a": ["1", "2"]})
+        assert request.query_str("a") == "2"
+        assert request.query_str("b") is None
+        assert request.query_str("b", "d") == "d"
+
+    def test_query_list_is_every_value(self):
+        assert self.make(query={"a": ["1", "2"]}).query_list("a") == ["1", "2"]
+        assert self.make().query_list("a") == []
+
+    def test_query_int_parses_or_400s(self):
+        assert self.make(query={"n": ["7"]}).query_int("n") == 7
+        assert self.make().query_int("n", 3) == 3
+        with pytest.raises(BadRequestError, match="must be an integer"):
+            self.make(query={"n": ["seven"]}).query_int("n")
+
+    def test_query_float_parses_or_400s(self):
+        assert self.make(query={"t": ["1.5"]}).query_float("t") == 1.5
+        with pytest.raises(BadRequestError, match="must be a number"):
+            self.make(query={"t": ["soon"]}).query_float("t")
+
+    @pytest.mark.parametrize("raw, expected", [
+        ("1", True), ("true", True), ("yes", True), ("on", True), ("", True),
+        ("0", False), ("false", False), ("no", False), ("off", False),
+    ])
+    def test_query_flag_values(self, raw, expected):
+        assert self.make(query={"f": [raw]}).query_flag("f") is expected
+
+    def test_query_flag_absent_is_false(self):
+        assert self.make().query_flag("f") is False
+
+    def test_query_flag_garbage_400s(self):
+        with pytest.raises(BadRequestError, match="boolean-ish"):
+            self.make(query={"f": ["maybe"]}).query_flag("f")
+
+    def test_body_object_rejects_non_objects(self):
+        assert self.make(body={"a": 1}).body_object() == {"a": 1}
+        with pytest.raises(BadRequestError, match="JSON object"):
+            self.make(body=[1]).body_object()
+        with pytest.raises(BadRequestError, match="nothing"):
+            self.make(body=None).body_object()
+
+    def test_body_field_type_checks(self):
+        request = self.make(body={"name": "a", "jobs": 2, "flag": True})
+        assert request.body_field("name", (str,)) == "a"
+        assert request.body_field("jobs", (int,)) == 2
+        with pytest.raises(BadRequestError, match="missing 'nope'"):
+            request.body_field("nope", (str,))
+        assert request.body_field("nope", (str,), required=False) is None
+        with pytest.raises(BadRequestError, match="must be str"):
+            request.body_field("jobs", (str,))
+
+    def test_body_field_bool_is_not_an_int(self):
+        request = self.make(body={"jobs": True})
+        with pytest.raises(BadRequestError, match="must be int"):
+            request.body_field("jobs", (int,))

@@ -1,0 +1,128 @@
+"""CLI coverage for ``trace serve`` and HTTP sources on ``trace tail``.
+
+``trace serve`` blocks by design, so the handler is exercised through
+a real subprocess: boot, client-driven traffic, SIGINT, exit code 130
+with the checkpoint summary — the same drive CI's smoke step runs.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import build_trace_parser, main
+from repro.core.serialize import event_to_dict
+from repro.service import ServiceClient
+from repro.workloads.scenarios import all_scenarios
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_trace_parser().parse_args(["serve"])
+        assert args.data_dir is None
+        assert args.host == "127.0.0.1"
+        assert args.port == 8023
+        assert args.store == "sqlite"
+        assert args.audit_jobs == 1
+
+    def test_serve_flags(self):
+        args = build_trace_parser().parse_args([
+            "serve", "runs/data", "--host", "0.0.0.0", "--port", "9000",
+            "--store", "persistent", "--audit-jobs", "4",
+        ])
+        assert args.data_dir == "runs/data"
+        assert args.host == "0.0.0.0"
+        assert args.port == 9000
+        assert args.store == "persistent"
+        assert args.audit_jobs == 4
+
+    def test_source_kind_accepts_http(self):
+        args = build_trace_parser().parse_args([
+            "tail", "http://h:1/tenants/a", "dest.db",
+            "--source-kind", "http",
+        ])
+        assert args.source_kind == "http"
+
+    def test_bad_port_exits_2(self, capsys):
+        # Port already formatted? No — a port the OS refuses to bind.
+        assert main(["trace", "serve", "--port", "-5"]) == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A ``trace serve`` subprocess on an ephemeral-ish port."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    data_dir = str(tmp_path / "data")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "trace", "serve", data_dir,
+         "--port", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # ``--port 0`` binds an ephemeral port announced on stdout.
+    line = process.stdout.readline()
+    assert "listening on" in line, line
+    url = line.split("listening on ", 1)[1].split(" ")[0]
+    for _ in range(100):
+        try:
+            urllib.request.urlopen(url + "/", timeout=1)
+            break
+        except Exception:
+            time.sleep(0.05)
+    try:
+        yield process, url, data_dir
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+
+
+class TestServeProcess:
+    def test_sigint_checkpoints_and_exits_130(self, served, tmp_path):
+        process, url, data_dir = served
+        client = ServiceClient(url)
+        scenario = next(s for s in all_scenarios(0) if s.name == "clean")
+        records = [event_to_dict(e) for e in scenario.trace]
+        client.create_tenant("acme")
+        client.append("acme", records)
+        assert client.run_audit("acme")["passed"] is True
+
+        process.send_signal(signal.SIGINT)
+        output, _ = process.communicate(timeout=30)
+        assert process.returncode == 130
+        assert "1 tenant(s) closed, 1 checkpointed" in output
+
+        # The checkpointed store is a first-class local store: the
+        # stock CLI reads it back without the service.
+        store_path = os.path.join(data_dir, "acme.db")
+        assert main(["trace", "info", store_path]) == 0
+
+    def test_tail_follows_a_served_tenant(self, served, tmp_path, capsys):
+        process, url, data_dir = served
+        client = ServiceClient(url)
+        scenario = next(
+            s for s in all_scenarios(0) if s.name == "unequal_pay"
+        )
+        records = [event_to_dict(e) for e in scenario.trace]
+        client.create_tenant("acme")
+        client.append("acme", records)
+
+        dest = str(tmp_path / "mirror.db")
+        code = main([
+            "trace", "tail", url + "/tenants/acme", dest,
+            "--audit", "--until-idle", "1", "--interval", "0.05",
+            "--format", "json",
+        ])
+        assert code == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] == len(records)
+        assert summary["violations"] > 0

@@ -1,0 +1,151 @@
+"""``HTTPIngestSource`` against a live service, and source resolution."""
+
+import pytest
+
+from repro.core.serialize import event_to_dict
+from repro.core.store import open_store
+from repro.core.trace import make_disk_store
+from repro.errors import IngestError
+from repro.ingest import (
+    SOURCE_KINDS,
+    HTTPIngestSource,
+    IngestRunner,
+    resolve_source,
+)
+from repro.service import AuditService, ServiceClient
+from repro.workloads.scenarios import all_scenarios
+
+
+@pytest.fixture(scope="module")
+def records():
+    scenario = next(s for s in all_scenarios(0) if s.name == "clean")
+    return [event_to_dict(e) for e in scenario.trace]
+
+
+@pytest.fixture()
+def service(records):
+    with AuditService(None, port=0) as live:
+        client = ServiceClient(live.url)
+        client.create_tenant("acme", backend="memory")
+        client.append("acme", records)
+        yield live
+
+
+class TestResolution:
+    def test_unknown_kind_error_names_every_kind(self):
+        # Regression: the error used to say only "unknown source kind".
+        with pytest.raises(IngestError) as caught:
+            resolve_source("dump.jsonl", "parquet")
+        message = str(caught.value)
+        for kind in SOURCE_KINDS:
+            assert kind in message
+        assert "http" in message
+
+    def test_source_kinds_registry(self):
+        assert SOURCE_KINDS == ("auto", "jsonl", "segments", "csv", "http")
+
+    @pytest.mark.parametrize("url", [
+        "http://example.test/tenants/acme",
+        "https://example.test/tenants/acme/events",
+    ])
+    def test_auto_detects_urls(self, url):
+        source = resolve_source(url, "auto")
+        assert isinstance(source, HTTPIngestSource)
+        assert source.source_kind == "http"
+
+    def test_explicit_http_kind(self):
+        source = resolve_source("http://example.test/tenants/a", "http")
+        assert isinstance(source, HTTPIngestSource)
+
+    def test_http_kind_rejects_non_urls(self):
+        with pytest.raises(IngestError, match="http"):
+            HTTPIngestSource("dump.jsonl")
+
+    def test_url_is_normalised(self):
+        for suffix in ("", "/", "/events", "/events/"):
+            source = HTTPIngestSource("http://h:1/tenants/acme" + suffix)
+            assert source.url == "http://h:1/tenants/acme"
+            assert source.describe() == {
+                "kind": "http", "path": "http://h:1/tenants/acme",
+            }
+
+
+class TestPolling:
+    def test_poll_batches_and_position(self, service, records):
+        source = HTTPIngestSource(service.url + "/tenants/acme")
+        assert source.position == {"next_seq": 0}
+        first = source.poll(10)
+        assert len(first) == 10
+        assert source.position == {"next_seq": 10}
+        rest = source.poll(10_000)
+        assert source.position == {"next_seq": len(records)}
+        assert [event_to_dict(e) for e in first + rest] == records
+        # Caught up: polling again returns nothing and stays put.
+        assert source.poll(10) == []
+        assert source.position == {"next_seq": len(records)}
+
+    def test_seek_rewinds(self, service, records):
+        source = HTTPIngestSource(service.url + "/tenants/acme")
+        source.poll(10_000)
+        source.seek({"next_seq": 5})
+        replay = source.poll(10_000)
+        assert [event_to_dict(e) for e in replay] == records[5:]
+
+    @pytest.mark.parametrize("position", [
+        {}, {"next_seq": -1}, {"next_seq": "five"}, {"offset": 3},
+    ])
+    def test_seek_rejects_foreign_positions(self, service, position):
+        source = HTTPIngestSource(service.url + "/tenants/acme")
+        with pytest.raises(IngestError, match="position"):
+            source.seek(position)
+
+    def test_poll_needs_a_positive_budget(self, service):
+        source = HTTPIngestSource(service.url + "/tenants/acme")
+        with pytest.raises(IngestError, match="max_records"):
+            source.poll(0)
+
+    def test_unknown_tenant_fails_loudly(self, service):
+        source = HTTPIngestSource(service.url + "/tenants/ghost")
+        with pytest.raises(IngestError, match="404"):
+            source.poll(10)
+
+    def test_unreachable_server_fails_loudly(self):
+        source = HTTPIngestSource(
+            "http://127.0.0.1:9/tenants/acme", timeout=0.5
+        )
+        with pytest.raises(IngestError, match="unreachable"):
+            source.poll(10)
+
+    def test_non_service_document_fails_loudly(self, service):
+        # "/" answers 200 with JSON, but not an events page.
+        source = HTTPIngestSource(service.url)
+        with pytest.raises(IngestError, match="events"):
+            source.poll(10)
+
+
+class TestTailIntoLocalStore:
+    def test_checkpointed_tail_mirrors_the_tenant(
+        self, service, records, tmp_path
+    ):
+        """The PR 5 gap closed: a service tenant tailed into a local
+        store through the standard checkpointed runner."""
+        dest = str(tmp_path / "mirror.db")
+        checkpoint = str(tmp_path / "mirror.checkpoint")
+        source = resolve_source(service.url + "/tenants/acme", "auto")
+        store = make_disk_store(dest)
+        try:
+            runner = IngestRunner(
+                source, store, checkpoint_path=checkpoint, interval=0.01,
+            )
+            summary = runner.run(idle_limit=1)
+            runner.close()
+        finally:
+            store.close()
+        assert summary.events == len(records)
+        mirrored = open_store(dest)
+        try:
+            assert [
+                event_to_dict(e) for e in mirrored.events
+            ] == records
+        finally:
+            mirrored.close()
