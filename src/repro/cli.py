@@ -470,6 +470,18 @@ def _add_tail_options(parser: argparse.ArgumentParser) -> None:
         help="print a trace_stats snapshot every N batches (default: never)",
     )
     parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+        help="append telemetry snapshots (the full metrics registry as "
+             "JSON, stamped with monotonic elapsed_s) to this JSONL "
+             "file while ingesting — the offline counterpart of the "
+             "service's GET /metrics",
+    )
+    parser.add_argument(
+        "--metrics-every", type=int, default=1, metavar="N",
+        dest="metrics_every",
+        help="with --metrics-out: snapshot every N batches (default 1)",
+    )
+    parser.add_argument(
         "--interval", type=float, default=1.0, metavar="SECONDS",
         help="cadence: seconds to sleep between polls (default 1.0)",
     )
@@ -850,7 +862,16 @@ def _trace_stats(args: argparse.Namespace) -> int:
     if args.format == "json":
         import json
 
-        print(json.dumps(stats.as_dict(), indent=2))
+        from repro.telemetry import get_registry
+
+        # The same numbers a served instance exposes on GET /metrics:
+        # computing the stats above exercised the instrumented store
+        # and query layers, so the registry snapshot here shows what a
+        # live scrape of this workload would.
+        print(json.dumps(
+            {**stats.as_dict(), "telemetry": get_registry().snapshot()},
+            indent=2,
+        ))
         return 0
     print(f"--- {args.path}")
     for line in stats.summary_lines():
@@ -968,15 +989,32 @@ def _ingest_runner_options(args: argparse.Namespace) -> dict:
 
 def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int:
     """Run a (resumed or fresh) ingest loop and render its progress."""
+    import time as _time
+
     text = args.format == "text"
     snapshots: list = []
+    started = _time.monotonic()
+    metrics_writer = None
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsSnapshotWriter
+
+        metrics_writer = MetricsSnapshotWriter(
+            args.metrics_out, every=max(1, args.metrics_every)
+        )
 
     def on_batch(batch) -> None:
+        if metrics_writer is not None:
+            metrics_writer.observe_batch()
         if batch.stats is not None:
             # Collected in both output modes: --format json emits the
             # cadenced snapshots (incl. federated per-source counters)
             # in the summary document instead of printing them live.
-            snapshots.append(batch.stats)
+            # elapsed_s (monotonic, from drive start) makes the series
+            # plottable without knowing the cadence.
+            snapshots.append({
+                **batch.stats.as_dict(),
+                "elapsed_s": round(_time.monotonic() - started, 6),
+            })
         if not text:
             return
         line = (
@@ -1011,6 +1049,13 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
         if callable(close):
             close()
         runner.source.close()
+        if metrics_writer is not None:
+            metrics_writer.close()
+            print(
+                f"telemetry snapshots: {metrics_writer.path} "
+                f"({metrics_writer.written} line(s))",
+                file=sys.stderr,
+            )
     if interrupted:
         print(
             f"interrupted; checkpoint at {checkpoint_path!r} — continue "
@@ -1045,10 +1090,7 @@ def _drive_ingest(args: argparse.Namespace, runner, checkpoint_path: str) -> int
                 None if summary.report is None
                 else summary.report.overall_score
             ),
-            **(
-                {"stats_snapshots": [s.as_dict() for s in snapshots]}
-                if snapshots else {}
-            ),
+            **({"stats_snapshots": snapshots} if snapshots else {}),
         }, indent=2))
         return 0
     print(

@@ -28,6 +28,7 @@ same exact batch verdicts, near-linear total cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -131,9 +132,21 @@ class AuditEngine:
     registry: AxiomRegistry = field(default_factory=default_registry)
 
     def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
+        from repro.telemetry.instruments import record_audit
+        from repro.telemetry.registry import get_registry
+
         trace = as_trace(trace)
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         results = tuple(self.registry.check_all(trace))
-        return AuditReport(results=results, trace_length=len(trace))
+        report = AuditReport(results=results, trace_length=len(trace))
+        if recording:
+            # A batch audit examines the whole retained trace each time.
+            record_audit(
+                "batch", report.trace_length, report.total_violations,
+                time.perf_counter() - started,
+            )
+        return report
 
     def audit_axioms(
         self, trace: "PlatformTrace | TraceStore", axiom_ids: Iterable[int]
@@ -227,6 +240,11 @@ class DeltaAuditEngine:
 
     def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
         """Audit the trace; equals a full batch audit at this revision."""
+        from repro.telemetry.instruments import record_audit
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         trace = as_trace(trace)
         if self._trace is None:
             self._trace = trace
@@ -256,7 +274,13 @@ class DeltaAuditEngine:
                 checker.apply(trace, delta)
                 results.append(checker.result())
         self.last_delta = delta
-        return AuditReport(results=tuple(results), trace_length=len(trace))
+        report = AuditReport(results=tuple(results), trace_length=len(trace))
+        if recording:
+            record_audit(
+                "delta", len(delta.new_events), report.total_violations,
+                time.perf_counter() - started,
+            )
+        return report
 
 
 class StreamingAuditEngine:

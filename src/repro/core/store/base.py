@@ -24,6 +24,7 @@ of new events referenced.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
@@ -72,11 +73,22 @@ class TraceStore(abc.ABC):
         amortise it into one transaction; the observable store state is
         identical either way, including after a mid-batch validation
         failure (events appended before the failure stay appended).
+        Overriding backends record their own telemetry — metrics are
+        per-batch, never per-event.
         """
+        from repro.telemetry.instruments import record_store_append
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         count = 0
         for event in events:
             self.append(event)
             count += 1
+        if recording:
+            record_store_append(
+                self.backend_name, count, time.perf_counter() - started
+            )
         return count
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from typing import IO, Iterable
 
@@ -163,8 +164,17 @@ class PersistentTraceStore(InMemoryTraceStore):
         this is a convenience for symmetry with ``open`` — the log on
         disk is already complete after every ``append``.
         """
+        from repro.telemetry.instruments import record_store_commit
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         if self._handle is not None:
             self._handle.flush()
+        if recording:
+            record_store_commit(
+                self.backend_name, time.perf_counter() - started
+            )
         return self._path
 
     def close(self) -> None:

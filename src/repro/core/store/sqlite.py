@@ -44,6 +44,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import time
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.core.events import Event
@@ -256,6 +257,14 @@ class SQLiteTraceStore(InMemoryTraceStore):
         """
         if self._replaying:
             return super().append_batch(events)
+        from repro.telemetry.instruments import (
+            record_store_append,
+            record_store_commit,
+        )
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         event_rows: list[tuple[int, int, str, str]] = []
         entity_rows: list[tuple[str, str, int]] = []
         count = 0
@@ -280,14 +289,33 @@ class SQLiteTraceStore(InMemoryTraceStore):
                         "(entity_id, entity_kind, seq) VALUES (?, ?, ?)",
                         entity_rows,
                     )
+                commit_started = time.perf_counter() if recording else 0.0
                 self._conn.commit()
                 self._pending = 0
+                if recording:
+                    record_store_commit(
+                        self.backend_name,
+                        time.perf_counter() - commit_started,
+                    )
+        if recording:
+            record_store_append(
+                self.backend_name, count, time.perf_counter() - started
+            )
         return count
 
     def save(self) -> str:
         """Commit buffered appends; returns the database file path."""
+        from repro.telemetry.instruments import record_store_commit
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         self._conn.commit()
         self._pending = 0
+        if recording:
+            record_store_commit(
+                self.backend_name, time.perf_counter() - started
+            )
         return self._db_path
 
     def close(self) -> None:

@@ -109,10 +109,15 @@ class _AuditLagWatermark:
             self.max_lag_events = max(self.max_lag_events, lag_events)
             return lag_batches, lag_events
 
-    def audited(self, batches: int, events: int) -> None:
+    def audited(self, batches: int, events: int) -> tuple[int, int]:
+        """Record an audit; returns the lag remaining after it."""
         with self._lock:
             self._audited_batches += batches
             self._audited_events += events
+            return (
+                self._appended_batches - self._audited_batches,
+                self._appended_events - self._audited_events,
+            )
 
     def peaks(self) -> tuple[int, int]:
         with self._lock:
@@ -317,12 +322,26 @@ class PipelinedIngestRunner(IngestRunner):
         position: dict[str, Any],
         source_stats: dict | None = None,
     ) -> IngestBatch:
+        from repro.telemetry.instruments import (
+            record_ingest_stage,
+            set_audit_lag,
+        )
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        mark = time.perf_counter() if recording else 0.0
         self._trace.append_batch(polled)
         save = getattr(self._trace.store, "save", None)
         if callable(save):
             save()  # commit before the checkpoint that covers the batch
+        if recording:
+            record_ingest_stage(
+                "append", len(polled), time.perf_counter() - mark
+            )
         self._batches += 1
         lag_batches, lag_events = self._progress.appended(1, len(polled))
+        if recording and self._session is not None:
+            set_audit_lag(lag_batches, lag_events)
         stats: TraceStats | None = None
         if self._stats_cadence and index % self._stats_cadence == 0:
             stats = trace_stats(
@@ -367,9 +386,21 @@ class PipelinedIngestRunner(IngestRunner):
             produced = 0
             idle = 0
             start_index = self._batches
+            from repro.telemetry.instruments import (
+                record_ingest_stage,
+                set_ingest_queue_depth,
+            )
+            from repro.telemetry.registry import get_registry
+
             while not self._stop.is_set():
+                recording = get_registry().enabled
                 cycle_started = self._clock()
+                mark = time.perf_counter() if recording else 0.0
                 polled = self._source.poll(self._batch_events)
+                if recording:
+                    record_ingest_stage(
+                        "poll", len(polled), time.perf_counter() - mark
+                    )
                 if polled:
                     idle = 0
                     position = dict(self._source.position)
@@ -383,6 +414,8 @@ class PipelinedIngestRunner(IngestRunner):
                          source_stats),
                     ):
                         return  # stopped while blocked on backpressure
+                    if recording:
+                        set_ingest_queue_depth("poll", poll_q.qsize())
                     produced += 1
                     if max_batches is not None and produced >= max_batches:
                         self._worker_put(poll_q, ("done", "max_batches"))
@@ -453,6 +486,11 @@ class PipelinedIngestRunner(IngestRunner):
                                 break
                             group.append(extra)
                 if group:
+                    from repro.telemetry.instruments import (
+                        set_ingest_queue_depth,
+                    )
+
+                    set_ingest_queue_depth("audit", audit_q.qsize())
                     self._audit_group(group, results_q)
                 if flushing:
                     results_q.put("finished")
@@ -463,7 +501,15 @@ class PipelinedIngestRunner(IngestRunner):
     def _audit_group(
         self, group: "list[_PendingAudit]", results_q: "queue.Queue"
     ) -> None:
+        from repro.telemetry.instruments import (
+            record_ingest_stage,
+            set_audit_lag,
+        )
+        from repro.telemetry.registry import get_registry
+
         assert self._session is not None
+        recording = get_registry().enabled
+        mark = time.perf_counter() if recording else 0.0
         for pending in group:
             self._shadow.append_batch(pending.events)
         report = self._session.audit(self._shadow)
@@ -479,9 +525,15 @@ class PipelinedIngestRunner(IngestRunner):
         self._last_report = report
         if self._report_dir is not None:
             self._write_rolling_reports(report, self._shadow)
-        self._progress.audited(
-            len(group), sum(len(pending.events) for pending in group)
+        group_events = sum(len(pending.events) for pending in group)
+        lag_batches, lag_events = self._progress.audited(
+            len(group), group_events
         )
+        if recording:
+            record_ingest_stage(
+                "audit", group_events, time.perf_counter() - mark
+            )
+            set_audit_lag(lag_batches, lag_events)
         for pending in group[:-1]:
             results_q.put(
                 IngestBatch(

@@ -373,13 +373,26 @@ class IngestRunner:
 
     def step(self) -> IngestBatch | None:
         """Ingest one batch; ``None`` when the source had nothing new."""
+        from repro.telemetry.instruments import record_ingest_stage
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        mark = time.perf_counter() if recording else 0.0
         events = self._source.poll(self._batch_events)
+        if recording:
+            now = time.perf_counter()
+            record_ingest_stage("poll", len(events), now - mark)
+            mark = now
         if not events:
             return None
         self._trace.append_batch(events)
         save = getattr(self._trace.store, "save", None)
         if callable(save):
             save()  # commit before the checkpoint that covers the batch
+        if recording:
+            now = time.perf_counter()
+            record_ingest_stage("append", len(events), now - mark)
+            mark = now
         index = self._batches
         self._batches += 1
         report: AuditReport | None = None
@@ -398,6 +411,10 @@ class IngestRunner:
             self._last_report = report
             if self._report_dir is not None:
                 self._write_rolling_reports(report)
+            if recording:
+                now = time.perf_counter()
+                record_ingest_stage("audit", len(events), now - mark)
+                mark = now
         stats: TraceStats | None = None
         if self._stats_cadence and index % self._stats_cadence == 0:
             stats = trace_stats(
@@ -414,6 +431,10 @@ class IngestRunner:
                 ),
                 self._checkpoint_path,
             )
+            if recording:
+                record_ingest_stage(
+                    "checkpoint", len(events), time.perf_counter() - mark
+                )
         return IngestBatch(
             index=index,
             events=len(events),

@@ -26,6 +26,8 @@ re-sweep can fetch exactly the slice it needs.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
@@ -33,6 +35,8 @@ from repro.core.events import _KIND_NAMES, Event
 from repro.core.store import TraceStore, collect_touched
 from repro.core.trace import PlatformTrace
 from repro.errors import QueryError
+from repro.telemetry.instruments import record_store_query
+from repro.telemetry.registry import get_registry
 
 ENTITY_KINDS: tuple[str, ...] = (
     "worker", "task", "requester", "contribution",
@@ -52,6 +56,22 @@ def _resolve_store(source: "PlatformTrace | TraceStore") -> TraceStore:
         f"queries run against a PlatformTrace or TraceStore, "
         f"got {type(source).__name__}"
     )
+
+
+@contextmanager
+def _timed_query(store: TraceStore, op: str) -> Iterator[None]:
+    registry = get_registry()
+    if not registry.enabled:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_store_query(
+            store.backend_name, op, time.perf_counter() - started,
+            registry=registry,
+        )
 
 
 def _kind_name(kind: "str | type[Event]") -> str:
@@ -174,21 +194,23 @@ class TraceQuery:
     def run(self, source: "PlatformTrace | TraceStore") -> tuple[Event, ...]:
         """Matching events in append order."""
         store = _resolve_store(source)
-        if store.supports_indexed_query:
-            return store.query_events(self)  # type: ignore[attr-defined]
-        matches: list[Event] = []
-        for event in self._scan(store):
-            matches.append(event)
-            if self.limit is not None and len(matches) >= self.limit:
-                break
-        return tuple(matches)
+        with _timed_query(store, "run"):
+            if store.supports_indexed_query:
+                return store.query_events(self)  # type: ignore[attr-defined]
+            matches: list[Event] = []
+            for event in self._scan(store):
+                matches.append(event)
+                if self.limit is not None and len(matches) >= self.limit:
+                    break
+            return tuple(matches)
 
     def count(self, source: "PlatformTrace | TraceStore") -> int:
         """How many events match (ignores any :meth:`take` limit)."""
         store = _resolve_store(source)
-        if store.supports_indexed_query:
-            return store.query_count(self)  # type: ignore[attr-defined]
-        return sum(1 for _ in self._scan(store))
+        with _timed_query(store, "count"):
+            if store.supports_indexed_query:
+                return store.query_count(self)  # type: ignore[attr-defined]
+            return sum(1 for _ in self._scan(store))
 
     def count_by_kind(
         self, source: "PlatformTrace | TraceStore"
@@ -196,12 +218,13 @@ class TraceQuery:
         """Histogram of matching events by kind, kind-sorted (ignores
         any :meth:`take` limit)."""
         store = _resolve_store(source)
-        if store.supports_indexed_query:
-            return store.query_kind_counts(self)  # type: ignore[attr-defined]
-        counts: dict[str, int] = {}
-        for event in self._scan(store):
-            counts[event.kind] = counts.get(event.kind, 0) + 1
-        return dict(sorted(counts.items()))
+        with _timed_query(store, "count_by_kind"):
+            if store.supports_indexed_query:
+                return store.query_kind_counts(self)  # type: ignore[attr-defined]
+            counts: dict[str, int] = {}
+            for event in self._scan(store):
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+            return dict(sorted(counts.items()))
 
     def project(
         self,
@@ -274,11 +297,12 @@ def entity_event_counts(
             f"known kinds: {', '.join(ENTITY_KINDS)}"
         )
     store = _resolve_store(source)
-    if store.supports_indexed_query:
-        return store.query_entity_counts(entity_kind)  # type: ignore[attr-defined]
-    counts: dict[str, int] = {}
-    attribute = f"{entity_kind}_ids"
-    for event in store.events:
-        for entity_id in getattr(collect_touched((event,)), attribute):
-            counts[entity_id] = counts.get(entity_id, 0) + 1
-    return dict(sorted(counts.items()))
+    with _timed_query(store, "entity_event_counts"):
+        if store.supports_indexed_query:
+            return store.query_entity_counts(entity_kind)  # type: ignore[attr-defined]
+        counts: dict[str, int] = {}
+        attribute = f"{entity_kind}_ids"
+        for event in store.events:
+            for entity_id in getattr(collect_touched((event,)), attribute):
+                counts[entity_id] = counts.get(entity_id, 0) + 1
+        return dict(sorted(counts.items()))

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import inspect
 import json
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -53,6 +55,8 @@ from repro.errors import (
 #: ingest, backend, and serialisation families (they all subclass it);
 #: ``ReportError`` is its sibling for unknown report formats.
 _CLIENT_ERRORS: tuple[type[Exception], ...] = (TraceError, ReportError)
+
+_LOGGER = logging.getLogger("repro.service")
 
 
 @dataclass
@@ -267,7 +271,49 @@ class ServiceApp:
         query: Mapping[str, list[str]] | None = None,
         body: Any = None,
     ) -> Response:
-        """Route one request and envelope whatever happens."""
+        """Route one request and envelope whatever happens.
+
+        The instrumented boundary: every dispatch — handler result,
+        error envelope, 404/405 — lands in the per-route/per-tenant
+        request counter and latency histogram, bracketed by the
+        in-flight gauge (handlers run on the HTTP server's worker
+        threads, so the gauge reads true concurrency).
+        """
+        from repro.telemetry.instruments import (
+            record_service_request,
+            service_inflight_gauge,
+        )
+        from repro.telemetry.registry import get_registry
+
+        registry = get_registry()
+        if not registry.enabled:
+            response, _, _ = self._dispatch(method, path, query, body)
+            return response
+        inflight = service_inflight_gauge(registry=registry)
+        inflight.inc()
+        started = time.perf_counter()
+        try:
+            response, route_pattern, tenant = self._dispatch(
+                method, path, query, body
+            )
+        finally:
+            inflight.dec()
+        record_service_request(
+            route_pattern, method.upper(), tenant, response.status,
+            time.perf_counter() - started, registry=registry,
+        )
+        return response
+
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, list[str]] | None = None,
+        body: Any = None,
+    ) -> tuple[Response, str, str]:
+        """Dispatch; returns (response, route pattern, tenant) so the
+        instrumented wrapper labels by pattern (bounded cardinality),
+        never by raw path."""
         method = method.upper()
         matched_other_method = False
         for route in self._routes:
@@ -277,6 +323,8 @@ class ServiceApp:
             if route.method != method:
                 matched_other_method = True
                 continue
+            pattern = "/" + "/".join(route.segments)
+            tenant = params.get("tenant", "")
             request = Request(
                 method=method,
                 path=path,
@@ -290,19 +338,35 @@ class ServiceApp:
             try:
                 result = route.handler(request, *arguments)
             except Exception as error:  # noqa: BLE001 - envelope boundary
-                return self._error_response(error)
+                return self._error_response(error), pattern, tenant
             if isinstance(result, Response):
-                return result
-            return Response(status=200, payload=result)
+                return result, pattern, tenant
+            return Response(status=200, payload=result), pattern, tenant
         if matched_other_method:
-            return _envelope(
-                405, "MethodNotAllowed",
-                f"method {method} is not supported on {path}",
+            return (
+                _envelope(
+                    405, "MethodNotAllowed",
+                    f"method {method} is not supported on {path}",
+                ),
+                "unrouted", "",
             )
-        return _envelope(404, "NotFound", f"no route matches {method} {path}")
+        return (
+            _envelope(404, "NotFound", f"no route matches {method} {path}"),
+            "unrouted", "",
+        )
 
     def _error_response(self, error: Exception) -> Response:
         code = error_status(error)
+        masked = not isinstance(error, ReproError) and code >= 500
+        if masked:
+            # The wire envelope deliberately hides internals, so this
+            # log line is the only place the real traceback survives.
+            _LOGGER.error(
+                "unexpected %s handling request (masked as "
+                "InternalError 500)",
+                type(error).__name__,
+                exc_info=error,
+            )
         kind = type(error).__name__ if isinstance(error, ReproError) else (
             "InternalError" if code >= 500 else type(error).__name__
         )
@@ -310,6 +374,9 @@ class ServiceApp:
 
 
 def _envelope(status: int, kind: str, message: str) -> Response:
+    from repro.telemetry.instruments import record_service_error
+
+    record_service_error(kind, status)
     return Response(
         status=status,
         payload={"error": {"type": kind, "message": message, "status": status}},

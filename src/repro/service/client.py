@@ -215,3 +215,14 @@ class ServiceClient:
             params={"format": format},
             raw=True,
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def metrics(self) -> str:
+        """The service's live metrics, Prometheus text exposition."""
+        return self.request("GET", "/metrics", raw=True)
+
+    def metrics_json(self) -> dict:
+        """The service's live metrics as the registry snapshot document."""
+        return self.request("GET", "/metrics", params={"format": "json"})

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.service.app import Router
 from repro.service.routers.audits import router as audits_router
 from repro.service.routers.events import router as events_router
+from repro.service.routers.metrics import router as metrics_router
 from repro.service.routers.query import router as query_router
 from repro.service.routers.reports import router as reports_router
 from repro.service.routers.tenants import router as tenants_router
@@ -22,6 +23,7 @@ def all_routers() -> list[Router]:
         audits_router,
         query_router,
         reports_router,
+        metrics_router,
     ]
 
 
@@ -29,6 +31,7 @@ __all__ = [
     "all_routers",
     "audits_router",
     "events_router",
+    "metrics_router",
     "query_router",
     "reports_router",
     "tenants_router",

@@ -1,0 +1,42 @@
+"""The ``/metrics`` endpoint: live telemetry in scrapeable form.
+
+| method | path     | action                                        |
+|--------|----------|-----------------------------------------------|
+| GET    | /metrics | Prometheus text exposition (``?format=json``  |
+|        |          | for the registry snapshot document)           |
+
+The endpoint renders the *process-wide* registry: one served process
+hosts every tenant, so a scrape sees the whole service — per-tenant
+separation lives in the ``tenant`` label on the request counters, not
+in separate endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadRequestError
+from repro.service.app import Request, Response, Router
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    get_registry,
+    render_prometheus,
+)
+
+router = Router()
+
+
+@router.get("/metrics")
+def metrics(request: Request) -> Response:
+    format_name = request.query_str("format", "prometheus")
+    registry = get_registry()
+    if format_name == "json":
+        return Response(status=200, payload=registry.snapshot())
+    if format_name != "prometheus":
+        raise BadRequestError(
+            f"unknown metrics format {format_name!r} "
+            "(expected 'prometheus' or 'json')"
+        )
+    return Response(
+        status=200,
+        text=render_prometheus(registry),
+        content_type=PROMETHEUS_CONTENT_TYPE,
+    )

@@ -34,6 +34,7 @@ per-partition.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from typing import TYPE_CHECKING
 
@@ -170,6 +171,11 @@ class ShardedDeltaAuditEngine:
 
     def audit(self, trace: "PlatformTrace | TraceStore") -> AuditReport:
         """Audit the trace; equals a full batch audit at this revision."""
+        from repro.telemetry.instruments import record_audit
+        from repro.telemetry.registry import get_registry
+
+        recording = get_registry().enabled
+        started = time.perf_counter() if recording else 0.0
         trace = as_trace(trace)
         if self._closed:
             raise AuditError(
@@ -240,7 +246,13 @@ class ShardedDeltaAuditEngine:
             for axiom in self.registry
         )
         self.last_delta = delta
-        return AuditReport(results=results, trace_length=len(trace))
+        report = AuditReport(results=results, trace_length=len(trace))
+        if recording:
+            record_audit(
+                "sharded", len(delta.new_events), report.total_violations,
+                time.perf_counter() - started,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Lifecycle

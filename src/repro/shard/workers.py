@@ -28,6 +28,7 @@ either way.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -60,7 +61,20 @@ class ShardRunner:
             checker.fold(trace, delta)
 
     def judge(self) -> "list[PartitionVerdicts]":
-        return [checker.judge() for checker in self.checkers]
+        # Per-shard judge time; in the process backend this records into
+        # the *worker process's* registry (invisible to the driver) —
+        # the thread backend, the default, is the observable one.
+        from repro.telemetry.instruments import record_shard_judge
+        from repro.telemetry.registry import get_registry
+
+        if not get_registry().enabled:
+            return [checker.judge() for checker in self.checkers]
+        started = time.perf_counter()
+        verdicts = [checker.judge() for checker in self.checkers]
+        record_shard_judge(
+            self.shard_index, time.perf_counter() - started
+        )
+        return verdicts
 
 
 class ThreadShardPool:

@@ -1,0 +1,59 @@
+"""Stdlib-only telemetry: metrics registry, spans, exposition, snapshots.
+
+Quick tour::
+
+    from repro.telemetry import get_registry, span, render_prometheus
+
+    get_registry().counter("repro_widgets_total", tenant="acme").inc()
+    with span("rebuild"):
+        ...
+    print(render_prometheus())
+
+See :mod:`repro.telemetry.instruments` for the system's full metric
+vocabulary and :mod:`repro.telemetry.registry` for the threading and
+zero-cost-when-disabled contracts.
+"""
+
+from .exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    lint_registry,
+    render_json,
+    render_prometheus,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetryError,
+    get_registry,
+    set_registry,
+    using_registry,
+)
+from .snapshots import MetricsSnapshotWriter, read_snapshots
+from .spans import current_span, span
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshotWriter",
+    "NullRegistry",
+    "TelemetryError",
+    "current_span",
+    "get_registry",
+    "lint_registry",
+    "read_snapshots",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+    "span",
+    "using_registry",
+]

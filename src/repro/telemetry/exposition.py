@@ -1,0 +1,136 @@
+"""Rendering a :class:`MetricsRegistry` as Prometheus text exposition.
+
+The output follows the version 0.0.4 text format (the one every
+Prometheus scraper speaks): ``# HELP`` / ``# TYPE`` headers per family,
+one line per sample, histogram children expanded into cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Label values
+are escaped per the spec (backslash, double quote, newline).
+
+:func:`lint_registry` is the test-time self-check the issue asks for:
+every registered name must match the Prometheus charset, counters must
+end in ``_total``, and duration histograms in ``_seconds`` — so a bad
+metric name fails a unit test instead of silently producing output a
+scraper drops.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .registry import (
+    METRIC_NAME_RE,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+#: The content type scrapers expect from a /metrics endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _labels_text(label_names: tuple[str, ...], values: tuple[str, ...],
+                 extra: "list[tuple[str, str]] | None" = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, values)
+    ]
+    for name, value in extra or []:
+        pairs.append(f'{name}="{_escape_label_value(value)}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for family in registry.families():
+        help_text = family.help or family.name
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, instrument in family.items():
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                bounds = [*instrument.buckets, float("inf")]
+                for bound, count in zip(bounds, cumulative):
+                    labels = _labels_text(
+                        family.label_names, values,
+                        [("le", _format_value(bound))],
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                base = _labels_text(family.label_names, values)
+                lines.append(
+                    f"{family.name}_sum{base} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(f"{family.name}_count{base} {instrument.count}")
+            else:
+                labels = _labels_text(family.label_names, values)
+                lines.append(
+                    f"{family.name}{labels} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry | None = None) -> str:
+    """The registry snapshot as a JSON document (``?format=json``)."""
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(), sort_keys=True)
+
+
+def lint_registry(registry: MetricsRegistry | None = None) -> list[str]:
+    """Naming-convention violations in the registry (empty = clean).
+
+    Rules:
+
+    * every metric name matches ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+    * counters end in ``_total``;
+    * histograms end in ``_seconds`` (every histogram here is a
+      duration; a future byte-size histogram would extend this rule);
+    * gauges end in neither ``_total`` nor reserved histogram suffixes
+      (``_bucket``, ``_sum``, ``_count``), which scrapers special-case.
+    """
+    registry = registry if registry is not None else get_registry()
+    problems: list[str] = []
+    for family in registry.families():
+        name = family.name
+        if not METRIC_NAME_RE.match(name):
+            problems.append(
+                f"{name}: invalid charset (must match "
+                "[a-zA-Z_:][a-zA-Z0-9_:]*)"
+            )
+        if family.kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter names must end in _total")
+        if family.kind == "histogram" and not name.endswith("_seconds"):
+            problems.append(
+                f"{name}: duration histogram names must end in _seconds"
+            )
+        if family.kind == "gauge":
+            for suffix in ("_total", "_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    problems.append(
+                        f"{name}: gauge names must not end in {suffix}"
+                    )
+        if family.kind == "histogram":
+            for suffix in ("_total", "_bucket", "_count"):
+                if name.endswith(suffix):
+                    problems.append(
+                        f"{name}: histogram names must not end in {suffix}"
+                    )
+    return problems

@@ -1,0 +1,232 @@
+"""The system's metric vocabulary: one helper per instrumentation site.
+
+Every hot layer records through these helpers rather than naming
+metrics inline, so the full set of families lives in one file — the
+place to look when reading a ``/metrics`` scrape — and the naming
+conventions (``_total`` counters, ``_seconds`` histograms; labels drawn
+from ``tenant``/``route``/``stage``/``shard``/``backend``/``engine``)
+are enforced in exactly one place, pinned by the lint test.
+
+Each helper reads the process default registry per call (registries are
+swappable in tests/benches) and short-circuits on ``registry.enabled``
+— callers guard their own clock reads the same way::
+
+    registry = get_registry()
+    started = time.perf_counter() if registry.enabled else 0.0
+    ...work...
+    record_store_append(backend, n, time.perf_counter() - started)
+
+Granularity is per *batch*, never per event: the telemetry bench gates
+the instrumented ingest+audit path within 5% of the null-registry path,
+and per-event recording would not clear that bar.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry, get_registry
+
+# ----------------------------------------------------------------------
+# Store layer
+
+
+def record_store_append(
+    backend: str, events: int, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_store_append_batches_total",
+        help="Batches appended to a trace store.", backend=backend,
+    ).inc()
+    registry.counter(
+        "repro_store_append_events_total",
+        help="Events appended to a trace store.", backend=backend,
+    ).inc(events)
+    registry.histogram(
+        "repro_store_append_seconds",
+        help="Latency of trace-store batch appends.", backend=backend,
+    ).observe(seconds)
+
+
+def record_store_commit(
+    backend: str, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_store_commits_total",
+        help="Durable commits (save/flush) of a trace store.",
+        backend=backend,
+    ).inc()
+    registry.histogram(
+        "repro_store_commit_seconds",
+        help="Latency of trace-store commits.", backend=backend,
+    ).observe(seconds)
+
+
+def record_store_query(
+    backend: str, op: str, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_store_queries_total",
+        help="TraceQuery executions against a store.",
+        backend=backend, op=op,
+    ).inc()
+    registry.histogram(
+        "repro_store_query_seconds",
+        help="Latency of TraceQuery executions.", backend=backend, op=op,
+    ).observe(seconds)
+
+
+# ----------------------------------------------------------------------
+# Audit layer
+
+
+def record_audit(
+    engine: str, events: int, violations: int, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_audit_runs_total",
+        help="Audit passes executed.", engine=engine,
+    ).inc()
+    registry.counter(
+        "repro_audit_events_total",
+        help="Events examined by audit passes (delta size for "
+             "delta/sharded engines, full trace for batch).",
+        engine=engine,
+    ).inc(events)
+    registry.counter(
+        "repro_audit_violations_total",
+        help="Violations emitted by audit passes.", engine=engine,
+    ).inc(violations)
+    registry.histogram(
+        "repro_audit_seconds",
+        help="Latency of audit passes.", engine=engine,
+    ).observe(seconds)
+
+
+def record_shard_judge(
+    shard: int | str, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.histogram(
+        "repro_audit_shard_judge_seconds",
+        help="Per-shard judge time inside sharded audits.",
+        shard=shard,
+    ).observe(seconds)
+
+
+# ----------------------------------------------------------------------
+# Ingest layer
+
+
+def record_ingest_stage(
+    stage: str, events: int, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_ingest_stage_batches_total",
+        help="Batches processed per ingest stage.", stage=stage,
+    ).inc()
+    registry.counter(
+        "repro_ingest_stage_events_total",
+        help="Events processed per ingest stage.", stage=stage,
+    ).inc(events)
+    registry.histogram(
+        "repro_ingest_stage_seconds",
+        help="Time spent per ingest stage per batch.", stage=stage,
+    ).observe(seconds)
+
+
+def set_ingest_queue_depth(
+    queue: str, depth: int,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_ingest_queue_depth",
+        help="Occupancy of the pipelined ingest hand-off queues.",
+        queue=queue,
+    ).set(depth)
+
+
+def set_audit_lag(
+    batches: int, events: int,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_ingest_audit_lag_batches",
+        help="Appended-but-unaudited batches (the audit-lag watermark).",
+    ).set(batches)
+    registry.gauge(
+        "repro_ingest_audit_lag_events",
+        help="Appended-but-unaudited events (the audit-lag watermark).",
+    ).set(events)
+
+
+# ----------------------------------------------------------------------
+# Service layer
+
+
+def record_service_request(
+    route: str, method: str, tenant: str, status: int, seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_service_requests_total",
+        help="HTTP requests served, by route pattern and tenant.",
+        route=route, method=method, tenant=tenant, status=status,
+    ).inc()
+    registry.histogram(
+        "repro_service_request_seconds",
+        help="HTTP request latency, by route pattern.",
+        route=route, method=method,
+    ).observe(seconds)
+
+
+def record_service_error(
+    error_type: str, status: int,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_service_errors_total",
+        help="Error envelopes returned by the service, by error type.",
+        type=error_type, status=status,
+    ).inc()
+
+
+def service_inflight_gauge(registry: MetricsRegistry | None = None):
+    registry = registry if registry is not None else get_registry()
+    return registry.gauge(
+        "repro_service_inflight_requests",
+        help="Requests currently being handled.",
+    )

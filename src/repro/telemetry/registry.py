@@ -1,0 +1,460 @@
+"""The metrics core: one registry of counters, gauges, and histograms.
+
+Every layer of the system — stores, audit engines, ingest stages, the
+HTTP service — records into one process-wide :class:`MetricsRegistry`
+(see :func:`get_registry`).  The model is deliberately the Prometheus
+one, because that is what the ``GET /metrics`` endpoint renders:
+
+* a **family** is one metric name + kind + help string + label *names*
+  (``repro_service_requests_total{route, method, tenant, status}``);
+* a **child** is one concrete label-value combination of a family,
+  holding the actual numbers;
+* :class:`Counter` only goes up, :class:`Gauge` goes anywhere,
+  :class:`Histogram` buckets observations into fixed log-scale latency
+  buckets and keeps a running sum + count.
+
+Everything is thread-safe: the registry guards family/child creation
+with one lock, and each instrument guards its own numbers with its own
+lock, so ingest stage threads, shard judges, and HTTP handler threads
+can all record concurrently (pinned by the hammer test in
+``tests/telemetry/test_concurrent.py``).
+
+Instrumentation must be **zero-cost when disabled**: swap in the
+:data:`NULL_REGISTRY` (``set_registry(NULL_REGISTRY)``) and every
+``counter()/gauge()/histogram()`` call returns a shared no-op
+instrument; hot paths can additionally branch on
+:attr:`MetricsRegistry.enabled` to skip clock reads entirely.  The
+overhead of the *enabled* default registry is itself gated within 5% of
+the null path by ``benchmarks/test_bench_telemetry.py``.
+
+Metric names are validated at registration time against the Prometheus
+charset (``[a-zA-Z_:][a-zA-Z0-9_:]*``); the suffix *conventions*
+(counters end ``_total``, duration histograms end ``_seconds``) are
+enforced by the test-time lint in :func:`repro.telemetry.exposition.
+lint_registry`, so exposition never silently produces unscrapable
+output.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+#: Prometheus metric-name charset (label names drop the colon).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed log-scale latency buckets (seconds): a 1-2.5-5 ladder from
+#: 100µs to 30s.  Fixed — never data-dependent — so snapshots from
+#: different processes and different runs are always mergeable and a
+#: JSONL trajectory plots without bucket realignment.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0,
+)
+
+
+class TelemetryError(ValueError):
+    """A metric was registered inconsistently (bad name, kind clash,
+    label-set clash).  Raised at registration time — instrumentation
+    bugs must fail the first call, not corrupt the exposition."""
+
+
+def validate_metric_name(name: str) -> str:
+    if not METRIC_NAME_RE.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def validate_label_name(name: str) -> str:
+    if not LABEL_NAME_RE.match(name) or name.startswith("__"):
+        raise TelemetryError(
+            f"invalid label name {name!r}: must match "
+            "[a-zA-Z_][a-zA-Z0-9_]* and not start with '__'"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (requests, events, errors)."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counters only go up; inc({amount}) is a gauge move"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go anywhere (queue depth, in-flight requests)."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Observations bucketed into fixed upper bounds, plus sum + count.
+
+    Bucket counts are *cumulative* on export (the Prometheus ``le``
+    contract) but stored per-bucket internally so ``observe`` is one
+    bisect + one add.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise TelemetryError(
+                f"histogram buckets must be strictly increasing and "
+                f"non-empty, got {bounds!r}"
+            )
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Per-bound cumulative counts, ending with the +Inf total."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        out = []
+        for c in counts:
+            total += c
+            out.append(total)
+        return tuple(out)
+
+    def sample(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": total_sum,
+            "count": total_count,
+        }
+
+
+class MetricFamily:
+    """All children (label-value combinations) of one metric name."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def child(self, label_values: tuple[str, ...]) -> Any:
+        with self._lock:
+            instrument = self._children.get(label_values)
+            if instrument is None:
+                if self.kind == "counter":
+                    instrument = Counter()
+                elif self.kind == "gauge":
+                    instrument = Gauge()
+                else:
+                    instrument = Histogram(
+                        self.buckets or DEFAULT_LATENCY_BUCKETS
+                    )
+                self._children[label_values] = instrument
+        return instrument
+
+    def items(self) -> "list[tuple[tuple[str, ...], Any]]":
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric family in one process."""
+
+    #: Real registry: instrumentation should record.  The null registry
+    #: flips this so hot paths can skip even the clock reads.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Mapping[str, Any],
+        buckets: tuple[float, ...] | None = None,
+    ) -> tuple[MetricFamily, tuple[str, ...]]:
+        label_names = tuple(sorted(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                validate_metric_name(name)
+                for label in label_names:
+                    validate_label_name(label)
+                family = MetricFamily(
+                    name, kind, help_text, label_names, buckets
+                )
+                self._families[name] = family
+            else:
+                if family.kind != kind:
+                    raise TelemetryError(
+                        f"metric {name!r} is a {family.kind}, not a {kind}"
+                    )
+                if family.label_names != label_names:
+                    raise TelemetryError(
+                        f"metric {name!r} was registered with labels "
+                        f"{family.label_names!r}, got {label_names!r}; "
+                        "one family, one label set"
+                    )
+        values = tuple(str(labels[label]) for label in family.label_names)
+        return family, values
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:  # noqa: A002
+        family, values = self._family(name, "counter", help, labels)
+        return family.child(values)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:  # noqa: A002
+        family, values = self._family(name, "gauge", help, labels)
+        return family.child(values)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Sequence[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        family, values = self._family(
+            name, "histogram", help, labels,
+            None if buckets is None else tuple(float(b) for b in buckets),
+        )
+        return family.child(values)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def families(self) -> "list[MetricFamily]":
+        with self._lock:
+            return [
+                self._families[name] for name in sorted(self._families)
+            ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as one JSON-able document.
+
+        Schema (also the per-line payload of
+        :class:`~repro.telemetry.snapshots.MetricsSnapshotWriter`)::
+
+            {"<name>": {
+                "kind": "counter" | "gauge" | "histogram",
+                "help": "...",
+                "label_names": ["route", ...],
+                "samples": [
+                    {"labels": {"route": "/x"},
+                     "value": 3.0}                         # counter/gauge
+                    {"labels": {...}, "buckets": [...],
+                     "counts": [...], "sum": s, "count": n}  # histogram
+                ]}}
+        """
+        document: dict[str, Any] = {}
+        for family in self.families():
+            samples = []
+            for values, instrument in family.items():
+                samples.append({
+                    "labels": dict(zip(family.label_names, values)),
+                    **instrument.sample(),
+                })
+            document[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": samples,
+            }
+        return document
+
+
+class _NullInstrument:
+    """One shared do-nothing stand-in for every instrument kind."""
+
+    kind = "null"
+    buckets: tuple[float, ...] = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        return ()
+
+    def sample(self) -> dict[str, Any]:
+        return {"value": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing and allocates nothing.
+
+    Swap it in with ``set_registry(NULL_REGISTRY)`` to disable
+    telemetry; every instrument accessor returns one shared no-op
+    object, and :attr:`enabled` is False so instrumentation helpers can
+    skip their clock reads too.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Any:  # noqa: A002
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Any:  # noqa: A002
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Sequence[float] | None = None,
+        **labels: Any,
+    ) -> Any:
+        return _NULL_INSTRUMENT
+
+    def families(self) -> "list[MetricFamily]":
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+#: The shared do-nothing registry (a singleton; identity-comparable).
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumentation records into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process default; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+@contextmanager
+def using_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the process default (tests, benches)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

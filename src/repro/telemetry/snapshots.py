@@ -1,0 +1,92 @@
+"""Periodic JSONL metrics snapshots for offline trajectory analysis.
+
+``trace tail --metrics-out metrics.jsonl --metrics-every 5`` appends
+one JSON line every 5 ingested batches.  Line schema::
+
+    {"elapsed_s": <monotonic seconds since the writer was opened>,
+     "batch": <ingest batch ordinal at snapshot time>,
+     "metrics": <MetricsRegistry.snapshot() document>}
+
+``elapsed_s`` is monotonic (``time.monotonic``) so a snapshot series is
+plottable without guessing the cadence; ``batch`` ties each snapshot to
+the ingest progress axis.  The file is line-buffered append, so a
+crashed run keeps every snapshot written before the crash — the same
+durability idiom as the JSONL trace segments.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from .registry import MetricsRegistry, get_registry
+
+
+class MetricsSnapshotWriter:
+    """Appends registry snapshots to a JSONL file on a batch cadence."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        every: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"snapshot cadence must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = every
+        self._registry = registry
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._start = time.monotonic()
+        self._batches = 0
+        self.written = 0
+
+    def _snapshot(self, batch: int) -> None:
+        registry = (
+            self._registry if self._registry is not None else get_registry()
+        )
+        line = json.dumps(
+            {
+                "elapsed_s": round(time.monotonic() - self._start, 6),
+                "batch": batch,
+                "metrics": registry.snapshot(),
+            },
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self.written += 1
+
+    def observe_batch(self) -> bool:
+        """Called once per ingest batch; snapshots on the cadence.
+
+        Returns True when a snapshot line was written.
+        """
+        self._batches += 1
+        if self._batches % self.every:
+            return False
+        self._snapshot(self._batches)
+        return True
+
+    def close(self) -> None:
+        """Write one final snapshot (if any batch ran since the last
+        one) and close the file."""
+        if self._handle.closed:
+            return
+        if self._batches % self.every:
+            self._snapshot(self._batches)
+        self._handle.close()
+
+    def __enter__(self) -> "MetricsSnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_snapshots(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a snapshot JSONL file back into a list of documents."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

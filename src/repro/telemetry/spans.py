@@ -1,0 +1,93 @@
+"""Timing spans: ``with span("audit_run"): ...`` → a duration histogram.
+
+A span records wall time (``time.perf_counter``) into a histogram named
+``repro_span_<name>_seconds`` in the process default registry.  Spans
+nest: each thread keeps a stack of active span names, and a child span
+carries its parent's name as the ``parent`` label, which is enough for
+the coarse request→stage attribution the service and ingest layers
+need (e.g. ``repro_span_audit_seconds{parent="request"}``) without a
+full tracing system.
+
+``span`` doubles as a decorator::
+
+    @span("judge")
+    def judge(self): ...
+
+When the default registry is the null registry the context manager
+skips the clock reads entirely — the zero-cost-when-disabled contract
+the telemetry bench holds the whole subsystem to.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, TypeVar
+
+from .registry import get_registry, validate_metric_name
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_local = threading.local()
+
+
+def _stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def current_span() -> str:
+    """Name of the innermost active span on this thread ('' if none)."""
+    stack = _stack()
+    return stack[-1] if stack else ""
+
+
+class span:
+    """Context manager / decorator timing a named operation.
+
+    The histogram is ``repro_span_<name>_seconds{parent=<outer span>}``
+    so nested spans attribute their time to the enclosing operation.
+    """
+
+    __slots__ = ("name", "_start", "_parent", "_enabled")
+
+    def __init__(self, name: str) -> None:
+        validate_metric_name(name)
+        self.name = name
+        self._start = 0.0
+        self._parent = ""
+        self._enabled = False
+
+    def __enter__(self) -> "span":
+        registry = get_registry()
+        self._enabled = registry.enabled
+        if not self._enabled:
+            return self
+        stack = _stack()
+        self._parent = stack[-1] if stack else ""
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if not self._enabled:
+            return
+        elapsed = time.perf_counter() - self._start
+        _stack().pop()
+        get_registry().histogram(
+            f"repro_span_{self.name}_seconds",
+            help=f"Duration of {self.name} spans.",
+            parent=self._parent,
+        ).observe(elapsed)
+
+    def __call__(self, func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(self.name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]

@@ -1,0 +1,220 @@
+"""GET /metrics over live HTTP: exposition validity and exact totals."""
+
+import re
+
+import pytest
+
+from repro.core.serialize import event_to_dict
+from repro.service import AuditService, ServiceClient
+from repro.service.app import Router, ServiceApp
+from repro.telemetry import MetricsRegistry, using_registry
+from repro.workloads.scenarios import all_scenarios
+
+# Label values are quoted and may themselves contain '{'/'}' (route
+# patterns do), so the label block is matched greedily to the last '}'.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [0-9+eE.\-Inf]+$"
+)
+
+
+@pytest.fixture()
+def registry():
+    """A fresh process-default registry for the served instance, so
+    request totals are exact (the real default accumulates across
+    tests)."""
+    with using_registry(MetricsRegistry()) as fresh:
+        yield fresh
+
+
+@pytest.fixture()
+def service(tmp_path, registry):
+    with AuditService(str(tmp_path / "data"), port=0) as live:
+        yield live
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url)
+
+
+@pytest.fixture(scope="module")
+def records():
+    scenarios = {s.name: s for s in all_scenarios(0)}
+    return [event_to_dict(e) for e in scenarios["unequal_pay"].trace]
+
+
+def parse_samples(text):
+    """Prometheus exposition -> {(name, labels_text): float}."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _SAMPLE_LINE.match(line), f"unscrapable line: {line!r}"
+        name_part, value = line.rsplit(" ", 1)
+        samples[name_part] = float(value)
+    return samples
+
+
+class TestExposition:
+    def test_covers_service_store_audit_and_ingest_families(
+        self, client, records
+    ):
+        # Exercise every layer through the public API, then scrape.
+        client.create_tenant("acme", backend="memory")
+        client.append("acme", records)
+        client.run_audit("acme")
+        client.query("acme", count=True)
+        text = client.metrics()
+        assert text  # non-empty exposition
+        families = {
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        }
+        assert "repro_service_requests_total" in families
+        assert "repro_service_request_seconds" in families
+        assert "repro_store_append_events_total" in families
+        assert "repro_store_queries_total" in families
+        assert "repro_audit_runs_total" in families
+        parse_samples(text)  # every sample line is scrapable
+
+    def test_json_format_returns_the_snapshot_document(
+        self, client, records
+    ):
+        client.create_tenant("acme", backend="memory")
+        document = client.metrics_json()
+        assert document["repro_service_requests_total"]["kind"] == "counter"
+
+    def test_unknown_format_is_a_400(self, client):
+        from repro.errors import ServiceClientError
+
+        with pytest.raises(ServiceClientError) as caught:
+            client.request("GET", "/metrics", params={"format": "xml"})
+        assert caught.value.status == 400
+
+
+class TestExactTotals:
+    def test_per_tenant_request_counts_equal_requests_issued(
+        self, client, records, registry
+    ):
+        client.create_tenant("acme", backend="memory")
+        client.create_tenant("globex", backend="memory")
+        for _ in range(5):
+            client.tenant("acme")
+        for _ in range(3):
+            client.tenant("globex")
+        client.append("acme", records[:10])
+
+        def tenant_gets(tenant):
+            return registry.counter(
+                "repro_service_requests_total",
+                route="/tenants/{tenant}", method="GET",
+                tenant=tenant, status=200,
+            ).value
+
+        assert tenant_gets("acme") == 5
+        assert tenant_gets("globex") == 3
+        # The same numbers through the wire endpoint.
+        samples = parse_samples(client.metrics())
+        acme_info = (
+            'repro_service_requests_total{method="GET",'
+            'route="/tenants/{tenant}",status="200",tenant="acme"}'
+        )
+        assert samples[acme_info] == 5
+        append_line = (
+            'repro_service_requests_total{method="POST",'
+            'route="/tenants/{tenant}/events",status="200",tenant="acme"}'
+        )
+        assert samples[append_line] == 1
+
+    def test_scrape_counts_itself(self, client, registry):
+        client.metrics()
+        client.metrics()
+        metrics_route = registry.counter(
+            "repro_service_requests_total",
+            route="/metrics", method="GET", tenant="", status=200,
+        )
+        # The second scrape reported the first; the counter now holds 2.
+        assert metrics_route.value == 2
+
+    def test_error_envelopes_are_counted_by_type(self, client, registry):
+        from repro.errors import ServiceClientError
+
+        with pytest.raises(ServiceClientError):
+            client.tenant("ghost")  # 404 UnknownTenantError
+        assert registry.counter(
+            "repro_service_errors_total",
+            type="UnknownTenantError", status=404,
+        ).value == 1
+
+    def test_inflight_gauge_settles_to_zero(self, client, registry):
+        client.ping()
+        assert registry.gauge(
+            "repro_service_inflight_requests"
+        ).value == 0
+
+
+class TestErrorLogging:
+    """Satellite: unexpected exceptions log a traceback *before* being
+    masked as InternalError 500 — and the wire envelope is unchanged."""
+
+    @staticmethod
+    def _crashing_app():
+        router = Router()
+
+        @router.get("/boom")
+        def boom(request):
+            raise RuntimeError("wires crossed")
+
+        return ServiceApp().include(router)
+
+    def test_traceback_reaches_the_log(self, caplog):
+        app = self._crashing_app()
+        with caplog.at_level("ERROR", logger="repro.service"):
+            response = app.dispatch("GET", "/boom")
+        assert response.status == 500
+        record = next(
+            r for r in caplog.records if r.name == "repro.service"
+        )
+        assert "RuntimeError" in record.message
+        assert record.exc_info is not None
+        text = caplog.text
+        assert "Traceback" in text and "wires crossed" in text
+
+    def test_envelope_stays_masked(self, caplog):
+        app = self._crashing_app()
+        with caplog.at_level("ERROR", logger="repro.service"):
+            response = app.dispatch("GET", "/boom")
+        assert response.payload == {
+            "error": {
+                "type": "InternalError",
+                "message": "wires crossed",
+                "status": 500,
+            }
+        }
+
+    def test_expected_errors_do_not_log_tracebacks(self, caplog):
+        from repro.errors import BadRequestError
+
+        router = Router()
+
+        @router.get("/bad")
+        def bad(request):
+            raise BadRequestError("no")
+
+        app = ServiceApp().include(router)
+        with caplog.at_level("ERROR", logger="repro.service"):
+            response = app.dispatch("GET", "/bad")
+        assert response.status == 400
+        assert not [
+            r for r in caplog.records if r.name == "repro.service"
+        ]
+
+    def test_unexpected_errors_increment_the_error_counter(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            self._crashing_app().dispatch("GET", "/boom")
+        assert registry.counter(
+            "repro_service_errors_total",
+            type="InternalError", status=500,
+        ).value == 1

@@ -1,0 +1,96 @@
+"""CLI observability surfaces: --metrics-out/--metrics-every snapshots,
+elapsed_s-stamped stats_snapshots, and the trace stats telemetry section.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import read_snapshots
+
+
+@pytest.fixture()
+def export_log(tmp_path, capsys):
+    path = tmp_path / "export-log"
+    assert main(
+        ["trace", "save", str(path), "--scenario", "unequal_pay",
+         "--segment-events", "10"]
+    ) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestMetricsOut:
+    def test_tail_appends_jsonl_snapshots_on_the_cadence(
+        self, export_log, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["trace", "tail", str(export_log), str(tmp_path / "live.db"),
+             "--interval", "0", "--until-idle", "1", "--batch-events", "20",
+             "--audit", "--metrics-out", str(metrics_path),
+             "--metrics-every", "2"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "telemetry snapshots" in err
+        lines = read_snapshots(metrics_path)
+        assert lines  # 46 events / 20 per batch = 3 batches -> 2 lines
+        for line in lines:
+            assert set(line) == {"elapsed_s", "batch", "metrics"}
+            assert "repro_ingest_stage_batches_total" in line["metrics"]
+            assert "repro_audit_runs_total" in line["metrics"]
+        elapsed = [line["elapsed_s"] for line in lines]
+        assert elapsed == sorted(elapsed)  # monotonic series
+
+    def test_resume_accepts_the_flags_too(
+        self, export_log, tmp_path, capsys
+    ):
+        dest = tmp_path / "live.db"
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["trace", "tail", str(export_log), str(dest),
+             "--interval", "0", "--max-batches", "1",
+             "--batch-events", "20"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "resume", str(export_log), str(dest),
+             "--interval", "0", "--until-idle", "1", "--batch-events", "20",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        assert read_snapshots(metrics_path)
+
+
+class TestStatsSnapshotsElapsed:
+    def test_json_summary_snapshots_carry_elapsed_s(
+        self, export_log, tmp_path, capsys
+    ):
+        assert main(
+            ["trace", "tail", str(export_log), str(tmp_path / "live.db"),
+             "--interval", "0", "--until-idle", "1", "--batch-events", "20",
+             "--stats-every", "1", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        snapshots = payload["stats_snapshots"]
+        assert len(snapshots) == 3
+        for snapshot in snapshots:
+            assert isinstance(snapshot["elapsed_s"], float)
+            assert snapshot["elapsed_s"] >= 0
+            assert "events" in snapshot  # the TraceStats fields survive
+        elapsed = [s["elapsed_s"] for s in snapshots]
+        assert elapsed == sorted(elapsed)
+
+
+class TestTraceStatsTelemetry:
+    def test_stats_json_includes_a_telemetry_section(
+        self, export_log, capsys
+    ):
+        assert main(
+            ["trace", "stats", str(export_log), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 46  # the stats fields are unchanged
+        telemetry = payload["telemetry"]
+        # Computing the stats exercised the instrumented query layer.
+        assert "repro_store_queries_total" in telemetry

@@ -1,0 +1,136 @@
+"""Prometheus text exposition and the naming-convention lint."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    lint_registry,
+    render_json,
+    render_prometheus,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestPrometheusRendering:
+    def test_counter_with_help_type_and_labels(self, registry):
+        registry.counter(
+            "repro_requests_total", help="Requests served.",
+            route="/tenants", tenant="acme",
+        ).inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP repro_requests_total Requests served.\n" in text
+        assert "# TYPE repro_requests_total counter\n" in text
+        assert (
+            'repro_requests_total{route="/tenants",tenant="acme"} 3\n'
+            in text
+        )
+
+    def test_unlabelled_sample_has_no_braces(self, registry):
+        registry.gauge("repro_depth").set(4)
+        assert "\nrepro_depth 4\n" in render_prometheus(registry)
+
+    def test_histogram_expands_to_cumulative_buckets(self, registry):
+        histogram = registry.histogram(
+            "repro_lat_seconds", buckets=(0.1, 1.0), stage="poll"
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = render_prometheus(registry)
+        assert 'repro_lat_seconds_bucket{stage="poll",le="0.1"} 1\n' in text
+        assert 'repro_lat_seconds_bucket{stage="poll",le="1"} 2\n' in text
+        assert 'repro_lat_seconds_bucket{stage="poll",le="+Inf"} 3\n' in text
+        assert 'repro_lat_seconds_sum{stage="poll"} 5.55' in text
+        assert 'repro_lat_seconds_count{stage="poll"} 3\n' in text
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter(
+            "repro_errors_total", type='Bad"Quote\\Path\nLine'
+        ).inc()
+        text = render_prometheus(registry)
+        assert r'type="Bad\"Quote\\Path\nLine"' in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_prometheus(registry) == ""
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("repro_b_total").inc()
+        registry.counter("repro_a_total").inc()
+        text = render_prometheus(registry)
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+
+
+class TestJsonRendering:
+    def test_round_trips_the_snapshot(self, registry):
+        registry.counter("repro_x_total", tenant="a").inc(2)
+        document = json.loads(render_json(registry))
+        assert document == registry.snapshot()
+
+
+class TestLint:
+    def test_clean_registry_lints_clean(self, registry):
+        registry.counter("repro_requests_total")
+        registry.histogram("repro_latency_seconds")
+        registry.gauge("repro_inflight_requests")
+        assert lint_registry(registry) == []
+
+    def test_counter_must_end_in_total(self, registry):
+        registry.counter("repro_requests")
+        problems = lint_registry(registry)
+        assert problems == ["repro_requests: counter names must end in _total"]
+
+    def test_histogram_must_end_in_seconds(self, registry):
+        registry.histogram("repro_latency")
+        assert any("_seconds" in p for p in lint_registry(registry))
+
+    def test_gauge_must_not_claim_reserved_suffixes(self, registry):
+        registry.gauge("repro_depth_total")
+        registry.gauge("repro_depth_count")
+        problems = lint_registry(registry)
+        assert len(problems) == 2
+
+
+class TestVocabularyLint:
+    """Every metric the system actually registers passes the lint.
+
+    This is the exposition self-check the issue asks for: exercise the
+    full instrument vocabulary against a fresh registry and assert a
+    scraper would accept all of it.
+    """
+
+    def test_instrument_vocabulary_is_scrapable(self):
+        from repro.telemetry import instruments
+
+        registry = MetricsRegistry()
+        instruments.record_store_append("sqlite", 10, 0.1, registry=registry)
+        instruments.record_store_commit("sqlite", 0.1, registry=registry)
+        instruments.record_store_query(
+            "memory", "count", 0.1, registry=registry
+        )
+        instruments.record_audit("delta", 10, 2, 0.1, registry=registry)
+        instruments.record_shard_judge(3, 0.1, registry=registry)
+        instruments.record_ingest_stage("poll", 10, 0.1, registry=registry)
+        instruments.set_ingest_queue_depth("audit", 4, registry=registry)
+        instruments.set_audit_lag(2, 40, registry=registry)
+        instruments.record_service_request(
+            "/tenants/{tenant}", "GET", "acme", 200, 0.1, registry=registry
+        )
+        instruments.record_service_error("NotFound", 404, registry=registry)
+        instruments.service_inflight_gauge(registry=registry).inc()
+        assert len(registry.families()) >= 15
+        assert lint_registry(registry) == []
+
+    def test_span_names_lint_clean(self):
+        from repro.telemetry import span, using_registry
+
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with span("request"):
+                pass
+        assert lint_registry(registry) == []

@@ -1,0 +1,205 @@
+"""The metrics core: instruments, families, registries, spans."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    TelemetryError,
+    current_span,
+    get_registry,
+    set_registry,
+    span,
+    using_registry,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_widgets_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("repro_widgets_total")
+        with pytest.raises(TelemetryError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_widgets_total", tenant="a").inc()
+        registry.counter("repro_widgets_total", tenant="b").inc(2)
+        assert registry.counter("repro_widgets_total", tenant="a").value == 1
+        assert registry.counter("repro_widgets_total", tenant="b").value == 2
+
+    def test_same_labels_return_the_same_child(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_widgets_total", tenant="a")
+        again = registry.counter("repro_widgets_total", tenant="a")
+        assert first is again
+
+
+class TestGauge:
+    def test_moves_anywhere(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec(10)
+        assert gauge.value == -1.0
+
+
+class TestHistogram:
+    def test_observations_land_in_log_scale_buckets(self):
+        histogram = MetricsRegistry().histogram("repro_lat_seconds")
+        histogram.observe(0.002)   # -> the 0.0025 bucket
+        histogram.observe(0.3)     # -> the 0.5 bucket
+        histogram.observe(99.0)    # -> +Inf only
+        cumulative = histogram.cumulative_counts()
+        bounds = list(DEFAULT_LATENCY_BUCKETS)
+        assert cumulative[bounds.index(0.001)] == 0
+        assert cumulative[bounds.index(0.0025)] == 1
+        assert cumulative[bounds.index(0.25)] == 1
+        assert cumulative[bounds.index(0.5)] == 2
+        assert cumulative[bounds.index(30.0)] == 2
+        assert cumulative[-1] == 3  # +Inf sees everything
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(99.302)
+
+    def test_exact_boundary_lands_in_its_bucket(self):
+        # le is inclusive: an observation equal to a bound counts there.
+        histogram = MetricsRegistry().histogram("repro_lat_seconds")
+        histogram.observe(0.005)
+        bounds = list(DEFAULT_LATENCY_BUCKETS)
+        assert histogram.cumulative_counts()[bounds.index(0.005)] == 1
+
+    def test_custom_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            registry.histogram("repro_bad_seconds", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_validates_metric_names(self):
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            MetricsRegistry().counter("bad-name_total")
+
+    def test_validates_label_names(self):
+        with pytest.raises(TelemetryError, match="invalid label name"):
+            MetricsRegistry().counter("repro_x_total", **{"bad-label": "v"})
+
+    def test_kind_clash_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(TelemetryError, match="is a counter"):
+            registry.gauge("repro_x_total")
+
+    def test_label_set_clash_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", tenant="a")
+        with pytest.raises(TelemetryError, match="one family, one label set"):
+            registry.counter("repro_x_total", route="/x")
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", tenant="a").inc(3)
+        registry.histogram("repro_lat_seconds").observe(0.1)
+        document = registry.snapshot()
+        assert document["repro_x_total"]["kind"] == "counter"
+        assert document["repro_x_total"]["samples"] == [
+            {"labels": {"tenant": "a"}, "value": 3.0}
+        ]
+        histogram = document["repro_lat_seconds"]["samples"][0]
+        assert histogram["count"] == 1
+        assert len(histogram["counts"]) == len(histogram["buckets"]) + 1
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        with using_registry(fresh):
+            assert get_registry() is fresh
+            get_registry().counter("repro_x_total").inc()
+        assert get_registry() is not fresh
+        assert fresh.counter("repro_x_total").value == 1
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        NULL_REGISTRY.counter("repro_x_total", tenant="a").inc(5)
+        NULL_REGISTRY.gauge("repro_depth").set(9)
+        NULL_REGISTRY.histogram("repro_lat_seconds").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.families() == []
+        assert NULL_REGISTRY.enabled is False
+
+    def test_instruments_are_shared_no_ops(self):
+        first = NULL_REGISTRY.counter("repro_a_total")
+        second = NULL_REGISTRY.histogram("repro_b_seconds")
+        assert first is second  # one singleton serves every kind
+
+
+class TestSpans:
+    def test_span_records_a_duration_histogram(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with span("rebuild"):
+                pass
+        histogram = registry.histogram(
+            "repro_span_rebuild_seconds", parent=""
+        )
+        assert histogram.count == 1
+
+    def test_spans_nest_with_parent_attribution(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with span("request"):
+                assert current_span() == "request"
+                with span("audit"):
+                    assert current_span() == "audit"
+                assert current_span() == "request"
+            assert current_span() == ""
+        child = registry.histogram(
+            "repro_span_audit_seconds", parent="request"
+        )
+        assert child.count == 1
+
+    def test_span_as_decorator(self):
+        registry = MetricsRegistry()
+
+        @span("judge")
+        def judge() -> int:
+            return 42
+
+        with using_registry(registry):
+            assert judge() == 42
+            assert judge() == 42
+        histogram = registry.histogram("repro_span_judge_seconds", parent="")
+        assert histogram.count == 2
+
+    def test_span_pops_its_frame_on_error(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with pytest.raises(RuntimeError):
+                with span("request"):
+                    raise RuntimeError("boom")
+            assert current_span() == ""  # no leaked stack frame
+
+    def test_disabled_registry_skips_recording(self):
+        with using_registry(NULL_REGISTRY):
+            with span("rebuild"):
+                assert current_span() == ""  # no stack bookkeeping either
+
+    def test_span_name_is_validated(self):
+        with pytest.raises(TelemetryError):
+            span("bad-name")

@@ -1,0 +1,79 @@
+"""The JSONL snapshot writer: cadence, schema, elapsed_s stamping."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshotWriter,
+    read_snapshots,
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total").inc()
+    return registry
+
+
+class TestCadence:
+    def test_every_n_batches_writes_one_line(self, tmp_path, registry):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsSnapshotWriter(path, every=2, registry=registry) as w:
+            for _ in range(6):
+                w.observe_batch()
+        assert len(read_snapshots(path)) == 3
+
+    def test_close_flushes_a_trailing_partial_cadence(
+        self, tmp_path, registry
+    ):
+        path = tmp_path / "metrics.jsonl"
+        writer = MetricsSnapshotWriter(path, every=4, registry=registry)
+        for _ in range(5):  # one snapshot at 4, one pending batch
+            writer.observe_batch()
+        writer.close()
+        lines = read_snapshots(path)
+        assert [line["batch"] for line in lines] == [4, 5]
+
+    def test_close_is_idempotent(self, tmp_path, registry):
+        writer = MetricsSnapshotWriter(
+            tmp_path / "m.jsonl", registry=registry
+        )
+        writer.observe_batch()
+        writer.close()
+        writer.close()
+
+    def test_rejects_non_positive_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            MetricsSnapshotWriter(tmp_path / "m.jsonl", every=0)
+
+
+class TestSchema:
+    def test_lines_carry_elapsed_batch_and_metrics(self, tmp_path, registry):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsSnapshotWriter(path, registry=registry) as writer:
+            writer.observe_batch()
+            registry.counter("repro_x_total").inc()
+            writer.observe_batch()
+        first, second = read_snapshots(path)
+        assert set(first) == {"elapsed_s", "batch", "metrics"}
+        assert first["batch"] == 1 and second["batch"] == 2
+        # elapsed_s is monotonic across the series.
+        assert 0 <= first["elapsed_s"] <= second["elapsed_s"]
+        # Each line is a full registry snapshot at that moment.
+        assert (
+            first["metrics"]["repro_x_total"]["samples"][0]["value"] == 1.0
+        )
+        assert (
+            second["metrics"]["repro_x_total"]["samples"][0]["value"] == 2.0
+        )
+
+    def test_appends_to_an_existing_file(self, tmp_path, registry):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(json.dumps({"batch": 0, "elapsed_s": 0.0,
+                                    "metrics": {}}) + "\n")
+        with MetricsSnapshotWriter(path, registry=registry) as writer:
+            writer.observe_batch()
+        assert len(read_snapshots(path)) == 2
